@@ -1,0 +1,212 @@
+//! Hybrid crash/Byzantine failure structures (§6 extension).
+//!
+//! The paper's Extensions section suggests treating crash failures
+//! separately from full Byzantine corruptions: crashes are more common
+//! and much cheaper to tolerate. A [`HybridStructure`] couples a
+//! Byzantine [`TrustStructure`] with an additional crash allowance; the
+//! adversary may simultaneously corrupt a set `B ∈ A_byz` and crash a
+//! further set `C` as long as the pair is tolerated.
+//!
+//! The resilience condition generalizes `n > 3t_b + 2t_c`: every quorum
+//! predicate treats crashed parties as silent (they count against
+//! liveness) while only Byzantine parties can equivocate (count against
+//! safety).
+
+use crate::party::PartySet;
+use crate::structure::{StructureError, TrustStructure};
+use serde::{Deserialize, Serialize};
+
+/// A hybrid failure structure: Byzantine structure plus crash budget.
+///
+/// # Examples
+///
+/// ```
+/// use sintra_adversary::hybrid::HybridStructure;
+///
+/// // n = 8, one Byzantine fault, one additional crash: 8 > 3·1 + 2·1.
+/// let h = HybridStructure::threshold(8, 1, 1)?;
+/// assert!(h.is_tolerated(&[0].into_iter().collect(), &[5].into_iter().collect()));
+/// assert!(!h.is_tolerated(&[0, 1].into_iter().collect(), &[5].into_iter().collect()));
+/// # Ok::<(), sintra_adversary::structure::StructureError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HybridStructure {
+    byzantine: TrustStructure,
+    max_crashes: usize,
+}
+
+impl HybridStructure {
+    /// Threshold hybrid: up to `t_byz` Byzantine corruptions plus up to
+    /// `t_crash` crashes among `n` servers. Requires
+    /// `n > 3·t_byz + 2·t_crash` for asynchronous resilience.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the resilience condition fails.
+    pub fn threshold(n: usize, t_byz: usize, t_crash: usize) -> Result<Self, StructureError> {
+        if n <= 3 * t_byz + 2 * t_crash {
+            return Err(StructureError::BadThreshold { n, t: t_byz + t_crash });
+        }
+        Ok(HybridStructure {
+            byzantine: TrustStructure::threshold(n, t_byz)?,
+            max_crashes: t_crash,
+        })
+    }
+
+    /// Wraps a general Byzantine structure with a crash budget.
+    ///
+    /// The caller is responsible for checking the generalized resilience
+    /// condition via [`HybridStructure::satisfies_hybrid_q3`].
+    pub fn general(byzantine: TrustStructure, max_crashes: usize) -> Self {
+        HybridStructure {
+            byzantine,
+            max_crashes,
+        }
+    }
+
+    /// The Byzantine component.
+    pub fn byzantine(&self) -> &TrustStructure {
+        &self.byzantine
+    }
+
+    /// The crash budget.
+    pub fn max_crashes(&self) -> usize {
+        self.max_crashes
+    }
+
+    /// Number of parties.
+    pub fn n(&self) -> usize {
+        self.byzantine.n()
+    }
+
+    /// Tests whether the adversary may corrupt `byz` (Byzantine) and crash
+    /// `crashes` simultaneously.
+    pub fn is_tolerated(&self, byz: &PartySet, crashes: &PartySet) -> bool {
+        byz.is_disjoint(crashes)
+            && self.byzantine.is_corruptible(byz)
+            && crashes.len() <= self.max_crashes
+    }
+
+    /// The hybrid analogue of `Q³`: for every tolerated Byzantine set `B`
+    /// and crash set `C`, the remaining honest live parties must still be
+    /// able to make progress against any *other* Byzantine set appearing
+    /// qualified. A sufficient condition (checked here) is that after
+    /// removing any crash set of maximal size, the residual structure
+    /// still satisfies `Q³` when each corruptible set is extended by the
+    /// crashes.
+    pub fn satisfies_hybrid_q3(&self) -> bool {
+        // For threshold structures this is exactly n > 3t + 2c; emulate by
+        // checking Q3 of the Byzantine structure and that core quorums
+        // survive crashes: every set of n - c parties must still contain a
+        // strong set.
+        if !self.byzantine.satisfies_q3() {
+            return false;
+        }
+        if let Some(t) = self.byzantine.threshold_t() {
+            return self.n() > 3 * t + 2 * self.max_crashes;
+        }
+        // General case: for every maximal Byzantine set S and every crash
+        // choice, P ∖ (S ∪ C) must remain qualified. Checking all crash
+        // sets is exponential; we check the adversary's best strategy of
+        // crashing parties *outside* S. A conservative sweep over maximal
+        // sets: remove the crash budget from the smallest classes first is
+        // heuristic, so instead require that removing ANY max_crashes
+        // parties from P ∖ S leaves a qualified set; equivalently the
+        // complement of S stays qualified even at its weakest point. We
+        // verify by brute force when n is small.
+        let n = self.n();
+        if n > 20 {
+            return false; // refuse to certify what we cannot check
+        }
+        let maximal = self.byzantine.maximal_adversary_sets();
+        for s in &maximal {
+            let rest: Vec<usize> = s.complement(n).iter().collect();
+            if !subsets_up_to(&rest, self.max_crashes).into_iter().all(|c| {
+                let survivors = s.complement(n).difference(&c);
+                self.byzantine.is_qualified(&survivors)
+            }) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// All subsets of `items` of size at most `k`.
+fn subsets_up_to(items: &[usize], k: usize) -> Vec<PartySet> {
+    let mut out = vec![PartySet::EMPTY];
+    for size in 1..=k.min(items.len()) {
+        let mut stack: Vec<(usize, Vec<usize>)> = vec![(0, vec![])];
+        while let Some((start, current)) = stack.pop() {
+            if current.len() == size {
+                out.push(current.iter().copied().collect());
+                continue;
+            }
+            for (offset, &item) in items.iter().enumerate().skip(start) {
+                let mut next = current.clone();
+                next.push(item);
+                stack.push((offset + 1, next));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::example1;
+
+    #[test]
+    fn threshold_resilience_condition() {
+        assert!(HybridStructure::threshold(6, 1, 1).is_ok());
+        assert!(HybridStructure::threshold(5, 1, 1).is_err());
+        assert!(HybridStructure::threshold(4, 1, 0).is_ok());
+        assert!(HybridStructure::threshold(3, 0, 1).is_ok());
+        assert!(HybridStructure::threshold(2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn toleration_checks_disjointness() {
+        let h = HybridStructure::threshold(6, 1, 1).unwrap();
+        let b: PartySet = [0].into_iter().collect();
+        assert!(!h.is_tolerated(&b, &b), "overlapping sets rejected");
+        assert!(h.is_tolerated(&b, &PartySet::EMPTY));
+        assert!(h.is_tolerated(&PartySet::EMPTY, &[3].into_iter().collect()));
+    }
+
+    #[test]
+    fn crash_budget_enforced() {
+        let h = HybridStructure::threshold(8, 1, 1).unwrap();
+        let crashes: PartySet = [4, 5].into_iter().collect();
+        assert!(!h.is_tolerated(&PartySet::EMPTY, &crashes));
+    }
+
+    #[test]
+    fn hybrid_q3_threshold() {
+        assert!(HybridStructure::threshold(6, 1, 1).unwrap().satisfies_hybrid_q3());
+        let h = HybridStructure::general(TrustStructure::threshold(6, 1).unwrap(), 2);
+        assert!(!h.satisfies_hybrid_q3(), "6 <= 3+4");
+    }
+
+    #[test]
+    fn hybrid_q3_general_structure() {
+        // Example 1 with no crash budget certifies; with 2 extra crashes
+        // the survivors of corrupting class a (parties 0-3) plus two
+        // crashes can drop to 3 parties of 2 classes — still qualified —
+        // but crashing 2 of {4,5,6,7,8} after corrupting a pair may leave
+        // an unqualified survivor set; brute force decides.
+        let h0 = HybridStructure::general(example1().unwrap(), 0);
+        assert!(h0.satisfies_hybrid_q3());
+        let h3 = HybridStructure::general(example1().unwrap(), 3);
+        assert!(!h3.satisfies_hybrid_q3());
+    }
+
+    #[test]
+    fn subsets_up_to_counts() {
+        let items = [1, 2, 3, 4];
+        assert_eq!(subsets_up_to(&items, 0).len(), 1);
+        assert_eq!(subsets_up_to(&items, 1).len(), 5);
+        assert_eq!(subsets_up_to(&items, 2).len(), 11);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for adversary structures: monotonicity, dual
+//! involution, threshold/general agreement, and the Q³ quorum
+//! interlock that the protocol proofs rest on.
+
+use proptest::prelude::*;
+use sintra_adversary::formula::{Gate, MonotoneFormula};
+use sintra_adversary::party::{subsets_of_size, PartySet};
+use sintra_adversary::structure::TrustStructure;
+
+/// A small random monotone formula over `n` parties.
+fn formula_strategy(n: usize) -> impl Strategy<Value = Gate> {
+    let leaf = (0..n).prop_map(Gate::leaf);
+    leaf.prop_recursive(3, 16, 4, move |inner| {
+        (proptest::collection::vec(inner, 1..4), any::<u8>()).prop_map(|(children, kraw)| {
+            let k = 1 + (kraw as usize) % children.len();
+            Gate::threshold(k, children)
+        })
+    })
+}
+
+fn set_from_bits(n: usize, bits: u32) -> PartySet {
+    (0..n).filter(|p| (bits >> p) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_formulas_are_monotone(root in formula_strategy(6), bits in 0u32..64, extra in 0usize..6) {
+        let f = MonotoneFormula::new(6, root).unwrap();
+        let s = set_from_bits(6, bits);
+        if f.eval(&s) {
+            let mut bigger = s;
+            bigger.insert(extra);
+            prop_assert!(f.eval(&bigger), "monotonicity violated");
+        }
+    }
+
+    #[test]
+    fn dual_is_involution_and_correct(root in formula_strategy(5), bits in 0u32..32) {
+        let f = MonotoneFormula::new(5, root).unwrap();
+        let d = f.dual();
+        let s = set_from_bits(5, bits);
+        prop_assert_eq!(d.eval(&s), !f.eval(&s.complement(5)));
+        prop_assert_eq!(d.dual().eval(&s), f.eval(&s));
+    }
+
+    #[test]
+    fn threshold_and_general_structures_agree(n in 4usize..8, t_raw in any::<u8>(), bits in any::<u32>()) {
+        let t = (t_raw as usize) % ((n - 1) / 2).max(1);
+        let native = TrustStructure::threshold(n, t).unwrap();
+        let general = TrustStructure::general_from_access(
+            MonotoneFormula::threshold(n, t + 1).unwrap(),
+        ).unwrap();
+        let s = set_from_bits(n, bits & ((1 << n) - 1));
+        prop_assert_eq!(native.is_corruptible(&s), general.is_corruptible(&s));
+        prop_assert_eq!(native.is_core(&s), general.is_core(&s));
+        prop_assert_eq!(native.is_strong(&s), general.is_strong(&s));
+        prop_assert_eq!(native.satisfies_q3(), general.satisfies_q3());
+        prop_assert_eq!(native.satisfies_q2(), general.satisfies_q2());
+    }
+
+    #[test]
+    fn q3_interlock_for_random_structures(root in formula_strategy(6), bits in 0u32..64) {
+        // For any general structure that satisfies Q3: every core set is
+        // strong, and a strong set minus any corruptible set is still
+        // qualified.
+        let f = match MonotoneFormula::new(6, root) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let ts = match TrustStructure::general_from_access(f) {
+            Ok(ts) => ts,
+            Err(_) => return Ok(()), // degenerate / liveness-violating
+        };
+        prop_assume!(ts.satisfies_q3());
+        let s = set_from_bits(6, bits);
+        if ts.is_core(&s) {
+            prop_assert!(ts.is_strong(&s), "core must be strong under Q3");
+        }
+        if ts.is_strong(&s) {
+            for m in ts.maximal_adversary_sets() {
+                prop_assert!(
+                    ts.is_qualified(&s.difference(&m)),
+                    "strong minus corruptible must stay qualified"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_core_sets_intersect_qualified(n in 4usize..8, t_raw in any::<u8>(), r1 in any::<u32>(), r2 in any::<u32>()) {
+        let t = 1 + (t_raw as usize) % ((n - 1) / 3).max(1); // keep Q3: n > 3t
+        prop_assume!(n > 3 * t);
+        let ts = TrustStructure::threshold(n, t).unwrap();
+        // Build core sets directly: remove at most t parties.
+        let removal = |r: u32| -> PartySet {
+            let mut removed = PartySet::new();
+            let mut r = r;
+            for _ in 0..t {
+                removed.insert((r as usize) % n);
+                r = r.rotate_right(7) ^ 0x9e37;
+            }
+            removed
+        };
+        let s1 = removal(r1).complement(n);
+        let s2 = removal(r2).complement(n);
+        prop_assert!(ts.is_core(&s1) && ts.is_core(&s2));
+        prop_assert!(
+            ts.is_qualified(&s1.intersection(&s2)),
+            "two cores must share an honest party"
+        );
+    }
+
+    #[test]
+    fn maximal_sets_form_antichain(root in formula_strategy(6)) {
+        let f = match MonotoneFormula::new(6, root) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let ts = match TrustStructure::general_from_access(f) {
+            Ok(ts) => ts,
+            Err(_) => return Ok(()),
+        };
+        let maximal = ts.maximal_adversary_sets();
+        for (i, a) in maximal.iter().enumerate() {
+            for (j, b) in maximal.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset_of(b), "antichain violated");
+                }
+            }
+        }
+        // Every maximal set is corruptible; every proper superset is not.
+        for m in &maximal {
+            prop_assert!(ts.is_corruptible(m));
+            for p in m.complement(6).iter() {
+                let mut bigger = *m;
+                bigger.insert(p);
+                prop_assert!(!ts.is_corruptible(&bigger));
+            }
+        }
+    }
+
+    #[test]
+    fn subsets_of_size_is_exhaustive(n in 1usize..8, k_raw in any::<u8>()) {
+        let k = (k_raw as usize) % (n + 1);
+        let subsets = subsets_of_size(n, k);
+        // Count = C(n, k).
+        let mut expect = 1u64;
+        for i in 0..k {
+            expect = expect * (n - i) as u64 / (i + 1) as u64;
+        }
+        prop_assert_eq!(subsets.len() as u64, expect);
+        for s in &subsets {
+            prop_assert_eq!(s.len(), k);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Authentication service (sketched in §5 via the MAFTIA deliverable
+//! the paper references).
+//!
+//! Users enroll a credential verifier (e.g. the hash of a secret); to
+//! authenticate, a user submits the matching secret and receives a
+//! threshold-signed assertion of its identity (the reply signature acts
+//! as the ticket, verifiable against the single service key — a
+//! distributed Kerberos-style KDC with no single point of compromise).
+//! Because authentication requests contain secrets, deployments run
+//! this machine over **secure causal atomic broadcast** so corrupted
+//! servers cannot read credentials before ordering fixes them; the
+//! service state itself only ever stores verifiers.
+
+use crate::codec::{put, take, take_last};
+use sintra_protocols::common::digest;
+use sintra_rsm::state::StateMachine;
+use std::collections::BTreeMap;
+
+/// Authentication request types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthRequest {
+    /// Enroll `user` with the verifier of a secret (hash).
+    Enroll {
+        /// User identity.
+        user: Vec<u8>,
+        /// Verifier: SHA-256 of the user's secret.
+        verifier: [u8; 32],
+    },
+    /// Authenticate by presenting the secret; the signed reply is the
+    /// assertion.
+    Authenticate {
+        /// User identity.
+        user: Vec<u8>,
+        /// The secret (hashed against the stored verifier).
+        secret: Vec<u8>,
+        /// Caller-chosen nonce echoed in the assertion (freshness).
+        nonce: u64,
+    },
+    /// Remove an enrollment.
+    Revoke {
+        /// User identity.
+        user: Vec<u8>,
+    },
+}
+
+impl AuthRequest {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            AuthRequest::Enroll { user, verifier } => {
+                out.push(b'E');
+                put(&mut out, user);
+                out.extend_from_slice(verifier);
+            }
+            AuthRequest::Authenticate {
+                user,
+                secret,
+                nonce,
+            } => {
+                out.push(b'A');
+                put(&mut out, user);
+                put(&mut out, secret);
+                out.extend_from_slice(&nonce.to_be_bytes());
+            }
+            AuthRequest::Revoke { user } => {
+                out.push(b'R');
+                put(&mut out, user);
+            }
+        }
+        out
+    }
+
+    /// Parses a request; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<AuthRequest> {
+        let (tag, mut rest) = bytes.split_first()?;
+        match tag {
+            b'E' => {
+                let user = take(&mut rest)?;
+                let verifier: [u8; 32] = rest.try_into().ok()?;
+                Some(AuthRequest::Enroll { user, verifier })
+            }
+            b'A' => {
+                let user = take(&mut rest)?;
+                let secret = take(&mut rest)?;
+                if rest.len() != 8 {
+                    return None;
+                }
+                let nonce = u64::from_be_bytes(rest.try_into().ok()?);
+                Some(AuthRequest::Authenticate {
+                    user,
+                    secret,
+                    nonce,
+                })
+            }
+            b'R' => Some(AuthRequest::Revoke {
+                user: take_last(&mut rest)?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Convenience: computes the verifier for a secret.
+    pub fn verifier_of(secret: &[u8]) -> [u8; 32] {
+        digest(secret)
+    }
+}
+
+/// The replicated authentication state machine.
+#[derive(Clone, Debug, Default)]
+pub struct AuthService {
+    verifiers: BTreeMap<Vec<u8>, [u8; 32]>,
+}
+
+impl AuthService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of enrolled users.
+    pub fn enrolled(&self) -> usize {
+        self.verifiers.len()
+    }
+}
+
+impl StateMachine for AuthService {
+    fn apply(&mut self, request: &[u8]) -> Vec<u8> {
+        match AuthRequest::decode(request) {
+            Some(AuthRequest::Enroll { user, verifier }) => {
+                if user.is_empty() {
+                    return b"ERR empty user".to_vec();
+                }
+                if self.verifiers.contains_key(&user) {
+                    return b"ERR already enrolled".to_vec();
+                }
+                self.verifiers.insert(user, verifier);
+                b"ENROLLED".to_vec()
+            }
+            Some(AuthRequest::Authenticate {
+                user,
+                secret,
+                nonce,
+            }) => match self.verifiers.get(&user) {
+                Some(v) if *v == digest(&secret) => {
+                    // The threshold signature on this answer is the
+                    // authentication assertion.
+                    let mut out = b"ASSERT ".to_vec();
+                    put(&mut out, &user);
+                    out.extend_from_slice(&nonce.to_be_bytes());
+                    out
+                }
+                Some(_) => b"DENIED".to_vec(),
+                None => b"DENIED".to_vec(),
+            },
+            Some(AuthRequest::Revoke { user }) => {
+                if self.verifiers.remove(&user).is_some() {
+                    b"REVOKED".to_vec()
+                } else {
+                    b"ABSENT".to_vec()
+                }
+            }
+            None => b"ERR malformed".to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_codec_roundtrip() {
+        for req in [
+            AuthRequest::Enroll {
+                user: b"alice".to_vec(),
+                verifier: AuthRequest::verifier_of(b"hunter2"),
+            },
+            AuthRequest::Authenticate {
+                user: b"alice".to_vec(),
+                secret: b"hunter2".to_vec(),
+                nonce: 99,
+            },
+            AuthRequest::Revoke {
+                user: b"alice".to_vec(),
+            },
+        ] {
+            assert_eq!(AuthRequest::decode(&req.encode()), Some(req));
+        }
+        assert_eq!(AuthRequest::decode(b"!"), None);
+    }
+
+    #[test]
+    fn enroll_authenticate_lifecycle() {
+        let mut auth = AuthService::new();
+        let enroll = AuthRequest::Enroll {
+            user: b"alice".to_vec(),
+            verifier: AuthRequest::verifier_of(b"secret"),
+        };
+        assert_eq!(auth.apply(&enroll.encode()), b"ENROLLED");
+        assert_eq!(auth.apply(&enroll.encode()), b"ERR already enrolled");
+        // Correct secret: assertion contains the user and nonce.
+        let ok = auth.apply(
+            &AuthRequest::Authenticate {
+                user: b"alice".to_vec(),
+                secret: b"secret".to_vec(),
+                nonce: 7,
+            }
+            .encode(),
+        );
+        assert!(ok.starts_with(b"ASSERT "));
+        assert!(ok.ends_with(&7u64.to_be_bytes()));
+        // Wrong secret / unknown user.
+        assert_eq!(
+            auth.apply(
+                &AuthRequest::Authenticate {
+                    user: b"alice".to_vec(),
+                    secret: b"wrong".to_vec(),
+                    nonce: 7,
+                }
+                .encode()
+            ),
+            b"DENIED"
+        );
+        assert_eq!(
+            auth.apply(
+                &AuthRequest::Authenticate {
+                    user: b"bob".to_vec(),
+                    secret: b"x".to_vec(),
+                    nonce: 7,
+                }
+                .encode()
+            ),
+            b"DENIED"
+        );
+    }
+
+    #[test]
+    fn revocation() {
+        let mut auth = AuthService::new();
+        auth.apply(
+            &AuthRequest::Enroll {
+                user: b"alice".to_vec(),
+                verifier: AuthRequest::verifier_of(b"s"),
+            }
+            .encode(),
+        );
+        assert_eq!(auth.apply(&AuthRequest::Revoke { user: b"alice".to_vec() }.encode()), b"REVOKED");
+        assert_eq!(auth.apply(&AuthRequest::Revoke { user: b"alice".to_vec() }.encode()), b"ABSENT");
+        assert_eq!(
+            auth.apply(
+                &AuthRequest::Authenticate {
+                    user: b"alice".to_vec(),
+                    secret: b"s".to_vec(),
+                    nonce: 1,
+                }
+                .encode()
+            ),
+            b"DENIED"
+        );
+        assert_eq!(auth.enrolled(), 0);
+    }
+
+    #[test]
+    fn state_never_stores_secrets() {
+        // The enrolled verifier is a hash; authenticating with the hash
+        // itself must fail (it is not the preimage).
+        let mut auth = AuthService::new();
+        let verifier = AuthRequest::verifier_of(b"pw");
+        auth.apply(
+            &AuthRequest::Enroll {
+                user: b"u".to_vec(),
+                verifier,
+            }
+            .encode(),
+        );
+        assert_eq!(
+            auth.apply(
+                &AuthRequest::Authenticate {
+                    user: b"u".to_vec(),
+                    secret: verifier.to_vec(),
+                    nonce: 0,
+                }
+                .encode()
+            ),
+            b"DENIED"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Distributed certification authority (§5.1).
+//!
+//! The CA is the paper's flagship application: the heart of a PKI,
+//! traditionally a single hardened machine, here replicated so that its
+//! signing key never exists in one place. A certificate is the
+//! service's threshold signature binding a subject identity to a public
+//! key under the CA's published policy; clients obtain it by combining
+//! reply shares from a qualified set of replicas
+//! ([`sintra_rsm::ReplyCollector`]), and verify it against the *single*
+//! CA verification key.
+//!
+//! Requests must be delivered by atomic broadcast: issuing changes the
+//! serial counter and the revocation state, so all replicas must
+//! process the same sequence (a policy-frozen CA issuing independent
+//! certificates could fall back to reliable broadcast, as the paper
+//! notes — experiment E6 quantifies the difference).
+
+use crate::codec::{put, take, take_last};
+use sintra_rsm::state::StateMachine;
+use std::collections::BTreeMap;
+
+/// CA request types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaRequest {
+    /// Issue a certificate for `subject` holding `public_key`
+    /// (credentials assumed verified by the registration front end, per
+    /// the paper's description).
+    Issue {
+        /// The subject identity (name, email, ...).
+        subject: Vec<u8>,
+        /// The subject's public key bytes.
+        public_key: Vec<u8>,
+    },
+    /// Revoke the certificate with the given serial.
+    Revoke {
+        /// Serial number to revoke.
+        serial: u64,
+    },
+    /// Query a certificate's status.
+    Status {
+        /// Serial number to look up.
+        serial: u64,
+    },
+    /// Replace the published policy string.
+    SetPolicy {
+        /// The new policy text.
+        policy: Vec<u8>,
+    },
+}
+
+impl CaRequest {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            CaRequest::Issue {
+                subject,
+                public_key,
+            } => {
+                out.push(b'I');
+                put(&mut out, subject);
+                put(&mut out, public_key);
+            }
+            CaRequest::Revoke { serial } => {
+                out.push(b'R');
+                out.extend_from_slice(&serial.to_be_bytes());
+            }
+            CaRequest::Status { serial } => {
+                out.push(b'S');
+                out.extend_from_slice(&serial.to_be_bytes());
+            }
+            CaRequest::SetPolicy { policy } => {
+                out.push(b'P');
+                put(&mut out, policy);
+            }
+        }
+        out
+    }
+
+    /// Parses a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<CaRequest> {
+        let (tag, mut rest) = bytes.split_first()?;
+        match tag {
+            b'I' => {
+                let subject = take(&mut rest)?;
+                let public_key = take_last(&mut rest)?;
+                Some(CaRequest::Issue {
+                    subject,
+                    public_key,
+                })
+            }
+            b'R' | b'S' => {
+                if rest.len() != 8 {
+                    return None;
+                }
+                let serial = u64::from_be_bytes(rest.try_into().ok()?);
+                if *tag == b'R' {
+                    Some(CaRequest::Revoke { serial })
+                } else {
+                    Some(CaRequest::Status { serial })
+                }
+            }
+            b'P' => {
+                let policy = take_last(&mut rest)?;
+                Some(CaRequest::SetPolicy { policy })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A certificate record inside the CA state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertRecord {
+    /// Serial number.
+    pub serial: u64,
+    /// Subject identity.
+    pub subject: Vec<u8>,
+    /// Certified public key.
+    pub public_key: Vec<u8>,
+    /// Policy version at issuance.
+    pub policy_version: u64,
+    /// Whether the certificate has been revoked.
+    pub revoked: bool,
+}
+
+/// The replicated CA state machine.
+#[derive(Clone, Debug)]
+pub struct CertificationAuthority {
+    next_serial: u64,
+    policy: Vec<u8>,
+    policy_version: u64,
+    certs: BTreeMap<u64, CertRecord>,
+}
+
+impl CertificationAuthority {
+    /// Creates a CA with an initial policy.
+    pub fn new(policy: &[u8]) -> Self {
+        CertificationAuthority {
+            next_serial: 1,
+            policy: policy.to_vec(),
+            policy_version: 1,
+            certs: BTreeMap::new(),
+        }
+    }
+
+    /// Number of issued certificates.
+    pub fn issued(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> &[u8] {
+        &self.policy
+    }
+
+    /// Looks up a record.
+    pub fn record(&self, serial: u64) -> Option<&CertRecord> {
+        self.certs.get(&serial)
+    }
+
+    /// Encodes a certificate answer: the bytes the threshold signature
+    /// on the reply certifies.
+    fn encode_cert(record: &CertRecord) -> Vec<u8> {
+        let mut out = b"CERT".to_vec();
+        out.extend_from_slice(&record.serial.to_be_bytes());
+        out.extend_from_slice(&record.policy_version.to_be_bytes());
+        put(&mut out, &record.subject);
+        put(&mut out, &record.public_key);
+        out
+    }
+}
+
+impl Default for CertificationAuthority {
+    fn default() -> Self {
+        Self::new(b"default-policy-v1")
+    }
+}
+
+impl StateMachine for CertificationAuthority {
+    fn apply(&mut self, request: &[u8]) -> Vec<u8> {
+        match CaRequest::decode(request) {
+            Some(CaRequest::Issue {
+                subject,
+                public_key,
+            }) => {
+                // Minimal policy check: nonempty subject and key.
+                if subject.is_empty() || public_key.is_empty() {
+                    return b"ERR policy".to_vec();
+                }
+                let serial = self.next_serial;
+                self.next_serial += 1;
+                let record = CertRecord {
+                    serial,
+                    subject,
+                    public_key,
+                    policy_version: self.policy_version,
+                    revoked: false,
+                };
+                let answer = Self::encode_cert(&record);
+                self.certs.insert(serial, record);
+                answer
+            }
+            Some(CaRequest::Revoke { serial }) => match self.certs.get_mut(&serial) {
+                Some(rec) if !rec.revoked => {
+                    rec.revoked = true;
+                    b"REVOKED".to_vec()
+                }
+                Some(_) => b"ALREADY-REVOKED".to_vec(),
+                None => b"ERR unknown serial".to_vec(),
+            },
+            Some(CaRequest::Status { serial }) => match self.certs.get(&serial) {
+                Some(rec) if rec.revoked => b"STATUS revoked".to_vec(),
+                Some(_) => b"STATUS valid".to_vec(),
+                None => b"STATUS unknown".to_vec(),
+            },
+            Some(CaRequest::SetPolicy { policy }) => {
+                self.policy = policy;
+                self.policy_version += 1;
+                let mut out = b"POLICY ".to_vec();
+                out.extend_from_slice(&self.policy_version.to_be_bytes());
+                out
+            }
+            None => b"ERR malformed".to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_codec_roundtrip() {
+        for req in [
+            CaRequest::Issue {
+                subject: b"alice@example.com".to_vec(),
+                public_key: vec![1, 2, 3],
+            },
+            CaRequest::Revoke { serial: 7 },
+            CaRequest::Status { serial: 9 },
+            CaRequest::SetPolicy {
+                policy: b"strict".to_vec(),
+            },
+        ] {
+            assert_eq!(CaRequest::decode(&req.encode()), Some(req));
+        }
+        assert_eq!(CaRequest::decode(b""), None);
+        assert_eq!(CaRequest::decode(b"Zjunk"), None);
+        assert_eq!(CaRequest::decode(b"R123"), None);
+    }
+
+    #[test]
+    fn issue_assigns_serials_sequentially() {
+        let mut ca = CertificationAuthority::default();
+        let a1 = ca.apply(
+            &CaRequest::Issue {
+                subject: b"alice".to_vec(),
+                public_key: vec![1],
+            }
+            .encode(),
+        );
+        let a2 = ca.apply(
+            &CaRequest::Issue {
+                subject: b"bob".to_vec(),
+                public_key: vec![2],
+            }
+            .encode(),
+        );
+        assert!(a1.starts_with(b"CERT"));
+        assert!(a2.starts_with(b"CERT"));
+        assert_ne!(a1, a2);
+        assert_eq!(ca.issued(), 2);
+        assert_eq!(ca.record(1).unwrap().subject, b"alice");
+        assert_eq!(ca.record(2).unwrap().subject, b"bob");
+    }
+
+    #[test]
+    fn revocation_lifecycle() {
+        let mut ca = CertificationAuthority::default();
+        ca.apply(
+            &CaRequest::Issue {
+                subject: b"alice".to_vec(),
+                public_key: vec![1],
+            }
+            .encode(),
+        );
+        assert_eq!(ca.apply(&CaRequest::Status { serial: 1 }.encode()), b"STATUS valid");
+        assert_eq!(ca.apply(&CaRequest::Revoke { serial: 1 }.encode()), b"REVOKED");
+        assert_eq!(
+            ca.apply(&CaRequest::Status { serial: 1 }.encode()),
+            b"STATUS revoked"
+        );
+        assert_eq!(
+            ca.apply(&CaRequest::Revoke { serial: 1 }.encode()),
+            b"ALREADY-REVOKED"
+        );
+        assert_eq!(
+            ca.apply(&CaRequest::Revoke { serial: 99 }.encode()),
+            b"ERR unknown serial"
+        );
+    }
+
+    #[test]
+    fn policy_updates_bump_version() {
+        let mut ca = CertificationAuthority::default();
+        ca.apply(&CaRequest::SetPolicy { policy: b"v2".to_vec() }.encode());
+        assert_eq!(ca.policy(), b"v2");
+        ca.apply(
+            &CaRequest::Issue {
+                subject: b"x".to_vec(),
+                public_key: vec![1],
+            }
+            .encode(),
+        );
+        assert_eq!(ca.record(1).unwrap().policy_version, 2);
+    }
+
+    #[test]
+    fn empty_subject_rejected() {
+        let mut ca = CertificationAuthority::default();
+        let out = ca.apply(
+            &CaRequest::Issue {
+                subject: vec![],
+                public_key: vec![1],
+            }
+            .encode(),
+        );
+        assert_eq!(out, b"ERR policy");
+        assert_eq!(ca.issued(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Tiny length-prefixed binary codec shared by the service request
+//! formats (no external serialization crates are used in this
+//! repository).
+
+/// Appends one length-prefixed field.
+pub fn put(out: &mut Vec<u8>, field: &[u8]) {
+    out.extend_from_slice(&(field.len() as u32).to_be_bytes());
+    out.extend_from_slice(field);
+}
+
+/// Reads one length-prefixed field.
+pub fn take(rest: &mut &[u8]) -> Option<Vec<u8>> {
+    if rest.len() < 4 {
+        return None;
+    }
+    let (len_bytes, tail) = rest.split_at(4);
+    let len = u32::from_be_bytes(len_bytes.try_into().ok()?) as usize;
+    if len > 1 << 24 || tail.len() < len {
+        return None;
+    }
+    let (field, tail) = tail.split_at(len);
+    *rest = tail;
+    Some(field.to_vec())
+}
+
+/// Reads the final length-prefixed field, requiring the input to be
+/// fully consumed.
+pub fn take_last(rest: &mut &[u8]) -> Option<Vec<u8>> {
+    let field = take(rest)?;
+    if rest.is_empty() {
+        Some(field)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        put(&mut buf, b"alpha");
+        put(&mut buf, b"");
+        put(&mut buf, b"omega");
+        let mut rest = buf.as_slice();
+        assert_eq!(take(&mut rest).unwrap(), b"alpha");
+        assert_eq!(take(&mut rest).unwrap(), b"");
+        assert_eq!(take_last(&mut rest).unwrap(), b"omega");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut rest: &[u8] = &[0, 0, 0, 10, 1, 2];
+        assert!(take(&mut rest).is_none());
+        let mut buf = Vec::new();
+        put(&mut buf, b"x");
+        buf.push(0); // trailing garbage
+        let mut rest = buf.as_slice();
+        assert!(take_last(&mut rest).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Secure directory service (§5.1).
+//!
+//! A replicated database whose lookup answers are authenticated by the
+//! service's threshold signature — the paper's model for DNS
+//! authentication, LDAP-style secure directories, and similar
+//! infrastructure. Updates and lookups both travel through atomic
+//! broadcast so every replica answers every query from the same state
+//! version (lookups that may run against stale state could bypass
+//! ordering; the paper requires ordering for anything touching global
+//! state, and binding the answer to a sequence number is what makes the
+//! signed answer meaningful).
+
+use crate::codec::{put, take, take_last};
+use sintra_rsm::state::StateMachine;
+use std::collections::BTreeMap;
+
+/// Directory request types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirRequest {
+    /// Bind `name` to `value` (overwrites).
+    Update {
+        /// Entry name.
+        name: Vec<u8>,
+        /// Bound value.
+        value: Vec<u8>,
+    },
+    /// Remove a binding.
+    Remove {
+        /// Entry name.
+        name: Vec<u8>,
+    },
+    /// Authenticated lookup.
+    Lookup {
+        /// Entry name.
+        name: Vec<u8>,
+    },
+    /// Enumerate names with a prefix (authenticated listing).
+    List {
+        /// Name prefix.
+        prefix: Vec<u8>,
+    },
+}
+
+impl DirRequest {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            DirRequest::Update { name, value } => {
+                out.push(b'U');
+                put(&mut out, name);
+                put(&mut out, value);
+            }
+            DirRequest::Remove { name } => {
+                out.push(b'D');
+                put(&mut out, name);
+            }
+            DirRequest::Lookup { name } => {
+                out.push(b'L');
+                put(&mut out, name);
+            }
+            DirRequest::List { prefix } => {
+                out.push(b'E');
+                put(&mut out, prefix);
+            }
+        }
+        out
+    }
+
+    /// Parses a request; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<DirRequest> {
+        let (tag, mut rest) = bytes.split_first()?;
+        match tag {
+            b'U' => {
+                let name = take(&mut rest)?;
+                let value = take_last(&mut rest)?;
+                Some(DirRequest::Update { name, value })
+            }
+            b'D' => Some(DirRequest::Remove {
+                name: take_last(&mut rest)?,
+            }),
+            b'L' => Some(DirRequest::Lookup {
+                name: take_last(&mut rest)?,
+            }),
+            b'E' => Some(DirRequest::List {
+                prefix: take_last(&mut rest)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The replicated directory state machine.
+#[derive(Clone, Debug, Default)]
+pub struct DirectoryService {
+    entries: BTreeMap<Vec<u8>, Vec<u8>>,
+    version: u64,
+}
+
+impl DirectoryService {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The update version (bumped by every successful mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl StateMachine for DirectoryService {
+    fn apply(&mut self, request: &[u8]) -> Vec<u8> {
+        match DirRequest::decode(request) {
+            Some(DirRequest::Update { name, value }) => {
+                if name.is_empty() {
+                    return b"ERR empty name".to_vec();
+                }
+                self.entries.insert(name, value);
+                self.version += 1;
+                let mut out = b"OK ".to_vec();
+                out.extend_from_slice(&self.version.to_be_bytes());
+                out
+            }
+            Some(DirRequest::Remove { name }) => {
+                if self.entries.remove(&name).is_some() {
+                    self.version += 1;
+                    b"REMOVED".to_vec()
+                } else {
+                    b"ABSENT".to_vec()
+                }
+            }
+            Some(DirRequest::Lookup { name }) => match self.entries.get(&name) {
+                Some(v) => {
+                    let mut out = b"FOUND ".to_vec();
+                    out.extend_from_slice(&self.version.to_be_bytes());
+                    put(&mut out, v);
+                    out
+                }
+                None => b"NOT-FOUND".to_vec(),
+            },
+            Some(DirRequest::List { prefix }) => {
+                let mut out = b"LIST ".to_vec();
+                let names: Vec<&Vec<u8>> = self
+                    .entries
+                    .keys()
+                    .filter(|k| k.starts_with(&prefix))
+                    .collect();
+                out.extend_from_slice(&(names.len() as u32).to_be_bytes());
+                for name in names {
+                    put(&mut out, name);
+                }
+                out
+            }
+            None => b"ERR malformed".to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_codec_roundtrip() {
+        for req in [
+            DirRequest::Update {
+                name: b"www.example.com".to_vec(),
+                value: b"192.0.2.1".to_vec(),
+            },
+            DirRequest::Remove {
+                name: b"x".to_vec(),
+            },
+            DirRequest::Lookup {
+                name: b"y".to_vec(),
+            },
+            DirRequest::List {
+                prefix: b"www.".to_vec(),
+            },
+        ] {
+            assert_eq!(DirRequest::decode(&req.encode()), Some(req));
+        }
+        assert_eq!(DirRequest::decode(b"?"), None);
+    }
+
+    #[test]
+    fn update_lookup_remove_lifecycle() {
+        let mut dir = DirectoryService::new();
+        assert_eq!(
+            dir.apply(&DirRequest::Lookup { name: b"a".to_vec() }.encode()),
+            b"NOT-FOUND"
+        );
+        let ok = dir.apply(
+            &DirRequest::Update {
+                name: b"a".to_vec(),
+                value: b"1".to_vec(),
+            }
+            .encode(),
+        );
+        assert!(ok.starts_with(b"OK "));
+        let found = dir.apply(&DirRequest::Lookup { name: b"a".to_vec() }.encode());
+        assert!(found.starts_with(b"FOUND "));
+        assert!(found.ends_with(b"1"));
+        assert_eq!(
+            dir.apply(&DirRequest::Remove { name: b"a".to_vec() }.encode()),
+            b"REMOVED"
+        );
+        assert_eq!(
+            dir.apply(&DirRequest::Remove { name: b"a".to_vec() }.encode()),
+            b"ABSENT"
+        );
+        assert_eq!(dir.version(), 2);
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut dir = DirectoryService::new();
+        for (name, value) in [("www.a", "1"), ("www.b", "2"), ("mail.a", "3")] {
+            dir.apply(
+                &DirRequest::Update {
+                    name: name.as_bytes().to_vec(),
+                    value: value.as_bytes().to_vec(),
+                }
+                .encode(),
+            );
+        }
+        let out = dir.apply(&DirRequest::List { prefix: b"www.".to_vec() }.encode());
+        assert!(out.starts_with(b"LIST "));
+        let count = u32::from_be_bytes(out[5..9].try_into().unwrap());
+        assert_eq!(count, 2);
+        let all = dir.apply(&DirRequest::List { prefix: Vec::new() }.encode());
+        let count = u32::from_be_bytes(all[5..9].try_into().unwrap());
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn lookup_answers_bind_version() {
+        // The version in the answer pins the state the lookup saw — two
+        // lookups around an update answer differently.
+        let mut dir = DirectoryService::new();
+        dir.apply(
+            &DirRequest::Update {
+                name: b"k".to_vec(),
+                value: b"v1".to_vec(),
+            }
+            .encode(),
+        );
+        let first = dir.apply(&DirRequest::Lookup { name: b"k".to_vec() }.encode());
+        dir.apply(
+            &DirRequest::Update {
+                name: b"k".to_vec(),
+                value: b"v2".to_vec(),
+            }
+            .encode(),
+        );
+        let second = dir.apply(&DirRequest::Lookup { name: b"k".to_vec() }.encode());
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut dir = DirectoryService::new();
+        assert_eq!(dir.apply(b""), b"ERR malformed");
+        assert_eq!(
+            dir.apply(&DirRequest::Update { name: vec![], value: vec![] }.encode()),
+            b"ERR empty name"
+        );
+    }
+}

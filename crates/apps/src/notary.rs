@@ -1,0 +1,242 @@
+//! Digital notary / time-stamping service (§5.2).
+//!
+//! The notary receives documents, assigns them consecutive sequence
+//! numbers (a logical clock), and certifies the assignment with the
+//! service signature — the paper's examples are Internet domain-name
+//! assignment and patent filing. Two properties matter:
+//!
+//! * requests are processed **sequentially and atomically** — atomic
+//!   broadcast's total order is the notary's clock; and
+//! * request contents stay **confidential until scheduled** — a
+//!   corrupted server that saw a patent application in the clear could
+//!   front-run it with a related filing. The notary therefore runs over
+//!   **secure causal atomic broadcast** ([`sintra_rsm::causal_replicas`]);
+//!   experiment E7 demonstrates the front-running attack against the
+//!   plain-ABC deployment and its absence under SC-ABC.
+
+use crate::codec::{put, take_last};
+use sintra_rsm::state::StateMachine;
+use std::collections::BTreeMap;
+
+/// Notary request types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NotaryRequest {
+    /// Register a document (by content or content digest); the answer
+    /// certifies its registry number.
+    Register {
+        /// Document bytes (or digest).
+        document: Vec<u8>,
+        /// The registrant identity.
+        registrant: Vec<u8>,
+    },
+    /// Query a document's registration.
+    Query {
+        /// Document bytes as registered.
+        document: Vec<u8>,
+    },
+}
+
+impl NotaryRequest {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            NotaryRequest::Register {
+                document,
+                registrant,
+            } => {
+                out.push(b'R');
+                put(&mut out, document);
+                put(&mut out, registrant);
+            }
+            NotaryRequest::Query { document } => {
+                out.push(b'Q');
+                put(&mut out, document);
+            }
+        }
+        out
+    }
+
+    /// Parses a request; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<NotaryRequest> {
+        let (tag, mut rest) = bytes.split_first()?;
+        match tag {
+            b'R' => {
+                let document = crate::codec::take(&mut rest)?;
+                let registrant = take_last(&mut rest)?;
+                Some(NotaryRequest::Register {
+                    document,
+                    registrant,
+                })
+            }
+            b'Q' => Some(NotaryRequest::Query {
+                document: take_last(&mut rest)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A registration record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Registration {
+    /// The assigned registry number (the logical timestamp).
+    pub number: u64,
+    /// Who registered it first.
+    pub registrant: Vec<u8>,
+}
+
+/// The replicated notary state machine.
+#[derive(Clone, Debug, Default)]
+pub struct NotaryService {
+    next_number: u64,
+    registry: BTreeMap<Vec<u8>, Registration>,
+}
+
+impl NotaryService {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered documents.
+    pub fn registered(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Looks up a registration.
+    pub fn registration(&self, document: &[u8]) -> Option<&Registration> {
+        self.registry.get(document)
+    }
+}
+
+impl StateMachine for NotaryService {
+    fn apply(&mut self, request: &[u8]) -> Vec<u8> {
+        match NotaryRequest::decode(request) {
+            Some(NotaryRequest::Register {
+                document,
+                registrant,
+            }) => {
+                if let Some(existing) = self.registry.get(&document) {
+                    // First registrant wins — this is the property the
+                    // front-running attack targets.
+                    let mut out = b"TAKEN ".to_vec();
+                    out.extend_from_slice(&existing.number.to_be_bytes());
+                    put(&mut out, &existing.registrant);
+                    return out;
+                }
+                let number = self.next_number;
+                self.next_number += 1;
+                self.registry.insert(
+                    document,
+                    Registration {
+                        number,
+                        registrant: registrant.clone(),
+                    },
+                );
+                let mut out = b"REGISTERED ".to_vec();
+                out.extend_from_slice(&number.to_be_bytes());
+                put(&mut out, &registrant);
+                out
+            }
+            Some(NotaryRequest::Query { document }) => match self.registry.get(&document) {
+                Some(reg) => {
+                    let mut out = b"RECORD ".to_vec();
+                    out.extend_from_slice(&reg.number.to_be_bytes());
+                    put(&mut out, &reg.registrant);
+                    out
+                }
+                None => b"UNREGISTERED".to_vec(),
+            },
+            None => b"ERR malformed".to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_codec_roundtrip() {
+        for req in [
+            NotaryRequest::Register {
+                document: b"patent application".to_vec(),
+                registrant: b"alice".to_vec(),
+            },
+            NotaryRequest::Query {
+                document: b"doc".to_vec(),
+            },
+        ] {
+            assert_eq!(NotaryRequest::decode(&req.encode()), Some(req));
+        }
+        assert_eq!(NotaryRequest::decode(b"X"), None);
+    }
+
+    #[test]
+    fn first_registrant_wins() {
+        let mut notary = NotaryService::new();
+        let a = notary.apply(
+            &NotaryRequest::Register {
+                document: b"invention".to_vec(),
+                registrant: b"alice".to_vec(),
+            }
+            .encode(),
+        );
+        assert!(a.starts_with(b"REGISTERED "));
+        let b = notary.apply(
+            &NotaryRequest::Register {
+                document: b"invention".to_vec(),
+                registrant: b"mallory".to_vec(),
+            }
+            .encode(),
+        );
+        assert!(b.starts_with(b"TAKEN "));
+        assert_eq!(
+            notary.registration(b"invention").unwrap().registrant,
+            b"alice"
+        );
+    }
+
+    #[test]
+    fn numbers_are_sequential() {
+        let mut notary = NotaryService::new();
+        for i in 0..5u8 {
+            let out = notary.apply(
+                &NotaryRequest::Register {
+                    document: vec![i],
+                    registrant: b"r".to_vec(),
+                }
+                .encode(),
+            );
+            let number = u64::from_be_bytes(out[11..19].try_into().unwrap());
+            assert_eq!(number, i as u64);
+        }
+        assert_eq!(notary.registered(), 5);
+    }
+
+    #[test]
+    fn query_reports_registration() {
+        let mut notary = NotaryService::new();
+        assert_eq!(
+            notary.apply(&NotaryRequest::Query { document: b"d".to_vec() }.encode()),
+            b"UNREGISTERED"
+        );
+        notary.apply(
+            &NotaryRequest::Register {
+                document: b"d".to_vec(),
+                registrant: b"bob".to_vec(),
+            }
+            .encode(),
+        );
+        let out = notary.apply(&NotaryRequest::Query { document: b"d".to_vec() }.encode());
+        assert!(out.starts_with(b"RECORD "));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut notary = NotaryService::new();
+        assert_eq!(notary.apply(b"garbage"), b"ERR malformed");
+        assert_eq!(notary.registered(), 0);
+    }
+}

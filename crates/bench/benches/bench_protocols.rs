@@ -1,0 +1,91 @@
+//! Criterion timing benches for the protocol stack: end-to-end wall
+//! time of one broadcast/agreement/ordered batch under the
+//! deterministic simulator (benign random scheduling). These are the
+//! timing companions of the table binaries E1-E7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sintra::adversary::PartySet;
+use sintra::net::{RandomScheduler, Simulation};
+use sintra::protocols::abc::abc_nodes;
+use sintra::protocols::scabc::scabc_nodes;
+use sintra::setup::dealt_system;
+
+use bench::{run_abba_once, run_threshold_abc};
+
+fn bench_abba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abba");
+    group.sample_size(10);
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        group.bench_with_input(BenchmarkId::new("split-inputs", n), &(n, t), |b, &(n, t)| {
+            let inputs: Vec<bool> = (0..n).map(|p| p % 2 == 0).collect();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_abba_once(n, t, &inputs, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_abc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abc");
+    group.sample_size(10);
+    for (n, t) in [(4usize, 1usize), (7, 2)] {
+        group.bench_with_input(BenchmarkId::new("one-request", n), &(n, t), |b, &(n, t)| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_threshold_abc(n, t, &PartySet::EMPTY, &[0], seed, 200_000_000)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("four-request-batch", n),
+            &(n, t),
+            |b, &(n, t)| {
+                let senders: Vec<usize> = (0..4).map(|i| i % n).collect();
+                let mut seed = 1000u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_threshold_abc(n, t, &PartySet::EMPTY, &senders, seed, 200_000_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scabc_overhead(c: &mut Criterion) {
+    // E7's timing side: plain ABC vs secure causal ABC for one request.
+    let mut group = c.benchmark_group("scabc-vs-abc");
+    group.sample_size(10);
+    let (n, t) = (4usize, 1usize);
+    group.bench_function("plain-abc", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (public, bundles) = dealt_system(n, t, seed).unwrap();
+            let nodes = abc_nodes(public, bundles, seed);
+            let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+            sim.input(0, b"request".to_vec());
+            sim.run_until_quiet(200_000_000);
+            assert_eq!(sim.outputs(1).len(), 1);
+        })
+    });
+    group.bench_function("secure-causal-abc", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (public, bundles) = dealt_system(n, t, seed).unwrap();
+            let nodes = scabc_nodes(public, bundles, seed);
+            let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+            sim.input(0, (b"request".to_vec(), b"label".to_vec()));
+            sim.run_until_quiet(200_000_000);
+            assert_eq!(sim.outputs(1).len(), 1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_abba, bench_abc, bench_scabc_overhead);
+criterion_main!(benches);

@@ -1,0 +1,342 @@
+//! Threshold coin-tossing (Cachin-Kursawe-Shoup, Diffie-Hellman based).
+//!
+//! The randomized Byzantine agreement protocol of the architecture draws
+//! its unpredictable shared randomness from this scheme: for every coin
+//! *name* `C` (round tag), the value `F(C) = H'(ĝ^x)` — where
+//! `ĝ = hash-to-group(C)` and `x` is the dealer-shared master secret —
+//! is a random bit (or bit string) that
+//!
+//! * no corruptible coalition can predict before some honest party has
+//!   released its share (unpredictability, under CDH in the random
+//!   oracle model), and
+//! * any qualified set of verified shares reconstructs (robustness),
+//!   share validity being guaranteed by Chaum-Pedersen proofs against
+//!   the dealer-published verification keys.
+//!
+//! The scheme is generic over the linear secret sharing scheme, so it
+//! works unchanged for the paper's generalized `Q³` structures.
+
+use crate::dleq::DleqProof;
+use crate::field::Scalar;
+use crate::group::GroupElement;
+use crate::hash::Hasher;
+use crate::lsss::{LeafId, SharingScheme};
+use crate::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+use sintra_adversary::party::{PartyId, PartySet};
+use std::collections::BTreeMap;
+
+const DLEQ_DOMAIN: &str = "sintra/coin/share";
+
+/// Public parameters of the coin: the sharing scheme and per-leaf
+/// verification keys `g^{x_leaf}`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoinScheme {
+    scheme: SharingScheme,
+    verification: Vec<GroupElement>,
+}
+
+/// A party's secret key material: its share components of the master
+/// secret.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoinSecretKey {
+    party: PartyId,
+    components: Vec<(LeafId, Scalar)>,
+}
+
+/// A coin share released by one party for a specific coin name, with
+/// validity proofs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoinShare {
+    party: PartyId,
+    elements: Vec<(LeafId, GroupElement, DleqProof)>,
+}
+
+impl CoinShare {
+    /// The issuing party.
+    pub fn party(&self) -> PartyId {
+        self.party
+    }
+
+    /// Serialized size estimate in bytes (party id + per-component leaf
+    /// id, group element, and Chaum-Pedersen proof).
+    pub fn size_bytes(&self) -> usize {
+        4 + self.elements.len() * (8 + 32 + 64)
+    }
+}
+
+impl CoinSecretKey {
+    /// The owning party.
+    pub fn party(&self) -> PartyId {
+        self.party
+    }
+
+    /// Applies a proactive refresh vector (a sharing of zero), replacing
+    /// this epoch's components.
+    pub(crate) fn apply_refresh(&mut self, deltas: &[Scalar]) {
+        for (leaf, x) in &mut self.components {
+            *x = *x + deltas[*leaf];
+        }
+    }
+
+    /// Produces this party's share of the named coin.
+    pub fn share(&self, name: &[u8], rng: &mut SeededRng) -> CoinShare {
+        let g = GroupElement::generator();
+        let g_hat = coin_base(name);
+        let elements = self
+            .components
+            .iter()
+            .map(|(leaf, x)| {
+                let vk = g.exp(x);
+                let share = g_hat.exp(x);
+                let proof = DleqProof::prove(DLEQ_DOMAIN, &g, &vk, &g_hat, &share, x, rng);
+                (*leaf, share, proof)
+            })
+            .collect();
+        CoinShare {
+            party: self.party,
+            elements,
+        }
+    }
+}
+
+impl CoinScheme {
+    /// Assembles the scheme from dealer output (crate-internal; use
+    /// [`crate::dealer::Dealer`]).
+    pub(crate) fn from_parts(scheme: SharingScheme, verification: Vec<GroupElement>) -> Self {
+        CoinScheme {
+            scheme,
+            verification,
+        }
+    }
+
+    /// The underlying sharing scheme.
+    pub fn sharing_scheme(&self) -> &SharingScheme {
+        &self.scheme
+    }
+
+    /// Applies a proactive refresh vector to the verification keys
+    /// (`vk_leaf ← vk_leaf · g^{δ_leaf}`).
+    pub(crate) fn apply_refresh(&mut self, deltas: &[Scalar]) {
+        let g = GroupElement::generator();
+        for (leaf, vk) in self.verification.iter_mut().enumerate() {
+            *vk = vk.mul(&g.exp(&deltas[leaf]));
+        }
+    }
+
+    /// Verifies a coin share: party must own each component leaf and each
+    /// element must carry a valid equality proof against the
+    /// corresponding verification key.
+    pub fn verify_share(&self, name: &[u8], share: &CoinShare) -> bool {
+        let expected: Vec<LeafId> = self.scheme.leaves_of(share.party);
+        if expected.len() != share.elements.len() {
+            return false;
+        }
+        let g = GroupElement::generator();
+        let g_hat = coin_base(name);
+        for ((leaf, element, proof), expected_leaf) in share.elements.iter().zip(expected) {
+            if *leaf != expected_leaf {
+                return false;
+            }
+            let vk = &self.verification[*leaf];
+            if !proof.verify(DLEQ_DOMAIN, &g, vk, &g_hat, element) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Combines verified shares into the coin value.
+    ///
+    /// `shares` must all be for the same `name` and previously verified
+    /// with [`verify_share`](Self::verify_share); unverified shares are
+    /// re-checked here for defence in depth. Returns `None` if the share
+    /// holders do not form a qualified set.
+    pub fn combine(&self, name: &[u8], shares: &[CoinShare]) -> Option<CoinValue> {
+        let mut holders = PartySet::new();
+        let mut elements: BTreeMap<LeafId, GroupElement> = BTreeMap::new();
+        for share in shares {
+            if !self.verify_share(name, share) {
+                continue;
+            }
+            holders.insert(share.party);
+            for (leaf, element, _) in &share.elements {
+                elements.insert(*leaf, *element);
+            }
+        }
+        let value = self.scheme.reconstruct_in_exponent(&holders, &elements)?;
+        Some(CoinValue::from_element(name, &value))
+    }
+}
+
+/// The reconstructed coin value, exposing bit and integer views.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoinValue {
+    digest: [u8; 32],
+}
+
+impl CoinValue {
+    fn from_element(name: &[u8], element: &GroupElement) -> Self {
+        let digest = Hasher::new("sintra/coin/value")
+            .field(name)
+            .field(&element.to_bytes())
+            .finish();
+        CoinValue { digest }
+    }
+
+    /// The coin as a single bit (what binary agreement consumes).
+    pub fn bit(&self) -> bool {
+        self.digest[0] & 1 == 1
+    }
+
+    /// The coin as a 64-bit integer (for leader/permutation selection in
+    /// multi-valued agreement).
+    pub fn u64(&self) -> u64 {
+        u64::from_be_bytes(self.digest[..8].try_into().expect("digest has 32 bytes"))
+    }
+
+    /// The full 32-byte value.
+    pub fn bytes(&self) -> &[u8; 32] {
+        &self.digest
+    }
+}
+
+/// Derives the per-coin base element `ĝ` from the coin name.
+fn coin_base(name: &[u8]) -> GroupElement {
+    GroupElement::hash_to_group("sintra/coin/base", name)
+}
+
+/// Dealer-side generation of a coin scheme (used by [`crate::dealer`]).
+pub(crate) fn deal_coin(
+    scheme: &SharingScheme,
+    rng: &mut SeededRng,
+) -> (CoinScheme, Vec<CoinSecretKey>) {
+    let secret = rng.next_nonzero_scalar();
+    let values = scheme.share(secret, rng);
+    let g = GroupElement::generator();
+    let verification: Vec<GroupElement> = values.iter().map(|v| g.exp(v)).collect();
+    let keys = (0..scheme.n())
+        .map(|party| CoinSecretKey {
+            party,
+            components: scheme
+                .leaves_of(party)
+                .into_iter()
+                .map(|leaf| (leaf, values[leaf]))
+                .collect(),
+        })
+        .collect();
+    (
+        CoinScheme::from_parts(scheme.clone(), verification),
+        keys,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintra_adversary::attributes::example1;
+    use sintra_adversary::structure::TrustStructure;
+
+    fn threshold_setup(n: usize, t: usize, seed: u64) -> (CoinScheme, Vec<CoinSecretKey>, SeededRng) {
+        let ts = TrustStructure::threshold(n, t).unwrap();
+        let scheme = SharingScheme::new(ts.sharing_formula());
+        let mut rng = SeededRng::new(seed);
+        let (coin, keys) = deal_coin(&scheme, &mut rng);
+        (coin, keys, rng)
+    }
+
+    #[test]
+    fn shares_verify_and_combine() {
+        let (coin, keys, mut rng) = threshold_setup(4, 1, 1);
+        let shares: Vec<CoinShare> = keys.iter().map(|k| k.share(b"round-0", &mut rng)).collect();
+        for s in &shares {
+            assert!(coin.verify_share(b"round-0", s));
+        }
+        let value = coin.combine(b"round-0", &shares[..2]).expect("2 = t+1 shares suffice");
+        // All parties derive the same value from any qualified subset.
+        let value2 = coin.combine(b"round-0", &shares[2..]).unwrap();
+        assert_eq!(value, value2);
+    }
+
+    #[test]
+    fn insufficient_shares_fail() {
+        let (coin, keys, mut rng) = threshold_setup(4, 1, 2);
+        let share = keys[0].share(b"c", &mut rng);
+        assert!(coin.combine(b"c", &[share]).is_none());
+        assert!(coin.combine(b"c", &[]).is_none());
+    }
+
+    #[test]
+    fn share_for_wrong_name_rejected() {
+        let (coin, keys, mut rng) = threshold_setup(4, 1, 3);
+        let share = keys[0].share(b"name-a", &mut rng);
+        assert!(coin.verify_share(b"name-a", &share));
+        assert!(!coin.verify_share(b"name-b", &share));
+    }
+
+    #[test]
+    fn forged_share_rejected_and_ignored_in_combine() {
+        let (coin, keys, mut rng) = threshold_setup(4, 1, 4);
+        let mut forged = keys[0].share(b"c", &mut rng);
+        // Corrupt the group element.
+        forged.elements[0].1 = GroupElement::generator();
+        assert!(!coin.verify_share(b"c", &forged));
+        // Combine skips the bad share: with only one other good share the
+        // holders are not qualified.
+        let good = keys[1].share(b"c", &mut rng);
+        assert!(coin.combine(b"c", &[forged.clone(), good.clone()]).is_none());
+        // Adding a second good share reaches the t+1 quorum.
+        let good2 = keys[2].share(b"c", &mut rng);
+        assert!(coin.combine(b"c", &[forged, good, good2]).is_some());
+    }
+
+    #[test]
+    fn different_names_give_independent_coins() {
+        let (coin, keys, mut rng) = threshold_setup(4, 1, 5);
+        let mut values = Vec::new();
+        for round in 0u64..16 {
+            let name = format!("round-{round}");
+            let shares: Vec<CoinShare> = keys[..2]
+                .iter()
+                .map(|k| k.share(name.as_bytes(), &mut rng))
+                .collect();
+            values.push(coin.combine(name.as_bytes(), &shares).unwrap());
+        }
+        // Not all coins equal (overwhelming probability) and bits vary.
+        let bits: Vec<bool> = values.iter().map(|v| v.bit()).collect();
+        assert!(bits.iter().any(|b| *b) && bits.iter().any(|b| !*b),
+            "16 coins should contain both bit values");
+    }
+
+    #[test]
+    fn generalized_structure_coin() {
+        let ts = example1().unwrap();
+        let scheme = SharingScheme::new(ts.sharing_formula());
+        let mut rng = SeededRng::new(6);
+        let (coin, keys) = deal_coin(&scheme, &mut rng);
+        // Qualified: parties {0, 4, 6} (3 servers, 3 classes).
+        let shares: Vec<CoinShare> = [0usize, 4, 6]
+            .iter()
+            .map(|p| keys[*p].share(b"c", &mut rng))
+            .collect();
+        let v1 = coin.combine(b"c", &shares).expect("qualified set combines");
+        // Unqualified: all of class a.
+        let class_a: Vec<CoinShare> = (0..4).map(|p| keys[p].share(b"c", &mut rng)).collect();
+        assert!(coin.combine(b"c", &class_a).is_none());
+        // A different qualified set agrees on the value.
+        let shares2: Vec<CoinShare> = [1usize, 5, 7, 8]
+            .iter()
+            .map(|p| keys[*p].share(b"c", &mut rng))
+            .collect();
+        assert_eq!(coin.combine(b"c", &shares2), Some(v1));
+    }
+
+    #[test]
+    fn coin_value_views() {
+        let (coin, keys, mut rng) = threshold_setup(4, 1, 7);
+        let shares: Vec<CoinShare> = keys[..2].iter().map(|k| k.share(b"v", &mut rng)).collect();
+        let v = coin.combine(b"v", &shares).unwrap();
+        assert_eq!(v.bit(), v.bytes()[0] & 1 == 1);
+        let _ = v.u64();
+    }
+}

@@ -1,0 +1,185 @@
+//! Chaum-Pedersen proofs of discrete-logarithm equality (NIZK).
+//!
+//! The robustness of every threshold scheme in the architecture rests on
+//! share validity proofs: a party submitting a coin share `ĝ^x_i` or a
+//! decryption share `u^x_i` must prove that the same exponent `x_i`
+//! behind its public verification key `g^x_i` was used, without
+//! revealing `x_i`. The Chaum-Pedersen protocol made non-interactive via
+//! Fiat-Shamir (in the random-oracle model, which the paper explicitly
+//! accepts for all its schemes) does exactly this.
+
+use crate::field::Scalar;
+use crate::group::GroupElement;
+use crate::hash::Hasher;
+use serde::{Deserialize, Serialize};
+
+/// A non-interactive proof that `log_g(a) = log_h(b)`.
+///
+/// # Examples
+///
+/// ```
+/// use sintra_crypto::dleq::DleqProof;
+/// use sintra_crypto::group::GroupElement;
+/// use sintra_crypto::rng::SeededRng;
+///
+/// let mut rng = SeededRng::new(1);
+/// let x = rng.next_scalar();
+/// let g = GroupElement::generator();
+/// let h = GroupElement::hash_to_group("base", b"h");
+/// let (a, b) = (g.exp(&x), h.exp(&x));
+/// let proof = DleqProof::prove("demo", &g, &a, &h, &b, &x, &mut rng);
+/// assert!(proof.verify("demo", &g, &a, &h, &b));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DleqProof {
+    challenge: Scalar,
+    response: Scalar,
+}
+
+impl DleqProof {
+    /// Produces a proof that `a = g^x` and `b = h^x` for the same `x`.
+    ///
+    /// The `domain` string binds the proof to its protocol context so a
+    /// proof generated for one purpose cannot be replayed in another.
+    pub fn prove(
+        domain: &str,
+        g: &GroupElement,
+        a: &GroupElement,
+        h: &GroupElement,
+        b: &GroupElement,
+        x: &Scalar,
+        rng: &mut crate::rng::SeededRng,
+    ) -> DleqProof {
+        let w = rng.next_nonzero_scalar();
+        let commit_g = g.exp(&w);
+        let commit_h = h.exp(&w);
+        let challenge = Self::challenge(domain, g, a, h, b, &commit_g, &commit_h);
+        let response = w + challenge * *x;
+        DleqProof {
+            challenge,
+            response,
+        }
+    }
+
+    /// Verifies the proof against the four public elements.
+    pub fn verify(
+        &self,
+        domain: &str,
+        g: &GroupElement,
+        a: &GroupElement,
+        h: &GroupElement,
+        b: &GroupElement,
+    ) -> bool {
+        // Recompute the commitments: g^z · a^{-c} and h^z · b^{-c}.
+        let neg_c = -self.challenge;
+        let commit_g = g.exp2(&self.response, a, &neg_c);
+        let commit_h = h.exp2(&self.response, b, &neg_c);
+        let expected = Self::challenge(domain, g, a, h, b, &commit_g, &commit_h);
+        expected == self.challenge
+    }
+
+    fn challenge(
+        domain: &str,
+        g: &GroupElement,
+        a: &GroupElement,
+        h: &GroupElement,
+        b: &GroupElement,
+        commit_g: &GroupElement,
+        commit_h: &GroupElement,
+    ) -> Scalar {
+        Hasher::new("sintra/dleq")
+            .field(domain.as_bytes())
+            .field(&g.to_bytes())
+            .field(&a.to_bytes())
+            .field(&h.to_bytes())
+            .field(&b.to_bytes())
+            .field(&commit_g.to_bytes())
+            .field(&commit_h.to_bytes())
+            .finish_scalar()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn setup() -> (GroupElement, GroupElement, Scalar, SeededRng) {
+        let mut rng = SeededRng::new(7);
+        let g = GroupElement::generator();
+        let h = GroupElement::hash_to_group("test", b"h");
+        let x = rng.next_scalar();
+        (g, h, x, rng)
+    }
+
+    #[test]
+    fn valid_proof_verifies() {
+        let (g, h, x, mut rng) = setup();
+        let (a, b) = (g.exp(&x), h.exp(&x));
+        let proof = DleqProof::prove("d", &g, &a, &h, &b, &x, &mut rng);
+        assert!(proof.verify("d", &g, &a, &h, &b));
+    }
+
+    #[test]
+    fn unequal_logs_rejected() {
+        let (g, h, x, mut rng) = setup();
+        let y = rng.next_scalar();
+        let (a, b) = (g.exp(&x), h.exp(&y)); // different exponents
+        let proof = DleqProof::prove("d", &g, &a, &h, &b, &x, &mut rng);
+        assert!(!proof.verify("d", &g, &a, &h, &b));
+    }
+
+    #[test]
+    fn wrong_domain_rejected() {
+        let (g, h, x, mut rng) = setup();
+        let (a, b) = (g.exp(&x), h.exp(&x));
+        let proof = DleqProof::prove("d1", &g, &a, &h, &b, &x, &mut rng);
+        assert!(!proof.verify("d2", &g, &a, &h, &b));
+    }
+
+    #[test]
+    fn swapped_statement_rejected() {
+        let (g, h, x, mut rng) = setup();
+        let (a, b) = (g.exp(&x), h.exp(&x));
+        let proof = DleqProof::prove("d", &g, &a, &h, &b, &x, &mut rng);
+        assert!(!proof.verify("d", &g, &b, &h, &a));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let (g, h, x, mut rng) = setup();
+        let (a, b) = (g.exp(&x), h.exp(&x));
+        let proof = DleqProof::prove("d", &g, &a, &h, &b, &x, &mut rng);
+        let tampered = DleqProof {
+            challenge: proof.challenge + Scalar::ONE,
+            response: proof.response,
+        };
+        assert!(!tampered.verify("d", &g, &a, &h, &b));
+        let tampered = DleqProof {
+            challenge: proof.challenge,
+            response: proof.response + Scalar::ONE,
+        };
+        assert!(!tampered.verify("d", &g, &a, &h, &b));
+    }
+
+    #[test]
+    fn proofs_are_randomized() {
+        let (g, h, x, mut rng) = setup();
+        let (a, b) = (g.exp(&x), h.exp(&x));
+        let p1 = DleqProof::prove("d", &g, &a, &h, &b, &x, &mut rng);
+        let p2 = DleqProof::prove("d", &g, &a, &h, &b, &x, &mut rng);
+        assert_ne!(p1, p2, "fresh nonce each time");
+        assert!(p1.verify("d", &g, &a, &h, &b));
+        assert!(p2.verify("d", &g, &a, &h, &b));
+    }
+
+    #[test]
+    fn zero_exponent_statement() {
+        // x = 0 gives identity elements; the proof must still round-trip.
+        let (g, h, _, mut rng) = setup();
+        let x = Scalar::ZERO;
+        let (a, b) = (g.exp(&x), h.exp(&x));
+        let proof = DleqProof::prove("d", &g, &a, &h, &b, &x, &mut rng);
+        assert!(proof.verify("d", &g, &a, &h, &b));
+    }
+}

@@ -1,0 +1,364 @@
+//! SHA-256 and hash-derived utilities.
+//!
+//! The dependency policy of this repository forbids external hash crates,
+//! so SHA-256 (FIPS 180-4) is implemented here from scratch and verified
+//! against the standard test vectors. On top of the raw compression
+//! function the module provides the domain-separated helpers the protocol
+//! stack uses everywhere:
+//!
+//! * [`Hasher`] — incremental hashing with length-prefixed field framing,
+//! * [`hash_to_scalar`] — the Fiat-Shamir challenge derivation,
+//! * [`expand`] — a counter-mode XOF used as the DEM in threshold
+//!   encryption.
+
+use crate::field::Scalar;
+use crate::u256::U256;
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 computation.
+///
+/// # Examples
+///
+/// ```
+/// use sintra_crypto::hash::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(
+///     digest[..4],
+///     [0xba, 0x78, 0x16, 0xbf],
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finishes the computation and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update(&[0]);
+        }
+        // Manually absorb the length so total_len tracking is irrelevant.
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience digest.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A domain-separated hasher with unambiguous (length-prefixed) framing.
+///
+/// Protocol code must never concatenate fields into a hash without
+/// framing; this wrapper makes the safe pattern the easy one.
+///
+/// # Examples
+///
+/// ```
+/// use sintra_crypto::hash::Hasher;
+///
+/// let a = Hasher::new("sintra/example").field(b"ab").field(b"c").finish();
+/// let b = Hasher::new("sintra/example").field(b"a").field(b"bc").finish();
+/// assert_ne!(a, b, "framing distinguishes field boundaries");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hasher {
+    inner: Sha256,
+}
+
+impl Hasher {
+    /// Creates a hasher bound to `domain`.
+    pub fn new(domain: &str) -> Self {
+        let mut inner = Sha256::new();
+        inner.update(&(domain.len() as u64).to_be_bytes());
+        inner.update(domain.as_bytes());
+        Hasher { inner }
+    }
+
+    /// Appends one length-prefixed field.
+    pub fn field(mut self, data: &[u8]) -> Self {
+        self.inner.update(&(data.len() as u64).to_be_bytes());
+        self.inner.update(data);
+        self
+    }
+
+    /// Appends a `u64` field.
+    pub fn field_u64(self, v: u64) -> Self {
+        self.field(&v.to_be_bytes())
+    }
+
+    /// Returns the 32-byte digest.
+    pub fn finish(self) -> [u8; 32] {
+        self.inner.finalize()
+    }
+
+    /// Returns the digest reduced into the scalar field (Fiat-Shamir
+    /// challenge derivation).
+    pub fn finish_scalar(self) -> Scalar {
+        Scalar::from_u256(&U256::from_be_bytes(&self.finish()))
+    }
+}
+
+/// Derives a Fiat-Shamir challenge scalar from a domain tag and fields.
+///
+/// # Examples
+///
+/// ```
+/// use sintra_crypto::hash::hash_to_scalar;
+///
+/// let c = hash_to_scalar("sintra/test", &[b"hello", b"world"]);
+/// assert_ne!(c, hash_to_scalar("sintra/test2", &[b"hello", b"world"]));
+/// ```
+pub fn hash_to_scalar(domain: &str, fields: &[&[u8]]) -> Scalar {
+    let mut h = Hasher::new(domain);
+    for f in fields {
+        h = h.field(f);
+    }
+    h.finish_scalar()
+}
+
+/// Counter-mode expansion of a seed digest into `len` pseudorandom bytes
+/// (an ad-hoc XOF; the DEM keystream of the threshold cryptosystem).
+pub fn expand(domain: &str, seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 0u64;
+    while out.len() < len {
+        let block = Hasher::new(domain)
+            .field(seed)
+            .field_u64(counter)
+            .finish();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// XORs `keystream`-expanded bytes into `data` (encrypt == decrypt).
+pub fn xor_keystream(domain: &str, seed: &[u8], data: &[u8]) -> Vec<u8> {
+    let ks = expand(domain, seed, data.len());
+    data.iter().zip(ks.iter()).map(|(d, k)| d ^ k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{:02x}", b)).collect()
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn hasher_domain_separation() {
+        let a = Hasher::new("d1").field(b"x").finish();
+        let b = Hasher::new("d2").field(b"x").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hasher_framing_is_unambiguous() {
+        let a = Hasher::new("d").field(b"ab").field(b"").finish();
+        let b = Hasher::new("d").field(b"a").field(b"b").finish();
+        let c = Hasher::new("d").field(b"ab").finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn expand_lengths() {
+        assert_eq!(expand("d", b"seed", 0).len(), 0);
+        assert_eq!(expand("d", b"seed", 31).len(), 31);
+        assert_eq!(expand("d", b"seed", 32).len(), 32);
+        assert_eq!(expand("d", b"seed", 100).len(), 100);
+        // Prefix property: longer expansion extends the shorter one.
+        let short = expand("d", b"seed", 40);
+        let long = expand("d", b"seed", 80);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    fn xor_keystream_roundtrip() {
+        let msg = b"attack at dawn";
+        let ct = xor_keystream("dem", b"key", msg);
+        assert_ne!(&ct[..], &msg[..]);
+        let pt = xor_keystream("dem", b"key", &ct);
+        assert_eq!(&pt[..], &msg[..]);
+    }
+
+    #[test]
+    fn scalar_challenges_differ_by_field() {
+        let a = hash_to_scalar("fs", &[b"1"]);
+        let b = hash_to_scalar("fs", &[b"2"]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic randomness for simulation and key generation.
+//!
+//! Reproducibility is a first-class requirement: every test, simulation
+//! run, and benchmark must be replayable from a seed. [`SeededRng`] is a
+//! from-scratch xoshiro256** generator (public-domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, and implements
+//! [`rand::RngCore`] so it composes with the `rand` ecosystem.
+//!
+//! This is *not* a cryptographically secure RNG; within this repository it
+//! stands in for the secure randomness source the paper's trusted dealer
+//! is assumed to have.
+
+use crate::field::Scalar;
+use crate::u256::U256;
+use rand::RngCore;
+
+/// A seeded, deterministic xoshiro256** pseudorandom generator.
+///
+/// # Examples
+///
+/// ```
+/// use sintra_crypto::rng::SeededRng;
+///
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeededRng {
+    state: [u64; 4],
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        SeededRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a uniformly random scalar in `Z_q`.
+    pub fn next_scalar(&mut self) -> Scalar {
+        // 256 random bits reduced mod q; the bias is ~2^-255 (q has 255
+        // bits), negligible even for real cryptography.
+        let limbs = [
+            self.next_u64(),
+            self.next_u64(),
+            self.next_u64(),
+            self.next_u64(),
+        ];
+        Scalar::from_u256(&U256::from_limbs(limbs))
+    }
+
+    /// Returns a uniformly random *nonzero* scalar.
+    pub fn next_nonzero_scalar(&mut self) -> Scalar {
+        loop {
+            let s = self.next_scalar();
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Derives an independent child generator (for handing sub-components
+    /// their own streams without correlated output).
+    pub fn fork(&mut self, label: u64) -> SeededRng {
+        let mix = self.next_u64() ^ label.wrapping_mul(0x2545f4914f6cdd1d);
+        SeededRng::new(mix)
+    }
+}
+
+impl RngCore for SeededRng {
+    fn next_u32(&mut self) -> u32 {
+        (SeededRng::next_u64(self) >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        SeededRng::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.fill(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SeededRng::new(3);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut rng = SeededRng::new(4);
+        let seen: HashSet<u64> = (0..1000).map(|_| rng.next_below(10)).collect();
+        assert_eq!(seen.len(), 10, "all residues should appear in 1000 draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SeededRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn scalars_are_distinct() {
+        let mut rng = SeededRng::new(5);
+        let a = rng.next_scalar();
+        let b = rng.next_scalar();
+        assert_ne!(a, b);
+        assert!(!rng.next_nonzero_scalar().is_zero());
+    }
+
+    #[test]
+    fn fill_partial_chunks() {
+        let mut rng = SeededRng::new(6);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SeededRng::new(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn rngcore_integration() {
+        use rand::Rng;
+        let mut rng = SeededRng::new(8);
+        let v: u32 = rng.gen_range(0..100);
+        assert!(v < 100);
+    }
+}

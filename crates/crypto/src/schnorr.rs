@@ -1,0 +1,187 @@
+//! Plain Schnorr signatures for per-server message authentication.
+//!
+//! The paper's model assumes authenticated point-to-point links,
+//! bootstrapped from the trusted dealer / an external PKI. The dealer in
+//! this implementation provisions every server (and client) with a
+//! Schnorr key pair; protocol messages that must be attributable — the
+//! signed proposals inside atomic broadcast, client requests, service
+//! replies — carry these signatures. They are also the building block of
+//! the aggregate threshold-signature scheme in [`crate::tsig`].
+
+use crate::field::Scalar;
+use crate::group::GroupElement;
+use crate::hash::Hasher;
+use crate::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// A Schnorr signing key (secret scalar plus cached public key).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SigningKey {
+    secret: Scalar,
+    public: PublicKey,
+}
+
+/// A Schnorr public verification key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(GroupElement);
+
+/// A Schnorr signature in challenge/response form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    challenge: Scalar,
+    response: Scalar,
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sintra_crypto::schnorr::SigningKey;
+    /// use sintra_crypto::rng::SeededRng;
+    ///
+    /// let mut rng = SeededRng::new(1);
+    /// let key = SigningKey::generate(&mut rng);
+    /// let sig = key.sign(b"msg", &mut rng);
+    /// assert!(key.public_key().verify(b"msg", &sig));
+    /// ```
+    pub fn generate(rng: &mut SeededRng) -> Self {
+        let secret = rng.next_nonzero_scalar();
+        let public = PublicKey(GroupElement::generator().exp(&secret));
+        SigningKey { secret, public }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs a message.
+    pub fn sign(&self, message: &[u8], rng: &mut SeededRng) -> Signature {
+        let w = rng.next_nonzero_scalar();
+        let commitment = GroupElement::generator().exp(&w);
+        let challenge = challenge(&self.public, &commitment, message);
+        Signature {
+            challenge,
+            response: w + challenge * self.secret,
+        }
+    }
+}
+
+impl PublicKey {
+    /// Verifies a signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        // Recompute the commitment g^z · pk^{-c} and the challenge.
+        let neg_c = -sig.challenge;
+        let commitment = GroupElement::generator().exp2(&sig.response, &self.0, &neg_c);
+        challenge(self, &commitment, message) == sig.challenge
+    }
+
+    /// Serializes to 32 bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes()
+    }
+
+    /// Parses and validates 32 bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the bytes are not a valid group element.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        GroupElement::from_bytes(bytes).map(PublicKey)
+    }
+}
+
+impl Signature {
+    /// Serializes as 64 bytes (challenge ‖ response, big-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.challenge.to_be_bytes());
+        out[32..].copy_from_slice(&self.response.to_be_bytes());
+        out
+    }
+
+    /// Parses 64 bytes produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let mut c = [0u8; 32];
+        let mut z = [0u8; 32];
+        c.copy_from_slice(&bytes[..32]);
+        z.copy_from_slice(&bytes[32..]);
+        Signature {
+            challenge: Scalar::from_be_bytes(&c),
+            response: Scalar::from_be_bytes(&z),
+        }
+    }
+}
+
+fn challenge(pk: &PublicKey, commitment: &GroupElement, message: &[u8]) -> Scalar {
+    Hasher::new("sintra/schnorr")
+        .field(&pk.to_bytes())
+        .field(&commitment.to_bytes())
+        .field(message)
+        .finish_scalar()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = SeededRng::new(1);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"hello", &mut rng);
+        assert!(key.public_key().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = SeededRng::new(2);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"hello", &mut rng);
+        assert!(!key.public_key().verify(b"world", &sig));
+        assert!(!key.public_key().verify(b"", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = SeededRng::new(3);
+        let key1 = SigningKey::generate(&mut rng);
+        let key2 = SigningKey::generate(&mut rng);
+        let sig = key1.sign(b"hello", &mut rng);
+        assert!(!key2.public_key().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = SeededRng::new(4);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"hello", &mut rng);
+        let bad = Signature {
+            challenge: sig.challenge,
+            response: sig.response + Scalar::ONE,
+        };
+        assert!(!key.public_key().verify(b"hello", &bad));
+    }
+
+    #[test]
+    fn public_key_byte_roundtrip() {
+        let mut rng = SeededRng::new(5);
+        let key = SigningKey::generate(&mut rng);
+        let pk = key.public_key();
+        assert_eq!(PublicKey::from_bytes(&pk.to_bytes()), Some(pk));
+        assert_eq!(PublicKey::from_bytes(&[0xff; 32]), None);
+    }
+
+    #[test]
+    fn signatures_are_randomized_but_both_valid() {
+        let mut rng = SeededRng::new(6);
+        let key = SigningKey::generate(&mut rng);
+        let s1 = key.sign(b"m", &mut rng);
+        let s2 = key.sign(b"m", &mut rng);
+        assert_ne!(s1, s2);
+        assert!(key.public_key().verify(b"m", &s1));
+        assert!(key.public_key().verify(b"m", &s2));
+    }
+}

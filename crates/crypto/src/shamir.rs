@@ -1,0 +1,205 @@
+//! Shamir polynomial secret sharing over the scalar field.
+//!
+//! The primitive underneath both classical `t`-out-of-`n` sharing and the
+//! threshold gates of the Benaloh-Leichter construction ([`crate::lsss`]):
+//! a secret `s` is embedded as `f(0)` of a random degree-`k-1` polynomial
+//! and point `j` receives `f(j)`. Any `k` points reconstruct `s` by
+//! Lagrange interpolation; because interpolation is linear it also works
+//! "in the exponent" on group elements, which is what the threshold coin,
+//! signature, and encryption schemes rely on.
+
+use crate::field::Scalar;
+use crate::group::GroupElement;
+use crate::rng::SeededRng;
+
+/// A random polynomial of fixed degree with a chosen constant term.
+#[derive(Clone, Debug)]
+pub struct Polynomial {
+    /// Coefficients `c_0 .. c_d`, lowest degree first; `c_0` is the secret.
+    coeffs: Vec<Scalar>,
+}
+
+impl Polynomial {
+    /// Samples a random polynomial of degree `degree` with `f(0) = secret`.
+    pub fn random(secret: Scalar, degree: usize, rng: &mut SeededRng) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(secret);
+        for _ in 0..degree {
+            coeffs.push(rng.next_scalar());
+        }
+        Polynomial { coeffs }
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn eval(&self, x: &Scalar) -> Scalar {
+        let mut acc = Scalar::ZERO;
+        for c in self.coeffs.iter().rev() {
+            acc = acc * *x + *c;
+        }
+        acc
+    }
+
+    /// Evaluates at the integer point `x` (convenience for share indices).
+    pub fn eval_at(&self, x: u64) -> Scalar {
+        self.eval(&Scalar::from_u64(x))
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The embedded secret `f(0)`.
+    pub fn secret(&self) -> Scalar {
+        self.coeffs[0]
+    }
+}
+
+/// Computes the Lagrange coefficients `λ_j` for interpolating `f(0)` from
+/// the distinct evaluation points `points` (given as nonzero integers), so
+/// that `f(0) = Σ λ_j · f(points[j])`.
+///
+/// # Panics
+///
+/// Panics if any point is zero or if points repeat (both indicate caller
+/// bugs, not runtime conditions).
+pub fn lagrange_at_zero(points: &[u64]) -> Vec<Scalar> {
+    for (i, p) in points.iter().enumerate() {
+        assert!(*p != 0, "interpolation point must be nonzero");
+        assert!(
+            !points[..i].contains(p),
+            "interpolation points must be distinct"
+        );
+    }
+    points
+        .iter()
+        .map(|&j| {
+            let xj = Scalar::from_u64(j);
+            let mut num = Scalar::ONE;
+            let mut den = Scalar::ONE;
+            for &m in points {
+                if m == j {
+                    continue;
+                }
+                let xm = Scalar::from_u64(m);
+                num = num * xm;
+                den = den * (xm - xj);
+            }
+            num * den.invert().expect("distinct points give nonzero denominator")
+        })
+        .collect()
+}
+
+/// Reconstructs the secret from `k` shares `(point, value)`.
+pub fn reconstruct(shares: &[(u64, Scalar)]) -> Scalar {
+    let points: Vec<u64> = shares.iter().map(|(p, _)| *p).collect();
+    let coeffs = lagrange_at_zero(&points);
+    shares
+        .iter()
+        .zip(coeffs.iter())
+        .map(|((_, v), c)| *v * *c)
+        .sum()
+}
+
+/// Reconstructs `g^{f(0)}` from exponentiated shares `(point, g^{f(point)})`
+/// — "interpolation in the exponent".
+pub fn reconstruct_in_exponent(shares: &[(u64, GroupElement)]) -> GroupElement {
+    let points: Vec<u64> = shares.iter().map(|(p, _)| *p).collect();
+    let coeffs = lagrange_at_zero(&points);
+    shares
+        .iter()
+        .zip(coeffs.iter())
+        .fold(GroupElement::identity(), |acc, ((_, v), c)| {
+            acc.mul(&v.exp(c))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_polynomial() {
+        let mut rng = SeededRng::new(1);
+        let p = Polynomial::random(Scalar::from_u64(42), 0, &mut rng);
+        assert_eq!(p.eval_at(1), Scalar::from_u64(42));
+        assert_eq!(p.eval_at(999), Scalar::from_u64(42));
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn eval_known_polynomial() {
+        // f(x) = 3 + 2x + x^2
+        let p = Polynomial {
+            coeffs: vec![
+                Scalar::from_u64(3),
+                Scalar::from_u64(2),
+                Scalar::from_u64(1),
+            ],
+        };
+        assert_eq!(p.eval_at(0), Scalar::from_u64(3));
+        assert_eq!(p.eval_at(1), Scalar::from_u64(6));
+        assert_eq!(p.eval_at(2), Scalar::from_u64(11));
+        assert_eq!(p.eval_at(10), Scalar::from_u64(123));
+    }
+
+    #[test]
+    fn reconstruct_from_exactly_k_shares() {
+        let mut rng = SeededRng::new(2);
+        let secret = rng.next_scalar();
+        let poly = Polynomial::random(secret, 2, &mut rng); // k = 3
+        let shares: Vec<(u64, Scalar)> = (1..=3).map(|i| (i, poly.eval_at(i))).collect();
+        assert_eq!(reconstruct(&shares), secret);
+    }
+
+    #[test]
+    fn reconstruct_from_any_subset() {
+        let mut rng = SeededRng::new(3);
+        let secret = rng.next_scalar();
+        let poly = Polynomial::random(secret, 2, &mut rng);
+        // Any 3 of 7 shares work, including non-contiguous points.
+        let shares: Vec<(u64, Scalar)> = [2u64, 5, 7].iter().map(|&i| (i, poly.eval_at(i))).collect();
+        assert_eq!(reconstruct(&shares), secret);
+    }
+
+    #[test]
+    fn fewer_shares_give_wrong_secret() {
+        let mut rng = SeededRng::new(4);
+        let secret = rng.next_scalar();
+        let poly = Polynomial::random(secret, 2, &mut rng);
+        let shares: Vec<(u64, Scalar)> = (1..=2).map(|i| (i, poly.eval_at(i))).collect();
+        // Interpolating a degree-2 polynomial from 2 points yields garbage.
+        assert_ne!(reconstruct(&shares), secret);
+    }
+
+    #[test]
+    fn exponent_reconstruction_matches() {
+        let mut rng = SeededRng::new(5);
+        let secret = rng.next_scalar();
+        let poly = Polynomial::random(secret, 3, &mut rng);
+        let g = GroupElement::generator();
+        let shares: Vec<(u64, GroupElement)> =
+            [1u64, 3, 4, 9].iter().map(|&i| (i, g.exp(&poly.eval_at(i)))).collect();
+        assert_eq!(reconstruct_in_exponent(&shares), g.exp(&secret));
+    }
+
+    #[test]
+    fn lagrange_weights_sum_correctly_for_constant() {
+        // For the constant polynomial f == 1, Σ λ_j · 1 must equal 1.
+        let coeffs = lagrange_at_zero(&[1, 2, 3, 4, 5]);
+        let sum: Scalar = coeffs.into_iter().sum();
+        assert_eq!(sum, Scalar::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_points_panic() {
+        lagrange_at_zero(&[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_point_panics() {
+        lagrange_at_zero(&[0, 1]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Known-answer tests for the fixed-width modular arithmetic,
+//! cross-checked against an independent big-integer implementation
+//! (CPython). These pin the Montgomery code to external ground truth —
+//! the property tests check *laws*, these check *values*.
+
+use sintra_crypto::field::{Fp, Scalar};
+use sintra_crypto::group::GroupElement;
+use sintra_crypto::u256::U256;
+
+const A_HEX: &str = "123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef";
+const B_HEX: &str = "0fedcba987654321123456789abcdef0a5a5a5a55a5a5a5a1122334455667788";
+
+fn fp(hex: &str) -> Fp {
+    Fp::from_u256(&U256::from_hex(hex).expect("valid hex"))
+}
+
+fn scalar(hex: &str) -> Scalar {
+    Scalar::from_u256(&U256::from_hex(hex).expect("valid hex"))
+}
+
+#[test]
+fn fp_multiplication_matches_python() {
+    assert_eq!(
+        fp(A_HEX) * fp(B_HEX),
+        fp("73e80de5852c4ccb6096606c5e271f51869990448af0d7e9820cd0c6c4edbbfd")
+    );
+}
+
+#[test]
+fn fp_addition_matches_python() {
+    assert_eq!(
+        fp(A_HEX) + fp(B_HEX),
+        fp("222222222222221211111111111111018453649525591518124578abdf124577")
+    );
+}
+
+#[test]
+fn fp_inversion_matches_python() {
+    assert_eq!(
+        fp(A_HEX).invert().unwrap(),
+        fp("6a6cfb434b96835f986ee5385cb86d32122593a43cf0bc68557b1bbde0a62598")
+    );
+}
+
+#[test]
+fn scalar_multiplication_matches_python() {
+    assert_eq!(
+        scalar(A_HEX) * scalar(B_HEX),
+        scalar("1986b4b7bf0e4f76bd506dfb7effddd316e5c56e140c23fa3704bd7a86dcef6b")
+    );
+}
+
+#[test]
+fn scalar_inversion_matches_python() {
+    assert_eq!(
+        scalar(A_HEX).invert().unwrap(),
+        scalar("2fd5e4f4976e0bc3146a9fe8c1f70b925adaa52e5be34d6fdb4a238812fd7a2b")
+    );
+}
+
+#[test]
+fn fp_exponentiation_matches_python() {
+    let exp = U256::from_hex(B_HEX).unwrap();
+    assert_eq!(
+        fp(A_HEX).pow(&exp),
+        fp("1e3d8db800a650f91eb1ddcbd6d5ed375208097323f62c3ce4df391bf52cbe30")
+    );
+}
+
+#[test]
+fn generator_exponentiation_matches_python() {
+    let g = GroupElement::generator();
+    let x = scalar(A_HEX);
+    let expected = fp("13fcc5181021c22cd1f46de9bfd8574ffc9d70f8fce4d520fff4a6533da1cb0b");
+    assert_eq!(*g.exp(&x).as_fp(), expected);
+}
+
+#[test]
+fn boundary_values() {
+    // (p-1) * (p-1) mod p == 1; (p-1) + (p-1) == p - 2.
+    let p_minus_1 = Fp::ZERO - Fp::ONE;
+    assert_eq!(p_minus_1 * p_minus_1, Fp::ONE);
+    assert_eq!(p_minus_1 + p_minus_1, Fp::ZERO - Fp::from_u64(2));
+    let q_minus_1 = Scalar::ZERO - Scalar::ONE;
+    assert_eq!(q_minus_1 * q_minus_1, Scalar::ONE);
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # sintra-net
+//!
+//! Asynchronous-network substrate for **SINTRA-RS** (Cachin,
+//! *"Distributing Trust on the Internet"*, DSN 2001).
+//!
+//! The paper's protocols are proved correct in a *completely
+//! asynchronous* model where "the network is the adversary" (§2.2): the
+//! adversary schedules every message, may delay any link arbitrarily
+//! (but must eventually deliver between honest parties), and fully
+//! controls corrupted servers. This crate substitutes for an Internet
+//! deployment with two runtimes that realize exactly that model:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator whose
+//!   [`sim::Scheduler`] *is* the adversary: uniformly random, FIFO/LIFO,
+//!   targeted starvation of victims, healing partitions, or arbitrary
+//!   adaptive strategies with full view of message contents. Runs replay
+//!   bit-identically from a seed, which is what the experiment harness
+//!   needs.
+//! * [`thread_runtime`] — the same automata on real OS threads with
+//!   jittered routing, for integration tests under genuine concurrency.
+//!
+//! Protocols are written once against the [`protocol::Protocol`]
+//! automaton trait and run unchanged under both.
+
+pub mod protocol;
+pub mod sim;
+pub mod thread_runtime;
+
+pub use protocol::{Effects, Protocol};
+pub use sim::{
+    AdaptiveScheduler, Behavior, Envelope, FifoScheduler, LifoScheduler, PartitionScheduler,
+    RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,
+};
+pub use thread_runtime::{run_threaded, ThreadRunReport};

@@ -1,0 +1,163 @@
+//! The protocol automaton abstraction.
+//!
+//! Every protocol in the architecture — from reliable broadcast up to
+//! the replicated services — is written as a time-free, event-driven
+//! automaton: it reacts to local inputs and incoming messages by
+//! emitting sends and outputs, and *never* consults a clock. This is
+//! exactly the asynchronous model of §2.2: correctness must hold under
+//! every message schedule, so the same automaton code runs unchanged
+//! under the deterministic simulator (with any adversarial scheduler)
+//! and under the real-thread runtime.
+//!
+//! The single concession to non-asynchronous designs is
+//! [`Protocol::on_tick`], a no-op by default, which lets the
+//! failure-detector *baseline* protocol (the comparison system of the
+//! Figure 1 experiment) implement its timeouts; the SINTRA protocols
+//! never override it.
+
+use sintra_adversary::party::PartyId;
+
+/// Effects accumulated while handling one event.
+#[derive(Debug)]
+pub struct Effects<M, O> {
+    sends: Vec<(PartyId, M)>,
+    outputs: Vec<O>,
+}
+
+impl<M, O> Effects<M, O> {
+    /// Creates an empty effect buffer.
+    pub fn new() -> Self {
+        Effects {
+            sends: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Queues a message to one party (including self).
+    pub fn send(&mut self, to: PartyId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Queues the same message to every party in `0..n` (including the
+    /// sender itself, which is how the broadcast protocols count their
+    /// own votes).
+    pub fn send_all(&mut self, n: usize, msg: M)
+    where
+        M: Clone,
+    {
+        for to in 0..n {
+            self.sends.push((to, msg.clone()));
+        }
+    }
+
+    /// Emits a protocol output to the local application.
+    pub fn output(&mut self, out: O) {
+        self.outputs.push(out);
+    }
+
+    /// Drains the queued sends.
+    pub fn take_sends(&mut self) -> Vec<(PartyId, M)> {
+        core::mem::take(&mut self.sends)
+    }
+
+    /// Drains the queued outputs.
+    pub fn take_outputs(&mut self) -> Vec<O> {
+        core::mem::take(&mut self.outputs)
+    }
+
+    /// Peeks at queued sends.
+    pub fn sends(&self) -> &[(PartyId, M)] {
+        &self.sends
+    }
+
+    /// Peeks at queued outputs.
+    pub fn outputs(&self) -> &[O] {
+        &self.outputs
+    }
+}
+
+impl<M, O> Default for Effects<M, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A time-free protocol automaton replicated at every party.
+pub trait Protocol {
+    /// Wire message type exchanged between replicas of this automaton.
+    type Message: Clone + core::fmt::Debug + Send;
+    /// Local input type (client request, propose value, ...).
+    type Input;
+    /// Output type delivered to the local application.
+    type Output: core::fmt::Debug;
+
+    /// Handles a local input.
+    fn on_input(&mut self, input: Self::Input, effects: &mut Effects<Self::Message, Self::Output>);
+
+    /// Handles a message from `from` (sender authenticity is the
+    /// transport's responsibility; the simulator enforces it, and the
+    /// protocols additionally verify signatures where the design
+    /// requires them).
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: Self::Message,
+        effects: &mut Effects<Self::Message, Self::Output>,
+    );
+
+    /// Local clock tick. **Asynchronous protocols must not override
+    /// this**; it exists solely so the failure-detector baseline can be
+    /// expressed for comparison experiments.
+    fn on_tick(&mut self, effects: &mut Effects<Self::Message, Self::Output>) {
+        let _ = effects;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial echo automaton used to exercise the trait plumbing.
+    struct Echo {
+        me: PartyId,
+        n: usize,
+    }
+
+    impl Protocol for Echo {
+        type Message = String;
+        type Input = String;
+        type Output = (PartyId, String);
+
+        fn on_input(&mut self, input: String, fx: &mut Effects<String, (PartyId, String)>) {
+            fx.send_all(self.n, input);
+        }
+
+        fn on_message(&mut self, from: PartyId, msg: String, fx: &mut Effects<String, (PartyId, String)>) {
+            let _ = self.me;
+            fx.output((from, msg));
+        }
+    }
+
+    #[test]
+    fn effects_accumulate_and_drain() {
+        let mut fx: Effects<String, (PartyId, String)> = Effects::new();
+        let mut node = Echo { me: 0, n: 3 };
+        node.on_input("hi".into(), &mut fx);
+        assert_eq!(fx.sends().len(), 3);
+        assert_eq!(fx.sends()[2].0, 2);
+        let sends = fx.take_sends();
+        assert_eq!(sends.len(), 3);
+        assert!(fx.sends().is_empty());
+        node.on_message(1, "yo".into(), &mut fx);
+        assert_eq!(fx.take_outputs(), vec![(1, "yo".to_string())]);
+    }
+
+    #[test]
+    fn default_tick_is_noop() {
+        let mut fx: Effects<String, (PartyId, String)> = Effects::new();
+        let mut node = Echo { me: 0, n: 3 };
+        node.on_tick(&mut fx);
+        assert!(fx.sends().is_empty());
+        assert!(fx.outputs().is_empty());
+    }
+}

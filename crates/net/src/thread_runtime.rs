@@ -1,0 +1,228 @@
+//! Real-thread runtime: the same protocol automata under true
+//! concurrency.
+//!
+//! The deterministic simulator exercises protocols under *chosen*
+//! schedules; this runtime complements it by running every replica on
+//! its own OS thread with messages routed through crossbeam channels and
+//! randomized delivery jitter, so integration tests also see genuine
+//! interleaving nondeterminism. The protocols are time-free automata, so
+//! no code changes between the two runtimes — that is the point of the
+//! asynchronous design (§2.2).
+
+use crate::protocol::{Effects, Protocol};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sintra_adversary::party::PartyId;
+use sintra_crypto::rng::SeededRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Route<M> {
+    from: PartyId,
+    to: PartyId,
+    msg: M,
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub struct ThreadRunReport<O> {
+    /// Outputs per party, in local delivery order.
+    pub outputs: Vec<Vec<O>>,
+    /// Total messages routed.
+    pub delivered: u64,
+    /// Whether the stop predicate was satisfied (vs. timeout).
+    pub completed: bool,
+}
+
+/// Runs `nodes` under true concurrency until `stop` holds over the
+/// output vectors or `timeout` elapses.
+///
+/// `inputs` are injected at the named parties as the threads start. The
+/// router shuffles delivery order with the seeded RNG; combined with OS
+/// scheduling this yields realistic asynchrony. Returns the outputs of
+/// every party.
+pub fn run_threaded<P>(
+    nodes: Vec<P>,
+    inputs: Vec<(PartyId, P::Input)>,
+    stop: impl Fn(&[Vec<P::Output>]) -> bool + Send + Sync + 'static,
+    timeout: Duration,
+    seed: u64,
+) -> ThreadRunReport<P::Output>
+where
+    P: Protocol + Send + 'static,
+    P::Message: 'static,
+    P::Input: Send + 'static,
+    P::Output: Clone + Send + 'static,
+{
+    let n = nodes.len();
+    let (router_tx, router_rx) = unbounded::<Route<P::Message>>();
+    let outputs: Arc<Mutex<Vec<Vec<P::Output>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| Vec::new()).collect()));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Per-node inboxes.
+    let mut inboxes_tx: Vec<Sender<(PartyId, P::Message)>> = Vec::with_capacity(n);
+    let mut inboxes_rx: Vec<Receiver<(PartyId, P::Message)>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        inboxes_tx.push(tx);
+        inboxes_rx.push(rx);
+    }
+    // Per-node input channels.
+    let mut input_tx: Vec<Sender<P::Input>> = Vec::with_capacity(n);
+    let mut input_rx: Vec<Receiver<P::Input>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        input_tx.push(tx);
+        input_rx.push(rx);
+    }
+
+    // Node threads.
+    let mut handles = Vec::with_capacity(n);
+    for (party, mut node) in nodes.into_iter().enumerate() {
+        let my_rx = inboxes_rx[party].clone();
+        let my_inputs = input_rx[party].clone();
+        let to_router = router_tx.clone();
+        let outputs = Arc::clone(&outputs);
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let mut fx: Effects<P::Message, P::Output> = Effects::new();
+            loop {
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Drain pending inputs first, then one message.
+                let mut worked = false;
+                while let Ok(input) = my_inputs.try_recv() {
+                    node.on_input(input, &mut fx);
+                    worked = true;
+                }
+                if let Ok((from, msg)) = my_rx.recv_timeout(Duration::from_millis(5)) {
+                    node.on_message(from, msg, &mut fx);
+                    worked = true;
+                }
+                if worked {
+                    let outs = fx.take_outputs();
+                    if !outs.is_empty() {
+                        outputs.lock()[party].extend(outs);
+                    }
+                    for (to, msg) in fx.take_sends() {
+                        let _ = to_router.send(Route {
+                            from: party,
+                            to,
+                            msg,
+                        });
+                    }
+                }
+            }
+        }));
+    }
+    drop(router_tx);
+
+    // Inject inputs.
+    for (party, input) in inputs {
+        let _ = input_tx[party].send(input);
+    }
+
+    // Router loop with jitter: buffer a few messages and release in
+    // random order.
+    let mut rng = SeededRng::new(seed);
+    let deadline = Instant::now() + timeout;
+    let mut buffer: Vec<(PartyId, PartyId, P::Message)> = Vec::new();
+    let mut completed = false;
+    loop {
+        if Instant::now() > deadline {
+            break;
+        }
+        // Pull whatever is queued (up to a small batch).
+        while buffer.len() < 32 {
+            match router_rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(Route { from, to, msg }) => buffer.push((from, to, msg)),
+                Err(_) => break,
+            }
+        }
+        if !buffer.is_empty() {
+            let idx = rng.next_below(buffer.len() as u64) as usize;
+            let (from, to, msg) = buffer.swap_remove(idx);
+            if to < n {
+                delivered.fetch_add(1, Ordering::Relaxed);
+                let _ = inboxes_tx[to].send((from, msg));
+            }
+        }
+        if stop(&outputs.lock()) {
+            completed = true;
+            break;
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let outputs = Arc::try_unwrap(outputs)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    ThreadRunReport {
+        outputs,
+        delivered: delivered.load(Ordering::Relaxed),
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Gossip {
+        n: usize,
+    }
+
+    impl Protocol for Gossip {
+        type Message = u64;
+        type Input = u64;
+        type Output = (PartyId, u64);
+
+        fn on_input(&mut self, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
+            fx.send_all(self.n, v);
+        }
+
+        fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
+            fx.output((from, v));
+        }
+    }
+
+    #[test]
+    fn threaded_gossip_delivers_everything() {
+        let n = 4;
+        let nodes: Vec<Gossip> = (0..n).map(|_| Gossip { n }).collect();
+        let inputs: Vec<(PartyId, u64)> = (0..n).map(|p| (p, p as u64 * 11)).collect();
+        let report = run_threaded(
+            nodes,
+            inputs,
+            move |outs: &[Vec<(PartyId, u64)>]| outs.iter().all(|o| o.len() >= n),
+            Duration::from_secs(10),
+            1,
+        );
+        assert!(report.completed, "all parties hear all four broadcasts");
+        for o in &report.outputs {
+            assert!(o.len() >= n);
+        }
+        assert!(report.delivered >= (n * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn timeout_reports_incomplete() {
+        // Stop predicate never satisfied; must return by timeout.
+        let nodes: Vec<Gossip> = (0..2).map(|_| Gossip { n: 2 }).collect();
+        let report = run_threaded(
+            nodes,
+            vec![],
+            |_: &[Vec<(PartyId, u64)>]| false,
+            Duration::from_millis(200),
+            2,
+        );
+        assert!(!report.completed);
+    }
+}

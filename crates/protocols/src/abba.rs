@@ -1,0 +1,1119 @@
+//! Randomized binary Byzantine agreement
+//! (Cachin-Kursawe-Shoup, PODC 2000 — "Random oracles in
+//! Constantinople").
+//!
+//! The engine of the whole architecture (§3): agreement on one bit with
+//! **optimal resilience** (`Q³` / `n > 3t`), expected **constant** round
+//! count, and safety/liveness under *every* message schedule — the
+//! randomized escape from the FLP impossibility that the paper builds
+//! on. Structure per round `r`:
+//!
+//! 1. **pre-vote** — each party casts a justified pre-vote for a bit;
+//! 2. **main-vote** — once a core quorum of pre-votes arrives, the party
+//!    main-votes the unanimous bit, or `abstain` when it saw both bits;
+//!    it also releases its share of round-`r`'s threshold coin;
+//! 3. **decision** — a core quorum of unanimous main-votes decides; a
+//!    mixed quorum carries the seen bit into round `r+1` ("hard"
+//!    pre-vote); an all-abstain quorum pre-votes the **coin** value.
+//!
+//! Every vote carries a *justification* so that corrupted parties cannot
+//! inject inconsistent votes: main-votes for `b` carry a threshold
+//! signature over a core quorum of pre-votes for `b`; abstentions carry
+//! one justified pre-vote for each bit; round-`r+1` pre-votes carry
+//! either the hard or the coin justification. Deciders broadcast a
+//! transferable decision proof (threshold signature over the unanimous
+//! main-votes) and halt, which gives termination for everyone.
+//!
+//! ## Biased ("validated") mode
+//!
+//! Multi-valued agreement needs the *biased* variant: deciding 1 must
+//! imply that some party really holds the candidate proposal. An
+//! [`Abba`] constructed with [`Abba::new_biased`] therefore requires
+//! every round-1 pre-vote for 1 to carry a piece of **evidence** `E`
+//! (for MVBA: the consistent-broadcast voucher) accepted by a pluggable
+//! validator. If no honest party inputs 1 and no valid evidence exists,
+//! the instance decides 0 in round one; and any admissible 1-decision
+//! transitively exposes validated evidence to an honest party, which is
+//! exactly the retrieval-liveness argument of the multi-valued protocol.
+
+use crate::common::{send_all, Outbox, Tag};
+use serde::{Deserialize, Serialize};
+use sintra_adversary::party::{PartyId, PartySet};
+use sintra_crypto::coin::{CoinShare, CoinValue};
+use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
+use sintra_crypto::rng::SeededRng;
+use sintra_crypto::tsig::{QuorumRule, SignatureShare, ThresholdSignature};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A main-vote value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MainVoteValue {
+    /// Vote for 0.
+    Zero,
+    /// Vote for 1.
+    One,
+    /// Abstain (saw both bits pre-voted).
+    Abstain,
+}
+
+impl MainVoteValue {
+    fn code(&self) -> u8 {
+        match self {
+            MainVoteValue::Zero => 0,
+            MainVoteValue::One => 1,
+            MainVoteValue::Abstain => 2,
+        }
+    }
+
+    fn of_bit(b: bool) -> Self {
+        if b {
+            MainVoteValue::One
+        } else {
+            MainVoteValue::Zero
+        }
+    }
+}
+
+/// Justification attached to a pre-vote.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum PreVoteJust<E> {
+    /// Round 1: the party's input. In biased mode a pre-vote for 1 must
+    /// carry validator-approved evidence; a pre-vote for 0 carries none.
+    FirstRound(Option<E>),
+    /// A core-quorum threshold signature on pre-votes for the same bit in
+    /// the previous round (carried out of a mixed main-vote quorum).
+    Hard(ThresholdSignature),
+    /// A core-quorum threshold signature on `abstain` main-votes in the
+    /// previous round; the pre-voted bit must equal that round's coin.
+    Coin(ThresholdSignature),
+}
+
+/// A justified pre-vote.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PreVote<E> {
+    /// Round number (1-based).
+    pub round: u64,
+    /// The pre-voted bit.
+    pub value: bool,
+    /// Why this pre-vote is admissible.
+    pub just: PreVoteJust<E>,
+    /// Signature share on `pre(round, value)` (doubles as the vote
+    /// signature and as material for main-vote justifications).
+    pub share: SignatureShare,
+}
+
+/// Justification attached to a main-vote.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum MainVoteJust<E> {
+    /// For a bit vote: threshold signature over a core quorum of
+    /// pre-votes for that bit this round.
+    Value(ThresholdSignature),
+    /// For an abstention: one justified pre-vote for each bit.
+    Abstain(Box<PreVote<E>>, Box<PreVote<E>>),
+}
+
+/// A justified main-vote.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MainVote<E> {
+    /// Round number.
+    pub round: u64,
+    /// The vote.
+    pub vote: MainVoteValue,
+    /// Why this vote is admissible.
+    pub just: MainVoteJust<E>,
+    /// Signature share on `main(round, vote)`.
+    pub share: SignatureShare,
+}
+
+/// ABBA wire messages.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum AbbaMessage<E> {
+    /// A pre-vote.
+    PreVote(PreVote<E>),
+    /// A main-vote.
+    MainVote(MainVote<E>),
+    /// A share of the round's threshold coin.
+    Coin {
+        /// Round the coin belongs to.
+        round: u64,
+        /// The coin share.
+        share: CoinShare,
+    },
+    /// A transferable decision proof (threshold signature on a core
+    /// quorum of unanimous main-votes).
+    Decided {
+        /// Deciding round.
+        round: u64,
+        /// The decided bit.
+        value: bool,
+        /// Core-quorum threshold signature on `main(round, value)`.
+        proof: ThresholdSignature,
+    },
+}
+
+#[derive(Debug)]
+struct RoundState<E> {
+    // Pre-vote bookkeeping (first valid pre-vote per party).
+    prevote_parties: PartySet,
+    prevote_by_value: [PartySet; 2],
+    prevote_shares: [Vec<SignatureShare>; 2],
+    prevote_repr: [Option<PreVote<E>>; 2],
+    // Main-vote bookkeeping.
+    mainvote_parties: PartySet,
+    mainvote_by_value: [PartySet; 3],
+    mainvote_shares: [Vec<SignatureShare>; 3],
+    /// First valid bit main-vote's justification (pre-vote tsig), reused
+    /// as the hard justification for the next round.
+    value_just: Option<(bool, ThresholdSignature)>,
+    // Coin bookkeeping.
+    coin_shares: Vec<CoinShare>,
+    coin_value: Option<CoinValue>,
+    coin_share_sent: bool,
+    // Phase flags.
+    my_mainvote_sent: bool,
+    main_quorum_done: bool,
+    /// Set when the all-abstain quorum fired but the coin is not yet
+    /// known; carries the abstain tsig for the coin justification.
+    awaiting_coin: Option<ThresholdSignature>,
+    /// Messages whose coin-justification cannot be checked yet.
+    pending_coin_just: Vec<(PartyId, AbbaMessage<E>)>,
+}
+
+impl<E> Default for RoundState<E> {
+    fn default() -> Self {
+        RoundState {
+            prevote_parties: PartySet::new(),
+            prevote_by_value: [PartySet::new(), PartySet::new()],
+            prevote_shares: [Vec::new(), Vec::new()],
+            prevote_repr: [None, None],
+            mainvote_parties: PartySet::new(),
+            mainvote_by_value: [PartySet::new(), PartySet::new(), PartySet::new()],
+            mainvote_shares: [Vec::new(), Vec::new(), Vec::new()],
+            value_just: None,
+            coin_shares: Vec::new(),
+            coin_value: None,
+            coin_share_sent: false,
+            my_mainvote_sent: false,
+            main_quorum_done: false,
+            awaiting_coin: None,
+            pending_coin_just: Vec::new(),
+        }
+    }
+}
+
+/// Pluggable evidence validator for biased instances.
+pub type EvidenceCheck<E> = Arc<dyn Fn(&E) -> bool + Send + Sync>;
+
+/// One binary-agreement instance at one party.
+///
+/// Drive with [`propose`](Abba::propose) and
+/// [`on_message`](Abba::on_message); the decided bit is returned once.
+/// The type parameter `E` is the evidence attached to round-1 pre-votes
+/// for 1 in biased mode; plain instances use `E = ()`.
+pub struct Abba<E = ()> {
+    tag: Tag,
+    me: PartyId,
+    n: usize,
+    public: Arc<PublicParameters>,
+    bundle: Arc<ServerKeyBundle>,
+    /// `Some(check)` = biased mode.
+    one_evidence: Option<EvidenceCheck<E>>,
+    round: u64,
+    started: bool,
+    decided: Option<bool>,
+    decision_sent: bool,
+    rounds: BTreeMap<u64, RoundState<E>>,
+}
+
+impl<E> core::fmt::Debug for Abba<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Abba")
+            .field("tag", &self.tag)
+            .field("me", &self.me)
+            .field("round", &self.round)
+            .field("decided", &self.decided)
+            .field("biased", &self.one_evidence.is_some())
+            .finish()
+    }
+}
+
+impl<E: Clone + core::fmt::Debug> Abba<E> {
+    /// Creates an unbiased instance under `tag` (round-1 pre-votes carry
+    /// no evidence).
+    pub fn new(tag: Tag, public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>) -> Self {
+        Self::build(tag, public, bundle, None)
+    }
+
+    /// Creates a *biased* instance: round-1 pre-votes for 1 must carry
+    /// evidence accepted by `check`.
+    pub fn new_biased(
+        tag: Tag,
+        public: Arc<PublicParameters>,
+        bundle: Arc<ServerKeyBundle>,
+        check: EvidenceCheck<E>,
+    ) -> Self {
+        Self::build(tag, public, bundle, Some(check))
+    }
+
+    fn build(
+        tag: Tag,
+        public: Arc<PublicParameters>,
+        bundle: Arc<ServerKeyBundle>,
+        one_evidence: Option<EvidenceCheck<E>>,
+    ) -> Self {
+        Abba {
+            tag,
+            me: bundle.party(),
+            n: public.n(),
+            public,
+            bundle,
+            one_evidence,
+            round: 0,
+            started: false,
+            decided: None,
+            decision_sent: false,
+            rounds: BTreeMap::new(),
+        }
+    }
+
+    /// The decided value, if any.
+    pub fn decision(&self) -> Option<bool> {
+        self.decided
+    }
+
+    /// The current round (0 before [`propose`](Self::propose); rounds are
+    /// 1-based). Exposed for the round-count experiments.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn pre_msg(&self, round: u64, value: bool) -> Vec<u8> {
+        self.tag
+            .message(&[b"pre", &round.to_be_bytes(), &[value as u8]])
+    }
+
+    fn main_msg(&self, round: u64, vote: MainVoteValue) -> Vec<u8> {
+        self.tag
+            .message(&[b"main", &round.to_be_bytes(), &[vote.code()]])
+    }
+
+    fn coin_name(&self, round: u64) -> Vec<u8> {
+        self.tag.message(&[b"coin", &round.to_be_bytes()])
+    }
+
+    /// Starts the instance with the party's input bit (no evidence;
+    /// biased instances reject a 1-input this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-propose, or when proposing 1 without evidence in
+    /// a biased instance.
+    pub fn propose(
+        &mut self,
+        value: bool,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        assert!(
+            !(value && self.one_evidence.is_some()),
+            "biased instances require propose_with_evidence for a 1-input"
+        );
+        self.propose_inner(value, None, rng, out)
+    }
+
+    /// Starts a biased instance with input 1 and its evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-propose or when the instance is not biased.
+    pub fn propose_with_evidence(
+        &mut self,
+        evidence: E,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        assert!(
+            self.one_evidence.is_some(),
+            "evidence only applies to biased instances"
+        );
+        self.propose_inner(true, Some(evidence), rng, out)
+    }
+
+    fn propose_inner(
+        &mut self,
+        value: bool,
+        evidence: Option<E>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        assert!(!self.started, "propose may be called only once");
+        self.started = true;
+        self.round = 1;
+        self.send_prevote(1, value, PreVoteJust::FirstRound(evidence), rng, out);
+        // Messages received before the local input may already form
+        // quorums (the network is asynchronous).
+        self.progress(rng, out)
+    }
+
+    fn send_prevote(
+        &mut self,
+        round: u64,
+        value: bool,
+        just: PreVoteJust<E>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) {
+        let to_sign = self.pre_msg(round, value);
+        let share = self.bundle.signing_key().sign_share(&to_sign, rng);
+        let pv = PreVote {
+            round,
+            value,
+            just,
+            share,
+        };
+        send_all(out, self.n, AbbaMessage::PreVote(pv));
+    }
+
+    /// Validates a pre-vote (signature share + justification). Returns
+    /// `Ok(true)` if valid, `Ok(false)` if invalid, `Err(())` if the coin
+    /// needed to check a coin justification is not yet known.
+    fn validate_prevote(&self, from: PartyId, pv: &PreVote<E>) -> Result<bool, ()> {
+        if pv.share.party() != from || pv.round == 0 {
+            return Ok(false);
+        }
+        let to_sign = self.pre_msg(pv.round, pv.value);
+        if !self.public.signing().verify_share(&to_sign, &pv.share) {
+            return Ok(false);
+        }
+        match &pv.just {
+            PreVoteJust::FirstRound(evidence) => {
+                if pv.round != 1 {
+                    return Ok(false);
+                }
+                match (&self.one_evidence, pv.value, evidence) {
+                    // Unbiased: no evidence may be attached.
+                    (None, _, None) => Ok(true),
+                    (None, _, Some(_)) => Ok(false),
+                    // Biased: 1 requires valid evidence, 0 forbids it.
+                    (Some(check), true, Some(e)) => Ok(check(e)),
+                    (Some(_), false, None) => Ok(true),
+                    (Some(_), _, _) => Ok(false),
+                }
+            }
+            PreVoteJust::Hard(sig) => {
+                if pv.round < 2 {
+                    return Ok(false);
+                }
+                let prev = self.pre_msg(pv.round - 1, pv.value);
+                Ok(self.public.signing().verify(&prev, sig, QuorumRule::Core))
+            }
+            PreVoteJust::Coin(sig) => {
+                if pv.round < 2 {
+                    return Ok(false);
+                }
+                let prev = self.main_msg(pv.round - 1, MainVoteValue::Abstain);
+                if !self.public.signing().verify(&prev, sig, QuorumRule::Core) {
+                    return Ok(false);
+                }
+                match self
+                    .rounds
+                    .get(&(pv.round - 1))
+                    .and_then(|rs| rs.coin_value)
+                {
+                    Some(c) => Ok(c.bit() == pv.value),
+                    None => Err(()), // defer until the coin is known
+                }
+            }
+        }
+    }
+
+    fn validate_mainvote(&self, from: PartyId, mv: &MainVote<E>) -> Result<bool, ()> {
+        if mv.share.party() != from || mv.round == 0 {
+            return Ok(false);
+        }
+        let to_sign = self.main_msg(mv.round, mv.vote);
+        if !self.public.signing().verify_share(&to_sign, &mv.share) {
+            return Ok(false);
+        }
+        match (&mv.vote, &mv.just) {
+            (MainVoteValue::Abstain, MainVoteJust::Abstain(pv0, pv1)) => {
+                if pv0.round != mv.round || pv1.round != mv.round {
+                    return Ok(false);
+                }
+                if pv0.value || !pv1.value {
+                    return Ok(false);
+                }
+                let v0 = self.validate_prevote(pv0.share.party(), pv0)?;
+                let v1 = self.validate_prevote(pv1.share.party(), pv1)?;
+                Ok(v0 && v1)
+            }
+            (MainVoteValue::Zero | MainVoteValue::One, MainVoteJust::Value(sig)) => {
+                let bit = mv.vote == MainVoteValue::One;
+                let pre = self.pre_msg(mv.round, bit);
+                Ok(self.public.signing().verify(&pre, sig, QuorumRule::Core))
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Handles a message; returns the decided bit when the decision
+    /// fires at this party.
+    pub fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: AbbaMessage<E>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        if self.decided.is_some() {
+            // Halted; decision proof was already broadcast.
+            return None;
+        }
+        match msg {
+            AbbaMessage::PreVote(pv) => match self.validate_prevote(from, &pv) {
+                Ok(true) => {
+                    self.record_prevote(from, pv);
+                    self.progress(rng, out)
+                }
+                Ok(false) => None,
+                Err(()) => {
+                    let round = pv.round;
+                    self.rounds
+                        .entry(round - 1)
+                        .or_default()
+                        .pending_coin_just
+                        .push((from, AbbaMessage::PreVote(pv)));
+                    None
+                }
+            },
+            AbbaMessage::MainVote(mv) => match self.validate_mainvote(from, &mv) {
+                Ok(true) => {
+                    self.record_mainvote(from, mv);
+                    self.progress(rng, out)
+                }
+                Ok(false) => None,
+                Err(()) => {
+                    let round = mv.round;
+                    self.rounds
+                        .entry(round - 1)
+                        .or_default()
+                        .pending_coin_just
+                        .push((from, AbbaMessage::MainVote(mv)));
+                    None
+                }
+            },
+            AbbaMessage::Coin { round, share } => {
+                if share.party() != from || round == 0 {
+                    return None;
+                }
+                let name = self.coin_name(round);
+                if !self.public.coin().verify_share(&name, &share) {
+                    return None;
+                }
+                let rs = self.rounds.entry(round).or_default();
+                if rs.coin_value.is_some() {
+                    return None;
+                }
+                rs.coin_shares.push(share);
+                let shares = rs.coin_shares.clone();
+                if let Some(value) = self.public.coin().combine(&name, &shares) {
+                    let rs = self.rounds.entry(round).or_default();
+                    rs.coin_value = Some(value);
+                    // Re-inject deferred messages that waited on this coin.
+                    let pending = core::mem::take(&mut rs.pending_coin_just);
+                    for (p_from, p_msg) in pending {
+                        if let Some(d) = self.on_message(p_from, p_msg, rng, out) {
+                            return Some(d);
+                        }
+                    }
+                    return self.progress(rng, out);
+                }
+                None
+            }
+            AbbaMessage::Decided {
+                round,
+                value,
+                proof,
+            } => {
+                let main = self.main_msg(round, MainVoteValue::of_bit(value));
+                if !self.public.signing().verify(&main, &proof, QuorumRule::Core) {
+                    return None;
+                }
+                self.decide(round, value, proof, out)
+            }
+        }
+    }
+
+    fn record_prevote(&mut self, from: PartyId, pv: PreVote<E>) {
+        let rs = self.rounds.entry(pv.round).or_default();
+        if !rs.prevote_parties.insert(from) {
+            return; // first pre-vote per party counts
+        }
+        let idx = pv.value as usize;
+        rs.prevote_by_value[idx].insert(from);
+        rs.prevote_shares[idx].push(pv.share);
+        if rs.prevote_repr[idx].is_none() {
+            rs.prevote_repr[idx] = Some(pv);
+        }
+    }
+
+    fn record_mainvote(&mut self, from: PartyId, mv: MainVote<E>) {
+        let rs = self.rounds.entry(mv.round).or_default();
+        if !rs.mainvote_parties.insert(from) {
+            return;
+        }
+        let idx = mv.vote.code() as usize;
+        rs.mainvote_by_value[idx].insert(from);
+        rs.mainvote_shares[idx].push(mv.share);
+        if rs.value_just.is_none() {
+            if let (MainVoteValue::Zero | MainVoteValue::One, MainVoteJust::Value(sig)) =
+                (&mv.vote, &mv.just)
+            {
+                rs.value_just = Some((mv.vote == MainVoteValue::One, sig.clone()));
+            }
+        }
+    }
+
+    /// Runs all quorum checks for the current round until nothing fires.
+    fn progress(
+        &mut self,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        loop {
+            if !self.started || self.decided.is_some() {
+                return None;
+            }
+            let round = self.round;
+            if let Some(d) = self.try_mainvote_phase(round, rng, out) {
+                return Some(d);
+            }
+            if let Some(d) = self.try_decision_phase(round, rng, out) {
+                return Some(d);
+            }
+            if self.round == round {
+                return None; // no transition fired
+            }
+        }
+    }
+
+    /// Pre-vote quorum → send main-vote + coin share.
+    fn try_mainvote_phase(
+        &mut self,
+        round: u64,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        let structure = self.public.structure().clone();
+        let rs = self.rounds.entry(round).or_default();
+        if rs.my_mainvote_sent || !structure.is_core(&rs.prevote_parties) {
+            return None;
+        }
+        rs.my_mainvote_sent = true;
+        let zeros = rs.prevote_by_value[0];
+        let ones = rs.prevote_by_value[1];
+        let (vote, just) = if ones == rs.prevote_parties {
+            let sig = self
+                .public
+                .signing()
+                .combine(
+                    &self.pre_msg(round, true),
+                    &self.rounds[&round].prevote_shares[1],
+                    QuorumRule::Core,
+                )
+                .expect("core quorum of unanimous pre-votes combines");
+            (MainVoteValue::One, MainVoteJust::Value(sig))
+        } else if zeros == rs.prevote_parties {
+            let sig = self
+                .public
+                .signing()
+                .combine(
+                    &self.pre_msg(round, false),
+                    &self.rounds[&round].prevote_shares[0],
+                    QuorumRule::Core,
+                )
+                .expect("core quorum of unanimous pre-votes combines");
+            (MainVoteValue::Zero, MainVoteJust::Value(sig))
+        } else {
+            let rs = &self.rounds[&round];
+            let pv0 = rs.prevote_repr[0].clone().expect("mixed quorum has a 0");
+            let pv1 = rs.prevote_repr[1].clone().expect("mixed quorum has a 1");
+            (
+                MainVoteValue::Abstain,
+                MainVoteJust::Abstain(Box::new(pv0), Box::new(pv1)),
+            )
+        };
+        let to_sign = self.main_msg(round, vote);
+        let share = self.bundle.signing_key().sign_share(&to_sign, rng);
+        send_all(
+            out,
+            self.n,
+            AbbaMessage::MainVote(MainVote {
+                round,
+                vote,
+                just,
+                share,
+            }),
+        );
+        // Release the round's coin share alongside the main-vote.
+        let rs = self.rounds.entry(round).or_default();
+        if !rs.coin_share_sent {
+            rs.coin_share_sent = true;
+            let name = self.coin_name(round);
+            let coin_share = self.bundle.coin_key().share(&name, rng);
+            send_all(
+                out,
+                self.n,
+                AbbaMessage::Coin {
+                    round,
+                    share: coin_share,
+                },
+            );
+        }
+        None
+    }
+
+    /// Main-vote quorum → decide / hard pre-vote / coin pre-vote.
+    fn try_decision_phase(
+        &mut self,
+        round: u64,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        let structure = self.public.structure().clone();
+        {
+            let rs = self.rounds.entry(round).or_default();
+            if !rs.my_mainvote_sent || !structure.is_core(&rs.mainvote_parties) {
+                return None;
+            }
+        }
+        // Case 1: awaiting the coin from a previously fired all-abstain
+        // quorum.
+        let awaiting = self.rounds[&round].awaiting_coin.clone();
+        if let Some(abstain_sig) = awaiting {
+            let coin = self.rounds[&round].coin_value;
+            if let Some(c) = coin {
+                self.rounds.get_mut(&round).unwrap().awaiting_coin = None;
+                self.round = round + 1;
+                self.send_prevote(round + 1, c.bit(), PreVoteJust::Coin(abstain_sig), rng, out);
+            }
+            return None;
+        }
+        if self.rounds[&round].main_quorum_done {
+            return None;
+        }
+        self.rounds.get_mut(&round).unwrap().main_quorum_done = true;
+
+        let rs = &self.rounds[&round];
+        let all = rs.mainvote_parties;
+        let ones = rs.mainvote_by_value[1];
+        let zeros = rs.mainvote_by_value[0];
+        if ones == all || zeros == all {
+            // Unanimous bit quorum: decide.
+            let bit = ones == all;
+            let proof = self
+                .public
+                .signing()
+                .combine(
+                    &self.main_msg(round, MainVoteValue::of_bit(bit)),
+                    &rs.mainvote_shares[bit as usize],
+                    QuorumRule::Core,
+                )
+                .expect("unanimous core main-vote quorum combines");
+            return self.decide(round, bit, proof, out);
+        }
+        if !ones.is_empty() || !zeros.is_empty() {
+            // Mixed: carry the seen bit with its hard justification.
+            let (bit, sig) = self.rounds[&round]
+                .value_just
+                .clone()
+                .expect("a bit main-vote was recorded with its justification");
+            self.round = round + 1;
+            self.send_prevote(round + 1, bit, PreVoteJust::Hard(sig), rng, out);
+            return None;
+        }
+        // All abstain: pre-vote the coin.
+        let abstain_sig = self
+            .public
+            .signing()
+            .combine(
+                &self.main_msg(round, MainVoteValue::Abstain),
+                &self.rounds[&round].mainvote_shares[2],
+                QuorumRule::Core,
+            )
+            .expect("all-abstain core quorum combines");
+        let coin = self.rounds[&round].coin_value;
+        match coin {
+            Some(c) => {
+                self.round = round + 1;
+                self.send_prevote(round + 1, c.bit(), PreVoteJust::Coin(abstain_sig), rng, out);
+            }
+            None => {
+                self.rounds.get_mut(&round).unwrap().awaiting_coin = Some(abstain_sig);
+            }
+        }
+        None
+    }
+
+    fn decide(
+        &mut self,
+        round: u64,
+        value: bool,
+        proof: ThresholdSignature,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        if self.decided.is_some() {
+            return None;
+        }
+        self.decided = Some(value);
+        if !self.decision_sent {
+            self.decision_sent = true;
+            send_all(
+                out,
+                self.n,
+                AbbaMessage::Decided {
+                    round,
+                    value,
+                    proof,
+                },
+            );
+        }
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::contexts;
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+    use sintra_net::protocol::{Effects, Protocol};
+    use sintra_net::sim::{Behavior, LifoScheduler, RandomScheduler, Simulation};
+
+    type Msg = AbbaMessage<()>;
+
+    #[derive(Debug)]
+    pub struct AbbaNode {
+        abba: Abba<()>,
+        rng: SeededRng,
+    }
+
+    impl Protocol for AbbaNode {
+        type Message = Msg;
+        type Input = bool;
+        type Output = bool;
+
+        fn on_input(&mut self, input: bool, fx: &mut Effects<Msg, bool>) {
+            let mut out = Vec::new();
+            if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
+                fx.output(d);
+            }
+            for (to, m) in out {
+                fx.send(to, m);
+            }
+        }
+
+        fn on_message(&mut self, from: PartyId, msg: Msg, fx: &mut Effects<Msg, bool>) {
+            let mut out = Vec::new();
+            if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
+                fx.output(d);
+            }
+            for (to, m) in out {
+                fx.send(to, m);
+            }
+        }
+    }
+
+    pub fn nodes(n: usize, t: usize, seed: u64) -> Vec<AbbaNode> {
+        let ts = TrustStructure::threshold(n, t).unwrap();
+        let mut rng = SeededRng::new(seed);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        contexts(public, bundles, seed)
+            .into_iter()
+            .map(|c| AbbaNode {
+                abba: Abba::new(
+                    Tag::root("abba-test"),
+                    Arc::new(c.public().clone()),
+                    Arc::new(c.bundle().clone()),
+                ),
+                rng: c.rng.clone(),
+            })
+            .collect()
+    }
+
+    fn check_agreement(
+        sim: &Simulation<AbbaNode, impl sintra_net::sim::Scheduler<Msg>>,
+        honest: &[usize],
+    ) -> bool {
+        let decisions: Vec<bool> = honest
+            .iter()
+            .filter_map(|p| sim.outputs(*p).first().copied())
+            .collect();
+        assert_eq!(
+            decisions.len(),
+            honest.len(),
+            "every honest party must decide"
+        );
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "agreement violated: {decisions:?}"
+        );
+        decisions[0]
+    }
+
+    #[test]
+    fn unanimous_one_decides_one_fast() {
+        let mut sim = Simulation::new(nodes(4, 1, 1), RandomScheduler, 2);
+        for p in 0..4 {
+            sim.input(p, true);
+        }
+        sim.run_until_quiet(1_000_000);
+        assert!(
+            check_agreement(&sim, &[0, 1, 2, 3]),
+            "validity: all-1 input decides 1"
+        );
+        // Fast path: decision in round 1.
+        for p in 0..4 {
+            assert!(sim.node(p).is_none_or(|n| n.abba.round() <= 2));
+        }
+    }
+
+    #[test]
+    fn unanimous_zero_decides_zero() {
+        let mut sim = Simulation::new(nodes(4, 1, 3), RandomScheduler, 4);
+        for p in 0..4 {
+            sim.input(p, false);
+        }
+        sim.run_until_quiet(1_000_000);
+        assert!(!check_agreement(&sim, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn mixed_inputs_agree() {
+        for seed in 0..10u64 {
+            let mut sim = Simulation::new(nodes(4, 1, seed), RandomScheduler, 1000 + seed);
+            sim.input(0, false);
+            sim.input(1, true);
+            sim.input(2, false);
+            sim.input(3, true);
+            sim.run_until_quiet(1_000_000);
+            check_agreement(&sim, &[0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree_under_lifo() {
+        for seed in 0..5u64 {
+            let mut sim = Simulation::new(nodes(4, 1, 50 + seed), LifoScheduler, 2000 + seed);
+            sim.input(0, true);
+            sim.input(1, false);
+            sim.input(2, true);
+            sim.input(3, false);
+            sim.run_until_quiet(1_000_000);
+            check_agreement(&sim, &[0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn tolerates_crash_fault() {
+        for seed in 0..5u64 {
+            let mut sim = Simulation::new(nodes(4, 1, 90 + seed), RandomScheduler, 3000 + seed);
+            sim.corrupt(3, Behavior::Crash);
+            sim.input(0, true);
+            sim.input(1, false);
+            sim.input(2, true);
+            sim.run_until_quiet(1_000_000);
+            check_agreement(&sim, &[0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn larger_system_with_crashes() {
+        let mut sim = Simulation::new(nodes(7, 2, 7), RandomScheduler, 8);
+        sim.corrupt(5, Behavior::Crash);
+        sim.corrupt(6, Behavior::Crash);
+        for p in 0..5 {
+            sim.input(p, p % 2 == 0);
+        }
+        sim.run_until_quiet(5_000_000);
+        check_agreement(&sim, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn byzantine_spam_does_not_break_agreement() {
+        // A corrupted party replays garbage versions of whatever it
+        // receives.
+        for seed in 0..5u64 {
+            let mut sim = Simulation::new(nodes(4, 1, 200 + seed), RandomScheduler, 4000 + seed);
+            sim.corrupt(
+                2,
+                Behavior::Custom(Box::new(move |_from, msg: Msg, _| {
+                    let mut sends: Vec<(PartyId, Msg)> =
+                        (0..4).map(|p| (p, msg.clone())).collect();
+                    if let AbbaMessage::Decided { proof, .. } = &msg {
+                        sends.push((
+                            0,
+                            AbbaMessage::Decided {
+                                round: 1,
+                                value: true,
+                                proof: proof.clone(),
+                            },
+                        ));
+                    }
+                    sends
+                })),
+            );
+            sim.input(0, false);
+            sim.input(1, false);
+            sim.input(3, false);
+            sim.run_until_quiet(1_000_000);
+            let v = check_agreement(&sim, &[0, 1, 3]);
+            assert!(!v, "validity: unanimous honest 0-input must decide 0");
+        }
+    }
+
+    #[test]
+    fn biased_mode_decides_zero_without_evidence() {
+        // Biased instances where nobody can produce evidence must decide
+        // 0 even when corrupted parties scream 1.
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(30);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public = Arc::new(public);
+        let check: EvidenceCheck<u64> = Arc::new(|e: &u64| *e == 42);
+        #[derive(Debug)]
+        struct Node {
+            abba: Abba<u64>,
+            rng: SeededRng,
+        }
+        impl Protocol for Node {
+            type Message = AbbaMessage<u64>;
+            type Input = bool;
+            type Output = bool;
+            fn on_input(&mut self, input: bool, fx: &mut Effects<AbbaMessage<u64>, bool>) {
+                let mut out = Vec::new();
+                if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
+                    fx.output(d);
+                }
+                for (to, m) in out {
+                    fx.send(to, m);
+                }
+            }
+            fn on_message(
+                &mut self,
+                from: PartyId,
+                msg: AbbaMessage<u64>,
+                fx: &mut Effects<AbbaMessage<u64>, bool>,
+            ) {
+                let mut out = Vec::new();
+                if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
+                    fx.output(d);
+                }
+                for (to, m) in out {
+                    fx.send(to, m);
+                }
+            }
+        }
+        let nodes: Vec<Node> = bundles
+            .iter()
+            .map(|b| Node {
+                abba: Abba::new_biased(
+                    Tag::root("biased"),
+                    Arc::clone(&public),
+                    Arc::new(b.clone()),
+                    Arc::clone(&check),
+                ),
+                rng: SeededRng::new(31 + b.party() as u64),
+            })
+            .collect();
+        let mut sim = Simulation::new(nodes, RandomScheduler, 32);
+        // Corrupted party 3 sends round-1 pre-votes for 1 with bogus
+        // evidence to everyone.
+        let bad_share = bundles[3]
+            .signing_key()
+            .sign_share(&Tag::root("biased").message(&[b"pre", &1u64.to_be_bytes(), &[1]]), &mut rng);
+        let bogus = AbbaMessage::PreVote(PreVote {
+            round: 1,
+            value: true,
+            just: PreVoteJust::FirstRound(Some(7u64)), // fails the check
+            share: bad_share,
+        });
+        sim.corrupt(
+            3,
+            Behavior::Custom(Box::new(move |_from, _msg, _| {
+                (0..3).map(|p| (p, bogus.clone())).collect()
+            })),
+        );
+        for p in 0..3 {
+            sim.input(p, false);
+        }
+        sim.run_until_quiet(1_000_000);
+        for p in 0..3 {
+            assert_eq!(sim.outputs(p), &[false], "party {p} must decide 0");
+        }
+    }
+
+    #[test]
+    fn biased_mode_accepts_valid_evidence() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(40);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public = Arc::new(public);
+        let check: EvidenceCheck<u64> = Arc::new(|e: &u64| *e == 42);
+        let mut abba: Abba<u64> = Abba::new_biased(
+            Tag::root("b2"),
+            Arc::clone(&public),
+            Arc::new(bundles[0].clone()),
+            Arc::clone(&check),
+        );
+        let mut out = Vec::new();
+        abba.propose_with_evidence(42, &mut rng, &mut out);
+        // The emitted pre-vote is self-validating.
+        let pv = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                AbbaMessage::PreVote(pv) => Some(pv.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let verifier: Abba<u64> = Abba::new_biased(
+            Tag::root("b2"),
+            Arc::clone(&public),
+            Arc::new(bundles[1].clone()),
+            check,
+        );
+        assert_eq!(verifier.validate_prevote(0, &pv), Ok(true));
+        // Tampered evidence fails.
+        let mut bad = pv;
+        bad.just = PreVoteJust::FirstRound(Some(41));
+        assert_eq!(verifier.validate_prevote(0, &bad), Ok(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "only once")]
+    fn double_propose_panics() {
+        let mut ns = nodes(4, 1, 13);
+        let mut out = Vec::new();
+        let mut rng = SeededRng::new(1);
+        ns[0].abba.propose(true, &mut rng, &mut out);
+        ns[0].abba.propose(false, &mut rng, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "propose_with_evidence")]
+    fn biased_one_without_evidence_panics() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(50);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let check: EvidenceCheck<u64> = Arc::new(|_| true);
+        let mut abba: Abba<u64> = Abba::new_biased(
+            Tag::root("b3"),
+            Arc::new(public),
+            Arc::new(bundles[0].clone()),
+            check,
+        );
+        abba.propose(true, &mut rng, &mut Vec::new());
+    }
+}

@@ -1,0 +1,621 @@
+//! Atomic broadcast (total-order broadcast) over multi-valued Byzantine
+//! agreement — the protocol of §3, following the Chandra-Toueg round
+//! shape in the Byzantine model.
+//!
+//! All honest servers deliver the same messages in the same order, which
+//! is what makes state machine replication possible. The protocol runs
+//! in global rounds:
+//!
+//! 1. every party holds a queue of payloads to order (its own inputs
+//!    plus payloads pushed by clients/peers — a broadcast sends the
+//!    payload to everyone, so it enters every honest queue, which is
+//!    what the paper's fairness condition rests on);
+//! 2. at round `r` each party signs its queue head (or an explicit
+//!    empty filler) and sends it to all;
+//! 3. once properly signed proposals from a core quorum arrive, the
+//!    party proposes that *list* to the round's [`Mvba`] instance; the
+//!    **external validity** predicate accepts only lists of correctly
+//!    signed round-`r` proposals from a core set of parties — so at
+//!    least a qualified (honest-containing) set of the entries comes
+//!    from honest parties;
+//! 4. the decided list's payloads are delivered in a deterministic
+//!    order, duplicates (already delivered in earlier rounds) skipped,
+//!    and the next round begins.
+
+use crate::common::{digest, send_all, Digest, Outbox, Tag};
+use crate::mvba::{Mvba, MvbaMessage, ValidityPredicate};
+use sintra_adversary::party::{PartyId, PartySet};
+use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
+use sintra_crypto::rng::SeededRng;
+use sintra_crypto::schnorr::Signature;
+use sintra_crypto::rng::SeededRng as Rng;
+use sintra_net::protocol::{Effects, Protocol};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Atomic-broadcast wire messages.
+#[derive(Clone, Debug)]
+pub enum AbcMessage {
+    /// Payload dissemination: enters every honest party's queue (the
+    /// fairness mechanism).
+    Push(Vec<u8>),
+    /// A party's signed round proposal (its queue head; empty = filler).
+    Queued {
+        /// Round number.
+        round: u64,
+        /// Proposed payload (empty = nothing to order).
+        payload: Vec<u8>,
+        /// Signature under the party's authentication key over
+        /// `(tag, round, payload)`.
+        sig: Signature,
+    },
+    /// Round-`r` multi-valued agreement traffic.
+    Mvba {
+        /// Round number.
+        round: u64,
+        /// The MVBA sub-message.
+        inner: MvbaMessage,
+    },
+}
+
+/// One totally-ordered delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbcDeliver {
+    /// Position in the total order (0-based, consecutive).
+    pub seq: u64,
+    /// The party whose round proposal carried the payload.
+    pub origin: PartyId,
+    /// The delivered payload.
+    pub payload: Vec<u8>,
+}
+
+/// Atomic broadcast endpoint at one server.
+pub struct AtomicBroadcast {
+    tag: Tag,
+    me: PartyId,
+    n: usize,
+    public: Arc<PublicParameters>,
+    bundle: Arc<ServerKeyBundle>,
+    round: u64,
+    queue: VecDeque<Vec<u8>>,
+    queued_digests: HashSet<Digest>,
+    delivered_digests: HashSet<Digest>,
+    /// Verified round proposals per round and party.
+    proposals: BTreeMap<u64, HashMap<PartyId, (Vec<u8>, Signature)>>,
+    sent_queued: HashSet<u64>,
+    mvba_proposed: HashSet<u64>,
+    mvbas: BTreeMap<u64, Mvba>,
+    decided_lists: BTreeMap<u64, Vec<u8>>,
+    next_seq: u64,
+    /// Total rounds completed (observability for benchmarks).
+    rounds_completed: u64,
+}
+
+impl core::fmt::Debug for AtomicBroadcast {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AtomicBroadcast")
+            .field("me", &self.me)
+            .field("round", &self.round)
+            .field("queue_len", &self.queue.len())
+            .field("delivered", &self.next_seq)
+            .finish()
+    }
+}
+
+impl AtomicBroadcast {
+    /// Creates the endpoint.
+    pub fn new(tag: Tag, public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>) -> Self {
+        AtomicBroadcast {
+            tag,
+            me: bundle.party(),
+            n: public.n(),
+            public,
+            bundle,
+            round: 0,
+            queue: VecDeque::new(),
+            queued_digests: HashSet::new(),
+            delivered_digests: HashSet::new(),
+            proposals: BTreeMap::new(),
+            sent_queued: HashSet::new(),
+            mvba_proposed: HashSet::new(),
+            mvbas: BTreeMap::new(),
+            decided_lists: BTreeMap::new(),
+            next_seq: 0,
+            rounds_completed: 0,
+        }
+    }
+
+    /// Number of payloads delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of agreement rounds completed.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Current round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Queue length (payloads awaiting ordering at this party).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queued_msg(&self, round: u64, payload: &[u8]) -> Vec<u8> {
+        self.tag
+            .message(&[b"queued", &round.to_be_bytes(), payload])
+    }
+
+    /// Broadcasts a payload: disseminates it so every honest server
+    /// queues it (fairness), and joins the current round.
+    ///
+    /// Empty payloads are reserved as round fillers and rejected.
+    pub fn broadcast(
+        &mut self,
+        payload: Vec<u8>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbcMessage>,
+    ) -> Vec<AbcDeliver> {
+        assert!(!payload.is_empty(), "empty payloads are reserved as fillers");
+        send_all(out, self.n, AbcMessage::Push(payload.clone()));
+        // Enqueue locally as well; the self-addressed Push (if the
+        // transport loops it back) deduplicates by digest.
+        self.enqueue(payload);
+        self.try_progress(rng, out)
+    }
+
+    fn enqueue(&mut self, payload: Vec<u8>) {
+        let d = digest(&payload);
+        if payload.is_empty()
+            || self.delivered_digests.contains(&d)
+            || !self.queued_digests.insert(d)
+        {
+            return;
+        }
+        self.queue.push_back(payload);
+    }
+
+    /// Handles a message, returning any new total-order deliveries.
+    pub fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: AbcMessage,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbcMessage>,
+    ) -> Vec<AbcDeliver> {
+        match msg {
+            AbcMessage::Push(payload) => {
+                self.enqueue(payload);
+                self.try_progress(rng, out)
+            }
+            AbcMessage::Queued {
+                round,
+                payload,
+                sig,
+            } => {
+                if round < self.round {
+                    return Vec::new(); // stale
+                }
+                let msg_bytes = self.queued_msg(round, &payload);
+                if !self.public.auth_key(from).verify(&msg_bytes, &sig) {
+                    return Vec::new();
+                }
+                self.proposals
+                    .entry(round)
+                    .or_default()
+                    .entry(from)
+                    .or_insert((payload, sig));
+                self.try_progress(rng, out)
+            }
+            AbcMessage::Mvba { round, inner } => {
+                if self.decided_lists.contains_key(&round) {
+                    return Vec::new();
+                }
+                let mvba = self.mvba_instance(round);
+                let mut sub = Vec::new();
+                let decision = mvba.on_message(from, inner, rng, &mut sub);
+                for (to, m) in sub {
+                    out.push((to, AbcMessage::Mvba { round, inner: m }));
+                }
+                if let Some(list) = decision {
+                    self.decided_lists.insert(round, list);
+                }
+                self.try_progress(rng, out)
+            }
+        }
+    }
+
+    fn mvba_instance(&mut self, round: u64) -> &mut Mvba {
+        let tag = self.tag.child("round", round);
+        let public = Arc::clone(&self.public);
+        let bundle = Arc::clone(&self.bundle);
+        let predicate = round_validity(&self.tag, round, Arc::clone(&self.public));
+        self.mvbas
+            .entry(round)
+            .or_insert_with(|| Mvba::new(tag, public, bundle, predicate))
+    }
+
+    /// Fires all enabled round transitions.
+    fn try_progress(
+        &mut self,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbcMessage>,
+    ) -> Vec<AbcDeliver> {
+        let mut delivered = Vec::new();
+        loop {
+            let r = self.round;
+            // 1. Join the round: sign and send our queue head (or a
+            //    filler if others are active and we have nothing).
+            let round_active = self
+                .proposals
+                .get(&r)
+                .map(|p| !p.is_empty())
+                .unwrap_or(false)
+                || self.decided_lists.contains_key(&r);
+            if !self.sent_queued.contains(&r) && (!self.queue.is_empty() || round_active) {
+                self.sent_queued.insert(r);
+                let payload = self.queue.front().cloned().unwrap_or_default();
+                let sig = self
+                    .bundle
+                    .auth_key()
+                    .sign(&self.queued_msg(r, &payload), rng);
+                send_all(
+                    out,
+                    self.n,
+                    AbcMessage::Queued {
+                        round: r,
+                        payload,
+                        sig,
+                    },
+                );
+            }
+            // 2. Propose the MVBA once a core quorum of proposals is in.
+            if !self.mvba_proposed.contains(&r) && self.sent_queued.contains(&r) {
+                let holders: PartySet = self
+                    .proposals
+                    .get(&r)
+                    .map(|p| p.keys().copied().collect())
+                    .unwrap_or_default();
+                if self.public.structure().is_core(&holders) {
+                    self.mvba_proposed.insert(r);
+                    let entries: Vec<(PartyId, Vec<u8>, Signature)> = self.proposals[&r]
+                        .iter()
+                        .map(|(p, (payload, sig))| (*p, payload.clone(), *sig))
+                        .collect();
+                    let list = encode_list(&entries);
+                    let mvba = self.mvba_instance(r);
+                    let mut sub = Vec::new();
+                    let decision = mvba.propose(list, rng, &mut sub);
+                    for (to, m) in sub {
+                        out.push((to, AbcMessage::Mvba { round: r, inner: m }));
+                    }
+                    if let Some(list) = decision {
+                        self.decided_lists.insert(r, list);
+                    }
+                }
+            }
+            // 3. Deliver a decided round and advance.
+            if let Some(list) = self.decided_lists.get(&r).cloned() {
+                delivered.extend(self.deliver_list(&list));
+                self.round = r + 1;
+                self.rounds_completed += 1;
+                // Reclaim the previous round's working state.
+                self.mvbas.remove(&r);
+                self.proposals.remove(&r);
+                continue;
+            }
+            break;
+        }
+        delivered
+    }
+
+    fn deliver_list(&mut self, list: &[u8]) -> Vec<AbcDeliver> {
+        let mut entries = decode_list(list).expect("decided lists passed external validity");
+        entries.sort_by_key(|(party, _, _)| *party);
+        let mut delivered = Vec::new();
+        for (origin, payload, _) in entries {
+            if payload.is_empty() {
+                continue; // filler
+            }
+            let d = digest(&payload);
+            if !self.delivered_digests.insert(d) {
+                continue; // already delivered in an earlier round
+            }
+            // Drop from our own queue if pending.
+            if self.queued_digests.remove(&d) {
+                self.queue.retain(|p| digest(p) != d);
+            }
+            delivered.push(AbcDeliver {
+                seq: self.next_seq,
+                origin,
+                payload,
+            });
+            self.next_seq += 1;
+        }
+        delivered
+    }
+}
+
+/// The external validity predicate for round `r`: the value must decode
+/// to a list of distinct-party entries whose holders form a core set,
+/// each correctly signed for this round.
+fn round_validity(tag: &Tag, round: u64, public: Arc<PublicParameters>) -> ValidityPredicate {
+    let tag = tag.clone();
+    Arc::new(move |value: &[u8]| {
+        let entries = match decode_list(value) {
+            Some(e) => e,
+            None => return false,
+        };
+        let mut holders = PartySet::new();
+        for (party, payload, sig) in &entries {
+            if *party >= public.n() || !holders.insert(*party) {
+                return false; // out of range or duplicate
+            }
+            let msg = tag.message(&[b"queued", &round.to_be_bytes(), payload]);
+            if !public.auth_key(*party).verify(&msg, sig) {
+                return false;
+            }
+        }
+        public.structure().is_core(&holders)
+    })
+}
+
+/// Encodes a proposal list: `count ‖ (party ‖ len ‖ payload ‖ sig)*`.
+fn encode_list(entries: &[(PartyId, Vec<u8>, Signature)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (party, payload, sig) in entries {
+        out.extend_from_slice(&(*party as u32).to_be_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&sig.to_bytes());
+    }
+    out
+}
+
+/// Decodes a proposal list; `None` on malformed input.
+fn decode_list(bytes: &[u8]) -> Option<Vec<(PartyId, Vec<u8>, Signature)>> {
+    let mut rest = bytes;
+    let take = |rest: &mut &[u8], n: usize| -> Option<Vec<u8>> {
+        if rest.len() < n {
+            return None;
+        }
+        let (head, tail) = rest.split_at(n);
+        *rest = tail;
+        Some(head.to_vec())
+    };
+    let count = u32::from_be_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+    if count > 4096 {
+        return None; // sanity bound
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let party = u32::from_be_bytes(take(&mut rest, 4)?.try_into().ok()?) as PartyId;
+        let len = u32::from_be_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+        if len > 1 << 24 {
+            return None;
+        }
+        let payload = take(&mut rest, len)?;
+        let sig_bytes: [u8; 64] = take(&mut rest, 64)?.try_into().ok()?;
+        out.push((party, payload, Signature::from_bytes(&sig_bytes)));
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// [`Protocol`] adapter: one atomic-broadcast server as a simulator
+/// node. Inputs are payloads to broadcast; outputs are total-order
+/// deliveries.
+#[derive(Debug)]
+pub struct AbcNode {
+    abc: AtomicBroadcast,
+    rng: Rng,
+}
+
+impl AbcNode {
+    /// Wraps an endpoint with its nonce RNG.
+    pub fn new(abc: AtomicBroadcast, rng: Rng) -> Self {
+        AbcNode { abc, rng }
+    }
+
+    /// Read access to the endpoint.
+    pub fn endpoint(&self) -> &AtomicBroadcast {
+        &self.abc
+    }
+}
+
+impl Protocol for AbcNode {
+    type Message = AbcMessage;
+    type Input = Vec<u8>;
+    type Output = AbcDeliver;
+
+    fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<AbcMessage, AbcDeliver>) {
+        let mut out = Vec::new();
+        for d in self.abc.broadcast(input, &mut self.rng, &mut out) {
+            fx.output(d);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: AbcMessage, fx: &mut Effects<AbcMessage, AbcDeliver>) {
+        let mut out = Vec::new();
+        for d in self.abc.on_message(from, msg, &mut self.rng, &mut out) {
+            fx.output(d);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+}
+
+/// Builds `n` connected [`AbcNode`]s for a dealt system (test/bench
+/// helper).
+pub fn abc_nodes(
+    public: PublicParameters,
+    bundles: Vec<ServerKeyBundle>,
+    seed: u64,
+) -> Vec<AbcNode> {
+    let public = Arc::new(public);
+    bundles
+        .into_iter()
+        .map(|b| {
+            let rng = Rng::new(seed ^ (b.party() as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+            AbcNode::new(
+                AtomicBroadcast::new(
+                    Tag::root("abc"),
+                    Arc::clone(&public),
+                    Arc::new(b),
+                ),
+                rng,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+    use sintra_net::sim::{Behavior, LifoScheduler, RandomScheduler, Simulation};
+
+    fn nodes(n: usize, t: usize, seed: u64) -> Vec<AbcNode> {
+        let ts = TrustStructure::threshold(n, t).unwrap();
+        let mut rng = Rng::new(seed);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        abc_nodes(public, bundles, seed)
+    }
+
+    fn delivered_payloads(sim: &Simulation<AbcNode, impl sintra_net::sim::Scheduler<AbcMessage>>, p: usize) -> Vec<Vec<u8>> {
+        sim.outputs(p).iter().map(|d| d.payload.clone()).collect()
+    }
+
+    #[test]
+    fn single_broadcast_total_order() {
+        let mut sim = Simulation::new(nodes(4, 1, 1), RandomScheduler, 2);
+        sim.input(0, b"m1".to_vec());
+        sim.run_until_quiet(10_000_000);
+        for p in 0..4 {
+            assert_eq!(delivered_payloads(&sim, p), vec![b"m1".to_vec()], "party {p}");
+        }
+    }
+
+    #[test]
+    fn concurrent_broadcasts_same_order_everywhere() {
+        for seed in 0..3u64 {
+            let mut sim = Simulation::new(nodes(4, 1, 10 + seed), RandomScheduler, 20 + seed);
+            for p in 0..4 {
+                sim.input(p, format!("msg-from-{p}").into_bytes());
+            }
+            sim.run_until_quiet(50_000_000);
+            let reference = delivered_payloads(&sim, 0);
+            assert_eq!(reference.len(), 4, "all messages delivered (seed {seed})");
+            for p in 1..4 {
+                assert_eq!(delivered_payloads(&sim, p), reference, "party {p} seed {seed}");
+            }
+            // Sequence numbers are consecutive.
+            for p in 0..4 {
+                let seqs: Vec<u64> = sim.outputs(p).iter().map(|d| d.seq).collect();
+                assert_eq!(seqs, (0..4).collect::<Vec<u64>>());
+            }
+        }
+    }
+
+    #[test]
+    fn order_holds_under_lifo() {
+        let mut sim = Simulation::new(nodes(4, 1, 40), LifoScheduler, 41);
+        for p in 0..4 {
+            sim.input(p, format!("m{p}").into_bytes());
+        }
+        sim.run_until_quiet(50_000_000);
+        let reference = delivered_payloads(&sim, 0);
+        assert_eq!(reference.len(), 4);
+        for p in 1..4 {
+            assert_eq!(delivered_payloads(&sim, p), reference);
+        }
+    }
+
+    #[test]
+    fn crash_fault_does_not_block_ordering() {
+        let mut sim = Simulation::new(nodes(4, 1, 50), RandomScheduler, 51);
+        sim.corrupt(3, Behavior::Crash);
+        sim.input(0, b"a".to_vec());
+        sim.input(1, b"b".to_vec());
+        sim.run_until_quiet(50_000_000);
+        let reference = delivered_payloads(&sim, 0);
+        assert_eq!(reference.len(), 2);
+        for p in 1..3 {
+            assert_eq!(delivered_payloads(&sim, p), reference, "party {p}");
+        }
+    }
+
+    #[test]
+    fn multiple_messages_from_one_party() {
+        let mut sim = Simulation::new(nodes(4, 1, 60), RandomScheduler, 61);
+        sim.input(0, b"first".to_vec());
+        sim.input(0, b"second".to_vec());
+        sim.input(0, b"third".to_vec());
+        sim.run_until_quiet(100_000_000);
+        let reference = delivered_payloads(&sim, 0);
+        assert_eq!(reference.len(), 3);
+        for p in 1..4 {
+            assert_eq!(delivered_payloads(&sim, p), reference, "party {p}");
+        }
+    }
+
+    #[test]
+    fn duplicate_broadcast_delivered_once() {
+        let mut sim = Simulation::new(nodes(4, 1, 70), RandomScheduler, 71);
+        sim.input(0, b"dup".to_vec());
+        sim.input(1, b"dup".to_vec());
+        sim.input(2, b"other".to_vec());
+        sim.run_until_quiet(50_000_000);
+        for p in 0..4 {
+            let payloads = delivered_payloads(&sim, p);
+            let dups = payloads.iter().filter(|x| x.as_slice() == b"dup").count();
+            assert_eq!(dups, 1, "party {p}: dedup across parties");
+            assert!(payloads.contains(&b"other".to_vec()));
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_and_bounds() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = Rng::new(1);
+        let (_, bundles) = Dealer::deal(&ts, &mut rng);
+        let sig = bundles[0].auth_key().sign(b"x", &mut rng);
+        let entries = vec![
+            (0, b"alpha".to_vec(), sig),
+            (2, Vec::new(), sig),
+            (3, vec![0u8; 300], sig),
+        ];
+        let encoded = encode_list(&entries);
+        let decoded = decode_list(&encoded).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].1, b"alpha".to_vec());
+        assert_eq!(decoded[1].1, Vec::<u8>::new());
+        // Truncated input fails cleanly.
+        assert!(decode_list(&encoded[..encoded.len() - 1]).is_none());
+        assert!(decode_list(b"").is_none());
+        // Trailing garbage fails.
+        let mut padded = encoded;
+        padded.push(0);
+        assert!(decode_list(&padded).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved as fillers")]
+    fn empty_broadcast_panics() {
+        let mut ns = nodes(4, 1, 80);
+        let mut rng = Rng::new(1);
+        ns[0].abc.broadcast(Vec::new(), &mut rng, &mut Vec::new());
+    }
+}

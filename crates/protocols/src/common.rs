@@ -1,0 +1,194 @@
+//! Shared plumbing for the protocol stack: per-server context, instance
+//! tags, and sub-protocol outboxes.
+
+use sintra_adversary::party::PartyId;
+use sintra_adversary::structure::TrustStructure;
+use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
+use sintra_crypto::hash::Sha256;
+use sintra_crypto::rng::SeededRng;
+use std::sync::Arc;
+
+/// A 32-byte message digest.
+pub type Digest = [u8; 32];
+
+/// Computes the digest of a payload.
+pub fn digest(payload: &[u8]) -> Digest {
+    Sha256::digest(payload)
+}
+
+/// Messages queued by a sub-protocol, addressed by party.
+pub type Outbox<M> = Vec<(PartyId, M)>;
+
+/// Queues `msg` for every party in `0..n` (including self; protocols
+/// count their own votes through the same path as everyone else's).
+pub fn send_all<M: Clone>(out: &mut Outbox<M>, n: usize, msg: M) {
+    for to in 0..n {
+        out.push((to, msg.clone()));
+    }
+}
+
+/// A hierarchical protocol-instance tag. Tags separate the cryptographic
+/// domains of concurrent instances: signature shares, coin names, and
+/// transcripts all bind the tag, so messages cannot be replayed across
+/// instances (or across layers of the stack).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(Vec<u8>);
+
+impl Tag {
+    /// A root tag for a top-level instance.
+    pub fn root(name: &str) -> Tag {
+        let mut v = Vec::with_capacity(name.len() + 1);
+        v.extend_from_slice(name.as_bytes());
+        Tag(v)
+    }
+
+    /// Derives a child tag (unambiguous framing).
+    pub fn child(&self, label: &str, index: u64) -> Tag {
+        let mut v = self.0.clone();
+        v.push(b'/');
+        v.extend_from_slice(label.as_bytes());
+        v.push(b':');
+        v.extend_from_slice(&index.to_be_bytes());
+        Tag(v)
+    }
+
+    /// The raw tag bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Builds the byte string signed/hashed for this tag and context
+    /// fields.
+    pub fn message(&self, fields: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.0.len() + 16);
+        out.extend_from_slice(&(self.0.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.0);
+        for f in fields {
+            out.extend_from_slice(&(f.len() as u64).to_be_bytes());
+            out.extend_from_slice(f);
+        }
+        out
+    }
+}
+
+impl core::fmt::Debug for Tag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Tag(")?;
+        for b in &self.0 {
+            if b.is_ascii_graphic() {
+                write!(f, "{}", *b as char)?;
+            } else {
+                write!(f, "\\x{:02x}", b)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Per-server protocol context: identity, public parameters, secret key
+/// bundle, and a deterministic RNG stream for nonces.
+#[derive(Clone, Debug)]
+pub struct Context {
+    public: Arc<PublicParameters>,
+    bundle: Arc<ServerKeyBundle>,
+    /// Nonce randomness (deterministic per seed for replayable runs).
+    pub rng: SeededRng,
+}
+
+impl Context {
+    /// Creates the context for one server.
+    pub fn new(public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>, seed: u64) -> Self {
+        let me = bundle.party() as u64;
+        Context {
+            public,
+            bundle,
+            rng: SeededRng::new(seed ^ me.wrapping_mul(0x9e3779b97f4a7c15)),
+        }
+    }
+
+    /// This server's party id.
+    pub fn me(&self) -> PartyId {
+        self.bundle.party()
+    }
+
+    /// Number of servers.
+    pub fn n(&self) -> usize {
+        self.public.n()
+    }
+
+    /// The public parameters.
+    pub fn public(&self) -> &PublicParameters {
+        &self.public
+    }
+
+    /// The secret key bundle.
+    pub fn bundle(&self) -> &ServerKeyBundle {
+        &self.bundle
+    }
+
+    /// The trust structure.
+    pub fn structure(&self) -> &TrustStructure {
+        self.public.structure()
+    }
+}
+
+/// Builds the `n` per-server contexts for a dealt system (test/bench
+/// helper).
+pub fn contexts(
+    public: PublicParameters,
+    bundles: Vec<ServerKeyBundle>,
+    seed: u64,
+) -> Vec<Context> {
+    let public = Arc::new(public);
+    bundles
+        .into_iter()
+        .map(|b| Context::new(Arc::clone(&public), Arc::new(b), seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+
+    #[test]
+    fn tags_are_unambiguous() {
+        let a = Tag::root("abc").child("round", 1).child("e", 2);
+        let b = Tag::root("abc").child("round", 12).child("e", 2);
+        assert_ne!(a, b);
+        assert_ne!(a.message(&[b"x"]), b.message(&[b"x"]));
+        assert_ne!(a.message(&[b"x", b"y"]), a.message(&[b"xy"]));
+        assert!(format!("{a:?}").contains("abc"));
+    }
+
+    #[test]
+    fn context_construction() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(1);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let ctxs = contexts(public, bundles, 7);
+        assert_eq!(ctxs.len(), 4);
+        for (i, c) in ctxs.iter().enumerate() {
+            assert_eq!(c.me(), i);
+            assert_eq!(c.n(), 4);
+        }
+        // RNG streams differ per party.
+        let mut a = ctxs[0].rng.clone();
+        let mut b = ctxs[1].rng.clone();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn send_all_includes_self() {
+        let mut out: Outbox<u8> = Vec::new();
+        send_all(&mut out, 3, 9);
+        assert_eq!(out, vec![(0, 9), (1, 9), (2, 9)]);
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        assert_eq!(digest(b"x"), digest(b"x"));
+        assert_ne!(digest(b"x"), digest(b"y"));
+    }
+}

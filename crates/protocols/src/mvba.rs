@@ -1,0 +1,611 @@
+//! Multi-valued validated Byzantine agreement with **external validity**
+//! (the CKPS01 construction the paper introduces in §3).
+//!
+//! The difficulty with multi-valued agreement is validity: the domain
+//! has no fixed size, and "decide some proposed value" is not enough in
+//! a Byzantine setting. The paper's answer is an *external* validity
+//! predicate: every honest party can check a candidate value, and the
+//! protocol may only decide a value acceptable to honest parties.
+//!
+//! The construction here follows the companion paper's VBA protocol:
+//!
+//! 1. **dissemination** — each party consistent-broadcasts its (valid)
+//!    proposal; the voucher makes delivered proposals transferable;
+//! 2. once a core quorum of proposals is delivered, parties run repeated
+//!    **elections**: the threshold coin names a random candidate party,
+//!    unpredictable to the adversary;
+//! 3. a **biased binary agreement** ([`crate::abba`]) decides whether
+//!    the candidate's proposal "counts": voting 1 requires the voucher
+//!    as evidence, so a 1-decision guarantees some honest party can
+//!    supply the proposal (retrieval liveness);
+//! 4. on the first 1-decision everyone outputs the candidate's proposal,
+//!    re-broadcasting its voucher so laggards can recover it.
+//!
+//! Each election succeeds with constant probability, so the expected
+//! number of elections — and, with ABBA's expected-constant rounds, the
+//! whole protocol — is constant.
+
+use crate::abba::{Abba, AbbaMessage, EvidenceCheck};
+use crate::cbc::{CbcMessage, ConsistentBroadcast, Voucher};
+use crate::common::{send_all, Outbox, Tag};
+use parking_lot::Mutex;
+use sintra_adversary::party::{PartyId, PartySet};
+use sintra_crypto::coin::CoinShare;
+use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
+use sintra_crypto::rng::SeededRng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// External validity predicate: decides whether a byte string is an
+/// acceptable decision value.
+pub type ValidityPredicate = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
+
+/// MVBA wire messages.
+#[derive(Clone, Debug)]
+pub enum MvbaMessage {
+    /// Consistent-broadcast traffic for one party's proposal.
+    Proposal {
+        /// Whose proposal this instance disseminates.
+        proposer: PartyId,
+        /// The CBC sub-message.
+        inner: CbcMessage,
+    },
+    /// A share of the election coin.
+    ElectCoin {
+        /// Election index.
+        election: u64,
+        /// The coin share.
+        share: CoinShare,
+    },
+    /// Biased binary agreement traffic for one election.
+    Vote {
+        /// Election index.
+        election: u64,
+        /// The ABBA sub-message (evidence = candidate voucher).
+        inner: AbbaMessage<Voucher>,
+    },
+}
+
+/// Multi-valued validated Byzantine agreement instance at one party.
+pub struct Mvba {
+    tag: Tag,
+    me: PartyId,
+    n: usize,
+    public: Arc<PublicParameters>,
+    bundle: Arc<ServerKeyBundle>,
+    predicate: ValidityPredicate,
+    /// CBC instance per proposer.
+    cbc: Vec<ConsistentBroadcast>,
+    /// Delivered (and externally valid) proposals, shared with the ABBA
+    /// evidence validators so vouchers learned during vote validation
+    /// are retained for retrieval.
+    vouchers: Arc<Mutex<HashMap<PartyId, Voucher>>>,
+    /// Proposers with stored vouchers (mirror of `vouchers` keys).
+    delivered: PartySet,
+    proposed: bool,
+    elections_started: bool,
+    election: u64,
+    /// Coin shares per election (buffered ahead of need).
+    elect_shares: BTreeMap<u64, Vec<CoinShare>>,
+    /// Decided candidate per election.
+    candidates: BTreeMap<u64, PartyId>,
+    /// Running ABBA instances (created once the candidate is known).
+    abbas: BTreeMap<u64, Abba<Voucher>>,
+    /// Vote messages waiting for their election's candidate.
+    pending_votes: BTreeMap<u64, Vec<(PartyId, AbbaMessage<Voucher>)>>,
+    /// A 1-decision whose voucher has not arrived yet.
+    waiting_for: Option<(u64, PartyId)>,
+    decided: Option<Vec<u8>>,
+}
+
+impl core::fmt::Debug for Mvba {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Mvba")
+            .field("tag", &self.tag)
+            .field("me", &self.me)
+            .field("election", &self.election)
+            .field("decided", &self.decided.is_some())
+            .finish()
+    }
+}
+
+impl Mvba {
+    /// Creates an instance under `tag` with the given external validity
+    /// predicate.
+    pub fn new(
+        tag: Tag,
+        public: Arc<PublicParameters>,
+        bundle: Arc<ServerKeyBundle>,
+        predicate: ValidityPredicate,
+    ) -> Self {
+        let n = public.n();
+        let cbc = (0..n)
+            .map(|proposer| {
+                ConsistentBroadcast::new(
+                    tag.child("prop", proposer as u64),
+                    proposer,
+                    Arc::clone(&public),
+                    Arc::clone(&bundle),
+                )
+            })
+            .collect();
+        Mvba {
+            tag,
+            me: bundle.party(),
+            n,
+            public,
+            bundle,
+            predicate,
+            cbc,
+            vouchers: Arc::new(Mutex::new(HashMap::new())),
+            delivered: PartySet::new(),
+            proposed: false,
+            elections_started: false,
+            election: 0,
+            elect_shares: BTreeMap::new(),
+            candidates: BTreeMap::new(),
+            abbas: BTreeMap::new(),
+            pending_votes: BTreeMap::new(),
+            waiting_for: None,
+            decided: None,
+        }
+    }
+
+    /// The decided value, if any.
+    pub fn decision(&self) -> Option<&[u8]> {
+        self.decided.as_deref()
+    }
+
+    /// Number of elections run so far (for the round-count experiments).
+    pub fn elections(&self) -> u64 {
+        self.election
+    }
+
+    /// Starts the instance with this party's proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-propose or if the proposal fails the validity
+    /// predicate (the caller must propose valid values).
+    pub fn propose(
+        &mut self,
+        value: Vec<u8>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        assert!(!self.proposed, "propose may be called only once");
+        assert!((self.predicate)(&value), "own proposal must be valid");
+        self.proposed = true;
+        let mut sub = Vec::new();
+        self.cbc[self.me].broadcast(value, &mut sub);
+        let me = self.me;
+        wrap(out, sub, |inner| MvbaMessage::Proposal { proposer: me, inner });
+        // Proposals received before our own input may already form a core
+        // quorum.
+        self.progress(rng, out)
+    }
+
+    fn elect_coin_name(&self, election: u64) -> Vec<u8> {
+        self.tag.message(&[b"elect", &election.to_be_bytes()])
+    }
+
+    /// Handles a message; returns the decided value when this party
+    /// decides.
+    pub fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: MvbaMessage,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        if self.decided.is_some() {
+            return None;
+        }
+        match msg {
+            MvbaMessage::Proposal { proposer, inner } => {
+                if proposer >= self.n {
+                    return None;
+                }
+                let mut sub = Vec::new();
+                let delivered = self.cbc[proposer].on_message(from, inner, rng, &mut sub);
+                wrap(out, sub, |inner| MvbaMessage::Proposal { proposer, inner });
+                if let Some(voucher) = delivered {
+                    if (self.predicate)(&voucher.payload) {
+                        self.store_voucher(proposer, voucher);
+                        return self.progress(rng, out);
+                    }
+                }
+                None
+            }
+            MvbaMessage::ElectCoin { election, share } => {
+                if share.party() != from {
+                    return None;
+                }
+                let name = self.elect_coin_name(election);
+                if !self.public.coin().verify_share(&name, &share) {
+                    return None;
+                }
+                if self.candidates.contains_key(&election) {
+                    return None;
+                }
+                self.elect_shares.entry(election).or_default().push(share);
+                self.try_elect(election, rng, out)
+            }
+            MvbaMessage::Vote { election, inner } => {
+                if let Some(abba) = self.abbas.get_mut(&election) {
+                    let mut sub = Vec::new();
+                    let decision = abba.on_message(from, inner, rng, &mut sub);
+                    wrap(out, sub, |inner| MvbaMessage::Vote { election, inner });
+                    if let Some(bit) = decision {
+                        return self.on_abba_decision(election, bit, rng, out);
+                    }
+                    None
+                } else {
+                    self.pending_votes
+                        .entry(election)
+                        .or_default()
+                        .push((from, inner));
+                    None
+                }
+            }
+        }
+    }
+
+    fn store_voucher(&mut self, proposer: PartyId, voucher: Voucher) {
+        self.vouchers.lock().insert(proposer, voucher);
+        self.delivered.insert(proposer);
+    }
+
+    /// Fires any enabled transitions: starting elections, resolving a
+    /// waiting 1-decision.
+    fn progress(
+        &mut self,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        // A previously decided election may have been waiting for its
+        // voucher.
+        if let Some((election, candidate)) = self.waiting_for {
+            let voucher = self.vouchers.lock().get(&candidate).cloned();
+            if let Some(v) = voucher {
+                self.waiting_for = None;
+                return self.output(election, candidate, v, out);
+            }
+        }
+        // Start elections once a core quorum of proposals is in.
+        if !self.elections_started
+            && self.proposed
+            && self.public.structure().is_core(&self.delivered)
+        {
+            self.elections_started = true;
+            self.start_election(0, rng, out);
+            // Starting the election may immediately cascade (buffered
+            // shares and votes).
+            return self.after_election_start(0, rng, out);
+        }
+        None
+    }
+
+    fn start_election(&mut self, election: u64, rng: &mut SeededRng, out: &mut Outbox<MvbaMessage>) {
+        self.election = election;
+        let name = self.elect_coin_name(election);
+        let share = self.bundle.coin_key().share(&name, rng);
+        send_all(out, self.n, MvbaMessage::ElectCoin { election, share });
+    }
+
+    fn after_election_start(
+        &mut self,
+        election: u64,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        self.try_elect(election, rng, out)
+    }
+
+    /// Attempts to combine the election coin and launch the ABBA.
+    fn try_elect(
+        &mut self,
+        election: u64,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        if self.candidates.contains_key(&election) || election != self.election || !self.elections_started
+        {
+            return None;
+        }
+        let name = self.elect_coin_name(election);
+        let shares = match self.elect_shares.get(&election) {
+            Some(s) => s.clone(),
+            None => return None,
+        };
+        let value = self.public.coin().combine(&name, &shares)?;
+        let candidate = (value.u64() % self.n as u64) as PartyId;
+        self.candidates.insert(election, candidate);
+        // Build the biased ABBA whose evidence is the candidate's
+        // voucher; validated vouchers are stored for retrieval.
+        let vouchers = Arc::clone(&self.vouchers);
+        let public = Arc::clone(&self.public);
+        let prop_tag = self.tag.child("prop", candidate as u64);
+        let predicate = Arc::clone(&self.predicate);
+        let check: EvidenceCheck<Voucher> = Arc::new(move |v: &Voucher| {
+            if !ConsistentBroadcast::verify_voucher(&public, &prop_tag, v) {
+                return false;
+            }
+            if !(predicate)(&v.payload) {
+                return false;
+            }
+            vouchers.lock().entry(candidate).or_insert_with(|| v.clone());
+            true
+        });
+        let mut abba = Abba::new_biased(
+            self.tag.child("abba", election),
+            Arc::clone(&self.public),
+            Arc::clone(&self.bundle),
+            check,
+        );
+        // Propose.
+        let my_voucher = self.vouchers.lock().get(&candidate).cloned();
+        let mut sub = Vec::new();
+        let mut decision = match my_voucher {
+            Some(v) => abba.propose_with_evidence(v, rng, &mut sub),
+            None => abba.propose(false, rng, &mut sub),
+        };
+        wrap(out, sub, |inner| MvbaMessage::Vote { election, inner });
+        // Drain buffered votes.
+        let pending = self.pending_votes.remove(&election).unwrap_or_default();
+        self.abbas.insert(election, abba);
+        for (from, inner) in pending {
+            if decision.is_some() {
+                break;
+            }
+            let mut sub = Vec::new();
+            decision = self
+                .abbas
+                .get_mut(&election)
+                .expect("just inserted")
+                .on_message(from, inner, rng, &mut sub);
+            wrap(out, sub, |inner| MvbaMessage::Vote { election, inner });
+        }
+        if let Some(bit) = decision {
+            return self.on_abba_decision(election, bit, rng, out);
+        }
+        None
+    }
+
+    fn on_abba_decision(
+        &mut self,
+        election: u64,
+        bit: bool,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        if election != self.election || self.decided.is_some() {
+            return None;
+        }
+        let candidate = *self
+            .candidates
+            .get(&election)
+            .expect("decision implies the election's candidate is known");
+        if bit {
+            let voucher = self.vouchers.lock().get(&candidate).cloned();
+            match voucher {
+                Some(v) => self.output(election, candidate, v, out),
+                None => {
+                    // Some honest party holds the voucher (biased
+                    // validity) and will re-broadcast it.
+                    self.waiting_for = Some((election, candidate));
+                    None
+                }
+            }
+        } else {
+            self.start_election(election + 1, rng, out);
+            self.after_election_start(election + 1, rng, out)
+        }
+    }
+
+    fn output(
+        &mut self,
+        _election: u64,
+        candidate: PartyId,
+        voucher: Voucher,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        // Help laggards: re-broadcast the winning proposal's transferable
+        // CBC Final so everyone can deliver it.
+        send_all(
+            out,
+            self.n,
+            MvbaMessage::Proposal {
+                proposer: candidate,
+                inner: CbcMessage::Final(voucher.payload.clone(), voucher.signature.clone()),
+            },
+        );
+        self.decided = Some(voucher.payload.clone());
+        Some(voucher.payload)
+    }
+}
+
+/// Wraps sub-protocol messages into the parent message type.
+fn wrap<Sub, M>(out: &mut Outbox<M>, sub: Outbox<Sub>, f: impl Fn(Sub) -> M) {
+    for (to, m) in sub {
+        out.push((to, f(m)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::contexts;
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+    use sintra_net::protocol::{Effects, Protocol};
+    use sintra_net::sim::{Behavior, LifoScheduler, RandomScheduler, Simulation};
+
+    #[derive(Debug)]
+    pub struct MvbaNode {
+        mvba: Mvba,
+        rng: SeededRng,
+    }
+
+    impl Protocol for MvbaNode {
+        type Message = MvbaMessage;
+        type Input = Vec<u8>;
+        type Output = Vec<u8>;
+
+        fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
+            let mut out = Vec::new();
+            if let Some(d) = self.mvba.propose(input, &mut self.rng, &mut out) {
+                fx.output(d);
+            }
+            for (to, m) in out {
+                fx.send(to, m);
+            }
+        }
+
+        fn on_message(&mut self, from: PartyId, msg: MvbaMessage, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
+            let mut out = Vec::new();
+            if let Some(d) = self.mvba.on_message(from, msg, &mut self.rng, &mut out) {
+                fx.output(d);
+            }
+            for (to, m) in out {
+                fx.send(to, m);
+            }
+        }
+    }
+
+    pub fn nodes_with_predicate(
+        n: usize,
+        t: usize,
+        seed: u64,
+        predicate: ValidityPredicate,
+    ) -> Vec<MvbaNode> {
+        let ts = TrustStructure::threshold(n, t).unwrap();
+        let mut rng = SeededRng::new(seed);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        contexts(public, bundles, seed)
+            .into_iter()
+            .map(|c| MvbaNode {
+                mvba: Mvba::new(
+                    Tag::root("mvba-test"),
+                    Arc::new(c.public().clone()),
+                    Arc::new(c.bundle().clone()),
+                    Arc::clone(&predicate),
+                ),
+                rng: c.rng.clone(),
+            })
+            .collect()
+    }
+
+    fn nodes(n: usize, t: usize, seed: u64) -> Vec<MvbaNode> {
+        nodes_with_predicate(n, t, seed, Arc::new(|_| true))
+    }
+
+    fn check_agreement(
+        sim: &Simulation<MvbaNode, impl sintra_net::sim::Scheduler<MvbaMessage>>,
+        honest: &[usize],
+    ) -> Vec<u8> {
+        let decisions: Vec<Vec<u8>> = honest
+            .iter()
+            .filter_map(|p| sim.outputs(*p).first().cloned())
+            .collect();
+        assert_eq!(decisions.len(), honest.len(), "every honest party decides");
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "agreement violated"
+        );
+        decisions[0].clone()
+    }
+
+    #[test]
+    fn decides_some_proposed_value() {
+        for seed in 0..5u64 {
+            let mut sim = Simulation::new(nodes(4, 1, seed), RandomScheduler, 100 + seed);
+            for p in 0..4 {
+                sim.input(p, format!("proposal-{p}").into_bytes());
+            }
+            sim.run_until_quiet(5_000_000);
+            let v = check_agreement(&sim, &[0, 1, 2, 3]);
+            let s = String::from_utf8(v).unwrap();
+            assert!(s.starts_with("proposal-"), "decided {s}");
+        }
+    }
+
+    #[test]
+    fn decides_under_lifo_schedule() {
+        let mut sim = Simulation::new(nodes(4, 1, 7), LifoScheduler, 8);
+        for p in 0..4 {
+            sim.input(p, vec![p as u8]);
+        }
+        sim.run_until_quiet(5_000_000);
+        check_agreement(&sim, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tolerates_crash() {
+        for seed in 0..3u64 {
+            let mut sim = Simulation::new(nodes(4, 1, 30 + seed), RandomScheduler, 300 + seed);
+            sim.corrupt(1, Behavior::Crash);
+            for p in [0usize, 2, 3] {
+                sim.input(p, format!("p{p}").into_bytes());
+            }
+            sim.run_until_quiet(5_000_000);
+            let v = check_agreement(&sim, &[0, 2, 3]);
+            // The crashed party's proposal never got disseminated; the
+            // decision must come from a live party.
+            assert_ne!(v, b"p1".to_vec());
+        }
+    }
+
+    #[test]
+    fn external_validity_is_enforced() {
+        // Predicate: payload must start with "ok". A corrupted party
+        // spams an invalid proposal; the decision must satisfy the
+        // predicate.
+        let predicate: ValidityPredicate = Arc::new(|v: &[u8]| v.starts_with(b"ok"));
+        for seed in 0..3u64 {
+            let mut sim = Simulation::new(
+                nodes_with_predicate(4, 1, 60 + seed, Arc::clone(&predicate)),
+                RandomScheduler,
+                600 + seed,
+            );
+            // Corrupted party 3 re-sends whatever it receives (it cannot
+            // forge a valid CBC voucher for an invalid payload anyway,
+            // since honest parties only echo-sign what they receive from
+            // the designated sender, but the predicate check is the
+            // decisive guard).
+            sim.corrupt(
+                3,
+                Behavior::Custom(Box::new(|_from, msg: MvbaMessage, _| {
+                    (0..3).map(|p| (p, msg.clone())).collect()
+                })),
+            );
+            for p in 0..3 {
+                sim.input(p, format!("ok-{p}").into_bytes());
+            }
+            sim.run_until_quiet(5_000_000);
+            let v = check_agreement(&sim, &[0, 1, 2]);
+            assert!(v.starts_with(b"ok"));
+        }
+    }
+
+    #[test]
+    fn seven_parties_two_crashes() {
+        let mut sim = Simulation::new(nodes(7, 2, 70), RandomScheduler, 71);
+        sim.corrupt(5, Behavior::Crash);
+        sim.corrupt(6, Behavior::Crash);
+        for p in 0..5 {
+            sim.input(p, format!("v{p}").into_bytes());
+        }
+        sim.run_until_quiet(20_000_000);
+        check_agreement(&sim, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be valid")]
+    fn invalid_own_proposal_panics() {
+        let predicate: ValidityPredicate = Arc::new(|_| false);
+        let mut ns = nodes_with_predicate(4, 1, 80, predicate);
+        let mut rng = SeededRng::new(1);
+        ns[0].mvba.propose(b"x".to_vec(), &mut rng, &mut Vec::new());
+    }
+}

@@ -1,0 +1,187 @@
+//! Wire-size accounting for protocol messages.
+//!
+//! The experiments report not only message *counts* but *bytes* — the
+//! quantity that matters on a real network and the one in which this
+//! repository's aggregate-signature substitution differs from the
+//! paper's constant-size RSA threshold signatures (see DESIGN.md §3).
+//! Every message type implements [`WireSize`], a close estimate of its
+//! length under the repository's framing conventions (length-prefixed
+//! fields, 32-byte group elements and digests, 64-byte
+//! signatures/proofs).
+
+use crate::abba::{AbbaMessage, MainVoteJust, PreVote, PreVoteJust};
+use crate::abc::AbcMessage;
+use crate::cbc::{CbcMessage, Voucher};
+use crate::common::Digest;
+use crate::fdabc::FdMessage;
+use crate::mvba::MvbaMessage;
+use crate::optimistic::OptMessage;
+use crate::rbc::RbcMessage;
+use crate::scabc::ScabcMessage;
+
+/// Estimated serialized size of a protocol message, in bytes.
+pub trait WireSize {
+    /// Returns the byte-size estimate.
+    fn wire_size(&self) -> usize;
+}
+
+const TAG: usize = 1; // enum discriminant
+const SEQ: usize = 8; // round/epoch/sequence numbers
+const DIGEST: usize = core::mem::size_of::<Digest>();
+
+impl WireSize for RbcMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            RbcMessage::Send(p) | RbcMessage::Echo(p) | RbcMessage::Ready(p) => TAG + 4 + p.len(),
+        }
+    }
+}
+
+impl WireSize for Voucher {
+    fn wire_size(&self) -> usize {
+        4 + self.payload.len() + self.signature.size_bytes()
+    }
+}
+
+impl WireSize for CbcMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            CbcMessage::Send(p) => TAG + 4 + p.len(),
+            CbcMessage::Echo(share) => TAG + share.size_bytes(),
+            CbcMessage::Final(p, sig) => TAG + 4 + p.len() + sig.size_bytes(),
+        }
+    }
+}
+
+impl<E: WireSize> WireSize for PreVote<E> {
+    fn wire_size(&self) -> usize {
+        let just = match &self.just {
+            PreVoteJust::FirstRound(None) => TAG,
+            PreVoteJust::FirstRound(Some(e)) => TAG + e.wire_size(),
+            PreVoteJust::Hard(sig) | PreVoteJust::Coin(sig) => TAG + sig.size_bytes(),
+        };
+        SEQ + 1 + just + self.share.size_bytes()
+    }
+}
+
+impl<E: WireSize> WireSize for AbbaMessage<E> {
+    fn wire_size(&self) -> usize {
+        match self {
+            AbbaMessage::PreVote(pv) => TAG + pv.wire_size(),
+            AbbaMessage::MainVote(mv) => {
+                let just = match &mv.just {
+                    MainVoteJust::Value(sig) => TAG + sig.size_bytes(),
+                    MainVoteJust::Abstain(a, b) => TAG + a.wire_size() + b.wire_size(),
+                };
+                TAG + SEQ + 1 + just + mv.share.size_bytes()
+            }
+            AbbaMessage::Coin { share, .. } => TAG + SEQ + share.size_bytes(),
+            AbbaMessage::Decided { proof, .. } => TAG + SEQ + 1 + proof.size_bytes(),
+        }
+    }
+}
+
+/// `()` carries no evidence bytes.
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for MvbaMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            MvbaMessage::Proposal { inner, .. } => TAG + 4 + inner.wire_size(),
+            MvbaMessage::ElectCoin { share, .. } => TAG + SEQ + share.size_bytes(),
+            MvbaMessage::Vote { inner, .. } => TAG + SEQ + inner.wire_size(),
+        }
+    }
+}
+
+impl WireSize for AbcMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            AbcMessage::Push(p) => TAG + 4 + p.len(),
+            AbcMessage::Queued { payload, .. } => TAG + SEQ + 4 + payload.len() + 64,
+            AbcMessage::Mvba { inner, .. } => TAG + SEQ + inner.wire_size(),
+        }
+    }
+}
+
+impl WireSize for ScabcMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            ScabcMessage::Abc(inner) => TAG + inner.wire_size(),
+            ScabcMessage::Share { share, .. } => TAG + DIGEST + share.size_bytes(),
+        }
+    }
+}
+
+impl WireSize for OptMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            OptMessage::Push(p) => TAG + 4 + p.len(),
+            OptMessage::Propose { payload, .. } => TAG + 2 * SEQ + 4 + payload.len(),
+            OptMessage::Prepare { share, .. } | OptMessage::Commit { share, .. } => {
+                TAG + 2 * SEQ + DIGEST + share.size_bytes()
+            }
+            OptMessage::Deliver { cert, payload, .. } => {
+                TAG + 2 * SEQ + DIGEST + cert.size_bytes() + 4 + payload.len()
+            }
+            OptMessage::Complain { share, .. } => TAG + SEQ + share.size_bytes(),
+            OptMessage::Report { report, .. } => TAG + SEQ + 4 + report.len(),
+            OptMessage::Change { inner, .. } => TAG + SEQ + inner.wire_size(),
+        }
+    }
+}
+
+impl WireSize for FdMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            FdMessage::Push(p) => TAG + 4 + p.len(),
+            FdMessage::Order { payload, .. } => TAG + 2 * SEQ + 4 + payload.len(),
+            FdMessage::Ack { .. } => TAG + 2 * SEQ + DIGEST,
+            FdMessage::Suspect { .. } => TAG + SEQ,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbc_sizes_track_payload() {
+        let small = RbcMessage::Send(vec![0; 10]);
+        let big = RbcMessage::Echo(vec![0; 1000]);
+        assert_eq!(small.wire_size(), 15);
+        assert_eq!(big.wire_size(), 1005);
+    }
+
+    #[test]
+    fn fd_sizes() {
+        assert_eq!(FdMessage::Suspect { view: 3 }.wire_size(), 9);
+        assert_eq!(
+            FdMessage::Ack {
+                view: 0,
+                seq: 0,
+                digest: [0; 32]
+            }
+            .wire_size(),
+            49
+        );
+    }
+
+    #[test]
+    fn sizes_are_positive_for_representative_messages() {
+        let msgs: Vec<Box<dyn WireSize>> = vec![
+            Box::new(RbcMessage::Ready(vec![1, 2, 3])),
+            Box::new(CbcMessage::Send(vec![0; 64])),
+            Box::new(AbcMessage::Push(vec![0; 8])),
+            Box::new(FdMessage::Push(vec![0; 8])),
+        ];
+        for m in msgs {
+            assert!(m.wire_size() > 0);
+        }
+    }
+}

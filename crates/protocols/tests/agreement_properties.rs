@@ -1,0 +1,39 @@
+//! Randomized-schedule property tests for the protocol stack: over
+//! arbitrary seeds (i.e. arbitrary adversarial-ish message orders),
+//! agreement and total order must hold. Case counts are kept modest —
+//! each case is a whole protocol run.
+
+use proptest::prelude::*;
+use sintra_adversary::structure::TrustStructure;
+use sintra_crypto::dealer::Dealer;
+use sintra_crypto::rng::SeededRng;
+use sintra_net::sim::{Behavior, RandomScheduler, Simulation};
+use sintra_protocols::abc::abc_nodes;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn abc_total_order_any_schedule(seed in any::<u64>(), crash in 0usize..4) {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(seed);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let nodes = abc_nodes(public, bundles, seed);
+        let mut sim = Simulation::new(nodes, RandomScheduler, seed ^ 0xabcd);
+        sim.corrupt(crash, Behavior::Crash);
+        let honest: Vec<usize> = (0..4).filter(|p| *p != crash).collect();
+        for (i, &p) in honest.iter().enumerate() {
+            sim.input(p, format!("req-{i}").into_bytes());
+        }
+        sim.run_until_quiet(200_000_000);
+        let reference: Vec<_> = sim.outputs(honest[0]).to_vec();
+        prop_assert_eq!(reference.len(), honest.len(), "all honest requests ordered");
+        for &p in &honest[1..] {
+            prop_assert_eq!(sim.outputs(p), reference.as_slice());
+        }
+        // Sequence numbers are gapless from zero.
+        for (i, d) in reference.iter().enumerate() {
+            prop_assert_eq!(d.seq, i as u64);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Client-side request/response logic (§5).
+//!
+//! A client sends its request to enough servers that the corrupted ones
+//! cannot suppress it (a non-corruptible set, classically more than `t`
+//! servers — here we simply send to all), then collects partial
+//! answers. Two recombination modes:
+//!
+//! * [`ReplyCollector::signed_reply`] — wait until *matching* answers
+//!   carry signature shares from a qualified set, and combine them into
+//!   a single threshold signature verifiable against the service's one
+//!   public key (the paper's preferred mode: clients know a single key,
+//!   not `n` servers);
+//! * [`ReplyCollector::majority_reply`] — the classical `2t+1`-values
+//!   majority vote over unsigned answers (generalized: answers from a
+//!   strong set whose subset agreeing on one value is qualified).
+
+use crate::replica::{reply_message, Reply};
+use sintra_adversary::party::PartySet;
+use sintra_crypto::dealer::PublicParameters;
+use sintra_crypto::tsig::{QuorumRule, ThresholdSignature};
+use sintra_protocols::common::{digest, Digest, Tag};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A verified service answer.
+#[derive(Clone, Debug)]
+pub struct ServiceReply {
+    /// The agreed answer.
+    pub response: Vec<u8>,
+    /// Position of the request in the service's total order.
+    pub seq: u64,
+    /// Threshold signature over `(request, seq, response)` under the
+    /// service key (present in signed mode).
+    pub signature: Option<ThresholdSignature>,
+}
+
+/// Collects reply shares for one request until a quorum rule is met.
+#[derive(Debug)]
+pub struct ReplyCollector {
+    tag: Tag,
+    public: Arc<PublicParameters>,
+    request: Digest,
+    /// Replies grouped by (seq, response digest).
+    groups: HashMap<(u64, Digest), Vec<Reply>>,
+}
+
+impl ReplyCollector {
+    /// Creates a collector for the request with the given payload.
+    pub fn new(tag: Tag, public: Arc<PublicParameters>, request_payload: &[u8]) -> Self {
+        ReplyCollector {
+            tag,
+            public,
+            request: digest(request_payload),
+            groups: HashMap::new(),
+        }
+    }
+
+    /// The request digest replies must match.
+    pub fn request(&self) -> Digest {
+        self.request
+    }
+
+    /// Adds one reply share (invalid or foreign shares are dropped).
+    /// Returns `true` if accepted.
+    pub fn add(&mut self, reply: Reply) -> bool {
+        if reply.request != self.request {
+            return false;
+        }
+        let msg = reply_message(&self.tag, &reply.request, reply.seq, &reply.response);
+        if !self.public.signing().verify_share(&msg, &reply.share) {
+            return false;
+        }
+        if reply.share.party() != reply.replier {
+            return false;
+        }
+        let key = (reply.seq, digest(&reply.response));
+        let group = self.groups.entry(key).or_default();
+        if group.iter().any(|r| r.replier == reply.replier) {
+            return false; // one vote per replica
+        }
+        group.push(reply);
+        true
+    }
+
+    /// Signed mode: returns the answer once matching replies from a
+    /// qualified (non-corruptible) set can be combined into a threshold
+    /// signature. A qualified set contains at least one honest replica,
+    /// and honest replicas answer correctly and identically, so the
+    /// matched answer is the service's answer.
+    pub fn signed_reply(&self) -> Option<ServiceReply> {
+        for ((seq, _), group) in &self.groups {
+            let voters: PartySet = group.iter().map(|r| r.replier).collect();
+            if !self.public.structure().is_qualified(&voters) {
+                continue;
+            }
+            let reply = &group[0];
+            let msg = reply_message(&self.tag, &self.request, *seq, &reply.response);
+            let shares: Vec<_> = group.iter().map(|r| r.share).collect();
+            if let Ok(sig) = self
+                .public
+                .signing()
+                .combine(&msg, &shares, QuorumRule::Qualified)
+            {
+                return Some(ServiceReply {
+                    response: reply.response.clone(),
+                    seq: *seq,
+                    signature: Some(sig),
+                });
+            }
+        }
+        None
+    }
+
+    /// Majority mode (the paper's `2t+1` rule): returns the answer once
+    /// some answer group is itself qualified *and* total replies form a
+    /// strong set — the generalized majority vote.
+    pub fn majority_reply(&self) -> Option<ServiceReply> {
+        let all_voters: PartySet = self
+            .groups
+            .values()
+            .flat_map(|g| g.iter().map(|r| r.replier))
+            .collect();
+        if !self.public.structure().is_strong(&all_voters) {
+            return None;
+        }
+        for ((seq, _), group) in &self.groups {
+            let voters: PartySet = group.iter().map(|r| r.replier).collect();
+            if self.public.structure().is_qualified(&voters) {
+                return Some(ServiceReply {
+                    response: group[0].response.clone(),
+                    seq: *seq,
+                    signature: None,
+                });
+            }
+        }
+        None
+    }
+
+    /// Verifies a signed reply independently (e.g. a third party
+    /// checking a certificate produced by the service).
+    pub fn verify_signed(
+        public: &PublicParameters,
+        tag: &Tag,
+        request_payload: &[u8],
+        reply: &ServiceReply,
+    ) -> bool {
+        let Some(sig) = &reply.signature else {
+            return false;
+        };
+        let msg = reply_message(tag, &digest(request_payload), reply.seq, &reply.response);
+        public.signing().verify(&msg, sig, QuorumRule::Qualified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::atomic_replicas;
+    use crate::state::EchoMachine;
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+    use sintra_crypto::rng::SeededRng;
+    use sintra_net::sim::{RandomScheduler, Simulation};
+
+    fn run_service(seed: u64) -> (Arc<PublicParameters>, Vec<Reply>) {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(seed);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public_arc = Arc::new(public.clone());
+        let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), seed);
+        let mut sim = Simulation::new(replicas, RandomScheduler, seed + 1);
+        sim.input(0, b"the-request".to_vec());
+        sim.run_until_quiet(50_000_000);
+        let replies: Vec<Reply> = (0..4)
+            .flat_map(|p| sim.outputs(p).iter().cloned())
+            .collect();
+        (public_arc, replies)
+    }
+
+    #[test]
+    fn signed_reply_combines_and_verifies() {
+        let (public, replies) = run_service(10);
+        let mut collector =
+            ReplyCollector::new(Tag::root("rsm"), Arc::clone(&public), b"the-request");
+        let mut got = None;
+        for r in replies {
+            collector.add(r);
+            if let Some(reply) = collector.signed_reply() {
+                got = Some(reply);
+                break;
+            }
+        }
+        let reply = got.expect("qualified quorum of replies reached");
+        assert!(ReplyCollector::verify_signed(
+            &public,
+            &Tag::root("rsm"),
+            b"the-request",
+            &reply
+        ));
+        // Tampered response fails verification.
+        let mut bad = reply;
+        bad.response.push(0);
+        assert!(!ReplyCollector::verify_signed(
+            &public,
+            &Tag::root("rsm"),
+            b"the-request",
+            &bad
+        ));
+    }
+
+    #[test]
+    fn majority_reply_tolerates_lying_minority() {
+        let (public, mut replies) = run_service(20);
+        // Corrupt one replica's answers (t = 1): flip its response. Its
+        // share no longer matches, so `add` drops it — emulate a liar by
+        // regenerating a *valid-looking but different* answer is not
+        // possible without its key; the collector's signature check is
+        // the defense. Here we check the majority path with the liar's
+        // replies simply removed.
+        replies.retain(|r| r.replier != 3);
+        let mut collector =
+            ReplyCollector::new(Tag::root("rsm"), Arc::clone(&public), b"the-request");
+        for r in replies {
+            collector.add(r);
+        }
+        let reply = collector.majority_reply().expect("3 of 4 replies suffice");
+        assert!(reply.signature.is_none());
+        assert!(!reply.response.is_empty());
+    }
+
+    #[test]
+    fn mismatched_or_duplicate_replies_rejected() {
+        let (public, replies) = run_service(30);
+        let mut collector =
+            ReplyCollector::new(Tag::root("rsm"), Arc::clone(&public), b"other-request");
+        // All replies are for "the-request": wrong digest, all rejected.
+        let mut accepted = 0;
+        for r in &replies {
+            if collector.add(r.clone()) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 0);
+        assert!(collector.signed_reply().is_none());
+        // Correct collector accepts each replica once.
+        let mut collector =
+            ReplyCollector::new(Tag::root("rsm"), Arc::clone(&public), b"the-request");
+        for r in &replies {
+            collector.add(r.clone());
+        }
+        for r in &replies {
+            assert!(!collector.add(r.clone()), "duplicates rejected");
+        }
+    }
+
+    #[test]
+    fn insufficient_replies_yield_nothing() {
+        let (public, replies) = run_service(40);
+        let mut collector =
+            ReplyCollector::new(Tag::root("rsm"), Arc::clone(&public), b"the-request");
+        // Only one reply: neither mode succeeds (t = 1).
+        collector.add(replies.into_iter().next().unwrap());
+        assert!(collector.signed_reply().is_none());
+        assert!(collector.majority_reply().is_none());
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # sintra-rsm
+//!
+//! Secure state machine replication for **SINTRA-RS** (Cachin,
+//! *"Distributing Trust on the Internet"*, DSN 2001, §5).
+//!
+//! Trusted services are deterministic [`state::StateMachine`]s
+//! replicated on all servers. Requests reach the replicas through an
+//! ordering layer — plain atomic broadcast, or secure *causal* atomic
+//! broadcast when request contents must stay confidential until they
+//! are scheduled — and every replica answers with a partial reply
+//! carrying a threshold-signature share. Clients recombine the shares
+//! ([`client::ReplyCollector`]) into one answer verifiable against the
+//! single service key, so the trust in `n` diverse servers condenses
+//! back into one logical trusted service.
+
+pub mod client;
+pub mod replica;
+pub mod state;
+
+pub use client::{ReplyCollector, ServiceReply};
+pub use replica::{atomic_replicas, causal_replicas, Ordered, OrderingLayer, Replica, Reply};
+pub use state::{EchoMachine, KvMachine, StateMachine};

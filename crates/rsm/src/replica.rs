@@ -1,0 +1,394 @@
+//! The replica engine: an ordering layer feeding a deterministic state
+//! machine, answering with threshold-signature reply shares.
+//!
+//! §5: requests are delivered by atomic broadcast (or secure causal
+//! atomic broadcast when request confidentiality matters); every server
+//! applies them in the delivered order and returns a *partial answer* to
+//! the client, who recombines. Because the service's signature scheme is
+//! thresholdized, the partial answer carries a signature share over the
+//! (request, answer) pair; a client combining shares from a qualified
+//! set obtains a signature verifiable against the single service key —
+//! clients need not know individual servers.
+
+use crate::state::StateMachine;
+use sintra_adversary::party::PartyId;
+use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
+use sintra_crypto::rng::SeededRng;
+use sintra_crypto::tsig::SignatureShare;
+use sintra_net::protocol::{Effects, Protocol};
+use sintra_protocols::abc::{AbcMessage, AtomicBroadcast};
+use sintra_protocols::common::{digest, Digest, Outbox, Tag};
+use sintra_protocols::scabc::{ScabcMessage, SecureCausalAtomicBroadcast};
+use std::sync::Arc;
+
+/// One totally-ordered request as seen by the replica engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ordered {
+    /// Position in the service's total order.
+    pub seq: u64,
+    /// Server whose proposal carried the request.
+    pub origin: PartyId,
+    /// The request bytes.
+    pub payload: Vec<u8>,
+}
+
+/// An ordering transport a replica can run on: plain atomic broadcast
+/// or the secure causal variant.
+pub trait OrderingLayer: core::fmt::Debug {
+    /// Wire message type.
+    type Message: Clone + core::fmt::Debug + Send;
+
+    /// Submits a request for total ordering.
+    fn submit(
+        &mut self,
+        payload: Vec<u8>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<Self::Message>,
+    ) -> Vec<Ordered>;
+
+    /// Handles transport traffic.
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: Self::Message,
+        rng: &mut SeededRng,
+        out: &mut Outbox<Self::Message>,
+    ) -> Vec<Ordered>;
+}
+
+impl OrderingLayer for AtomicBroadcast {
+    type Message = AbcMessage;
+
+    fn submit(
+        &mut self,
+        payload: Vec<u8>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbcMessage>,
+    ) -> Vec<Ordered> {
+        self.broadcast(payload, rng, out)
+            .into_iter()
+            .map(|d| Ordered {
+                seq: d.seq,
+                origin: d.origin,
+                payload: d.payload,
+            })
+            .collect()
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: AbcMessage,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbcMessage>,
+    ) -> Vec<Ordered> {
+        AtomicBroadcast::on_message(self, from, msg, rng, out)
+            .into_iter()
+            .map(|d| Ordered {
+                seq: d.seq,
+                origin: d.origin,
+                payload: d.payload,
+            })
+            .collect()
+    }
+}
+
+impl OrderingLayer for SecureCausalAtomicBroadcast {
+    type Message = ScabcMessage;
+
+    fn submit(
+        &mut self,
+        payload: Vec<u8>,
+        rng: &mut SeededRng,
+        out: &mut Outbox<ScabcMessage>,
+    ) -> Vec<Ordered> {
+        // The request stays confidential until its order is fixed.
+        self.broadcast_plaintext(&payload, b"rsm", rng, out)
+            .into_iter()
+            .map(|d| Ordered {
+                seq: d.seq,
+                origin: d.origin,
+                payload: d.plaintext,
+            })
+            .collect()
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: ScabcMessage,
+        rng: &mut SeededRng,
+        out: &mut Outbox<ScabcMessage>,
+    ) -> Vec<Ordered> {
+        SecureCausalAtomicBroadcast::on_message(self, from, msg, rng, out)
+            .into_iter()
+            .map(|d| Ordered {
+                seq: d.seq,
+                origin: d.origin,
+                payload: d.plaintext,
+            })
+            .collect()
+    }
+}
+
+/// A partial service answer: the replica's response plus its signature
+/// share. Clients combine shares from a qualified set into a service
+/// signature ([`crate::client`]).
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// Digest of the request this answers.
+    pub request: Digest,
+    /// Position of the request in the total order.
+    pub seq: u64,
+    /// The answering replica.
+    pub replier: PartyId,
+    /// The (deterministic) service answer.
+    pub response: Vec<u8>,
+    /// Signature share over `(request, seq, response)` under the
+    /// service's threshold key.
+    pub share: SignatureShare,
+}
+
+/// Builds the byte string the reply shares sign.
+pub fn reply_message(tag: &Tag, request: &Digest, seq: u64, response: &[u8]) -> Vec<u8> {
+    tag.message(&[b"reply", request, &seq.to_be_bytes(), response])
+}
+
+/// A replicated-service node: ordering layer + state machine + reply
+/// signing.
+#[derive(Debug)]
+pub struct Replica<L: OrderingLayer, S: StateMachine> {
+    tag: Tag,
+    layer: L,
+    machine: S,
+    public: Arc<PublicParameters>,
+    bundle: Arc<ServerKeyBundle>,
+    rng: SeededRng,
+}
+
+impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
+    /// Assembles a replica.
+    pub fn new(
+        tag: Tag,
+        layer: L,
+        machine: S,
+        public: Arc<PublicParameters>,
+        bundle: Arc<ServerKeyBundle>,
+        rng: SeededRng,
+    ) -> Self {
+        Replica {
+            tag,
+            layer,
+            machine,
+            public,
+            bundle,
+            rng,
+        }
+    }
+
+    /// Read access to the state machine (inspection in tests).
+    pub fn machine(&self) -> &S {
+        &self.machine
+    }
+
+    /// Read access to the ordering layer (inspection in tests).
+    pub fn layer(&self) -> &L {
+        &self.layer
+    }
+
+    /// This replica's party id.
+    pub fn party(&self) -> PartyId {
+        self.bundle.party()
+    }
+
+    fn answer(&mut self, ordered: Vec<Ordered>, fx: &mut Effects<L::Message, Reply>) {
+        for o in ordered {
+            let response = self.machine.apply(&o.payload);
+            let request = digest(&o.payload);
+            let msg = reply_message(&self.tag, &request, o.seq, &response);
+            let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
+            fx.output(Reply {
+                request,
+                seq: o.seq,
+                replier: self.bundle.party(),
+                response,
+                share,
+            });
+        }
+        let _ = &self.public;
+    }
+}
+
+impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
+    type Message = L::Message;
+    type Input = Vec<u8>;
+    type Output = Reply;
+
+    fn on_input(&mut self, request: Vec<u8>, fx: &mut Effects<L::Message, Reply>) {
+        let mut out = Vec::new();
+        let ordered = self.layer.submit(request, &mut self.rng, &mut out);
+        self.answer(ordered, fx);
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: L::Message, fx: &mut Effects<L::Message, Reply>) {
+        let mut out = Vec::new();
+        let ordered = self.layer.on_message(from, msg, &mut self.rng, &mut out);
+        self.answer(ordered, fx);
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+}
+
+/// Builds `n` replicas over plain atomic broadcast.
+pub fn atomic_replicas<S: StateMachine>(
+    public: PublicParameters,
+    bundles: Vec<ServerKeyBundle>,
+    make_machine: impl Fn(PartyId) -> S,
+    seed: u64,
+) -> Vec<Replica<AtomicBroadcast, S>> {
+    let public = Arc::new(public);
+    bundles
+        .into_iter()
+        .map(|b| {
+            let party = b.party();
+            let bundle = Arc::new(b);
+            Replica::new(
+                Tag::root("rsm"),
+                AtomicBroadcast::new(
+                    Tag::root("rsm-abc"),
+                    Arc::clone(&public),
+                    Arc::clone(&bundle),
+                ),
+                make_machine(party),
+                Arc::clone(&public),
+                bundle,
+                SeededRng::new(seed ^ (party as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
+            )
+        })
+        .collect()
+}
+
+/// Builds `n` replicas over secure causal atomic broadcast.
+pub fn causal_replicas<S: StateMachine>(
+    public: PublicParameters,
+    bundles: Vec<ServerKeyBundle>,
+    make_machine: impl Fn(PartyId) -> S,
+    seed: u64,
+) -> Vec<Replica<SecureCausalAtomicBroadcast, S>> {
+    let public = Arc::new(public);
+    bundles
+        .into_iter()
+        .map(|b| {
+            let party = b.party();
+            let bundle = Arc::new(b);
+            Replica::new(
+                Tag::root("rsm"),
+                SecureCausalAtomicBroadcast::new(
+                    Tag::root("rsm-scabc"),
+                    Arc::clone(&public),
+                    Arc::clone(&bundle),
+                ),
+                make_machine(party),
+                Arc::clone(&public),
+                bundle,
+                SeededRng::new(seed ^ (party as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{EchoMachine, KvMachine};
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+    use sintra_net::sim::{Behavior, RandomScheduler, Simulation};
+
+    fn deal(n: usize, t: usize, seed: u64) -> (PublicParameters, Vec<ServerKeyBundle>) {
+        let ts = TrustStructure::threshold(n, t).unwrap();
+        let mut rng = SeededRng::new(seed);
+        Dealer::deal(&ts, &mut rng)
+    }
+
+    #[test]
+    fn replicas_answer_identically() {
+        let (public, bundles) = deal(4, 1, 1);
+        let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), 1);
+        let mut sim = Simulation::new(replicas, RandomScheduler, 2);
+        sim.input(0, b"request-a".to_vec());
+        sim.input(2, b"request-b".to_vec());
+        sim.run_until_quiet(50_000_000);
+        // Every replica answers both requests, with identical responses
+        // and sequence numbers across replicas.
+        let reference: Vec<(u64, Vec<u8>)> = sim
+            .outputs(0)
+            .iter()
+            .map(|r| (r.seq, r.response.clone()))
+            .collect();
+        assert_eq!(reference.len(), 2);
+        for p in 1..4 {
+            let got: Vec<(u64, Vec<u8>)> = sim
+                .outputs(p)
+                .iter()
+                .map(|r| (r.seq, r.response.clone()))
+                .collect();
+            assert_eq!(got, reference, "party {p}");
+        }
+    }
+
+    #[test]
+    fn kv_state_converges_across_replicas() {
+        let (public, bundles) = deal(4, 1, 3);
+        let replicas = atomic_replicas(public, bundles, |_| KvMachine::new(), 3);
+        let mut sim = Simulation::new(replicas, RandomScheduler, 4);
+        sim.input(0, KvMachine::encode_set(b"x", b"1"));
+        sim.input(1, KvMachine::encode_set(b"y", b"2"));
+        sim.run_until_quiet(50_000_000);
+        for p in 0..4 {
+            let m = sim.node(p).unwrap().machine();
+            assert_eq!(m.len(), 2, "party {p} applied both writes");
+        }
+    }
+
+    #[test]
+    fn causal_replicas_work_and_tolerate_crash() {
+        let (public, bundles) = deal(4, 1, 5);
+        let replicas = causal_replicas(public, bundles, |_| EchoMachine::new(), 5);
+        let mut sim = Simulation::new(replicas, RandomScheduler, 6);
+        sim.corrupt(3, Behavior::Crash);
+        sim.input(0, b"confidential".to_vec());
+        sim.run_until_quiet(100_000_000);
+        let reference: Vec<Vec<u8>> = sim.outputs(0).iter().map(|r| r.response.clone()).collect();
+        assert_eq!(reference.len(), 1);
+        for p in 1..3 {
+            let got: Vec<Vec<u8>> = sim.outputs(p).iter().map(|r| r.response.clone()).collect();
+            assert_eq!(got, reference, "party {p}");
+        }
+    }
+
+    #[test]
+    fn reply_shares_verify() {
+        let (public, bundles) = deal(4, 1, 7);
+        let verifier = public.clone();
+        let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), 7);
+        let mut sim = Simulation::new(replicas, RandomScheduler, 8);
+        sim.input(1, b"check-shares".to_vec());
+        sim.run_until_quiet(50_000_000);
+        let tag = Tag::root("rsm");
+        for p in 0..4 {
+            for r in sim.outputs(p) {
+                let msg = reply_message(&tag, &r.request, r.seq, &r.response);
+                assert!(
+                    verifier.signing().verify_share(&msg, &r.share),
+                    "party {p} reply share verifies"
+                );
+                assert_eq!(r.replier, p);
+            }
+        }
+    }
+}

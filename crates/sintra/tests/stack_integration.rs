@@ -1,0 +1,235 @@
+//! Cross-crate integration tests: the full stack (crypto → adversary
+//! structures → protocols → replication → services) exercised end to
+//! end, including the paper's generalized-structure scenarios.
+
+use std::sync::Arc;
+
+use sintra::adversary::attributes::{
+    example1, example2, example2_locations, example2_operating_systems,
+};
+use sintra::adversary::party::PartySet;
+use sintra::apps::notary::{NotaryRequest, NotaryService};
+use sintra::crypto::rng::SeededRng;
+use sintra::net::{Behavior, PartitionScheduler, RandomScheduler, Simulation};
+use sintra::protocols::abc::abc_nodes;
+use sintra::protocols::common::Tag;
+use sintra::rsm::{causal_replicas, ReplyCollector};
+use sintra::setup::{dealt_system, dealt_system_for};
+
+#[test]
+fn abc_on_example1_tolerates_whole_class_crash() {
+    // Paper Example 1: nine servers; all four class-a servers (0-3) may
+    // fail together. Atomic broadcast still totally orders.
+    let structure = example1().unwrap();
+    let (public, bundles) = dealt_system_for(&structure, 101);
+    let nodes = abc_nodes(public, bundles, 101);
+    let mut sim = Simulation::new(nodes, RandomScheduler, 102);
+    for p in 0..4 {
+        sim.corrupt(p, Behavior::Crash);
+    }
+    sim.input(4, b"from-b".to_vec());
+    sim.input(6, b"from-c".to_vec());
+    sim.input(8, b"from-d".to_vec());
+    sim.run_until_quiet(500_000_000);
+    let reference: Vec<_> = sim.outputs(4).to_vec();
+    assert_eq!(reference.len(), 3, "all requests ordered despite 4 of 9 down");
+    for p in 5..9 {
+        assert_eq!(sim.outputs(p), reference.as_slice(), "server {p} agrees");
+    }
+}
+
+#[test]
+fn abc_on_example2_tolerates_site_plus_os() {
+    // Paper Example 2: one location plus one OS — seven of sixteen —
+    // fail; the remaining nine keep total order.
+    let structure = example2().unwrap();
+    let dead = example2_locations()
+        .members(3)
+        .union(&example2_operating_systems().members(0));
+    assert_eq!(dead.len(), 7);
+    assert!(structure.is_corruptible(&dead));
+    let (public, bundles) = dealt_system_for(&structure, 103);
+    let nodes = abc_nodes(public, bundles, 103);
+    let mut sim = Simulation::new(nodes, RandomScheduler, 104);
+    for p in dead.iter() {
+        sim.corrupt(p, Behavior::Crash);
+    }
+    let survivors: Vec<usize> = (0..16).filter(|p| !dead.contains(*p)).collect();
+    sim.input(survivors[0], b"alpha".to_vec());
+    sim.input(survivors[3], b"beta".to_vec());
+    sim.run_until_quiet(500_000_000);
+    let reference: Vec<_> = sim.outputs(survivors[0]).to_vec();
+    assert_eq!(reference.len(), 2);
+    for &p in &survivors[1..] {
+        assert_eq!(sim.outputs(p), reference.as_slice(), "server {p} agrees");
+    }
+}
+
+#[test]
+fn notary_service_end_to_end_with_client() {
+    // Full path: client request → causal ordering (threshold-encrypted)
+    // → replicated notary → threshold-signed receipt recombined by the
+    // client.
+    let (public, bundles) = dealt_system(4, 1, 105).unwrap();
+    let public_arc = Arc::new(public.clone());
+    let replicas = causal_replicas(public, bundles, |_| NotaryService::new(), 105);
+    let mut sim = Simulation::new(replicas, RandomScheduler, 106);
+    let filing = NotaryRequest::Register {
+        document: b"will and testament".to_vec(),
+        registrant: b"alice".to_vec(),
+    }
+    .encode();
+    sim.input(2, filing.clone());
+    sim.run_until_quiet(200_000_000);
+
+    let mut collector = ReplyCollector::new(Tag::root("rsm"), Arc::clone(&public_arc), &filing);
+    for p in 0..4 {
+        for r in sim.outputs(p) {
+            collector.add(r.clone());
+        }
+    }
+    let receipt = collector.signed_reply().expect("notary answered");
+    assert!(receipt.response.starts_with(b"REGISTERED "));
+    assert!(ReplyCollector::verify_signed(
+        &public_arc,
+        &Tag::root("rsm"),
+        &filing,
+        &receipt
+    ));
+    // Replicated state agrees.
+    for p in 0..4 {
+        assert_eq!(sim.node(p).unwrap().machine().registered(), 1);
+    }
+}
+
+#[test]
+fn abc_survives_partition_then_heals() {
+    let (public, bundles) = dealt_system(4, 1, 107).unwrap();
+    let nodes = abc_nodes(public, bundles, 107);
+    let group: PartySet = [0, 1].into_iter().collect();
+    let mut sim = Simulation::new(nodes, PartitionScheduler { group, heal_at: 2000 }, 108);
+    sim.input(0, b"before-heal".to_vec());
+    sim.run_until_quiet(500_000_000);
+    for p in 0..4 {
+        let payloads: Vec<_> = sim.outputs(p).iter().map(|d| d.payload.clone()).collect();
+        assert_eq!(payloads, vec![b"before-heal".to_vec()], "server {p}");
+    }
+}
+
+#[test]
+fn equivocating_byzantine_cannot_split_order() {
+    // A Byzantine server forwards different payload pushes to different
+    // parties; total order must still match across honest servers.
+    let (public, bundles) = dealt_system(4, 1, 109).unwrap();
+    let nodes = abc_nodes(public, bundles, 109);
+    let mut sim = Simulation::new(nodes, RandomScheduler, 110);
+    let mut flip = false;
+    sim.corrupt(
+        3,
+        Behavior::Custom(Box::new(move |_from, msg, _| {
+            use sintra::protocols::abc::AbcMessage;
+            flip = !flip;
+            match msg {
+                AbcMessage::Push(_) => {
+                    // Equivocate: different fake pushes to each side.
+                    vec![
+                        (0, AbcMessage::Push(b"evil-A".to_vec())),
+                        (1, AbcMessage::Push(b"evil-A".to_vec())),
+                        (2, AbcMessage::Push(b"evil-B".to_vec())),
+                    ]
+                }
+                other => (0..3).map(|p| (p, other.clone())).collect(),
+            }
+        })),
+    );
+    sim.input(0, b"honest-request".to_vec());
+    sim.run_until_quiet(500_000_000);
+    let reference: Vec<_> = sim.outputs(0).to_vec();
+    assert!(
+        reference.iter().any(|d| d.payload == b"honest-request".to_vec()),
+        "honest request delivered"
+    );
+    for p in 1..3 {
+        assert_eq!(sim.outputs(p), reference.as_slice(), "server {p} agrees");
+    }
+}
+
+#[test]
+fn hybrid_structure_tolerates_byzantine_plus_crash() {
+    // §6 hybrid extension: n = 6 takes 1 Byzantine + 1 crash
+    // (n > 3b + 2c = 5), where a plain threshold would need t = 2 and
+    // thus n = 7. The Byzantine server spams replayed traffic; the
+    // crashed one is silent; the four survivors keep total order.
+    use sintra::adversary::TrustStructure;
+    let structure = TrustStructure::hybrid_threshold(6, 1, 1).unwrap();
+    let (public, bundles) = dealt_system_for(&structure, 301);
+    let nodes = abc_nodes(public, bundles, 301);
+    let mut sim = Simulation::new(nodes, RandomScheduler, 302);
+    sim.corrupt(
+        5,
+        Behavior::Custom(Box::new(|_from, msg: sintra::protocols::abc::AbcMessage, _| {
+            (0..5).map(|p| (p, msg.clone())).collect()
+        })),
+    );
+    sim.corrupt(4, Behavior::Crash);
+    sim.input(0, b"hybrid-a".to_vec());
+    sim.input(2, b"hybrid-b".to_vec());
+    sim.run_until_quiet(500_000_000);
+    let reference: Vec<_> = sim.outputs(0).to_vec();
+    assert_eq!(reference.len(), 2, "both requests ordered despite 1 byz + 1 crash");
+    for p in 1..4 {
+        assert_eq!(sim.outputs(p), reference.as_slice(), "server {p} agrees");
+    }
+}
+
+#[test]
+fn deterministic_replay_of_full_stack() {
+    let run = |seed: u64| {
+        let (public, bundles) = dealt_system(4, 1, seed).unwrap();
+        let nodes = abc_nodes(public, bundles, seed);
+        let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+        sim.input(0, b"x".to_vec());
+        sim.input(1, b"y".to_vec());
+        sim.run_until_quiet(200_000_000);
+        let stats = sim.stats();
+        let order: Vec<_> = sim.outputs(2).to_vec();
+        (stats, order)
+    };
+    assert_eq!(run(500).0, run(500).0, "identical stats");
+    assert_eq!(run(500).1, run(500).1, "identical order");
+}
+
+#[test]
+fn abc_is_idempotent_under_message_duplication() {
+    // The network may duplicate messages; every vote/share handler
+    // counts each party once, so total order must be unaffected.
+    let (public, bundles) = dealt_system(4, 1, 401).unwrap();
+    let nodes = abc_nodes(public, bundles, 401);
+    let mut sim = Simulation::new(nodes, RandomScheduler, 402);
+    sim.enable_duplication(40);
+    sim.input(0, b"dup-a".to_vec());
+    sim.input(2, b"dup-b".to_vec());
+    sim.run_until_quiet(500_000_000);
+    let reference: Vec<_> = sim.outputs(0).to_vec();
+    assert_eq!(reference.len(), 2, "both requests ordered exactly once");
+    for p in 1..4 {
+        assert_eq!(sim.outputs(p), reference.as_slice(), "server {p}");
+    }
+    // Duplicates really happened.
+    assert!(sim.stats().delivered > sim.stats().sent);
+}
+
+#[test]
+fn coin_agreement_across_dealt_system() {
+    // Sanity: the dealt threshold coin produces one global value per
+    // name regardless of which qualified subset combines.
+    let (public, bundles) = dealt_system(7, 2, 111).unwrap();
+    let mut rng = SeededRng::new(112);
+    let shares: Vec<_> = bundles
+        .iter()
+        .map(|b| b.coin_key().share(b"round-42", &mut rng))
+        .collect();
+    let a = public.coin().combine(b"round-42", &shares[0..3]).unwrap();
+    let b = public.coin().combine(b"round-42", &shares[4..7]).unwrap();
+    assert_eq!(a, b);
+}
