@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn classification_validation() {
         assert!(Classification::new("x", vec![]).is_none());
-        assert!(Classification::new("x", vec![0, 2]).is_none(), "gap in classes");
+        assert!(
+            Classification::new("x", vec![0, 2]).is_none(),
+            "gap in classes"
+        );
         let c = Classification::new("x", vec![0, 1, 1, 0]).unwrap();
         assert_eq!(c.num_classes(), 2);
         assert_eq!(c.members(0), set(&[0, 3]));

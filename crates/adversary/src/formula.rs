@@ -57,7 +57,11 @@ impl Gate {
             Gate::Leaf(p) => set.contains(*p),
             Gate::Threshold { k, children } => {
                 let mut satisfied = 0;
-                for (remaining, child) in children.iter().enumerate().map(|(i, c)| (children.len() - i, c)) {
+                for (remaining, child) in children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (children.len() - i, c))
+                {
                     if satisfied + remaining < *k {
                         return false; // cannot reach k any more
                     }
@@ -208,10 +212,7 @@ impl MonotoneFormula {
     /// The classical `k`-out-of-`n` threshold access formula (all parties
     /// as leaves of one gate).
     pub fn threshold(n: usize, k: usize) -> Result<Self, FormulaError> {
-        Self::new(
-            n,
-            Gate::threshold(k, (0..n).map(Gate::leaf).collect()),
-        )
+        Self::new(n, Gate::threshold(k, (0..n).map(Gate::leaf).collect()))
     }
 
     /// Number of parties.
@@ -255,7 +256,10 @@ mod tests {
     fn and_or_eval() {
         let f = MonotoneFormula::new(
             3,
-            Gate::and(vec![Gate::leaf(0), Gate::or(vec![Gate::leaf(1), Gate::leaf(2)])]),
+            Gate::and(vec![
+                Gate::leaf(0),
+                Gate::or(vec![Gate::leaf(1), Gate::leaf(2)]),
+            ]),
         )
         .unwrap();
         assert!(f.eval(&set(&[0, 1])));

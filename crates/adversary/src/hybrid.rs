@@ -45,7 +45,10 @@ impl HybridStructure {
     /// Returns an error if the resilience condition fails.
     pub fn threshold(n: usize, t_byz: usize, t_crash: usize) -> Result<Self, StructureError> {
         if n <= 3 * t_byz + 2 * t_crash {
-            return Err(StructureError::BadThreshold { n, t: t_byz + t_crash });
+            return Err(StructureError::BadThreshold {
+                n,
+                t: t_byz + t_crash,
+            });
         }
         Ok(HybridStructure {
             byzantine: TrustStructure::threshold(n, t_byz)?,
@@ -184,7 +187,9 @@ mod tests {
 
     #[test]
     fn hybrid_q3_threshold() {
-        assert!(HybridStructure::threshold(6, 1, 1).unwrap().satisfies_hybrid_q3());
+        assert!(HybridStructure::threshold(6, 1, 1)
+            .unwrap()
+            .satisfies_hybrid_q3());
         let h = HybridStructure::general(TrustStructure::threshold(6, 1).unwrap(), 2);
         assert!(!h.satisfies_hybrid_q3(), "6 <= 3+4");
     }

@@ -202,7 +202,13 @@ impl core::fmt::Display for PartySet {
 pub fn subsets_of_size(n: usize, k: usize) -> Vec<PartySet> {
     let mut out = Vec::new();
     let mut current = Vec::new();
-    fn recurse(start: usize, n: usize, k: usize, current: &mut Vec<PartyId>, out: &mut Vec<PartySet>) {
+    fn recurse(
+        start: usize,
+        n: usize,
+        k: usize,
+        current: &mut Vec<PartyId>,
+        out: &mut Vec<PartySet>,
+    ) {
         if current.len() == k {
             out.push(current.iter().copied().collect());
             return;

@@ -179,7 +179,10 @@ impl TrustStructure {
     /// Returns an error if `t >= n` or `n` exceeds [`MAX_PARTIES`].
     pub fn threshold(n: usize, t: usize) -> Result<Self, StructureError> {
         if n == 0 || n > MAX_PARTIES {
-            return Err(StructureError::TooManyParties { n, limit: MAX_PARTIES });
+            return Err(StructureError::TooManyParties {
+                n,
+                limit: MAX_PARTIES,
+            });
         }
         if t >= n {
             return Err(StructureError::BadThreshold { n, t });
@@ -203,7 +206,10 @@ impl TrustStructure {
     /// [`MAX_PARTIES`].
     pub fn hybrid_threshold(n: usize, b: usize, c: usize) -> Result<Self, StructureError> {
         if n == 0 || n > MAX_PARTIES {
-            return Err(StructureError::TooManyParties { n, limit: MAX_PARTIES });
+            return Err(StructureError::TooManyParties {
+                n,
+                limit: MAX_PARTIES,
+            });
         }
         if n <= 3 * b + 2 * c {
             return Err(StructureError::BadThreshold { n, t: b + c });
@@ -455,9 +461,7 @@ impl TrustStructure {
         match &self.kind {
             Kind::Threshold { t } => *t,
             Kind::HybridThreshold { b, .. } => *b,
-            Kind::General { maximal, .. } => {
-                maximal.iter().map(|s| s.len()).max().unwrap_or(0)
-            }
+            Kind::General { maximal, .. } => maximal.iter().map(|s| s.len()).max().unwrap_or(0),
         }
     }
 }
@@ -473,13 +477,11 @@ fn enumerate_maximal_unqualified(access: &MonotoneFormula) -> Vec<PartySet> {
         if access.eval(&set) {
             continue;
         }
-        let maximal = (0..n)
-            .filter(|p| !set.contains(*p))
-            .all(|p| {
-                let mut bigger = set;
-                bigger.insert(p);
-                access.eval(&bigger)
-            });
+        let maximal = (0..n).filter(|p| !set.contains(*p)).all(|p| {
+            let mut bigger = set;
+            bigger.insert(p);
+            access.eval(&bigger)
+        });
         if maximal {
             out.push(set);
         }
@@ -563,11 +565,14 @@ mod tests {
         // with the native threshold structure on every predicate.
         let native = TrustStructure::threshold(5, 1).unwrap();
         let general =
-            TrustStructure::general_from_access(MonotoneFormula::threshold(5, 2).unwrap())
-                .unwrap();
+            TrustStructure::general_from_access(MonotoneFormula::threshold(5, 2).unwrap()).unwrap();
         for bits in 0u64..32 {
             let s: PartySet = (0..5).filter(|p| (bits >> p) & 1 == 1).collect();
-            assert_eq!(native.is_corruptible(&s), general.is_corruptible(&s), "{s:?}");
+            assert_eq!(
+                native.is_corruptible(&s),
+                general.is_corruptible(&s),
+                "{s:?}"
+            );
             assert_eq!(native.is_core(&s), general.is_core(&s), "{s:?}");
             assert_eq!(native.is_strong(&s), general.is_strong(&s), "{s:?}");
             assert_eq!(
@@ -575,7 +580,11 @@ mod tests {
                 general.paper_strong_rule(&s),
                 "{s:?}"
             );
-            assert_eq!(native.can_reconstruct(&s), general.can_reconstruct(&s), "{s:?}");
+            assert_eq!(
+                native.can_reconstruct(&s),
+                general.can_reconstruct(&s),
+                "{s:?}"
+            );
         }
         assert!(general.satisfies_q3());
         assert_eq!(general.max_corruptible_size(), 1);
@@ -584,8 +593,7 @@ mod tests {
     #[test]
     fn general_maximal_sets_for_threshold_formula() {
         let general =
-            TrustStructure::general_from_access(MonotoneFormula::threshold(4, 2).unwrap())
-                .unwrap();
+            TrustStructure::general_from_access(MonotoneFormula::threshold(4, 2).unwrap()).unwrap();
         // Corruptible = sets of size <= 1; maximal = the four singletons.
         let mut maximal = general.maximal_adversary_sets();
         maximal.sort();
@@ -618,11 +626,9 @@ mod tests {
     fn explicit_adversary_liveness_violation_rejected() {
         // Sharing = 4-out-of-4, adversary corrupts one party: the three
         // survivors cannot reconstruct.
-        let err = TrustStructure::general(
-            vec![set(&[0])],
-            MonotoneFormula::threshold(4, 4).unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            TrustStructure::general(vec![set(&[0])], MonotoneFormula::threshold(4, 4).unwrap())
+                .unwrap_err();
         assert!(matches!(err, StructureError::LivenessViolation { .. }));
     }
 
@@ -643,8 +649,7 @@ mod tests {
         // Majority-of-3: corruptible = singletons; satisfies Q2 (liveness
         // and secrecy hold) but NOT Q3 (three singletons cover P).
         let ts =
-            TrustStructure::general_from_access(MonotoneFormula::threshold(3, 2).unwrap())
-                .unwrap();
+            TrustStructure::general_from_access(MonotoneFormula::threshold(3, 2).unwrap()).unwrap();
         let mut maximal = ts.maximal_adversary_sets();
         maximal.sort();
         assert_eq!(maximal, vec![set(&[0]), set(&[1]), set(&[2])]);
@@ -674,8 +679,8 @@ mod tests {
 
     #[test]
     fn is_strong_semantics_threshold_formula() {
-        let ts = TrustStructure::general_from_access(MonotoneFormula::threshold(7, 3).unwrap())
-            .unwrap();
+        let ts =
+            TrustStructure::general_from_access(MonotoneFormula::threshold(7, 3).unwrap()).unwrap();
         // t = 2 equivalent: strong sets are exactly those of size >= 5.
         assert!(ts.is_strong(&set(&[0, 1, 2, 3, 4])));
         assert!(!ts.is_strong(&set(&[0, 1, 2, 3])));
@@ -685,9 +690,8 @@ mod tests {
     #[test]
     fn strong_equals_paper_rule_on_threshold_formulas() {
         for (n, k) in [(4usize, 2usize), (5, 3), (6, 3), (7, 3)] {
-            let ts =
-                TrustStructure::general_from_access(MonotoneFormula::threshold(n, k).unwrap())
-                    .unwrap();
+            let ts = TrustStructure::general_from_access(MonotoneFormula::threshold(n, k).unwrap())
+                .unwrap();
             for bits in 0u64..(1 << n) {
                 let s: PartySet = (0..n).filter(|p| (bits >> p) & 1 == 1).collect();
                 assert_eq!(
@@ -706,8 +710,7 @@ mod tests {
         let structures = vec![
             TrustStructure::threshold(4, 1).unwrap(),
             TrustStructure::threshold(7, 2).unwrap(),
-            TrustStructure::general_from_access(MonotoneFormula::threshold(7, 3).unwrap())
-                .unwrap(),
+            TrustStructure::general_from_access(MonotoneFormula::threshold(7, 3).unwrap()).unwrap(),
         ];
         for ts in structures {
             let n = ts.n();
@@ -770,7 +773,10 @@ mod tests {
             for bits in 0u64..(1 << n) {
                 let s: PartySet = (0..n).filter(|p| (bits >> p) & 1 == 1).collect();
                 if ts.is_core(&s) {
-                    assert!(ts.is_strong(&s), "core implies strong: n={n} b={b} c={c} {s:?}");
+                    assert!(
+                        ts.is_strong(&s),
+                        "core implies strong: n={n} b={b} c={c} {s:?}"
+                    );
                 }
                 if ts.is_strong(&s) {
                     // Removing any Byzantine-corruptible set leaves a

@@ -245,8 +245,24 @@ mod tests {
             }
             .encode(),
         );
-        assert_eq!(auth.apply(&AuthRequest::Revoke { user: b"alice".to_vec() }.encode()), b"REVOKED");
-        assert_eq!(auth.apply(&AuthRequest::Revoke { user: b"alice".to_vec() }.encode()), b"ABSENT");
+        assert_eq!(
+            auth.apply(
+                &AuthRequest::Revoke {
+                    user: b"alice".to_vec()
+                }
+                .encode()
+            ),
+            b"REVOKED"
+        );
+        assert_eq!(
+            auth.apply(
+                &AuthRequest::Revoke {
+                    user: b"alice".to_vec()
+                }
+                .encode()
+            ),
+            b"ABSENT"
+        );
         assert_eq!(
             auth.apply(
                 &AuthRequest::Authenticate {

@@ -289,8 +289,14 @@ mod tests {
             }
             .encode(),
         );
-        assert_eq!(ca.apply(&CaRequest::Status { serial: 1 }.encode()), b"STATUS valid");
-        assert_eq!(ca.apply(&CaRequest::Revoke { serial: 1 }.encode()), b"REVOKED");
+        assert_eq!(
+            ca.apply(&CaRequest::Status { serial: 1 }.encode()),
+            b"STATUS valid"
+        );
+        assert_eq!(
+            ca.apply(&CaRequest::Revoke { serial: 1 }.encode()),
+            b"REVOKED"
+        );
         assert_eq!(
             ca.apply(&CaRequest::Status { serial: 1 }.encode()),
             b"STATUS revoked"
@@ -308,7 +314,12 @@ mod tests {
     #[test]
     fn policy_updates_bump_version() {
         let mut ca = CertificationAuthority::default();
-        ca.apply(&CaRequest::SetPolicy { policy: b"v2".to_vec() }.encode());
+        ca.apply(
+            &CaRequest::SetPolicy {
+                policy: b"v2".to_vec(),
+            }
+            .encode(),
+        );
         assert_eq!(ca.policy(), b"v2");
         ca.apply(
             &CaRequest::Issue {

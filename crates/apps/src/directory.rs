@@ -197,7 +197,12 @@ mod tests {
     fn update_lookup_remove_lifecycle() {
         let mut dir = DirectoryService::new();
         assert_eq!(
-            dir.apply(&DirRequest::Lookup { name: b"a".to_vec() }.encode()),
+            dir.apply(
+                &DirRequest::Lookup {
+                    name: b"a".to_vec()
+                }
+                .encode()
+            ),
             b"NOT-FOUND"
         );
         let ok = dir.apply(
@@ -208,15 +213,30 @@ mod tests {
             .encode(),
         );
         assert!(ok.starts_with(b"OK "));
-        let found = dir.apply(&DirRequest::Lookup { name: b"a".to_vec() }.encode());
+        let found = dir.apply(
+            &DirRequest::Lookup {
+                name: b"a".to_vec(),
+            }
+            .encode(),
+        );
         assert!(found.starts_with(b"FOUND "));
         assert!(found.ends_with(b"1"));
         assert_eq!(
-            dir.apply(&DirRequest::Remove { name: b"a".to_vec() }.encode()),
+            dir.apply(
+                &DirRequest::Remove {
+                    name: b"a".to_vec()
+                }
+                .encode()
+            ),
             b"REMOVED"
         );
         assert_eq!(
-            dir.apply(&DirRequest::Remove { name: b"a".to_vec() }.encode()),
+            dir.apply(
+                &DirRequest::Remove {
+                    name: b"a".to_vec()
+                }
+                .encode()
+            ),
             b"ABSENT"
         );
         assert_eq!(dir.version(), 2);
@@ -234,7 +254,12 @@ mod tests {
                 .encode(),
             );
         }
-        let out = dir.apply(&DirRequest::List { prefix: b"www.".to_vec() }.encode());
+        let out = dir.apply(
+            &DirRequest::List {
+                prefix: b"www.".to_vec(),
+            }
+            .encode(),
+        );
         assert!(out.starts_with(b"LIST "));
         let count = u32::from_be_bytes(out[5..9].try_into().unwrap());
         assert_eq!(count, 2);
@@ -255,7 +280,12 @@ mod tests {
             }
             .encode(),
         );
-        let first = dir.apply(&DirRequest::Lookup { name: b"k".to_vec() }.encode());
+        let first = dir.apply(
+            &DirRequest::Lookup {
+                name: b"k".to_vec(),
+            }
+            .encode(),
+        );
         dir.apply(
             &DirRequest::Update {
                 name: b"k".to_vec(),
@@ -263,7 +293,12 @@ mod tests {
             }
             .encode(),
         );
-        let second = dir.apply(&DirRequest::Lookup { name: b"k".to_vec() }.encode());
+        let second = dir.apply(
+            &DirRequest::Lookup {
+                name: b"k".to_vec(),
+            }
+            .encode(),
+        );
         assert_ne!(first, second);
     }
 
@@ -272,7 +307,13 @@ mod tests {
         let mut dir = DirectoryService::new();
         assert_eq!(dir.apply(b""), b"ERR malformed");
         assert_eq!(
-            dir.apply(&DirRequest::Update { name: vec![], value: vec![] }.encode()),
+            dir.apply(
+                &DirRequest::Update {
+                    name: vec![],
+                    value: vec![]
+                }
+                .encode()
+            ),
             b"ERR empty name"
         );
     }

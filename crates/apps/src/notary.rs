@@ -219,7 +219,12 @@ mod tests {
     fn query_reports_registration() {
         let mut notary = NotaryService::new();
         assert_eq!(
-            notary.apply(&NotaryRequest::Query { document: b"d".to_vec() }.encode()),
+            notary.apply(
+                &NotaryRequest::Query {
+                    document: b"d".to_vec()
+                }
+                .encode()
+            ),
             b"UNREGISTERED"
         );
         notary.apply(
@@ -229,7 +234,12 @@ mod tests {
             }
             .encode(),
         );
-        let out = notary.apply(&NotaryRequest::Query { document: b"d".to_vec() }.encode());
+        let out = notary.apply(
+            &NotaryRequest::Query {
+                document: b"d".to_vec(),
+            }
+            .encode(),
+        );
         assert!(out.starts_with(b"RECORD "));
     }
 

@@ -14,7 +14,7 @@ use sintra_crypto::rng::SeededRng;
 use sintra_net::sim::{Behavior, RandomScheduler, Simulation};
 use sintra_protocols::common::Tag;
 use sintra_rsm::replica::{atomic_replicas, causal_replicas};
-use sintra_rsm::{ReplyCollector, Reply, StateMachine};
+use sintra_rsm::{Reply, ReplyCollector, StateMachine};
 
 fn deal(n: usize, t: usize, seed: u64) -> (PublicParameters, Vec<ServerKeyBundle>) {
     let ts = TrustStructure::threshold(n, t).unwrap();
@@ -36,7 +36,9 @@ fn run_atomic<S: StateMachine + Clone + 'static>(
         sim.input(p, r);
     }
     sim.run_until_quiet(500_000_000);
-    let replies = (0..4).flat_map(|p| sim.outputs(p).iter().cloned()).collect();
+    let replies = (0..4)
+        .flat_map(|p| sim.outputs(p).iter().cloned())
+        .collect();
     (public_arc, replies)
 }
 
@@ -75,7 +77,12 @@ fn ca_issue_status_revoke_end_to_end() {
     // The issued certificate is threshold-signed and verifiable.
     let cert = collect_for(&public, &replies, &issue);
     assert!(cert.response.starts_with(b"CERT"));
-    assert!(ReplyCollector::verify_signed(&public, &Tag::root("rsm"), &issue, &cert));
+    assert!(ReplyCollector::verify_signed(
+        &public,
+        &Tag::root("rsm"),
+        &issue,
+        &cert
+    ));
     // Revocation is reflected in the (ordered-after) status query.
     let revoked = collect_for(&public, &replies, &revoke);
     assert!(
@@ -121,7 +128,9 @@ fn notary_over_causal_broadcast_with_crash() {
     sim.corrupt(3, Behavior::Crash);
     sim.input(0, filing.clone());
     sim.run_until_quiet(500_000_000);
-    let replies: Vec<Reply> = (0..3).flat_map(|p| sim.outputs(p).iter().cloned()).collect();
+    let replies: Vec<Reply> = (0..3)
+        .flat_map(|p| sim.outputs(p).iter().cloned())
+        .collect();
     let receipt = collect_for(&public_arc, &replies, &filing);
     assert!(receipt.response.starts_with(b"REGISTERED "));
     for p in 0..3 {
@@ -158,7 +167,9 @@ fn auth_service_issues_verifiable_assertions() {
     sim.input(1, login_ok.clone());
     sim.input(2, login_bad.clone());
     sim.run_until_quiet(500_000_000);
-    let replies: Vec<Reply> = (0..4).flat_map(|p| sim.outputs(p).iter().cloned()).collect();
+    let replies: Vec<Reply> = (0..4)
+        .flat_map(|p| sim.outputs(p).iter().cloned())
+        .collect();
     let ok = collect_for(&public_arc, &replies, &login_ok);
     let bad = collect_for(&public_arc, &replies, &login_bad);
     // With causal ordering the enroll may land before or after the
@@ -202,8 +213,15 @@ fn replicated_machines_converge_across_all_services() {
         assert_eq!(a.apply(r), b.apply(r));
     }
     let reqs = vec![
-        DirRequest::Update { name: b"k".to_vec(), value: b"v".to_vec() }.encode(),
-        DirRequest::Lookup { name: b"k".to_vec() }.encode(),
+        DirRequest::Update {
+            name: b"k".to_vec(),
+            value: b"v".to_vec(),
+        }
+        .encode(),
+        DirRequest::Lookup {
+            name: b"k".to_vec(),
+        }
+        .encode(),
     ];
     let mut a = DirectoryService::new();
     let mut b = DirectoryService::new();
@@ -211,8 +229,15 @@ fn replicated_machines_converge_across_all_services() {
         assert_eq!(a.apply(r), b.apply(r));
     }
     let reqs = vec![
-        NotaryRequest::Register { document: b"d".to_vec(), registrant: b"r".to_vec() }.encode(),
-        NotaryRequest::Query { document: b"d".to_vec() }.encode(),
+        NotaryRequest::Register {
+            document: b"d".to_vec(),
+            registrant: b"r".to_vec(),
+        }
+        .encode(),
+        NotaryRequest::Query {
+            document: b"d".to_vec(),
+        }
+        .encode(),
     ];
     let mut a = NotaryService::new();
     let mut b = NotaryService::new();

@@ -20,9 +20,18 @@ use sintra::crypto::tsig::QuorumRule;
 
 fn structures() -> Vec<(String, TrustStructure)> {
     vec![
-        ("threshold-4-1".into(), TrustStructure::threshold(4, 1).unwrap()),
-        ("threshold-7-2".into(), TrustStructure::threshold(7, 2).unwrap()),
-        ("threshold-16-5".into(), TrustStructure::threshold(16, 5).unwrap()),
+        (
+            "threshold-4-1".into(),
+            TrustStructure::threshold(4, 1).unwrap(),
+        ),
+        (
+            "threshold-7-2".into(),
+            TrustStructure::threshold(7, 2).unwrap(),
+        ),
+        (
+            "threshold-16-5".into(),
+            TrustStructure::threshold(16, 5).unwrap(),
+        ),
         ("example1-9".into(), example1().unwrap()),
         ("example2-16".into(), example2().unwrap()),
     ]
@@ -66,7 +75,9 @@ fn bench_coin(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("share", &name), &(), |b, _| {
             b.iter(|| bundles[0].coin_key().share(b"bench-coin", &mut rng))
         });
-        let share = bundles[0].coin_key().share(b"bench-coin", &mut SeededRng::new(3));
+        let share = bundles[0]
+            .coin_key()
+            .share(b"bench-coin", &mut SeededRng::new(3));
         group.bench_with_input(BenchmarkId::new("verify-share", &name), &(), |b, _| {
             b.iter(|| public.coin().verify_share(b"bench-coin", &share))
         });
@@ -123,7 +134,9 @@ fn bench_tenc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("encrypt-256B", &name), &(), |b, _| {
             b.iter(|| public.encryption().encrypt(&msg, b"label", &mut rng))
         });
-        let ct = public.encryption().encrypt(&msg, b"label", &mut SeededRng::new(6));
+        let ct = public
+            .encryption()
+            .encrypt(&msg, b"label", &mut SeededRng::new(6));
         group.bench_with_input(BenchmarkId::new("verify-ciphertext", &name), &(), |b, _| {
             b.iter(|| public.encryption().verify_ciphertext(&ct))
         });

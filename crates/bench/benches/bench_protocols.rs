@@ -16,14 +16,18 @@ fn bench_abba(c: &mut Criterion) {
     let mut group = c.benchmark_group("abba");
     group.sample_size(10);
     for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
-        group.bench_with_input(BenchmarkId::new("split-inputs", n), &(n, t), |b, &(n, t)| {
-            let inputs: Vec<bool> = (0..n).map(|p| p % 2 == 0).collect();
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_abba_once(n, t, &inputs, seed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("split-inputs", n),
+            &(n, t),
+            |b, &(n, t)| {
+                let inputs: Vec<bool> = (0..n).map(|p| p % 2 == 0).collect();
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_abba_once(n, t, &inputs, seed)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -46,7 +46,14 @@ fn main() {
     }
     print_table(
         &format!("E2: ABBA deciding round, split inputs, {trials} trials per n"),
-        &["n", "t", "mean round", "max round", "mean round (LIFO)", "decisions"],
+        &[
+            "n",
+            "t",
+            "mean round",
+            "max round",
+            "mean round (LIFO)",
+            "decisions",
+        ],
         &rows,
     );
     println!("Claim reproduced if the mean round stays ~constant as n grows");

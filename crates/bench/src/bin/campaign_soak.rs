@@ -1,0 +1,84 @@
+//! Release-mode fault-injection soak: the **full** campaign grid.
+//!
+//! The debug-mode smoke tests (`sintra-protocols`' `campaign`
+//! integration tests) sweep 3 schedulers × 6 behaviors × 8 seeds per
+//! protocol. This binary widens the grid — all six scheduler kinds
+//! (including targeted-delay starvation and a healing partition) and
+//! twice the seeds — and runs every core protocol through it, printing
+//! one report line per protocol. Exits nonzero if any case violates its
+//! protocol's invariants, so it can serve as a CI gate or an overnight
+//! soak.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin campaign_soak
+//! ```
+//!
+//! A failure report names the minimal failing case (scheduler ×
+//! behavior × corrupted set × seed); replay it under a debugger with
+//! `sintra::net::campaign::replay_case`.
+
+use sintra::adversary::party::PartySet;
+use sintra::net::campaign::{run_campaign, BehaviorKind, CampaignPlan, SchedulerKind};
+use sintra::protocols::harness::{abba_hooks, abc_hooks, cbc_hooks, mvba_hooks, rbc_hooks};
+use std::time::Instant;
+
+/// The full grid: every scheduler kind, every behavior, 16 seeds.
+fn full_plan(max_steps: u64) -> CampaignPlan {
+    CampaignPlan {
+        schedulers: vec![
+            SchedulerKind::Random,
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+            SchedulerKind::TargetedDelay(PartySet::singleton(0)),
+            SchedulerKind::Partition {
+                group: [0, 1].into_iter().collect(),
+                heal_at: 2_000,
+            },
+            SchedulerKind::Lossy {
+                drop_percent: 40,
+                budget: 64,
+            },
+        ],
+        behaviors: BehaviorKind::ALL.to_vec(),
+        corruption_sets: vec![PartySet::singleton(3)],
+        seeds: (0..16).collect(),
+        max_steps,
+        duplication_percent: 15,
+    }
+}
+
+fn main() {
+    let mut failed = false;
+    let protocols: Vec<(&str, u64)> = vec![
+        ("rbc", 500_000),
+        ("cbc", 500_000),
+        ("abba", 5_000_000),
+        ("mvba", 50_000_000),
+        ("abc", 200_000_000),
+    ];
+    for (name, max_steps) in protocols {
+        let plan = full_plan(max_steps);
+        let start = Instant::now();
+        let report = match name {
+            "rbc" => run_campaign(&plan, &rbc_hooks()),
+            "cbc" => run_campaign(&plan, &cbc_hooks()),
+            "abba" => run_campaign(&plan, &abba_hooks()),
+            "mvba" => run_campaign(&plan, &mvba_hooks()),
+            "abc" => run_campaign(&plan, &abc_hooks()),
+            _ => unreachable!(),
+        };
+        println!(
+            "{name:5} {:>8.1}s  {}",
+            start.elapsed().as_secs_f64(),
+            report.summary()
+        );
+        if !report.passed() {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("campaign soak FAILED");
+        std::process::exit(1);
+    }
+    println!("campaign soak passed");
+}

@@ -165,7 +165,12 @@ fn main() {
     }
     print_table(
         &format!("E7: notary front-running race, {trials} trials (n=7, t=2)"),
-        &["ordering", "adversary reads request?", "front-run succeeds", "avg network events"],
+        &[
+            "ordering",
+            "adversary reads request?",
+            "front-run succeeds",
+            "avg network events",
+        ],
         &[
             vec![
                 "plain atomic broadcast".into(),
@@ -181,8 +186,14 @@ fn main() {
             ],
         ],
     );
-    assert!(plain_mallory > trials / 2, "the rushing adversary wins on plain ABC");
-    assert_eq!(causal_alice, trials, "input causality always protects Alice");
+    assert!(
+        plain_mallory > trials / 2,
+        "the rushing adversary wins on plain ABC"
+    );
+    assert_eq!(
+        causal_alice, trials,
+        "input causality always protects Alice"
+    );
     println!("\nClaim reproduced: without encryption a corrupted server arranges a");
     println!("related request first (§5.2); secure causal atomic broadcast makes");
     println!("that impossible, at the cost of the extra decryption-share round");

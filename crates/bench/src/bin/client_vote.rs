@@ -18,7 +18,7 @@ use std::sync::Arc;
 use bench::print_table;
 use sintra::net::{RandomScheduler, Simulation};
 use sintra::protocols::common::Tag;
-use sintra::rsm::{atomic_replicas, EchoMachine, ReplyCollector, Reply};
+use sintra::rsm::{atomic_replicas, EchoMachine, Reply, ReplyCollector};
 use sintra::setup::dealt_system;
 
 fn collect_until(
@@ -92,7 +92,12 @@ fn main() {
         }
         assert_eq!(accepted, n - t, "mangled replies rejected");
         let reply = collector.signed_reply().expect("answer despite mangling");
-        assert!(ReplyCollector::verify_signed(&public, &Tag::root("rsm"), &request, &reply));
+        assert!(ReplyCollector::verify_signed(
+            &public,
+            &Tag::root("rsm"),
+            &request,
+            &reply
+        ));
     }
     print_table(
         "E9: replies needed by the client (in replica-id order)",

@@ -20,7 +20,10 @@ use sintra::adversary::PartySet;
 fn main() {
     let structure = example1().unwrap();
     let class = example1_classification();
-    println!("Example 1 structure: n=9, Q3 = {}", structure.satisfies_q3());
+    println!(
+        "Example 1 structure: n=9, Q3 = {}",
+        structure.satisfies_q3()
+    );
 
     // Sweep all maximal corruptible sets.
     let maximal = structure.maximal_adversary_sets();
@@ -58,7 +61,10 @@ fn main() {
         ],
     ];
     print_table(
-        &format!("E4: crash each maximal corruptible set of A1* ({} sets)", maximal.len()),
+        &format!(
+            "E4: crash each maximal corruptible set of A1* ({} sets)",
+            maximal.len()
+        ),
         &["corruption pattern", "size", "result"],
         &rows,
     );
@@ -79,7 +85,10 @@ fn main() {
             format!("{} of 2", run.delivered),
         ]],
     );
-    assert_eq!(run.delivered, 0, "liveness is lost outside the structure, as it must be");
+    assert_eq!(
+        run.delivered, 0,
+        "liveness is lost outside the structure, as it must be"
+    );
 
     // Threshold comparison: t=2 is the best Q3 threshold on 9 servers,
     // and it cannot absorb the 4-server class-a wipeout.

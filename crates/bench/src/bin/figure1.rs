@@ -23,13 +23,49 @@ use sintra::setup::dealt_system;
 
 fn qualitative_table() {
     let rows = vec![
-        vec!["RB94", "async.", "static", "yes (assumed ABC)", "crash-failures only"],
-        vec!["Rampart", "async.", "dynamic", "no", "FD for liveness and safety"],
-        vec!["Total alg.", "prob. async.", "static", "no", "needs causal order on links"],
+        vec![
+            "RB94",
+            "async.",
+            "static",
+            "yes (assumed ABC)",
+            "crash-failures only",
+        ],
+        vec![
+            "Rampart",
+            "async.",
+            "dynamic",
+            "no",
+            "FD for liveness and safety",
+        ],
+        vec![
+            "Total alg.",
+            "prob. async.",
+            "static",
+            "no",
+            "needs causal order on links",
+        ],
         vec!["CL99", "async.", "static", "no", "FD for liveness"],
-        vec!["Fleet", "async.", "static", "yes (randomized)", "no state machine replication"],
-        vec!["SecureRing", "async.", "static", "yes (Byzantine FD)", "\"Byzantine\" FD"],
-        vec!["DGG00", "async.", "static", "yes (Byzantine FD)", "\"Byzantine\" FD"],
+        vec![
+            "Fleet",
+            "async.",
+            "static",
+            "yes (randomized)",
+            "no state machine replication",
+        ],
+        vec![
+            "SecureRing",
+            "async.",
+            "static",
+            "yes (Byzantine FD)",
+            "\"Byzantine\" FD",
+        ],
+        vec![
+            "DGG00",
+            "async.",
+            "static",
+            "yes (Byzantine FD)",
+            "\"Byzantine\" FD",
+        ],
         vec![
             "this paper / SINTRA-RS",
             "async.",
@@ -174,8 +210,15 @@ fn behavioural_rows() {
         benign.0 += d.min(requests);
         benign.1.push(steps);
         benign.2 += v;
-        let (d, steps, v) =
-            run_fd(n, t, coordinator_starver(n), true, 21 + trial, requests, budget);
+        let (d, steps, v) = run_fd(
+            n,
+            t,
+            coordinator_starver(n),
+            true,
+            21 + trial,
+            requests,
+            budget,
+        );
         starved.0 += d.min(requests);
         starved.1.push(steps);
         starved.2 += v;
@@ -204,8 +247,15 @@ fn behavioural_rows() {
     let mut abc_starved = (0usize, Vec::new());
     for trial in 0..trials {
         let (public, bundles) = dealt_system(n, t, 31 + trial).unwrap();
-        let run =
-            run_abc_scenario(public, bundles, &crashed, &senders, RandomScheduler, 31 + trial, budget);
+        let run = run_abc_scenario(
+            public,
+            bundles,
+            &crashed,
+            &senders,
+            RandomScheduler,
+            31 + trial,
+            budget,
+        );
         abc_benign.0 += run.delivered.min(requests);
         abc_benign.1.push(run.steps);
 

@@ -34,7 +34,13 @@ fn main() {
     }
     print_table(
         "E11: servers needed — hybrid (n > 3b + 2c) vs crashes-as-Byzantine (n > 3(b+c))",
-        &["b (Byzantine)", "c (crash)", "hybrid n", "Byzantine-only n", "servers saved"],
+        &[
+            "b (Byzantine)",
+            "c (crash)",
+            "hybrid n",
+            "Byzantine-only n",
+            "servers saved",
+        ],
         &rows,
     );
 
@@ -68,7 +74,9 @@ fn main() {
             .filter(|p| Some(*p) != byz && Some(*p) != crash)
             .collect();
         let reference: Vec<_> = sim.outputs(honest[0]).to_vec();
-        let consistent = honest.iter().all(|&p| sim.outputs(p) == reference.as_slice());
+        let consistent = honest
+            .iter()
+            .all(|&p| sim.outputs(p) == reference.as_slice());
         rows.push(vec![
             label.to_string(),
             format!("{}/2", reference.len()),

@@ -80,7 +80,14 @@ fn main() {
         ]);
         // Full randomized ABC, benign (same load).
         let senders: Vec<usize> = (0..requests).map(|i| i % n).collect();
-        let run = run_threshold_abc(n, t, &PartySet::EMPTY, &senders, 1300 + n as u64, 200_000_000);
+        let run = run_threshold_abc(
+            n,
+            t,
+            &PartySet::EMPTY,
+            &senders,
+            1300 + n as u64,
+            200_000_000,
+        );
         rows.push(vec![
             n.to_string(),
             "full randomized ABC".into(),

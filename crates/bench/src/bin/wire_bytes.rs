@@ -30,8 +30,11 @@ fn main() {
         for trial in 0..trials {
             // Full randomized atomic broadcast.
             let (public, bundles) = dealt_system(n, t, 1500 + trial).unwrap();
-            let mut sim =
-                Simulation::new(abc_nodes(public, bundles, 1500 + trial), RandomScheduler, 1501 + trial);
+            let mut sim = Simulation::new(
+                abc_nodes(public, bundles, 1500 + trial),
+                RandomScheduler,
+                1501 + trial,
+            );
             sim.set_meter(|m| m.wire_size());
             sim.input(0, vec![0xAB; 256]);
             sim.run_until_quiet(200_000_000);
@@ -41,8 +44,11 @@ fn main() {
             // Secure causal atomic broadcast (adds encryption +
             // decryption shares).
             let (public, bundles) = dealt_system(n, t, 1600 + trial).unwrap();
-            let mut sim =
-                Simulation::new(scabc_nodes(public, bundles, 1600 + trial), RandomScheduler, 1601 + trial);
+            let mut sim = Simulation::new(
+                scabc_nodes(public, bundles, 1600 + trial),
+                RandomScheduler,
+                1601 + trial,
+            );
             sim.set_meter(|m| m.wire_size());
             sim.input(0, (vec![0xAB; 256], b"label".to_vec()));
             sim.run_until_quiet(200_000_000);

@@ -143,12 +143,7 @@ pub fn pick_senders(n: usize, crashed: &PartySet, k: usize) -> Vec<usize> {
 
 /// Runs one ABBA instance with the given per-party inputs; returns
 /// (decision, max decision round over parties, steps).
-pub fn run_abba_once(
-    n: usize,
-    t: usize,
-    inputs: &[bool],
-    seed: u64,
-) -> (bool, u64, u64) {
+pub fn run_abba_once(n: usize, t: usize, inputs: &[bool], seed: u64) -> (bool, u64, u64) {
     run_abba_scheduled(n, t, inputs, seed, false)
 }
 

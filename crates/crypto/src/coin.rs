@@ -225,10 +225,7 @@ pub(crate) fn deal_coin(
                 .collect(),
         })
         .collect();
-    (
-        CoinScheme::from_parts(scheme.clone(), verification),
-        keys,
-    )
+    (CoinScheme::from_parts(scheme.clone(), verification), keys)
 }
 
 #[cfg(test)]
@@ -237,7 +234,11 @@ mod tests {
     use sintra_adversary::attributes::example1;
     use sintra_adversary::structure::TrustStructure;
 
-    fn threshold_setup(n: usize, t: usize, seed: u64) -> (CoinScheme, Vec<CoinSecretKey>, SeededRng) {
+    fn threshold_setup(
+        n: usize,
+        t: usize,
+        seed: u64,
+    ) -> (CoinScheme, Vec<CoinSecretKey>, SeededRng) {
         let ts = TrustStructure::threshold(n, t).unwrap();
         let scheme = SharingScheme::new(ts.sharing_formula());
         let mut rng = SeededRng::new(seed);
@@ -252,7 +253,9 @@ mod tests {
         for s in &shares {
             assert!(coin.verify_share(b"round-0", s));
         }
-        let value = coin.combine(b"round-0", &shares[..2]).expect("2 = t+1 shares suffice");
+        let value = coin
+            .combine(b"round-0", &shares[..2])
+            .expect("2 = t+1 shares suffice");
         // All parties derive the same value from any qualified subset.
         let value2 = coin.combine(b"round-0", &shares[2..]).unwrap();
         assert_eq!(value, value2);
@@ -284,7 +287,9 @@ mod tests {
         // Combine skips the bad share: with only one other good share the
         // holders are not qualified.
         let good = keys[1].share(b"c", &mut rng);
-        assert!(coin.combine(b"c", &[forged.clone(), good.clone()]).is_none());
+        assert!(coin
+            .combine(b"c", &[forged.clone(), good.clone()])
+            .is_none());
         // Adding a second good share reaches the t+1 quorum.
         let good2 = keys[2].share(b"c", &mut rng);
         assert!(coin.combine(b"c", &[forged, good, good2]).is_some());
@@ -304,8 +309,10 @@ mod tests {
         }
         // Not all coins equal (overwhelming probability) and bits vary.
         let bits: Vec<bool> = values.iter().map(|v| v.bit()).collect();
-        assert!(bits.iter().any(|b| *b) && bits.iter().any(|b| !*b),
-            "16 coins should contain both bit values");
+        assert!(
+            bits.iter().any(|b| *b) && bits.iter().any(|b| !*b),
+            "16 coins should contain both bit values"
+        );
     }
 
     #[test]

@@ -170,15 +170,15 @@ impl Dealer {
             .zip(sig_keys)
             .zip(auth)
             .enumerate()
-            .map(|(party, (((coin_key, decryption_key), signing_key), auth_key))| {
-                ServerKeyBundle {
+            .map(
+                |(party, (((coin_key, decryption_key), signing_key), auth_key))| ServerKeyBundle {
                     party,
                     coin_key,
                     decryption_key,
                     signing_key,
                     auth_key,
-                }
-            })
+                },
+            )
             .collect();
         let public = PublicParameters {
             structure: structure.clone(),
@@ -214,7 +214,11 @@ mod tests {
         let ct = public.encryption().encrypt(b"msg", b"lbl", &mut rng);
         let dec: Vec<_> = bundles[..2]
             .iter()
-            .map(|b| b.decryption_key().decrypt_share(public.encryption(), &ct, &mut rng).unwrap())
+            .map(|b| {
+                b.decryption_key()
+                    .decrypt_share(public.encryption(), &ct, &mut rng)
+                    .unwrap()
+            })
             .collect();
         assert_eq!(public.encryption().combine(&ct, &dec).unwrap(), b"msg");
 
@@ -301,7 +305,10 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        assert_eq!(public.encryption().combine(&ct, &new_dec).unwrap(), b"pre-refresh");
+        assert_eq!(
+            public.encryption().combine(&ct, &new_dec).unwrap(),
+            b"pre-refresh"
+        );
 
         // Coin values unchanged across the epoch boundary.
         let new_shares: Vec<_> = bundles

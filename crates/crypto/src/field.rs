@@ -426,7 +426,11 @@ mod tests {
             let a = Fp::from_u64(v);
             assert_eq!(a * a.invert().unwrap(), Fp::ONE, "Fp inverse of {v}");
             let s = Scalar::from_u64(v);
-            assert_eq!(s * s.invert().unwrap(), Scalar::ONE, "Scalar inverse of {v}");
+            assert_eq!(
+                s * s.invert().unwrap(),
+                Scalar::ONE,
+                "Scalar inverse of {v}"
+            );
         }
         assert!(Fp::ZERO.invert().is_none());
         assert!(Scalar::ZERO.invert().is_none());

@@ -129,10 +129,7 @@ impl GroupElement {
     pub fn hash_to_group(domain: &str, input: &[u8]) -> Self {
         let mut counter = 0u64;
         loop {
-            let digest = Hasher::new(domain)
-                .field(input)
-                .field_u64(counter)
-                .finish();
+            let digest = Hasher::new(domain).field(input).field_u64(counter).finish();
             let candidate = Fp::from_u256(&U256::from_be_bytes(&digest));
             let squared = candidate.square();
             if !squared.is_zero() {

@@ -242,10 +242,7 @@ pub fn expand(domain: &str, seed: &[u8], len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     let mut counter = 0u64;
     while out.len() < len {
-        let block = Hasher::new(domain)
-            .field(seed)
-            .field_u64(counter)
-            .finish();
+        let block = Hasher::new(domain).field(seed).field_u64(counter).finish();
         let take = (len - out.len()).min(32);
         out.extend_from_slice(&block[..take]);
         counter += 1;

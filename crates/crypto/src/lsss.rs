@@ -119,7 +119,13 @@ impl SharingScheme {
     pub fn share(&self, secret: Scalar, rng: &mut SeededRng) -> Vec<Scalar> {
         let mut values = vec![Scalar::ZERO; self.num_leaves()];
         let mut next_leaf = 0;
-        share_node(self.formula.root(), secret, rng, &mut next_leaf, &mut values);
+        share_node(
+            self.formula.root(),
+            secret,
+            rng,
+            &mut next_leaf,
+            &mut values,
+        );
         debug_assert_eq!(next_leaf, values.len());
         values
     }
@@ -128,10 +134,7 @@ impl SharingScheme {
     /// `set`: a map `leaf → λ` with `secret = Σ λ_leaf · value_leaf`.
     ///
     /// Returns `None` if `set` is not qualified.
-    pub fn reconstruction_coefficients(
-        &self,
-        set: &PartySet,
-    ) -> Option<BTreeMap<LeafId, Scalar>> {
+    pub fn reconstruction_coefficients(&self, set: &PartySet) -> Option<BTreeMap<LeafId, Scalar>> {
         let mut next_leaf = 0;
         let result = coeffs_node(self.formula.root(), set, &mut next_leaf);
         debug_assert_eq!(next_leaf, self.num_leaves());
@@ -151,12 +154,7 @@ impl SharingScheme {
     /// Returns `None` if `set` is not qualified.
     pub fn reconstruct(&self, set: &PartySet, values: &[Scalar]) -> Option<Scalar> {
         let coeffs = self.reconstruction_coefficients(set)?;
-        Some(
-            coeffs
-                .into_iter()
-                .map(|(leaf, c)| c * values[leaf])
-                .sum(),
-        )
+        Some(coeffs.into_iter().map(|(leaf, c)| c * values[leaf]).sum())
     }
 
     /// Reconstructs `base^secret` from exponentiated components
@@ -273,8 +271,11 @@ mod tests {
 
     #[test]
     fn and_gate_needs_everyone() {
-        let f = MonotoneFormula::new(3, Gate::and(vec![Gate::leaf(0), Gate::leaf(1), Gate::leaf(2)]))
-            .unwrap();
+        let f = MonotoneFormula::new(
+            3,
+            Gate::and(vec![Gate::leaf(0), Gate::leaf(1), Gate::leaf(2)]),
+        )
+        .unwrap();
         let scheme = SharingScheme::new(f);
         let mut rng = SeededRng::new(2);
         let secret = rng.next_scalar();
@@ -304,7 +305,10 @@ mod tests {
             5,
             Gate::or(vec![
                 Gate::and(vec![Gate::leaf(0), Gate::leaf(1)]),
-                Gate::and(vec![Gate::leaf(2), Gate::or(vec![Gate::leaf(3), Gate::leaf(4)])]),
+                Gate::and(vec![
+                    Gate::leaf(2),
+                    Gate::or(vec![Gate::leaf(3), Gate::leaf(4)]),
+                ]),
             ]),
         )
         .unwrap();
@@ -352,7 +356,10 @@ mod tests {
         let shares = scheme.share(secret, &mut rng);
         // A 2×2 subgrid at two locations with two OSes reconstructs:
         // parties (0,0)=0, (0,1)=1, (1,0)=4, (1,1)=5.
-        assert_eq!(scheme.reconstruct(&set(&[0, 1, 4, 5]), &shares), Some(secret));
+        assert_eq!(
+            scheme.reconstruct(&set(&[0, 1, 4, 5]), &shares),
+            Some(secret)
+        );
         // One full location ∪ one full OS cannot (7 corrupted servers).
         let corrupted = set(&[0, 1, 2, 3, 6, 10, 14]); // location 0 + OS 2
         assert_eq!(scheme.reconstruct(&corrupted, &shares), None);
@@ -381,13 +388,13 @@ mod tests {
             Some(g.exp(&secret))
         );
         // Unqualified set fails.
-        assert_eq!(
-            scheme.reconstruct_in_exponent(&set(&[1]), &elements),
-            None
-        );
+        assert_eq!(scheme.reconstruct_in_exponent(&set(&[1]), &elements), None);
         // Missing element fails gracefully.
-        let partial: BTreeMap<LeafId, GroupElement> =
-            elements.iter().filter(|(l, _)| **l != 1).map(|(l, e)| (*l, *e)).collect();
+        let partial: BTreeMap<LeafId, GroupElement> = elements
+            .iter()
+            .filter(|(l, _)| **l != 1)
+            .map(|(l, e)| (*l, *e))
+            .collect();
         assert_eq!(scheme.reconstruct_in_exponent(&holders, &partial), None);
     }
 

@@ -85,7 +85,9 @@ pub fn lagrange_at_zero(points: &[u64]) -> Vec<Scalar> {
                 num = num * xm;
                 den = den * (xm - xj);
             }
-            num * den.invert().expect("distinct points give nonzero denominator")
+            num * den
+                .invert()
+                .expect("distinct points give nonzero denominator")
         })
         .collect()
 }
@@ -158,7 +160,8 @@ mod tests {
         let secret = rng.next_scalar();
         let poly = Polynomial::random(secret, 2, &mut rng);
         // Any 3 of 7 shares work, including non-contiguous points.
-        let shares: Vec<(u64, Scalar)> = [2u64, 5, 7].iter().map(|&i| (i, poly.eval_at(i))).collect();
+        let shares: Vec<(u64, Scalar)> =
+            [2u64, 5, 7].iter().map(|&i| (i, poly.eval_at(i))).collect();
         assert_eq!(reconstruct(&shares), secret);
     }
 
@@ -178,8 +181,10 @@ mod tests {
         let secret = rng.next_scalar();
         let poly = Polynomial::random(secret, 3, &mut rng);
         let g = GroupElement::generator();
-        let shares: Vec<(u64, GroupElement)> =
-            [1u64, 3, 4, 9].iter().map(|&i| (i, g.exp(&poly.eval_at(i)))).collect();
+        let shares: Vec<(u64, GroupElement)> = [1u64, 3, 4, 9]
+            .iter()
+            .map(|&i| (i, g.exp(&poly.eval_at(i))))
+            .collect();
         assert_eq!(reconstruct_in_exponent(&shares), g.exp(&secret));
     }
 

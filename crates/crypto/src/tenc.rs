@@ -179,8 +179,12 @@ pub enum DecryptError {
 impl core::fmt::Display for DecryptError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            DecryptError::InvalidCiphertext => write!(f, "ciphertext well-formedness proof invalid"),
-            DecryptError::InsufficientShares => write!(f, "decryption shares not from a qualified set"),
+            DecryptError::InvalidCiphertext => {
+                write!(f, "ciphertext well-formedness proof invalid")
+            }
+            DecryptError::InsufficientShares => {
+                write!(f, "decryption shares not from a qualified set")
+            }
         }
     }
 }
@@ -411,7 +415,11 @@ mod tests {
     use sintra_adversary::attributes::example2;
     use sintra_adversary::structure::TrustStructure;
 
-    fn setup(n: usize, t: usize, seed: u64) -> (EncryptionScheme, Vec<DecryptionSecretKey>, SeededRng) {
+    fn setup(
+        n: usize,
+        t: usize,
+        seed: u64,
+    ) -> (EncryptionScheme, Vec<DecryptionSecretKey>, SeededRng) {
         let ts = TrustStructure::threshold(n, t).unwrap();
         let scheme = SharingScheme::new(ts.sharing_formula());
         let mut rng = SeededRng::new(seed);
@@ -470,7 +478,10 @@ mod tests {
         let ct2 = enc.encrypt(b"two", b"l", &mut rng);
         let share = keys[0].decrypt_share(&enc, &ct1, &mut rng).unwrap();
         assert!(enc.verify_share(&ct1, &share));
-        assert!(!enc.verify_share(&ct2, &share), "cross-ciphertext replay rejected");
+        assert!(
+            !enc.verify_share(&ct2, &share),
+            "cross-ciphertext replay rejected"
+        );
     }
 
     #[test]
@@ -478,7 +489,10 @@ mod tests {
         let (enc, keys, mut rng) = setup(4, 1, 5);
         let ct = enc.encrypt(b"m", b"l", &mut rng);
         let one = keys[0].decrypt_share(&enc, &ct, &mut rng).unwrap();
-        assert_eq!(enc.combine(&ct, &[one]), Err(DecryptError::InsufficientShares));
+        assert_eq!(
+            enc.combine(&ct, &[one]),
+            Err(DecryptError::InsufficientShares)
+        );
     }
 
     #[test]

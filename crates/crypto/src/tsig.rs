@@ -145,7 +145,9 @@ pub enum CombineError {
 impl core::fmt::Display for CombineError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            CombineError::InsufficientQuorum => write!(f, "signer set does not satisfy quorum rule"),
+            CombineError::InsufficientQuorum => {
+                write!(f, "signer set does not satisfy quorum rule")
+            }
         }
     }
 }
@@ -221,7 +223,10 @@ impl ThresholdSigScheme {
             return Err(CombineError::InsufficientQuorum);
         }
         let signatures = by_party.into_iter().flatten().collect();
-        Ok(ThresholdSignature { signers, signatures })
+        Ok(ThresholdSignature {
+            signers,
+            signatures,
+        })
     }
 
     /// Verifies a combined signature against a quorum rule.
@@ -271,7 +276,11 @@ mod tests {
     use super::*;
     use sintra_adversary::attributes::example1;
 
-    fn setup(n: usize, t: usize, seed: u64) -> (ThresholdSigScheme, Vec<ThresholdSigKey>, SeededRng) {
+    fn setup(
+        n: usize,
+        t: usize,
+        seed: u64,
+    ) -> (ThresholdSigScheme, Vec<ThresholdSigKey>, SeededRng) {
         let structure = TrustStructure::threshold(n, t).unwrap();
         let mut rng = SeededRng::new(seed);
         let (scheme, keys) = deal_tsig(&structure, &mut rng);
@@ -281,9 +290,13 @@ mod tests {
     #[test]
     fn qualified_combine_and_verify() {
         let (scheme, keys, mut rng) = setup(4, 1, 1);
-        let shares: Vec<SignatureShare> =
-            keys[..2].iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
-        let sig = scheme.combine(b"m", &shares, QuorumRule::Qualified).unwrap();
+        let shares: Vec<SignatureShare> = keys[..2]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
+        let sig = scheme
+            .combine(b"m", &shares, QuorumRule::Qualified)
+            .unwrap();
         assert!(scheme.verify(b"m", &sig, QuorumRule::Qualified));
         assert!(!scheme.verify(b"other", &sig, QuorumRule::Qualified));
         assert_eq!(sig.signers().len(), 2);
@@ -293,14 +306,18 @@ mod tests {
     fn rules_are_ordered() {
         let (scheme, keys, mut rng) = setup(4, 1, 2);
         // Core quorum needs n - t = 3 signers; strong needs 2t+1 = 3.
-        let shares: Vec<SignatureShare> =
-            keys[..3].iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
+        let shares: Vec<SignatureShare> = keys[..3]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
         let sig = scheme.combine(b"m", &shares, QuorumRule::Core).unwrap();
         assert!(scheme.verify(b"m", &sig, QuorumRule::Core));
         assert!(scheme.verify(b"m", &sig, QuorumRule::Strong));
         assert!(scheme.verify(b"m", &sig, QuorumRule::Qualified));
         // Two signers fail core and strong rules.
-        let sig2 = scheme.combine(b"m", &shares[..2], QuorumRule::Qualified).unwrap();
+        let sig2 = scheme
+            .combine(b"m", &shares[..2], QuorumRule::Qualified)
+            .unwrap();
         assert!(!scheme.verify(b"m", &sig2, QuorumRule::Core));
         assert!(!scheme.verify(b"m", &sig2, QuorumRule::Strong));
         assert_eq!(
@@ -312,14 +329,18 @@ mod tests {
     #[test]
     fn invalid_shares_dropped() {
         let (scheme, keys, mut rng) = setup(4, 1, 3);
-        let good: Vec<SignatureShare> =
-            keys[..2].iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
+        let good: Vec<SignatureShare> = keys[..2]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
         // A share on a different message is invalid for "m".
         let bad = keys[2].sign_share(b"not-m", &mut rng);
         assert!(!scheme.verify_share(b"m", &bad));
         let mut shares = good.clone();
         shares.push(bad);
-        let sig = scheme.combine(b"m", &shares, QuorumRule::Qualified).unwrap();
+        let sig = scheme
+            .combine(b"m", &shares, QuorumRule::Qualified)
+            .unwrap();
         assert_eq!(sig.signers().len(), 2, "bad share must not count");
     }
 
@@ -338,15 +359,21 @@ mod tests {
         // Only the single corrupted party signs: the "signature" cannot
         // certify even the weakest rule.
         let shares = [keys[3].sign_share(b"forged", &mut rng)];
-        assert!(scheme.combine(b"forged", &shares, QuorumRule::Qualified).is_err());
+        assert!(scheme
+            .combine(b"forged", &shares, QuorumRule::Qualified)
+            .is_err());
     }
 
     #[test]
     fn verify_rejects_inflated_signer_claim() {
         let (scheme, keys, mut rng) = setup(4, 1, 6);
-        let shares: Vec<SignatureShare> =
-            keys[..2].iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
-        let sig = scheme.combine(b"m", &shares, QuorumRule::Qualified).unwrap();
+        let shares: Vec<SignatureShare> = keys[..2]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
+        let sig = scheme
+            .combine(b"m", &shares, QuorumRule::Qualified)
+            .unwrap();
         // Claim an extra signer without its signature.
         let mut signers = *sig.signers();
         signers.insert(3);
@@ -380,8 +407,10 @@ mod tests {
     #[test]
     fn threshold_signature_byte_roundtrip() {
         let (scheme, keys, mut rng) = setup(4, 1, 9);
-        let shares: Vec<SignatureShare> =
-            keys[..3].iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
+        let shares: Vec<SignatureShare> = keys[..3]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
         let sig = scheme.combine(b"m", &shares, QuorumRule::Core).unwrap();
         let bytes = sig.to_bytes();
         assert_eq!(bytes.len(), sig.size_bytes());
@@ -399,8 +428,10 @@ mod tests {
     #[test]
     fn size_reporting() {
         let (scheme, keys, mut rng) = setup(7, 2, 8);
-        let shares: Vec<SignatureShare> =
-            keys[..5].iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
+        let shares: Vec<SignatureShare> = keys[..5]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
         let sig = scheme.combine(b"m", &shares, QuorumRule::Strong).unwrap();
         assert!(sig.size_bytes() >= 5 * 64);
     }

@@ -355,8 +355,13 @@ mod tests {
     #[test]
     fn ordering() {
         assert!(U256::ZERO < U256::ONE);
-        assert!(U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]));
-        assert_eq!(U256::from_u64(5).cmp(&U256::from_u64(5)), core::cmp::Ordering::Equal);
+        assert!(
+            U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0])
+        );
+        assert_eq!(
+            U256::from_u64(5).cmp(&U256::from_u64(5)),
+            core::cmp::Ordering::Equal
+        );
     }
 
     #[test]
@@ -386,7 +391,10 @@ mod tests {
         // 256 = 3*85 + 1, so 2^256 ≡ 2.
         let mut wide = [0u64; 8];
         wide[4] = 1; // 2^256
-        assert_eq!(U256::reduce_wide(&wide, &U256::from_u64(7)), U256::from_u64(2));
+        assert_eq!(
+            U256::reduce_wide(&wide, &U256::from_u64(7)),
+            U256::from_u64(2)
+        );
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Fault-injection campaigns: systematic sweeps of the adversary space.
+//!
+//! A *campaign* runs one protocol under the full cross-product of
+//! scheduler × behavior × corruption-set × seed, checks per-protocol
+//! invariants after every run, and reports failures with enough
+//! coordinates to replay them bit-identically. This turns the paper's
+//! threat model (§2: adversarial network, up to a corruptible set of
+//! Byzantine servers) into a regression harness: every protocol change
+//! is re-validated against the whole grid, and a violation is a single
+//! [`CaseId`] away from a deterministic reproduction.
+//!
+//! The protocol-specific pieces — how to build replicas, how to
+//! instantiate a [`BehaviorKind`] as a concrete [`Behavior`], what to
+//! input, and which invariants must hold — are supplied as
+//! [`CampaignHooks`]; everything else (grid iteration, scheduling,
+//! replay bookkeeping) is generic.
+//!
+//! ```ignore
+//! let report = run_campaign(&plan, &hooks);
+//! assert!(report.passed(), "{}", report.summary());
+//! // On failure: replay the minimal failing case under a debugger.
+//! let outcome = replay_case(&plan, &hooks, &report.minimal_failure().unwrap().case);
+//! ```
+
+use crate::protocol::Protocol;
+use crate::sim::{
+    Behavior, FifoScheduler, LifoScheduler, LossyScheduler, PartitionScheduler, RandomScheduler,
+    Scheduler, SimStats, Simulation, TargetedDelayScheduler,
+};
+use sintra_adversary::party::{PartyId, PartySet};
+
+/// Scheduler axis of the campaign grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Uniformly random delivery.
+    Random,
+    /// Oldest-first (global FIFO).
+    Fifo,
+    /// Newest-first (maximal reordering).
+    Lifo,
+    /// Starves traffic touching the victim set.
+    TargetedDelay(PartySet),
+    /// Withholds cross-group traffic until `heal_at`.
+    Partition {
+        /// One side of the partition.
+        group: PartySet,
+        /// Step at which the partition heals.
+        heal_at: u64,
+    },
+    /// Random delivery plus bounded loss of duplicate copies.
+    Lossy {
+        /// Probability (percent) of attempting a drop each step.
+        drop_percent: u64,
+        /// Maximum number of duplicate copies destroyed.
+        budget: u64,
+    },
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler for a run.
+    pub fn build<M>(&self) -> Box<dyn Scheduler<M>> {
+        match self {
+            SchedulerKind::Random => Box::new(RandomScheduler),
+            SchedulerKind::Fifo => Box::new(FifoScheduler),
+            SchedulerKind::Lifo => Box::new(LifoScheduler),
+            SchedulerKind::TargetedDelay(victims) => {
+                Box::new(TargetedDelayScheduler { victims: *victims })
+            }
+            SchedulerKind::Partition { group, heal_at } => Box::new(PartitionScheduler {
+                group: *group,
+                heal_at: *heal_at,
+            }),
+            SchedulerKind::Lossy {
+                drop_percent,
+                budget,
+            } => Box::new(LossyScheduler::new(RandomScheduler, *drop_percent, *budget)),
+        }
+    }
+}
+
+/// Behavior axis of the campaign grid. The concrete [`Behavior`] for a
+/// kind is built by [`CampaignHooks::behavior`], since most behaviors
+/// are protocol-specific (they wrap a real replica or mutate concrete
+/// message types).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BehaviorKind {
+    /// Fail-stop: absorbs everything, says nothing.
+    Crash,
+    /// Different payloads to different receivers.
+    Equivocate,
+    /// Captures and re-sends traffic.
+    Replay,
+    /// Bit-flips/truncates outgoing messages.
+    Mutate,
+    /// Drops all traffic to a victim set.
+    Mute,
+    /// Crashes mid-run, rejoins later with amnesia.
+    CrashRecover,
+}
+
+impl BehaviorKind {
+    /// The five canned Byzantine behaviors (plus fail-stop).
+    pub const ALL: [BehaviorKind; 6] = [
+        BehaviorKind::Crash,
+        BehaviorKind::Equivocate,
+        BehaviorKind::Replay,
+        BehaviorKind::Mutate,
+        BehaviorKind::Mute,
+        BehaviorKind::CrashRecover,
+    ];
+}
+
+/// The grid to sweep plus per-run limits.
+#[derive(Clone, Debug)]
+pub struct CampaignPlan {
+    /// Scheduler kinds to try.
+    pub schedulers: Vec<SchedulerKind>,
+    /// Behavior kinds to try.
+    pub behaviors: Vec<BehaviorKind>,
+    /// Corruption sets to try (must each be corruptible for the
+    /// protocol's trust structure — the hooks owner is responsible).
+    pub corruption_sets: Vec<PartySet>,
+    /// Seeds to try; each seed determines keys, schedule, and behavior
+    /// randomness, so a case replays bit-identically.
+    pub seeds: Vec<u64>,
+    /// Per-run step budget (liveness horizon).
+    pub max_steps: u64,
+    /// Network duplication percentage applied to every run.
+    pub duplication_percent: u64,
+}
+
+/// Everything protocol-specific a campaign needs.
+pub struct CampaignHooks<'a, P: Protocol> {
+    /// Builds a fresh replica set for the given seed.
+    #[allow(clippy::type_complexity)]
+    pub nodes: Box<dyn Fn(u64) -> Vec<P> + 'a>,
+    /// Instantiates a behavior kind at a corrupted party.
+    #[allow(clippy::type_complexity)]
+    pub behavior: Box<dyn Fn(BehaviorKind, PartyId, u64) -> Behavior<P> + 'a>,
+    /// Inputs to inject, given the corrupted set.
+    #[allow(clippy::type_complexity)]
+    pub inputs: Box<dyn Fn(u64, &PartySet) -> Vec<(PartyId, P::Input)> + 'a>,
+    /// Invariant checker run after every case.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn Fn(&RunOutcome<P>) -> Result<(), String> + 'a>,
+}
+
+/// What one campaign case produced.
+#[derive(Debug)]
+pub struct RunOutcome<P: Protocol> {
+    /// Outputs of every party (corrupted slots are empty).
+    pub outputs: Vec<Vec<P::Output>>,
+    /// The corrupted set of this case.
+    pub corrupted: PartySet,
+    /// Simulator counters.
+    pub stats: SimStats,
+    /// Whether the run quiesced within the step budget (a run that hits
+    /// the budget with traffic still in flight is a liveness suspect).
+    pub quiesced: bool,
+}
+
+impl<P: Protocol> RunOutcome<P> {
+    /// Parties that were honest in this case.
+    pub fn honest(&self) -> impl Iterator<Item = PartyId> + '_ {
+        (0..self.outputs.len()).filter(|p| !self.corrupted.contains(*p))
+    }
+}
+
+/// Coordinates of one case — enough to replay it exactly.
+#[derive(Clone, Debug)]
+pub struct CaseId {
+    /// Scheduler used.
+    pub scheduler: SchedulerKind,
+    /// Behavior kind injected at every corrupted party.
+    pub behavior: BehaviorKind,
+    /// Which parties were corrupted.
+    pub corrupted: PartySet,
+    /// The seed.
+    pub seed: u64,
+}
+
+/// A case whose invariant check failed.
+#[derive(Clone, Debug)]
+pub struct CaseFailure {
+    /// Replay coordinates.
+    pub case: CaseId,
+    /// The invariant violation.
+    pub error: String,
+}
+
+/// Results of a full sweep.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Cases executed.
+    pub cases_run: usize,
+    /// Cases whose invariant check failed.
+    pub failures: Vec<CaseFailure>,
+}
+
+impl CampaignReport {
+    /// Whether every case passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The failing case with the smallest seed (the canonical
+    /// reproduction to debug first), if any.
+    pub fn minimal_failure(&self) -> Option<&CaseFailure> {
+        self.failures.iter().min_by_key(|f| f.case.seed)
+    }
+
+    /// Human-readable digest for assertion messages and soak logs.
+    pub fn summary(&self) -> String {
+        match self.minimal_failure() {
+            None => format!("{} cases, all passed", self.cases_run),
+            Some(f) => format!(
+                "{} of {} cases FAILED; minimal seed {} [{:?} × {:?} × corrupted {:?}]: {}",
+                self.failures.len(),
+                self.cases_run,
+                f.case.seed,
+                f.case.scheduler,
+                f.case.behavior,
+                f.case.corrupted,
+                f.error,
+            ),
+        }
+    }
+}
+
+/// Runs a single case and returns its outcome (also the replay
+/// entry point for a failure reported by [`run_campaign`]).
+pub fn replay_case<P>(
+    plan: &CampaignPlan,
+    hooks: &CampaignHooks<'_, P>,
+    case: &CaseId,
+) -> RunOutcome<P>
+where
+    P: Protocol,
+    P::Output: Clone,
+{
+    let nodes = (hooks.nodes)(case.seed);
+    let n = nodes.len();
+    let mut sim = Simulation::new(nodes, case.scheduler.build(), case.seed ^ 0x5ca1ab1e);
+    if plan.duplication_percent > 0 {
+        sim.enable_duplication(plan.duplication_percent);
+    }
+    for party in case.corrupted.iter() {
+        sim.corrupt(
+            party,
+            (hooks.behavior)(case.behavior, party, case.seed ^ party as u64),
+        );
+    }
+    for (party, input) in (hooks.inputs)(case.seed, &case.corrupted) {
+        sim.input(party, input);
+    }
+    let executed = sim.run_until_quiet(plan.max_steps);
+    RunOutcome {
+        outputs: (0..n).map(|p| sim.outputs(p).to_vec()).collect(),
+        corrupted: case.corrupted,
+        stats: sim.stats(),
+        quiesced: executed < plan.max_steps,
+    }
+}
+
+/// Sweeps the full grid, checking invariants after every case.
+pub fn run_campaign<P>(plan: &CampaignPlan, hooks: &CampaignHooks<'_, P>) -> CampaignReport
+where
+    P: Protocol,
+    P::Output: Clone,
+{
+    let mut report = CampaignReport::default();
+    for scheduler in &plan.schedulers {
+        for &behavior in &plan.behaviors {
+            for corrupted in &plan.corruption_sets {
+                for &seed in &plan.seeds {
+                    let case = CaseId {
+                        scheduler: scheduler.clone(),
+                        behavior,
+                        corrupted: *corrupted,
+                        seed,
+                    };
+                    let outcome = replay_case(plan, hooks, &case);
+                    report.cases_run += 1;
+                    if let Err(error) = (hooks.check)(&outcome) {
+                        report.failures.push(CaseFailure { case, error });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Ready-made invariant checkers to compose inside
+/// [`CampaignHooks::check`].
+pub mod invariants {
+    use super::RunOutcome;
+    use crate::protocol::Protocol;
+
+    /// **Agreement** (single-shot protocols): any two honest parties
+    /// that produced output produced the same first output.
+    pub fn agreement<P>(outcome: &RunOutcome<P>) -> Result<(), String>
+    where
+        P: Protocol,
+        P::Output: PartialEq,
+    {
+        let mut reference: Option<(usize, &P::Output)> = None;
+        for p in outcome.honest() {
+            if let Some(out) = outcome.outputs[p].first() {
+                match reference {
+                    None => reference = Some((p, out)),
+                    Some((q, r)) => {
+                        if out != r {
+                            return Err(format!(
+                                "agreement violated: party {p} disagrees with party {q}: \
+                                 {:?} vs {:?}",
+                                out, r
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// **Total order**: every honest party's output sequence is a prefix
+    /// of every longer honest sequence.
+    pub fn total_order<P>(outcome: &RunOutcome<P>) -> Result<(), String>
+    where
+        P: Protocol,
+        P::Output: PartialEq,
+    {
+        let honest: Vec<usize> = outcome.honest().collect();
+        for (i, &p) in honest.iter().enumerate() {
+            for &q in &honest[i + 1..] {
+                let (a, b) = (&outcome.outputs[p], &outcome.outputs[q]);
+                let len = a.len().min(b.len());
+                if a[..len] != b[..len] {
+                    return Err(format!(
+                        "total order violated between parties {p} and {q} within the first \
+                         {len} outputs"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// **Liveness within the step budget**: the run quiesced and every
+    /// honest party produced at least `min_outputs` outputs.
+    pub fn liveness<P: Protocol>(
+        outcome: &RunOutcome<P>,
+        min_outputs: usize,
+    ) -> Result<(), String> {
+        if !outcome.quiesced {
+            return Err("run did not quiesce within the step budget".into());
+        }
+        for p in outcome.honest() {
+            let got = outcome.outputs[p].len();
+            if got < min_outputs {
+                return Err(format!(
+                    "liveness violated: party {p} produced {got} outputs, needed {min_outputs}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// **External validity**: every honest output satisfies `valid`.
+    pub fn external_validity<P, F>(outcome: &RunOutcome<P>, valid: F) -> Result<(), String>
+    where
+        P: Protocol,
+        F: Fn(&P::Output) -> bool,
+    {
+        for p in outcome.honest() {
+            for (i, out) in outcome.outputs[p].iter().enumerate() {
+                if !valid(out) {
+                    return Err(format!(
+                        "external validity violated: party {p} output #{i} is invalid: {:?}",
+                        out
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults;
+    use crate::protocol::Effects;
+
+    /// Toy "agreement" protocol: every party broadcasts its input; each
+    /// party outputs the smallest value it has heard from a strong
+    /// majority... simplified: outputs the first value received from
+    /// party 0 (so a mute/crash of party 0 yields no output — good for
+    /// exercising the checker plumbing, not a real protocol).
+    #[derive(Debug)]
+    struct FollowLeader {
+        n: usize,
+        decided: bool,
+    }
+
+    impl Protocol for FollowLeader {
+        type Message = u64;
+        type Input = u64;
+        type Output = u64;
+
+        fn on_input(&mut self, v: u64, fx: &mut Effects<u64, u64>) {
+            fx.send_all(self.n, v);
+        }
+
+        fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, u64>) {
+            if from == 0 && !self.decided {
+                self.decided = true;
+                fx.output(v);
+            }
+        }
+    }
+
+    fn hooks<'a>() -> CampaignHooks<'a, FollowLeader> {
+        CampaignHooks {
+            nodes: Box::new(|_seed| {
+                (0..4)
+                    .map(|_| FollowLeader {
+                        n: 4,
+                        decided: false,
+                    })
+                    .collect()
+            }),
+            behavior: Box::new(|kind, party, seed| match kind {
+                BehaviorKind::Crash => Behavior::Crash,
+                BehaviorKind::Equivocate => faults::equivocator(
+                    party,
+                    FollowLeader {
+                        n: 4,
+                        decided: false,
+                    },
+                    Some(7),
+                    |to, m, _| m + to as u64,
+                    seed,
+                ),
+                BehaviorKind::Replay => faults::replayer(4, 8, seed),
+                BehaviorKind::Mutate => faults::mutator(
+                    party,
+                    FollowLeader {
+                        n: 4,
+                        decided: false,
+                    },
+                    Some(7),
+                    |m, _| *m ^= 1,
+                    50,
+                    seed,
+                ),
+                BehaviorKind::Mute => faults::selective_mute(
+                    party,
+                    FollowLeader {
+                        n: 4,
+                        decided: false,
+                    },
+                    Some(7),
+                    PartySet::singleton((party + 1) % 4),
+                ),
+                BehaviorKind::CrashRecover => faults::crash_recover(
+                    party,
+                    || FollowLeader {
+                        n: 4,
+                        decided: false,
+                    },
+                    None,
+                    5,
+                    20,
+                ),
+            }),
+            inputs: Box::new(|_seed, corrupted| {
+                (0..4)
+                    .filter(|p| !corrupted.contains(*p))
+                    .map(|p| (p, 42))
+                    .collect()
+            }),
+            check: Box::new(|outcome| {
+                invariants::agreement(outcome)?;
+                invariants::total_order(outcome)?;
+                Ok(())
+            }),
+        }
+    }
+
+    fn small_plan() -> CampaignPlan {
+        CampaignPlan {
+            schedulers: vec![
+                SchedulerKind::Random,
+                SchedulerKind::Lifo,
+                SchedulerKind::Lossy {
+                    drop_percent: 50,
+                    budget: 10,
+                },
+            ],
+            behaviors: BehaviorKind::ALL.to_vec(),
+            corruption_sets: vec![PartySet::singleton(3)],
+            seeds: (0..4).collect(),
+            max_steps: 50_000,
+            duplication_percent: 10,
+        }
+    }
+
+    #[test]
+    fn grid_is_fully_enumerated() {
+        let plan = small_plan();
+        let report = run_campaign(&plan, &hooks());
+        assert_eq!(report.cases_run, 3 * 6 * 4);
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn violations_are_caught_and_minimal_seed_reported() {
+        // Corrupting party 0 (the "leader" every honest node follows)
+        // with an equivocator breaks agreement — the checker must see it.
+        let mut plan = small_plan();
+        plan.corruption_sets = vec![PartySet::singleton(0)];
+        plan.behaviors = vec![BehaviorKind::Equivocate];
+        let report = run_campaign(&plan, &hooks());
+        assert!(!report.passed(), "equivocating leader must split outputs");
+        let minimal = report.minimal_failure().expect("failure recorded");
+        let min_seed = report.failures.iter().map(|f| f.case.seed).min().unwrap();
+        assert_eq!(minimal.case.seed, min_seed);
+        // And the reported case replays to the same verdict.
+        let outcome = replay_case(&plan, &hooks(), &minimal.case);
+        assert!(
+            invariants::agreement(&outcome).is_err(),
+            "replay reproduces"
+        );
+    }
+
+    #[test]
+    fn summary_mentions_coordinates() {
+        let mut plan = small_plan();
+        plan.corruption_sets = vec![PartySet::singleton(0)];
+        plan.behaviors = vec![BehaviorKind::Equivocate];
+        let report = run_campaign(&plan, &hooks());
+        let s = report.summary();
+        assert!(s.contains("FAILED") && s.contains("Equivocate"), "{s}");
+    }
+}

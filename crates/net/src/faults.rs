@@ -1,0 +1,405 @@
+//! Canned Byzantine behaviors for fault-injection campaigns.
+//!
+//! [`Behavior::Custom`](crate::sim::Behavior) accepts arbitrary closures,
+//! but writing a *convincing* Byzantine party by hand is error-prone:
+//! the strongest adversaries are protocol-aware, so most constructors
+//! here wrap a real protocol instance (running inside the corrupted
+//! slot, with its own self-delivery loop) and subvert only its outgoing
+//! traffic. That yields attackers that speak the protocol fluently —
+//! valid signatures, plausible state — while equivocating, corrupting,
+//! withholding, or replaying on the wire, which is exactly the §2
+//! threat model: the adversary fully controls corrupted parties but
+//! cannot forge honest parties' cryptography.
+//!
+//! The library (used by [`campaign`](crate::campaign)):
+//!
+//! * [`equivocator`] — sends *different* payloads to different receivers;
+//! * [`replayer`] — captures traffic and re-sends it later, verbatim;
+//! * [`mutator`] — bit-flips/truncates outgoing messages, exercising
+//!   malformed-share and bad-signature paths;
+//! * [`selective_mute`] — drops all traffic to a victim set;
+//! * [`crash_recover`] — crashes at a step, rejoins later with amnesia;
+//! * [`flooder`] — re-sends every incoming message many times over.
+
+use crate::protocol::{Effects, Protocol};
+use crate::sim::Behavior;
+use sintra_adversary::party::{PartyId, PartySet};
+use sintra_crypto::rng::SeededRng;
+use std::collections::VecDeque;
+
+/// Drives `inner` on one incoming message, looping self-addressed sends
+/// back into it locally (the simulator drops corrupted parties'
+/// self-sends, so the behavior must provide its own local delivery the
+/// way the simulator does for honest nodes). Returns the remote sends.
+fn drive_inner<P: Protocol>(
+    me: PartyId,
+    inner: &mut P,
+    pending_input: &mut Option<P::Input>,
+    from: PartyId,
+    msg: P::Message,
+) -> Vec<(PartyId, P::Message)> {
+    let mut fx: Effects<P::Message, P::Output> = Effects::new();
+    if let Some(input) = pending_input.take() {
+        inner.on_input(input, &mut fx);
+    }
+    inner.on_message(from, msg, &mut fx);
+    let mut queue: VecDeque<(PartyId, P::Message)> = fx.take_sends().into();
+    let mut remote = Vec::new();
+    while let Some((to, m)) = queue.pop_front() {
+        if to == me {
+            let mut sub: Effects<P::Message, P::Output> = Effects::new();
+            inner.on_message(me, m, &mut sub);
+            queue.extend(sub.take_sends());
+        } else {
+            remote.push((to, m));
+        }
+    }
+    remote
+}
+
+/// A protocol-fluent party whose outgoing sends pass through
+/// `transform` (returning `None` suppresses the send). `input`, if
+/// given, is fed to the inner instance before its first message — this
+/// is how a corrupted *sender* still initiates the protocol it then
+/// subverts. The building block behind [`equivocator`], [`mutator`],
+/// and [`selective_mute`].
+pub fn subverted<P, F>(
+    me: PartyId,
+    inner: P,
+    input: Option<P::Input>,
+    mut transform: F,
+) -> Behavior<P>
+where
+    P: Protocol + Send + 'static,
+    P::Input: Send + 'static,
+    F: FnMut(PartyId, P::Message) -> Option<P::Message> + Send + 'static,
+{
+    let mut inner = inner;
+    let mut pending_input = input;
+    Behavior::Custom(Box::new(move |from, msg, _step| {
+        drive_inner(me, &mut inner, &mut pending_input, from, msg)
+            .into_iter()
+            .filter_map(|(to, m)| transform(to, m).map(|m| (to, m)))
+            .collect()
+    }))
+}
+
+/// Runs the protocol honestly but `mutate`s each outgoing message *per
+/// receiver*: where an honest party broadcasts one value, this one may
+/// tell every receiver a different story. `mutate` gets the receiver,
+/// the honest message, and a deterministic RNG.
+pub fn equivocator<P, F>(
+    me: PartyId,
+    inner: P,
+    input: Option<P::Input>,
+    mut mutate: F,
+    seed: u64,
+) -> Behavior<P>
+where
+    P: Protocol + Send + 'static,
+    P::Input: Send + 'static,
+    F: FnMut(PartyId, P::Message, &mut SeededRng) -> P::Message + Send + 'static,
+{
+    let mut rng = SeededRng::new(seed);
+    subverted(me, inner, input, move |to, m| Some(mutate(to, m, &mut rng)))
+}
+
+/// Runs the protocol honestly but corrupts each outgoing message with
+/// probability `percent` (bit-flips, truncations — whatever `corrupt`
+/// does). Receivers must reject the mangled shares/signatures without
+/// poisoning their state.
+pub fn mutator<P, F>(
+    me: PartyId,
+    inner: P,
+    input: Option<P::Input>,
+    mut corrupt: F,
+    percent: u64,
+    seed: u64,
+) -> Behavior<P>
+where
+    P: Protocol + Send + 'static,
+    P::Input: Send + 'static,
+    F: FnMut(&mut P::Message, &mut SeededRng) + Send + 'static,
+{
+    let mut rng = SeededRng::new(seed);
+    let percent = percent.min(100);
+    subverted(me, inner, input, move |_to, mut m| {
+        if rng.next_below(100) < percent {
+            corrupt(&mut m, &mut rng);
+        }
+        Some(m)
+    })
+}
+
+/// Runs the protocol honestly but silently drops everything addressed
+/// to `victims` — the withholding adversary (a *message adversary* in
+/// Albouy et al.'s sense, localized at one corrupted party).
+pub fn selective_mute<P>(
+    me: PartyId,
+    inner: P,
+    input: Option<P::Input>,
+    victims: PartySet,
+) -> Behavior<P>
+where
+    P: Protocol + Send + 'static,
+    P::Input: Send + 'static,
+{
+    subverted(me, inner, input, move |to, m| {
+        if victims.contains(to) {
+            None
+        } else {
+            Some(m)
+        }
+    })
+}
+
+/// Participates honestly until step `crash_at`, is silent until
+/// `recover_at`, then rejoins with **amnesia**: a fresh instance from
+/// `factory` that has lost all protocol state (and does not replay its
+/// input). Messages arriving during the outage are lost, as for a real
+/// reboot without persistent logs.
+pub fn crash_recover<P, F>(
+    me: PartyId,
+    factory: F,
+    input: Option<P::Input>,
+    crash_at: u64,
+    recover_at: u64,
+) -> Behavior<P>
+where
+    P: Protocol + Send + 'static,
+    P::Input: Send + 'static,
+    F: FnMut() -> P + Send + 'static,
+{
+    assert!(crash_at <= recover_at, "cannot recover before crashing");
+    let mut factory = factory;
+    let mut inner = factory();
+    let mut pending_input = input;
+    let mut crashed = false;
+    Behavior::Custom(Box::new(move |from, msg, step| {
+        if step >= crash_at && step < recover_at {
+            if !crashed {
+                crashed = true;
+            }
+            return Vec::new(); // down: absorb everything
+        }
+        if crashed && step >= recover_at {
+            crashed = false;
+            inner = factory(); // rejoin with amnesia
+            pending_input = None;
+        }
+        drive_inner(me, &mut inner, &mut pending_input, from, msg)
+    }))
+}
+
+/// Captures incoming traffic (bounded ring of `capacity`) and, on every
+/// incoming message, re-sends up to two captured messages to random
+/// parties. Replayed messages carry the replayer as transport-level
+/// sender, so receivers see both stale duplicates and sender/content
+/// mismatches.
+pub fn replayer<P>(n: usize, capacity: usize, seed: u64) -> Behavior<P>
+where
+    P: Protocol + 'static,
+{
+    assert!(capacity > 0, "capacity must be positive");
+    let mut rng = SeededRng::new(seed);
+    let mut captured: Vec<P::Message> = Vec::new();
+    Behavior::Custom(Box::new(move |_from, msg, _step| {
+        let mut out = Vec::new();
+        let replays = captured.len().min(2);
+        for _ in 0..replays {
+            let m = captured[rng.next_below(captured.len() as u64) as usize].clone();
+            out.push((rng.next_below(n as u64) as usize, m));
+        }
+        if captured.len() < capacity {
+            captured.push(msg);
+        } else {
+            let slot = rng.next_below(capacity as u64) as usize;
+            captured[slot] = msg;
+        }
+        out
+    }))
+}
+
+/// Re-broadcasts every incoming message `amplification` times to every
+/// party — a bandwidth/state-exhaustion attacker. Honest replicas must
+/// keep their per-sender buffered state bounded under this load.
+pub fn flooder<P>(n: usize, amplification: usize) -> Behavior<P>
+where
+    P: Protocol + 'static,
+{
+    Behavior::Custom(Box::new(move |_from, msg: P::Message, _step| {
+        let mut out = Vec::with_capacity(n * amplification);
+        for _ in 0..amplification {
+            for to in 0..n {
+                out.push((to, msg.clone()));
+            }
+        }
+        out
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{FifoScheduler, RandomScheduler, Simulation};
+
+    /// Broadcast-on-input, record-everything test protocol.
+    #[derive(Debug)]
+    struct Gossip {
+        n: usize,
+    }
+
+    impl Protocol for Gossip {
+        type Message = u64;
+        type Input = u64;
+        type Output = (PartyId, u64);
+
+        fn on_input(&mut self, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
+            fx.send_all(self.n, v);
+        }
+
+        fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
+            fx.output((from, v));
+        }
+    }
+
+    fn gossip_nodes(n: usize) -> Vec<Gossip> {
+        (0..n).map(|_| Gossip { n }).collect()
+    }
+
+    /// Records everything and replies to small values with value + 100
+    /// (so subverted inner nodes produce observable traffic).
+    #[derive(Debug)]
+    struct Responder {
+        n: usize,
+    }
+
+    impl Protocol for Responder {
+        type Message = u64;
+        type Input = u64;
+        type Output = (PartyId, u64);
+
+        fn on_input(&mut self, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
+            fx.send_all(self.n, v);
+        }
+
+        fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
+            fx.output((from, v));
+            if v < 10 {
+                fx.send_all(self.n, v + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn equivocator_tells_each_receiver_a_different_story() {
+        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 1);
+        sim.corrupt(
+            2,
+            equivocator(
+                2,
+                Gossip { n: 3 },
+                Some(7),
+                |to, m, _rng| m + to as u64 * 1000,
+                9,
+            ),
+        );
+        sim.input(0, 1); // wakes the equivocator
+        sim.run_until_quiet(10_000);
+        // The equivocator's input broadcast reached 0 and 1 with
+        // receiver-dependent values.
+        assert!(sim.outputs(0).contains(&(2, 7)));
+        assert!(sim.outputs(1).contains(&(2, 1007)));
+    }
+
+    #[test]
+    fn mutator_corrupts_some_traffic() {
+        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 2);
+        sim.corrupt(
+            2,
+            mutator(2, Gossip { n: 3 }, Some(5), |m, _rng| *m ^= 0xdead, 100, 3),
+        );
+        sim.input(0, 1);
+        sim.run_until_quiet(10_000);
+        assert!(sim.outputs(0).contains(&(2, 5 ^ 0xdead)));
+    }
+
+    #[test]
+    fn selective_mute_starves_victims_only() {
+        let mut sim = Simulation::new(gossip_nodes(3), RandomScheduler, 3);
+        sim.corrupt(
+            2,
+            selective_mute(2, Gossip { n: 3 }, Some(9), PartySet::singleton(0)),
+        );
+        sim.input(1, 1);
+        sim.run_until_quiet(10_000);
+        assert!(
+            !sim.outputs(0).iter().any(|(f, _)| *f == 2),
+            "victim hears nothing from the muted party"
+        );
+        assert!(sim.outputs(1).contains(&(2, 9)), "non-victim hears it");
+    }
+
+    #[test]
+    fn crash_recover_rejoins_and_speaks_again() {
+        let nodes = |_| (0..3).map(|_| Responder { n: 3 }).collect::<Vec<_>>();
+        // Down from the start, back at step 2: late deliveries reach the
+        // fresh post-recovery instance, which answers them.
+        let mut sim = Simulation::new(nodes(()), FifoScheduler, 4);
+        sim.corrupt(2, crash_recover(2, || Responder { n: 3 }, None, 0, 2));
+        sim.input(0, 1);
+        sim.input(1, 2);
+        sim.run_until_quiet(10_000);
+        let spoke = sim
+            .outputs(0)
+            .iter()
+            .chain(sim.outputs(1))
+            .any(|(f, v)| *f == 2 && *v >= 100);
+        assert!(spoke, "recovered party responds to post-recovery traffic");
+
+        // Never-recovering variant stays silent forever.
+        let mut down = Simulation::new(nodes(()), FifoScheduler, 4);
+        down.corrupt(
+            2,
+            crash_recover(2, || Responder { n: 3 }, None, 0, u64::MAX),
+        );
+        down.input(0, 1);
+        down.input(1, 2);
+        down.run_until_quiet(10_000);
+        let spoke = down
+            .outputs(0)
+            .iter()
+            .chain(down.outputs(1))
+            .any(|(f, _)| *f == 2);
+        assert!(!spoke, "a crashed-for-good party never speaks");
+    }
+
+    #[test]
+    fn replayer_resends_captured_traffic() {
+        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 5);
+        sim.corrupt(2, replayer(3, 8, 6));
+        for v in 1..=4 {
+            sim.input(0, v);
+            sim.input(1, v + 10);
+        }
+        sim.run_until_quiet(10_000);
+        // Replayed copies arrive *from* party 2 carrying others' values.
+        let replayed = sim
+            .outputs(0)
+            .iter()
+            .chain(sim.outputs(1))
+            .any(|(f, _)| *f == 2);
+        assert!(replayed, "captured traffic was re-sent");
+    }
+
+    #[test]
+    fn flooder_amplifies_but_terminates() {
+        let mut sim = Simulation::new(gossip_nodes(3), RandomScheduler, 7);
+        sim.corrupt(2, flooder(3, 4));
+        sim.input(0, 3);
+        sim.run_until_quiet(200);
+        // One message into the flooder → 12 out (self-copies dropped by
+        // the simulator), on top of the 2 original remote sends.
+        assert!(sim.stats().sent >= 10, "amplification visible");
+    }
+}

@@ -23,13 +23,19 @@
 //! Protocols are written once against the [`protocol::Protocol`]
 //! automaton trait and run unchanged under both.
 
+pub mod campaign;
+pub mod faults;
 pub mod protocol;
 pub mod sim;
 pub mod thread_runtime;
 
+pub use campaign::{
+    replay_case, run_campaign, BehaviorKind, CampaignHooks, CampaignPlan, CampaignReport, CaseId,
+    RunOutcome, SchedulerKind,
+};
 pub use protocol::{Effects, Protocol};
 pub use sim::{
-    AdaptiveScheduler, Behavior, Envelope, FifoScheduler, LifoScheduler, PartitionScheduler,
-    RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,
+    AdaptiveScheduler, Behavior, Envelope, FifoScheduler, LifoScheduler, LossyScheduler,
+    PartitionScheduler, RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,
 };
 pub use thread_runtime::{run_threaded, ThreadRunReport};

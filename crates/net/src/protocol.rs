@@ -132,7 +132,12 @@ mod tests {
             fx.send_all(self.n, input);
         }
 
-        fn on_message(&mut self, from: PartyId, msg: String, fx: &mut Effects<String, (PartyId, String)>) {
+        fn on_message(
+            &mut self,
+            from: PartyId,
+            msg: String,
+            fx: &mut Effects<String, (PartyId, String)>,
+        ) {
             let _ = self.me;
             fx.output((from, msg));
         }

@@ -19,8 +19,8 @@
 //! run — including the adversarial ones — replays bit-identically.
 
 use crate::protocol::{Effects, Protocol};
-use sintra_crypto::rng::SeededRng;
 use sintra_adversary::party::{PartyId, PartySet};
+use sintra_crypto::rng::SeededRng;
 use std::collections::VecDeque;
 
 /// A message in flight.
@@ -34,6 +34,11 @@ pub struct Envelope<M> {
     pub msg: M,
     /// Step at which it was sent.
     pub sent_at: u64,
+    /// Whether this envelope is a network-duplicated copy of a message
+    /// that has already been delivered once. Only such copies may be
+    /// dropped by a lossy scheduler — originals are protected, so
+    /// eventual delivery between honest parties always holds.
+    pub duplicate: bool,
 }
 
 /// The network adversary: picks which in-flight message is delivered
@@ -42,6 +47,47 @@ pub trait Scheduler<M> {
     /// Returns the index (into `inflight`) of the message to deliver.
     /// `inflight` is never empty when called.
     fn pick(&mut self, inflight: &[Envelope<M>], step: u64, rng: &mut SeededRng) -> usize;
+
+    /// Optionally nominates an envelope to destroy instead of delivering
+    /// this step. The simulator honors the nomination only if the
+    /// envelope is a [`duplicate`](Envelope::duplicate) copy, so no
+    /// scheduler — however adversarial — can break eventual delivery.
+    fn drop_candidate(
+        &mut self,
+        _inflight: &[Envelope<M>],
+        _step: u64,
+        _rng: &mut SeededRng,
+    ) -> Option<usize> {
+        None
+    }
+}
+
+impl<M> Scheduler<M> for Box<dyn Scheduler<M>> {
+    fn pick(&mut self, inflight: &[Envelope<M>], step: u64, rng: &mut SeededRng) -> usize {
+        (**self).pick(inflight, step, rng)
+    }
+
+    fn drop_candidate(
+        &mut self,
+        inflight: &[Envelope<M>],
+        step: u64,
+        rng: &mut SeededRng,
+    ) -> Option<usize> {
+        (**self).drop_candidate(inflight, step, rng)
+    }
+}
+
+/// Index of the oldest envelope in the pool (ties broken by pool
+/// position). Used as the fallback when a starving scheduler is forced
+/// to deliver starved traffic: releasing the oldest bounds how long any
+/// single message can be withheld.
+fn oldest_index<M>(inflight: &[Envelope<M>]) -> usize {
+    inflight
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| e.sent_at)
+        .map(|(i, _)| i)
+        .expect("inflight nonempty")
 }
 
 /// Uniformly random delivery — the "benign" asynchronous network.
@@ -103,7 +149,9 @@ impl<M> Scheduler<M> for TargetedDelayScheduler {
             .map(|(i, _)| i)
             .collect();
         if fast.is_empty() {
-            rng.next_below(inflight.len() as u64) as usize
+            // Only starved traffic remains: release the oldest envelope
+            // so no single message is withheld unboundedly long.
+            oldest_index(inflight)
         } else {
             fast[rng.next_below(fast.len() as u64) as usize]
         }
@@ -132,10 +180,71 @@ impl<M> Scheduler<M> for PartitionScheduler {
             .map(|(i, _)| i)
             .collect();
         if same_side.is_empty() {
-            rng.next_below(inflight.len() as u64) as usize
+            // Only cross-partition traffic remains: leak the oldest
+            // envelope (bounded starvation) rather than a random one.
+            oldest_index(inflight)
         } else {
             same_side[rng.next_below(same_side.len() as u64) as usize]
         }
+    }
+}
+
+/// Wraps any scheduler with bounded message loss: up to `budget`
+/// duplicate copies are destroyed instead of delivered, each with
+/// `drop_percent` probability per step. Because only
+/// [`duplicate`](Envelope::duplicate) envelopes are ever nominated (and
+/// the simulator enforces this regardless), every original message is
+/// still delivered — loss is a bounded adversarial capability, not a
+/// liveness hazard.
+#[derive(Clone, Debug)]
+pub struct LossyScheduler<S> {
+    inner: S,
+    drop_percent: u64,
+    budget: u64,
+}
+
+impl<S> LossyScheduler<S> {
+    /// Wraps `inner`, allowing at most `budget` duplicate-copy drops,
+    /// each attempted with probability `drop_percent` (clamped to 100).
+    pub fn new(inner: S, drop_percent: u64, budget: u64) -> Self {
+        LossyScheduler {
+            inner,
+            drop_percent: drop_percent.min(100),
+            budget,
+        }
+    }
+
+    /// Drops still allowed.
+    pub fn remaining_budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+impl<M, S: Scheduler<M>> Scheduler<M> for LossyScheduler<S> {
+    fn pick(&mut self, inflight: &[Envelope<M>], step: u64, rng: &mut SeededRng) -> usize {
+        self.inner.pick(inflight, step, rng)
+    }
+
+    fn drop_candidate(
+        &mut self,
+        inflight: &[Envelope<M>],
+        _step: u64,
+        rng: &mut SeededRng,
+    ) -> Option<usize> {
+        if self.budget == 0 || self.drop_percent == 0 || rng.next_below(100) >= self.drop_percent {
+            return None;
+        }
+        let duplicates: Vec<usize> = inflight
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.duplicate)
+            .map(|(i, _)| i)
+            .collect();
+        if duplicates.is_empty() {
+            return None;
+        }
+        self.budget -= 1;
+        Some(duplicates[rng.next_below(duplicates.len() as u64) as usize])
     }
 }
 
@@ -150,7 +259,9 @@ impl<M> AdaptiveScheduler<M> {
     pub fn new(
         pick: impl FnMut(&[Envelope<M>], u64, &mut SeededRng) -> usize + Send + 'static,
     ) -> Self {
-        AdaptiveScheduler { pick: Box::new(pick) }
+        AdaptiveScheduler {
+            pick: Box::new(pick),
+        }
     }
 }
 
@@ -203,6 +314,9 @@ pub struct SimStats {
     pub steps: u64,
     /// Self-addressed messages short-circuited.
     pub local_deliveries: u64,
+    /// Duplicate copies destroyed by a lossy scheduler instead of
+    /// delivered.
+    pub dropped: u64,
     /// Total bytes injected into the network (only counted when a meter
     /// is installed with [`Simulation::set_meter`]).
     pub bytes_sent: u64,
@@ -273,10 +387,16 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
     }
 
     /// Enables random message duplication: each delivery leaves a copy
-    /// in the pool with the given probability (clamped to 90% so runs
-    /// terminate).
+    /// in the pool with the given probability. Values above 90 are
+    /// clamped to 90 so runs terminate (an unbounded duplication rate
+    /// would keep the pool non-empty forever).
     pub fn enable_duplication(&mut self, percent: u64) {
         self.duplication_percent = percent.min(90);
+    }
+
+    /// The effective duplication probability (post-clamp).
+    pub fn duplication_percent(&self) -> u64 {
+        self.duplication_percent
     }
 
     /// Number of parties.
@@ -324,15 +444,27 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
         }
         self.idle_ticks = 0;
         self.stats.steps += 1;
+        // Give a lossy scheduler the chance to destroy a duplicate copy
+        // instead of delivering. The duplicate check is enforced *here*,
+        // not trusted to the scheduler: no adversary may drop originals.
+        if let Some(idx) =
+            self.scheduler
+                .drop_candidate(&self.inflight, self.stats.steps, &mut self.rng)
+        {
+            if self.inflight.get(idx).is_some_and(|e| e.duplicate) {
+                self.inflight.swap_remove(idx);
+                self.stats.dropped += 1;
+                return true;
+            }
+        }
         let idx = self
             .scheduler
             .pick(&self.inflight, self.stats.steps, &mut self.rng);
         let env = self.inflight.swap_remove(idx);
-        if self.duplication_percent > 0
-            && self.rng.next_below(100) < self.duplication_percent
-        {
+        if self.duplication_percent > 0 && self.rng.next_below(100) < self.duplication_percent {
             let mut copy = env.clone();
             copy.sent_at = self.stats.steps;
+            copy.duplicate = true;
             self.inflight.push(copy);
         }
         self.deliver(env);
@@ -365,11 +497,7 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
     /// Runs until `predicate` holds (checked after every step), the pool
     /// drains, or `max_steps` elapse. Returns `true` if the predicate
     /// held.
-    pub fn run_until(
-        &mut self,
-        max_steps: u64,
-        mut predicate: impl FnMut(&Self) -> bool,
-    ) -> bool {
+    pub fn run_until(&mut self, max_steps: u64, mut predicate: impl FnMut(&Self) -> bool) -> bool {
         let mut executed = 0;
         loop {
             if predicate(self) {
@@ -470,6 +598,7 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
                         to,
                         msg,
                         sent_at: self.stats.steps,
+                        duplicate: false,
                     });
                 }
             }
@@ -546,30 +675,41 @@ mod tests {
 
     #[test]
     fn schedulers_change_order_not_outcome() {
-        let totals = |outputs: &[Vec<(PartyId, u64)>]| {
-            outputs.iter().map(|o| o.len()).sum::<usize>()
-        };
+        let totals =
+            |outputs: &[Vec<(PartyId, u64)>]| outputs.iter().map(|o| o.len()).sum::<usize>();
         let run = |sched: &str| {
             let nodes = gossip_nodes(4);
             let mut outs = Vec::new();
             match sched {
                 "random" => {
                     let mut sim = Simulation::new(nodes, RandomScheduler, 3);
-                    for p in 0..4 { sim.input(p, p as u64); }
+                    for p in 0..4 {
+                        sim.input(p, p as u64);
+                    }
                     sim.run_until_quiet(10_000);
-                    for p in 0..4 { outs.push(sim.outputs(p).to_vec()); }
+                    for p in 0..4 {
+                        outs.push(sim.outputs(p).to_vec());
+                    }
                 }
                 "fifo" => {
                     let mut sim = Simulation::new(nodes, FifoScheduler, 3);
-                    for p in 0..4 { sim.input(p, p as u64); }
+                    for p in 0..4 {
+                        sim.input(p, p as u64);
+                    }
                     sim.run_until_quiet(10_000);
-                    for p in 0..4 { outs.push(sim.outputs(p).to_vec()); }
+                    for p in 0..4 {
+                        outs.push(sim.outputs(p).to_vec());
+                    }
                 }
                 _ => {
                     let mut sim = Simulation::new(nodes, LifoScheduler, 3);
-                    for p in 0..4 { sim.input(p, p as u64); }
+                    for p in 0..4 {
+                        sim.input(p, p as u64);
+                    }
                     sim.run_until_quiet(10_000);
-                    for p in 0..4 { outs.push(sim.outputs(p).to_vec()); }
+                    for p in 0..4 {
+                        outs.push(sim.outputs(p).to_vec());
+                    }
                 }
             }
             outs
@@ -598,9 +738,7 @@ mod tests {
         let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 5);
         sim.corrupt(
             2,
-            Behavior::Custom(Box::new(|_from, _msg, _step| {
-                vec![(0, 100), (1, 200)]
-            })),
+            Behavior::Custom(Box::new(|_from, _msg, _step| vec![(0, 100), (1, 200)])),
         );
         sim.input(0, 1); // reaches party 2, triggering the equivocation
         sim.run_until_quiet(1000);
@@ -657,7 +795,11 @@ mod tests {
         }
         sim.run_until_quiet(10_000);
         for p in 0..4 {
-            assert_eq!(sim.outputs(p).len(), 4, "party {p} hears everyone after heal");
+            assert_eq!(
+                sim.outputs(p).len(),
+                4,
+                "party {p} hears everyone after heal"
+            );
         }
     }
 
@@ -695,6 +837,106 @@ mod tests {
             assert!(sim.outputs(p).iter().any(|(f, v)| *f == 0 && *v == 9));
         }
         assert!(sim.stats().delivered >= sim.stats().sent);
+    }
+
+    #[test]
+    fn duplication_percent_clamped_at_setter() {
+        let mut sim = Simulation::new(gossip_nodes(2), RandomScheduler, 80);
+        sim.enable_duplication(500);
+        assert_eq!(sim.duplication_percent(), 90, "clamped to documented max");
+        sim.enable_duplication(35);
+        assert_eq!(sim.duplication_percent(), 35);
+    }
+
+    #[test]
+    fn lossy_scheduler_drops_only_duplicates_within_budget() {
+        let budget = 5;
+        let mut sim = Simulation::new(
+            gossip_nodes(4),
+            LossyScheduler::new(RandomScheduler, 100, budget),
+            81,
+        );
+        sim.enable_duplication(60);
+        for p in 0..4 {
+            sim.input(p, p as u64);
+        }
+        sim.run_until_quiet(100_000);
+        let stats = sim.stats();
+        assert!(stats.dropped > 0, "lossy run should observe drops");
+        assert!(stats.dropped <= budget, "drops bounded by budget");
+        // Eventual delivery: every original broadcast still reaches
+        // every party at least once.
+        for p in 0..4 {
+            for src in 0..4u64 {
+                assert!(
+                    sim.outputs(p)
+                        .iter()
+                        .any(|(f, v)| *f == src as usize && *v == src),
+                    "party {p} missing broadcast from {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulator_refuses_to_drop_originals() {
+        /// A malicious scheduler that nominates originals for dropping.
+        #[derive(Clone, Debug)]
+        struct DropOriginals;
+        impl<M> Scheduler<M> for DropOriginals {
+            fn pick(&mut self, inflight: &[Envelope<M>], _: u64, rng: &mut SeededRng) -> usize {
+                rng.next_below(inflight.len() as u64) as usize
+            }
+            fn drop_candidate(
+                &mut self,
+                _inflight: &[Envelope<M>],
+                _step: u64,
+                _rng: &mut SeededRng,
+            ) -> Option<usize> {
+                Some(0) // always nominate; sim must veto non-duplicates
+            }
+        }
+        let mut sim = Simulation::new(gossip_nodes(3), DropOriginals, 82);
+        sim.input(0, 7);
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.stats().dropped, 0, "no duplicates exist to drop");
+        for p in 0..3 {
+            assert!(sim.outputs(p).contains(&(0, 7)), "party {p}");
+        }
+    }
+
+    #[test]
+    fn boxed_scheduler_dispatches() {
+        let boxed: Box<dyn Scheduler<u64>> = Box::new(FifoScheduler);
+        let mut sim = Simulation::new(gossip_nodes(3), boxed, 83);
+        sim.input(0, 4);
+        sim.run_until_quiet(1_000);
+        for p in 0..3 {
+            assert!(sim.outputs(p).contains(&(0, 4)));
+        }
+    }
+
+    #[test]
+    fn starvation_fallback_releases_oldest_first() {
+        // Everyone is a victim, so the fallback path runs every step:
+        // delivery order must then be exactly oldest-first (global FIFO).
+        let victims: PartySet = (0..4).collect();
+        let mut fifo_sim = Simulation::new(gossip_nodes(4), FifoScheduler, 84);
+        let mut starved_sim =
+            Simulation::new(gossip_nodes(4), TargetedDelayScheduler { victims }, 84);
+        for p in 0..4 {
+            fifo_sim.input(p, p as u64);
+            starved_sim.input(p, p as u64);
+        }
+        fifo_sim.run_until_quiet(10_000);
+        starved_sim.run_until_quiet(10_000);
+        for p in 0..4 {
+            assert_eq!(
+                fifo_sim.outputs(p),
+                starved_sim.outputs(p),
+                "fallback must equal FIFO when everything is starved"
+            );
+        }
     }
 
     #[test]
@@ -745,7 +987,11 @@ mod tests {
                 self.ticks += 1;
             }
         }
-        let mut sim = Simulation::new(vec![Ticker { ticks: 0 }, Ticker { ticks: 0 }], FifoScheduler, 10);
+        let mut sim = Simulation::new(
+            vec![Ticker { ticks: 0 }, Ticker { ticks: 0 }],
+            FifoScheduler,
+            10,
+        );
         sim.enable_ticks(1);
         sim.input(0, ());
         sim.run_until_quiet(100);

@@ -166,8 +166,9 @@ struct RoundState<E> {
     /// First valid bit main-vote's justification (pre-vote tsig), reused
     /// as the hard justification for the next round.
     value_just: Option<(bool, ThresholdSignature)>,
-    // Coin bookkeeping.
+    // Coin bookkeeping (one share per party, see `coin_share_parties`).
     coin_shares: Vec<CoinShare>,
+    coin_share_parties: PartySet,
     coin_value: Option<CoinValue>,
     coin_share_sent: bool,
     // Phase flags.
@@ -176,9 +177,16 @@ struct RoundState<E> {
     /// Set when the all-abstain quorum fired but the coin is not yet
     /// known; carries the abstain tsig for the coin justification.
     awaiting_coin: Option<ThresholdSignature>,
-    /// Messages whose coin-justification cannot be checked yet.
+    /// Messages whose coin-justification cannot be checked yet. Bounded
+    /// to [`PENDING_JUST_CAP`] entries per party.
     pending_coin_just: Vec<(PartyId, AbbaMessage<E>)>,
 }
+
+/// Per-party cap on deferred coin-justified messages per round. A party
+/// legitimately defers at most one pre-vote per value plus one main-vote
+/// whose justification embeds deferred pre-votes; anything beyond that
+/// is a flooding attempt and is dropped.
+const PENDING_JUST_CAP: usize = 4;
 
 impl<E> Default for RoundState<E> {
     fn default() -> Self {
@@ -192,6 +200,7 @@ impl<E> Default for RoundState<E> {
             mainvote_shares: [Vec::new(), Vec::new(), Vec::new()],
             value_just: None,
             coin_shares: Vec::new(),
+            coin_share_parties: PartySet::new(),
             coin_value: None,
             coin_share_sent: false,
             my_mainvote_sent: false,
@@ -470,6 +479,9 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
             // Halted; decision proof was already broadcast.
             return None;
         }
+        if from >= self.n {
+            return None; // out-of-range sender
+        }
         match msg {
             AbbaMessage::PreVote(pv) => match self.validate_prevote(from, &pv) {
                 Ok(true) => {
@@ -478,12 +490,7 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
                 }
                 Ok(false) => None,
                 Err(()) => {
-                    let round = pv.round;
-                    self.rounds
-                        .entry(round - 1)
-                        .or_default()
-                        .pending_coin_just
-                        .push((from, AbbaMessage::PreVote(pv)));
+                    self.defer_coin_just(from, pv.round, AbbaMessage::PreVote(pv));
                     None
                 }
             },
@@ -494,12 +501,7 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
                 }
                 Ok(false) => None,
                 Err(()) => {
-                    let round = mv.round;
-                    self.rounds
-                        .entry(round - 1)
-                        .or_default()
-                        .pending_coin_just
-                        .push((from, AbbaMessage::MainVote(mv)));
+                    self.defer_coin_just(from, mv.round, AbbaMessage::MainVote(mv));
                     None
                 }
             },
@@ -512,8 +514,8 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
                     return None;
                 }
                 let rs = self.rounds.entry(round).or_default();
-                if rs.coin_value.is_some() {
-                    return None;
+                if rs.coin_value.is_some() || !rs.coin_share_parties.insert(from) {
+                    return None; // coin known, or second share from party
                 }
                 rs.coin_shares.push(share);
                 let shares = rs.coin_shares.clone();
@@ -537,11 +539,30 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
                 proof,
             } => {
                 let main = self.main_msg(round, MainVoteValue::of_bit(value));
-                if !self.public.signing().verify(&main, &proof, QuorumRule::Core) {
+                if !self
+                    .public
+                    .signing()
+                    .verify(&main, &proof, QuorumRule::Core)
+                {
                     return None;
                 }
                 self.decide(round, value, proof, out)
             }
+        }
+    }
+
+    /// Buffers a message whose coin justification cannot be checked
+    /// until round `round - 1`'s coin is known, with a per-party cap so
+    /// a Byzantine party cannot grow the buffer without bound.
+    fn defer_coin_just(&mut self, from: PartyId, round: u64, msg: AbbaMessage<E>) {
+        let rs = self.rounds.entry(round - 1).or_default();
+        let held = rs
+            .pending_coin_just
+            .iter()
+            .filter(|(p, _)| *p == from)
+            .count();
+        if held < PENDING_JUST_CAP {
+            rs.pending_coin_just.push((from, msg));
         }
     }
 
@@ -576,11 +597,7 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
     }
 
     /// Runs all quorum checks for the current round until nothing fires.
-    fn progress(
-        &mut self,
-        rng: &mut SeededRng,
-        out: &mut Outbox<AbbaMessage<E>>,
-    ) -> Option<bool> {
+    fn progress(&mut self, rng: &mut SeededRng, out: &mut Outbox<AbbaMessage<E>>) -> Option<bool> {
         loop {
             if !self.started || self.decided.is_some() {
                 return None;
@@ -950,8 +967,7 @@ mod tests {
             sim.corrupt(
                 2,
                 Behavior::Custom(Box::new(move |_from, msg: Msg, _| {
-                    let mut sends: Vec<(PartyId, Msg)> =
-                        (0..4).map(|p| (p, msg.clone())).collect();
+                    let mut sends: Vec<(PartyId, Msg)> = (0..4).map(|p| (p, msg.clone())).collect();
                     if let AbbaMessage::Decided { proof, .. } = &msg {
                         sends.push((
                             0,
@@ -1031,9 +1047,10 @@ mod tests {
         let mut sim = Simulation::new(nodes, RandomScheduler, 32);
         // Corrupted party 3 sends round-1 pre-votes for 1 with bogus
         // evidence to everyone.
-        let bad_share = bundles[3]
-            .signing_key()
-            .sign_share(&Tag::root("biased").message(&[b"pre", &1u64.to_be_bytes(), &[1]]), &mut rng);
+        let bad_share = bundles[3].signing_key().sign_share(
+            &Tag::root("biased").message(&[b"pre", &1u64.to_be_bytes(), &[1]]),
+            &mut rng,
+        );
         let bogus = AbbaMessage::PreVote(PreVote {
             round: 1,
             value: true,

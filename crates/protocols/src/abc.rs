@@ -27,8 +27,8 @@ use crate::mvba::{Mvba, MvbaMessage, ValidityPredicate};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
-use sintra_crypto::schnorr::Signature;
 use sintra_crypto::rng::SeededRng as Rng;
+use sintra_crypto::schnorr::Signature;
 use sintra_net::protocol::{Effects, Protocol};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -69,6 +69,26 @@ pub struct AbcDeliver {
     pub payload: Vec<u8>,
 }
 
+/// How far past the current round proposals and MVBA traffic are
+/// accepted. Round numbers are attacker-chosen (a party can sign a
+/// `Queued` proposal for any round with its own key), so without a
+/// window a Byzantine party could open unboundedly many round entries
+/// and instantiate unboundedly many MVBA machines. Honest parties only
+/// run ahead by completed rounds, which requires core-quorum traffic.
+const ROUND_LOOKAHEAD: u64 = 16;
+
+/// How far *behind* the current round MVBA traffic is still served.
+/// A party that advanced past round `r` keeps answering round-`r`
+/// MVBA messages (in practice: CBC echoes for a starved party's list
+/// proposal) so that a laggard can finish old rounds from transcripts
+/// alone even after everyone else moved on. The window bounds how many
+/// stale MVBA machines can be kept alive or re-instantiated.
+const ROUND_RETROSPECT: u64 = 16;
+
+/// Default per-sender budget of buffered pushed payloads (see
+/// [`AtomicBroadcast::set_push_bound`]).
+const DEFAULT_PUSH_BOUND: usize = 1024;
+
 /// Atomic broadcast endpoint at one server.
 pub struct AtomicBroadcast {
     tag: Tag,
@@ -80,6 +100,14 @@ pub struct AtomicBroadcast {
     queue: VecDeque<Vec<u8>>,
     queued_digests: HashSet<Digest>,
     delivered_digests: HashSet<Digest>,
+    /// Per-sender count of still-queued pushed payloads; a sender whose
+    /// debt reaches `push_bound` has further pushes dropped, so a
+    /// Byzantine flooder cannot grow the queue without bound.
+    push_debt: Vec<usize>,
+    /// Which sender is charged for a queued pushed payload (released on
+    /// delivery).
+    charged: HashMap<Digest, PartyId>,
+    push_bound: usize,
     /// Verified round proposals per round and party.
     proposals: BTreeMap<u64, HashMap<PartyId, (Vec<u8>, Signature)>>,
     sent_queued: HashSet<u64>,
@@ -105,16 +133,20 @@ impl core::fmt::Debug for AtomicBroadcast {
 impl AtomicBroadcast {
     /// Creates the endpoint.
     pub fn new(tag: Tag, public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>) -> Self {
+        let n = public.n();
         AtomicBroadcast {
             tag,
             me: bundle.party(),
-            n: public.n(),
+            n,
             public,
             bundle,
             round: 0,
             queue: VecDeque::new(),
             queued_digests: HashSet::new(),
             delivered_digests: HashSet::new(),
+            push_debt: vec![0; n],
+            charged: HashMap::new(),
+            push_bound: DEFAULT_PUSH_BOUND,
             proposals: BTreeMap::new(),
             sent_queued: HashSet::new(),
             mvba_proposed: HashSet::new(),
@@ -145,6 +177,31 @@ impl AtomicBroadcast {
         self.queue.len()
     }
 
+    /// Number of still-queued payloads pushed by `party` (observability
+    /// for the flooding-bound tests).
+    pub fn push_debt(&self, party: PartyId) -> usize {
+        self.push_debt.get(party).copied().unwrap_or(0)
+    }
+
+    /// Number of rounds with live working state — proposal sets or MVBA
+    /// machines (observability for the flooding-bound tests). Bounded by
+    /// [`ROUND_LOOKAHEAD`] plus the current round.
+    pub fn tracked_rounds(&self) -> usize {
+        self.proposals.len().max(self.mvbas.len())
+    }
+
+    /// The per-sender budget of buffered pushed payloads.
+    pub fn push_bound(&self) -> usize {
+        self.push_bound
+    }
+
+    /// Sets the per-sender budget of buffered pushed payloads. Once a
+    /// sender has `bound` payloads queued, further pushes from it are
+    /// dropped until deliveries release the debt.
+    pub fn set_push_bound(&mut self, bound: usize) {
+        self.push_bound = bound.max(1);
+    }
+
     fn queued_msg(&self, round: u64, payload: &[u8]) -> Vec<u8> {
         self.tag
             .message(&[b"queued", &round.to_be_bytes(), payload])
@@ -160,7 +217,10 @@ impl AtomicBroadcast {
         rng: &mut SeededRng,
         out: &mut Outbox<AbcMessage>,
     ) -> Vec<AbcDeliver> {
-        assert!(!payload.is_empty(), "empty payloads are reserved as fillers");
+        assert!(
+            !payload.is_empty(),
+            "empty payloads are reserved as fillers"
+        );
         send_all(out, self.n, AbcMessage::Push(payload.clone()));
         // Enqueue locally as well; the self-addressed Push (if the
         // transport loops it back) deduplicates by digest.
@@ -168,15 +228,17 @@ impl AtomicBroadcast {
         self.try_progress(rng, out)
     }
 
-    fn enqueue(&mut self, payload: Vec<u8>) {
+    /// Returns `true` when the payload was newly queued.
+    fn enqueue(&mut self, payload: Vec<u8>) -> bool {
         let d = digest(&payload);
         if payload.is_empty()
             || self.delivered_digests.contains(&d)
             || !self.queued_digests.insert(d)
         {
-            return;
+            return false;
         }
         self.queue.push_back(payload);
+        true
     }
 
     /// Handles a message, returning any new total-order deliveries.
@@ -187,9 +249,19 @@ impl AtomicBroadcast {
         rng: &mut SeededRng,
         out: &mut Outbox<AbcMessage>,
     ) -> Vec<AbcDeliver> {
+        if from >= self.n {
+            return Vec::new(); // out-of-range sender
+        }
         match msg {
             AbcMessage::Push(payload) => {
-                self.enqueue(payload);
+                if self.push_debt[from] >= self.push_bound {
+                    return Vec::new(); // flooding sender: buffer is bounded
+                }
+                let d = digest(&payload);
+                if self.enqueue(payload) {
+                    self.push_debt[from] += 1;
+                    self.charged.insert(d, from);
+                }
                 self.try_progress(rng, out)
             }
             AbcMessage::Queued {
@@ -197,8 +269,8 @@ impl AtomicBroadcast {
                 payload,
                 sig,
             } => {
-                if round < self.round {
-                    return Vec::new(); // stale
+                if round < self.round || round > self.round + ROUND_LOOKAHEAD {
+                    return Vec::new(); // stale or beyond the round window
                 }
                 let msg_bytes = self.queued_msg(round, &payload);
                 if !self.public.auth_key(from).verify(&msg_bytes, &sig) {
@@ -212,8 +284,8 @@ impl AtomicBroadcast {
                 self.try_progress(rng, out)
             }
             AbcMessage::Mvba { round, inner } => {
-                if self.decided_lists.contains_key(&round) {
-                    return Vec::new();
+                if round + ROUND_RETROSPECT < self.round || round > self.round + ROUND_LOOKAHEAD {
+                    return Vec::new(); // outside the served round window
                 }
                 let mvba = self.mvba_instance(round);
                 let mut sub = Vec::new();
@@ -222,6 +294,8 @@ impl AtomicBroadcast {
                     out.push((to, AbcMessage::Mvba { round, inner: m }));
                 }
                 if let Some(list) = decision {
+                    // Re-deciding an already-delivered round is idempotent
+                    // (MVBA agreement: same round, same list).
                     self.decided_lists.insert(round, list);
                 }
                 self.try_progress(rng, out)
@@ -303,8 +377,11 @@ impl AtomicBroadcast {
                 delivered.extend(self.deliver_list(&list));
                 self.round = r + 1;
                 self.rounds_completed += 1;
-                // Reclaim the previous round's working state.
-                self.mvbas.remove(&r);
+                // Reclaim working state outside the served window: recent
+                // rounds stay answerable for laggards (see
+                // [`ROUND_RETROSPECT`]), older ones are dropped.
+                let keep_from = self.round.saturating_sub(ROUND_RETROSPECT);
+                self.mvbas = self.mvbas.split_off(&keep_from);
                 self.proposals.remove(&r);
                 continue;
             }
@@ -325,9 +402,13 @@ impl AtomicBroadcast {
             if !self.delivered_digests.insert(d) {
                 continue; // already delivered in an earlier round
             }
-            // Drop from our own queue if pending.
+            // Drop from our own queue if pending, releasing the pushing
+            // sender's budget.
             if self.queued_digests.remove(&d) {
                 self.queue.retain(|p| digest(p) != d);
+            }
+            if let Some(p) = self.charged.remove(&d) {
+                self.push_debt[p] = self.push_debt[p].saturating_sub(1);
             }
             delivered.push(AbcDeliver {
                 seq: self.next_seq,
@@ -445,7 +526,12 @@ impl Protocol for AbcNode {
         }
     }
 
-    fn on_message(&mut self, from: PartyId, msg: AbcMessage, fx: &mut Effects<AbcMessage, AbcDeliver>) {
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: AbcMessage,
+        fx: &mut Effects<AbcMessage, AbcDeliver>,
+    ) {
         let mut out = Vec::new();
         for d in self.abc.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
@@ -469,11 +555,7 @@ pub fn abc_nodes(
         .map(|b| {
             let rng = Rng::new(seed ^ (b.party() as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
             AbcNode::new(
-                AtomicBroadcast::new(
-                    Tag::root("abc"),
-                    Arc::clone(&public),
-                    Arc::new(b),
-                ),
+                AtomicBroadcast::new(Tag::root("abc"), Arc::clone(&public), Arc::new(b)),
                 rng,
             )
         })
@@ -494,7 +576,10 @@ mod tests {
         abc_nodes(public, bundles, seed)
     }
 
-    fn delivered_payloads(sim: &Simulation<AbcNode, impl sintra_net::sim::Scheduler<AbcMessage>>, p: usize) -> Vec<Vec<u8>> {
+    fn delivered_payloads(
+        sim: &Simulation<AbcNode, impl sintra_net::sim::Scheduler<AbcMessage>>,
+        p: usize,
+    ) -> Vec<Vec<u8>> {
         sim.outputs(p).iter().map(|d| d.payload.clone()).collect()
     }
 
@@ -504,7 +589,11 @@ mod tests {
         sim.input(0, b"m1".to_vec());
         sim.run_until_quiet(10_000_000);
         for p in 0..4 {
-            assert_eq!(delivered_payloads(&sim, p), vec![b"m1".to_vec()], "party {p}");
+            assert_eq!(
+                delivered_payloads(&sim, p),
+                vec![b"m1".to_vec()],
+                "party {p}"
+            );
         }
     }
 
@@ -519,7 +608,11 @@ mod tests {
             let reference = delivered_payloads(&sim, 0);
             assert_eq!(reference.len(), 4, "all messages delivered (seed {seed})");
             for p in 1..4 {
-                assert_eq!(delivered_payloads(&sim, p), reference, "party {p} seed {seed}");
+                assert_eq!(
+                    delivered_payloads(&sim, p),
+                    reference,
+                    "party {p} seed {seed}"
+                );
             }
             // Sequence numbers are consecutive.
             for p in 0..4 {
@@ -609,6 +702,96 @@ mod tests {
         let mut padded = encoded;
         padded.push(0);
         assert!(decode_list(&padded).is_none());
+    }
+
+    #[test]
+    fn push_flood_is_bounded_per_sender() {
+        let mut ns = nodes(4, 1, 90);
+        let node = &mut ns[0].abc;
+        node.set_push_bound(8);
+        let mut rng = Rng::new(1);
+        let mut out = Vec::new();
+        // A Byzantine flooder pushes far more distinct payloads than the
+        // per-sender budget; the honest queue absorbs only the budget.
+        for i in 0..1_000u32 {
+            node.on_message(
+                3,
+                AbcMessage::Push(format!("flood-{i}").into_bytes()),
+                &mut rng,
+                &mut out,
+            );
+        }
+        assert_eq!(node.push_debt(3), 8, "debt capped at the bound");
+        assert!(node.queue_len() <= 8, "queue growth bounded");
+        // An honest pusher is unaffected by the flooder's exhausted
+        // budget.
+        node.on_message(1, AbcMessage::Push(b"honest".to_vec()), &mut rng, &mut out);
+        assert_eq!(node.push_debt(1), 1);
+        assert_eq!(node.queue_len(), 9);
+    }
+
+    #[test]
+    fn far_future_rounds_create_no_state() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = Rng::new(2);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public = Arc::new(public);
+        let tag = Tag::root("abc");
+        let mut node = AtomicBroadcast::new(
+            tag.clone(),
+            Arc::clone(&public),
+            Arc::new(bundles[0].clone()),
+        );
+        let mut out = Vec::new();
+        // Correctly signed proposals for far-future rounds (round numbers
+        // are attacker-chosen) are refused.
+        for round in 1_000..1_100u64 {
+            let payload = b"attack".to_vec();
+            let sig = bundles[3].auth_key().sign(
+                &tag.message(&[b"queued", &round.to_be_bytes(), &payload]),
+                &mut rng,
+            );
+            node.on_message(
+                3,
+                AbcMessage::Queued {
+                    round,
+                    payload,
+                    sig,
+                },
+                &mut rng,
+                &mut out,
+            );
+        }
+        assert_eq!(node.tracked_rounds(), 0, "no far-future proposal state");
+        // Far-future MVBA traffic instantiates no agreement machine.
+        let share = bundles[3].coin_key().share(b"x", &mut rng);
+        node.on_message(
+            3,
+            AbcMessage::Mvba {
+                round: 5_000,
+                inner: MvbaMessage::ElectCoin { election: 0, share },
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(node.tracked_rounds(), 0, "no far-future MVBA machine");
+        // In-window traffic still lands.
+        let payload = b"near".to_vec();
+        let sig = bundles[2].auth_key().sign(
+            &tag.message(&[b"queued", &3u64.to_be_bytes(), &payload]),
+            &mut rng,
+        );
+        node.on_message(
+            2,
+            AbcMessage::Queued {
+                round: 3,
+                payload,
+                sig,
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(node.tracked_rounds(), 1);
     }
 
     #[test]

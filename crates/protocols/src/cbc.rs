@@ -17,7 +17,7 @@
 
 use crate::common::{digest, send_all, Digest, Outbox, Tag};
 use serde::{Deserialize, Serialize};
-use sintra_adversary::party::PartyId;
+use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_crypto::tsig::{QuorumRule, SignatureShare, ThresholdSignature};
@@ -57,8 +57,11 @@ pub struct ConsistentBroadcast {
     bundle: Arc<ServerKeyBundle>,
     /// Sender side: payload being vouched.
     my_payload: Option<(Vec<u8>, Digest)>,
-    /// Sender side: collected shares.
+    /// Sender side: collected shares (one per party, see `share_parties`).
     shares: Vec<SignatureShare>,
+    /// Sender side: parties whose share was already accepted, so a
+    /// duplicate (even valid) share can never poison the aggregation.
+    share_parties: PartySet,
     final_sent: bool,
     echoed: bool,
     delivered: bool,
@@ -81,6 +84,7 @@ impl ConsistentBroadcast {
             bundle,
             my_payload: None,
             shares: Vec::new(),
+            share_parties: PartySet::new(),
             final_sent: false,
             echoed: false,
             delivered: false,
@@ -127,6 +131,9 @@ impl ConsistentBroadcast {
         rng: &mut SeededRng,
         out: &mut Outbox<CbcMessage>,
     ) -> Option<Voucher> {
+        if from >= self.n {
+            return None; // out-of-range sender
+        }
         match msg {
             CbcMessage::Send(payload) => {
                 if from != self.sender || self.echoed {
@@ -148,13 +155,14 @@ impl ConsistentBroadcast {
                     Some(p) => p.clone(),
                     None => return None,
                 };
-                if share.party() != from {
-                    return None; // relayed foreign shares not accepted
+                if share.party() != from || self.share_parties.contains(from) {
+                    return None; // relayed foreign shares or duplicates
                 }
                 let to_sign = self.signed_message(&d);
                 if !self.public.signing().verify_share(&to_sign, &share) {
                     return None;
                 }
+                self.share_parties.insert(from);
                 self.shares.push(share);
                 if let Ok(sig) =
                     self.public
@@ -212,7 +220,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: PartyId, msg: CbcMessage, fx: &mut Effects<CbcMessage, Vec<u8>>) {
+        fn on_message(
+            &mut self,
+            from: PartyId,
+            msg: CbcMessage,
+            fx: &mut Effects<CbcMessage, Vec<u8>>,
+        ) {
             let mut out = Vec::new();
             if let Some(v) = self.cbc.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(v.payload);
@@ -330,7 +343,10 @@ mod tests {
         // Sender emitted Final once a core quorum was reached.
         let (_, final_msg) = finals.first().expect("final emitted").clone();
         let voucher = if let CbcMessage::Final(payload, sig) = final_msg {
-            Voucher { payload, signature: sig }
+            Voucher {
+                payload,
+                signature: sig,
+            }
         } else {
             panic!("expected final");
         };
@@ -377,8 +393,50 @@ mod tests {
         );
         assert!(delivered.is_none(), "digest mismatch rejected");
         // The genuine payload goes through.
-        let delivered = node.on_message(0, CbcMessage::Final(b"good".to_vec(), sig), &mut rng, &mut out);
+        let delivered = node.on_message(
+            0,
+            CbcMessage::Final(b"good".to_vec(), sig),
+            &mut rng,
+            &mut out,
+        );
         assert!(delivered.is_some());
+    }
+
+    #[test]
+    fn duplicate_shares_cannot_poison_aggregation() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(8);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public = Arc::new(public);
+        let tag = Tag::root("dup");
+        let mut sender = ConsistentBroadcast::new(
+            tag.clone(),
+            0,
+            Arc::clone(&public),
+            Arc::new(bundles[0].clone()),
+        );
+        let mut out = Vec::new();
+        sender.broadcast(b"m".to_vec(), &mut out);
+        out.clear();
+        let msg = tag.message(&[b"cbc", &digest(b"m")]);
+        // The same party's valid share, repeated: counted once, so no
+        // Final can be built from fewer distinct parties than a core
+        // quorum (2t + 1 = 3 here, the sender's own share not included).
+        let share1 = bundles[1].signing_key().sign_share(&msg, &mut rng);
+        for _ in 0..3 {
+            sender.on_message(1, CbcMessage::Echo(share1), &mut rng, &mut out);
+        }
+        assert!(out.is_empty(), "duplicates must not reach a quorum");
+        // Distinct parties complete the quorum.
+        for p in [2usize, 3] {
+            let share = bundles[p].signing_key().sign_share(&msg, &mut rng);
+            sender.on_message(p, CbcMessage::Echo(share), &mut rng, &mut out);
+        }
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, CbcMessage::Final(_, _))),
+            "distinct core quorum emits the Final"
+        );
     }
 
     #[test]

@@ -177,7 +177,13 @@ impl FdAbcNode {
 
     /// Delivery check: quorum of acks in the replica's *current* view
     /// (the classic per-view rule), digest not yet delivered.
-    fn try_deliver(&mut self, view: u64, seq: u64, d: Digest, fx: &mut Effects<FdMessage, FdDeliver>) {
+    fn try_deliver(
+        &mut self,
+        view: u64,
+        seq: u64,
+        d: Digest,
+        fx: &mut Effects<FdMessage, FdDeliver>,
+    ) {
         if view != self.view
             || self.delivered.contains_key(&seq)
             || seq < self.next_emit
@@ -261,7 +267,12 @@ impl Protocol for FdAbcNode {
         self.coordinate(fx);
     }
 
-    fn on_message(&mut self, from: PartyId, msg: FdMessage, fx: &mut Effects<FdMessage, FdDeliver>) {
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: FdMessage,
+        fx: &mut Effects<FdMessage, FdDeliver>,
+    ) {
         match msg {
             FdMessage::Push(payload) => {
                 self.enqueue(payload);
@@ -274,12 +285,23 @@ impl Protocol for FdAbcNode {
                 let d = digest(&payload);
                 self.orders.entry((view, seq)).or_insert(payload);
                 if view == self.view {
-                    fx.send_all(self.n, FdMessage::Ack { view, seq, digest: d });
+                    fx.send_all(
+                        self.n,
+                        FdMessage::Ack {
+                            view,
+                            seq,
+                            digest: d,
+                        },
+                    );
                 }
                 // Orders for future views are buffered and acknowledged
                 // when this replica's view catches up (see change_view).
             }
-            FdMessage::Ack { view, seq, digest: d } => {
+            FdMessage::Ack {
+                view,
+                seq,
+                digest: d,
+            } => {
                 let voters = self.acks.entry((view, seq, d)).or_default();
                 voters.insert(from);
                 self.try_deliver(view, seq, d, fx);
@@ -389,9 +411,7 @@ mod tests {
         }
         // Bounded run: the system may eventually deliver (eventual
         // delivery holds) but burns view changes doing so.
-        sim.run_until(200_000, |s| {
-            (0..4).all(|p| s.outputs(p).len() >= 4)
-        });
+        sim.run_until(200_000, |s| (0..4).all(|p| s.outputs(p).len() >= 4));
         let changes: u64 = (0..4)
             .filter_map(|p| sim.node(p).map(|n| n.view_changes))
             .sum();

@@ -1,0 +1,401 @@
+//! Campaign hooks for the core protocol stack: the protocol-specific
+//! glue consumed by `sintra-net`'s fault-injection campaigns.
+//!
+//! For each protocol this module provides a `*_hooks()` constructor
+//! wiring up the standard 4-party, 1-fault configuration: replica
+//! builders (keyed per seed), instantiations of every canned
+//! [`BehaviorKind`] with protocol-aware equivocation and mutation, input
+//! assignments, and the protocol's defining invariant checks. The same
+//! hooks drive the debug-mode campaign tests and the release-mode soak
+//! binary (`sintra-bench`'s `campaign_soak`), so the smoke grid and the
+//! full grid cannot drift apart.
+
+use crate::abba::AbbaMessage;
+use crate::abc::{abc_nodes, AbcDeliver, AbcMessage, AbcNode};
+use crate::cbc::CbcMessage;
+use crate::mvba::MvbaMessage;
+use crate::nodes::{
+    abba_nodes, cbc_nodes, mvba_nodes, rbc_nodes, AbbaNode, CbcNode, MvbaNode, RbcNode,
+};
+use crate::rbc::RbcMessage;
+use sintra_adversary::party::{PartyId, PartySet};
+use sintra_adversary::structure::TrustStructure;
+use sintra_crypto::dealer::Dealer;
+use sintra_crypto::rng::SeededRng;
+use sintra_net::campaign::{invariants, BehaviorKind, CampaignHooks};
+use sintra_net::faults;
+use sintra_net::sim::Behavior;
+use std::sync::Arc;
+
+/// Parties in the standard campaign configuration.
+pub const N: usize = 4;
+/// Fault threshold in the standard campaign configuration.
+pub const T: usize = 1;
+
+/// The campaign mixes the case seed with the party id before calling the
+/// behavior hook; undo that to rebuild a corrupted party's replica from
+/// the same dealt keys as the honest nodes.
+fn case_seed(mixed_seed: u64, party: PartyId) -> u64 {
+    mixed_seed ^ party as u64
+}
+
+fn flip(p: &mut Vec<u8>) {
+    if let Some(b) = p.first_mut() {
+        *b ^= 0xff;
+    } else {
+        p.push(0xff);
+    }
+}
+
+// ---------------------------------------------------------------- RBC
+
+fn rbc_equivocate(to: PartyId, m: RbcMessage) -> RbcMessage {
+    let stamp = to as u8;
+    match m {
+        RbcMessage::Send(mut p) => {
+            p.push(stamp);
+            RbcMessage::Send(p)
+        }
+        RbcMessage::Echo(mut p) => {
+            p.push(stamp);
+            RbcMessage::Echo(p)
+        }
+        RbcMessage::Ready(mut p) => {
+            p.push(stamp);
+            RbcMessage::Ready(p)
+        }
+    }
+}
+
+fn rbc_mutate(m: &mut RbcMessage) {
+    match m {
+        RbcMessage::Send(p) | RbcMessage::Echo(p) | RbcMessage::Ready(p) => flip(p),
+    }
+}
+
+fn rbc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<RbcNode> {
+    let inner = || rbc_nodes(N, T, 0).remove(party);
+    match kind {
+        BehaviorKind::Crash => Behavior::Crash,
+        BehaviorKind::Equivocate => {
+            faults::equivocator(party, inner(), None, |to, m, _| rbc_equivocate(to, m), seed)
+        }
+        BehaviorKind::Replay => faults::replayer(N, 16, seed),
+        BehaviorKind::Mutate => {
+            faults::mutator(party, inner(), None, |m, _| rbc_mutate(m), 60, seed)
+        }
+        BehaviorKind::Mute => {
+            faults::selective_mute(party, inner(), None, PartySet::singleton((party + 1) % N))
+        }
+        BehaviorKind::CrashRecover => faults::crash_recover(
+            party,
+            move || rbc_nodes(N, T, 0).remove(party),
+            None,
+            200,
+            5_000,
+        ),
+    }
+}
+
+/// Campaign hooks for reliable broadcast: party 0 broadcasts, every
+/// honest party must deliver exactly that payload.
+pub fn rbc_hooks<'a>() -> CampaignHooks<'a, RbcNode> {
+    CampaignHooks {
+        nodes: Box::new(|_seed| rbc_nodes(N, T, 0)),
+        behavior: Box::new(rbc_behavior),
+        inputs: Box::new(|_seed, _corrupted| vec![(0, b"payload".to_vec())]),
+        check: Box::new(|outcome| {
+            invariants::agreement(outcome)?;
+            invariants::liveness(outcome, 1)?;
+            invariants::external_validity(outcome, |o| o == b"payload")
+        }),
+    }
+}
+
+// ---------------------------------------------------------------- CBC
+
+fn cbc_equivocate(to: PartyId, m: CbcMessage) -> CbcMessage {
+    match m {
+        CbcMessage::Send(mut p) => {
+            p.push(to as u8);
+            CbcMessage::Send(p)
+        }
+        CbcMessage::Final(mut p, sig) => {
+            p.push(to as u8);
+            CbcMessage::Final(p, sig)
+        }
+        other => other,
+    }
+}
+
+fn cbc_mutate(m: &mut CbcMessage) {
+    match m {
+        CbcMessage::Send(p) | CbcMessage::Final(p, _) => flip(p),
+        CbcMessage::Echo(_) => {}
+    }
+}
+
+fn cbc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<CbcNode> {
+    let cs = case_seed(seed, party);
+    let inner = move || cbc_nodes(N, T, 0, cs).remove(party);
+    match kind {
+        BehaviorKind::Crash => Behavior::Crash,
+        BehaviorKind::Equivocate => {
+            faults::equivocator(party, inner(), None, |to, m, _| cbc_equivocate(to, m), seed)
+        }
+        BehaviorKind::Replay => faults::replayer(N, 16, seed),
+        BehaviorKind::Mutate => {
+            faults::mutator(party, inner(), None, |m, _| cbc_mutate(m), 60, seed)
+        }
+        BehaviorKind::Mute => {
+            faults::selective_mute(party, inner(), None, PartySet::singleton((party + 1) % N))
+        }
+        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+    }
+}
+
+/// Campaign hooks for consistent broadcast: party 0 broadcasts, honest
+/// deliverers must agree on exactly that payload.
+pub fn cbc_hooks<'a>() -> CampaignHooks<'a, CbcNode> {
+    CampaignHooks {
+        nodes: Box::new(|seed| cbc_nodes(N, T, 0, seed)),
+        behavior: Box::new(cbc_behavior),
+        inputs: Box::new(|_seed, _corrupted| vec![(0, b"payload".to_vec())]),
+        check: Box::new(|outcome| {
+            invariants::agreement(outcome)?;
+            invariants::liveness(outcome, 1)?;
+            invariants::external_validity(outcome, |o| o == b"payload")
+        }),
+    }
+}
+
+// --------------------------------------------------------------- ABBA
+
+fn abba_equivocate(to: PartyId, mut m: AbbaMessage<()>) -> AbbaMessage<()> {
+    // Tell odd receivers the opposite bit. The signature share no longer
+    // matches, so honest receivers must reject without state poisoning.
+    if to % 2 == 1 {
+        if let AbbaMessage::PreVote(pv) = &mut m {
+            pv.value = !pv.value;
+        }
+    }
+    m
+}
+
+fn abba_mutate(m: &mut AbbaMessage<()>) {
+    match m {
+        AbbaMessage::PreVote(pv) => pv.round = pv.round.wrapping_add(1),
+        AbbaMessage::MainVote(mv) => mv.round = mv.round.wrapping_add(1),
+        AbbaMessage::Coin { round, .. } => *round = round.wrapping_add(1),
+        AbbaMessage::Decided { value, .. } => *value = !*value,
+    }
+}
+
+fn abba_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<AbbaNode> {
+    let cs = case_seed(seed, party);
+    let inner = move || abba_nodes(N, T, cs).remove(party);
+    match kind {
+        BehaviorKind::Crash => Behavior::Crash,
+        BehaviorKind::Equivocate => faults::equivocator(
+            party,
+            inner(),
+            Some(true),
+            |to, m, _| abba_equivocate(to, m),
+            seed,
+        ),
+        BehaviorKind::Replay => faults::replayer(N, 16, seed),
+        BehaviorKind::Mutate => {
+            faults::mutator(party, inner(), Some(false), |m, _| abba_mutate(m), 60, seed)
+        }
+        BehaviorKind::Mute => faults::selective_mute(
+            party,
+            inner(),
+            Some(true),
+            PartySet::singleton((party + 1) % N),
+        ),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+    }
+}
+
+/// Campaign hooks for binary agreement under mixed honest inputs.
+pub fn abba_hooks<'a>() -> CampaignHooks<'a, AbbaNode> {
+    CampaignHooks {
+        nodes: Box::new(|seed| abba_nodes(N, T, seed)),
+        behavior: Box::new(abba_behavior),
+        inputs: Box::new(|_seed, corrupted| {
+            (0..N)
+                .filter(|p| !corrupted.contains(*p))
+                .map(|p| (p, p % 2 == 0))
+                .collect()
+        }),
+        check: Box::new(|outcome| {
+            invariants::agreement(outcome)?;
+            invariants::liveness(outcome, 1)
+        }),
+    }
+}
+
+// --------------------------------------------------------------- MVBA
+
+fn mvba_equivocate(to: PartyId, mut m: MvbaMessage) -> MvbaMessage {
+    if let MvbaMessage::Proposal {
+        inner: CbcMessage::Send(p),
+        ..
+    } = &mut m
+    {
+        p.push(to as u8);
+    }
+    m
+}
+
+fn mvba_mutate(m: &mut MvbaMessage) {
+    match m {
+        MvbaMessage::Proposal { proposer, .. } => *proposer = (*proposer + 1) % N,
+        MvbaMessage::ElectCoin { election, .. } => *election += 1,
+        MvbaMessage::Vote { election, .. } => *election += 1,
+    }
+}
+
+fn mvba_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<MvbaNode> {
+    let cs = case_seed(seed, party);
+    let inner =
+        move || mvba_nodes(N, T, cs, Arc::new(|v: &[u8]| v.starts_with(b"ok"))).remove(party);
+    match kind {
+        BehaviorKind::Crash => Behavior::Crash,
+        BehaviorKind::Equivocate => faults::equivocator(
+            party,
+            inner(),
+            Some(b"ok-evil".to_vec()),
+            |to, m, _| mvba_equivocate(to, m),
+            seed,
+        ),
+        BehaviorKind::Replay => faults::replayer(N, 16, seed),
+        BehaviorKind::Mutate => faults::mutator(
+            party,
+            inner(),
+            Some(b"ok-evil".to_vec()),
+            |m, _| mvba_mutate(m),
+            60,
+            seed,
+        ),
+        BehaviorKind::Mute => faults::selective_mute(
+            party,
+            inner(),
+            Some(b"ok-evil".to_vec()),
+            PartySet::singleton((party + 1) % N),
+        ),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+    }
+}
+
+/// Campaign hooks for multi-valued agreement with the `starts_with("ok")`
+/// external validity predicate.
+pub fn mvba_hooks<'a>() -> CampaignHooks<'a, MvbaNode> {
+    CampaignHooks {
+        nodes: Box::new(|seed| mvba_nodes(N, T, seed, Arc::new(|v: &[u8]| v.starts_with(b"ok")))),
+        behavior: Box::new(mvba_behavior),
+        inputs: Box::new(|_seed, corrupted| {
+            (0..N)
+                .filter(|p| !corrupted.contains(*p))
+                .map(|p| (p, format!("ok-{p}").into_bytes()))
+                .collect()
+        }),
+        check: Box::new(|outcome| {
+            invariants::agreement(outcome)?;
+            invariants::liveness(outcome, 1)?;
+            invariants::external_validity(outcome, |o| o.starts_with(b"ok"))
+        }),
+    }
+}
+
+// ---------------------------------------------------------------- ABC
+
+fn abc_equivocate(to: PartyId, mut m: AbcMessage) -> AbcMessage {
+    if let AbcMessage::Push(p) = &mut m {
+        p.push(to as u8);
+    }
+    m
+}
+
+fn abc_mutate(m: &mut AbcMessage) {
+    match m {
+        AbcMessage::Push(p) => flip(p),
+        AbcMessage::Queued { payload, .. } => flip(payload),
+        AbcMessage::Mvba { round, .. } => *round += 1,
+    }
+}
+
+/// Builds the standard 4-party atomic-broadcast replica set for a seed.
+pub fn abc_build(seed: u64) -> Vec<AbcNode> {
+    let ts = TrustStructure::threshold(N, T).expect("valid (n, t)");
+    let mut rng = SeededRng::new(seed);
+    let (public, bundles) = Dealer::deal(&ts, &mut rng);
+    abc_nodes(public, bundles, seed)
+}
+
+fn abc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<AbcNode> {
+    let cs = case_seed(seed, party);
+    let inner = move || abc_build(cs).remove(party);
+    match kind {
+        BehaviorKind::Crash => Behavior::Crash,
+        BehaviorKind::Equivocate => faults::equivocator(
+            party,
+            inner(),
+            Some(b"evil".to_vec()),
+            |to, m, _| abc_equivocate(to, m),
+            seed,
+        ),
+        BehaviorKind::Replay => faults::replayer(N, 16, seed),
+        BehaviorKind::Mutate => faults::mutator(
+            party,
+            inner(),
+            Some(b"evil".to_vec()),
+            |m, _| abc_mutate(m),
+            60,
+            seed,
+        ),
+        BehaviorKind::Mute => faults::selective_mute(
+            party,
+            inner(),
+            Some(b"evil".to_vec()),
+            PartySet::singleton((party + 1) % N),
+        ),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+    }
+}
+
+/// Campaign hooks for atomic broadcast: every honest party broadcasts
+/// one payload; all of them must be totally ordered at every honest
+/// party within the step budget.
+pub fn abc_hooks<'a>() -> CampaignHooks<'a, AbcNode> {
+    CampaignHooks {
+        nodes: Box::new(abc_build),
+        behavior: Box::new(abc_behavior),
+        inputs: Box::new(|_seed, corrupted| {
+            (0..N)
+                .filter(|p| !corrupted.contains(*p))
+                .map(|p| (p, format!("msg-{p}").into_bytes()))
+                .collect()
+        }),
+        check: Box::new(|outcome: &sintra_net::campaign::RunOutcome<AbcNode>| {
+            invariants::total_order(outcome)?;
+            // Every honest party's payload (N - 1 of them) must get
+            // ordered.
+            invariants::liveness(outcome, N - 1)?;
+            // Delivery sequence numbers must be gapless from 0.
+            for p in outcome.honest() {
+                for (i, d) in outcome.outputs[p].iter().enumerate() {
+                    if d.seq != i as u64 {
+                        return Err(format!("party {p} delivery #{i} has sequence {}", d.seq));
+                    }
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Convenience: the delivered payloads of one party's ABC outcome.
+pub fn abc_payloads(outputs: &[AbcDeliver]) -> Vec<Vec<u8>> {
+    outputs.iter().map(|d| d.payload.clone()).collect()
+}

@@ -42,7 +42,9 @@ pub mod abc;
 pub mod cbc;
 pub mod common;
 pub mod fdabc;
+pub mod harness;
 pub mod mvba;
+pub mod nodes;
 pub mod optimistic;
 pub mod rbc;
 pub mod scabc;

@@ -66,6 +66,18 @@ pub enum MvbaMessage {
     },
 }
 
+/// How far past the current election coin shares and votes are buffered.
+/// Election numbers are attacker-chosen (a coin share for *any* election
+/// self-verifies), so without a window a Byzantine party could open
+/// unboundedly many buffer entries. Honest parties only outrun each
+/// other by one completed ABBA per election, so a skew beyond this
+/// window cannot arise from honest traffic in practice.
+const ELECTION_LOOKAHEAD: u64 = 16;
+
+/// Per-party cap on buffered votes for an election whose candidate is
+/// not yet known (votes are only validated once the ABBA exists).
+const PENDING_VOTE_CAP: usize = 64;
+
 /// Multi-valued validated Byzantine agreement instance at one party.
 pub struct Mvba {
     tag: Tag,
@@ -161,6 +173,18 @@ impl Mvba {
         self.election
     }
 
+    /// Buffered (not yet validated) votes held for elections whose
+    /// candidate is unknown (observability for the flooding-bound tests).
+    pub fn buffered_votes(&self) -> usize {
+        self.pending_votes.values().map(Vec::len).sum()
+    }
+
+    /// Buffered election coin shares (observability for the
+    /// flooding-bound tests).
+    pub fn buffered_elect_shares(&self) -> usize {
+        self.elect_shares.values().map(Vec::len).sum()
+    }
+
     /// Starts the instance with this party's proposal.
     ///
     /// # Panics
@@ -179,7 +203,10 @@ impl Mvba {
         let mut sub = Vec::new();
         self.cbc[self.me].broadcast(value, &mut sub);
         let me = self.me;
-        wrap(out, sub, |inner| MvbaMessage::Proposal { proposer: me, inner });
+        wrap(out, sub, |inner| MvbaMessage::Proposal {
+            proposer: me,
+            inner,
+        });
         // Proposals received before our own input may already form a core
         // quorum.
         self.progress(rng, out)
@@ -198,7 +225,25 @@ impl Mvba {
         rng: &mut SeededRng,
         out: &mut Outbox<MvbaMessage>,
     ) -> Option<Vec<u8>> {
+        if from >= self.n {
+            return None;
+        }
         if self.decided.is_some() {
+            // A terminated party must keep serving proposal dissemination
+            // (CBC echoes and Final transfers): under a hostile schedule a
+            // starved party may still need echo shares — even for its own
+            // proposal — to reach the election stage, after which the
+            // election and vote transcripts already on the wire let it
+            // replay to termination by itself. CBC service is idempotent
+            // and bounded (one echo per proposer), so this cannot grow
+            // state; election and vote traffic stays ignored.
+            if let MvbaMessage::Proposal { proposer, inner } = msg {
+                if proposer < self.n {
+                    let mut sub = Vec::new();
+                    self.cbc[proposer].on_message(from, inner, rng, &mut sub);
+                    wrap(out, sub, |inner| MvbaMessage::Proposal { proposer, inner });
+                }
+            }
             return None;
         }
         match msg {
@@ -218,8 +263,8 @@ impl Mvba {
                 None
             }
             MvbaMessage::ElectCoin { election, share } => {
-                if share.party() != from {
-                    return None;
+                if share.party() != from || election > self.election + ELECTION_LOOKAHEAD {
+                    return None; // forged origin or beyond buffer window
                 }
                 let name = self.elect_coin_name(election);
                 if !self.public.coin().verify_share(&name, &share) {
@@ -228,7 +273,11 @@ impl Mvba {
                 if self.candidates.contains_key(&election) {
                     return None;
                 }
-                self.elect_shares.entry(election).or_default().push(share);
+                let shares = self.elect_shares.entry(election).or_default();
+                if shares.iter().any(|s| s.party() == from) {
+                    return None; // one share per party per election
+                }
+                shares.push(share);
                 self.try_elect(election, rng, out)
             }
             MvbaMessage::Vote { election, inner } => {
@@ -241,10 +290,14 @@ impl Mvba {
                     }
                     None
                 } else {
-                    self.pending_votes
-                        .entry(election)
-                        .or_default()
-                        .push((from, inner));
+                    if election < self.election || election > self.election + ELECTION_LOOKAHEAD {
+                        return None; // stale, or beyond the buffer window
+                    }
+                    let pending = self.pending_votes.entry(election).or_default();
+                    if pending.iter().filter(|(p, _)| *p == from).count() >= PENDING_VOTE_CAP {
+                        return None; // flooding sender: buffer is bounded
+                    }
+                    pending.push((from, inner));
                     None
                 }
             }
@@ -258,11 +311,7 @@ impl Mvba {
 
     /// Fires any enabled transitions: starting elections, resolving a
     /// waiting 1-decision.
-    fn progress(
-        &mut self,
-        rng: &mut SeededRng,
-        out: &mut Outbox<MvbaMessage>,
-    ) -> Option<Vec<u8>> {
+    fn progress(&mut self, rng: &mut SeededRng, out: &mut Outbox<MvbaMessage>) -> Option<Vec<u8>> {
         // A previously decided election may have been waiting for its
         // voucher.
         if let Some((election, candidate)) = self.waiting_for {
@@ -286,8 +335,17 @@ impl Mvba {
         None
     }
 
-    fn start_election(&mut self, election: u64, rng: &mut SeededRng, out: &mut Outbox<MvbaMessage>) {
+    fn start_election(
+        &mut self,
+        election: u64,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) {
         self.election = election;
+        // Reclaim buffers from completed elections (their candidates are
+        // decided, so the buffered shares and votes can never be used).
+        self.elect_shares = self.elect_shares.split_off(&election);
+        self.pending_votes = self.pending_votes.split_off(&election);
         let name = self.elect_coin_name(election);
         let share = self.bundle.coin_key().share(&name, rng);
         send_all(out, self.n, MvbaMessage::ElectCoin { election, share });
@@ -309,7 +367,9 @@ impl Mvba {
         rng: &mut SeededRng,
         out: &mut Outbox<MvbaMessage>,
     ) -> Option<Vec<u8>> {
-        if self.candidates.contains_key(&election) || election != self.election || !self.elections_started
+        if self.candidates.contains_key(&election)
+            || election != self.election
+            || !self.elections_started
         {
             return None;
         }
@@ -334,7 +394,10 @@ impl Mvba {
             if !(predicate)(&v.payload) {
                 return false;
             }
-            vouchers.lock().entry(candidate).or_insert_with(|| v.clone());
+            vouchers
+                .lock()
+                .entry(candidate)
+                .or_insert_with(|| v.clone());
             true
         });
         let mut abba = Abba::new_biased(
@@ -462,7 +525,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: PartyId, msg: MvbaMessage, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
+        fn on_message(
+            &mut self,
+            from: PartyId,
+            msg: MvbaMessage,
+            fx: &mut Effects<MvbaMessage, Vec<u8>>,
+        ) {
             let mut out = Vec::new();
             if let Some(d) = self.mvba.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(d);
@@ -598,6 +666,87 @@ mod tests {
         }
         sim.run_until_quiet(20_000_000);
         check_agreement(&sim, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn election_buffers_are_bounded() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(9);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public = Arc::new(public);
+        let tag = Tag::root("mvba-bound");
+        let mut node = Mvba::new(
+            tag.clone(),
+            Arc::clone(&public),
+            Arc::new(bundles[0].clone()),
+            Arc::new(|_| true),
+        );
+        let mut out = Vec::new();
+        // A correctly signed coin share for a far-future election is
+        // refused: election numbers are attacker-chosen, so only a
+        // bounded lookahead is buffered.
+        let far = 1_000u64;
+        let name = tag.message(&[b"elect", &far.to_be_bytes()]);
+        let share = bundles[3].coin_key().share(&name, &mut rng);
+        node.on_message(
+            3,
+            MvbaMessage::ElectCoin {
+                election: far,
+                share,
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(node.buffered_elect_shares(), 0, "far-future share dropped");
+        // A duplicate valid share for a live election counts once.
+        let name0 = tag.message(&[b"elect", &0u64.to_be_bytes()]);
+        let share0 = bundles[3].coin_key().share(&name0, &mut rng);
+        for _ in 0..2 {
+            node.on_message(
+                3,
+                MvbaMessage::ElectCoin {
+                    election: 0,
+                    share: share0.clone(),
+                },
+                &mut rng,
+                &mut out,
+            );
+        }
+        assert_eq!(node.buffered_elect_shares(), 1, "one share per party");
+        // Vote floods for an unstarted election are capped per sender.
+        for round in 0..200u64 {
+            let cname = tag.message(&[b"flood", &round.to_be_bytes()]);
+            let cshare = bundles[3].coin_key().share(&cname, &mut rng);
+            node.on_message(
+                3,
+                MvbaMessage::Vote {
+                    election: 1,
+                    inner: AbbaMessage::Coin {
+                        round: round + 1,
+                        share: cshare,
+                    },
+                },
+                &mut rng,
+                &mut out,
+            );
+        }
+        assert_eq!(
+            node.buffered_votes(),
+            super::PENDING_VOTE_CAP,
+            "per-sender vote buffer is capped"
+        );
+        // Out-of-range senders are rejected outright.
+        let share0 = bundles[3].coin_key().share(&name0, &mut rng);
+        node.on_message(
+            17,
+            MvbaMessage::ElectCoin {
+                election: 0,
+                share: share0,
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(node.buffered_elect_shares(), 1);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Public [`Protocol`] adapters for the core stack — one simulator node
+//! per protocol instance.
+//!
+//! The per-protocol test modules keep private wrappers of the same
+//! shape; the adapters here are the *public* ones, consumed by the
+//! fault-injection campaigns (`sintra-net`'s `campaign` module), the
+//! adversarial integration tests, and the soak binary in `sintra-bench`.
+//! Each comes with a `*_nodes` builder that deals a fresh key setup for
+//! a seed, so a campaign can rebuild bit-identical replicas per case.
+
+use crate::abba::{Abba, AbbaMessage};
+use crate::cbc::{CbcMessage, ConsistentBroadcast};
+use crate::common::{contexts, Tag};
+use crate::mvba::{Mvba, MvbaMessage, ValidityPredicate};
+use crate::rbc::{RbcMessage, ReliableBroadcast};
+use sintra_adversary::party::PartyId;
+use sintra_adversary::structure::TrustStructure;
+use sintra_crypto::dealer::Dealer;
+use sintra_crypto::rng::SeededRng;
+use sintra_net::protocol::{Effects, Protocol};
+use std::sync::Arc;
+
+/// One reliable-broadcast instance as a simulator node.
+#[derive(Debug)]
+pub struct RbcNode {
+    rbc: ReliableBroadcast,
+}
+
+impl RbcNode {
+    /// Wraps an instance.
+    pub fn new(rbc: ReliableBroadcast) -> Self {
+        RbcNode { rbc }
+    }
+
+    /// Read access to the instance.
+    pub fn instance(&self) -> &ReliableBroadcast {
+        &self.rbc
+    }
+}
+
+impl Protocol for RbcNode {
+    type Message = RbcMessage;
+    type Input = Vec<u8>;
+    type Output = Vec<u8>;
+
+    fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
+        let mut out = Vec::new();
+        self.rbc.broadcast(input, &mut out);
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: RbcMessage,
+        fx: &mut Effects<RbcMessage, Vec<u8>>,
+    ) {
+        let mut out = Vec::new();
+        if let Some(delivered) = self.rbc.on_message(from, msg, &mut out) {
+            fx.output(delivered);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+}
+
+/// Builds `n` connected [`RbcNode`]s for one broadcast from `sender`.
+pub fn rbc_nodes(n: usize, t: usize, sender: PartyId) -> Vec<RbcNode> {
+    let ts = TrustStructure::threshold(n, t).expect("valid (n, t)");
+    (0..n)
+        .map(|me| RbcNode::new(ReliableBroadcast::new(me, ts.clone(), sender)))
+        .collect()
+}
+
+/// One consistent-broadcast instance as a simulator node; outputs the
+/// delivered payload.
+#[derive(Debug)]
+pub struct CbcNode {
+    cbc: ConsistentBroadcast,
+    rng: SeededRng,
+}
+
+impl CbcNode {
+    /// Wraps an instance with its nonce RNG.
+    pub fn new(cbc: ConsistentBroadcast, rng: SeededRng) -> Self {
+        CbcNode { cbc, rng }
+    }
+
+    /// Read access to the instance.
+    pub fn instance(&self) -> &ConsistentBroadcast {
+        &self.cbc
+    }
+}
+
+impl Protocol for CbcNode {
+    type Message = CbcMessage;
+    type Input = Vec<u8>;
+    type Output = Vec<u8>;
+
+    fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<CbcMessage, Vec<u8>>) {
+        let mut out = Vec::new();
+        self.cbc.broadcast(input, &mut out);
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: CbcMessage,
+        fx: &mut Effects<CbcMessage, Vec<u8>>,
+    ) {
+        let mut out = Vec::new();
+        if let Some(v) = self.cbc.on_message(from, msg, &mut self.rng, &mut out) {
+            fx.output(v.payload);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+}
+
+/// Builds `n` connected [`CbcNode`]s for one broadcast from `sender`.
+pub fn cbc_nodes(n: usize, t: usize, sender: PartyId, seed: u64) -> Vec<CbcNode> {
+    let ts = TrustStructure::threshold(n, t).expect("valid (n, t)");
+    let mut rng = SeededRng::new(seed);
+    let (public, bundles) = Dealer::deal(&ts, &mut rng);
+    contexts(public, bundles, seed)
+        .into_iter()
+        .map(|c| {
+            CbcNode::new(
+                ConsistentBroadcast::new(
+                    Tag::root("cbc"),
+                    sender,
+                    Arc::new(c.public().clone()),
+                    Arc::new(c.bundle().clone()),
+                ),
+                c.rng.clone(),
+            )
+        })
+        .collect()
+}
+
+/// One unbiased binary-agreement instance as a simulator node.
+#[derive(Debug)]
+pub struct AbbaNode {
+    abba: Abba<()>,
+    rng: SeededRng,
+}
+
+impl AbbaNode {
+    /// Wraps an instance with its nonce RNG.
+    pub fn new(abba: Abba<()>, rng: SeededRng) -> Self {
+        AbbaNode { abba, rng }
+    }
+
+    /// Read access to the instance.
+    pub fn instance(&self) -> &Abba<()> {
+        &self.abba
+    }
+}
+
+impl Protocol for AbbaNode {
+    type Message = AbbaMessage<()>;
+    type Input = bool;
+    type Output = bool;
+
+    fn on_input(&mut self, input: bool, fx: &mut Effects<AbbaMessage<()>, bool>) {
+        let mut out = Vec::new();
+        if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
+            fx.output(d);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: AbbaMessage<()>,
+        fx: &mut Effects<AbbaMessage<()>, bool>,
+    ) {
+        let mut out = Vec::new();
+        if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
+            fx.output(d);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+}
+
+/// Builds `n` connected [`AbbaNode`]s for one agreement instance.
+pub fn abba_nodes(n: usize, t: usize, seed: u64) -> Vec<AbbaNode> {
+    let ts = TrustStructure::threshold(n, t).expect("valid (n, t)");
+    let mut rng = SeededRng::new(seed);
+    let (public, bundles) = Dealer::deal(&ts, &mut rng);
+    contexts(public, bundles, seed)
+        .into_iter()
+        .map(|c| {
+            AbbaNode::new(
+                Abba::new(
+                    Tag::root("abba"),
+                    Arc::new(c.public().clone()),
+                    Arc::new(c.bundle().clone()),
+                ),
+                c.rng.clone(),
+            )
+        })
+        .collect()
+}
+
+/// One multi-valued agreement instance as a simulator node.
+#[derive(Debug)]
+pub struct MvbaNode {
+    mvba: Mvba,
+    rng: SeededRng,
+}
+
+impl MvbaNode {
+    /// Wraps an instance with its nonce RNG.
+    pub fn new(mvba: Mvba, rng: SeededRng) -> Self {
+        MvbaNode { mvba, rng }
+    }
+
+    /// Read access to the instance.
+    pub fn instance(&self) -> &Mvba {
+        &self.mvba
+    }
+}
+
+impl Protocol for MvbaNode {
+    type Message = MvbaMessage;
+    type Input = Vec<u8>;
+    type Output = Vec<u8>;
+
+    fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
+        let mut out = Vec::new();
+        if let Some(d) = self.mvba.propose(input, &mut self.rng, &mut out) {
+            fx.output(d);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: MvbaMessage,
+        fx: &mut Effects<MvbaMessage, Vec<u8>>,
+    ) {
+        let mut out = Vec::new();
+        if let Some(d) = self.mvba.on_message(from, msg, &mut self.rng, &mut out) {
+            fx.output(d);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+}
+
+/// Builds `n` connected [`MvbaNode`]s under `predicate`.
+pub fn mvba_nodes(n: usize, t: usize, seed: u64, predicate: ValidityPredicate) -> Vec<MvbaNode> {
+    let ts = TrustStructure::threshold(n, t).expect("valid (n, t)");
+    let mut rng = SeededRng::new(seed);
+    let (public, bundles) = Dealer::deal(&ts, &mut rng);
+    contexts(public, bundles, seed)
+        .into_iter()
+        .map(|c| {
+            MvbaNode::new(
+                Mvba::new(
+                    Tag::root("mvba"),
+                    Arc::new(c.public().clone()),
+                    Arc::new(c.bundle().clone()),
+                    Arc::clone(&predicate),
+                ),
+                c.rng.clone(),
+            )
+        })
+        .collect()
+}

@@ -402,12 +402,8 @@ impl OptimisticBroadcast {
                 self.on_complain(from, epoch, share, rng, out);
                 Vec::new()
             }
-            OptMessage::Report { epoch, report } => {
-                self.on_report(from, epoch, report, rng, out)
-            }
-            OptMessage::Change { epoch, inner } => {
-                self.on_change(from, epoch, inner, rng, out)
-            }
+            OptMessage::Report { epoch, report } => self.on_report(from, epoch, report, rng, out),
+            OptMessage::Change { epoch, inner } => self.on_change(from, epoch, inner, rng, out),
         }
     }
 
@@ -494,7 +490,11 @@ impl OptimisticBroadcast {
         // party per slot, so corrupted parties cannot stall the timer).
         self.ticks_since_progress = 0;
         let shares = shares.clone();
-        if let Ok(cert) = self.public.signing().combine(&msg, &shares, QuorumRule::Strong) {
+        if let Ok(cert) = self
+            .public
+            .signing()
+            .combine(&msg, &shares, QuorumRule::Strong)
+        {
             let slot = self.slots.entry((epoch, seq)).or_default();
             slot.prepared = Some((d, cert));
             self.ticks_since_progress = 0;
@@ -545,7 +545,11 @@ impl OptimisticBroadcast {
         shares.push(share);
         self.ticks_since_progress = 0;
         let shares = shares.clone();
-        if let Ok(cert) = self.public.signing().combine(&msg, &shares, QuorumRule::Strong) {
+        if let Ok(cert) = self
+            .public
+            .signing()
+            .combine(&msg, &shares, QuorumRule::Strong)
+        {
             let payload = self
                 .slots
                 .get(&(epoch, seq))
@@ -589,7 +593,11 @@ impl OptimisticBroadcast {
             return Vec::new();
         }
         let msg = self.commit_msg(epoch, seq, &d);
-        if !self.public.signing().verify(&msg, &cert, QuorumRule::Strong) {
+        if !self
+            .public
+            .signing()
+            .verify(&msg, &cert, QuorumRule::Strong)
+        {
             return Vec::new();
         }
         self.ready.insert(seq, (epoch, d, cert, payload));
@@ -1054,7 +1062,12 @@ impl Protocol for OptNode {
         }
     }
 
-    fn on_message(&mut self, from: PartyId, msg: OptMessage, fx: &mut Effects<OptMessage, OptDeliver>) {
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: OptMessage,
+        fx: &mut Effects<OptMessage, OptDeliver>,
+    ) {
         let mut out = Vec::new();
         for d in self.opt.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
@@ -1112,7 +1125,10 @@ mod tests {
         opt_nodes(public, bundles, timeout, seed)
     }
 
-    fn payloads(sim: &Simulation<OptNode, impl sintra_net::sim::Scheduler<OptMessage>>, p: usize) -> Vec<Vec<u8>> {
+    fn payloads(
+        sim: &Simulation<OptNode, impl sintra_net::sim::Scheduler<OptMessage>>,
+        p: usize,
+    ) -> Vec<Vec<u8>> {
         sim.outputs(p).iter().map(|d| d.payload.clone()).collect()
     }
 
@@ -1165,7 +1181,11 @@ mod tests {
         sim.input(1, b"survives".to_vec());
         sim.run_until_quiet(50_000_000);
         let reference = payloads(&sim, 1);
-        assert_eq!(reference, vec![b"survives".to_vec()], "delivered after fallback");
+        assert_eq!(
+            reference,
+            vec![b"survives".to_vec()],
+            "delivered after fallback"
+        );
         for p in 2..4 {
             assert_eq!(payloads(&sim, p), reference, "party {p}");
         }
@@ -1193,9 +1213,30 @@ mod tests {
                     if !fired {
                         fired = true;
                         return vec![
-                            (1, OptMessage::Propose { epoch: 0, seq: 0, payload: b"fork-A".to_vec() }),
-                            (2, OptMessage::Propose { epoch: 0, seq: 0, payload: b"fork-A".to_vec() }),
-                            (3, OptMessage::Propose { epoch: 0, seq: 0, payload: b"fork-B".to_vec() }),
+                            (
+                                1,
+                                OptMessage::Propose {
+                                    epoch: 0,
+                                    seq: 0,
+                                    payload: b"fork-A".to_vec(),
+                                },
+                            ),
+                            (
+                                2,
+                                OptMessage::Propose {
+                                    epoch: 0,
+                                    seq: 0,
+                                    payload: b"fork-A".to_vec(),
+                                },
+                            ),
+                            (
+                                3,
+                                OptMessage::Propose {
+                                    epoch: 0,
+                                    seq: 0,
+                                    payload: b"fork-B".to_vec(),
+                                },
+                            ),
                         ];
                     }
                 }
@@ -1289,9 +1330,10 @@ mod tests {
             sig: Signature::from_bytes(&[0u8; 64]),
         };
         let content = encode_report_content(&report);
-        report.sig = bundles[2]
-            .auth_key()
-            .sign(&tag.message(&[b"report", &0u64.to_be_bytes(), &content]), &mut rng);
+        report.sig = bundles[2].auth_key().sign(
+            &tag.message(&[b"report", &0u64.to_be_bytes(), &content]),
+            &mut rng,
+        );
         let encoded = encode_report(&report);
         let decoded = decode_report(&encoded).unwrap();
         assert_eq!(decoded.party, 2);

@@ -49,6 +49,10 @@ pub struct ReliableBroadcast {
     echoed: bool,
     ready_sent: bool,
     delivered: bool,
+    /// Parties whose (first) echo has been counted, across all digests.
+    echo_voters: PartySet,
+    /// Parties whose (first) ready has been counted, across all digests.
+    ready_voters: PartySet,
     /// Echo voters per payload digest.
     echoes: HashMap<Digest, (PartySet, Vec<u8>)>,
     /// Ready voters per payload digest.
@@ -68,6 +72,8 @@ impl ReliableBroadcast {
             echoed: false,
             ready_sent: false,
             delivered: false,
+            echo_voters: PartySet::new(),
+            ready_voters: PartySet::new(),
             echoes: HashMap::new(),
             readys: HashMap::new(),
         }
@@ -96,6 +102,9 @@ impl ReliableBroadcast {
         msg: RbcMessage,
         out: &mut Outbox<RbcMessage>,
     ) -> Option<Vec<u8>> {
+        if from >= self.n {
+            return None; // out-of-range sender
+        }
         match msg {
             RbcMessage::Send(payload) => {
                 if from != self.sender || self.seen_send {
@@ -109,6 +118,13 @@ impl ReliableBroadcast {
                 None
             }
             RbcMessage::Echo(payload) => {
+                // Only a party's first echo counts, across *all* digests:
+                // this is what the quorum argument assumes, and it bounds
+                // `echoes` to at most `n` entries against a Byzantine
+                // party flooding distinct payloads.
+                if !self.echo_voters.insert(from) {
+                    return None;
+                }
                 let d = digest(&payload);
                 let entry = self
                     .echoes
@@ -124,6 +140,10 @@ impl ReliableBroadcast {
                 None
             }
             RbcMessage::Ready(payload) => {
+                // First ready per party, across all digests (see Echo).
+                if !self.ready_voters.insert(from) {
+                    return None;
+                }
                 let d = digest(&payload);
                 let entry = self
                     .readys
@@ -150,7 +170,8 @@ impl ReliableBroadcast {
     }
 
     /// Number of distinct payload digests for which echo state exists
-    /// (observability for tests).
+    /// (observability for tests). Bounded by `n`: only a party's first
+    /// echo is counted, so each party can open at most one entry.
     pub fn echo_candidates(&self) -> usize {
         self.echoes.len()
     }
@@ -184,7 +205,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: PartyId, msg: RbcMessage, fx: &mut Effects<RbcMessage, Vec<u8>>) {
+        fn on_message(
+            &mut self,
+            from: PartyId,
+            msg: RbcMessage,
+            fx: &mut Effects<RbcMessage, Vec<u8>>,
+        ) {
             let mut out = Vec::new();
             if let Some(delivered) = self.rbc.on_message(from, msg, &mut out) {
                 fx.output(delivered);
@@ -269,10 +295,19 @@ mod tests {
             // Input = a (from, msg) pair injected by the environment.
             type Input = (PartyId, RbcMessage);
             type Output = Vec<u8>;
-            fn on_input(&mut self, (from, msg): (PartyId, RbcMessage), fx: &mut Effects<RbcMessage, Vec<u8>>) {
+            fn on_input(
+                &mut self,
+                (from, msg): (PartyId, RbcMessage),
+                fx: &mut Effects<RbcMessage, Vec<u8>>,
+            ) {
                 self.on_message(from, msg, fx);
             }
-            fn on_message(&mut self, from: PartyId, msg: RbcMessage, fx: &mut Effects<RbcMessage, Vec<u8>>) {
+            fn on_message(
+                &mut self,
+                from: PartyId,
+                msg: RbcMessage,
+                fx: &mut Effects<RbcMessage, Vec<u8>>,
+            ) {
                 let mut out = Vec::new();
                 if let Some(d) = self.rbc.on_message(from, msg, &mut out) {
                     fx.output(d);
@@ -290,10 +325,10 @@ mod tests {
             .collect();
         let mut sim = Simulation::new(wrappers, RandomScheduler, seed);
         sim.corrupt(0, Behavior::Crash); // sender sends nothing further
-        // The equivocating Sends, injected as if they came from party 0,
-        // plus the Byzantine sender's own echoes/readys pushing "B" so
-        // that delivery is reachable (2 honest echoes + the corrupt one
-        // form a core quorum).
+                                         // The equivocating Sends, injected as if they came from party 0,
+                                         // plus the Byzantine sender's own echoes/readys pushing "B" so
+                                         // that delivery is reachable (2 honest echoes + the corrupt one
+                                         // form a core quorum).
         sim.input(1, (0, RbcMessage::Send(b"A".to_vec())));
         sim.input(2, (0, RbcMessage::Send(b"B".to_vec())));
         sim.input(3, (0, RbcMessage::Send(b"B".to_vec())));
@@ -318,7 +353,9 @@ mod tests {
         let mut rbc = ReliableBroadcast::new(1, ts, 0);
         let mut out = Vec::new();
         // Send from the wrong party: ignored, no echo.
-        assert!(rbc.on_message(2, RbcMessage::Send(b"x".to_vec()), &mut out).is_none());
+        assert!(rbc
+            .on_message(2, RbcMessage::Send(b"x".to_vec()), &mut out)
+            .is_none());
         assert!(out.is_empty());
         // First Send from the real sender: echo.
         rbc.on_message(0, RbcMessage::Send(b"x".to_vec()), &mut out);
@@ -335,14 +372,37 @@ mod tests {
         let mut rbc = ReliableBroadcast::new(1, ts, 0);
         let mut out = Vec::new();
         // Feed 2 readys (2t+1 = 3 required): no delivery.
-        assert!(rbc.on_message(2, RbcMessage::Ready(b"m".to_vec()), &mut out).is_none());
-        assert!(rbc.on_message(3, RbcMessage::Ready(b"m".to_vec()), &mut out).is_none());
+        assert!(rbc
+            .on_message(2, RbcMessage::Ready(b"m".to_vec()), &mut out)
+            .is_none());
+        assert!(rbc
+            .on_message(3, RbcMessage::Ready(b"m".to_vec()), &mut out)
+            .is_none());
         // Third ready delivers.
         let d = rbc.on_message(0, RbcMessage::Ready(b"m".to_vec()), &mut out);
         assert_eq!(d, Some(b"m".to_vec()));
         // Redelivery suppressed.
         let again = rbc.on_message(1, RbcMessage::Ready(b"m".to_vec()), &mut out);
         assert!(again.is_none());
+    }
+
+    #[test]
+    fn echo_state_bounded_under_digest_flood() {
+        let ts = sintra_adversary::structure::TrustStructure::threshold(4, 1).unwrap();
+        let mut rbc = ReliableBroadcast::new(1, ts, 0);
+        let mut out = Vec::new();
+        // A Byzantine party floods echoes/readys for distinct payloads;
+        // only its first of each kind opens state.
+        for i in 0..100u32 {
+            let payload = i.to_be_bytes().to_vec();
+            rbc.on_message(2, RbcMessage::Echo(payload.clone()), &mut out);
+            rbc.on_message(2, RbcMessage::Ready(payload), &mut out);
+        }
+        assert_eq!(rbc.echo_candidates(), 1, "first echo per party counts");
+        // Out-of-range senders are rejected outright.
+        assert!(rbc
+            .on_message(9, RbcMessage::Ready(b"x".to_vec()), &mut out)
+            .is_none());
     }
 
     #[test]

@@ -291,7 +291,11 @@ impl Protocol for ScabcNode {
     type Input = (Vec<u8>, Vec<u8>);
     type Output = ScabcDeliver;
 
-    fn on_input(&mut self, (plaintext, label): (Vec<u8>, Vec<u8>), fx: &mut Effects<ScabcMessage, ScabcDeliver>) {
+    fn on_input(
+        &mut self,
+        (plaintext, label): (Vec<u8>, Vec<u8>),
+        fx: &mut Effects<ScabcMessage, ScabcDeliver>,
+    ) {
         let mut out = Vec::new();
         for d in self
             .scabc
@@ -304,7 +308,12 @@ impl Protocol for ScabcNode {
         }
     }
 
-    fn on_message(&mut self, from: PartyId, msg: ScabcMessage, fx: &mut Effects<ScabcMessage, ScabcDeliver>) {
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: ScabcMessage,
+        fx: &mut Effects<ScabcMessage, ScabcDeliver>,
+    ) {
         let mut out = Vec::new();
         for d in self.scabc.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
@@ -352,7 +361,10 @@ mod tests {
         scabc_nodes(public, bundles, seed)
     }
 
-    fn plaintexts(sim: &Simulation<ScabcNode, impl sintra_net::sim::Scheduler<ScabcMessage>>, p: usize) -> Vec<Vec<u8>> {
+    fn plaintexts(
+        sim: &Simulation<ScabcNode, impl sintra_net::sim::Scheduler<ScabcMessage>>,
+        p: usize,
+    ) -> Vec<Vec<u8>> {
         sim.outputs(p).iter().map(|d| d.plaintext.clone()).collect()
     }
 
@@ -362,7 +374,11 @@ mod tests {
         sim.input(0, (b"file patent 17".to_vec(), b"client-a".to_vec()));
         sim.run_until_quiet(50_000_000);
         for p in 0..4 {
-            assert_eq!(plaintexts(&sim, p), vec![b"file patent 17".to_vec()], "party {p}");
+            assert_eq!(
+                plaintexts(&sim, p),
+                vec![b"file patent 17".to_vec()],
+                "party {p}"
+            );
             assert_eq!(sim.outputs(p)[0].label, b"client-a".to_vec());
         }
     }
@@ -411,9 +427,9 @@ mod tests {
                 // Forward ABC traffic unchanged (keeps the protocol
                 // moving) but respond to any Share with garbage pushes.
                 match msg {
-                    ScabcMessage::Abc(inner) => {
-                        (0..4).map(|p| (p, ScabcMessage::Abc(inner.clone()))).collect()
-                    }
+                    ScabcMessage::Abc(inner) => (0..4)
+                        .map(|p| (p, ScabcMessage::Abc(inner.clone())))
+                        .collect(),
                     _ => vec![],
                 }
             })),
@@ -448,9 +464,7 @@ mod tests {
         for (_, msg) in &out {
             if let ScabcMessage::Abc(AbcMessage::Push(bytes)) = msg {
                 assert!(
-                    !bytes
-                        .windows(needle.len())
-                        .any(|w| w == needle),
+                    !bytes.windows(needle.len()).any(|w| w == needle),
                     "plaintext leaked into the broadcast payload"
                 );
             }

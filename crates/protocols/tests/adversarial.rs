@@ -40,7 +40,12 @@ impl Protocol for AbbaNode {
         }
     }
 
-    fn on_message(&mut self, from: usize, msg: Self::Message, fx: &mut Effects<Self::Message, bool>) {
+    fn on_message(
+        &mut self,
+        from: usize,
+        msg: Self::Message,
+        fx: &mut Effects<Self::Message, bool>,
+    ) {
         let mut out = Vec::new();
         if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
@@ -145,7 +150,15 @@ fn abc_byzantine_flood_of_stale_rounds() {
             match msg {
                 // Replay everything claiming an absurd round.
                 AbcMessage::Mvba { inner, .. } => (0..3)
-                    .map(|p| (p, AbcMessage::Mvba { round: 9999, inner: inner.clone() }))
+                    .map(|p| {
+                        (
+                            p,
+                            AbcMessage::Mvba {
+                                round: 9999,
+                                inner: inner.clone(),
+                            },
+                        )
+                    })
                     .collect(),
                 other => (0..3).map(|p| (p, other.clone())).collect(),
             }
@@ -180,7 +193,12 @@ fn rbc_on_generalized_structure_with_class_crash() {
                 fx.send(to, m);
             }
         }
-        fn on_message(&mut self, from: usize, msg: RbcMessage, fx: &mut Effects<RbcMessage, Vec<u8>>) {
+        fn on_message(
+            &mut self,
+            from: usize,
+            msg: RbcMessage,
+            fx: &mut Effects<RbcMessage, Vec<u8>>,
+        ) {
             let mut out = Vec::new();
             if let Some(d) = self.rbc.on_message(from, msg, &mut out) {
                 fx.output(d);
@@ -259,7 +277,12 @@ fn mvba_rejects_forged_vouchers_in_votes() {
                 fx.send(to, m);
             }
         }
-        fn on_message(&mut self, from: usize, msg: MvbaMessage, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
+        fn on_message(
+            &mut self,
+            from: usize,
+            msg: MvbaMessage,
+            fx: &mut Effects<MvbaMessage, Vec<u8>>,
+        ) {
             let mut out = Vec::new();
             if let Some(d) = self.mvba.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(d);
@@ -327,5 +350,9 @@ fn abba_decision_proofs_catch_up_late_party() {
     }
     // Party 3 never proposes — it still must decide via the proof.
     sim.run_until_quiet(10_000_000);
-    assert_eq!(sim.outputs(3).first(), Some(&true), "laggard decides via proof");
+    assert_eq!(
+        sim.outputs(3).first(),
+        Some(&true),
+        "laggard decides via proof"
+    );
 }

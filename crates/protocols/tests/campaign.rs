@@ -1,0 +1,344 @@
+//! Fault-injection campaign sweeps over the real protocol stack.
+//!
+//! Every core protocol (RBC, CBC, ABBA, MVBA, ABC) is swept across the
+//! scheduler × behavior × seed grid with one Byzantine party (n = 4,
+//! t = 1) and network duplication enabled, and its defining invariants
+//! are checked after every case: agreement/total order, liveness within
+//! a step budget, and (where applicable) external validity. The
+//! protocol-specific hooks live in `sintra_protocols::harness`; the grid
+//! here is the smoke subset — the full grid (more schedulers, more
+//! seeds) runs in release mode via the `campaign_soak` binary in
+//! `sintra-bench`.
+//!
+//! A deliberately broken protocol (delivery quorum lowered below the
+//! safety threshold) is also swept to prove the checker has teeth.
+
+use sintra_adversary::party::{PartyId, PartySet};
+use sintra_net::campaign::{
+    invariants, replay_case, run_campaign, BehaviorKind, CampaignHooks, CampaignPlan, CaseId,
+    SchedulerKind,
+};
+use sintra_net::faults;
+use sintra_net::protocol::{Effects, Protocol};
+use sintra_net::sim::{Behavior, RandomScheduler, Simulation};
+use sintra_protocols::harness::{
+    abba_hooks, abc_build, abc_hooks, abc_payloads, cbc_hooks, mvba_hooks, rbc_hooks, N, T,
+};
+use sintra_protocols::nodes::{abba_nodes, cbc_nodes, mvba_nodes, rbc_nodes, RbcNode};
+use sintra_protocols::rbc::RbcMessage;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The smoke grid: 3 schedulers × all 6 behaviors × 8 seeds, with
+/// duplication so every case also exercises idempotent delivery.
+fn plan(max_steps: u64) -> CampaignPlan {
+    CampaignPlan {
+        schedulers: vec![
+            SchedulerKind::Random,
+            SchedulerKind::Lifo,
+            SchedulerKind::Lossy {
+                drop_percent: 40,
+                budget: 32,
+            },
+        ],
+        behaviors: BehaviorKind::ALL.to_vec(),
+        corruption_sets: vec![PartySet::singleton(3)],
+        seeds: (0..8).collect(),
+        max_steps,
+        duplication_percent: 15,
+    }
+}
+
+#[test]
+fn campaign_rbc_full_grid() {
+    let report = run_campaign(&plan(500_000), &rbc_hooks());
+    assert_eq!(report.cases_run, 3 * 6 * 8);
+    assert!(report.passed(), "{}", report.summary());
+}
+
+#[test]
+fn campaign_cbc_full_grid() {
+    let report = run_campaign(&plan(500_000), &cbc_hooks());
+    assert_eq!(report.cases_run, 3 * 6 * 8);
+    assert!(report.passed(), "{}", report.summary());
+}
+
+#[test]
+fn campaign_abba_full_grid() {
+    let report = run_campaign(&plan(5_000_000), &abba_hooks());
+    assert_eq!(report.cases_run, 3 * 6 * 8);
+    assert!(report.passed(), "{}", report.summary());
+}
+
+#[test]
+fn campaign_mvba_full_grid() {
+    let report = run_campaign(&plan(20_000_000), &mvba_hooks());
+    assert_eq!(report.cases_run, 3 * 6 * 8);
+    assert!(report.passed(), "{}", report.summary());
+}
+
+#[test]
+fn campaign_abc_full_grid() {
+    let report = run_campaign(&plan(50_000_000), &abc_hooks());
+    assert_eq!(report.cases_run, 3 * 6 * 8);
+    assert!(report.passed(), "{}", report.summary());
+}
+
+// ------------------------------------------------ broken-protocol bait
+
+/// RBC with its delivery quorum deliberately lowered: delivers as soon
+/// as *two* parties (t + 1, a set coverable by one Byzantine party plus
+/// one slow echo) echoed a payload, skipping the ready stage entirely.
+/// An equivocating sender must split the honest parties — and the
+/// campaign checker must catch it.
+#[derive(Debug)]
+struct BrokenRbc {
+    me: PartyId,
+    n: usize,
+    sender: PartyId,
+    echoed: bool,
+    delivered: bool,
+    echoes: HashMap<Vec<u8>, PartySet>,
+}
+
+impl BrokenRbc {
+    fn new(me: PartyId, n: usize, sender: PartyId) -> Self {
+        BrokenRbc {
+            me,
+            n,
+            sender,
+            echoed: false,
+            delivered: false,
+            echoes: HashMap::new(),
+        }
+    }
+}
+
+impl Protocol for BrokenRbc {
+    type Message = RbcMessage;
+    type Input = Vec<u8>;
+    type Output = Vec<u8>;
+
+    fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
+        if self.me == self.sender {
+            fx.send_all(self.n, RbcMessage::Send(input));
+        } else {
+            // Kick: a corrupted sender's behavior only runs when traffic
+            // reaches it, so an honest party pokes it with a message the
+            // protocol ignores.
+            fx.send(self.sender, RbcMessage::Ready(input));
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: RbcMessage,
+        fx: &mut Effects<RbcMessage, Vec<u8>>,
+    ) {
+        match msg {
+            RbcMessage::Send(payload) => {
+                if from == self.sender && !self.echoed {
+                    self.echoed = true;
+                    fx.send_all(self.n, RbcMessage::Echo(payload));
+                }
+            }
+            RbcMessage::Echo(payload) => {
+                let voters = self.echoes.entry(payload.clone()).or_default();
+                voters.insert(from);
+                // BROKEN: t + 1 = 2 voters suffice (correct RBC needs a
+                // core quorum for the ready stage and a strong quorum to
+                // deliver).
+                if voters.len() >= 2 && !self.delivered {
+                    self.delivered = true;
+                    fx.output(payload);
+                }
+            }
+            RbcMessage::Ready(_) => {}
+        }
+    }
+}
+
+fn split_story(to: PartyId, m: RbcMessage) -> RbcMessage {
+    // Full equivocation: party 1 is told "left", everyone else "right".
+    let story = if to == 1 {
+        b"left".to_vec()
+    } else {
+        b"right".to_vec()
+    };
+    match m {
+        RbcMessage::Send(_) => RbcMessage::Send(story),
+        RbcMessage::Echo(_) => RbcMessage::Echo(story),
+        RbcMessage::Ready(_) => RbcMessage::Ready(story),
+    }
+}
+
+fn broken_hooks<'a>() -> CampaignHooks<'a, BrokenRbc> {
+    CampaignHooks {
+        nodes: Box::new(|_seed| (0..N).map(|me| BrokenRbc::new(me, N, 0)).collect()),
+        behavior: Box::new(|kind, party, seed| match kind {
+            BehaviorKind::Equivocate => faults::equivocator(
+                party,
+                BrokenRbc::new(party, N, 0),
+                Some(b"honest-looking".to_vec()),
+                |to, m, _| split_story(to, m),
+                seed,
+            ),
+            _ => Behavior::Crash,
+        }),
+        inputs: Box::new(|_seed, _corrupted| vec![(1, b"kick".to_vec())]),
+        check: Box::new(invariants::agreement),
+    }
+}
+
+/// [`RbcNode`] plus the same kick trick as [`BrokenRbc`]: a non-sender
+/// input pokes the (corrupted) sender so its behavior starts running.
+#[derive(Debug)]
+struct KickRbc {
+    node: RbcNode,
+    is_sender: bool,
+}
+
+impl Protocol for KickRbc {
+    type Message = RbcMessage;
+    type Input = Vec<u8>;
+    type Output = Vec<u8>;
+
+    fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
+        if self.is_sender {
+            self.node.on_input(input, fx);
+        } else {
+            fx.send(0, RbcMessage::Ready(input));
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: RbcMessage,
+        fx: &mut Effects<RbcMessage, Vec<u8>>,
+    ) {
+        self.node.on_message(from, msg, fx);
+    }
+}
+
+fn kick_rbc_nodes() -> Vec<KickRbc> {
+    rbc_nodes(N, T, 0)
+        .into_iter()
+        .enumerate()
+        .map(|(me, node)| KickRbc {
+            node,
+            is_sender: me == 0,
+        })
+        .collect()
+}
+
+#[test]
+fn broken_quorum_is_caught_by_the_checker() {
+    // The *sender* is Byzantine and equivocates; the lowered quorum lets
+    // a sender-plus-self echo pair deliver conflicting payloads.
+    let mut plan = plan(200_000);
+    plan.corruption_sets = vec![PartySet::singleton(0)];
+    plan.behaviors = vec![BehaviorKind::Equivocate];
+    let report = run_campaign(&plan, &broken_hooks());
+    assert!(
+        !report.passed(),
+        "a quorum lowered to t + 1 must split honest parties somewhere in the grid"
+    );
+    // The minimal failing seed replays to the same verdict.
+    let minimal = report.minimal_failure().expect("failure recorded").clone();
+    let outcome = replay_case(&plan, &broken_hooks(), &minimal.case);
+    assert!(
+        invariants::agreement(&outcome).is_err(),
+        "replay of {:?} must reproduce the violation",
+        minimal.case
+    );
+    // And the hardened RBC survives the identical attack schedule.
+    let fixed_case = CaseId {
+        scheduler: minimal.case.scheduler.clone(),
+        behavior: BehaviorKind::Equivocate,
+        corrupted: PartySet::singleton(0),
+        seed: minimal.case.seed,
+    };
+    let hooks = CampaignHooks::<KickRbc> {
+        nodes: Box::new(|_seed| kick_rbc_nodes()),
+        behavior: Box::new(|_kind, party, seed| {
+            faults::equivocator(
+                party,
+                kick_rbc_nodes().remove(party),
+                Some(b"honest-looking".to_vec()),
+                |to, m, _| split_story(to, m),
+                seed,
+            )
+        }),
+        inputs: Box::new(|_seed, _corrupted| vec![(1, b"kick".to_vec())]),
+        check: Box::new(invariants::agreement),
+    };
+    let outcome = replay_case(&plan, &hooks, &fixed_case);
+    assert!(
+        invariants::agreement(&outcome).is_ok(),
+        "hardened RBC must not split under the same schedule"
+    );
+}
+
+// ------------------------------------- idempotent delivery (satellite)
+
+/// Every protocol, honest-only, under heavy duplication: outputs must be
+/// exactly what a duplicate-free run yields (delivery is idempotent).
+#[test]
+fn idempotent_delivery_under_duplication() {
+    // RBC
+    let mut sim = Simulation::new(rbc_nodes(N, T, 0), RandomScheduler, 11);
+    sim.enable_duplication(80);
+    sim.input(0, b"dup-test".to_vec());
+    sim.run_until_quiet(500_000);
+    for p in 0..N {
+        assert_eq!(sim.outputs(p), &[b"dup-test".to_vec()], "rbc party {p}");
+    }
+    // CBC
+    let mut sim = Simulation::new(cbc_nodes(N, T, 0, 12), RandomScheduler, 12);
+    sim.enable_duplication(80);
+    sim.input(0, b"dup-test".to_vec());
+    sim.run_until_quiet(500_000);
+    for p in 0..N {
+        assert_eq!(sim.outputs(p), &[b"dup-test".to_vec()], "cbc party {p}");
+    }
+    // ABBA
+    let mut sim = Simulation::new(abba_nodes(N, T, 13), RandomScheduler, 13);
+    sim.enable_duplication(60);
+    for p in 0..N {
+        sim.input(p, true);
+    }
+    sim.run_until_quiet(5_000_000);
+    for p in 0..N {
+        assert_eq!(sim.outputs(p), &[true], "abba party {p} decides once");
+    }
+    // MVBA
+    let mut sim = Simulation::new(
+        mvba_nodes(N, T, 14, Arc::new(|_: &[u8]| true)),
+        RandomScheduler,
+        14,
+    );
+    sim.enable_duplication(60);
+    for p in 0..N {
+        sim.input(p, format!("v{p}").into_bytes());
+    }
+    sim.run_until_quiet(20_000_000);
+    let reference = sim.outputs(0).to_vec();
+    assert_eq!(reference.len(), 1, "mvba decides exactly once");
+    for p in 1..N {
+        assert_eq!(sim.outputs(p), reference.as_slice(), "mvba party {p}");
+    }
+    // ABC
+    let mut sim = Simulation::new(abc_build(15), RandomScheduler, 15);
+    sim.enable_duplication(60);
+    for p in 0..N {
+        sim.input(p, format!("m{p}").into_bytes());
+    }
+    sim.run_until_quiet(50_000_000);
+    let reference = abc_payloads(sim.outputs(0));
+    assert_eq!(reference.len(), N, "each payload ordered exactly once");
+    for p in 1..N {
+        assert_eq!(abc_payloads(sim.outputs(p)), reference, "abc party {p}");
+    }
+}

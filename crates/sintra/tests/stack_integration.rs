@@ -32,7 +32,11 @@ fn abc_on_example1_tolerates_whole_class_crash() {
     sim.input(8, b"from-d".to_vec());
     sim.run_until_quiet(500_000_000);
     let reference: Vec<_> = sim.outputs(4).to_vec();
-    assert_eq!(reference.len(), 3, "all requests ordered despite 4 of 9 down");
+    assert_eq!(
+        reference.len(),
+        3,
+        "all requests ordered despite 4 of 9 down"
+    );
     for p in 5..9 {
         assert_eq!(sim.outputs(p), reference.as_slice(), "server {p} agrees");
     }
@@ -107,7 +111,14 @@ fn abc_survives_partition_then_heals() {
     let (public, bundles) = dealt_system(4, 1, 107).unwrap();
     let nodes = abc_nodes(public, bundles, 107);
     let group: PartySet = [0, 1].into_iter().collect();
-    let mut sim = Simulation::new(nodes, PartitionScheduler { group, heal_at: 2000 }, 108);
+    let mut sim = Simulation::new(
+        nodes,
+        PartitionScheduler {
+            group,
+            heal_at: 2000,
+        },
+        108,
+    );
     sim.input(0, b"before-heal".to_vec());
     sim.run_until_quiet(500_000_000);
     for p in 0..4 {
@@ -146,7 +157,9 @@ fn equivocating_byzantine_cannot_split_order() {
     sim.run_until_quiet(500_000_000);
     let reference: Vec<_> = sim.outputs(0).to_vec();
     assert!(
-        reference.iter().any(|d| d.payload == b"honest-request".to_vec()),
+        reference
+            .iter()
+            .any(|d| d.payload == b"honest-request".to_vec()),
         "honest request delivered"
     );
     for p in 1..3 {
@@ -167,16 +180,22 @@ fn hybrid_structure_tolerates_byzantine_plus_crash() {
     let mut sim = Simulation::new(nodes, RandomScheduler, 302);
     sim.corrupt(
         5,
-        Behavior::Custom(Box::new(|_from, msg: sintra::protocols::abc::AbcMessage, _| {
-            (0..5).map(|p| (p, msg.clone())).collect()
-        })),
+        Behavior::Custom(Box::new(
+            |_from, msg: sintra::protocols::abc::AbcMessage, _| {
+                (0..5).map(|p| (p, msg.clone())).collect()
+            },
+        )),
     );
     sim.corrupt(4, Behavior::Crash);
     sim.input(0, b"hybrid-a".to_vec());
     sim.input(2, b"hybrid-b".to_vec());
     sim.run_until_quiet(500_000_000);
     let reference: Vec<_> = sim.outputs(0).to_vec();
-    assert_eq!(reference.len(), 2, "both requests ordered despite 1 byz + 1 crash");
+    assert_eq!(
+        reference.len(),
+        2,
+        "both requests ordered despite 1 byz + 1 crash"
+    );
     for p in 1..4 {
         assert_eq!(sim.outputs(p), reference.as_slice(), "server {p} agrees");
     }

@@ -14,10 +14,7 @@ fn atomic_broadcast_on_threads() {
     let n = 4;
     let (public, bundles) = dealt_system(n, 1, 201).unwrap();
     let nodes = abc_nodes(public, bundles, 201);
-    let inputs = vec![
-        (0, b"threaded-a".to_vec()),
-        (2, b"threaded-b".to_vec()),
-    ];
+    let inputs = vec![(0, b"threaded-a".to_vec()), (2, b"threaded-b".to_vec())];
     let report = run_threaded(
         nodes,
         inputs,

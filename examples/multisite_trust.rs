@@ -49,7 +49,10 @@ fn main() {
         dead.iter().collect::<Vec<_>>(),
         dead.len()
     );
-    assert!(structure.is_corruptible(&dead), "this corruption is within the structure");
+    assert!(
+        structure.is_corruptible(&dead),
+        "this corruption is within the structure"
+    );
     for p in dead.iter() {
         sim.corrupt(p, Behavior::Crash);
     }
@@ -57,17 +60,29 @@ fn main() {
     // The directory keeps accepting updates and serving lookups.
     // Clients reach surviving servers (0 = New York/AIX,
     // 1 = New York/Windows NT, 8 = Zurich/AIX).
-    sim.input(0, DirRequest::Update {
-        name: b"www.example.com".to_vec(),
-        value: b"192.0.2.10".to_vec(),
-    }.encode());
-    sim.input(1, DirRequest::Update {
-        name: b"mail.example.com".to_vec(),
-        value: b"192.0.2.20".to_vec(),
-    }.encode());
-    sim.input(8, DirRequest::Lookup {
-        name: b"www.example.com".to_vec(),
-    }.encode());
+    sim.input(
+        0,
+        DirRequest::Update {
+            name: b"www.example.com".to_vec(),
+            value: b"192.0.2.10".to_vec(),
+        }
+        .encode(),
+    );
+    sim.input(
+        1,
+        DirRequest::Update {
+            name: b"mail.example.com".to_vec(),
+            value: b"192.0.2.20".to_vec(),
+        }
+        .encode(),
+    );
+    sim.input(
+        8,
+        DirRequest::Lookup {
+            name: b"www.example.com".to_vec(),
+        }
+        .encode(),
+    );
     sim.run_until_quiet(500_000_000);
 
     let survivors: Vec<usize> = (0..16).filter(|p| !dead.contains(*p)).collect();
@@ -91,7 +106,10 @@ fn main() {
         reference.len()
     );
     for (seq, response) in &reference {
-        println!("  #{seq}: {}", String::from_utf8_lossy(&response[..response.len().min(40)]));
+        println!(
+            "  #{seq}: {}",
+            String::from_utf8_lossy(&response[..response.len().min(40)])
+        );
     }
     println!("\nseven simultaneous failures tolerated — beyond any threshold scheme ✓");
 }

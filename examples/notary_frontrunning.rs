@@ -54,8 +54,14 @@ fn leaks(msg: &AbcMessage, needle: &[u8]) -> bool {
         AbcMessage::Push(p) => contains(p, needle),
         AbcMessage::Queued { payload, .. } => contains(payload, needle),
         AbcMessage::Mvba { inner, .. } => match inner {
-            MvbaMessage::Proposal { inner: CbcMessage::Send(p), .. } => contains(p, needle),
-            MvbaMessage::Proposal { inner: CbcMessage::Final(p, _), .. } => contains(p, needle),
+            MvbaMessage::Proposal {
+                inner: CbcMessage::Send(p),
+                ..
+            } => contains(p, needle),
+            MvbaMessage::Proposal {
+                inner: CbcMessage::Final(p, _),
+                ..
+            } => contains(p, needle),
             MvbaMessage::Proposal { .. } | MvbaMessage::ElectCoin { .. } => false,
             MvbaMessage::Vote { inner, .. } => match inner {
                 AbbaMessage::PreVote(pv) => prevote_leaks(pv, needle),
@@ -182,8 +188,17 @@ fn main() {
     println!("registration went to: {holder_causal}\n");
 
     assert!(saw_plain, "cleartext requests leak in plain ABC");
-    assert_eq!(holder_plain, "mallory", "the rushing adversary front-runs plain ABC");
-    assert!(!saw_causal, "SC-ABC never exposes the plaintext before ordering");
-    assert_eq!(holder_causal, "alice", "input causality protects the first filer");
+    assert_eq!(
+        holder_plain, "mallory",
+        "the rushing adversary front-runs plain ABC"
+    );
+    assert!(
+        !saw_causal,
+        "SC-ABC never exposes the plaintext before ordering"
+    );
+    assert_eq!(
+        holder_causal, "alice",
+        "input causality protects the first filer"
+    );
     println!("front-running succeeds on plain ABC, is impossible under SC-ABC ✓");
 }

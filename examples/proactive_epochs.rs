@@ -38,15 +38,17 @@ fn main() {
     // Two stolen share sets — but from different epochs. Together they
     // would exceed t=1 if they combined. They do not:
     let mut shares = Vec::new();
-    if let Some(s) = stolen_epoch0
-        .decryption_key()
-        .decrypt_share(public.encryption(), &ciphertext, &mut rng)
+    if let Some(s) =
+        stolen_epoch0
+            .decryption_key()
+            .decrypt_share(public.encryption(), &ciphertext, &mut rng)
     {
         shares.push(s);
     }
-    if let Some(s) = stolen_epoch1
-        .decryption_key()
-        .decrypt_share(public.encryption(), &ciphertext, &mut rng)
+    if let Some(s) =
+        stolen_epoch1
+            .decryption_key()
+            .decrypt_share(public.encryption(), &ciphertext, &mut rng)
     {
         shares.push(s);
     }

@@ -14,7 +14,10 @@ fn main() {
     // 1. The trusted dealer provisions a 4-server system tolerating one
     //    Byzantine corruption (n > 3t).
     let (public, bundles) = dealt_system(4, 1, 7).expect("valid parameters");
-    println!("dealt a {}-server system, tolerating t=1 Byzantine corruption", public.n());
+    println!(
+        "dealt a {}-server system, tolerating t=1 Byzantine corruption",
+        public.n()
+    );
 
     // 2. Stand the servers up under a deliberately hostile network: the
     //    LIFO scheduler maximally reorders messages, and server 3 is
@@ -41,7 +44,12 @@ fn main() {
     for p in 0..3 {
         println!("server {p} delivered, in order:");
         for d in sim.outputs(p) {
-            println!("  #{} (proposed by server {}): {}", d.seq, d.origin, String::from_utf8_lossy(&d.payload));
+            println!(
+                "  #{} (proposed by server {}): {}",
+                d.seq,
+                d.origin,
+                String::from_utf8_lossy(&d.payload)
+            );
         }
     }
 

@@ -1,0 +1,6 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace declares a dependency on `bytes` for future wire-format
+//! work, but no APIs are exercised yet. This vendored stub keeps the
+//! dependency graph resolvable without network access; replace it with
+//! the real crate when a registry is available.

@@ -1,0 +1,148 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset used by this workspace's benches
+//! (`bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`). Instead of
+//! statistical sampling it runs each routine a handful of times and
+//! prints the mean wall-clock duration — enough to spot gross
+//! regressions offline. Swap in the real crate for publishable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a parameterized benchmark (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording total wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup to fault in caches/allocations.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            let _ = routine();
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iterations > 0 {
+        b.elapsed / b.iterations as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {label:<48} {per_iter:>12.2?}/iter ({} iters)",
+        b.iterations
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` may execute harness-free bench binaries with
+        // `--test`; keep runs short there.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            iterations: if test_mode { 1 } else { 3 },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.iterations, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is
+    /// fixed and deliberately small.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.criterion.iterations, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&label, self.criterion.iterations, &mut wrapped);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses:
+//! the [`RngCore`] trait (implemented by `sintra_crypto::rng::SeededRng`)
+//! and the [`Rng`] extension trait with `gen_range` over half-open
+//! integer ranges.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type for fallible RNG operations (never produced by this
+/// workspace's generators).
+pub struct Error;
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rand::Error")
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rand::Error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-number-generator interface (rand 0.8 shape).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    fn from_u64(v: u64) -> Self;
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "cannot sample from empty range");
+        let span = hi - lo;
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return T::from_u64(lo + v % span);
+            }
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

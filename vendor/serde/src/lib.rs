@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on message types in
+//! anticipation of a real wire format but never *calls* any
+//! serialization API, so marker traits with blanket implementations
+//! (plus no-op derives) satisfy every use site. Swap in the real crate
+//! when a registry is reachable; the derive attributes in the codebase
+//! are already the real crate's syntax.
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
