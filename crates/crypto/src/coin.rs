@@ -59,9 +59,20 @@ impl CoinShare {
     }
 
     /// Serialized size estimate in bytes (party id + per-component leaf
-    /// id, group element, and Chaum-Pedersen proof).
+    /// id, group element, and commitment-form Chaum-Pedersen proof).
     pub fn size_bytes(&self) -> usize {
-        4 + self.elements.len() * (8 + 32 + 64)
+        4 + self.elements.len() * (8 + 32 + 96)
+    }
+
+    /// Fault-injection helper: perturbs every share element (squaring it
+    /// in the group) so the attached Chaum-Pedersen proofs no longer
+    /// verify, while the party id and leaf layout stay structurally
+    /// valid. Adversarial behaviors use this to exercise the
+    /// batch-verification fallback and culprit attribution.
+    pub fn tamper(&mut self) {
+        for (_leaf, element, _proof) in &mut self.elements {
+            *element = element.exp(&Scalar::from_u64(2));
+        }
     }
 }
 
@@ -124,26 +135,83 @@ impl CoinScheme {
         }
     }
 
+    /// Structural validity: the party is in range and the share carries
+    /// exactly its leaves, in layout order (no proof checks).
+    fn share_layout_ok(&self, share: &CoinShare) -> bool {
+        if share.party >= self.scheme.n() {
+            return false;
+        }
+        let expected = self.scheme.leaves_by_party(share.party);
+        expected.len() == share.elements.len()
+            && share
+                .elements
+                .iter()
+                .zip(expected)
+                .all(|((leaf, _, _), expected_leaf)| leaf == expected_leaf)
+    }
+
     /// Verifies a coin share: party must own each component leaf and each
     /// element must carry a valid equality proof against the
     /// corresponding verification key.
     pub fn verify_share(&self, name: &[u8], share: &CoinShare) -> bool {
-        let expected: Vec<LeafId> = self.scheme.leaves_of(share.party);
-        if expected.len() != share.elements.len() {
+        if !self.share_layout_ok(share) {
             return false;
         }
         let g = GroupElement::generator();
         let g_hat = coin_base(name);
-        for ((leaf, element, proof), expected_leaf) in share.elements.iter().zip(expected) {
-            if *leaf != expected_leaf {
-                return false;
+        share.elements.iter().all(|(leaf, element, proof)| {
+            proof.verify(DLEQ_DOMAIN, &g, &self.verification[*leaf], &g_hat, element)
+        })
+    }
+
+    /// Batch-verifies a quorum of coin shares: all Chaum-Pedersen
+    /// equations (across every element of every share) are folded into
+    /// one random-linear-combination multi-exponentiation via
+    /// [`crate::dleq::batch_verify`] — the quorum-time fast path that
+    /// replaces per-arrival share verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the attributed culprits: parties whose share is
+    /// structurally malformed or (determined by per-share fallback when
+    /// the batch equation fails) carries an invalid proof. Honest
+    /// senders are never blamed.
+    pub fn verify_shares(
+        &self,
+        name: &[u8],
+        shares: &[CoinShare],
+        rng: &mut SeededRng,
+    ) -> Result<(), Vec<PartyId>> {
+        let g = GroupElement::generator();
+        let g_hat = coin_base(name);
+        let mut culprits: Vec<PartyId> = Vec::new();
+        let mut statements = Vec::new();
+        let mut batched: Vec<&CoinShare> = Vec::new();
+        for share in shares {
+            if !self.share_layout_ok(share) {
+                culprits.push(share.party);
+                continue;
             }
-            let vk = &self.verification[*leaf];
-            if !proof.verify(DLEQ_DOMAIN, &g, vk, &g_hat, element) {
-                return false;
+            for (leaf, element, proof) in &share.elements {
+                statements.push((self.verification[*leaf], *element, *proof));
             }
+            batched.push(share);
         }
-        true
+        if !crate::dleq::batch_verify(DLEQ_DOMAIN, &g, &g_hat, &statements, rng) {
+            culprits.extend(
+                batched
+                    .iter()
+                    .filter(|s| !self.verify_share(name, s))
+                    .map(|s| s.party),
+            );
+        }
+        if culprits.is_empty() {
+            Ok(())
+        } else {
+            culprits.sort_unstable();
+            culprits.dedup();
+            Err(culprits)
+        }
     }
 
     /// Combines verified shares into the coin value.
@@ -153,10 +221,24 @@ impl CoinScheme {
     /// re-checked here for defence in depth. Returns `None` if the share
     /// holders do not form a qualified set.
     pub fn combine(&self, name: &[u8], shares: &[CoinShare]) -> Option<CoinValue> {
+        let verified: Vec<CoinShare> = shares
+            .iter()
+            .filter(|s| self.verify_share(name, s))
+            .cloned()
+            .collect();
+        self.combine_preverified(name, &verified)
+    }
+
+    /// Combines shares the caller already verified (individually or via
+    /// [`verify_shares`](Self::verify_shares)) without re-checking their
+    /// proofs — the protocol-layer fast path. Structurally malformed
+    /// shares are still dropped. Returns `None` if the share holders do
+    /// not form a qualified set.
+    pub fn combine_preverified(&self, name: &[u8], shares: &[CoinShare]) -> Option<CoinValue> {
         let mut holders = PartySet::new();
         let mut elements: BTreeMap<LeafId, GroupElement> = BTreeMap::new();
         for share in shares {
-            if !self.verify_share(name, share) {
+            if !self.share_layout_ok(share) {
                 continue;
             }
             holders.insert(share.party);
@@ -336,6 +418,52 @@ mod tests {
             .map(|p| keys[*p].share(b"c", &mut rng))
             .collect();
         assert_eq!(coin.combine(b"c", &shares2), Some(v1));
+    }
+
+    #[test]
+    fn verify_shares_accepts_honest_quorum() {
+        let (coin, keys, mut rng) = threshold_setup(10, 3, 20);
+        let shares: Vec<CoinShare> = keys.iter().map(|k| k.share(b"c", &mut rng)).collect();
+        assert_eq!(coin.verify_shares(b"c", &shares, &mut rng), Ok(()));
+        assert_eq!(coin.verify_shares(b"c", &shares[..1], &mut rng), Ok(()));
+        assert_eq!(coin.verify_shares(b"c", &[], &mut rng), Ok(()));
+    }
+
+    #[test]
+    fn verify_shares_attributes_corrupted_share() {
+        let (coin, keys, mut rng) = threshold_setup(10, 3, 21);
+        let mut shares: Vec<CoinShare> = keys.iter().map(|k| k.share(b"c", &mut rng)).collect();
+        // Party 2's element is swapped out, party 6 proves for the wrong
+        // coin name, party 8's layout is truncated.
+        shares[2].elements[0].1 = GroupElement::generator();
+        shares[6] = keys[6].share(b"other", &mut rng);
+        shares[8].elements.clear();
+        assert_eq!(
+            coin.verify_shares(b"c", &shares, &mut rng),
+            Err(vec![2, 6, 8])
+        );
+    }
+
+    #[test]
+    fn combine_preverified_matches_defensive_combine() {
+        let (coin, keys, mut rng) = threshold_setup(7, 2, 22);
+        let shares: Vec<CoinShare> = keys[..3].iter().map(|k| k.share(b"c", &mut rng)).collect();
+        let defensive = coin.combine(b"c", &shares).unwrap();
+        let fast = coin.combine_preverified(b"c", &shares).unwrap();
+        assert_eq!(defensive, fast);
+        assert!(coin.combine_preverified(b"c", &shares[..1]).is_none());
+    }
+
+    #[test]
+    fn generalized_structure_batch_verify() {
+        let ts = example1().unwrap();
+        let scheme = SharingScheme::new(ts.sharing_formula());
+        let mut rng = SeededRng::new(23);
+        let (coin, keys) = deal_coin(&scheme, &mut rng);
+        let mut shares: Vec<CoinShare> = keys.iter().map(|k| k.share(b"c", &mut rng)).collect();
+        assert_eq!(coin.verify_shares(b"c", &shares, &mut rng), Ok(()));
+        shares[5].elements[0].1 = GroupElement::generator_h();
+        assert_eq!(coin.verify_shares(b"c", &shares, &mut rng), Err(vec![5]));
     }
 
     #[test]

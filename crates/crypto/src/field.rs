@@ -82,7 +82,7 @@ macro_rules! define_field {
     (
         $(#[$doc:meta])*
         $name:ident, modulus = $modulus:expr, n0inv = $n0inv:expr,
-        r1 = $r1:expr, r2 = $r2:expr
+        r1 = $r1:expr, r2 = $r2:expr, inv_exp = $inv_exp:expr
     ) => {
         $(#[$doc])*
         #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -169,29 +169,87 @@ macro_rules! define_field {
                 self.mul(self)
             }
 
-            /// Exponentiation by an arbitrary 256-bit integer exponent.
+            /// The precomputed inversion exponent `modulus - 2`.
+            pub const INV_EXP: U256 = $inv_exp;
+
+            /// Exponentiation by an arbitrary 256-bit integer exponent,
+            /// using a width-4 sliding window over an odd-power table
+            /// (8 precomputed entries, ~256 squarings + ~51 multiplies
+            /// for a full-width exponent instead of ~128 multiplies).
             pub fn pow(&self, exp: &U256) -> Self {
-                let mut result = Self::ONE;
                 let bits = exp.bit_len();
-                for i in (0..bits).rev() {
-                    result = result.square();
-                    if exp.bit(i) {
-                        result = result.mul(self);
+                if bits == 0 {
+                    return Self::ONE;
+                }
+                // Odd powers self^1, self^3, ..., self^15.
+                let sq = self.square();
+                let mut odd = [*self; 8];
+                for i in 1..8 {
+                    odd[i] = odd[i - 1].mul(&sq);
+                }
+                let mut result = Self::ONE;
+                let mut i = bits as isize - 1;
+                while i >= 0 {
+                    if !exp.bit(i as usize) {
+                        result = result.square();
+                        i -= 1;
+                        continue;
                     }
+                    // Widest window (<= 4 bits) ending on a set bit.
+                    let mut k = if i >= 3 { i - 3 } else { 0 };
+                    while !exp.bit(k as usize) {
+                        k += 1;
+                    }
+                    let mut val = 0usize;
+                    for b in (k..=i).rev() {
+                        result = result.square();
+                        val = (val << 1) | exp.bit(b as usize) as usize;
+                    }
+                    result = result.mul(&odd[val >> 1]);
+                    i = k - 1;
                 }
                 result
             }
 
             /// Multiplicative inverse via Fermat's little theorem
-            /// (the modulus is prime).
+            /// (the modulus is prime), using the precomputed exponent
+            /// [`Self::INV_EXP`].
             ///
             /// Returns `None` for zero.
             pub fn invert(&self) -> Option<Self> {
                 if self.is_zero() {
                     return None;
                 }
-                let (exp, _) = $modulus.overflowing_sub(&U256::from_u64(2));
-                Some(self.pow(&exp))
+                Some(self.pow(&Self::INV_EXP))
+            }
+
+            /// Inverts every element of the slice in place with
+            /// Montgomery's batch-inversion trick: one field inversion
+            /// plus `3(n-1)` multiplications instead of `n` inversions.
+            ///
+            /// Returns `false` and leaves the slice untouched if any
+            /// element is zero.
+            pub fn batch_invert(elems: &mut [Self]) -> bool {
+                if elems.iter().any(|e| e.is_zero()) {
+                    return false;
+                }
+                // prefix[i] = product of elems[..i].
+                let mut prefix = Vec::with_capacity(elems.len());
+                let mut acc = Self::ONE;
+                for e in elems.iter() {
+                    prefix.push(acc);
+                    acc = acc.mul(e);
+                }
+                let mut inv = match acc.invert() {
+                    Some(i) => i,
+                    None => return false,
+                };
+                for (e, p) in elems.iter_mut().zip(prefix).rev() {
+                    let orig = *e;
+                    *e = inv.mul(&p);
+                    inv = inv.mul(&orig);
+                }
+                true
             }
         }
 
@@ -282,6 +340,12 @@ define_field!(
         0x5469258b3d0b9fd3,
         0x42378be77d9b7a8b,
         0x169a50bb578d21ed,
+    ]),
+    inv_exp = U256::from_limbs([
+        0x790f978549c8c24d,
+        0x34f17ded4ba95a60,
+        0xeb409d67747a6275,
+        0xb7e9f735f74bf461,
     ])
 );
 
@@ -312,6 +376,12 @@ define_field!(
         0x3e3179e98a8596a5,
         0xf62ecbd1f69033bb,
         0x0b1d94049588c729,
+    ]),
+    inv_exp = U256::from_limbs([
+        0x3c87cbc2a4e46125,
+        0x9a78bef6a5d4ad30,
+        0xf5a04eb3ba3d313a,
+        0x5bf4fb9afba5fa30,
     ])
 );
 
@@ -444,6 +514,82 @@ mod tests {
             assert_eq!(base.pow(&U256::from_u64(e)), acc);
             acc = acc * base;
         }
+    }
+
+    #[test]
+    fn inv_exp_constants_match_modulus_minus_two() {
+        let (p2, borrow) = MODULUS_P.overflowing_sub(&U256::from_u64(2));
+        assert!(!borrow);
+        assert_eq!(Fp::INV_EXP, p2);
+        let (q2, borrow) = MODULUS_Q.overflowing_sub(&U256::from_u64(2));
+        assert!(!borrow);
+        assert_eq!(Scalar::INV_EXP, q2);
+    }
+
+    #[test]
+    fn sliding_window_pow_matches_naive() {
+        // Plain MSB-first square-and-multiply as the reference.
+        fn naive(base: &Fp, exp: &U256) -> Fp {
+            let mut result = Fp::ONE;
+            for i in (0..exp.bit_len()).rev() {
+                result = result.square();
+                if exp.bit(i) {
+                    result = result.mul(base);
+                }
+            }
+            result
+        }
+        // xorshift64* for pseudo-random exponents (no external RNG here).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        for trial in 0..20 {
+            let base = Fp::from_u64(next() | 1);
+            let exp = U256::from_limbs([next(), next(), next(), next()]);
+            assert_eq!(base.pow(&exp), naive(&base, &exp), "trial {trial}");
+        }
+        // Edge patterns: zero, one, all-ones, single high bit.
+        let base = Fp::from_u64(7);
+        for exp in [
+            U256::ZERO,
+            U256::ONE,
+            U256::MAX,
+            U256::from_limbs([0, 0, 0, 1 << 63]),
+            U256::from_u64(0b1000_1000_1000_1001),
+        ] {
+            assert_eq!(base.pow(&exp), naive(&base, &exp), "edge {exp}");
+        }
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let mut vals: Vec<Scalar> = (1..=17u64).map(|v| Scalar::from_u64(v * 997)).collect();
+        let expected: Vec<Scalar> = vals.iter().map(|v| v.invert().unwrap()).collect();
+        assert!(Scalar::batch_invert(&mut vals));
+        assert_eq!(vals, expected);
+
+        let mut fp_vals: Vec<Fp> = vec![Fp::from_u64(3), Fp::from_u64(1 << 40)];
+        let fp_expected: Vec<Fp> = fp_vals.iter().map(|v| v.invert().unwrap()).collect();
+        assert!(Fp::batch_invert(&mut fp_vals));
+        assert_eq!(fp_vals, fp_expected);
+
+        // Empty slice and single element are fine.
+        assert!(Scalar::batch_invert(&mut []));
+        let mut one = [Scalar::from_u64(5)];
+        assert!(Scalar::batch_invert(&mut one));
+        assert_eq!(one[0], Scalar::from_u64(5).invert().unwrap());
+    }
+
+    #[test]
+    fn batch_invert_rejects_zero_untouched() {
+        let mut vals = vec![Scalar::from_u64(3), Scalar::ZERO, Scalar::from_u64(9)];
+        let before = vals.clone();
+        assert!(!Scalar::batch_invert(&mut vals));
+        assert_eq!(vals, before);
     }
 
     #[test]

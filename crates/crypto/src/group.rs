@@ -14,6 +14,13 @@ use crate::field::{Fp, Scalar, MODULUS_Q};
 use crate::hash::Hasher;
 use crate::u256::U256;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Term-count crossover from Straus's interleaved method to Pippenger's
+/// bucket method: below this, Straus's per-term cost (~59
+/// multiplications) beats Pippenger's marginal cost (~43) plus its fixed
+/// per-window bucket aggregation.
+const STRAUS_MAX_TERMS: usize = 320;
 
 /// An element of the order-`q` subgroup of `Z_p^*`.
 ///
@@ -99,8 +106,176 @@ impl GroupElement {
     }
 
     /// Exponentiation by a scalar.
+    ///
+    /// Exponentiations of the standard generator are dispatched to the
+    /// process-wide fixed-base table (built once, ~64 multiplications per
+    /// exponentiation afterwards); other bases use the sliding-window
+    /// [`Fp::pow`].
     pub fn exp(&self, exponent: &Scalar) -> Self {
+        if self.0 == Self::generator().0 {
+            return generator_table().exp(exponent);
+        }
         GroupElement(self.0.pow(&exponent.to_u256()))
+    }
+
+    /// Computes `Π base_i^{e_i}` over all `(base_i, e_i)` pairs with a
+    /// single shared squaring chain: Straus's interleaved method with
+    /// 5-bit sliding windows for small and medium batches, Pippenger's
+    /// bucket method for very large ones.
+    ///
+    /// Bit-for-bit equivalent to folding [`exp`](Self::exp) results with
+    /// [`mul`](Self::mul), but `k` full exponentiations collapse into one
+    /// pass (~256 squarings + ~`59k` multiplications, less for short
+    /// exponents — batch-verification randomizers are 128-bit).
+    pub fn multi_exp(terms: &[(GroupElement, Scalar)]) -> Self {
+        match terms.len() {
+            0 => Self::identity(),
+            1 => terms[0].0.exp(&terms[0].1),
+            k if k <= STRAUS_MAX_TERMS => Self::straus(terms),
+            _ => Self::pippenger(terms),
+        }
+    }
+
+    /// Straus's interleaved method with sliding windows: per-base tables
+    /// of odd powers, one shared squaring chain, one table
+    /// multiplication per odd digit of each exponent. The window width
+    /// is chosen per term — 5 bits for full-size exponents, 4 bits for
+    /// half-length ones (batch-verification randomizers), which halves
+    /// the table-build cost exactly where there are too few digits to
+    /// amortize the bigger table.
+    fn straus(terms: &[(GroupElement, Scalar)]) -> Self {
+        // Odd-power tables for all terms, packed end to end (8 or 16
+        // entries per term depending on window width) so the whole
+        // working set stays small and cache-resident.
+        let mut flat: Vec<Fp> = Vec::with_capacity(16 * terms.len());
+        // One event per sliding-window digit: `(low bit position,
+        // packed-table index of the power to multiply in)`. 4 bytes
+        // each; after a counting sort by descending position the main
+        // loop walks them strictly linearly.
+        let mut events: Vec<(u8, u16)> = Vec::with_capacity(44 * terms.len());
+        for (b, e) in terms {
+            let e = e.to_u256();
+            let bit_len = e.bit_len();
+            // Window width by exponent size: wider windows amortize
+            // their bigger odd-power table only over enough digits.
+            // Full-size exponents get width 5 (16 entries), half-length
+            // batch-verification randomizers width 4 (8 entries), and
+            // tiny exponents (e.g. the unit weight on a batch's first
+            // proof) near-trivial tables.
+            let w = match bit_len {
+                0..=4 => 1usize,
+                5..=16 => 2,
+                17..=48 => 3,
+                49..=128 => 4,
+                _ => 5,
+            };
+            let row = flat.len() as u16;
+            let sq = b.0.square();
+            let mut power = b.0;
+            flat.push(power);
+            for _ in 1..(1usize << (w - 1)) {
+                power = power.mul(&sq);
+                flat.push(power);
+            }
+            let limbs = e.limbs();
+            let mut j = 0usize;
+            while j < bit_len {
+                // 64-bit view of the exponent starting at bit `j`.
+                let (li, off) = (j / 64, j % 64);
+                let mut chunk = limbs[li] >> off;
+                if off != 0 && li + 1 < 4 {
+                    chunk |= limbs[li + 1] << (64 - off);
+                }
+                if chunk == 0 {
+                    j += 64;
+                    continue;
+                }
+                let tz = chunk.trailing_zeros() as usize;
+                if tz > 0 {
+                    // Skip the zero run (re-fetch so the digit never
+                    // straddles past the view).
+                    j += tz;
+                    continue;
+                }
+                // Odd digit of up to `w` bits starting at set bit `j`;
+                // the term contributes `base^(d · 2^j)`.
+                let d = (chunk & ((1 << w) - 1)) as u16;
+                events.push((j as u8, row + (d >> 1)));
+                j += w;
+            }
+        }
+        // Counting sort by descending bit position.
+        let mut count = [0u32; 256];
+        for &(pos, _) in &events {
+            count[pos as usize] += 1;
+        }
+        let mut cursor = [0u32; 256];
+        let mut next_start = 0u32;
+        for pos in (0..256usize).rev() {
+            cursor[pos] = next_start;
+            next_start += count[pos];
+        }
+        let mut sorted = vec![0u16; events.len()];
+        for &(pos, idx) in &events {
+            sorted[cursor[pos as usize] as usize] = idx;
+            cursor[pos as usize] += 1;
+        }
+        let mut acc = Fp::ONE;
+        let mut started = false;
+        let mut next_event = 0usize;
+        for pos in (0..256usize).rev() {
+            if started {
+                acc = acc.square();
+            }
+            // A digit multiplied in at bit `pos` is squared `pos` more
+            // times, contributing `base^(d · 2^pos)`.
+            for _ in 0..count[pos] {
+                acc = acc.mul(&flat[sorted[next_event] as usize]);
+                next_event += 1;
+                started = true;
+            }
+        }
+        GroupElement(acc)
+    }
+
+    /// Pippenger's bucket method with 6-bit windows: per window, each
+    /// base is multiplied into the bucket of its exponent digit, and the
+    /// buckets are aggregated with two running products. The fixed
+    /// bucket-aggregation cost (~43 windows × 126 multiplications for
+    /// 256-bit exponents) only amortizes past a few hundred terms, hence
+    /// the high [`STRAUS_MAX_TERMS`] crossover.
+    fn pippenger(terms: &[(GroupElement, Scalar)]) -> Self {
+        const C: usize = 6;
+        let exps: Vec<U256> = terms.iter().map(|(_, e)| e.to_u256()).collect();
+        let max_bits = exps.iter().map(|e| e.bit_len()).max().unwrap_or(0);
+        let windows = max_bits.div_ceil(C);
+        let mut acc = Fp::ONE;
+        for w in (0..windows).rev() {
+            if w + 1 != windows {
+                for _ in 0..C {
+                    acc = acc.square();
+                }
+            }
+            let mut buckets = [Fp::ONE; (1 << C) - 1];
+            for ((base, _), e) in terms.iter().zip(&exps) {
+                let mut d = 0usize;
+                for b in (0..C).rev() {
+                    d = (d << 1) | e.bit(w * C + b) as usize;
+                }
+                if d != 0 {
+                    buckets[d - 1] = buckets[d - 1].mul(&base.0);
+                }
+            }
+            // Σ d·bucket[d] via suffix running products.
+            let mut running = Fp::ONE;
+            let mut window_sum = Fp::ONE;
+            for b in buckets.iter().rev() {
+                running = running.mul(b);
+                window_sum = window_sum.mul(&running);
+            }
+            acc = acc.mul(&window_sum);
+        }
+        GroupElement(acc)
     }
 
     /// Computes `self^a * other^b` (two-term multi-exponentiation).
@@ -138,6 +313,74 @@ impl GroupElement {
             counter += 1;
         }
     }
+}
+
+/// Precomputed fixed-base exponentiation table: 4-bit windows over
+/// 256-bit exponents, `windows[w][d-1] = base^(d · 16^w)`.
+///
+/// Building the table costs ~960 multiplications; every subsequent
+/// [`exp`](FixedBaseTable::exp) costs at most 63 multiplications and no
+/// squarings, roughly 5× cheaper than a cold sliding-window
+/// exponentiation. Build one for any base reused across many
+/// exponentiations (the standard generator, per-key verification bases,
+/// a round's coin base).
+#[derive(Clone)]
+pub struct FixedBaseTable {
+    base: GroupElement,
+    windows: Vec<[Fp; 15]>,
+}
+
+impl FixedBaseTable {
+    /// Builds the table for `base`.
+    pub fn new(base: &GroupElement) -> Self {
+        let mut windows = Vec::with_capacity(64);
+        let mut cur = base.0;
+        for _ in 0..64 {
+            let mut row = [cur; 15];
+            for d in 1..15 {
+                row[d] = row[d - 1].mul(&cur);
+            }
+            cur = row[14].mul(&cur);
+            windows.push(row);
+        }
+        FixedBaseTable {
+            base: *base,
+            windows,
+        }
+    }
+
+    /// The base the table was built for.
+    pub fn base(&self) -> &GroupElement {
+        &self.base
+    }
+
+    /// Computes `base^exponent` from the table (one multiplication per
+    /// nonzero 4-bit exponent digit).
+    pub fn exp(&self, exponent: &Scalar) -> GroupElement {
+        let limbs = exponent.to_u256().limbs();
+        let mut acc = Fp::ONE;
+        for (w, row) in self.windows.iter().enumerate() {
+            let d = ((limbs[w / 16] >> ((w % 16) * 4)) & 0xf) as usize;
+            if d != 0 {
+                acc = acc.mul(&row[d - 1]);
+            }
+        }
+        GroupElement(acc)
+    }
+}
+
+impl core::fmt::Debug for FixedBaseTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FixedBaseTable({})", self.base)
+    }
+}
+
+/// The process-wide fixed-base table for the standard generator,
+/// built on first use. [`GroupElement::exp`] dispatches to it
+/// automatically whenever the base is the generator.
+pub fn generator_table() -> &'static FixedBaseTable {
+    static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
+    TABLE.get_or_init(|| FixedBaseTable::new(&GroupElement::generator()))
 }
 
 impl core::fmt::Debug for GroupElement {
@@ -197,6 +440,107 @@ mod tests {
             let b = Scalar::from_u64(b);
             assert_eq!(g.exp2(&a, &h, &b), g.exp(&a).mul(&h.exp(&b)));
         }
+    }
+
+    /// Exponentiation by plain square-and-multiply, bypassing both the
+    /// fixed-base table and the sliding window — the reference all fast
+    /// paths must match bit for bit.
+    fn naive_exp(base: &GroupElement, e: &Scalar) -> GroupElement {
+        let exp = e.to_u256();
+        let mut acc = Fp::ONE;
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.square();
+            if exp.bit(i) {
+                acc = acc.mul(&base.0);
+            }
+        }
+        GroupElement(acc)
+    }
+
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed | 1;
+        move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545f4914f6cdd1d)
+        }
+    }
+
+    fn random_scalar(next: &mut impl FnMut() -> u64) -> Scalar {
+        Scalar::from_u256(&U256::from_limbs([next(), next(), next(), next()]))
+    }
+
+    #[test]
+    fn fixed_base_table_matches_naive() {
+        let mut next = test_rng(0xfeed);
+        for base in [
+            GroupElement::generator(),
+            GroupElement::generator_h(),
+            GroupElement::hash_to_group("test/fbt", b"base"),
+        ] {
+            let table = FixedBaseTable::new(&base);
+            assert_eq!(*table.base(), base);
+            for _ in 0..10 {
+                let e = random_scalar(&mut next);
+                assert_eq!(table.exp(&e), naive_exp(&base, &e), "base {base} exp {e}");
+            }
+            assert_eq!(table.exp(&Scalar::ZERO), GroupElement::identity());
+            assert_eq!(table.exp(&Scalar::ONE), base);
+        }
+    }
+
+    #[test]
+    fn generator_exp_uses_table_and_matches_naive() {
+        let g = GroupElement::generator();
+        let mut next = test_rng(0xabcd);
+        for _ in 0..10 {
+            let e = random_scalar(&mut next);
+            assert_eq!(g.exp(&e), naive_exp(&g, &e));
+        }
+    }
+
+    #[test]
+    fn multi_exp_matches_naive_all_sizes() {
+        let mut next = test_rng(0x5eed);
+        // Cover empty, single, exp2-sized, the Straus range, both sides
+        // of the crossover, and the Pippenger range.
+        for k in [0usize, 1, 2, 3, 7, 16, 80, 320, 321, 400] {
+            let terms: Vec<(GroupElement, Scalar)> = (0..k)
+                .map(|i| {
+                    let base = GroupElement::hash_to_group("test/me", &(i as u64).to_be_bytes());
+                    // Alternate full-size and randomizer-size (128-bit)
+                    // exponents, the mix batch verification produces.
+                    let e = if i % 2 == 0 {
+                        random_scalar(&mut next)
+                    } else {
+                        Scalar::from_u256(&U256::from_limbs([next(), next(), 0, 0]))
+                    };
+                    (base, e)
+                })
+                .collect();
+            let expected = terms.iter().fold(GroupElement::identity(), |acc, (b, e)| {
+                acc.mul(&naive_exp(b, e))
+            });
+            assert_eq!(GroupElement::multi_exp(&terms), expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn multi_exp_handles_degenerate_exponents() {
+        let g = GroupElement::generator();
+        let h = GroupElement::generator_h();
+        // All-zero exponents, tiny exponents, and repeated bases.
+        let terms = vec![
+            (g, Scalar::ZERO),
+            (h, Scalar::ONE),
+            (g, Scalar::from_u64(2)),
+            (g, Scalar::ZERO),
+        ];
+        let expected = h.mul(&g.exp(&Scalar::from_u64(2)));
+        assert_eq!(GroupElement::multi_exp(&terms), expected);
+        let zeros = vec![(g, Scalar::ZERO); 60];
+        assert_eq!(GroupElement::multi_exp(&zeros), GroupElement::identity());
     }
 
     #[test]

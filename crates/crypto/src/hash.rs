@@ -93,12 +93,16 @@ impl Sha256 {
     /// Finishes the computation and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffer_len != 56 {
-            self.update(&[0]);
+        // Build the padded tail directly: 0x80, zeros, 64-bit length.
+        let mut block = [0u8; 64];
+        block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        block[self.buffer_len] = 0x80;
+        if self.buffer_len >= 56 {
+            // No room for the length in this block; it goes in a second.
+            let first = block;
+            self.compress(&first);
+            block = [0u8; 64];
         }
-        // Manually absorb the length so total_len tracking is irrelevant.
-        let mut block = self.buffer;
         block[56..64].copy_from_slice(&bit_len.to_be_bytes());
         self.compress(&block);
         let mut out = [0u8; 32];
@@ -204,6 +208,18 @@ impl Hasher {
     /// Appends a `u64` field.
     pub fn field_u64(self, v: u64) -> Self {
         self.field(&v.to_be_bytes())
+    }
+
+    /// Appends a fixed-width field without a length prefix.
+    ///
+    /// Only for values whose width is the same at every absorb position
+    /// of a given domain (e.g. 32-byte serialized group elements):
+    /// constant widths keep the framing unambiguous, and skipping the
+    /// 8-byte prefix keeps hot Fiat-Shamir challenges a compression
+    /// block shorter.
+    pub fn fixed<const N: usize>(mut self, data: &[u8; N]) -> Self {
+        self.inner.update(data);
+        self
     }
 
     /// Returns the 32-byte digest.

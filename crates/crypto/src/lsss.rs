@@ -59,15 +59,23 @@ pub struct SharingScheme {
     formula: MonotoneFormula,
     /// Owner of each leaf, in depth-first traversal order.
     leaf_owner: Vec<PartyId>,
+    /// Leaves of each party, precomputed so the hot share-verification
+    /// path never re-scans `leaf_owner` (or allocates) per call.
+    leaves_by_party: Vec<Vec<LeafId>>,
 }
 
 impl SharingScheme {
     /// Builds the scheme for an access formula.
     pub fn new(formula: MonotoneFormula) -> Self {
         let leaf_owner = formula.root().leaf_parties();
+        let mut leaves_by_party = vec![Vec::new(); formula.n()];
+        for (leaf, owner) in leaf_owner.iter().enumerate() {
+            leaves_by_party[*owner].push(leaf);
+        }
         SharingScheme {
             formula,
             leaf_owner,
+            leaves_by_party,
         }
     }
 
@@ -97,12 +105,17 @@ impl SharingScheme {
 
     /// The leaves owned by `party`.
     pub fn leaves_of(&self, party: PartyId) -> Vec<LeafId> {
-        self.leaf_owner
-            .iter()
-            .enumerate()
-            .filter(|(_, owner)| **owner == party)
-            .map(|(leaf, _)| leaf)
-            .collect()
+        self.leaves_by_party(party).to_vec()
+    }
+
+    /// The leaves owned by `party`, borrowed from the precomputed layout
+    /// (empty for out-of-range parties). Allocation-free; prefer this
+    /// over [`leaves_of`](Self::leaves_of) on hot paths.
+    pub fn leaves_by_party(&self, party: PartyId) -> &[LeafId] {
+        self.leaves_by_party
+            .get(party)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Produces a *refresh vector*: a fresh sharing of zero. Adding it
@@ -168,12 +181,11 @@ impl SharingScheme {
         elements: &BTreeMap<LeafId, GroupElement>,
     ) -> Option<GroupElement> {
         let coeffs = self.reconstruction_coefficients(set)?;
-        let mut acc = GroupElement::identity();
+        let mut terms = Vec::with_capacity(coeffs.len());
         for (leaf, c) in coeffs {
-            let el = elements.get(&leaf)?;
-            acc = acc.mul(&el.exp(&c));
+            terms.push((*elements.get(&leaf)?, c));
         }
-        Some(acc)
+        Some(GroupElement::multi_exp(&terms))
     }
 }
 

@@ -100,6 +100,20 @@ impl SeededRng {
         }
     }
 
+    /// Returns a nonzero scalar with at most 128 random bits — the short
+    /// randomizers used by batch verification (small exponents keep the
+    /// multi-exponentiation cheap; 128 bits keep the soundness error
+    /// negligible).
+    pub fn next_randomizer(&mut self) -> Scalar {
+        loop {
+            let limbs = [self.next_u64(), self.next_u64(), 0, 0];
+            let s = Scalar::from_u256(&U256::from_limbs(limbs));
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
     /// Fills `dest` with random bytes.
     pub fn fill(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {

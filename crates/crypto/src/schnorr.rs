@@ -25,11 +25,17 @@ pub struct SigningKey {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PublicKey(GroupElement);
 
-/// A Schnorr signature in challenge/response form.
+/// A Schnorr signature in commitment/response form (`R = g^w`, `z`).
+///
+/// The commitment form (rather than challenge/response) is what makes
+/// random-linear-combination *batch* verification possible: the verifier
+/// can check `g^z = R · pk^c` as a group equation without recomputing
+/// `R` inside the challenge hash, so many such equations can be folded
+/// into one multi-exponentiation (see [`crate::tsig::AggregateScheme::verify_shares`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Signature {
-    challenge: Scalar,
-    response: Scalar,
+    pub(crate) commitment: GroupElement,
+    pub(crate) response: Scalar,
 }
 
 impl SigningKey {
@@ -63,19 +69,23 @@ impl SigningKey {
         let commitment = GroupElement::generator().exp(&w);
         let challenge = challenge(&self.public, &commitment, message);
         Signature {
-            challenge,
+            commitment,
             response: w + challenge * self.secret,
         }
     }
 }
 
 impl PublicKey {
-    /// Verifies a signature over `message`.
+    /// Verifies a signature over `message`: `g^z == R · pk^c`.
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
-        // Recompute the commitment g^z · pk^{-c} and the challenge.
-        let neg_c = -sig.challenge;
-        let commitment = GroupElement::generator().exp2(&sig.response, &self.0, &neg_c);
-        challenge(self, &commitment, message) == sig.challenge
+        let c = challenge(self, &sig.commitment, message);
+        let lhs = GroupElement::generator().exp(&sig.response);
+        lhs == sig.commitment.mul(&self.0.exp(&c))
+    }
+
+    /// The underlying group element (for batch verification).
+    pub(crate) fn element(&self) -> &GroupElement {
+        &self.0
     }
 
     /// Serializes to 32 bytes.
@@ -94,33 +104,62 @@ impl PublicKey {
 }
 
 impl Signature {
-    /// Serializes as 64 bytes (challenge ‖ response, big-endian).
+    /// A structurally valid signature that verifies nothing — for
+    /// initializing struct fields that are overwritten before use.
+    pub fn placeholder() -> Self {
+        Signature {
+            commitment: GroupElement::identity(),
+            response: Scalar::ZERO,
+        }
+    }
+
+    /// Serializes as 64 bytes (commitment ‖ response, big-endian).
     pub fn to_bytes(&self) -> [u8; 64] {
         let mut out = [0u8; 64];
-        out[..32].copy_from_slice(&self.challenge.to_be_bytes());
+        out[..32].copy_from_slice(&self.commitment.to_bytes());
         out[32..].copy_from_slice(&self.response.to_be_bytes());
         out
     }
 
     /// Parses 64 bytes produced by [`to_bytes`](Self::to_bytes).
-    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
-        let mut c = [0u8; 32];
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the commitment bytes are not a canonical
+    /// subgroup element.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Self> {
+        let mut r = [0u8; 32];
         let mut z = [0u8; 32];
-        c.copy_from_slice(&bytes[..32]);
+        r.copy_from_slice(&bytes[..32]);
         z.copy_from_slice(&bytes[32..]);
-        Signature {
-            challenge: Scalar::from_be_bytes(&c),
+        Some(Signature {
+            commitment: GroupElement::from_bytes(&r)?,
             response: Scalar::from_be_bytes(&z),
-        }
+        })
     }
 }
 
-fn challenge(pk: &PublicKey, commitment: &GroupElement, message: &[u8]) -> Scalar {
-    Hasher::new("sintra/schnorr")
-        .field(&pk.to_bytes())
-        .field(&commitment.to_bytes())
-        .field(message)
-        .finish_scalar()
+pub(crate) fn challenge(pk: &PublicKey, commitment: &GroupElement, message: &[u8]) -> Scalar {
+    challenge_suffix(&challenge_prefix(message), pk, commitment)
+}
+
+/// Hash midstate over the message, the part of the challenge preimage a
+/// whole quorum of signature shares has in common. Batch verification
+/// absorbs it once and replays the midstate per share.
+pub(crate) fn challenge_prefix(message: &[u8]) -> Hasher {
+    Hasher::new("sintra/schnorr").field(message)
+}
+
+pub(crate) fn challenge_suffix(
+    prefix: &Hasher,
+    pk: &PublicKey,
+    commitment: &GroupElement,
+) -> Scalar {
+    // One contiguous absorb of the two 32-byte elements.
+    let mut buf = [0u8; 64];
+    buf[..32].copy_from_slice(&pk.to_bytes());
+    buf[32..].copy_from_slice(&commitment.to_bytes());
+    prefix.clone().fixed(&buf).finish_scalar()
 }
 
 #[cfg(test)]
@@ -159,10 +198,27 @@ mod tests {
         let key = SigningKey::generate(&mut rng);
         let sig = key.sign(b"hello", &mut rng);
         let bad = Signature {
-            challenge: sig.challenge,
+            commitment: sig.commitment,
             response: sig.response + Scalar::ONE,
         };
         assert!(!key.public_key().verify(b"hello", &bad));
+        let bad = Signature {
+            commitment: sig.commitment.mul(&GroupElement::generator()),
+            response: sig.response,
+        };
+        assert!(!key.public_key().verify(b"hello", &bad));
+    }
+
+    #[test]
+    fn signature_byte_roundtrip() {
+        let mut rng = SeededRng::new(7);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"bytes", &mut rng);
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+        assert!(key.public_key().verify(b"bytes", &parsed));
+        // A non-canonical commitment encoding must be rejected.
+        assert!(Signature::from_bytes(&[0xff; 64]).is_none());
     }
 
     #[test]

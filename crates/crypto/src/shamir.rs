@@ -71,25 +71,27 @@ pub fn lagrange_at_zero(points: &[u64]) -> Vec<Scalar> {
             "interpolation points must be distinct"
         );
     }
-    points
-        .iter()
-        .map(|&j| {
-            let xj = Scalar::from_u64(j);
-            let mut num = Scalar::ONE;
-            let mut den = Scalar::ONE;
-            for &m in points {
-                if m == j {
-                    continue;
-                }
-                let xm = Scalar::from_u64(m);
-                num = num * xm;
-                den = den * (xm - xj);
+    let mut nums = Vec::with_capacity(points.len());
+    let mut dens = Vec::with_capacity(points.len());
+    for &j in points {
+        let xj = Scalar::from_u64(j);
+        let mut num = Scalar::ONE;
+        let mut den = Scalar::ONE;
+        for &m in points {
+            if m == j {
+                continue;
             }
-            num * den
-                .invert()
-                .expect("distinct points give nonzero denominator")
-        })
-        .collect()
+            let xm = Scalar::from_u64(m);
+            num = num * xm;
+            den = den * (xm - xj);
+        }
+        nums.push(num);
+        dens.push(den);
+    }
+    // Montgomery's trick: all denominators share a single inversion.
+    let inverted = Scalar::batch_invert(&mut dens);
+    assert!(inverted, "distinct points give nonzero denominators");
+    nums.into_iter().zip(dens).map(|(n, d)| n * d).collect()
 }
 
 /// Reconstructs the secret from `k` shares `(point, value)`.
@@ -108,12 +110,12 @@ pub fn reconstruct(shares: &[(u64, Scalar)]) -> Scalar {
 pub fn reconstruct_in_exponent(shares: &[(u64, GroupElement)]) -> GroupElement {
     let points: Vec<u64> = shares.iter().map(|(p, _)| *p).collect();
     let coeffs = lagrange_at_zero(&points);
-    shares
+    let terms: Vec<(GroupElement, Scalar)> = shares
         .iter()
-        .zip(coeffs.iter())
-        .fold(GroupElement::identity(), |acc, ((_, v), c)| {
-            acc.mul(&v.exp(c))
-        })
+        .zip(coeffs)
+        .map(|((_, v), c)| (*v, c))
+        .collect();
+    GroupElement::multi_exp(&terms)
 }
 
 #[cfg(test)]

@@ -163,7 +163,7 @@ impl DecryptionShare {
 
     /// Serialized size estimate in bytes.
     pub fn size_bytes(&self) -> usize {
-        4 + 32 + self.elements.len() * (8 + 32 + 64)
+        4 + 32 + self.elements.len() * (8 + 32 + 96)
     }
 }
 
@@ -261,26 +261,79 @@ impl EncryptionScheme {
         proof_challenge(&ct.data, &ct.label, &ct.u, &w, &ct.u_bar, &w_bar) == ct.e
     }
 
-    /// Verifies one decryption share against a ciphertext.
-    pub fn verify_share(&self, ct: &Ciphertext, share: &DecryptionShare) -> bool {
-        if share.ciphertext_digest != ct.digest() {
+    /// Structural checks shared by the verification paths: the share is
+    /// bound to `ct`, names an in-range party, and lists exactly that
+    /// party's leaves in layout order.
+    fn share_layout_ok(&self, ct: &Ciphertext, share: &DecryptionShare) -> bool {
+        if share.ciphertext_digest != ct.digest() || share.party >= self.scheme.n() {
             return false;
         }
-        let expected: Vec<LeafId> = self.scheme.leaves_of(share.party);
-        if expected.len() != share.elements.len() {
+        let expected = self.scheme.leaves_by_party(share.party);
+        share.elements.len() == expected.len()
+            && share
+                .elements
+                .iter()
+                .zip(expected)
+                .all(|((leaf, _, _), expected_leaf)| leaf == expected_leaf)
+    }
+
+    /// Verifies one decryption share against a ciphertext.
+    pub fn verify_share(&self, ct: &Ciphertext, share: &DecryptionShare) -> bool {
+        if !self.share_layout_ok(ct, share) {
             return false;
         }
         let g = GroupElement::generator();
-        for ((leaf, element, proof), expected_leaf) in share.elements.iter().zip(expected) {
-            if *leaf != expected_leaf {
-                return false;
+        share.elements.iter().all(|(leaf, element, proof)| {
+            proof.verify(SHARE_DOMAIN, &g, &self.verification[*leaf], &ct.u, element)
+        })
+    }
+
+    /// Verifies a whole quorum of decryption shares at once.
+    ///
+    /// All share-validity proofs (Chaum-Pedersen over the common base
+    /// pair `(g, u)`) are folded into a single random-linear-combination
+    /// multi-exponentiation via [`crate::dleq::batch_verify`]. On batch
+    /// failure the shares are re-checked individually so blame lands
+    /// exactly on the senders of invalid shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sorted, deduplicated parties whose shares failed.
+    pub fn verify_shares(
+        &self,
+        ct: &Ciphertext,
+        shares: &[DecryptionShare],
+        rng: &mut SeededRng,
+    ) -> Result<(), Vec<PartyId>> {
+        let mut culprits: Vec<PartyId> = Vec::new();
+        let mut statements = Vec::new();
+        let mut batched: Vec<&DecryptionShare> = Vec::new();
+        for share in shares {
+            if !self.share_layout_ok(ct, share) {
+                culprits.push(share.party);
+                continue;
             }
-            let vk = &self.verification[*leaf];
-            if !proof.verify(SHARE_DOMAIN, &g, vk, &ct.u, element) {
-                return false;
+            for (leaf, element, proof) in &share.elements {
+                statements.push((self.verification[*leaf], *element, *proof));
             }
+            batched.push(share);
         }
-        true
+        let g = GroupElement::generator();
+        if !crate::dleq::batch_verify(SHARE_DOMAIN, &g, &ct.u, &statements, rng) {
+            culprits.extend(
+                batched
+                    .iter()
+                    .filter(|share| !self.verify_share(ct, share))
+                    .map(|share| share.party),
+            );
+        }
+        if culprits.is_empty() {
+            Ok(())
+        } else {
+            culprits.sort_unstable();
+            culprits.dedup();
+            Err(culprits)
+        }
     }
 
     /// Combines decryption shares and recovers the plaintext.
@@ -297,10 +350,37 @@ impl EncryptionScheme {
         if !self.verify_ciphertext(ct) {
             return Err(DecryptError::InvalidCiphertext);
         }
+        let verified: Vec<DecryptionShare> = shares
+            .iter()
+            .filter(|share| self.verify_share(ct, share))
+            .cloned()
+            .collect();
+        self.combine_preverified(ct, &verified)
+    }
+
+    /// Combines decryption shares whose proofs were already checked
+    /// (e.g. via [`verify_shares`](Self::verify_shares)), skipping the
+    /// per-share proof re-verification. Structurally malformed shares are
+    /// still dropped, so feeding this unverified input can at worst fail
+    /// to decrypt — it cannot produce a wrong plaintext for an honestly
+    /// formed ciphertext with honest quorum shares.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext is malformed or the shares are not from a
+    /// qualified set.
+    pub fn combine_preverified(
+        &self,
+        ct: &Ciphertext,
+        shares: &[DecryptionShare],
+    ) -> Result<Vec<u8>, DecryptError> {
+        if !self.verify_ciphertext(ct) {
+            return Err(DecryptError::InvalidCiphertext);
+        }
         let mut holders = PartySet::new();
         let mut elements: BTreeMap<LeafId, GroupElement> = BTreeMap::new();
         for share in shares {
-            if !self.verify_share(ct, share) {
+            if !self.share_layout_ok(ct, share) {
                 continue;
             }
             holders.insert(share.party);
@@ -509,6 +589,48 @@ mod tests {
         );
         let good2 = keys[2].decrypt_share(&enc, &ct, &mut rng).unwrap();
         assert_eq!(enc.combine(&ct, &[forged, good, good2]).unwrap(), b"m");
+    }
+
+    #[test]
+    fn verify_shares_accepts_honest_quorum() {
+        let (enc, keys, mut rng) = setup(10, 3, 21);
+        let ct = enc.encrypt(b"payload", b"l", &mut rng);
+        let shares: Vec<DecryptionShare> = keys[..7]
+            .iter()
+            .map(|k| k.decrypt_share(&enc, &ct, &mut rng).unwrap())
+            .collect();
+        assert_eq!(enc.verify_shares(&ct, &shares, &mut rng), Ok(()));
+        assert_eq!(enc.combine_preverified(&ct, &shares).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn verify_shares_attributes_culprits() {
+        let (enc, keys, mut rng) = setup(10, 3, 22);
+        let ct = enc.encrypt(b"payload", b"l", &mut rng);
+        let other = enc.encrypt(b"other", b"l", &mut rng);
+        let mut shares: Vec<DecryptionShare> = keys[..8]
+            .iter()
+            .map(|k| k.decrypt_share(&enc, &ct, &mut rng).unwrap())
+            .collect();
+        // Party 2: element replaced (proof breaks). Party 5: share for a
+        // different ciphertext (structural). Honest parties stay clean.
+        shares[2].elements[0].1 = GroupElement::generator();
+        shares[5] = keys[5].decrypt_share(&enc, &other, &mut rng).unwrap();
+        assert_eq!(enc.verify_shares(&ct, &shares, &mut rng), Err(vec![2, 5]));
+    }
+
+    #[test]
+    fn combine_preverified_matches_defensive_combine() {
+        let (enc, keys, mut rng) = setup(7, 2, 23);
+        let ct = enc.encrypt(b"same plaintext", b"l", &mut rng);
+        let shares: Vec<DecryptionShare> = keys[..3]
+            .iter()
+            .map(|k| k.decrypt_share(&enc, &ct, &mut rng).unwrap())
+            .collect();
+        assert_eq!(
+            enc.combine(&ct, &shares).unwrap(),
+            enc.combine_preverified(&ct, &shares).unwrap()
+        );
     }
 
     #[test]

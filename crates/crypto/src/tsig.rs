@@ -26,6 +26,8 @@
 //! ([`QuorumRule`]) is chosen per call, matching the paper's use of both
 //! `t+1` and `n−t` signature thresholds.
 
+use crate::field::Scalar;
+use crate::group::GroupElement;
 use crate::rng::SeededRng;
 use crate::schnorr::{PublicKey, Signature, SigningKey};
 use serde::{Deserialize, Serialize};
@@ -127,7 +129,7 @@ impl ThresholdSignature {
         let signatures = rest
             .chunks_exact(64)
             .map(|c| crate::schnorr::Signature::from_bytes(c.try_into().expect("64-byte chunk")))
-            .collect();
+            .collect::<Option<Vec<_>>>()?;
         Some(ThresholdSignature {
             signers,
             signatures,
@@ -194,6 +196,82 @@ impl ThresholdSigScheme {
         }
     }
 
+    /// Batch-verifies signature shares over one message with a single
+    /// random-linear-combination multi-exponentiation: with short
+    /// nonzero randomizers `r_i`,
+    ///
+    /// ```text
+    /// g^{-Σ r_i z_i} · Π R_i^{r_i} · Π vk_i^{r_i c_i} == 1
+    /// ```
+    ///
+    /// where `c_i` is share `i`'s Schnorr challenge. Roughly 3-5× cheaper
+    /// than verifying a quorum share by share.
+    ///
+    /// # Errors
+    ///
+    /// Returns the attributed culprits: parties whose share is
+    /// individually invalid (determined by per-share fallback when the
+    /// batch equation fails, so honest senders are never blamed).
+    pub fn verify_shares(
+        &self,
+        message: &[u8],
+        shares: &[SignatureShare],
+        rng: &mut SeededRng,
+    ) -> Result<(), Vec<PartyId>> {
+        let tagged = domain_tagged(message);
+        let mut culprits: Vec<PartyId> = shares
+            .iter()
+            .filter(|s| s.party >= self.pubkeys.len())
+            .map(|s| s.party)
+            .collect();
+        let in_range: Vec<&SignatureShare> = shares
+            .iter()
+            .filter(|s| s.party < self.pubkeys.len())
+            .collect();
+        let batch_ok = match in_range.as_slice() {
+            [] => true,
+            [share] => self.pubkeys[share.party].verify(&tagged, &share.signature),
+            _ => {
+                let mut z = Scalar::ZERO;
+                let mut terms = Vec::with_capacity(2 * in_range.len() + 1);
+                let prefix = crate::schnorr::challenge_prefix(&tagged);
+                for (i, share) in in_range.iter().enumerate() {
+                    let pk = &self.pubkeys[share.party];
+                    let sig = &share.signature;
+                    let c = crate::schnorr::challenge_suffix(&prefix, pk, &sig.commitment);
+                    // The first share's weight is fixed to 1 — see
+                    // `dleq::batch_verify` for the soundness argument.
+                    let r = if i == 0 {
+                        Scalar::ONE
+                    } else {
+                        rng.next_randomizer()
+                    };
+                    z = z + r * sig.response;
+                    terms.push((sig.commitment, r));
+                    terms.push((*pk.element(), r * c));
+                }
+                terms.push((GroupElement::generator(), -z));
+                GroupElement::multi_exp(&terms) == GroupElement::identity()
+            }
+        };
+        if !batch_ok {
+            // Per-share fallback attributes blame precisely.
+            culprits.extend(
+                in_range
+                    .iter()
+                    .filter(|s| !self.pubkeys[s.party].verify(&tagged, &s.signature))
+                    .map(|s| s.party),
+            );
+        }
+        if culprits.is_empty() {
+            Ok(())
+        } else {
+            culprits.sort_unstable();
+            culprits.dedup();
+            Err(culprits)
+        }
+    }
+
     /// Combines shares into a threshold signature certifying `rule`.
     /// Invalid shares are dropped; duplicates are deduplicated.
     ///
@@ -207,9 +285,36 @@ impl ThresholdSigScheme {
         shares: &[SignatureShare],
         rule: QuorumRule,
     ) -> Result<ThresholdSignature, CombineError> {
+        let verified: Vec<SignatureShare> = shares
+            .iter()
+            .filter(|s| self.verify_share(message, s))
+            .copied()
+            .collect();
+        self.combine_preverified(&verified, rule)
+    }
+
+    /// Combines shares the caller already verified (individually or via
+    /// [`verify_shares`]) without re-verifying them — the protocol-layer
+    /// fast path, turning the former verify-on-every-arrival pattern
+    /// from `O(k²)` exponentiations per quorum into none at combine
+    /// time. Out-of-range parties are dropped; duplicates deduplicate.
+    ///
+    /// Feeding unverified shares here cannot forge anything: the
+    /// combined signature still fails [`verify`](Self::verify). External
+    /// callers should prefer the defensive [`combine`](Self::combine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombineError::InsufficientQuorum`] if the signer set
+    /// does not satisfy `rule`.
+    pub fn combine_preverified(
+        &self,
+        shares: &[SignatureShare],
+        rule: QuorumRule,
+    ) -> Result<ThresholdSignature, CombineError> {
         let mut by_party: Vec<Option<Signature>> = vec![None; self.pubkeys.len()];
         for share in shares {
-            if self.verify_share(message, share) {
+            if share.party < self.pubkeys.len() {
                 by_party[share.party] = Some(share.signature);
             }
         }
@@ -423,6 +528,74 @@ mod tests {
         padded.push(0);
         assert!(ThresholdSignature::from_bytes(&padded).is_none());
         assert!(ThresholdSignature::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn verify_shares_accepts_honest_quorum() {
+        let (scheme, keys, mut rng) = setup(10, 3, 20);
+        let shares: Vec<SignatureShare> =
+            keys.iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
+        assert_eq!(scheme.verify_shares(b"m", &shares, &mut rng), Ok(()));
+        assert_eq!(scheme.verify_shares(b"m", &shares[..1], &mut rng), Ok(()));
+        assert_eq!(scheme.verify_shares(b"m", &[], &mut rng), Ok(()));
+    }
+
+    #[test]
+    fn verify_shares_attributes_culprits() {
+        let (scheme, keys, mut rng) = setup(10, 3, 21);
+        let mut shares: Vec<SignatureShare> =
+            keys.iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
+        // Party 4 signs the wrong message, party 7's response is mangled.
+        shares[4] = keys[4].sign_share(b"not-m", &mut rng);
+        shares[7].signature.response = shares[7].signature.response + Scalar::ONE;
+        assert_eq!(
+            scheme.verify_shares(b"m", &shares, &mut rng),
+            Err(vec![4, 7])
+        );
+    }
+
+    #[test]
+    fn verify_shares_flags_out_of_range_party() {
+        let (scheme, keys, mut rng) = setup(4, 1, 22);
+        let mut shares: Vec<SignatureShare> =
+            keys.iter().map(|k| k.sign_share(b"m", &mut rng)).collect();
+        shares[0].party = 9;
+        assert_eq!(scheme.verify_shares(b"m", &shares, &mut rng), Err(vec![9]));
+    }
+
+    #[test]
+    fn combine_preverified_matches_defensive_combine() {
+        let (scheme, keys, mut rng) = setup(7, 2, 23);
+        let shares: Vec<SignatureShare> = keys[..5]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
+        let defensive = scheme.combine(b"m", &shares, QuorumRule::Strong).unwrap();
+        let fast = scheme
+            .combine_preverified(&shares, QuorumRule::Strong)
+            .unwrap();
+        assert_eq!(defensive, fast);
+        assert!(scheme.verify(b"m", &fast, QuorumRule::Strong));
+        assert_eq!(
+            scheme.combine_preverified(&shares[..2], QuorumRule::Strong),
+            Err(CombineError::InsufficientQuorum)
+        );
+    }
+
+    #[test]
+    fn combine_preverified_cannot_launder_forgeries() {
+        // An unverified garbage share sneaks through combine_preverified
+        // but the combined signature still fails verification.
+        let (scheme, keys, mut rng) = setup(4, 1, 24);
+        let mut shares: Vec<SignatureShare> = keys[..3]
+            .iter()
+            .map(|k| k.sign_share(b"m", &mut rng))
+            .collect();
+        shares[2] = keys[2].sign_share(b"forged", &mut rng);
+        let sig = scheme
+            .combine_preverified(&shares, QuorumRule::Core)
+            .unwrap();
+        assert!(!scheme.verify(b"m", &sig, QuorumRule::Core));
     }
 
     #[test]

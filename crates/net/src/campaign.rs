@@ -150,6 +150,10 @@ pub struct CampaignHooks<'a, P: Protocol> {
 pub struct RunOutcome<P: Protocol> {
     /// Outputs of every party (corrupted slots are empty).
     pub outputs: Vec<Vec<P::Output>>,
+    /// Final node state of every party (`None` for corrupted slots), so
+    /// invariant checks can inspect internal protocol state — e.g.
+    /// whether batch verification attributed culprits correctly.
+    pub nodes: Vec<Option<P>>,
     /// The corrupted set of this case.
     pub corrupted: PartySet,
     /// Simulator counters.
@@ -254,10 +258,13 @@ where
         sim.input(party, input);
     }
     let executed = sim.run_until_quiet(plan.max_steps);
+    let outputs = (0..n).map(|p| sim.outputs(p).to_vec()).collect();
+    let stats = sim.stats();
     RunOutcome {
-        outputs: (0..n).map(|p| sim.outputs(p).to_vec()).collect(),
+        outputs,
+        nodes: sim.into_nodes(),
         corrupted: case.corrupted,
-        stats: sim.stats(),
+        stats,
         quiesced: executed < plan.max_steps,
     }
 }

@@ -533,6 +533,20 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
         }
     }
 
+    /// Consumes the simulation, returning every party's final node state
+    /// (`None` for corrupted slots). Campaign invariant checks use this
+    /// to inspect internal protocol state — e.g. which parties a node's
+    /// batch verification attributed as culprits — after a run.
+    pub fn into_nodes(self) -> Vec<Option<P>> {
+        self.nodes
+            .into_iter()
+            .map(|slot| match slot {
+                NodeSlot::Honest(p) => Some(p),
+                NodeSlot::Corrupted(_) => None,
+            })
+            .collect()
+    }
+
     /// The set of corrupted parties.
     pub fn corrupted(&self) -> PartySet {
         self.nodes

@@ -36,7 +36,7 @@
 //! transitively exposes validated evidence to an honest party, which is
 //! exactly the retrieval-liveness argument of the multi-valued protocol.
 
-use crate::common::{send_all, Outbox, Tag};
+use crate::common::{send_all, BatchedShares, Outbox, Tag};
 use serde::{Deserialize, Serialize};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::coin::{CoinShare, CoinValue};
@@ -154,21 +154,25 @@ pub enum AbbaMessage<E> {
 
 #[derive(Debug)]
 struct RoundState<E> {
-    // Pre-vote bookkeeping (first valid pre-vote per party).
+    // Pre-vote bookkeeping (first pre-vote per party). Justifications
+    // are checked on arrival; the votes' own signature shares are
+    // batch-verified only once a candidate core quorum exists, so
+    // `prevote_parties` counts structurally accepted votes.
     prevote_parties: PartySet,
     prevote_by_value: [PartySet; 2],
-    prevote_shares: [Vec<SignatureShare>; 2],
-    prevote_repr: [Option<PreVote<E>>; 2],
-    // Main-vote bookkeeping.
+    prevotes: [BatchedShares<PreVote<E>>; 2],
+    // Main-vote bookkeeping (same lazy-share discipline).
     mainvote_parties: PartySet,
     mainvote_by_value: [PartySet; 3],
-    mainvote_shares: [Vec<SignatureShare>; 3],
+    mainvotes: [BatchedShares<SignatureShare>; 3],
     /// First valid bit main-vote's justification (pre-vote tsig), reused
-    /// as the hard justification for the next round.
+    /// as the hard justification for the next round. The tsig itself is
+    /// verified on arrival, so it stays usable even if its sender's own
+    /// vote share is later culled.
     value_just: Option<(bool, ThresholdSignature)>,
-    // Coin bookkeeping (one share per party, see `coin_share_parties`).
-    coin_shares: Vec<CoinShare>,
-    coin_share_parties: PartySet,
+    // Coin bookkeeping (one share per party; proofs batch-verified once
+    // a qualified holder set exists).
+    coin: BatchedShares<CoinShare>,
     coin_value: Option<CoinValue>,
     coin_share_sent: bool,
     // Phase flags.
@@ -193,14 +197,16 @@ impl<E> Default for RoundState<E> {
         RoundState {
             prevote_parties: PartySet::new(),
             prevote_by_value: [PartySet::new(), PartySet::new()],
-            prevote_shares: [Vec::new(), Vec::new()],
-            prevote_repr: [None, None],
+            prevotes: [BatchedShares::new(), BatchedShares::new()],
             mainvote_parties: PartySet::new(),
             mainvote_by_value: [PartySet::new(), PartySet::new(), PartySet::new()],
-            mainvote_shares: [Vec::new(), Vec::new(), Vec::new()],
+            mainvotes: [
+                BatchedShares::new(),
+                BatchedShares::new(),
+                BatchedShares::new(),
+            ],
             value_just: None,
-            coin_shares: Vec::new(),
-            coin_share_parties: PartySet::new(),
+            coin: BatchedShares::new(),
             coin_value: None,
             coin_share_sent: false,
             my_mainvote_sent: false,
@@ -297,6 +303,25 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         self.round
     }
 
+    /// Parties attributed as culprits by any quorum-time batch
+    /// settlement so far — a share of theirs (pre-vote, main-vote, or
+    /// coin) failed cryptographic verification during the per-share
+    /// fallback. Exposed so fault-injection campaigns can assert that
+    /// attribution blames only corrupted parties.
+    pub fn banned_parties(&self) -> PartySet {
+        let mut banned = PartySet::new();
+        for rs in self.rounds.values() {
+            for tracker in &rs.prevotes {
+                banned = banned.union(tracker.banned());
+            }
+            for tracker in &rs.mainvotes {
+                banned = banned.union(tracker.banned());
+            }
+            banned = banned.union(rs.coin.banned());
+        }
+        banned
+    }
+
     fn pre_msg(&self, round: u64, value: bool) -> Vec<u8> {
         self.tag
             .message(&[b"pre", &round.to_be_bytes(), &[value as u8]])
@@ -384,9 +409,13 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         send_all(out, self.n, AbbaMessage::PreVote(pv));
     }
 
-    /// Validates a pre-vote (signature share + justification). Returns
-    /// `Ok(true)` if valid, `Ok(false)` if invalid, `Err(())` if the coin
-    /// needed to check a coin justification is not yet known.
+    /// Fully validates a pre-vote (signature share + justification).
+    /// Returns `Ok(true)` if valid, `Ok(false)` if invalid, `Err(())` if
+    /// the coin needed to check a coin justification is not yet known.
+    /// Used for pre-votes embedded in abstain justifications (their
+    /// senders are not accountable through the batch path) and by
+    /// external callers; top-level arrivals go through
+    /// [`validate_prevote_lazy`](Self::validate_prevote_lazy).
     fn validate_prevote(&self, from: PartyId, pv: &PreVote<E>) -> Result<bool, ()> {
         if pv.share.party() != from || pv.round == 0 {
             return Ok(false);
@@ -395,6 +424,21 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         if !self.public.signing().verify_share(&to_sign, &pv.share) {
             return Ok(false);
         }
+        self.validate_prevote_just(pv)
+    }
+
+    /// Validates everything about a pre-vote *except* its own signature
+    /// share, which is deferred to quorum-time batch verification. The
+    /// justification stays eager: it is what makes the vote admissible,
+    /// and a bogus justification must not occupy the sender's vote slot.
+    fn validate_prevote_lazy(&self, from: PartyId, pv: &PreVote<E>) -> Result<bool, ()> {
+        if pv.share.party() != from || pv.round == 0 {
+            return Ok(false);
+        }
+        self.validate_prevote_just(pv)
+    }
+
+    fn validate_prevote_just(&self, pv: &PreVote<E>) -> Result<bool, ()> {
         match &pv.just {
             PreVoteJust::FirstRound(evidence) => {
                 if pv.round != 1 {
@@ -437,12 +481,12 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         }
     }
 
-    fn validate_mainvote(&self, from: PartyId, mv: &MainVote<E>) -> Result<bool, ()> {
+    /// Validates everything about a main-vote *except* its own signature
+    /// share (deferred to quorum-time batching). Pre-votes embedded in
+    /// an abstain justification are still *fully* verified — they come
+    /// from third parties the batch path cannot hold accountable.
+    fn validate_mainvote_lazy(&self, from: PartyId, mv: &MainVote<E>) -> Result<bool, ()> {
         if mv.share.party() != from || mv.round == 0 {
-            return Ok(false);
-        }
-        let to_sign = self.main_msg(mv.round, mv.vote);
-        if !self.public.signing().verify_share(&to_sign, &mv.share) {
             return Ok(false);
         }
         match (&mv.vote, &mv.just) {
@@ -483,7 +527,7 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
             return None; // out-of-range sender
         }
         match msg {
-            AbbaMessage::PreVote(pv) => match self.validate_prevote(from, &pv) {
+            AbbaMessage::PreVote(pv) => match self.validate_prevote_lazy(from, &pv) {
                 Ok(true) => {
                     self.record_prevote(from, pv);
                     self.progress(rng, out)
@@ -494,7 +538,7 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
                     None
                 }
             },
-            AbbaMessage::MainVote(mv) => match self.validate_mainvote(from, &mv) {
+            AbbaMessage::MainVote(mv) => match self.validate_mainvote_lazy(from, &mv) {
                 Ok(true) => {
                     self.record_mainvote(from, mv);
                     self.progress(rng, out)
@@ -509,29 +553,11 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
                 if share.party() != from || round == 0 {
                     return None;
                 }
-                let name = self.coin_name(round);
-                if !self.public.coin().verify_share(&name, &share) {
-                    return None;
-                }
                 let rs = self.rounds.entry(round).or_default();
-                if rs.coin_value.is_some() || !rs.coin_share_parties.insert(from) {
-                    return None; // coin known, or second share from party
+                if rs.coin_value.is_some() || !rs.coin.insert(from, share) {
+                    return None; // coin known, duplicate, or banned party
                 }
-                rs.coin_shares.push(share);
-                let shares = rs.coin_shares.clone();
-                if let Some(value) = self.public.coin().combine(&name, &shares) {
-                    let rs = self.rounds.entry(round).or_default();
-                    rs.coin_value = Some(value);
-                    // Re-inject deferred messages that waited on this coin.
-                    let pending = core::mem::take(&mut rs.pending_coin_just);
-                    for (p_from, p_msg) in pending {
-                        if let Some(d) = self.on_message(p_from, p_msg, rng, out) {
-                            return Some(d);
-                        }
-                    }
-                    return self.progress(rng, out);
-                }
-                None
+                self.try_coin(round, rng, out)
             }
             AbbaMessage::Decided {
                 round,
@@ -566,27 +592,65 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         }
     }
 
+    /// Once a qualified holder set exists, batch-verifies the pending
+    /// coin shares and combines the survivors (proofs are *not*
+    /// re-checked by the combine — they settled in the batch).
+    fn try_coin(
+        &mut self,
+        round: u64,
+        rng: &mut SeededRng,
+        out: &mut Outbox<AbbaMessage<E>>,
+    ) -> Option<bool> {
+        let structure = self.public.structure().clone();
+        let name = self.coin_name(round);
+        let public = Arc::clone(&self.public);
+        let rs = self.rounds.entry(round).or_default();
+        if rs.coin_value.is_some() || !structure.is_qualified(&rs.coin.holders()) {
+            return None;
+        }
+        rs.coin
+            .settle(|batch| public.coin().verify_shares(&name, batch, rng));
+        let shares: Vec<CoinShare> = rs.coin.verified().values().cloned().collect();
+        let value = self.public.coin().combine_preverified(&name, &shares)?;
+        let rs = self.rounds.entry(round).or_default();
+        rs.coin_value = Some(value);
+        // Re-inject deferred messages that waited on this coin.
+        let pending = core::mem::take(&mut rs.pending_coin_just);
+        for (p_from, p_msg) in pending {
+            if let Some(d) = self.on_message(p_from, p_msg, rng, out) {
+                return Some(d);
+            }
+        }
+        self.progress(rng, out)
+    }
+
     fn record_prevote(&mut self, from: PartyId, pv: PreVote<E>) {
         let rs = self.rounds.entry(pv.round).or_default();
-        if !rs.prevote_parties.insert(from) {
-            return; // first pre-vote per party counts
+        if rs.prevote_parties.contains(from)
+            || rs.prevotes.iter().any(|t| t.banned().contains(from))
+        {
+            return; // first pre-vote per party counts; culprits are out
         }
         let idx = pv.value as usize;
-        rs.prevote_by_value[idx].insert(from);
-        rs.prevote_shares[idx].push(pv.share);
-        if rs.prevote_repr[idx].is_none() {
-            rs.prevote_repr[idx] = Some(pv);
+        if rs.prevotes[idx].insert(from, pv) {
+            rs.prevote_parties.insert(from);
+            rs.prevote_by_value[idx].insert(from);
         }
     }
 
     fn record_mainvote(&mut self, from: PartyId, mv: MainVote<E>) {
         let rs = self.rounds.entry(mv.round).or_default();
-        if !rs.mainvote_parties.insert(from) {
+        if rs.mainvote_parties.contains(from)
+            || rs.mainvotes.iter().any(|t| t.banned().contains(from))
+        {
             return;
         }
         let idx = mv.vote.code() as usize;
+        if !rs.mainvotes[idx].insert(from, mv.share) {
+            return;
+        }
+        rs.mainvote_parties.insert(from);
         rs.mainvote_by_value[idx].insert(from);
-        rs.mainvote_shares[idx].push(mv.share);
         if rs.value_just.is_none() {
             if let (MainVoteValue::Zero | MainVoteValue::One, MainVoteJust::Value(sig)) =
                 (&mv.vote, &mv.just)
@@ -615,7 +679,7 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         }
     }
 
-    /// Pre-vote quorum → send main-vote + coin share.
+    /// Pre-vote quorum → settle the batch → send main-vote + coin share.
     fn try_mainvote_phase(
         &mut self,
         round: u64,
@@ -623,39 +687,59 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         out: &mut Outbox<AbbaMessage<E>>,
     ) -> Option<bool> {
         let structure = self.public.structure().clone();
-        let rs = self.rounds.entry(round).or_default();
-        if rs.my_mainvote_sent || !structure.is_core(&rs.prevote_parties) {
-            return None;
+        {
+            let rs = self.rounds.entry(round).or_default();
+            if rs.my_mainvote_sent || !structure.is_core(&rs.prevote_parties) {
+                return None;
+            }
+        }
+        // A candidate core quorum exists: batch-verify the deferred
+        // signature shares (one multi-exp per value class), cull any
+        // culprits, and only proceed if the survivors still form a core.
+        let msgs = [self.pre_msg(round, false), self.pre_msg(round, true)];
+        let public = Arc::clone(&self.public);
+        let rs = self.rounds.get_mut(&round).unwrap();
+        for (idx, msg) in msgs.iter().enumerate() {
+            let culprits = rs.prevotes[idx].settle(|batch| {
+                let shares: Vec<SignatureShare> = batch.iter().map(|pv| pv.share).collect();
+                public.signing().verify_shares(msg, &shares, rng)
+            });
+            for culprit in culprits {
+                rs.prevote_parties.remove(culprit);
+                rs.prevote_by_value[idx].remove(culprit);
+            }
+        }
+        if !structure.is_core(&rs.prevote_parties) {
+            return None; // culling broke the quorum; wait for more votes
         }
         rs.my_mainvote_sent = true;
         let zeros = rs.prevote_by_value[0];
         let ones = rs.prevote_by_value[1];
-        let (vote, just) = if ones == rs.prevote_parties {
-            let sig = self
-                .public
+        let (vote, just) = if ones == rs.prevote_parties || zeros == rs.prevote_parties {
+            let bit = ones == rs.prevote_parties;
+            let shares: Vec<SignatureShare> = rs.prevotes[bit as usize]
+                .verified()
+                .values()
+                .map(|pv| pv.share)
+                .collect();
+            let sig = public
                 .signing()
-                .combine(
-                    &self.pre_msg(round, true),
-                    &self.rounds[&round].prevote_shares[1],
-                    QuorumRule::Core,
-                )
+                .combine_preverified(&shares, QuorumRule::Core)
                 .expect("core quorum of unanimous pre-votes combines");
-            (MainVoteValue::One, MainVoteJust::Value(sig))
-        } else if zeros == rs.prevote_parties {
-            let sig = self
-                .public
-                .signing()
-                .combine(
-                    &self.pre_msg(round, false),
-                    &self.rounds[&round].prevote_shares[0],
-                    QuorumRule::Core,
-                )
-                .expect("core quorum of unanimous pre-votes combines");
-            (MainVoteValue::Zero, MainVoteJust::Value(sig))
+            (MainVoteValue::of_bit(bit), MainVoteJust::Value(sig))
         } else {
-            let rs = &self.rounds[&round];
-            let pv0 = rs.prevote_repr[0].clone().expect("mixed quorum has a 0");
-            let pv1 = rs.prevote_repr[1].clone().expect("mixed quorum has a 1");
+            let pv0 = rs.prevotes[0]
+                .verified()
+                .values()
+                .next()
+                .cloned()
+                .expect("mixed quorum has a 0");
+            let pv1 = rs.prevotes[1]
+                .verified()
+                .values()
+                .next()
+                .cloned()
+                .expect("mixed quorum has a 1");
             (
                 MainVoteValue::Abstain,
                 MainVoteJust::Abstain(Box::new(pv0), Box::new(pv1)),
@@ -720,23 +804,43 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         if self.rounds[&round].main_quorum_done {
             return None;
         }
-        self.rounds.get_mut(&round).unwrap().main_quorum_done = true;
+        // A candidate core quorum of main-votes exists: settle the
+        // deferred signature shares (one batch per vote class) before
+        // committing to the quorum.
+        let msgs = [
+            self.main_msg(round, MainVoteValue::Zero),
+            self.main_msg(round, MainVoteValue::One),
+            self.main_msg(round, MainVoteValue::Abstain),
+        ];
+        let public = Arc::clone(&self.public);
+        let rs = self.rounds.get_mut(&round).unwrap();
+        for (idx, msg) in msgs.iter().enumerate() {
+            let culprits =
+                rs.mainvotes[idx].settle(|batch| public.signing().verify_shares(msg, batch, rng));
+            for culprit in culprits {
+                rs.mainvote_parties.remove(culprit);
+                rs.mainvote_by_value[idx].remove(culprit);
+            }
+        }
+        if !structure.is_core(&rs.mainvote_parties) {
+            return None; // culling broke the quorum; wait for more votes
+        }
+        rs.main_quorum_done = true;
 
-        let rs = &self.rounds[&round];
         let all = rs.mainvote_parties;
         let ones = rs.mainvote_by_value[1];
         let zeros = rs.mainvote_by_value[0];
         if ones == all || zeros == all {
             // Unanimous bit quorum: decide.
             let bit = ones == all;
-            let proof = self
-                .public
+            let shares: Vec<SignatureShare> = rs.mainvotes[bit as usize]
+                .verified()
+                .values()
+                .cloned()
+                .collect();
+            let proof = public
                 .signing()
-                .combine(
-                    &self.main_msg(round, MainVoteValue::of_bit(bit)),
-                    &rs.mainvote_shares[bit as usize],
-                    QuorumRule::Core,
-                )
+                .combine_preverified(&shares, QuorumRule::Core)
                 .expect("unanimous core main-vote quorum combines");
             return self.decide(round, bit, proof, out);
         }
@@ -751,14 +855,14 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
             return None;
         }
         // All abstain: pre-vote the coin.
-        let abstain_sig = self
-            .public
+        let abstain_shares: Vec<SignatureShare> = self.rounds[&round].mainvotes[2]
+            .verified()
+            .values()
+            .cloned()
+            .collect();
+        let abstain_sig = public
             .signing()
-            .combine(
-                &self.main_msg(round, MainVoteValue::Abstain),
-                &self.rounds[&round].mainvote_shares[2],
-                QuorumRule::Core,
-            )
+            .combine_preverified(&abstain_shares, QuorumRule::Core)
             .expect("all-abstain core quorum combines");
         let coin = self.rounds[&round].coin_value;
         match coin {

@@ -482,7 +482,7 @@ fn decode_list(bytes: &[u8]) -> Option<Vec<(PartyId, Vec<u8>, Signature)>> {
         }
         let payload = take(&mut rest, len)?;
         let sig_bytes: [u8; 64] = take(&mut rest, 64)?.try_into().ok()?;
-        out.push((party, payload, Signature::from_bytes(&sig_bytes)));
+        out.push((party, payload, Signature::from_bytes(&sig_bytes)?));
     }
     if !rest.is_empty() {
         return None;

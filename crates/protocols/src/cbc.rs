@@ -15,9 +15,9 @@
 //! count is `O(n)` versus reliable broadcast's `O(n²)` — the difference
 //! experiment E3 measures.
 
-use crate::common::{digest, send_all, Digest, Outbox, Tag};
+use crate::common::{digest, send_all, BatchedShares, Digest, Outbox, Tag};
 use serde::{Deserialize, Serialize};
-use sintra_adversary::party::{PartyId, PartySet};
+use sintra_adversary::party::PartyId;
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_crypto::tsig::{QuorumRule, SignatureShare, ThresholdSignature};
@@ -57,11 +57,10 @@ pub struct ConsistentBroadcast {
     bundle: Arc<ServerKeyBundle>,
     /// Sender side: payload being vouched.
     my_payload: Option<(Vec<u8>, Digest)>,
-    /// Sender side: collected shares (one per party, see `share_parties`).
-    shares: Vec<SignatureShare>,
-    /// Sender side: parties whose share was already accepted, so a
-    /// duplicate (even valid) share can never poison the aggregation.
-    share_parties: PartySet,
+    /// Sender side: collected echo shares, batch-verified only once a
+    /// candidate core quorum exists (one share per party; duplicates and
+    /// culled parties are rejected by the tracker).
+    shares: BatchedShares<SignatureShare>,
     final_sent: bool,
     echoed: bool,
     delivered: bool,
@@ -83,8 +82,7 @@ impl ConsistentBroadcast {
             public,
             bundle,
             my_payload: None,
-            shares: Vec::new(),
-            share_parties: PartySet::new(),
+            shares: BatchedShares::new(),
             final_sent: false,
             echoed: false,
             delivered: false,
@@ -155,20 +153,23 @@ impl ConsistentBroadcast {
                     Some(p) => p.clone(),
                     None => return None,
                 };
-                if share.party() != from || self.share_parties.contains(from) {
-                    return None; // relayed foreign shares or duplicates
+                if share.party() != from || !self.shares.insert(from, share) {
+                    return None; // relayed foreign shares, dupes, culprits
                 }
-                let to_sign = self.signed_message(&d);
-                if !self.public.signing().verify_share(&to_sign, &share) {
+                // Quorum-time batching: echo shares are only accepted
+                // structurally here; once a candidate core quorum exists
+                // they are verified together (one multi-exp) and invalid
+                // senders culled before the voucher is combined.
+                if !self.public.structure().is_core(&self.shares.holders()) {
                     return None;
                 }
-                self.share_parties.insert(from);
-                self.shares.push(share);
-                if let Ok(sig) =
-                    self.public
-                        .signing()
-                        .combine(&to_sign, &self.shares, QuorumRule::Core)
-                {
+                let to_sign = self.signed_message(&d);
+                let signing = self.public.signing();
+                self.shares
+                    .settle(|batch| signing.verify_shares(&to_sign, batch, rng));
+                let verified: Vec<SignatureShare> =
+                    self.shares.verified().values().cloned().collect();
+                if let Ok(sig) = signing.combine_preverified(&verified, QuorumRule::Core) {
                     self.final_sent = true;
                     send_all(out, self.n, CbcMessage::Final(payload, sig));
                 }

@@ -1,11 +1,12 @@
 //! Shared plumbing for the protocol stack: per-server context, instance
 //! tags, and sub-protocol outboxes.
 
-use sintra_adversary::party::PartyId;
+use sintra_adversary::party::{PartyId, PartySet};
 use sintra_adversary::structure::TrustStructure;
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::hash::Sha256;
 use sintra_crypto::rng::SeededRng;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A 32-byte message digest.
@@ -82,6 +83,104 @@ impl core::fmt::Debug for Tag {
             }
         }
         write!(f, ")")
+    }
+}
+
+/// Quorum-time batch verification tracker for threshold shares.
+///
+/// The seed protocols verified every share's validity proof on arrival.
+/// With random-linear-combination batch verification it is much cheaper
+/// to accept shares *structurally*, wait until a candidate quorum is
+/// present, and check the whole set with one multi-exponentiation. This
+/// tracker holds the unverified pool and the settled set, and remembers
+/// culprits: a party whose share fails settlement is banned, and later
+/// shares from banned parties are dropped on arrival — a Byzantine
+/// sender gets exactly one chance to poison a batch, so the expensive
+/// per-share fallback runs at most once per faulty party.
+#[derive(Clone, Debug)]
+pub struct BatchedShares<S> {
+    pending: BTreeMap<PartyId, S>,
+    verified: BTreeMap<PartyId, S>,
+    banned: PartySet,
+}
+
+impl<S> Default for BatchedShares<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> BatchedShares<S> {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        BatchedShares {
+            pending: BTreeMap::new(),
+            verified: BTreeMap::new(),
+            banned: PartySet::new(),
+        }
+    }
+
+    /// Records a share from `party` (first share wins; banned parties
+    /// and duplicates are ignored). Returns whether it was stored.
+    pub fn insert(&mut self, party: PartyId, share: S) -> bool {
+        if self.banned.contains(party)
+            || self.pending.contains_key(&party)
+            || self.verified.contains_key(&party)
+        {
+            return false;
+        }
+        self.pending.insert(party, share);
+        true
+    }
+
+    /// Parties with a recorded (pending or settled) share — the
+    /// candidate set for quorum checks.
+    pub fn holders(&self) -> PartySet {
+        let mut set = PartySet::new();
+        for p in self.pending.keys().chain(self.verified.keys()) {
+            set.insert(*p);
+        }
+        set
+    }
+
+    /// Whether any shares still await verification.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// The settled shares, by party.
+    pub fn verified(&self) -> &BTreeMap<PartyId, S> {
+        &self.verified
+    }
+
+    /// Parties banned by earlier settlements.
+    pub fn banned(&self) -> &PartySet {
+        &self.banned
+    }
+
+    /// Batch-verifies all pending shares via `verify` (a closure over a
+    /// scheme's `verify_shares`, returning the culprit parties on
+    /// failure). Culprits are banned and their shares dropped; the
+    /// survivors move to the settled set. Returns the banned-this-call
+    /// culprits, empty when the whole batch was clean.
+    pub fn settle(&mut self, verify: impl FnOnce(&[S]) -> Result<(), Vec<PartyId>>) -> Vec<PartyId>
+    where
+        S: Clone,
+    {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let batch: Vec<S> = self.pending.values().cloned().collect();
+        let culprits = match verify(&batch) {
+            Ok(()) => Vec::new(),
+            Err(culprits) => culprits,
+        };
+        for culprit in &culprits {
+            self.pending.remove(culprit);
+            self.banned.insert(*culprit);
+        }
+        self.verified.append(&mut self.pending);
+        culprits
     }
 }
 
@@ -190,5 +289,47 @@ mod tests {
     fn digest_is_stable() {
         assert_eq!(digest(b"x"), digest(b"x"));
         assert_ne!(digest(b"x"), digest(b"y"));
+    }
+
+    #[test]
+    fn batched_shares_dedups_and_tracks_holders() {
+        let mut tracker: BatchedShares<u8> = BatchedShares::new();
+        assert!(tracker.insert(1, 10));
+        assert!(!tracker.insert(1, 11), "first share per party wins");
+        assert!(tracker.insert(2, 20));
+        assert!(tracker.has_pending());
+        let holders = tracker.holders();
+        assert!(holders.contains(1) && holders.contains(2) && holders.len() == 2);
+        // A clean settlement moves everything to the verified set.
+        assert!(tracker.settle(|_| Ok(())).is_empty());
+        assert!(!tracker.has_pending());
+        assert_eq!(tracker.verified().len(), 2);
+        // Holders still counts settled shares; duplicates stay rejected.
+        assert_eq!(tracker.holders().len(), 2);
+        assert!(!tracker.insert(2, 21));
+    }
+
+    #[test]
+    fn batched_shares_bans_culprits_once() {
+        let mut tracker: BatchedShares<u8> = BatchedShares::new();
+        tracker.insert(0, 1);
+        tracker.insert(3, 99);
+        // Settlement attributes party 3; its share is dropped, the
+        // survivor is settled.
+        let culprits = tracker.settle(|batch| {
+            assert_eq!(batch, &[1, 99]);
+            Err(vec![3])
+        });
+        assert_eq!(culprits, vec![3]);
+        assert!(tracker.banned().contains(3));
+        assert_eq!(tracker.verified().len(), 1);
+        assert!(tracker.verified().contains_key(&0));
+        // A banned party never re-enters, so it poisons at most one
+        // batch.
+        assert!(!tracker.insert(3, 100));
+        assert!(!tracker.holders().contains(3));
+        // Settling with nothing pending is a no-op.
+        assert!(tracker.settle(|_| Err(vec![0])).is_empty());
+        assert_eq!(tracker.verified().len(), 1);
     }
 }

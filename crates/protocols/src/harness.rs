@@ -25,6 +25,7 @@ use sintra_crypto::rng::SeededRng;
 use sintra_net::campaign::{invariants, BehaviorKind, CampaignHooks};
 use sintra_net::faults;
 use sintra_net::sim::Behavior;
+use std::cell::Cell;
 use std::sync::Arc;
 
 /// Parties in the standard campaign configuration.
@@ -231,6 +232,69 @@ pub fn abba_hooks<'a>() -> CampaignHooks<'a, AbbaNode> {
         check: Box::new(|outcome| {
             invariants::agreement(outcome)?;
             invariants::liveness(outcome, 1)
+        }),
+    }
+}
+
+// ------------------------------- ABBA coin tampering (attribution)
+
+fn abba_tamper_coin(m: &mut AbbaMessage<()>) {
+    if let AbbaMessage::Coin { share, .. } = m {
+        share.tamper();
+    }
+}
+
+/// Campaign hooks for the coin-share tampering sweep (satellite of the
+/// batch-verification fast path): the corrupted party runs the real
+/// protocol, but every outgoing coin share is perturbed so its
+/// Chaum-Pedersen proofs fail while staying structurally valid. Honest
+/// parties must still agree and terminate (the coin settles from honest
+/// shares after the per-share fallback culls the bad one), and — via
+/// the final node states in [`RunOutcome`](sintra_net::campaign::RunOutcome)
+/// — batch verification must attribute failures *only* to corrupted
+/// parties. Every culprit attribution observed at an honest node is
+/// counted into `attributions`, so a sweep can additionally assert that
+/// the fallback path actually fired somewhere in the grid.
+pub fn abba_coin_tamper_hooks(attributions: &Cell<usize>) -> CampaignHooks<'_, AbbaNode> {
+    CampaignHooks {
+        nodes: Box::new(|seed| abba_nodes(N, T, seed)),
+        behavior: Box::new(|kind, party, seed| {
+            let cs = case_seed(seed, party);
+            match kind {
+                BehaviorKind::Mutate => faults::mutator(
+                    party,
+                    abba_nodes(N, T, cs).remove(party),
+                    Some(false),
+                    |m, _| abba_tamper_coin(m),
+                    100,
+                    seed,
+                ),
+                _ => Behavior::Crash,
+            }
+        }),
+        inputs: Box::new(|_seed, corrupted| {
+            (0..N)
+                .filter(|p| !corrupted.contains(*p))
+                .map(|p| (p, p % 2 == 0))
+                .collect()
+        }),
+        check: Box::new(move |outcome| {
+            invariants::agreement(outcome)?;
+            invariants::liveness(outcome, 1)?;
+            for p in outcome.honest() {
+                let node = outcome.nodes[p]
+                    .as_ref()
+                    .ok_or_else(|| format!("honest party {p} has no final node state"))?;
+                let banned = node.instance().banned_parties();
+                if !banned.is_subset_of(&outcome.corrupted) {
+                    return Err(format!(
+                        "party {p} attributed honest parties: banned {banned}, corrupted {}",
+                        outcome.corrupted
+                    ));
+                }
+                attributions.set(attributions.get() + banned.len());
+            }
+            Ok(())
         }),
     }
 }

@@ -27,7 +27,7 @@
 
 use crate::abba::{Abba, AbbaMessage, EvidenceCheck};
 use crate::cbc::{CbcMessage, ConsistentBroadcast, Voucher};
-use crate::common::{send_all, Outbox, Tag};
+use crate::common::{send_all, BatchedShares, Outbox, Tag};
 use parking_lot::Mutex;
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::coin::CoinShare;
@@ -97,8 +97,9 @@ pub struct Mvba {
     proposed: bool,
     elections_started: bool,
     election: u64,
-    /// Coin shares per election (buffered ahead of need).
-    elect_shares: BTreeMap<u64, Vec<CoinShare>>,
+    /// Coin shares per election (buffered ahead of need; proofs are
+    /// batch-verified only once a qualified holder set exists).
+    elect_shares: BTreeMap<u64, BatchedShares<CoinShare>>,
     /// Decided candidate per election.
     candidates: BTreeMap<u64, PartyId>,
     /// Running ABBA instances (created once the candidate is known).
@@ -182,7 +183,7 @@ impl Mvba {
     /// Buffered election coin shares (observability for the
     /// flooding-bound tests).
     pub fn buffered_elect_shares(&self) -> usize {
-        self.elect_shares.values().map(Vec::len).sum()
+        self.elect_shares.values().map(|t| t.holders().len()).sum()
     }
 
     /// Starts the instance with this party's proposal.
@@ -266,18 +267,15 @@ impl Mvba {
                 if share.party() != from || election > self.election + ELECTION_LOOKAHEAD {
                     return None; // forged origin or beyond buffer window
                 }
-                let name = self.elect_coin_name(election);
-                if !self.public.coin().verify_share(&name, &share) {
-                    return None;
-                }
                 if self.candidates.contains_key(&election) {
                     return None;
                 }
+                // Accepted structurally; the validity proof is checked in
+                // `try_elect` as part of the quorum batch.
                 let shares = self.elect_shares.entry(election).or_default();
-                if shares.iter().any(|s| s.party() == from) {
+                if !shares.insert(from, share) {
                     return None; // one share per party per election
                 }
-                shares.push(share);
                 self.try_elect(election, rng, out)
             }
             MvbaMessage::Vote { election, inner } => {
@@ -374,11 +372,16 @@ impl Mvba {
             return None;
         }
         let name = self.elect_coin_name(election);
-        let shares = match self.elect_shares.get(&election) {
-            Some(s) => s.clone(),
-            None => return None,
-        };
-        let value = self.public.coin().combine(&name, &shares)?;
+        let tracker = self.elect_shares.get_mut(&election)?;
+        if !self.public.structure().is_qualified(&tracker.holders()) {
+            return None;
+        }
+        // Batch-verify the pending shares' DLEQ proofs in one multi-exp;
+        // culprits are banned and the combine skips proof re-checks.
+        let coin = self.public.coin();
+        tracker.settle(|batch| coin.verify_shares(&name, batch, rng));
+        let shares: Vec<CoinShare> = tracker.verified().values().cloned().collect();
+        let value = self.public.coin().combine_preverified(&name, &shares)?;
         let candidate = (value.u64() % self.n as u64) as PartyId;
         self.candidates.insert(election, candidate);
         // Build the biased ABBA whose evidence is the candidate's

@@ -36,7 +36,7 @@
 //! randomized protocol (big win when the network is calm) and drives the
 //! fallback under a corrupted sequencer (safety and liveness retained).
 
-use crate::common::{digest, send_all, Digest, Outbox, Tag};
+use crate::common::{digest, send_all, BatchedShares, Digest, Outbox, Tag};
 use crate::mvba::{Mvba, MvbaMessage, ValidityPredicate};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
@@ -168,12 +168,12 @@ struct Slot {
     /// First proposal received (payload, digest).
     proposal: Option<(Vec<u8>, Digest)>,
     my_prepare_sent: bool,
-    /// Prepare shares per digest.
-    prepare_shares: HashMap<Digest, Vec<SignatureShare>>,
+    /// Prepare shares per digest (batch-verified at quorum time).
+    prepare_shares: HashMap<Digest, BatchedShares<SignatureShare>>,
     prepared: Option<(Digest, ThresholdSignature)>,
     my_commit_sent: bool,
-    /// Commit shares per digest.
-    commit_shares: HashMap<Digest, Vec<SignatureShare>>,
+    /// Commit shares per digest (batch-verified at quorum time).
+    commit_shares: HashMap<Digest, BatchedShares<SignatureShare>>,
     committed: bool,
 }
 
@@ -196,8 +196,8 @@ pub struct OptimisticBroadcast {
     /// `next_seq` must re-propose, if any honest replica may have
     /// delivered it.
     lock: Option<PreparedEntry>,
-    // Complaint machinery.
-    complaints: HashMap<u64, Vec<SignatureShare>>,
+    // Complaint machinery (shares batch-verified at quorum time).
+    complaints: HashMap<u64, BatchedShares<SignatureShare>>,
     my_complaint_sent: HashSet<u64>,
     /// Epochs whose fast path is abandoned.
     changing: HashSet<u64>,
@@ -474,27 +474,28 @@ impl OptimisticBroadcast {
             return;
         }
         let msg = self.prepare_msg(epoch, seq, &d);
-        if !self.public.signing().verify_share(&msg, &share) {
-            return;
-        }
         let slot = self.slots.entry((epoch, seq)).or_default();
         if slot.prepared.is_some() {
             return;
         }
         let shares = slot.prepare_shares.entry(d).or_default();
-        if shares.iter().any(|s| s.party() == from) {
+        if !shares.insert(from, share) {
+            return; // duplicate or previously culled sender
+        }
+        // A fresh share is fast-path progress (bounded: one per party
+        // per slot, so corrupted parties cannot stall the timer).
+        self.ticks_since_progress = 0;
+        // Quorum-time batching: shares are only accepted structurally
+        // above; once a candidate strong quorum exists they are verified
+        // together (one multi-exp) and invalid senders culled before the
+        // certificate is combined.
+        if !self.public.structure().is_strong(&shares.holders()) {
             return;
         }
-        shares.push(share);
-        // A fresh verified share is fast-path progress (bounded: one per
-        // party per slot, so corrupted parties cannot stall the timer).
-        self.ticks_since_progress = 0;
-        let shares = shares.clone();
-        if let Ok(cert) = self
-            .public
-            .signing()
-            .combine(&msg, &shares, QuorumRule::Strong)
-        {
+        let signing = self.public.signing();
+        shares.settle(|batch| signing.verify_shares(&msg, batch, rng));
+        let verified: Vec<SignatureShare> = shares.verified().values().cloned().collect();
+        if let Ok(cert) = signing.combine_preverified(&verified, QuorumRule::Strong) {
             let slot = self.slots.entry((epoch, seq)).or_default();
             slot.prepared = Some((d, cert));
             self.ticks_since_progress = 0;
@@ -531,25 +532,22 @@ impl OptimisticBroadcast {
             return Vec::new();
         }
         let msg = self.commit_msg(epoch, seq, &d);
-        if !self.public.signing().verify_share(&msg, &share) {
-            return Vec::new();
-        }
         let slot = self.slots.entry((epoch, seq)).or_default();
         if slot.committed {
             return Vec::new();
         }
         let shares = slot.commit_shares.entry(d).or_default();
-        if shares.iter().any(|s| s.party() == from) {
+        if !shares.insert(from, share) {
+            return Vec::new(); // duplicate or previously culled sender
+        }
+        self.ticks_since_progress = 0;
+        if !self.public.structure().is_strong(&shares.holders()) {
             return Vec::new();
         }
-        shares.push(share);
-        self.ticks_since_progress = 0;
-        let shares = shares.clone();
-        if let Ok(cert) = self
-            .public
-            .signing()
-            .combine(&msg, &shares, QuorumRule::Strong)
-        {
+        let signing = self.public.signing();
+        shares.settle(|batch| signing.verify_shares(&msg, batch, rng));
+        let verified: Vec<SignatureShare> = shares.verified().values().cloned().collect();
+        if let Ok(cert) = signing.combine_preverified(&verified, QuorumRule::Strong) {
             let payload = self
                 .slots
                 .get(&(epoch, seq))
@@ -645,16 +643,19 @@ impl OptimisticBroadcast {
             return;
         }
         let msg = self.complain_msg(epoch);
-        if !self.public.signing().verify_share(&msg, &share) {
-            return;
-        }
         let list = self.complaints.entry(epoch).or_default();
-        if list.iter().any(|s| s.party() == from) {
+        if !list.insert(from, share) {
+            return; // duplicate or previously culled sender
+        }
+        if !self.public.structure().is_qualified(&list.holders()) || self.changing.contains(&epoch)
+        {
             return;
         }
-        list.push(share);
-        let voters: PartySet = list.iter().map(|s| s.party()).collect();
-        if self.public.structure().is_qualified(&voters) && !self.changing.contains(&epoch) {
+        // Quorum-time batching: the complaint quorum must survive batch
+        // verification before the epoch's fast path is abandoned.
+        let signing = self.public.signing();
+        list.settle(|batch| signing.verify_shares(&msg, batch, rng));
+        if self.public.structure().is_qualified(&list.holders()) {
             // Echo our own complaint so everyone reaches the quorum, then
             // abandon the epoch's fast path and report state.
             self.send_complaint(epoch, rng, out);
@@ -699,7 +700,7 @@ impl OptimisticBroadcast {
             epoch,
             next_seq: self.next_seq,
             prepared,
-            sig: Signature::from_bytes(&[0u8; 64]),
+            sig: Signature::placeholder(),
         };
         let content = encode_report_content(&report);
         report.sig = self
@@ -998,7 +999,7 @@ fn decode_report(bytes: &[u8]) -> Option<StateReport> {
         epoch,
         next_seq,
         prepared,
-        sig: Signature::from_bytes(&sig_bytes),
+        sig: Signature::from_bytes(&sig_bytes)?,
     })
 }
 
@@ -1327,7 +1328,7 @@ mod tests {
                 cert,
                 payload: b"payload".to_vec(),
             }),
-            sig: Signature::from_bytes(&[0u8; 64]),
+            sig: Signature::placeholder(),
         };
         let content = encode_report_content(&report);
         report.sig = bundles[2].auth_key().sign(

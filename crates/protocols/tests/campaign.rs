@@ -22,7 +22,8 @@ use sintra_net::faults;
 use sintra_net::protocol::{Effects, Protocol};
 use sintra_net::sim::{Behavior, RandomScheduler, Simulation};
 use sintra_protocols::harness::{
-    abba_hooks, abc_build, abc_hooks, abc_payloads, cbc_hooks, mvba_hooks, rbc_hooks, N, T,
+    abba_coin_tamper_hooks, abba_hooks, abc_build, abc_hooks, abc_payloads, cbc_hooks, mvba_hooks,
+    rbc_hooks, N, T,
 };
 use sintra_protocols::nodes::{abba_nodes, cbc_nodes, mvba_nodes, rbc_nodes, RbcNode};
 use sintra_protocols::rbc::RbcMessage;
@@ -68,6 +69,25 @@ fn campaign_abba_full_grid() {
     let report = run_campaign(&plan(5_000_000), &abba_hooks());
     assert_eq!(report.cases_run, 3 * 6 * 8);
     assert!(report.passed(), "{}", report.summary());
+}
+
+/// The batch-verification attribution sweep: the corrupted party
+/// tampers every outgoing coin share (structurally valid, proofs
+/// broken). Agreement and liveness must hold, no honest party may ever
+/// be attributed as a culprit, and the per-share fallback must actually
+/// fire — and blame the tamperer — somewhere in the grid.
+#[test]
+fn campaign_abba_coin_tamper_attributes_culprits() {
+    let attributions = std::cell::Cell::new(0usize);
+    let mut plan = plan(5_000_000);
+    plan.behaviors = vec![BehaviorKind::Mutate];
+    let report = run_campaign(&plan, &abba_coin_tamper_hooks(&attributions));
+    assert_eq!(report.cases_run, 3 * 8);
+    assert!(report.passed(), "{}", report.summary());
+    assert!(
+        attributions.get() > 0,
+        "coin tampering was never attributed to the corrupted party anywhere in the grid"
+    );
 }
 
 #[test]
