@@ -31,7 +31,9 @@ fn run_atomic<S: StateMachine + Clone + 'static>(
     let (public, bundles) = deal(4, 1, seed);
     let public_arc = Arc::new(public.clone());
     let replicas = atomic_replicas(public, bundles, move |_| machine.clone(), seed);
-    let mut sim = Simulation::new(replicas, RandomScheduler, seed + 1);
+    let mut sim = Simulation::builder(replicas, RandomScheduler)
+        .seed(seed + 1)
+        .build();
     for (p, r) in requests {
         sim.input(p, r);
     }
@@ -124,7 +126,9 @@ fn notary_over_causal_broadcast_with_crash() {
     let (public, bundles) = deal(4, 1, 920);
     let public_arc = Arc::new(public.clone());
     let replicas = causal_replicas(public, bundles, |_| NotaryService::new(), 920);
-    let mut sim = Simulation::new(replicas, RandomScheduler, 921);
+    let mut sim = Simulation::builder(replicas, RandomScheduler)
+        .seed(921)
+        .build();
     sim.corrupt(3, Behavior::Crash);
     sim.input(0, filing.clone());
     sim.run_until_quiet(500_000_000);
@@ -162,7 +166,9 @@ fn auth_service_issues_verifiable_assertions() {
     let (public, bundles) = deal(4, 1, 930);
     let public_arc = Arc::new(public.clone());
     let replicas = causal_replicas(public, bundles, |_| AuthService::new(), 930);
-    let mut sim = Simulation::new(replicas, RandomScheduler, 931);
+    let mut sim = Simulation::builder(replicas, RandomScheduler)
+        .seed(931)
+        .build();
     sim.input(0, enroll.clone());
     sim.input(1, login_ok.clone());
     sim.input(2, login_bad.clone());

@@ -70,7 +70,9 @@ fn bench_scabc_overhead(c: &mut Criterion) {
             seed += 1;
             let (public, bundles) = dealt_system(n, t, seed).unwrap();
             let nodes = abc_nodes(public, bundles, seed);
-            let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+            let mut sim = Simulation::builder(nodes, RandomScheduler)
+                .seed(seed)
+                .build();
             sim.input(0, b"request".to_vec());
             sim.run_until_quiet(200_000_000);
             assert_eq!(sim.outputs(1).len(), 1);
@@ -82,7 +84,9 @@ fn bench_scabc_overhead(c: &mut Criterion) {
             seed += 1;
             let (public, bundles) = dealt_system(n, t, seed).unwrap();
             let nodes = scabc_nodes(public, bundles, seed);
-            let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+            let mut sim = Simulation::builder(nodes, RandomScheduler)
+                .seed(seed)
+                .build();
             sim.input(0, (b"request".to_vec(), b"label".to_vec()));
             sim.run_until_quiet(200_000_000);
             assert_eq!(sim.outputs(1).len(), 1);

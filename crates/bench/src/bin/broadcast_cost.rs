@@ -16,7 +16,7 @@ use bench::print_table;
 use sintra::crypto::rng::SeededRng;
 use sintra::net::{Effects, Protocol, RandomScheduler, Simulation};
 use sintra::protocols::cbc::{CbcMessage, ConsistentBroadcast};
-use sintra::protocols::common::Tag;
+use sintra::protocols::common::{Outbox, Tag};
 use sintra::protocols::rbc::{RbcMessage, ReliableBroadcast};
 use sintra::setup::dealt_system;
 
@@ -30,14 +30,14 @@ impl Protocol for RbcNode {
     type Input = Vec<u8>;
     type Output = Vec<u8>;
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.rbc.n());
         self.rbc.broadcast(input, &mut out);
         for (to, m) in out {
             fx.send(to, m);
         }
     }
     fn on_message(&mut self, from: usize, msg: RbcMessage, fx: &mut Effects<RbcMessage, Vec<u8>>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.rbc.n());
         if let Some(d) = self.rbc.on_message(from, msg, &mut out) {
             fx.output(d);
         }
@@ -58,14 +58,14 @@ impl Protocol for CbcNode {
     type Input = Vec<u8>;
     type Output = Vec<u8>;
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<CbcMessage, Vec<u8>>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.cbc.n());
         self.cbc.broadcast(input, &mut out);
         for (to, m) in out {
             fx.send(to, m);
         }
     }
     fn on_message(&mut self, from: usize, msg: CbcMessage, fx: &mut Effects<CbcMessage, Vec<u8>>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.cbc.n());
         if let Some(v) = self.cbc.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(v.payload);
         }
@@ -96,7 +96,9 @@ fn main() {
                     rbc: ReliableBroadcast::new(me, structure.clone(), 0),
                 })
                 .collect();
-            let mut sim = Simulation::new(rbc_nodes, RandomScheduler, 32);
+            let mut sim = Simulation::builder(rbc_nodes, RandomScheduler)
+                .seed(32)
+                .build();
             // Count bytes through a tracking pass: run and inspect stats;
             // sizes are analytic per message kind.
             sim.input(0, payload.clone());
@@ -121,7 +123,9 @@ fn main() {
                     rng: SeededRng::new(34),
                 })
                 .collect();
-            let mut sim = Simulation::new(cbc_nodes, RandomScheduler, 35);
+            let mut sim = Simulation::builder(cbc_nodes, RandomScheduler)
+                .seed(35)
+                .build();
             sim.input(0, payload.clone());
             sim.run_until_quiet(10_000_000);
             let cbc_msgs = sim.stats().sent + sim.stats().local_deliveries;

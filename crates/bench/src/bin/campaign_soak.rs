@@ -11,7 +11,15 @@
 //!
 //! ```sh
 //! cargo run --release -p bench --bin campaign_soak
+//! cargo run --release -p bench --bin campaign_soak -- --metrics
 //! ```
+//!
+//! With `--metrics` every run is instrumented: per-layer message
+//! counts, decision-round histograms, and global crypto-op counters are
+//! merged across the whole grid, printed as a summary table, and
+//! written to `metrics_dump.json` (deterministic JSON — byte-identical
+//! grids produce byte-identical files). `--quick` shrinks the grid
+//! (2 schedulers × 4 seeds) for CI smoke use.
 //!
 //! A failure report names the minimal failing case (scheduler ×
 //! behavior × corrupted set × seed); replay it under a debugger with
@@ -19,36 +27,61 @@
 
 use sintra::adversary::party::PartySet;
 use sintra::net::campaign::{run_campaign, BehaviorKind, CampaignPlan, SchedulerKind};
+use sintra::obs::sink::{summary_table, to_json};
+use sintra::obs::MetricsSnapshot;
 use sintra::protocols::harness::{abba_hooks, abc_hooks, cbc_hooks, mvba_hooks, rbc_hooks};
 use std::time::Instant;
 
+/// Flight-recorder capacity per party under `--metrics`.
+const RECORDER_CAPACITY: usize = 4096;
+
 /// The full grid: every scheduler kind, every behavior, 16 seeds.
-fn full_plan(max_steps: u64) -> CampaignPlan {
+fn full_plan(max_steps: u64, quick: bool, metrics: bool) -> CampaignPlan {
+    let mut schedulers = vec![
+        SchedulerKind::Random,
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+        SchedulerKind::TargetedDelay(PartySet::singleton(0)),
+        SchedulerKind::Partition {
+            group: [0, 1].into_iter().collect(),
+            heal_at: 2_000,
+        },
+        SchedulerKind::Lossy {
+            drop_percent: 40,
+            budget: 64,
+        },
+    ];
+    let mut seeds: Vec<u64> = (0..16).collect();
+    if quick {
+        schedulers.truncate(2);
+        seeds.truncate(4);
+    }
     CampaignPlan {
-        schedulers: vec![
-            SchedulerKind::Random,
-            SchedulerKind::Fifo,
-            SchedulerKind::Lifo,
-            SchedulerKind::TargetedDelay(PartySet::singleton(0)),
-            SchedulerKind::Partition {
-                group: [0, 1].into_iter().collect(),
-                heal_at: 2_000,
-            },
-            SchedulerKind::Lossy {
-                drop_percent: 40,
-                budget: 64,
-            },
-        ],
+        schedulers,
         behaviors: BehaviorKind::ALL.to_vec(),
         corruption_sets: vec![PartySet::singleton(3)],
-        seeds: (0..16).collect(),
+        seeds,
         max_steps,
         duplication_percent: 15,
+        obs_recorder: metrics.then_some(RECORDER_CAPACITY),
     }
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(unknown) = args.iter().find(|a| *a != "--metrics" && *a != "--quick") {
+        eprintln!("unknown flag {unknown}; usage: campaign_soak [--metrics] [--quick]");
+        std::process::exit(2);
+    }
+    if metrics {
+        sintra::obs::global::enable();
+        sintra::obs::global::reset();
+    }
+
     let mut failed = false;
+    let mut merged = MetricsSnapshot::default();
     let protocols: Vec<(&str, u64)> = vec![
         ("rbc", 500_000),
         ("cbc", 500_000),
@@ -57,7 +90,7 @@ fn main() {
         ("abc", 200_000_000),
     ];
     for (name, max_steps) in protocols {
-        let plan = full_plan(max_steps);
+        let plan = full_plan(max_steps, quick, metrics);
         let start = Instant::now();
         let report = match name {
             "rbc" => run_campaign(&plan, &rbc_hooks()),
@@ -72,6 +105,7 @@ fn main() {
             start.elapsed().as_secs_f64(),
             report.summary()
         );
+        merged.merge(&report.metrics);
         if !report.passed() {
             failed = true;
         }
@@ -79,6 +113,23 @@ fn main() {
     if failed {
         eprintln!("campaign soak FAILED");
         std::process::exit(1);
+    }
+    if metrics {
+        // Fold in the process-wide crypto-op counters.
+        merged.merge(&sintra::obs::global::snapshot());
+        println!("\n{}", summary_table(&merged));
+        // Sanity-check the dump carries the signal the grid must have
+        // produced: binary agreements decided over some rounds, and the
+        // threshold-crypto fast path multi-exponentiated.
+        for counter in ["abba.rounds", "crypto.multi_exp"] {
+            assert!(
+                merged.counter(counter) > 0,
+                "metrics dump is missing {counter}"
+            );
+        }
+        let path = "metrics_dump.json";
+        std::fs::write(path, to_json(&merged)).expect("write metrics dump");
+        println!("metrics written to {path}");
     }
     println!("campaign soak passed");
 }

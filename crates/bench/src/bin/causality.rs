@@ -88,7 +88,7 @@ fn race_plain(seed: u64) -> (&'static str, u64) {
             .map(|(i, _)| i)
             .expect("pool nonempty")
     });
-    let mut sim = Simulation::new(replicas, scheduler, seed);
+    let mut sim = Simulation::builder(replicas, scheduler).seed(seed).build();
     sim.input(0, filing(b"alice"));
     let mut injected = false;
     while sim.step() {
@@ -116,7 +116,7 @@ fn race_causal(seed: u64) -> (&'static str, u64) {
         }
         rng.next_below(pool.len() as u64) as usize
     });
-    let mut sim = Simulation::new(replicas, scheduler, seed);
+    let mut sim = Simulation::builder(replicas, scheduler).seed(seed).build();
     sim.input(0, filing(b"alice"));
     let mut injected = false;
     while sim.step() {

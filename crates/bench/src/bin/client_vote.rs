@@ -53,7 +53,9 @@ fn main() {
             |_| EchoMachine::new(),
             1000 + n as u64,
         );
-        let mut sim = Simulation::new(replicas, RandomScheduler, 1001 + n as u64);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(1001 + n as u64)
+            .build();
         let request = b"client-request".to_vec();
         sim.input(0, request.clone());
         sim.run_until_quiet(500_000_000);

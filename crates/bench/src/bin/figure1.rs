@@ -106,7 +106,9 @@ fn run_fd<S: sintra::net::Scheduler<FdMessage>>(
     // yet the delay adversary can always stretch past it — the §2.2
     // dilemma: any finite timeout is either uselessly long or
     // attackable.
-    let mut sim = Simulation::new(fd_nodes(&ts, 60), scheduler, seed);
+    let mut sim = Simulation::builder(fd_nodes(&ts, 60), scheduler)
+        .seed(seed)
+        .build();
     sim.enable_ticks(1);
     if spam {
         sim.corrupt(
@@ -263,13 +265,14 @@ fn behavioural_rows() {
         // honest server 0.
         let (public, bundles) = dealt_system(n, t, 41 + trial).unwrap();
         let nodes = sintra::protocols::abc::abc_nodes(public, bundles, 41 + trial);
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             nodes,
             TargetedDelayScheduler {
                 victims: PartySet::singleton(0),
             },
-            41 + trial,
-        );
+        )
+        .seed(41 + trial)
+        .build();
         sim.corrupt(
             3,
             sintra::net::Behavior::Custom(Box::new(

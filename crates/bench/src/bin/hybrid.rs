@@ -55,7 +55,9 @@ fn main() {
     ] {
         let (public, bundles) = dealt_system_for(&structure, 1800);
         let nodes = abc_nodes(public, bundles, 1800);
-        let mut sim = Simulation::new(nodes, RandomScheduler, 1801);
+        let mut sim = Simulation::builder(nodes, RandomScheduler)
+            .seed(1801)
+            .build();
         if let Some(p) = byz {
             sim.corrupt(
                 p,

@@ -38,7 +38,9 @@ fn run_opt(
     // exactly why the *safety* of this design never depends on it.
     let timeout_ticks = ((n * n) as u64).max(150);
     let nodes = opt_nodes(public, bundles, timeout_ticks, seed);
-    let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(seed)
+        .build();
     sim.enable_ticks(4);
     if crash_sequencer {
         sim.corrupt(0, Behavior::Crash);

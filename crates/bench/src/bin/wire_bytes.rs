@@ -30,11 +30,10 @@ fn main() {
         for trial in 0..trials {
             // Full randomized atomic broadcast.
             let (public, bundles) = dealt_system(n, t, 1500 + trial).unwrap();
-            let mut sim = Simulation::new(
-                abc_nodes(public, bundles, 1500 + trial),
-                RandomScheduler,
-                1501 + trial,
-            );
+            let mut sim =
+                Simulation::builder(abc_nodes(public, bundles, 1500 + trial), RandomScheduler)
+                    .seed(1501 + trial)
+                    .build();
             sim.set_meter(|m| m.wire_size());
             sim.input(0, vec![0xAB; 256]);
             sim.run_until_quiet(200_000_000);
@@ -44,11 +43,10 @@ fn main() {
             // Secure causal atomic broadcast (adds encryption +
             // decryption shares).
             let (public, bundles) = dealt_system(n, t, 1600 + trial).unwrap();
-            let mut sim = Simulation::new(
-                scabc_nodes(public, bundles, 1600 + trial),
-                RandomScheduler,
-                1601 + trial,
-            );
+            let mut sim =
+                Simulation::builder(scabc_nodes(public, bundles, 1600 + trial), RandomScheduler)
+                    .seed(1601 + trial)
+                    .build();
             sim.set_meter(|m| m.wire_size());
             sim.input(0, (vec![0xAB; 256], b"label".to_vec()));
             sim.run_until_quiet(200_000_000);
@@ -57,11 +55,12 @@ fn main() {
 
             // Optimistic fast path.
             let (public, bundles) = dealt_system(n, t, 1700 + trial).unwrap();
-            let mut sim = Simulation::new(
+            let mut sim = Simulation::builder(
                 opt_nodes(public, bundles, ((n * n) as u64).max(150), 1700 + trial),
                 RandomScheduler,
-                1701 + trial,
-            );
+            )
+            .seed(1701 + trial)
+            .build();
             sim.enable_ticks(4);
             sim.set_meter(|m| m.wire_size());
             sim.input(1, vec![0xAB; 256]);

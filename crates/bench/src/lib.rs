@@ -74,7 +74,7 @@ where
 {
     let n = public.n();
     let nodes = abc_nodes(public, bundles, seed);
-    let mut sim = Simulation::new(nodes, scheduler, seed);
+    let mut sim = Simulation::builder(nodes, scheduler).seed(seed).build();
     for p in crashed.iter() {
         sim.corrupt(p, Behavior::Crash);
     }
@@ -170,7 +170,7 @@ pub fn run_abba_scheduled(
         type Input = bool;
         type Output = bool;
         fn on_input(&mut self, input: bool, fx: &mut sintra::net::Effects<Self::Message, bool>) {
-            let mut out = Vec::new();
+            let mut out = sintra::protocols::common::Outbox::new(self.abba.n());
             if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -184,7 +184,7 @@ pub fn run_abba_scheduled(
             msg: Self::Message,
             fx: &mut sintra::net::Effects<Self::Message, bool>,
         ) {
-            let mut out = Vec::new();
+            let mut out = sintra::protocols::common::Outbox::new(self.abba.n());
             if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -204,7 +204,9 @@ pub fn run_abba_scheduled(
         })
         .collect();
     if lifo {
-        let mut sim = Simulation::new(nodes, sintra::net::LifoScheduler, seed);
+        let mut sim = Simulation::builder(nodes, sintra::net::LifoScheduler)
+            .seed(seed)
+            .build();
         for (p, &input) in inputs.iter().enumerate() {
             sim.input(p, input);
         }
@@ -216,7 +218,9 @@ pub fn run_abba_scheduled(
             .unwrap_or(0);
         return (decision, max_round, sim.stats().steps);
     }
-    let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(seed)
+        .build();
     for (p, &input) in inputs.iter().enumerate() {
         sim.input(p, input);
     }

@@ -115,6 +115,7 @@ impl GroupElement {
         if self.0 == Self::generator().0 {
             return generator_table().exp(exponent);
         }
+        sintra_obs::global::crypto_exp();
         GroupElement(self.0.pow(&exponent.to_u256()))
     }
 
@@ -131,8 +132,14 @@ impl GroupElement {
         match terms.len() {
             0 => Self::identity(),
             1 => terms[0].0.exp(&terms[0].1),
-            k if k <= STRAUS_MAX_TERMS => Self::straus(terms),
-            _ => Self::pippenger(terms),
+            k if k <= STRAUS_MAX_TERMS => {
+                sintra_obs::global::crypto_multi_exp();
+                Self::straus(terms)
+            }
+            _ => {
+                sintra_obs::global::crypto_multi_exp();
+                Self::pippenger(terms)
+            }
         }
     }
 
@@ -280,6 +287,7 @@ impl GroupElement {
 
     /// Computes `self^a * other^b` (two-term multi-exponentiation).
     pub fn exp2(&self, a: &Scalar, other: &Self, b: &Scalar) -> Self {
+        sintra_obs::global::crypto_multi_exp();
         // Shamir's trick: shared square-and-multiply over both exponents.
         let ea = a.to_u256();
         let eb = b.to_u256();
@@ -357,6 +365,7 @@ impl FixedBaseTable {
     /// Computes `base^exponent` from the table (one multiplication per
     /// nonzero 4-bit exponent digit).
     pub fn exp(&self, exponent: &Scalar) -> GroupElement {
+        sintra_obs::global::crypto_exp();
         let limbs = exponent.to_u256().limbs();
         let mut acc = Fp::ONE;
         for (w, row) in self.windows.iter().enumerate() {

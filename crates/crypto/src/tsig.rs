@@ -232,6 +232,7 @@ impl ThresholdSigScheme {
             [] => true,
             [share] => self.pubkeys[share.party].verify(&tagged, &share.signature),
             _ => {
+                sintra_obs::global::crypto_batch_verify();
                 let mut z = Scalar::ZERO;
                 let mut terms = Vec::with_capacity(2 * in_range.len() + 1);
                 let prefix = crate::schnorr::challenge_prefix(&tagged);

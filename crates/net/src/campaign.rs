@@ -28,6 +28,7 @@ use crate::sim::{
     Scheduler, SimStats, Simulation, TargetedDelayScheduler,
 };
 use sintra_adversary::party::{PartyId, PartySet};
+use sintra_obs::MetricsSnapshot;
 
 /// Scheduler axis of the campaign grid.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -127,6 +128,12 @@ pub struct CampaignPlan {
     pub max_steps: u64,
     /// Network duplication percentage applied to every run.
     pub duplication_percent: u64,
+    /// When `Some(capacity)`, every run is instrumented: per-party
+    /// metrics are collected (merged into [`RunOutcome::metrics`] and
+    /// [`CampaignReport::metrics`]) and each party gets a flight
+    /// recorder of that many event slots. `None` runs uninstrumented —
+    /// the zero-overhead default.
+    pub obs_recorder: Option<usize>,
 }
 
 /// Everything protocol-specific a campaign needs.
@@ -161,6 +168,9 @@ pub struct RunOutcome<P: Protocol> {
     /// Whether the run quiesced within the step budget (a run that hits
     /// the budget with traffic still in flight is a liveness suspect).
     pub quiesced: bool,
+    /// All parties' metrics folded into one snapshot (empty unless the
+    /// plan set [`CampaignPlan::obs_recorder`]).
+    pub metrics: MetricsSnapshot,
 }
 
 impl<P: Protocol> RunOutcome<P> {
@@ -199,6 +209,10 @@ pub struct CampaignReport {
     pub cases_run: usize,
     /// Cases whose invariant check failed.
     pub failures: Vec<CaseFailure>,
+    /// Every case's metrics folded together (empty unless the plan set
+    /// [`CampaignPlan::obs_recorder`]): counters add across the grid,
+    /// gauges keep their high-water readings, histograms merge.
+    pub metrics: MetricsSnapshot,
 }
 
 impl CampaignReport {
@@ -244,28 +258,35 @@ where
 {
     let nodes = (hooks.nodes)(case.seed);
     let n = nodes.len();
-    let mut sim = Simulation::new(nodes, case.scheduler.build(), case.seed ^ 0x5ca1ab1e);
+    let mut builder =
+        Simulation::builder(nodes, case.scheduler.build()).seed(case.seed ^ 0x5ca1ab1e);
     if plan.duplication_percent > 0 {
-        sim.enable_duplication(plan.duplication_percent);
+        builder = builder.duplication(plan.duplication_percent);
+    }
+    if let Some(capacity) = plan.obs_recorder {
+        builder = builder.instrument(capacity);
     }
     for party in case.corrupted.iter() {
-        sim.corrupt(
+        builder = builder.corrupt(
             party,
             (hooks.behavior)(case.behavior, party, case.seed ^ party as u64),
         );
     }
+    let mut sim = builder.build();
     for (party, input) in (hooks.inputs)(case.seed, &case.corrupted) {
         sim.input(party, input);
     }
     let executed = sim.run_until_quiet(plan.max_steps);
     let outputs = (0..n).map(|p| sim.outputs(p).to_vec()).collect();
     let stats = sim.stats();
+    let metrics = sim.metrics_merged();
     RunOutcome {
         outputs,
         nodes: sim.into_nodes(),
         corrupted: case.corrupted,
         stats,
         quiesced: executed < plan.max_steps,
+        metrics,
     }
 }
 
@@ -288,6 +309,7 @@ where
                     };
                     let outcome = replay_case(plan, hooks, &case);
                     report.cases_run += 1;
+                    report.metrics.merge(&outcome.metrics);
                     if let Err(error) = (hooks.check)(&outcome) {
                         report.failures.push(CaseFailure { case, error });
                     }
@@ -407,7 +429,6 @@ mod tests {
     /// exercising the checker plumbing, not a real protocol).
     #[derive(Debug)]
     struct FollowLeader {
-        n: usize,
         decided: bool,
     }
 
@@ -417,7 +438,7 @@ mod tests {
         type Output = u64;
 
         fn on_input(&mut self, v: u64, fx: &mut Effects<u64, u64>) {
-            fx.send_all(self.n, v);
+            fx.broadcast(v);
         }
 
         fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, u64>) {
@@ -430,22 +451,13 @@ mod tests {
 
     fn hooks<'a>() -> CampaignHooks<'a, FollowLeader> {
         CampaignHooks {
-            nodes: Box::new(|_seed| {
-                (0..4)
-                    .map(|_| FollowLeader {
-                        n: 4,
-                        decided: false,
-                    })
-                    .collect()
-            }),
+            nodes: Box::new(|_seed| (0..4).map(|_| FollowLeader { decided: false }).collect()),
             behavior: Box::new(|kind, party, seed| match kind {
                 BehaviorKind::Crash => Behavior::Crash,
                 BehaviorKind::Equivocate => faults::equivocator(
                     party,
-                    FollowLeader {
-                        n: 4,
-                        decided: false,
-                    },
+                    4,
+                    FollowLeader { decided: false },
                     Some(7),
                     |to, m, _| m + to as u64,
                     seed,
@@ -453,10 +465,8 @@ mod tests {
                 BehaviorKind::Replay => faults::replayer(4, 8, seed),
                 BehaviorKind::Mutate => faults::mutator(
                     party,
-                    FollowLeader {
-                        n: 4,
-                        decided: false,
-                    },
+                    4,
+                    FollowLeader { decided: false },
                     Some(7),
                     |m, _| *m ^= 1,
                     50,
@@ -464,23 +474,14 @@ mod tests {
                 ),
                 BehaviorKind::Mute => faults::selective_mute(
                     party,
-                    FollowLeader {
-                        n: 4,
-                        decided: false,
-                    },
+                    4,
+                    FollowLeader { decided: false },
                     Some(7),
                     PartySet::singleton((party + 1) % 4),
                 ),
-                BehaviorKind::CrashRecover => faults::crash_recover(
-                    party,
-                    || FollowLeader {
-                        n: 4,
-                        decided: false,
-                    },
-                    None,
-                    5,
-                    20,
-                ),
+                BehaviorKind::CrashRecover => {
+                    faults::crash_recover(party, 4, || FollowLeader { decided: false }, None, 5, 20)
+                }
             }),
             inputs: Box::new(|_seed, corrupted| {
                 (0..4)
@@ -511,6 +512,7 @@ mod tests {
             seeds: (0..4).collect(),
             max_steps: 50_000,
             duplication_percent: 10,
+            obs_recorder: None,
         }
     }
 

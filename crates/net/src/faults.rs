@@ -33,12 +33,13 @@ use std::collections::VecDeque;
 /// way the simulator does for honest nodes). Returns the remote sends.
 fn drive_inner<P: Protocol>(
     me: PartyId,
+    n: usize,
     inner: &mut P,
     pending_input: &mut Option<P::Input>,
     from: PartyId,
     msg: P::Message,
 ) -> Vec<(PartyId, P::Message)> {
-    let mut fx: Effects<P::Message, P::Output> = Effects::new();
+    let mut fx: Effects<P::Message, P::Output> = Effects::for_parties(n);
     if let Some(input) = pending_input.take() {
         inner.on_input(input, &mut fx);
     }
@@ -47,7 +48,7 @@ fn drive_inner<P: Protocol>(
     let mut remote = Vec::new();
     while let Some((to, m)) = queue.pop_front() {
         if to == me {
-            let mut sub: Effects<P::Message, P::Output> = Effects::new();
+            let mut sub: Effects<P::Message, P::Output> = Effects::for_parties(n);
             inner.on_message(me, m, &mut sub);
             queue.extend(sub.take_sends());
         } else {
@@ -65,6 +66,7 @@ fn drive_inner<P: Protocol>(
 /// and [`selective_mute`].
 pub fn subverted<P, F>(
     me: PartyId,
+    n: usize,
     inner: P,
     input: Option<P::Input>,
     mut transform: F,
@@ -77,7 +79,7 @@ where
     let mut inner = inner;
     let mut pending_input = input;
     Behavior::Custom(Box::new(move |from, msg, _step| {
-        drive_inner(me, &mut inner, &mut pending_input, from, msg)
+        drive_inner(me, n, &mut inner, &mut pending_input, from, msg)
             .into_iter()
             .filter_map(|(to, m)| transform(to, m).map(|m| (to, m)))
             .collect()
@@ -90,6 +92,7 @@ where
 /// the honest message, and a deterministic RNG.
 pub fn equivocator<P, F>(
     me: PartyId,
+    n: usize,
     inner: P,
     input: Option<P::Input>,
     mut mutate: F,
@@ -101,7 +104,9 @@ where
     F: FnMut(PartyId, P::Message, &mut SeededRng) -> P::Message + Send + 'static,
 {
     let mut rng = SeededRng::new(seed);
-    subverted(me, inner, input, move |to, m| Some(mutate(to, m, &mut rng)))
+    subverted(me, n, inner, input, move |to, m| {
+        Some(mutate(to, m, &mut rng))
+    })
 }
 
 /// Runs the protocol honestly but corrupts each outgoing message with
@@ -110,6 +115,7 @@ where
 /// poisoning their state.
 pub fn mutator<P, F>(
     me: PartyId,
+    n: usize,
     inner: P,
     input: Option<P::Input>,
     mut corrupt: F,
@@ -123,7 +129,7 @@ where
 {
     let mut rng = SeededRng::new(seed);
     let percent = percent.min(100);
-    subverted(me, inner, input, move |_to, mut m| {
+    subverted(me, n, inner, input, move |_to, mut m| {
         if rng.next_below(100) < percent {
             corrupt(&mut m, &mut rng);
         }
@@ -136,6 +142,7 @@ where
 /// Albouy et al.'s sense, localized at one corrupted party).
 pub fn selective_mute<P>(
     me: PartyId,
+    n: usize,
     inner: P,
     input: Option<P::Input>,
     victims: PartySet,
@@ -144,7 +151,7 @@ where
     P: Protocol + Send + 'static,
     P::Input: Send + 'static,
 {
-    subverted(me, inner, input, move |to, m| {
+    subverted(me, n, inner, input, move |to, m| {
         if victims.contains(to) {
             None
         } else {
@@ -160,6 +167,7 @@ where
 /// reboot without persistent logs.
 pub fn crash_recover<P, F>(
     me: PartyId,
+    n: usize,
     factory: F,
     input: Option<P::Input>,
     crash_at: u64,
@@ -187,7 +195,7 @@ where
             inner = factory(); // rejoin with amnesia
             pending_input = None;
         }
-        drive_inner(me, &mut inner, &mut pending_input, from, msg)
+        drive_inner(me, n, &mut inner, &mut pending_input, from, msg)
     }))
 }
 
@@ -245,9 +253,7 @@ mod tests {
 
     /// Broadcast-on-input, record-everything test protocol.
     #[derive(Debug)]
-    struct Gossip {
-        n: usize,
-    }
+    struct Gossip;
 
     impl Protocol for Gossip {
         type Message = u64;
@@ -255,7 +261,7 @@ mod tests {
         type Output = (PartyId, u64);
 
         fn on_input(&mut self, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
-            fx.send_all(self.n, v);
+            fx.broadcast(v);
         }
 
         fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
@@ -264,15 +270,13 @@ mod tests {
     }
 
     fn gossip_nodes(n: usize) -> Vec<Gossip> {
-        (0..n).map(|_| Gossip { n }).collect()
+        (0..n).map(|_| Gossip).collect()
     }
 
     /// Records everything and replies to small values with value + 100
     /// (so subverted inner nodes produce observable traffic).
     #[derive(Debug)]
-    struct Responder {
-        n: usize,
-    }
+    struct Responder;
 
     impl Protocol for Responder {
         type Message = u64;
@@ -280,29 +284,25 @@ mod tests {
         type Output = (PartyId, u64);
 
         fn on_input(&mut self, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
-            fx.send_all(self.n, v);
+            fx.broadcast(v);
         }
 
         fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
             fx.output((from, v));
             if v < 10 {
-                fx.send_all(self.n, v + 100);
+                fx.broadcast(v + 100);
             }
         }
     }
 
     #[test]
     fn equivocator_tells_each_receiver_a_different_story() {
-        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 1);
+        let mut sim = Simulation::builder(gossip_nodes(3), FifoScheduler)
+            .seed(1)
+            .build();
         sim.corrupt(
             2,
-            equivocator(
-                2,
-                Gossip { n: 3 },
-                Some(7),
-                |to, m, _rng| m + to as u64 * 1000,
-                9,
-            ),
+            equivocator(2, 3, Gossip, Some(7), |to, m, _rng| m + to as u64 * 1000, 9),
         );
         sim.input(0, 1); // wakes the equivocator
         sim.run_until_quiet(10_000);
@@ -314,10 +314,12 @@ mod tests {
 
     #[test]
     fn mutator_corrupts_some_traffic() {
-        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 2);
+        let mut sim = Simulation::builder(gossip_nodes(3), FifoScheduler)
+            .seed(2)
+            .build();
         sim.corrupt(
             2,
-            mutator(2, Gossip { n: 3 }, Some(5), |m, _rng| *m ^= 0xdead, 100, 3),
+            mutator(2, 3, Gossip, Some(5), |m, _rng| *m ^= 0xdead, 100, 3),
         );
         sim.input(0, 1);
         sim.run_until_quiet(10_000);
@@ -326,10 +328,12 @@ mod tests {
 
     #[test]
     fn selective_mute_starves_victims_only() {
-        let mut sim = Simulation::new(gossip_nodes(3), RandomScheduler, 3);
+        let mut sim = Simulation::builder(gossip_nodes(3), RandomScheduler)
+            .seed(3)
+            .build();
         sim.corrupt(
             2,
-            selective_mute(2, Gossip { n: 3 }, Some(9), PartySet::singleton(0)),
+            selective_mute(2, 3, Gossip, Some(9), PartySet::singleton(0)),
         );
         sim.input(1, 1);
         sim.run_until_quiet(10_000);
@@ -342,11 +346,13 @@ mod tests {
 
     #[test]
     fn crash_recover_rejoins_and_speaks_again() {
-        let nodes = |_| (0..3).map(|_| Responder { n: 3 }).collect::<Vec<_>>();
+        let nodes = |_| (0..3).map(|_| Responder).collect::<Vec<_>>();
         // Down from the start, back at step 2: late deliveries reach the
         // fresh post-recovery instance, which answers them.
-        let mut sim = Simulation::new(nodes(()), FifoScheduler, 4);
-        sim.corrupt(2, crash_recover(2, || Responder { n: 3 }, None, 0, 2));
+        let mut sim = Simulation::builder(nodes(()), FifoScheduler)
+            .seed(4)
+            .build();
+        sim.corrupt(2, crash_recover(2, 3, || Responder, None, 0, 2));
         sim.input(0, 1);
         sim.input(1, 2);
         sim.run_until_quiet(10_000);
@@ -358,11 +364,10 @@ mod tests {
         assert!(spoke, "recovered party responds to post-recovery traffic");
 
         // Never-recovering variant stays silent forever.
-        let mut down = Simulation::new(nodes(()), FifoScheduler, 4);
-        down.corrupt(
-            2,
-            crash_recover(2, || Responder { n: 3 }, None, 0, u64::MAX),
-        );
+        let mut down = Simulation::builder(nodes(()), FifoScheduler)
+            .seed(4)
+            .build();
+        down.corrupt(2, crash_recover(2, 3, || Responder, None, 0, u64::MAX));
         down.input(0, 1);
         down.input(1, 2);
         down.run_until_quiet(10_000);
@@ -376,7 +381,9 @@ mod tests {
 
     #[test]
     fn replayer_resends_captured_traffic() {
-        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 5);
+        let mut sim = Simulation::builder(gossip_nodes(3), FifoScheduler)
+            .seed(5)
+            .build();
         sim.corrupt(2, replayer(3, 8, 6));
         for v in 1..=4 {
             sim.input(0, v);
@@ -394,7 +401,9 @@ mod tests {
 
     #[test]
     fn flooder_amplifies_but_terminates() {
-        let mut sim = Simulation::new(gossip_nodes(3), RandomScheduler, 7);
+        let mut sim = Simulation::builder(gossip_nodes(3), RandomScheduler)
+            .seed(7)
+            .build();
         sim.corrupt(2, flooder(3, 4));
         sim.input(0, 3);
         sim.run_until_quiet(200);

@@ -16,21 +16,77 @@
 //! never override it.
 
 use sintra_adversary::party::PartyId;
+use sintra_obs::Obs;
+
+/// Per-delivery instrumentation context handed to the `*_ctx` automaton
+/// hooks: who we are, how many parties the run has, where simulated (or
+/// wall-clock) time stands, and the node's observability handle.
+///
+/// The context is how `Effects::broadcast` knows the group size without
+/// every protocol threading its own `n`, and how instrumented automata
+/// reach their per-node metrics registry. A context built with
+/// [`Context::disabled`] records nothing and costs a branch per call.
+#[derive(Clone, Debug)]
+pub struct Context {
+    /// The local party id.
+    pub me: PartyId,
+    /// Number of parties in the group.
+    pub n: usize,
+    /// Current simulator step (or a wall-clock ns reading under the
+    /// thread runtime); 0 when the runtime has no notion of time yet.
+    pub at: u64,
+    /// This node's observability handle (disabled ⇒ all recording is a
+    /// no-op).
+    pub obs: Obs,
+}
+
+impl Context {
+    /// A context with instrumentation off — what the legacy
+    /// (non-`_ctx`) automaton hooks observe.
+    pub fn disabled(me: PartyId, n: usize) -> Context {
+        Context {
+            me,
+            n,
+            at: 0,
+            obs: Obs::disabled(),
+        }
+    }
+}
 
 /// Effects accumulated while handling one event.
 #[derive(Debug)]
 pub struct Effects<M, O> {
     sends: Vec<(PartyId, M)>,
     outputs: Vec<O>,
+    /// Group size, when the constructing runtime knows it; enables
+    /// [`broadcast`](Self::broadcast).
+    n: Option<usize>,
 }
 
 impl<M, O> Effects<M, O> {
-    /// Creates an empty effect buffer.
+    /// Creates an empty effect buffer with no known group size
+    /// ([`broadcast`](Self::broadcast) will panic; prefer
+    /// [`for_parties`](Self::for_parties)).
     pub fn new() -> Self {
         Effects {
             sends: Vec::new(),
             outputs: Vec::new(),
+            n: None,
         }
+    }
+
+    /// Creates an empty effect buffer for a group of `n` parties.
+    pub fn for_parties(n: usize) -> Self {
+        Effects {
+            sends: Vec::new(),
+            outputs: Vec::new(),
+            n: Some(n),
+        }
+    }
+
+    /// The group size this buffer was built for, if known.
+    pub fn parties(&self) -> Option<usize> {
+        self.n
     }
 
     /// Queues a message to one party (including self).
@@ -38,9 +94,28 @@ impl<M, O> Effects<M, O> {
         self.sends.push((to, msg));
     }
 
-    /// Queues the same message to every party in `0..n` (including the
-    /// sender itself, which is how the broadcast protocols count their
-    /// own votes).
+    /// Queues the same message to every party (including the sender
+    /// itself, which is how the broadcast protocols count their own
+    /// votes).
+    ///
+    /// # Panics
+    /// If the buffer was built with [`Effects::new`], which has no
+    /// group size. All runtimes in this workspace construct buffers
+    /// with [`Effects::for_parties`].
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let n = self
+            .n
+            .expect("Effects::broadcast needs a group size: build with Effects::for_parties(n)");
+        for to in 0..n {
+            self.sends.push((to, msg.clone()));
+        }
+    }
+
+    /// Queues the same message to every party in `0..n`.
+    #[deprecated(since = "0.1.0", note = "use `broadcast(msg)`; the runtime knows `n`")]
     pub fn send_all(&mut self, n: usize, msg: M)
     where
         M: Clone,
@@ -111,6 +186,40 @@ pub trait Protocol {
     fn on_tick(&mut self, effects: &mut Effects<Self::Message, Self::Output>) {
         let _ = effects;
     }
+
+    /// Context-aware variant of [`on_input`](Self::on_input). Runtimes
+    /// call *this* hook; the default delegates to the legacy method, so
+    /// existing automata compile and behave unchanged. Instrumented
+    /// automata override it (and only it) to reach `ctx.obs`.
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: Self::Input,
+        effects: &mut Effects<Self::Message, Self::Output>,
+    ) {
+        let _ = ctx;
+        self.on_input(input, effects);
+    }
+
+    /// Context-aware variant of [`on_message`](Self::on_message); see
+    /// [`on_input_ctx`](Self::on_input_ctx) for the delegation contract.
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: Self::Message,
+        effects: &mut Effects<Self::Message, Self::Output>,
+    ) {
+        let _ = ctx;
+        self.on_message(from, msg, effects);
+    }
+
+    /// Context-aware variant of [`on_tick`](Self::on_tick); see
+    /// [`on_input_ctx`](Self::on_input_ctx) for the delegation contract.
+    fn on_tick_ctx(&mut self, ctx: &Context, effects: &mut Effects<Self::Message, Self::Output>) {
+        let _ = ctx;
+        self.on_tick(effects);
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +238,8 @@ mod tests {
         type Output = (PartyId, String);
 
         fn on_input(&mut self, input: String, fx: &mut Effects<String, (PartyId, String)>) {
-            fx.send_all(self.n, input);
+            let _ = self.n;
+            fx.broadcast(input);
         }
 
         fn on_message(
@@ -145,7 +255,7 @@ mod tests {
 
     #[test]
     fn effects_accumulate_and_drain() {
-        let mut fx: Effects<String, (PartyId, String)> = Effects::new();
+        let mut fx: Effects<String, (PartyId, String)> = Effects::for_parties(3);
         let mut node = Echo { me: 0, n: 3 };
         node.on_input("hi".into(), &mut fx);
         assert_eq!(fx.sends().len(), 3);
@@ -164,5 +274,35 @@ mod tests {
         node.on_tick(&mut fx);
         assert!(fx.sends().is_empty());
         assert!(fx.outputs().is_empty());
+    }
+
+    #[test]
+    fn ctx_hooks_default_to_legacy_hooks() {
+        let mut fx: Effects<String, (PartyId, String)> = Effects::for_parties(3);
+        let mut node = Echo { me: 0, n: 3 };
+        let ctx = Context::disabled(0, 3);
+        node.on_input_ctx(&ctx, "hi".into(), &mut fx);
+        assert_eq!(fx.sends().len(), 3, "delegated to on_input");
+        node.on_message_ctx(&ctx, 2, "yo".into(), &mut fx);
+        assert_eq!(fx.outputs().len(), 1, "delegated to on_message");
+        node.on_tick_ctx(&ctx, &mut fx);
+        assert!(!ctx.obs.is_enabled());
+        assert_eq!(ctx.n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn broadcast_without_group_size_panics() {
+        let mut fx: Effects<String, (PartyId, String)> = Effects::new();
+        fx.broadcast("boom".into());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_send_all_still_works() {
+        let mut fx: Effects<String, (PartyId, String)> = Effects::new();
+        #[allow(deprecated)]
+        fx.send_all(2, "m".into());
+        assert_eq!(fx.sends().len(), 2);
     }
 }

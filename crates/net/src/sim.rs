@@ -18,9 +18,10 @@
 //! cannot be intercepted). Everything is driven by a seeded RNG, so any
 //! run — including the adversarial ones — replays bit-identically.
 
-use crate::protocol::{Effects, Protocol};
+use crate::protocol::{Context, Effects, Protocol};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::rng::SeededRng;
+use sintra_obs::{Layer, MetricsSnapshot, Obs};
 use std::collections::VecDeque;
 
 /// A message in flight.
@@ -322,6 +323,113 @@ pub struct SimStats {
     pub bytes_sent: u64,
 }
 
+/// Configures and constructs a [`Simulation`]: scheduler, seed, fault
+/// plan, instrumentation, duplication, ticks, and a step budget, each
+/// with a sensible default. This supersedes the positional
+/// `Simulation::builder(nodes, scheduler).seed(seed).build()` constructor.
+///
+/// ```ignore
+/// let mut sim = Simulation::builder(nodes, RandomScheduler)
+///     .seed(42)
+///     .instrument(4096)        // per-party metrics + flight recorder
+///     .duplication(30)
+///     .corrupt(3, Behavior::Crash)
+///     .build();
+/// ```
+pub struct SimulationBuilder<P: Protocol, S> {
+    nodes: Vec<P>,
+    scheduler: S,
+    seed: u64,
+    recorder_capacity: Option<usize>,
+    duplication_percent: u64,
+    tick_every: u64,
+    step_budget: u64,
+    corruptions: Vec<(PartyId, Behavior<P>)>,
+    #[allow(clippy::type_complexity)]
+    meter: Option<Box<dyn Fn(&P::Message) -> usize + Send>>,
+}
+
+impl<P: Protocol, S: Scheduler<P::Message>> SimulationBuilder<P, S> {
+    /// Seeds the simulation RNG (default 0); the seed fully determines
+    /// the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Turns instrumentation on: every party gets its own metrics
+    /// registry and a flight recorder retaining `recorder_capacity`
+    /// events. Off by default (zero recording overhead).
+    pub fn instrument(mut self, recorder_capacity: usize) -> Self {
+        self.recorder_capacity = Some(recorder_capacity);
+        self
+    }
+
+    /// Enables random message duplication (see
+    /// [`Simulation::enable_duplication`] for the clamping rule).
+    pub fn duplication(mut self, percent: u64) -> Self {
+        self.duplication_percent = percent;
+        self
+    }
+
+    /// Enables periodic `on_tick` rounds every `every` steps (for the
+    /// failure-detector baseline only).
+    pub fn ticks(mut self, every: u64) -> Self {
+        self.tick_every = every;
+        self
+    }
+
+    /// Caps [`Simulation::run`] at `steps` delivery steps (default
+    /// 1,000,000).
+    pub fn step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = steps;
+        self
+    }
+
+    /// Adds a corruption to the fault plan: `party` runs `behavior`
+    /// instead of its honest automaton.
+    pub fn corrupt(mut self, party: PartyId, behavior: Behavior<P>) -> Self {
+        self.corruptions.push((party, behavior));
+        self
+    }
+
+    /// Installs a wire-size meter; every remote send is measured into
+    /// [`SimStats::bytes_sent`] (and, when instrumented, the
+    /// `net.bytes_sent` counter).
+    pub fn meter(mut self, meter: impl Fn(&P::Message) -> usize + Send + 'static) -> Self {
+        self.meter = Some(Box::new(meter));
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(self) -> Simulation<P, S> {
+        let n = self.nodes.len();
+        let obs = match self.recorder_capacity {
+            Some(cap) => (0..n).map(|_| Obs::enabled(cap)).collect(),
+            None => vec![Obs::disabled(); n],
+        };
+        let mut sim = Simulation {
+            nodes: self.nodes.into_iter().map(NodeSlot::Honest).collect(),
+            inflight: Vec::new(),
+            scheduler: self.scheduler,
+            rng: SeededRng::new(self.seed),
+            outputs: (0..n).map(|_| Vec::new()).collect(),
+            stats: SimStats::default(),
+            tick_every: self.tick_every,
+            max_idle_ticks: 200,
+            idle_ticks: 0,
+            duplication_percent: self.duplication_percent.min(90),
+            meter: self.meter,
+            obs,
+            step_budget: self.step_budget,
+        };
+        for (party, behavior) in self.corruptions {
+            sim.corrupt(party, behavior);
+        }
+        sim
+    }
+}
+
 /// A deterministic simulation of `n` replicas of a protocol under an
 /// adversarial scheduler.
 ///
@@ -331,7 +439,7 @@ pub struct SimStats {
 /// minimal shape is:
 ///
 /// ```ignore
-/// let mut sim = Simulation::new(nodes, RandomScheduler, 42);
+/// let mut sim = Simulation::builder(nodes, RandomScheduler).seed(42).build();
 /// sim.input(0, my_input);
 /// sim.run_until_quiet(100_000);
 /// assert_eq!(sim.outputs(1), sim.outputs(2));
@@ -359,25 +467,37 @@ pub struct Simulation<P: Protocol, S> {
     /// Optional byte meter for the `bytes_sent` statistic.
     #[allow(clippy::type_complexity)]
     meter: Option<Box<dyn Fn(&P::Message) -> usize + Send>>,
+    /// Per-party observability handles (disabled unless the builder's
+    /// `instrument` was called).
+    obs: Vec<Obs>,
+    /// Step cap for [`run`](Self::run).
+    step_budget: u64,
 }
 
 impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
-    /// Creates a simulation over the given replicas.
-    pub fn new(nodes: Vec<P>, scheduler: S, seed: u64) -> Self {
-        let n = nodes.len();
-        Simulation {
-            nodes: nodes.into_iter().map(NodeSlot::Honest).collect(),
-            inflight: Vec::new(),
+    /// Starts building a simulation over the given replicas; see
+    /// [`SimulationBuilder`] for the knobs.
+    pub fn builder(nodes: Vec<P>, scheduler: S) -> SimulationBuilder<P, S> {
+        SimulationBuilder {
+            nodes,
             scheduler,
-            rng: SeededRng::new(seed),
-            outputs: (0..n).map(|_| Vec::new()).collect(),
-            stats: SimStats::default(),
-            tick_every: 0,
-            max_idle_ticks: 200,
-            idle_ticks: 0,
+            seed: 0,
+            recorder_capacity: None,
             duplication_percent: 0,
+            tick_every: 0,
+            step_budget: 1_000_000,
+            corruptions: Vec::new(),
             meter: None,
         }
+    }
+
+    /// Creates a simulation over the given replicas.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Simulation::builder(nodes, scheduler).seed(seed).build()`"
+    )]
+    pub fn new(nodes: Vec<P>, scheduler: S, seed: u64) -> Self {
+        Simulation::builder(nodes, scheduler).seed(seed).build()
     }
 
     /// Installs a wire-size meter; every remote send is measured into
@@ -414,11 +534,39 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
         self.tick_every = every;
     }
 
+    /// The instrumentation context for `party` at the current step.
+    fn ctx(&self, party: PartyId) -> Context {
+        Context {
+            me: party,
+            n: self.nodes.len(),
+            at: self.stats.steps,
+            obs: self.obs[party].clone(),
+        }
+    }
+
+    /// A party's observability handle (disabled unless the simulation
+    /// was built with [`SimulationBuilder::instrument`]).
+    pub fn obs(&self, party: PartyId) -> &Obs {
+        &self.obs[party]
+    }
+
+    /// All parties' metrics folded into one snapshot (counters add,
+    /// gauges take the max, histograms merge). Empty when
+    /// uninstrumented.
+    pub fn metrics_merged(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for obs in &self.obs {
+            merged.merge(&obs.metrics_snapshot());
+        }
+        merged
+    }
+
     /// Injects a local input at a party. No-op on corrupted parties.
     pub fn input(&mut self, party: PartyId, input: P::Input) {
-        let mut fx = Effects::new();
+        let mut fx = Effects::for_parties(self.nodes.len());
+        let ctx = self.ctx(party);
         if let NodeSlot::Honest(node) = &mut self.nodes[party] {
-            node.on_input(input, &mut fx);
+            node.on_input_ctx(&ctx, input, &mut fx);
         }
         self.absorb(party, fx);
     }
@@ -452,8 +600,9 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
                 .drop_candidate(&self.inflight, self.stats.steps, &mut self.rng)
         {
             if self.inflight.get(idx).is_some_and(|e| e.duplicate) {
-                self.inflight.swap_remove(idx);
+                let env = self.inflight.swap_remove(idx);
                 self.stats.dropped += 1;
+                self.obs[env.to].inc(Layer::Net, "dropped_duplicates");
                 return true;
             }
         }
@@ -476,12 +625,19 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
 
     fn tick_round(&mut self) {
         for party in 0..self.nodes.len() {
-            let mut fx = Effects::new();
+            let mut fx = Effects::for_parties(self.nodes.len());
+            let ctx = self.ctx(party);
             if let NodeSlot::Honest(node) = &mut self.nodes[party] {
-                node.on_tick(&mut fx);
+                node.on_tick_ctx(&ctx, &mut fx);
             }
             self.absorb(party, fx);
         }
+    }
+
+    /// Runs until the pool drains or the builder's step budget
+    /// (default 1,000,000) is exhausted; returns steps executed.
+    pub fn run(&mut self) -> u64 {
+        self.run_until_quiet(self.step_budget)
     }
 
     /// Runs until the pool drains or `max_steps` is hit; returns steps
@@ -560,10 +716,22 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
     fn deliver(&mut self, env: Envelope<P::Message>) {
         self.stats.delivered += 1;
         let to = env.to;
-        let mut fx = Effects::new();
+        let obs = &self.obs[to];
+        if obs.is_enabled() {
+            obs.inc(Layer::Net, "recv");
+            // In-pool latency over simulated time: how many steps the
+            // adversary held this envelope.
+            obs.observe(
+                Layer::Net,
+                "delivery_steps",
+                self.stats.steps.saturating_sub(env.sent_at),
+            );
+        }
+        let mut fx = Effects::for_parties(self.nodes.len());
+        let ctx = self.ctx(to);
         match &mut self.nodes[to] {
             NodeSlot::Honest(node) => {
-                node.on_message(env.from, env.msg, &mut fx);
+                node.on_message_ctx(&ctx, env.from, env.msg, &mut fx);
             }
             NodeSlot::Corrupted(Behavior::Crash) => {}
             NodeSlot::Corrupted(Behavior::Custom(f)) => {
@@ -582,9 +750,10 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
         let mut local: VecDeque<(PartyId, Effects<P::Message, P::Output>)> = VecDeque::new();
         local.push_back((origin, fx_split(&mut fx)));
         self.outputs[origin].extend(fx.take_outputs());
+        let n = self.nodes.len();
         while let Some((party, mut effects)) = local.pop_front() {
             for (to, msg) in effects.take_sends() {
-                if to >= self.nodes.len() {
+                if to >= n {
                     continue; // a Byzantine node may address nonexistent parties
                 }
                 if to == party {
@@ -595,8 +764,15 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
                     match &mut self.nodes[to] {
                         NodeSlot::Honest(node) => {
                             self.stats.local_deliveries += 1;
-                            let mut sub = Effects::new();
-                            node.on_message(party, msg, &mut sub);
+                            self.obs[to].inc(Layer::Net, "local_deliveries");
+                            let mut sub = Effects::for_parties(n);
+                            let ctx = Context {
+                                me: to,
+                                n,
+                                at: self.stats.steps,
+                                obs: self.obs[to].clone(),
+                            };
+                            node.on_message_ctx(&ctx, party, msg, &mut sub);
                             self.outputs[to].extend(sub.take_outputs());
                             local.push_back((to, sub));
                         }
@@ -604,8 +780,11 @@ impl<P: Protocol, S: Scheduler<P::Message>> Simulation<P, S> {
                     }
                 } else {
                     self.stats.sent += 1;
+                    self.obs[party].inc(Layer::Net, "sent");
                     if let Some(meter) = &self.meter {
-                        self.stats.bytes_sent += meter(&msg) as u64;
+                        let bytes = meter(&msg) as u64;
+                        self.stats.bytes_sent += bytes;
+                        self.obs[party].add(Layer::Net, "bytes_sent", bytes);
                     }
                     self.inflight.push(Envelope {
                         from: party,
@@ -637,7 +816,6 @@ mod tests {
     /// Each node broadcasts its id on input and records everything heard.
     #[derive(Debug)]
     struct Gossip {
-        n: usize,
         heard: Vec<(PartyId, u64)>,
     }
 
@@ -647,7 +825,7 @@ mod tests {
         type Output = (PartyId, u64);
 
         fn on_input(&mut self, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
-            fx.send_all(self.n, v);
+            fx.broadcast(v);
         }
 
         fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
@@ -657,12 +835,14 @@ mod tests {
     }
 
     fn gossip_nodes(n: usize) -> Vec<Gossip> {
-        (0..n).map(|_| Gossip { n, heard: vec![] }).collect()
+        (0..n).map(|_| Gossip { heard: vec![] }).collect()
     }
 
     #[test]
     fn all_messages_eventually_delivered() {
-        let mut sim = Simulation::new(gossip_nodes(4), RandomScheduler, 1);
+        let mut sim = Simulation::builder(gossip_nodes(4), RandomScheduler)
+            .seed(1)
+            .build();
         sim.input(0, 7);
         sim.run_until_quiet(1000);
         for p in 0..4 {
@@ -677,7 +857,9 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let run = |seed| {
-            let mut sim = Simulation::new(gossip_nodes(5), RandomScheduler, seed);
+            let mut sim = Simulation::builder(gossip_nodes(5), RandomScheduler)
+                .seed(seed)
+                .build();
             for p in 0..5 {
                 sim.input(p, p as u64 * 10);
             }
@@ -696,7 +878,7 @@ mod tests {
             let mut outs = Vec::new();
             match sched {
                 "random" => {
-                    let mut sim = Simulation::new(nodes, RandomScheduler, 3);
+                    let mut sim = Simulation::builder(nodes, RandomScheduler).seed(3).build();
                     for p in 0..4 {
                         sim.input(p, p as u64);
                     }
@@ -706,7 +888,7 @@ mod tests {
                     }
                 }
                 "fifo" => {
-                    let mut sim = Simulation::new(nodes, FifoScheduler, 3);
+                    let mut sim = Simulation::builder(nodes, FifoScheduler).seed(3).build();
                     for p in 0..4 {
                         sim.input(p, p as u64);
                     }
@@ -716,7 +898,7 @@ mod tests {
                     }
                 }
                 _ => {
-                    let mut sim = Simulation::new(nodes, LifoScheduler, 3);
+                    let mut sim = Simulation::builder(nodes, LifoScheduler).seed(3).build();
                     for p in 0..4 {
                         sim.input(p, p as u64);
                     }
@@ -735,7 +917,9 @@ mod tests {
 
     #[test]
     fn crash_behavior_absorbs() {
-        let mut sim = Simulation::new(gossip_nodes(4), RandomScheduler, 4);
+        let mut sim = Simulation::builder(gossip_nodes(4), RandomScheduler)
+            .seed(4)
+            .build();
         sim.corrupt(3, Behavior::Crash);
         sim.input(0, 9);
         sim.run_until_quiet(1000);
@@ -749,7 +933,9 @@ mod tests {
     #[test]
     fn custom_behavior_can_equivocate() {
         // Party 2 forwards different values to 0 and 1.
-        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 5);
+        let mut sim = Simulation::builder(gossip_nodes(3), FifoScheduler)
+            .seed(5)
+            .build();
         sim.corrupt(
             2,
             Behavior::Custom(Box::new(|_from, _msg, _step| vec![(0, 100), (1, 200)])),
@@ -763,13 +949,14 @@ mod tests {
 
     #[test]
     fn targeted_delay_starves_victim_but_delivers_eventually() {
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             gossip_nodes(4),
             TargetedDelayScheduler {
                 victims: PartySet::singleton(0),
             },
-            6,
-        );
+        )
+        .seed(6)
+        .build();
         for p in 0..4 {
             sim.input(p, p as u64);
         }
@@ -799,11 +986,10 @@ mod tests {
     #[test]
     fn partition_heals() {
         let group: PartySet = [0, 1].into_iter().collect();
-        let mut sim = Simulation::new(
-            gossip_nodes(4),
-            PartitionScheduler { group, heal_at: 50 },
-            7,
-        );
+        let mut sim =
+            Simulation::builder(gossip_nodes(4), PartitionScheduler { group, heal_at: 50 })
+                .seed(7)
+                .build();
         for p in 0..4 {
             sim.input(p, p as u64);
         }
@@ -819,7 +1005,9 @@ mod tests {
 
     #[test]
     fn run_until_predicate() {
-        let mut sim = Simulation::new(gossip_nodes(4), RandomScheduler, 8);
+        let mut sim = Simulation::builder(gossip_nodes(4), RandomScheduler)
+            .seed(8)
+            .build();
         sim.input(0, 5);
         let reached = sim.run_until(1000, |s| !s.outputs(2).is_empty());
         assert!(reached);
@@ -827,7 +1015,9 @@ mod tests {
 
     #[test]
     fn byzantine_sends_to_nonexistent_party_are_dropped() {
-        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 77);
+        let mut sim = Simulation::builder(gossip_nodes(3), FifoScheduler)
+            .seed(77)
+            .build();
         sim.corrupt(
             2,
             Behavior::Custom(Box::new(|_from, _msg, _| {
@@ -841,7 +1031,9 @@ mod tests {
 
     #[test]
     fn duplication_preserves_gossip_semantics() {
-        let mut sim = Simulation::new(gossip_nodes(4), RandomScheduler, 78);
+        let mut sim = Simulation::builder(gossip_nodes(4), RandomScheduler)
+            .seed(78)
+            .build();
         sim.enable_duplication(50);
         sim.input(0, 9);
         sim.run_until_quiet(10_000);
@@ -855,7 +1047,9 @@ mod tests {
 
     #[test]
     fn duplication_percent_clamped_at_setter() {
-        let mut sim = Simulation::new(gossip_nodes(2), RandomScheduler, 80);
+        let mut sim = Simulation::builder(gossip_nodes(2), RandomScheduler)
+            .seed(80)
+            .build();
         sim.enable_duplication(500);
         assert_eq!(sim.duplication_percent(), 90, "clamped to documented max");
         sim.enable_duplication(35);
@@ -865,11 +1059,12 @@ mod tests {
     #[test]
     fn lossy_scheduler_drops_only_duplicates_within_budget() {
         let budget = 5;
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             gossip_nodes(4),
             LossyScheduler::new(RandomScheduler, 100, budget),
-            81,
-        );
+        )
+        .seed(81)
+        .build();
         sim.enable_duplication(60);
         for p in 0..4 {
             sim.input(p, p as u64);
@@ -910,7 +1105,9 @@ mod tests {
                 Some(0) // always nominate; sim must veto non-duplicates
             }
         }
-        let mut sim = Simulation::new(gossip_nodes(3), DropOriginals, 82);
+        let mut sim = Simulation::builder(gossip_nodes(3), DropOriginals)
+            .seed(82)
+            .build();
         sim.input(0, 7);
         sim.run_until_quiet(10_000);
         assert_eq!(sim.stats().dropped, 0, "no duplicates exist to drop");
@@ -922,7 +1119,7 @@ mod tests {
     #[test]
     fn boxed_scheduler_dispatches() {
         let boxed: Box<dyn Scheduler<u64>> = Box::new(FifoScheduler);
-        let mut sim = Simulation::new(gossip_nodes(3), boxed, 83);
+        let mut sim = Simulation::builder(gossip_nodes(3), boxed).seed(83).build();
         sim.input(0, 4);
         sim.run_until_quiet(1_000);
         for p in 0..3 {
@@ -935,9 +1132,13 @@ mod tests {
         // Everyone is a victim, so the fallback path runs every step:
         // delivery order must then be exactly oldest-first (global FIFO).
         let victims: PartySet = (0..4).collect();
-        let mut fifo_sim = Simulation::new(gossip_nodes(4), FifoScheduler, 84);
+        let mut fifo_sim = Simulation::builder(gossip_nodes(4), FifoScheduler)
+            .seed(84)
+            .build();
         let mut starved_sim =
-            Simulation::new(gossip_nodes(4), TargetedDelayScheduler { victims }, 84);
+            Simulation::builder(gossip_nodes(4), TargetedDelayScheduler { victims })
+                .seed(84)
+                .build();
         for p in 0..4 {
             fifo_sim.input(p, p as u64);
             starved_sim.input(p, p as u64);
@@ -955,7 +1156,9 @@ mod tests {
 
     #[test]
     fn meter_counts_remote_bytes() {
-        let mut sim = Simulation::new(gossip_nodes(3), FifoScheduler, 79);
+        let mut sim = Simulation::builder(gossip_nodes(3), FifoScheduler)
+            .seed(79)
+            .build();
         sim.set_meter(|_msg: &u64| 8);
         sim.input(0, 1);
         sim.run_until_quiet(100);
@@ -971,7 +1174,7 @@ mod tests {
                 .position(|e| e.msg % 2 == 0)
                 .unwrap_or_else(|| rng.next_below(pool.len() as u64) as usize)
         });
-        let mut sim = Simulation::new(gossip_nodes(3), sched, 9);
+        let mut sim = Simulation::builder(gossip_nodes(3), sched).seed(9).build();
         sim.input(0, 2);
         sim.input(1, 3);
         sim.run_until_quiet(100);
@@ -1001,11 +1204,12 @@ mod tests {
                 self.ticks += 1;
             }
         }
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             vec![Ticker { ticks: 0 }, Ticker { ticks: 0 }],
             FifoScheduler,
-            10,
-        );
+        )
+        .seed(10)
+        .build();
         sim.enable_ticks(1);
         sim.input(0, ());
         sim.run_until_quiet(100);

@@ -9,11 +9,12 @@
 //! no code changes between the two runtimes — that is the point of the
 //! asynchronous design (§2.2).
 
-use crate::protocol::{Effects, Protocol};
+use crate::protocol::{Context, Effects, Protocol};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sintra_adversary::party::PartyId;
 use sintra_crypto::rng::SeededRng;
+use sintra_obs::{Layer, MetricsSnapshot, Obs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,6 +34,10 @@ pub struct ThreadRunReport<O> {
     pub delivered: u64,
     /// Whether the stop predicate was satisfied (vs. timeout).
     pub completed: bool,
+    /// Per-party metrics snapshots — empty unless the run was started
+    /// with [`run_threaded_observed`]. Wall-clock handling latencies
+    /// land in the `net.handle_ns` histogram.
+    pub metrics: Vec<MetricsSnapshot>,
 }
 
 /// Runs `nodes` under true concurrency until `stop` holds over the
@@ -55,7 +60,34 @@ where
     P::Input: Send + 'static,
     P::Output: Clone + Send + 'static,
 {
+    run_threaded_observed(nodes, inputs, stop, timeout, seed, None)
+}
+
+/// [`run_threaded`] with per-node instrumentation: when
+/// `recorder_capacity` is `Some`, every node thread gets an enabled
+/// [`Obs`] whose metrics include wall-clock message-handling latency
+/// (`net.handle_ns`, log₂-bucketed nanoseconds) and per-direction
+/// message counters; the snapshots are taken after the node threads are
+/// joined, honoring the flight-recorder single-writer contract.
+pub fn run_threaded_observed<P>(
+    nodes: Vec<P>,
+    inputs: Vec<(PartyId, P::Input)>,
+    stop: impl Fn(&[Vec<P::Output>]) -> bool + Send + Sync + 'static,
+    timeout: Duration,
+    seed: u64,
+    recorder_capacity: Option<usize>,
+) -> ThreadRunReport<P::Output>
+where
+    P: Protocol + Send + 'static,
+    P::Message: 'static,
+    P::Input: Send + 'static,
+    P::Output: Clone + Send + 'static,
+{
     let n = nodes.len();
+    let obs: Vec<Obs> = match recorder_capacity {
+        Some(cap) => (0..n).map(|_| Obs::enabled(cap)).collect(),
+        None => vec![Obs::disabled(); n],
+    };
     let (router_tx, router_rx) = unbounded::<Route<P::Message>>();
     let outputs: Arc<Mutex<Vec<Vec<P::Output>>>> =
         Arc::new(Mutex::new((0..n).map(|_| Vec::new()).collect()));
@@ -87,20 +119,37 @@ where
         let to_router = router_tx.clone();
         let outputs = Arc::clone(&outputs);
         let done = Arc::clone(&done);
+        let my_obs = obs[party].clone();
         handles.push(std::thread::spawn(move || {
-            let mut fx: Effects<P::Message, P::Output> = Effects::new();
+            let started = Instant::now();
+            let mut fx: Effects<P::Message, P::Output> = Effects::for_parties(n);
             loop {
                 if done.load(Ordering::Relaxed) {
                     break;
                 }
                 // Drain pending inputs first, then one message.
                 let mut worked = false;
+                let ctx = Context {
+                    me: party,
+                    n,
+                    at: started.elapsed().as_nanos() as u64,
+                    obs: my_obs.clone(),
+                };
                 while let Ok(input) = my_inputs.try_recv() {
-                    node.on_input(input, &mut fx);
+                    node.on_input_ctx(&ctx, input, &mut fx);
                     worked = true;
                 }
                 if let Ok((from, msg)) = my_rx.recv_timeout(Duration::from_millis(5)) {
-                    node.on_message(from, msg, &mut fx);
+                    let handle_started = Instant::now();
+                    node.on_message_ctx(&ctx, from, msg, &mut fx);
+                    if my_obs.is_enabled() {
+                        my_obs.inc(Layer::Net, "recv");
+                        my_obs.observe(
+                            Layer::Net,
+                            "handle_ns",
+                            handle_started.elapsed().as_nanos() as u64,
+                        );
+                    }
                     worked = true;
                 }
                 if worked {
@@ -109,6 +158,7 @@ where
                         outputs.lock()[party].extend(outs);
                     }
                     for (to, msg) in fx.take_sends() {
+                        my_obs.inc(Layer::Net, "sent");
                         let _ = to_router.send(Route {
                             from: party,
                             to,
@@ -167,6 +217,7 @@ where
         outputs,
         delivered: delivered.load(Ordering::Relaxed),
         completed,
+        metrics: obs.iter().map(|o| o.metrics_snapshot()).collect(),
     }
 }
 
@@ -175,9 +226,7 @@ mod tests {
     use super::*;
 
     #[derive(Debug)]
-    struct Gossip {
-        n: usize,
-    }
+    struct Gossip;
 
     impl Protocol for Gossip {
         type Message = u64;
@@ -185,7 +234,7 @@ mod tests {
         type Output = (PartyId, u64);
 
         fn on_input(&mut self, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
-            fx.send_all(self.n, v);
+            fx.broadcast(v);
         }
 
         fn on_message(&mut self, from: PartyId, v: u64, fx: &mut Effects<u64, (PartyId, u64)>) {
@@ -196,7 +245,7 @@ mod tests {
     #[test]
     fn threaded_gossip_delivers_everything() {
         let n = 4;
-        let nodes: Vec<Gossip> = (0..n).map(|_| Gossip { n }).collect();
+        let nodes: Vec<Gossip> = (0..n).map(|_| Gossip).collect();
         let inputs: Vec<(PartyId, u64)> = (0..n).map(|p| (p, p as u64 * 11)).collect();
         let report = run_threaded(
             nodes,
@@ -213,9 +262,48 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_collects_wall_clock_metrics() {
+        let n = 3;
+        let nodes: Vec<Gossip> = (0..n).map(|_| Gossip).collect();
+        let inputs: Vec<(PartyId, u64)> = (0..n).map(|p| (p, p as u64)).collect();
+        let report = run_threaded_observed(
+            nodes,
+            inputs,
+            move |outs: &[Vec<(PartyId, u64)>]| outs.iter().all(|o| o.len() >= n),
+            Duration::from_secs(10),
+            3,
+            Some(256),
+        );
+        assert!(report.completed);
+        assert_eq!(report.metrics.len(), n);
+        let mut merged = MetricsSnapshot::default();
+        for m in &report.metrics {
+            merged.merge(m);
+        }
+        assert!(merged.counter("net.recv") > 0, "messages were counted");
+        assert!(
+            merged.hists["net.handle_ns"].count > 0,
+            "wall-clock handling latency was observed"
+        );
+    }
+
+    #[test]
+    fn unobserved_run_reports_empty_metrics() {
+        let nodes: Vec<Gossip> = (0..2).map(|_| Gossip).collect();
+        let report = run_threaded(
+            nodes,
+            vec![(0, 1u64)],
+            |outs: &[Vec<(PartyId, u64)>]| outs.iter().all(|o| !o.is_empty()),
+            Duration::from_secs(5),
+            4,
+        );
+        assert!(report.metrics.iter().all(|m| m.is_empty()));
+    }
+
+    #[test]
     fn timeout_reports_incomplete() {
         // Stop predicate never satisfied; must return by timeout.
-        let nodes: Vec<Gossip> = (0..2).map(|_| Gossip { n: 2 }).collect();
+        let nodes: Vec<Gossip> = (0..2).map(|_| Gossip).collect();
         let report = run_threaded(
             nodes,
             vec![],

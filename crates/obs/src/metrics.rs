@@ -1,0 +1,285 @@
+//! The metrics registry: counters, gauges, and log-bucketed histograms.
+//!
+//! Names are `(&'static str, &'static str)` pairs — a prefix plus an
+//! optional kind suffix — so the hot path never allocates: a protocol
+//! counting received messages per wire type calls
+//! `inc2("rbc.recv", msg.kind())` with two static strings. Snapshots
+//! join the pair with `.` into ordinary dotted metric names.
+//!
+//! Histograms are log₂-bucketed: value `v` lands in bucket
+//! `64 − clz(v)` (bucket 0 holds exactly `v = 0`), giving a fixed
+//! 65-slot footprint that covers the full `u64` range — adequate for
+//! both simulator steps and wall-clock nanoseconds, per the paper's
+//! round/latency cost claims (§3, §5).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket 0 for zero, 64 for each power of
+/// two.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index `value` falls into.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive lower bound of bucket `i` (0 for the zero bucket).
+pub fn bucket_floor(i: usize) -> u64 {
+    if i <= 1 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Hist {
+    count: u64,
+    sum: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+type Key = (&'static str, &'static str);
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, u64>,
+    hists: BTreeMap<Key, Hist>,
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Interior-mutable and `Sync`; per-node registries are effectively
+/// single-writer (see the flight-recorder contract), so the mutex is
+/// uncontended.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to counter `(prefix, kind)`.
+    pub fn add2(&self, prefix: &'static str, kind: &'static str, delta: u64) {
+        *self
+            .inner
+            .lock()
+            .expect("metrics lock")
+            .counters
+            .entry((prefix, kind))
+            .or_insert(0) += delta;
+    }
+
+    /// Sets gauge `(prefix, kind)` to `value`.
+    pub fn gauge_set2(&self, prefix: &'static str, kind: &'static str, value: u64) {
+        self.inner
+            .lock()
+            .expect("metrics lock")
+            .gauges
+            .insert((prefix, kind), value);
+    }
+
+    /// Records `value` into histogram `(prefix, kind)`.
+    pub fn observe2(&self, prefix: &'static str, kind: &'static str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let h = inner.hists.entry((prefix, kind)).or_default();
+        h.count += 1;
+        h.sum = h.sum.saturating_add(value);
+        h.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Snapshot of everything, with dotted names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (join(k), *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (join(k), *v)).collect(),
+            hists: inner
+                .hists
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        join(k),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, c)| **c > 0)
+                                .map(|(i, c)| (i as u8, *c))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+fn join(key: &Key) -> String {
+    if key.1.is_empty() {
+        key.0.to_string()
+    } else {
+        format!("{}.{}", key.0, key.1)
+    }
+}
+
+/// A log₂ histogram at snapshot time: sparse `(bucket, count)` pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket index, count)`; see
+    /// [`bucket_floor`] for the value range of a bucket.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (bucket, count) in &other.buckets {
+            match self.buckets.iter_mut().find(|(b, _)| b == bucket) {
+                Some((_, c)) => *c += count,
+                None => self.buckets.push((*bucket, *count)),
+            }
+        }
+        self.buckets.sort_unstable_by_key(|(b, _)| *b);
+    }
+}
+
+/// A point-in-time, name-keyed view of a [`Metrics`] registry —
+/// mergeable, comparable, and serializable by the sinks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by dotted name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write gauges by dotted name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by dotted name.
+    pub hists: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Folds `other` into this snapshot: counters add, gauges take the
+    /// maximum (a "high-water" reading), histograms merge.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..HIST_BUCKETS {
+            let f = bucket_floor(i);
+            assert_eq!(bucket_of(f.max(1)), i.max(1), "floor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_snapshot() {
+        let m = Metrics::new();
+        m.add2("rbc.recv", "echo", 2);
+        m.add2("rbc.recv", "echo", 1);
+        m.add2("abba.rounds", "", 4);
+        m.gauge_set2("abc.buffered", "", 7);
+        m.gauge_set2("abc.buffered", "", 3);
+        let s = m.snapshot();
+        assert_eq!(s.counter("rbc.recv.echo"), 3);
+        assert_eq!(s.counter("abba.rounds"), 4);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauges["abc.buffered"], 3, "gauges are last-write");
+    }
+
+    #[test]
+    fn histograms_observe_and_merge() {
+        let m = Metrics::new();
+        for v in [0u64, 1, 1, 5, 1000] {
+            m.observe2("lat", "", v);
+        }
+        let s = m.snapshot();
+        let h = &s.hists["lat"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1007);
+        assert_eq!(h.buckets, vec![(0, 1), (1, 2), (3, 1), (10, 1)]);
+
+        let mut a = s.clone();
+        a.merge(&s);
+        assert_eq!(a.hists["lat"].count, 10);
+        assert_eq!(a.counter("lat"), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_maxes_gauges() {
+        let m1 = Metrics::new();
+        m1.add2("c", "", 1);
+        m1.gauge_set2("g", "", 9);
+        let m2 = Metrics::new();
+        m2.add2("c", "", 2);
+        m2.gauge_set2("g", "", 4);
+        let mut s = m1.snapshot();
+        s.merge(&m2.snapshot());
+        assert_eq!(s.counter("c"), 3);
+        assert_eq!(s.gauges["g"], 9);
+    }
+}

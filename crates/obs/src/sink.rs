@@ -1,0 +1,169 @@
+//! Sinks: deterministic JSON export and a human-readable summary table.
+//!
+//! The JSON is hand-rolled on purpose: snapshots are `BTreeMap`-ordered,
+//! so two byte-identical runs serialize to byte-identical files — the
+//! determinism property the campaign tests assert on.
+
+use crate::metrics::{bucket_floor, HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Serializes a snapshot to a deterministic JSON object with
+/// `counters`, `gauges`, and `hists` sections.
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    write_map(&mut out, "counters", &snapshot.counters, |o, v| {
+        let _ = write!(o, "{v}");
+    });
+    out.push_str(",\n");
+    write_map(&mut out, "gauges", &snapshot.gauges, |o, v| {
+        let _ = write!(o, "{v}");
+    });
+    out.push_str(",\n");
+    write_map(&mut out, "hists", &snapshot.hists, write_hist);
+    out.push_str("\n}\n");
+    out
+}
+
+fn write_map<V>(
+    out: &mut String,
+    name: &str,
+    map: &std::collections::BTreeMap<String, V>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let _ = write!(out, "  {}: {{", json_str(name));
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: ", json_str(k));
+        write_value(out, v);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+fn write_hist(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"buckets\": [",
+        h.count, h.sum
+    );
+    for (i, (bucket, count)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{bucket}, {count}]");
+    }
+    out.push_str("]}");
+}
+
+/// Escapes `s` as a JSON string literal. Metric names are ASCII
+/// identifiers, but escape defensively anyway.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a snapshot as an aligned, human-readable table: counters and
+/// gauges one per line, histograms with count/mean and their populated
+/// bucket ranges.
+pub fn summary_table(snapshot: &MetricsSnapshot) -> String {
+    let width = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.hists.keys())
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(0)
+        .max(6);
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let _ = writeln!(out, "{name:<width$}  {v:>12}");
+    }
+    for (name, v) in &snapshot.gauges {
+        let _ = writeln!(out, "{name:<width$}  {v:>12}  (gauge)");
+    }
+    for (name, h) in &snapshot.hists {
+        let _ = writeln!(out, "{name:<width$}  {:>12}  mean={:.1}", h.count, h.mean());
+        for (bucket, count) in &h.buckets {
+            let lo = bucket_floor(*bucket as usize);
+            let hi = if *bucket == 0 {
+                0
+            } else {
+                bucket_floor(*bucket as usize + 1).saturating_sub(1)
+            };
+            let _ = writeln!(out, "{:width$}    [{lo} .. {hi}]: {count}", "");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn sample() -> MetricsSnapshot {
+        let m = Metrics::new();
+        m.add2("rbc.sent", "echo", 12);
+        m.add2("abba.rounds", "", 3);
+        m.gauge_set2("abc.buffered", "", 2);
+        m.observe2("net.delivery_steps", "", 5);
+        m.observe2("net.delivery_steps", "", 9);
+        m.snapshot()
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parseable_shape() {
+        let a = to_json(&sample());
+        let b = to_json(&sample());
+        assert_eq!(a, b, "byte-identical for identical snapshots");
+        assert!(a.contains("\"abba.rounds\": 3"));
+        assert!(a.contains("\"rbc.sent.echo\": 12"));
+        assert!(a.contains("\"net.delivery_steps\""));
+        assert!(a.contains("\"count\": 2"));
+        assert!(a.starts_with("{\n"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let s = to_json(&MetricsSnapshot::default());
+        assert!(s.contains("\"counters\": {}"));
+        assert!(s.contains("\"hists\": {}"));
+    }
+
+    #[test]
+    fn table_lists_everything() {
+        let t = summary_table(&sample());
+        assert!(t.contains("abba.rounds"));
+        assert!(t.contains("(gauge)"));
+        assert!(t.contains("mean=7.0"));
+        assert!(t.contains("[4 .. 7]: 1"));
+        assert!(t.contains("[8 .. 15]: 1"));
+    }
+}

@@ -36,7 +36,7 @@
 //! transitively exposes validated evidence to an honest party, which is
 //! exactly the retrieval-liveness argument of the multi-valued protocol.
 
-use crate::common::{send_all, BatchedShares, Outbox, Tag};
+use crate::common::{BatchedShares, Outbox, Tag, WireKind};
 use serde::{Deserialize, Serialize};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::coin::{CoinShare, CoinValue};
@@ -152,6 +152,17 @@ pub enum AbbaMessage<E> {
     },
 }
 
+impl<E> WireKind for AbbaMessage<E> {
+    fn kind(&self) -> &'static str {
+        match self {
+            AbbaMessage::PreVote(_) => "pre_vote",
+            AbbaMessage::MainVote(_) => "main_vote",
+            AbbaMessage::Coin { .. } => "coin",
+            AbbaMessage::Decided { .. } => "decided",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct RoundState<E> {
     // Pre-vote bookkeeping (first pre-vote per party). Justifications
@@ -254,6 +265,11 @@ impl<E> core::fmt::Debug for Abba<E> {
 }
 
 impl<E: Clone + core::fmt::Debug> Abba<E> {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Creates an unbiased instance under `tag` (round-1 pre-votes carry
     /// no evidence).
     pub fn new(tag: Tag, public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>) -> Self {
@@ -406,7 +422,7 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
             just,
             share,
         };
-        send_all(out, self.n, AbbaMessage::PreVote(pv));
+        out.broadcast(AbbaMessage::PreVote(pv));
     }
 
     /// Fully validates a pre-vote (signature share + justification).
@@ -747,30 +763,22 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         };
         let to_sign = self.main_msg(round, vote);
         let share = self.bundle.signing_key().sign_share(&to_sign, rng);
-        send_all(
-            out,
-            self.n,
-            AbbaMessage::MainVote(MainVote {
-                round,
-                vote,
-                just,
-                share,
-            }),
-        );
+        out.broadcast(AbbaMessage::MainVote(MainVote {
+            round,
+            vote,
+            just,
+            share,
+        }));
         // Release the round's coin share alongside the main-vote.
         let rs = self.rounds.entry(round).or_default();
         if !rs.coin_share_sent {
             rs.coin_share_sent = true;
             let name = self.coin_name(round);
             let coin_share = self.bundle.coin_key().share(&name, rng);
-            send_all(
-                out,
-                self.n,
-                AbbaMessage::Coin {
-                    round,
-                    share: coin_share,
-                },
-            );
+            out.broadcast(AbbaMessage::Coin {
+                round,
+                share: coin_share,
+            });
         }
         None
     }
@@ -890,15 +898,11 @@ impl<E: Clone + core::fmt::Debug> Abba<E> {
         self.decided = Some(value);
         if !self.decision_sent {
             self.decision_sent = true;
-            send_all(
-                out,
-                self.n,
-                AbbaMessage::Decided {
-                    round,
-                    value,
-                    proof,
-                },
-            );
+            out.broadcast(AbbaMessage::Decided {
+                round,
+                value,
+                proof,
+            });
         }
         Some(value)
     }
@@ -927,7 +931,7 @@ mod tests {
         type Output = bool;
 
         fn on_input(&mut self, input: bool, fx: &mut Effects<Msg, bool>) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.abba.n());
             if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -937,7 +941,7 @@ mod tests {
         }
 
         fn on_message(&mut self, from: PartyId, msg: Msg, fx: &mut Effects<Msg, bool>) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.abba.n());
             if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -986,7 +990,9 @@ mod tests {
 
     #[test]
     fn unanimous_one_decides_one_fast() {
-        let mut sim = Simulation::new(nodes(4, 1, 1), RandomScheduler, 2);
+        let mut sim = Simulation::builder(nodes(4, 1, 1), RandomScheduler)
+            .seed(2)
+            .build();
         for p in 0..4 {
             sim.input(p, true);
         }
@@ -1003,7 +1009,9 @@ mod tests {
 
     #[test]
     fn unanimous_zero_decides_zero() {
-        let mut sim = Simulation::new(nodes(4, 1, 3), RandomScheduler, 4);
+        let mut sim = Simulation::builder(nodes(4, 1, 3), RandomScheduler)
+            .seed(4)
+            .build();
         for p in 0..4 {
             sim.input(p, false);
         }
@@ -1014,7 +1022,9 @@ mod tests {
     #[test]
     fn mixed_inputs_agree() {
         for seed in 0..10u64 {
-            let mut sim = Simulation::new(nodes(4, 1, seed), RandomScheduler, 1000 + seed);
+            let mut sim = Simulation::builder(nodes(4, 1, seed), RandomScheduler)
+                .seed(1000 + seed)
+                .build();
             sim.input(0, false);
             sim.input(1, true);
             sim.input(2, false);
@@ -1027,7 +1037,9 @@ mod tests {
     #[test]
     fn mixed_inputs_agree_under_lifo() {
         for seed in 0..5u64 {
-            let mut sim = Simulation::new(nodes(4, 1, 50 + seed), LifoScheduler, 2000 + seed);
+            let mut sim = Simulation::builder(nodes(4, 1, 50 + seed), LifoScheduler)
+                .seed(2000 + seed)
+                .build();
             sim.input(0, true);
             sim.input(1, false);
             sim.input(2, true);
@@ -1040,7 +1052,9 @@ mod tests {
     #[test]
     fn tolerates_crash_fault() {
         for seed in 0..5u64 {
-            let mut sim = Simulation::new(nodes(4, 1, 90 + seed), RandomScheduler, 3000 + seed);
+            let mut sim = Simulation::builder(nodes(4, 1, 90 + seed), RandomScheduler)
+                .seed(3000 + seed)
+                .build();
             sim.corrupt(3, Behavior::Crash);
             sim.input(0, true);
             sim.input(1, false);
@@ -1052,7 +1066,9 @@ mod tests {
 
     #[test]
     fn larger_system_with_crashes() {
-        let mut sim = Simulation::new(nodes(7, 2, 7), RandomScheduler, 8);
+        let mut sim = Simulation::builder(nodes(7, 2, 7), RandomScheduler)
+            .seed(8)
+            .build();
         sim.corrupt(5, Behavior::Crash);
         sim.corrupt(6, Behavior::Crash);
         for p in 0..5 {
@@ -1067,7 +1083,9 @@ mod tests {
         // A corrupted party replays garbage versions of whatever it
         // receives.
         for seed in 0..5u64 {
-            let mut sim = Simulation::new(nodes(4, 1, 200 + seed), RandomScheduler, 4000 + seed);
+            let mut sim = Simulation::builder(nodes(4, 1, 200 + seed), RandomScheduler)
+                .seed(4000 + seed)
+                .build();
             sim.corrupt(
                 2,
                 Behavior::Custom(Box::new(move |_from, msg: Msg, _| {
@@ -1113,7 +1131,7 @@ mod tests {
             type Input = bool;
             type Output = bool;
             fn on_input(&mut self, input: bool, fx: &mut Effects<AbbaMessage<u64>, bool>) {
-                let mut out = Vec::new();
+                let mut out = Outbox::new(self.abba.n());
                 if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
                     fx.output(d);
                 }
@@ -1127,7 +1145,7 @@ mod tests {
                 msg: AbbaMessage<u64>,
                 fx: &mut Effects<AbbaMessage<u64>, bool>,
             ) {
-                let mut out = Vec::new();
+                let mut out = Outbox::new(self.abba.n());
                 if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
                     fx.output(d);
                 }
@@ -1148,7 +1166,7 @@ mod tests {
                 rng: SeededRng::new(31 + b.party() as u64),
             })
             .collect();
-        let mut sim = Simulation::new(nodes, RandomScheduler, 32);
+        let mut sim = Simulation::builder(nodes, RandomScheduler).seed(32).build();
         // Corrupted party 3 sends round-1 pre-votes for 1 with bogus
         // evidence to everyone.
         let bad_share = bundles[3].signing_key().sign_share(
@@ -1189,7 +1207,7 @@ mod tests {
             Arc::new(bundles[0].clone()),
             Arc::clone(&check),
         );
-        let mut out = Vec::new();
+        let mut out = Outbox::new(abba.n());
         abba.propose_with_evidence(42, &mut rng, &mut out);
         // The emitted pre-vote is self-validating.
         let pv = out
@@ -1216,7 +1234,7 @@ mod tests {
     #[should_panic(expected = "only once")]
     fn double_propose_panics() {
         let mut ns = nodes(4, 1, 13);
-        let mut out = Vec::new();
+        let mut out = Outbox::new(ns[0].abba.n());
         let mut rng = SeededRng::new(1);
         ns[0].abba.propose(true, &mut rng, &mut out);
         ns[0].abba.propose(false, &mut rng, &mut out);
@@ -1235,6 +1253,6 @@ mod tests {
             Arc::new(bundles[0].clone()),
             check,
         );
-        abba.propose(true, &mut rng, &mut Vec::new());
+        abba.propose(true, &mut rng, &mut Outbox::new(abba.n()));
     }
 }

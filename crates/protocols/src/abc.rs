@@ -22,14 +22,15 @@
 //!    order, duplicates (already delivered in earlier rounds) skipped,
 //!    and the next round begins.
 
-use crate::common::{digest, send_all, Digest, Outbox, Tag};
+use crate::common::{digest, Digest, Outbox, Tag, WireKind};
 use crate::mvba::{Mvba, MvbaMessage, ValidityPredicate};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_crypto::rng::SeededRng as Rng;
 use sintra_crypto::schnorr::Signature;
-use sintra_net::protocol::{Effects, Protocol};
+use sintra_net::protocol::{Context, Effects, Protocol};
+use sintra_obs::{Event, EventKind, Layer};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -56,6 +57,25 @@ pub enum AbcMessage {
         /// The MVBA sub-message.
         inner: MvbaMessage,
     },
+}
+
+impl WireKind for AbcMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            AbcMessage::Push(_) => "push",
+            AbcMessage::Queued { .. } => "queued",
+            AbcMessage::Mvba { .. } => "mvba",
+        }
+    }
+}
+
+/// Counts one ABC wire message under its own layer's per-kind counters
+/// and forwards embedded MVBA traffic to that layer's breakdown.
+pub(crate) fn observe_wire(ctx: &Context, dir: &'static str, m: &AbcMessage) {
+    ctx.obs.inc2(Layer::Abc, dir, m.kind());
+    if let AbcMessage::Mvba { inner, .. } = m {
+        crate::mvba::observe_wire(ctx, dir, inner);
+    }
 }
 
 /// One totally-ordered delivery.
@@ -131,6 +151,11 @@ impl core::fmt::Debug for AtomicBroadcast {
 }
 
 impl AtomicBroadcast {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Creates the endpoint.
     pub fn new(tag: Tag, public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>) -> Self {
         let n = public.n();
@@ -221,7 +246,7 @@ impl AtomicBroadcast {
             !payload.is_empty(),
             "empty payloads are reserved as fillers"
         );
-        send_all(out, self.n, AbcMessage::Push(payload.clone()));
+        out.broadcast(AbcMessage::Push(payload.clone()));
         // Enqueue locally as well; the self-addressed Push (if the
         // transport loops it back) deduplicates by digest.
         self.enqueue(payload);
@@ -287,11 +312,11 @@ impl AtomicBroadcast {
                 if round + ROUND_RETROSPECT < self.round || round > self.round + ROUND_LOOKAHEAD {
                     return Vec::new(); // outside the served round window
                 }
+                let mut sub = Outbox::new(self.n);
                 let mvba = self.mvba_instance(round);
-                let mut sub = Vec::new();
                 let decision = mvba.on_message(from, inner, rng, &mut sub);
                 for (to, m) in sub {
-                    out.push((to, AbcMessage::Mvba { round, inner: m }));
+                    out.send(to, AbcMessage::Mvba { round, inner: m });
                 }
                 if let Some(list) = decision {
                     // Re-deciding an already-delivered round is idempotent
@@ -337,15 +362,11 @@ impl AtomicBroadcast {
                     .bundle
                     .auth_key()
                     .sign(&self.queued_msg(r, &payload), rng);
-                send_all(
-                    out,
-                    self.n,
-                    AbcMessage::Queued {
-                        round: r,
-                        payload,
-                        sig,
-                    },
-                );
+                out.broadcast(AbcMessage::Queued {
+                    round: r,
+                    payload,
+                    sig,
+                });
             }
             // 2. Propose the MVBA once a core quorum of proposals is in.
             if !self.mvba_proposed.contains(&r) && self.sent_queued.contains(&r) {
@@ -361,11 +382,11 @@ impl AtomicBroadcast {
                         .map(|(p, (payload, sig))| (*p, payload.clone(), *sig))
                         .collect();
                     let list = encode_list(&entries);
+                    let mut sub = Outbox::new(self.n);
                     let mvba = self.mvba_instance(r);
-                    let mut sub = Vec::new();
                     let decision = mvba.propose(list, rng, &mut sub);
                     for (to, m) in sub {
-                        out.push((to, AbcMessage::Mvba { round: r, inner: m }));
+                        out.send(to, AbcMessage::Mvba { round: r, inner: m });
                     }
                     if let Some(list) = decision {
                         self.decided_lists.insert(r, list);
@@ -517,7 +538,7 @@ impl Protocol for AbcNode {
     type Output = AbcDeliver;
 
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<AbcMessage, AbcDeliver>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.abc.n());
         for d in self.abc.broadcast(input, &mut self.rng, &mut out) {
             fx.output(d);
         }
@@ -532,13 +553,61 @@ impl Protocol for AbcNode {
         msg: AbcMessage,
         fx: &mut Effects<AbcMessage, AbcDeliver>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.abc.n());
         for d in self.abc.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
         }
         for (to, m) in out {
             fx.send(to, m);
         }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: Vec<u8>,
+        fx: &mut Effects<AbcMessage, AbcDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_input(input, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+        record_deliveries(ctx, fx, o0);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: AbcMessage,
+        fx: &mut Effects<AbcMessage, AbcDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        observe_wire(ctx, "recv", &msg);
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+        record_deliveries(ctx, fx, o0);
+    }
+}
+
+/// Records each total-order delivery appended past `mark`.
+fn record_deliveries(ctx: &Context, fx: &Effects<AbcMessage, AbcDeliver>, mark: usize) {
+    for d in &fx.outputs()[mark..] {
+        ctx.obs.inc(Layer::Abc, "delivered");
+        ctx.obs.event(
+            Event::new(Layer::Abc, EventKind::Deliver, ctx.me)
+                .value(d.seq)
+                .at(ctx.at),
+        );
     }
 }
 
@@ -585,7 +654,9 @@ mod tests {
 
     #[test]
     fn single_broadcast_total_order() {
-        let mut sim = Simulation::new(nodes(4, 1, 1), RandomScheduler, 2);
+        let mut sim = Simulation::builder(nodes(4, 1, 1), RandomScheduler)
+            .seed(2)
+            .build();
         sim.input(0, b"m1".to_vec());
         sim.run_until_quiet(10_000_000);
         for p in 0..4 {
@@ -600,7 +671,9 @@ mod tests {
     #[test]
     fn concurrent_broadcasts_same_order_everywhere() {
         for seed in 0..3u64 {
-            let mut sim = Simulation::new(nodes(4, 1, 10 + seed), RandomScheduler, 20 + seed);
+            let mut sim = Simulation::builder(nodes(4, 1, 10 + seed), RandomScheduler)
+                .seed(20 + seed)
+                .build();
             for p in 0..4 {
                 sim.input(p, format!("msg-from-{p}").into_bytes());
             }
@@ -624,7 +697,9 @@ mod tests {
 
     #[test]
     fn order_holds_under_lifo() {
-        let mut sim = Simulation::new(nodes(4, 1, 40), LifoScheduler, 41);
+        let mut sim = Simulation::builder(nodes(4, 1, 40), LifoScheduler)
+            .seed(41)
+            .build();
         for p in 0..4 {
             sim.input(p, format!("m{p}").into_bytes());
         }
@@ -638,7 +713,9 @@ mod tests {
 
     #[test]
     fn crash_fault_does_not_block_ordering() {
-        let mut sim = Simulation::new(nodes(4, 1, 50), RandomScheduler, 51);
+        let mut sim = Simulation::builder(nodes(4, 1, 50), RandomScheduler)
+            .seed(51)
+            .build();
         sim.corrupt(3, Behavior::Crash);
         sim.input(0, b"a".to_vec());
         sim.input(1, b"b".to_vec());
@@ -652,7 +729,9 @@ mod tests {
 
     #[test]
     fn multiple_messages_from_one_party() {
-        let mut sim = Simulation::new(nodes(4, 1, 60), RandomScheduler, 61);
+        let mut sim = Simulation::builder(nodes(4, 1, 60), RandomScheduler)
+            .seed(61)
+            .build();
         sim.input(0, b"first".to_vec());
         sim.input(0, b"second".to_vec());
         sim.input(0, b"third".to_vec());
@@ -666,7 +745,9 @@ mod tests {
 
     #[test]
     fn duplicate_broadcast_delivered_once() {
-        let mut sim = Simulation::new(nodes(4, 1, 70), RandomScheduler, 71);
+        let mut sim = Simulation::builder(nodes(4, 1, 70), RandomScheduler)
+            .seed(71)
+            .build();
         sim.input(0, b"dup".to_vec());
         sim.input(1, b"dup".to_vec());
         sim.input(2, b"other".to_vec());
@@ -710,7 +791,7 @@ mod tests {
         let node = &mut ns[0].abc;
         node.set_push_bound(8);
         let mut rng = Rng::new(1);
-        let mut out = Vec::new();
+        let mut out = Outbox::new(node.n());
         // A Byzantine flooder pushes far more distinct payloads than the
         // per-sender budget; the honest queue absorbs only the budget.
         for i in 0..1_000u32 {
@@ -742,7 +823,7 @@ mod tests {
             Arc::clone(&public),
             Arc::new(bundles[0].clone()),
         );
-        let mut out = Vec::new();
+        let mut out = Outbox::new(node.n());
         // Correctly signed proposals for far-future rounds (round numbers
         // are attacker-chosen) are refused.
         for round in 1_000..1_100u64 {
@@ -799,6 +880,9 @@ mod tests {
     fn empty_broadcast_panics() {
         let mut ns = nodes(4, 1, 80);
         let mut rng = Rng::new(1);
-        ns[0].abc.broadcast(Vec::new(), &mut rng, &mut Vec::new());
+        let n = ns[0].abc.n();
+        ns[0]
+            .abc
+            .broadcast(Vec::new(), &mut rng, &mut Outbox::new(n));
     }
 }

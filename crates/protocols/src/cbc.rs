@@ -15,7 +15,7 @@
 //! count is `O(n)` versus reliable broadcast's `O(n²)` — the difference
 //! experiment E3 measures.
 
-use crate::common::{digest, send_all, BatchedShares, Digest, Outbox, Tag};
+use crate::common::{digest, BatchedShares, Digest, Outbox, Tag, WireKind};
 use serde::{Deserialize, Serialize};
 use sintra_adversary::party::PartyId;
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
@@ -33,6 +33,16 @@ pub enum CbcMessage {
     /// Sender's combined voucher: payload + core-quorum threshold
     /// signature. Transferable: anyone can convince anyone else.
     Final(Vec<u8>, ThresholdSignature),
+}
+
+impl WireKind for CbcMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            CbcMessage::Send(_) => "send",
+            CbcMessage::Echo(_) => "echo",
+            CbcMessage::Final(_, _) => "final",
+        }
+    }
 }
 
 /// A delivered consistent broadcast: payload plus its transferable
@@ -67,6 +77,11 @@ pub struct ConsistentBroadcast {
 }
 
 impl ConsistentBroadcast {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Creates an instance for a designated sender under `tag`.
     pub fn new(
         tag: Tag,
@@ -108,7 +123,7 @@ impl ConsistentBroadcast {
         assert!(self.my_payload.is_none(), "broadcast may start only once");
         let d = digest(&payload);
         self.my_payload = Some((payload.clone(), d));
-        send_all(out, self.n, CbcMessage::Send(payload));
+        out.broadcast(CbcMessage::Send(payload));
     }
 
     /// Verifies a voucher independently of protocol state (used by
@@ -141,7 +156,7 @@ impl ConsistentBroadcast {
                 let d = digest(&payload);
                 let to_sign = self.signed_message(&d);
                 let share = self.bundle.signing_key().sign_share(&to_sign, rng);
-                out.push((self.sender, CbcMessage::Echo(share)));
+                out.send(self.sender, CbcMessage::Echo(share));
                 None
             }
             CbcMessage::Echo(share) => {
@@ -171,7 +186,7 @@ impl ConsistentBroadcast {
                     self.shares.verified().values().cloned().collect();
                 if let Ok(sig) = signing.combine_preverified(&verified, QuorumRule::Core) {
                     self.final_sent = true;
-                    send_all(out, self.n, CbcMessage::Final(payload, sig));
+                    out.broadcast(CbcMessage::Final(payload, sig));
                 }
                 None
             }
@@ -214,7 +229,7 @@ mod tests {
         type Output = Vec<u8>;
 
         fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<CbcMessage, Vec<u8>>) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.cbc.n());
             self.cbc.broadcast(input, &mut out);
             for (to, m) in out {
                 fx.send(to, m);
@@ -227,7 +242,7 @@ mod tests {
             msg: CbcMessage,
             fx: &mut Effects<CbcMessage, Vec<u8>>,
         ) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.cbc.n());
             if let Some(v) = self.cbc.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(v.payload);
             }
@@ -257,7 +272,9 @@ mod tests {
 
     #[test]
     fn honest_sender_delivers_everywhere() {
-        let mut sim = Simulation::new(nodes(4, 1, 2, 1), RandomScheduler, 2);
+        let mut sim = Simulation::builder(nodes(4, 1, 2, 1), RandomScheduler)
+            .seed(2)
+            .build();
         sim.input(2, b"payload".to_vec());
         sim.run_until_quiet(100_000);
         for p in 0..4 {
@@ -270,7 +287,9 @@ mod tests {
         // CBC: n sends + n echoes + n finals = 3n messages (minus self
         // short-circuits), versus RBC's O(n²).
         let n = 7;
-        let mut sim = Simulation::new(nodes(n, 2, 0, 3), RandomScheduler, 3);
+        let mut sim = Simulation::builder(nodes(n, 2, 0, 3), RandomScheduler)
+            .seed(3)
+            .build();
         sim.input(0, b"m".to_vec());
         sim.run_until_quiet(100_000);
         let sent = sim.stats().sent + sim.stats().local_deliveries;
@@ -285,7 +304,9 @@ mod tests {
 
     #[test]
     fn tolerates_crashed_receivers() {
-        let mut sim = Simulation::new(nodes(4, 1, 0, 4), RandomScheduler, 4);
+        let mut sim = Simulation::builder(nodes(4, 1, 0, 4), RandomScheduler)
+            .seed(4)
+            .build();
         sim.corrupt(3, Behavior::Crash);
         sim.input(0, b"m".to_vec());
         sim.run_until_quiet(100_000);
@@ -318,14 +339,14 @@ mod tests {
             })
             .collect();
         // Drive the instance by hand.
-        let mut out = Vec::new();
+        let mut out = Outbox::new(sender.n());
         sender.broadcast(b"m".to_vec(), &mut out);
         let mut echoes = Vec::new();
         for (to, msg) in out {
             if to == 0 {
                 continue;
             }
-            let mut sub = Vec::new();
+            let mut sub = Outbox::new(receivers[to - 1].n());
             receivers[to - 1].on_message(0, msg, &mut rng, &mut sub);
             echoes.extend(sub);
         }
@@ -336,7 +357,7 @@ mod tests {
             // Identify originating party from the share inside.
             if let CbcMessage::Echo(share) = &msg {
                 let from = share.party();
-                let mut sub = Vec::new();
+                let mut sub = Outbox::new(sender.n());
                 sender.on_message(from, msg, &mut rng, &mut sub);
                 finals.extend(sub);
             }
@@ -385,7 +406,7 @@ mod tests {
             .signing()
             .combine(&msg, &shares, QuorumRule::Core)
             .unwrap();
-        let mut out = Vec::new();
+        let mut out = Outbox::new(node.n());
         let delivered = node.on_message(
             0,
             CbcMessage::Final(b"evil".to_vec(), sig.clone()),
@@ -416,7 +437,7 @@ mod tests {
             Arc::clone(&public),
             Arc::new(bundles[0].clone()),
         );
-        let mut out = Vec::new();
+        let mut out = Outbox::new(sender.n());
         sender.broadcast(b"m".to_vec(), &mut out);
         out.clear();
         let msg = tag.message(&[b"cbc", &digest(b"m")]);
@@ -453,7 +474,7 @@ mod tests {
             Arc::clone(&public),
             Arc::new(bundles[0].clone()),
         );
-        let mut out = Vec::new();
+        let mut out = Outbox::new(sender.n());
         sender.broadcast(b"m".to_vec(), &mut out);
         out.clear();
         // Echo whose share was made by party 2 but arrives "from" 1.

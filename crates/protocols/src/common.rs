@@ -12,20 +12,143 @@ use std::sync::Arc;
 /// A 32-byte message digest.
 pub type Digest = [u8; 32];
 
+/// Stable lowercase names for wire-message variants, keyed into
+/// per-kind `<layer>.sent.<kind>` / `<layer>.recv.<kind>` counters by
+/// the observability layer. Implemented by every protocol's message
+/// enum.
+pub trait WireKind {
+    /// The variant's stable metric-name component (e.g. `"echo"`).
+    fn kind(&self) -> &'static str;
+}
+
+/// Counts every wire message appended to `fx` past `mark` under the
+/// layer's `sent.<kind>` counters. Instrumented node adapters call
+/// this after delegating to their uninstrumented handler.
+pub(crate) fn count_sent<M: WireKind, O>(
+    ctx: &sintra_net::protocol::Context,
+    layer: sintra_obs::Layer,
+    fx: &sintra_net::protocol::Effects<M, O>,
+    mark: usize,
+) {
+    for (_, m) in &fx.sends()[mark..] {
+        ctx.obs.inc2(layer, "sent", m.kind());
+    }
+}
+
 /// Computes the digest of a payload.
 pub fn digest(payload: &[u8]) -> Digest {
     Sha256::digest(payload)
 }
 
 /// Messages queued by a sub-protocol, addressed by party.
-pub type Outbox<M> = Vec<(PartyId, M)>;
+///
+/// The outbox knows the group size of the instance that writes into it,
+/// so protocols broadcast with [`Outbox::broadcast`] instead of every
+/// call site re-supplying its own `n` — the duplicated-`n` parameter of
+/// the old `send_all` free function is gone. An outbox iterates as
+/// `(PartyId, M)` pairs, oldest first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outbox<M> {
+    n: usize,
+    msgs: Vec<(PartyId, M)>,
+}
 
-/// Queues `msg` for every party in `0..n` (including self; protocols
-/// count their own votes through the same path as everyone else's).
-pub fn send_all<M: Clone>(out: &mut Outbox<M>, n: usize, msg: M) {
-    for to in 0..n {
-        out.push((to, msg.clone()));
+impl<M> Outbox<M> {
+    /// An empty outbox for a group of `n` parties.
+    pub fn new(n: usize) -> Self {
+        Outbox {
+            n,
+            msgs: Vec::new(),
+        }
     }
+
+    /// The group size this outbox was built for.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Queues `msg` for one party (including self).
+    pub fn send(&mut self, to: PartyId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Queues `msg` for every party in the group (including self;
+    /// protocols count their own votes through the same path as
+    /// everyone else's).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        assert!(
+            self.n > 0,
+            "Outbox built for an empty group; construct with Outbox::new(n)"
+        );
+        for to in 0..self.n {
+            self.msgs.push((to, msg.clone()));
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// The queued messages, in queueing order.
+    pub fn as_slice(&self) -> &[(PartyId, M)] {
+        &self.msgs
+    }
+
+    /// Iterates over the queued messages without consuming them.
+    pub fn iter(&self) -> core::slice::Iter<'_, (PartyId, M)> {
+        self.msgs.iter()
+    }
+
+    /// Discards the queued messages, keeping the group size.
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+    }
+
+    /// Drains the queued messages, leaving the outbox empty (and its
+    /// group size intact).
+    pub fn drain(&mut self) -> Vec<(PartyId, M)> {
+        core::mem::take(&mut self.msgs)
+    }
+
+    /// Consumes the outbox into its queued messages.
+    pub fn into_vec(self) -> Vec<(PartyId, M)> {
+        self.msgs
+    }
+}
+
+impl<M> IntoIterator for Outbox<M> {
+    type Item = (PartyId, M);
+    type IntoIter = std::vec::IntoIter<(PartyId, M)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.into_iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &'a Outbox<M> {
+    type Item = &'a (PartyId, M);
+    type IntoIter = core::slice::Iter<'a, (PartyId, M)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
+    }
+}
+
+/// Queues `msg` for every party in `0..n`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Outbox::broadcast(msg)`; the outbox knows its group size"
+)]
+pub fn send_all<M: Clone>(out: &mut Outbox<M>, n: usize, msg: M) {
+    let _ = n;
+    out.broadcast(msg);
 }
 
 /// A hierarchical protocol-instance tag. Tags separate the cryptographic
@@ -279,10 +402,25 @@ mod tests {
     }
 
     #[test]
-    fn send_all_includes_self() {
-        let mut out: Outbox<u8> = Vec::new();
-        send_all(&mut out, 3, 9);
-        assert_eq!(out, vec![(0, 9), (1, 9), (2, 9)]);
+    fn broadcast_includes_self() {
+        let mut out: Outbox<u8> = Outbox::new(3);
+        out.broadcast(9);
+        assert_eq!(out.as_slice(), &[(0, 9), (1, 9), (2, 9)]);
+        assert_eq!(out.group_size(), 3);
+        out.send(1, 7);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.drain().len(), 4);
+        assert!(out.is_empty());
+        assert_eq!(out.group_size(), 3, "drain keeps the group size");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_send_all_still_broadcasts() {
+        let mut out: Outbox<u8> = Outbox::new(2);
+        #[allow(deprecated)]
+        send_all(&mut out, 2, 5);
+        assert_eq!(out.as_slice(), &[(0, 5), (1, 5)]);
     }
 
     #[test]

@@ -21,10 +21,11 @@
 //! delivery); it is **not** a full PBFT and is not meant as a safe
 //! replication system.
 
-use crate::common::{digest, Digest};
+use crate::common::{digest, Digest, WireKind};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_adversary::structure::TrustStructure;
-use sintra_net::protocol::{Effects, Protocol};
+use sintra_net::protocol::{Context, Effects, Protocol};
+use sintra_obs::{Event, EventKind, Layer};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Baseline wire messages.
@@ -55,6 +56,17 @@ pub enum FdMessage {
         /// The suspected view.
         view: u64,
     },
+}
+
+impl WireKind for FdMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            FdMessage::Push(_) => "push",
+            FdMessage::Order { .. } => "order",
+            FdMessage::Ack { .. } => "ack",
+            FdMessage::Suspect { .. } => "suspect",
+        }
+    }
 }
 
 /// One delivery from the baseline.
@@ -164,14 +176,11 @@ impl FdAbcNode {
             let payload = self.queue.front().cloned().expect("nonempty");
             let seq = self.next_assign;
             self.my_orders.insert(seq);
-            fx.send_all(
-                self.n,
-                FdMessage::Order {
-                    view: self.view,
-                    seq,
-                    payload,
-                },
-            );
+            fx.broadcast(FdMessage::Order {
+                view: self.view,
+                seq,
+                payload,
+            });
         }
     }
 
@@ -243,14 +252,11 @@ impl FdAbcNode {
             .collect();
         for (seq, payload) in now_ackable {
             let d = digest(&payload);
-            fx.send_all(
-                self.n,
-                FdMessage::Ack {
-                    view: to_view,
-                    seq,
-                    digest: d,
-                },
-            );
+            fx.broadcast(FdMessage::Ack {
+                view: to_view,
+                seq,
+                digest: d,
+            });
             self.try_deliver(to_view, seq, d, fx);
         }
     }
@@ -262,7 +268,7 @@ impl Protocol for FdAbcNode {
     type Output = FdDeliver;
 
     fn on_input(&mut self, payload: Vec<u8>, fx: &mut Effects<FdMessage, FdDeliver>) {
-        fx.send_all(self.n, FdMessage::Push(payload.clone()));
+        fx.broadcast(FdMessage::Push(payload.clone()));
         self.enqueue(payload);
         self.coordinate(fx);
     }
@@ -285,14 +291,11 @@ impl Protocol for FdAbcNode {
                 let d = digest(&payload);
                 self.orders.entry((view, seq)).or_insert(payload);
                 if view == self.view {
-                    fx.send_all(
-                        self.n,
-                        FdMessage::Ack {
-                            view,
-                            seq,
-                            digest: d,
-                        },
-                    );
+                    fx.broadcast(FdMessage::Ack {
+                        view,
+                        seq,
+                        digest: d,
+                    });
                 }
                 // Orders for future views are buffered and acknowledged
                 // when this replica's view catches up (see change_view).
@@ -337,8 +340,67 @@ impl Protocol for FdAbcNode {
             self.ticks_since_progress = 0;
             let view = self.view;
             if self.suspected_views.insert(view) {
-                fx.send_all(self.n, FdMessage::Suspect { view });
+                fx.broadcast(FdMessage::Suspect { view });
             }
+        }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: Vec<u8>,
+        fx: &mut Effects<FdMessage, FdDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_input(input, fx);
+        self.record(ctx, fx, s0, o0);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: FdMessage,
+        fx: &mut Effects<FdMessage, FdDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        ctx.obs.inc2(Layer::Fdabc, "recv", msg.kind());
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        self.record(ctx, fx, s0, o0);
+    }
+
+    fn on_tick_ctx(&mut self, ctx: &Context, fx: &mut Effects<FdMessage, FdDeliver>) {
+        if !ctx.obs.is_enabled() {
+            return self.on_tick(fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_tick(fx);
+        self.record(ctx, fx, s0, o0);
+    }
+}
+
+impl FdAbcNode {
+    /// Records sends/deliveries appended past the marks, plus the view
+    /// gauge — the baseline's churn under targeted delay is exactly what
+    /// experiment E1 measures.
+    fn record(&self, ctx: &Context, fx: &Effects<FdMessage, FdDeliver>, s0: usize, o0: usize) {
+        for (_, m) in &fx.sends()[s0..] {
+            ctx.obs.inc2(Layer::Fdabc, "sent", m.kind());
+        }
+        ctx.obs.gauge_set(Layer::Fdabc, "view", self.view);
+        for d in &fx.outputs()[o0..] {
+            ctx.obs.inc(Layer::Fdabc, "delivered");
+            ctx.obs.event(
+                Event::new(Layer::Fdabc, EventKind::Deliver, ctx.me)
+                    .value(d.seq)
+                    .at(ctx.at),
+            );
         }
     }
 }
@@ -361,7 +423,9 @@ mod tests {
 
     #[test]
     fn delivers_under_benign_network() {
-        let mut sim = Simulation::new(fd_nodes(&structure(4, 1), 20), RandomScheduler, 1);
+        let mut sim = Simulation::builder(fd_nodes(&structure(4, 1), 20), RandomScheduler)
+            .seed(1)
+            .build();
         sim.enable_ticks(5);
         sim.input(0, b"hello".to_vec());
         sim.run_until_quiet(100_000);
@@ -379,7 +443,9 @@ mod tests {
 
     #[test]
     fn delivers_multiple_in_order() {
-        let mut sim = Simulation::new(fd_nodes(&structure(4, 1), 20), RandomScheduler, 2);
+        let mut sim = Simulation::builder(fd_nodes(&structure(4, 1), 20), RandomScheduler)
+            .seed(2)
+            .build();
         sim.enable_ticks(5);
         for i in 0..5u8 {
             sim.input(0, vec![i + 1]);
@@ -400,11 +466,12 @@ mod tests {
         // variant already collapses throughput because party 0 is
         // repeatedly re-elected every n views.
         let victims: PartySet = PartySet::singleton(0);
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             fd_nodes(&structure(4, 1), 4),
             TargetedDelayScheduler { victims },
-            3,
-        );
+        )
+        .seed(3)
+        .build();
         sim.enable_ticks(1);
         for i in 0..4u8 {
             sim.input(1, vec![i + 1]);
@@ -425,7 +492,9 @@ mod tests {
     fn view_changes_rotate_coordinator() {
         // Timeout long enough that the post-change view can complete an
         // order/ack cycle before being suspected itself.
-        let mut sim = Simulation::new(fd_nodes(&structure(4, 1), 25), RandomScheduler, 4);
+        let mut sim = Simulation::builder(fd_nodes(&structure(4, 1), 25), RandomScheduler)
+            .seed(4)
+            .build();
         sim.enable_ticks(1);
         // Crash the view-0 coordinator; others must rotate past it.
         sim.corrupt(0, sintra_net::sim::Behavior::Crash);

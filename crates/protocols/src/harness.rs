@@ -78,18 +78,28 @@ fn rbc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<RbcNo
     let inner = || rbc_nodes(N, T, 0).remove(party);
     match kind {
         BehaviorKind::Crash => Behavior::Crash,
-        BehaviorKind::Equivocate => {
-            faults::equivocator(party, inner(), None, |to, m, _| rbc_equivocate(to, m), seed)
-        }
+        BehaviorKind::Equivocate => faults::equivocator(
+            party,
+            N,
+            inner(),
+            None,
+            |to, m, _| rbc_equivocate(to, m),
+            seed,
+        ),
         BehaviorKind::Replay => faults::replayer(N, 16, seed),
         BehaviorKind::Mutate => {
-            faults::mutator(party, inner(), None, |m, _| rbc_mutate(m), 60, seed)
+            faults::mutator(party, N, inner(), None, |m, _| rbc_mutate(m), 60, seed)
         }
-        BehaviorKind::Mute => {
-            faults::selective_mute(party, inner(), None, PartySet::singleton((party + 1) % N))
-        }
+        BehaviorKind::Mute => faults::selective_mute(
+            party,
+            N,
+            inner(),
+            None,
+            PartySet::singleton((party + 1) % N),
+        ),
         BehaviorKind::CrashRecover => faults::crash_recover(
             party,
+            N,
             move || rbc_nodes(N, T, 0).remove(party),
             None,
             200,
@@ -141,17 +151,26 @@ fn cbc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<CbcNo
     let inner = move || cbc_nodes(N, T, 0, cs).remove(party);
     match kind {
         BehaviorKind::Crash => Behavior::Crash,
-        BehaviorKind::Equivocate => {
-            faults::equivocator(party, inner(), None, |to, m, _| cbc_equivocate(to, m), seed)
-        }
+        BehaviorKind::Equivocate => faults::equivocator(
+            party,
+            N,
+            inner(),
+            None,
+            |to, m, _| cbc_equivocate(to, m),
+            seed,
+        ),
         BehaviorKind::Replay => faults::replayer(N, 16, seed),
         BehaviorKind::Mutate => {
-            faults::mutator(party, inner(), None, |m, _| cbc_mutate(m), 60, seed)
+            faults::mutator(party, N, inner(), None, |m, _| cbc_mutate(m), 60, seed)
         }
-        BehaviorKind::Mute => {
-            faults::selective_mute(party, inner(), None, PartySet::singleton((party + 1) % N))
-        }
-        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+        BehaviorKind::Mute => faults::selective_mute(
+            party,
+            N,
+            inner(),
+            None,
+            PartySet::singleton((party + 1) % N),
+        ),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, N, inner, None, 200, 5_000),
     }
 }
 
@@ -199,22 +218,30 @@ fn abba_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<Abba
         BehaviorKind::Crash => Behavior::Crash,
         BehaviorKind::Equivocate => faults::equivocator(
             party,
+            N,
             inner(),
             Some(true),
             |to, m, _| abba_equivocate(to, m),
             seed,
         ),
         BehaviorKind::Replay => faults::replayer(N, 16, seed),
-        BehaviorKind::Mutate => {
-            faults::mutator(party, inner(), Some(false), |m, _| abba_mutate(m), 60, seed)
-        }
+        BehaviorKind::Mutate => faults::mutator(
+            party,
+            N,
+            inner(),
+            Some(false),
+            |m, _| abba_mutate(m),
+            60,
+            seed,
+        ),
         BehaviorKind::Mute => faults::selective_mute(
             party,
+            N,
             inner(),
             Some(true),
             PartySet::singleton((party + 1) % N),
         ),
-        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, N, inner, None, 200, 5_000),
     }
 }
 
@@ -263,6 +290,7 @@ pub fn abba_coin_tamper_hooks(attributions: &Cell<usize>) -> CampaignHooks<'_, A
             match kind {
                 BehaviorKind::Mutate => faults::mutator(
                     party,
+                    N,
                     abba_nodes(N, T, cs).remove(party),
                     Some(false),
                     |m, _| abba_tamper_coin(m),
@@ -328,6 +356,7 @@ fn mvba_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<Mvba
         BehaviorKind::Crash => Behavior::Crash,
         BehaviorKind::Equivocate => faults::equivocator(
             party,
+            N,
             inner(),
             Some(b"ok-evil".to_vec()),
             |to, m, _| mvba_equivocate(to, m),
@@ -336,6 +365,7 @@ fn mvba_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<Mvba
         BehaviorKind::Replay => faults::replayer(N, 16, seed),
         BehaviorKind::Mutate => faults::mutator(
             party,
+            N,
             inner(),
             Some(b"ok-evil".to_vec()),
             |m, _| mvba_mutate(m),
@@ -344,11 +374,12 @@ fn mvba_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<Mvba
         ),
         BehaviorKind::Mute => faults::selective_mute(
             party,
+            N,
             inner(),
             Some(b"ok-evil".to_vec()),
             PartySet::singleton((party + 1) % N),
         ),
-        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, N, inner, None, 200, 5_000),
     }
 }
 
@@ -404,6 +435,7 @@ fn abc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<AbcNo
         BehaviorKind::Crash => Behavior::Crash,
         BehaviorKind::Equivocate => faults::equivocator(
             party,
+            N,
             inner(),
             Some(b"evil".to_vec()),
             |to, m, _| abc_equivocate(to, m),
@@ -412,6 +444,7 @@ fn abc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<AbcNo
         BehaviorKind::Replay => faults::replayer(N, 16, seed),
         BehaviorKind::Mutate => faults::mutator(
             party,
+            N,
             inner(),
             Some(b"evil".to_vec()),
             |m, _| abc_mutate(m),
@@ -420,11 +453,12 @@ fn abc_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<AbcNo
         ),
         BehaviorKind::Mute => faults::selective_mute(
             party,
+            N,
             inner(),
             Some(b"evil".to_vec()),
             PartySet::singleton((party + 1) % N),
         ),
-        BehaviorKind::CrashRecover => faults::crash_recover(party, inner, None, 200, 5_000),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, N, inner, None, 200, 5_000),
     }
 }
 

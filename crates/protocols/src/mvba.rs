@@ -27,12 +27,14 @@
 
 use crate::abba::{Abba, AbbaMessage, EvidenceCheck};
 use crate::cbc::{CbcMessage, ConsistentBroadcast, Voucher};
-use crate::common::{send_all, BatchedShares, Outbox, Tag};
+use crate::common::{BatchedShares, Outbox, Tag, WireKind};
 use parking_lot::Mutex;
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::coin::CoinShare;
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
+use sintra_net::protocol::Context;
+use sintra_obs::Layer;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -64,6 +66,29 @@ pub enum MvbaMessage {
         /// The ABBA sub-message (evidence = candidate voucher).
         inner: AbbaMessage<Voucher>,
     },
+}
+
+impl WireKind for MvbaMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            MvbaMessage::Proposal { .. } => "proposal",
+            MvbaMessage::ElectCoin { .. } => "elect_coin",
+            MvbaMessage::Vote { .. } => "vote",
+        }
+    }
+}
+
+/// Counts one MVBA wire message under the per-kind counters of *both*
+/// its own layer and the sub-protocol layer it carries, so traffic for
+/// the embedded consistent-broadcast and binary-agreement instances
+/// stays visible in per-layer breakdowns.
+pub(crate) fn observe_wire(ctx: &Context, dir: &'static str, m: &MvbaMessage) {
+    ctx.obs.inc2(Layer::Mvba, dir, m.kind());
+    match m {
+        MvbaMessage::Proposal { inner, .. } => ctx.obs.inc2(Layer::Cbc, dir, inner.kind()),
+        MvbaMessage::Vote { inner, .. } => ctx.obs.inc2(Layer::Abba, dir, inner.kind()),
+        MvbaMessage::ElectCoin { .. } => {}
+    }
 }
 
 /// How far past the current election coin shares and votes are buffered.
@@ -123,6 +148,11 @@ impl core::fmt::Debug for Mvba {
 }
 
 impl Mvba {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Creates an instance under `tag` with the given external validity
     /// predicate.
     pub fn new(
@@ -201,7 +231,7 @@ impl Mvba {
         assert!(!self.proposed, "propose may be called only once");
         assert!((self.predicate)(&value), "own proposal must be valid");
         self.proposed = true;
-        let mut sub = Vec::new();
+        let mut sub = Outbox::new(self.n);
         self.cbc[self.me].broadcast(value, &mut sub);
         let me = self.me;
         wrap(out, sub, |inner| MvbaMessage::Proposal {
@@ -240,7 +270,7 @@ impl Mvba {
             // state; election and vote traffic stays ignored.
             if let MvbaMessage::Proposal { proposer, inner } = msg {
                 if proposer < self.n {
-                    let mut sub = Vec::new();
+                    let mut sub = Outbox::new(self.n);
                     self.cbc[proposer].on_message(from, inner, rng, &mut sub);
                     wrap(out, sub, |inner| MvbaMessage::Proposal { proposer, inner });
                 }
@@ -252,7 +282,7 @@ impl Mvba {
                 if proposer >= self.n {
                     return None;
                 }
-                let mut sub = Vec::new();
+                let mut sub = Outbox::new(self.n);
                 let delivered = self.cbc[proposer].on_message(from, inner, rng, &mut sub);
                 wrap(out, sub, |inner| MvbaMessage::Proposal { proposer, inner });
                 if let Some(voucher) = delivered {
@@ -280,7 +310,7 @@ impl Mvba {
             }
             MvbaMessage::Vote { election, inner } => {
                 if let Some(abba) = self.abbas.get_mut(&election) {
-                    let mut sub = Vec::new();
+                    let mut sub = Outbox::new(self.n);
                     let decision = abba.on_message(from, inner, rng, &mut sub);
                     wrap(out, sub, |inner| MvbaMessage::Vote { election, inner });
                     if let Some(bit) = decision {
@@ -346,7 +376,7 @@ impl Mvba {
         self.pending_votes = self.pending_votes.split_off(&election);
         let name = self.elect_coin_name(election);
         let share = self.bundle.coin_key().share(&name, rng);
-        send_all(out, self.n, MvbaMessage::ElectCoin { election, share });
+        out.broadcast(MvbaMessage::ElectCoin { election, share });
     }
 
     fn after_election_start(
@@ -411,7 +441,7 @@ impl Mvba {
         );
         // Propose.
         let my_voucher = self.vouchers.lock().get(&candidate).cloned();
-        let mut sub = Vec::new();
+        let mut sub = Outbox::new(self.n);
         let mut decision = match my_voucher {
             Some(v) => abba.propose_with_evidence(v, rng, &mut sub),
             None => abba.propose(false, rng, &mut sub),
@@ -424,7 +454,7 @@ impl Mvba {
             if decision.is_some() {
                 break;
             }
-            let mut sub = Vec::new();
+            let mut sub = Outbox::new(self.n);
             decision = self
                 .abbas
                 .get_mut(&election)
@@ -478,14 +508,10 @@ impl Mvba {
     ) -> Option<Vec<u8>> {
         // Help laggards: re-broadcast the winning proposal's transferable
         // CBC Final so everyone can deliver it.
-        send_all(
-            out,
-            self.n,
-            MvbaMessage::Proposal {
-                proposer: candidate,
-                inner: CbcMessage::Final(voucher.payload.clone(), voucher.signature.clone()),
-            },
-        );
+        out.broadcast(MvbaMessage::Proposal {
+            proposer: candidate,
+            inner: CbcMessage::Final(voucher.payload.clone(), voucher.signature.clone()),
+        });
         self.decided = Some(voucher.payload.clone());
         Some(voucher.payload)
     }
@@ -494,7 +520,7 @@ impl Mvba {
 /// Wraps sub-protocol messages into the parent message type.
 fn wrap<Sub, M>(out: &mut Outbox<M>, sub: Outbox<Sub>, f: impl Fn(Sub) -> M) {
     for (to, m) in sub {
-        out.push((to, f(m)));
+        out.send(to, f(m));
     }
 }
 
@@ -519,7 +545,7 @@ mod tests {
         type Output = Vec<u8>;
 
         fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.mvba.n());
             if let Some(d) = self.mvba.propose(input, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -534,7 +560,7 @@ mod tests {
             msg: MvbaMessage,
             fx: &mut Effects<MvbaMessage, Vec<u8>>,
         ) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.mvba.n());
             if let Some(d) = self.mvba.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -590,7 +616,9 @@ mod tests {
     #[test]
     fn decides_some_proposed_value() {
         for seed in 0..5u64 {
-            let mut sim = Simulation::new(nodes(4, 1, seed), RandomScheduler, 100 + seed);
+            let mut sim = Simulation::builder(nodes(4, 1, seed), RandomScheduler)
+                .seed(100 + seed)
+                .build();
             for p in 0..4 {
                 sim.input(p, format!("proposal-{p}").into_bytes());
             }
@@ -603,7 +631,9 @@ mod tests {
 
     #[test]
     fn decides_under_lifo_schedule() {
-        let mut sim = Simulation::new(nodes(4, 1, 7), LifoScheduler, 8);
+        let mut sim = Simulation::builder(nodes(4, 1, 7), LifoScheduler)
+            .seed(8)
+            .build();
         for p in 0..4 {
             sim.input(p, vec![p as u8]);
         }
@@ -614,7 +644,9 @@ mod tests {
     #[test]
     fn tolerates_crash() {
         for seed in 0..3u64 {
-            let mut sim = Simulation::new(nodes(4, 1, 30 + seed), RandomScheduler, 300 + seed);
+            let mut sim = Simulation::builder(nodes(4, 1, 30 + seed), RandomScheduler)
+                .seed(300 + seed)
+                .build();
             sim.corrupt(1, Behavior::Crash);
             for p in [0usize, 2, 3] {
                 sim.input(p, format!("p{p}").into_bytes());
@@ -634,11 +666,12 @@ mod tests {
         // predicate.
         let predicate: ValidityPredicate = Arc::new(|v: &[u8]| v.starts_with(b"ok"));
         for seed in 0..3u64 {
-            let mut sim = Simulation::new(
+            let mut sim = Simulation::builder(
                 nodes_with_predicate(4, 1, 60 + seed, Arc::clone(&predicate)),
                 RandomScheduler,
-                600 + seed,
-            );
+            )
+            .seed(600 + seed)
+            .build();
             // Corrupted party 3 re-sends whatever it receives (it cannot
             // forge a valid CBC voucher for an invalid payload anyway,
             // since honest parties only echo-sign what they receive from
@@ -661,7 +694,9 @@ mod tests {
 
     #[test]
     fn seven_parties_two_crashes() {
-        let mut sim = Simulation::new(nodes(7, 2, 70), RandomScheduler, 71);
+        let mut sim = Simulation::builder(nodes(7, 2, 70), RandomScheduler)
+            .seed(71)
+            .build();
         sim.corrupt(5, Behavior::Crash);
         sim.corrupt(6, Behavior::Crash);
         for p in 0..5 {
@@ -684,7 +719,7 @@ mod tests {
             Arc::new(bundles[0].clone()),
             Arc::new(|_| true),
         );
-        let mut out = Vec::new();
+        let mut out = Outbox::new(node.n());
         // A correctly signed coin share for a far-future election is
         // refused: election numbers are attacker-chosen, so only a
         // bounded lookahead is buffered.
@@ -758,6 +793,9 @@ mod tests {
         let predicate: ValidityPredicate = Arc::new(|_| false);
         let mut ns = nodes_with_predicate(4, 1, 80, predicate);
         let mut rng = SeededRng::new(1);
-        ns[0].mvba.propose(b"x".to_vec(), &mut rng, &mut Vec::new());
+        let n = ns[0].mvba.n();
+        ns[0]
+            .mvba
+            .propose(b"x".to_vec(), &mut rng, &mut Outbox::new(n));
     }
 }

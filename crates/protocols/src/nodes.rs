@@ -10,14 +10,15 @@
 
 use crate::abba::{Abba, AbbaMessage};
 use crate::cbc::{CbcMessage, ConsistentBroadcast};
-use crate::common::{contexts, Tag};
+use crate::common::{contexts, count_sent, Outbox, Tag, WireKind};
 use crate::mvba::{Mvba, MvbaMessage, ValidityPredicate};
 use crate::rbc::{RbcMessage, ReliableBroadcast};
 use sintra_adversary::party::PartyId;
 use sintra_adversary::structure::TrustStructure;
 use sintra_crypto::dealer::Dealer;
 use sintra_crypto::rng::SeededRng;
-use sintra_net::protocol::{Effects, Protocol};
+use sintra_net::protocol::{Context, Effects, Protocol};
+use sintra_obs::{Event, EventKind, Layer};
 use std::sync::Arc;
 
 /// One reliable-broadcast instance as a simulator node.
@@ -44,7 +45,7 @@ impl Protocol for RbcNode {
     type Output = Vec<u8>;
 
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.rbc.n());
         self.rbc.broadcast(input, &mut out);
         for (to, m) in out {
             fx.send(to, m);
@@ -57,12 +58,47 @@ impl Protocol for RbcNode {
         msg: RbcMessage,
         fx: &mut Effects<RbcMessage, Vec<u8>>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.rbc.n());
         if let Some(delivered) = self.rbc.on_message(from, msg, &mut out) {
             fx.output(delivered);
         }
         for (to, m) in out {
             fx.send(to, m);
+        }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: Vec<u8>,
+        fx: &mut Effects<RbcMessage, Vec<u8>>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let mark = fx.sends().len();
+        self.on_input(input, fx);
+        count_sent(ctx, Layer::Rbc, fx, mark);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: RbcMessage,
+        fx: &mut Effects<RbcMessage, Vec<u8>>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        ctx.obs.inc2(Layer::Rbc, "recv", msg.kind());
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        count_sent(ctx, Layer::Rbc, fx, s0);
+        for _ in o0..fx.outputs().len() {
+            ctx.obs.inc(Layer::Rbc, "delivered");
+            ctx.obs
+                .event(Event::new(Layer::Rbc, EventKind::Deliver, ctx.me).at(ctx.at));
         }
     }
 }
@@ -101,7 +137,7 @@ impl Protocol for CbcNode {
     type Output = Vec<u8>;
 
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<CbcMessage, Vec<u8>>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.cbc.n());
         self.cbc.broadcast(input, &mut out);
         for (to, m) in out {
             fx.send(to, m);
@@ -114,12 +150,47 @@ impl Protocol for CbcNode {
         msg: CbcMessage,
         fx: &mut Effects<CbcMessage, Vec<u8>>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.cbc.n());
         if let Some(v) = self.cbc.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(v.payload);
         }
         for (to, m) in out {
             fx.send(to, m);
+        }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: Vec<u8>,
+        fx: &mut Effects<CbcMessage, Vec<u8>>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let mark = fx.sends().len();
+        self.on_input(input, fx);
+        count_sent(ctx, Layer::Cbc, fx, mark);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: CbcMessage,
+        fx: &mut Effects<CbcMessage, Vec<u8>>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        ctx.obs.inc2(Layer::Cbc, "recv", msg.kind());
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        count_sent(ctx, Layer::Cbc, fx, s0);
+        for _ in o0..fx.outputs().len() {
+            ctx.obs.inc(Layer::Cbc, "delivered");
+            ctx.obs
+                .event(Event::new(Layer::Cbc, EventKind::Deliver, ctx.me).at(ctx.at));
         }
     }
 }
@@ -162,6 +233,24 @@ impl AbbaNode {
     pub fn instance(&self) -> &Abba<()> {
         &self.abba
     }
+
+    /// Records any decision appended past `mark`: the `abba.rounds`
+    /// counter (total rounds spent to decide), the deciding-round
+    /// histogram, and a `Decide` trace event.
+    fn record_decisions(&self, ctx: &Context, fx: &Effects<AbbaMessage<()>, bool>, mark: usize) {
+        for d in &fx.outputs()[mark..] {
+            let round = self.abba.round();
+            ctx.obs.inc(Layer::Abba, "decided");
+            ctx.obs.add(Layer::Abba, "rounds", round);
+            ctx.obs.observe(Layer::Abba, "decide_round", round);
+            ctx.obs.event(
+                Event::new(Layer::Abba, EventKind::Decide, ctx.me)
+                    .round(round.min(u32::MAX as u64) as u32)
+                    .value(*d as u64)
+                    .at(ctx.at),
+            );
+        }
+    }
 }
 
 impl Protocol for AbbaNode {
@@ -170,7 +259,7 @@ impl Protocol for AbbaNode {
     type Output = bool;
 
     fn on_input(&mut self, input: bool, fx: &mut Effects<AbbaMessage<()>, bool>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.abba.n());
         if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
             fx.output(d);
         }
@@ -185,13 +274,45 @@ impl Protocol for AbbaNode {
         msg: AbbaMessage<()>,
         fx: &mut Effects<AbbaMessage<()>, bool>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.abba.n());
         if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
         }
         for (to, m) in out {
             fx.send(to, m);
         }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: bool,
+        fx: &mut Effects<AbbaMessage<()>, bool>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_input(input, fx);
+        count_sent(ctx, Layer::Abba, fx, s0);
+        self.record_decisions(ctx, fx, o0);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: AbbaMessage<()>,
+        fx: &mut Effects<AbbaMessage<()>, bool>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        ctx.obs.inc2(Layer::Abba, "recv", msg.kind());
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        count_sent(ctx, Layer::Abba, fx, s0);
+        self.record_decisions(ctx, fx, o0);
     }
 }
 
@@ -232,6 +353,29 @@ impl MvbaNode {
     pub fn instance(&self) -> &Mvba {
         &self.mvba
     }
+
+    /// Records a decision appended past `mark` plus the election-depth
+    /// and vote-buffer gauges (the lookahead bound the protocol
+    /// enforces against attacker-chosen election numbers).
+    fn record_decisions(&self, ctx: &Context, fx: &Effects<MvbaMessage, Vec<u8>>, mark: usize) {
+        ctx.obs
+            .gauge_set(Layer::Mvba, "elections", self.mvba.elections());
+        ctx.obs.gauge_set(
+            Layer::Mvba,
+            "buffered_votes",
+            self.mvba.buffered_votes() as u64,
+        );
+        for _ in &fx.outputs()[mark..] {
+            ctx.obs.inc(Layer::Mvba, "decided");
+            ctx.obs
+                .observe(Layer::Mvba, "decide_elections", self.mvba.elections());
+            ctx.obs.event(
+                Event::new(Layer::Mvba, EventKind::Decide, ctx.me)
+                    .instance(self.mvba.elections().min(u32::MAX as u64) as u32)
+                    .at(ctx.at),
+            );
+        }
+    }
 }
 
 impl Protocol for MvbaNode {
@@ -240,7 +384,7 @@ impl Protocol for MvbaNode {
     type Output = Vec<u8>;
 
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.mvba.n());
         if let Some(d) = self.mvba.propose(input, &mut self.rng, &mut out) {
             fx.output(d);
         }
@@ -255,13 +399,49 @@ impl Protocol for MvbaNode {
         msg: MvbaMessage,
         fx: &mut Effects<MvbaMessage, Vec<u8>>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.mvba.n());
         if let Some(d) = self.mvba.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
         }
         for (to, m) in out {
             fx.send(to, m);
         }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: Vec<u8>,
+        fx: &mut Effects<MvbaMessage, Vec<u8>>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_input(input, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            crate::mvba::observe_wire(ctx, "sent", m);
+        }
+        self.record_decisions(ctx, fx, o0);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: MvbaMessage,
+        fx: &mut Effects<MvbaMessage, Vec<u8>>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        crate::mvba::observe_wire(ctx, "recv", &msg);
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            crate::mvba::observe_wire(ctx, "sent", m);
+        }
+        self.record_decisions(ctx, fx, o0);
     }
 }
 

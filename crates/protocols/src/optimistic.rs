@@ -36,14 +36,15 @@
 //! randomized protocol (big win when the network is calm) and drives the
 //! fallback under a corrupted sequencer (safety and liveness retained).
 
-use crate::common::{digest, send_all, BatchedShares, Digest, Outbox, Tag};
+use crate::common::{digest, BatchedShares, Digest, Outbox, Tag, WireKind};
 use crate::mvba::{Mvba, MvbaMessage, ValidityPredicate};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_crypto::schnorr::Signature;
 use sintra_crypto::tsig::{QuorumRule, SignatureShare, ThresholdSignature};
-use sintra_net::protocol::{Effects, Protocol};
+use sintra_net::protocol::{Context, Effects, Protocol};
+use sintra_obs::{Event, EventKind, Layer};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -152,6 +153,30 @@ pub enum OptMessage {
     },
 }
 
+impl WireKind for OptMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            OptMessage::Push(_) => "push",
+            OptMessage::Propose { .. } => "propose",
+            OptMessage::Prepare { .. } => "prepare",
+            OptMessage::Commit { .. } => "commit",
+            OptMessage::Deliver { .. } => "deliver",
+            OptMessage::Complain { .. } => "complain",
+            OptMessage::Report { .. } => "report",
+            OptMessage::Change { .. } => "change",
+        }
+    }
+}
+
+/// Counts one optimistic-path wire message under its own layer and
+/// forwards epoch-change MVBA traffic to that layer's breakdown.
+pub(crate) fn observe_wire(ctx: &Context, dir: &'static str, m: &OptMessage) {
+    ctx.obs.inc2(Layer::Optimistic, dir, m.kind());
+    if let OptMessage::Change { inner, .. } = m {
+        crate::mvba::observe_wire(ctx, dir, inner);
+    }
+}
+
 /// One total-order delivery from the optimistic protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OptDeliver {
@@ -224,6 +249,11 @@ impl core::fmt::Debug for OptimisticBroadcast {
 }
 
 impl OptimisticBroadcast {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Creates the endpoint. `timeout_ticks` is the optimism timer (in
     /// [`Protocol::on_tick`] ticks) before a stalled epoch is complained
     /// about; it affects only when the fallback engages, never safety.
@@ -301,7 +331,7 @@ impl OptimisticBroadcast {
         out: &mut Outbox<OptMessage>,
     ) -> Vec<OptDeliver> {
         assert!(!payload.is_empty(), "empty payloads are reserved");
-        send_all(out, self.n, OptMessage::Push(payload.clone()));
+        out.broadcast(OptMessage::Push(payload.clone()));
         self.enqueue(payload);
         self.maybe_propose(rng, out);
         Vec::new()
@@ -343,15 +373,11 @@ impl OptimisticBroadcast {
         } else {
             return;
         };
-        send_all(
-            out,
-            self.n,
-            OptMessage::Propose {
-                epoch: self.epoch,
-                seq,
-                payload,
-            },
-        );
+        out.broadcast(OptMessage::Propose {
+            epoch: self.epoch,
+            seq,
+            payload,
+        });
     }
 
     /// Handles a message; returns in-order deliveries.
@@ -446,16 +472,12 @@ impl OptimisticBroadcast {
             slot.my_prepare_sent = true;
             let msg = self.prepare_msg(epoch, seq, &d);
             let share = self.bundle.signing_key().sign_share(&msg, rng);
-            send_all(
-                out,
-                self.n,
-                OptMessage::Prepare {
-                    epoch,
-                    seq,
-                    digest: d,
-                    share,
-                },
-            );
+            out.broadcast(OptMessage::Prepare {
+                epoch,
+                seq,
+                digest: d,
+                share,
+            });
         }
     }
 
@@ -503,16 +525,12 @@ impl OptimisticBroadcast {
                 slot.my_commit_sent = true;
                 let cmsg = self.commit_msg(epoch, seq, &d);
                 let share = self.bundle.signing_key().sign_share(&cmsg, rng);
-                send_all(
-                    out,
-                    self.n,
-                    OptMessage::Commit {
-                        epoch,
-                        seq,
-                        digest: d,
-                        share,
-                    },
-                );
+                out.broadcast(OptMessage::Commit {
+                    epoch,
+                    seq,
+                    digest: d,
+                    share,
+                });
             }
         }
     }
@@ -557,17 +575,13 @@ impl OptimisticBroadcast {
             if let Some(payload) = payload {
                 self.slots.entry((epoch, seq)).or_default().committed = true;
                 // Help laggards with a transferable delivery.
-                send_all(
-                    out,
-                    self.n,
-                    OptMessage::Deliver {
-                        epoch,
-                        seq,
-                        digest: d,
-                        cert: cert.clone(),
-                        payload: payload.clone(),
-                    },
-                );
+                out.broadcast(OptMessage::Deliver {
+                    epoch,
+                    seq,
+                    digest: d,
+                    cert: cert.clone(),
+                    payload: payload.clone(),
+                });
                 self.ready.insert(seq, (epoch, d, cert, payload));
                 return self.drain_ready(rng, out);
             }
@@ -670,7 +684,7 @@ impl OptimisticBroadcast {
         }
         let msg = self.complain_msg(epoch);
         let share = self.bundle.signing_key().sign_share(&msg, rng);
-        send_all(out, self.n, OptMessage::Complain { epoch, share });
+        out.broadcast(OptMessage::Complain { epoch, share });
     }
 
     fn send_report(&mut self, epoch: u64, rng: &mut SeededRng, out: &mut Outbox<OptMessage>) {
@@ -708,14 +722,10 @@ impl OptimisticBroadcast {
             .auth_key()
             .sign(&self.report_msg(epoch, &content), rng);
         let encoded = encode_report(&report);
-        send_all(
-            out,
-            self.n,
-            OptMessage::Report {
-                epoch,
-                report: encoded,
-            },
-        );
+        out.broadcast(OptMessage::Report {
+            epoch,
+            report: encoded,
+        });
     }
 
     fn on_report(
@@ -776,11 +786,11 @@ impl OptimisticBroadcast {
                 .collect::<Vec<_>>()
                 .as_slice(),
         );
+        let mut sub = Outbox::new(self.n);
         let mvba = self.change_instance(epoch);
-        let mut sub = Vec::new();
         let decision = mvba.propose(list, rng, &mut sub);
         for (to, m) in sub {
-            out.push((to, OptMessage::Change { epoch, inner: m }));
+            out.send(to, OptMessage::Change { epoch, inner: m });
         }
         if let Some(value) = decision {
             return self.finish_change(epoch, &value, rng, out);
@@ -809,11 +819,11 @@ impl OptimisticBroadcast {
         if self.change_done.contains(&epoch) {
             return Vec::new();
         }
+        let mut sub = Outbox::new(self.n);
         let mvba = self.change_instance(epoch);
-        let mut sub = Vec::new();
         let decision = mvba.on_message(from, inner, rng, &mut sub);
         for (to, m) in sub {
-            out.push((to, OptMessage::Change { epoch, inner: m }));
+            out.send(to, OptMessage::Change { epoch, inner: m });
         }
         if let Some(value) = decision {
             return self.finish_change(epoch, &value, rng, out);
@@ -1054,7 +1064,7 @@ impl Protocol for OptNode {
     type Output = OptDeliver;
 
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<OptMessage, OptDeliver>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.opt.n());
         for d in self.opt.broadcast(input, &mut self.rng, &mut out) {
             fx.output(d);
         }
@@ -1069,7 +1079,7 @@ impl Protocol for OptNode {
         msg: OptMessage,
         fx: &mut Effects<OptMessage, OptDeliver>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.opt.n());
         for d in self.opt.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
         }
@@ -1079,11 +1089,72 @@ impl Protocol for OptNode {
     }
 
     fn on_tick(&mut self, fx: &mut Effects<OptMessage, OptDeliver>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.opt.n());
         self.opt.on_tick(&mut self.rng, &mut out);
         for (to, m) in out {
             fx.send(to, m);
         }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: Vec<u8>,
+        fx: &mut Effects<OptMessage, OptDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_input(input, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+        record_deliveries(ctx, fx, o0);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: OptMessage,
+        fx: &mut Effects<OptMessage, OptDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        observe_wire(ctx, "recv", &msg);
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+        record_deliveries(ctx, fx, o0);
+    }
+
+    fn on_tick_ctx(&mut self, ctx: &Context, fx: &mut Effects<OptMessage, OptDeliver>) {
+        if !ctx.obs.is_enabled() {
+            return self.on_tick(fx);
+        }
+        let s0 = fx.sends().len();
+        self.on_tick(fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+    }
+}
+
+/// Records fast-path/fallback deliveries appended past `mark`, tagged
+/// with the epoch the slot committed in.
+fn record_deliveries(ctx: &Context, fx: &Effects<OptMessage, OptDeliver>, mark: usize) {
+    for d in &fx.outputs()[mark..] {
+        ctx.obs.inc(Layer::Optimistic, "delivered");
+        ctx.obs.event(
+            Event::new(Layer::Optimistic, EventKind::Deliver, ctx.me)
+                .epoch(d.epoch.min(u32::MAX as u64) as u32)
+                .value(d.seq)
+                .at(ctx.at),
+        );
     }
 }
 
@@ -1135,7 +1206,9 @@ mod tests {
 
     #[test]
     fn fast_path_delivers_in_order() {
-        let mut sim = Simulation::new(nodes(4, 1, 50, 1), RandomScheduler, 2);
+        let mut sim = Simulation::builder(nodes(4, 1, 50, 1), RandomScheduler)
+            .seed(2)
+            .build();
         sim.enable_ticks(4);
         sim.input(1, b"m1".to_vec());
         sim.input(2, b"m2".to_vec());
@@ -1155,7 +1228,9 @@ mod tests {
     #[test]
     fn fast_path_is_much_cheaper_than_full_abc() {
         // The ablation claim: same request, far fewer network events.
-        let mut sim = Simulation::new(nodes(4, 1, 50, 3), RandomScheduler, 4);
+        let mut sim = Simulation::builder(nodes(4, 1, 50, 3), RandomScheduler)
+            .seed(4)
+            .build();
         sim.enable_ticks(4);
         sim.input(0, b"cheap".to_vec());
         sim.run_until_quiet(1_000_000);
@@ -1176,7 +1251,9 @@ mod tests {
         // Epoch 0's sequencer (party 0) is crashed: the optimism timer
         // fires, replicas complain, the randomized epoch change runs,
         // and epoch 1's sequencer (party 1) orders the queue.
-        let mut sim = Simulation::new(nodes(4, 1, 10, 5), RandomScheduler, 6);
+        let mut sim = Simulation::builder(nodes(4, 1, 10, 5), RandomScheduler)
+            .seed(6)
+            .build();
         sim.enable_ticks(2);
         sim.corrupt(0, Behavior::Crash);
         sim.input(1, b"survives".to_vec());
@@ -1204,7 +1281,9 @@ mod tests {
         // strong prepare quorum, so honest replicas never deliver
         // different payloads at the same slot; the timer eventually
         // rotates the sequencer out and the queue drains.
-        let mut sim = Simulation::new(nodes(4, 1, 10, 7), RandomScheduler, 8);
+        let mut sim = Simulation::builder(nodes(4, 1, 10, 7), RandomScheduler)
+            .seed(8)
+            .build();
         sim.enable_ticks(2);
         let mut fired = false;
         sim.corrupt(
@@ -1259,7 +1338,9 @@ mod tests {
     fn multiple_requests_across_epochs() {
         // Crash the first sequencer mid-stream; later requests are
         // ordered by the next epoch with the prefix preserved.
-        let mut sim = Simulation::new(nodes(4, 1, 10, 9), RandomScheduler, 10);
+        let mut sim = Simulation::builder(nodes(4, 1, 10, 9), RandomScheduler)
+            .seed(10)
+            .build();
         sim.enable_ticks(2);
         sim.input(1, b"r1".to_vec());
         sim.input(2, b"r2".to_vec());
@@ -1284,13 +1365,14 @@ mod tests {
         // transferable Deliver certificates bring it to the same state
         // once its messages finally arrive.
         use sintra_net::sim::TargetedDelayScheduler;
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             nodes(4, 1, 60, 13),
             TargetedDelayScheduler {
                 victims: sintra_adversary::party::PartySet::singleton(3),
             },
-            14,
-        );
+        )
+        .seed(14)
+        .build();
         sim.enable_ticks(4);
         sim.input(1, b"fast-1".to_vec());
         sim.input(2, b"fast-2".to_vec());

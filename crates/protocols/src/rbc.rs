@@ -16,7 +16,7 @@
 //! `is_core` / `is_strong` / `is_qualified` per §4.2, so the same code
 //! runs under generalized adversary structures.
 
-use crate::common::{digest, send_all, Digest, Outbox};
+use crate::common::{digest, Digest, Outbox, WireKind};
 use serde::{Deserialize, Serialize};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_adversary::structure::TrustStructure;
@@ -31,6 +31,16 @@ pub enum RbcMessage {
     Echo(Vec<u8>),
     /// Ready-to-deliver vote for the payload.
     Ready(Vec<u8>),
+}
+
+impl WireKind for RbcMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            RbcMessage::Send(_) => "send",
+            RbcMessage::Echo(_) => "echo",
+            RbcMessage::Ready(_) => "ready",
+        }
+    }
 }
 
 /// One reliable-broadcast instance at one party.
@@ -60,6 +70,11 @@ pub struct ReliableBroadcast {
 }
 
 impl ReliableBroadcast {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Creates an instance for the given designated sender.
     pub fn new(me: PartyId, structure: TrustStructure, sender: PartyId) -> Self {
         let n = structure.n();
@@ -91,7 +106,7 @@ impl ReliableBroadcast {
     /// Panics if called at a non-sender party.
     pub fn broadcast(&mut self, payload: Vec<u8>, out: &mut Outbox<RbcMessage>) {
         assert_eq!(self.me, self.sender, "only the sender may broadcast");
-        send_all(out, self.n, RbcMessage::Send(payload));
+        out.broadcast(RbcMessage::Send(payload));
     }
 
     /// Handles a message; returns the delivered payload the first time
@@ -113,7 +128,7 @@ impl ReliableBroadcast {
                 self.seen_send = true;
                 if !self.echoed {
                     self.echoed = true;
-                    send_all(out, self.n, RbcMessage::Echo(payload));
+                    out.broadcast(RbcMessage::Echo(payload));
                 }
                 None
             }
@@ -135,7 +150,7 @@ impl ReliableBroadcast {
                 if self.structure.is_core(&voters) && !self.ready_sent {
                     self.ready_sent = true;
                     let payload = entry.1.clone();
-                    send_all(out, self.n, RbcMessage::Ready(payload));
+                    out.broadcast(RbcMessage::Ready(payload));
                 }
                 None
             }
@@ -157,7 +172,7 @@ impl ReliableBroadcast {
                 // partition the quorum).
                 if self.structure.is_qualified(&voters) && !self.ready_sent {
                     self.ready_sent = true;
-                    send_all(out, self.n, RbcMessage::Ready(stored.clone()));
+                    out.broadcast(RbcMessage::Ready(stored.clone()));
                 }
                 // Delivery: readys not coverable by two corruptible sets.
                 if self.structure.is_strong(&voters) && !self.delivered {
@@ -198,7 +213,7 @@ mod tests {
         type Output = Vec<u8>;
 
         fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.rbc.n());
             self.rbc.broadcast(input, &mut out);
             for (to, m) in out {
                 fx.send(to, m);
@@ -211,7 +226,7 @@ mod tests {
             msg: RbcMessage,
             fx: &mut Effects<RbcMessage, Vec<u8>>,
         ) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.rbc.n());
             if let Some(delivered) = self.rbc.on_message(from, msg, &mut out) {
                 fx.output(delivered);
             }
@@ -235,7 +250,9 @@ mod tests {
 
     #[test]
     fn honest_sender_delivers_everywhere() {
-        let mut sim = Simulation::new(nodes(4, 1, 0), RandomScheduler, 2);
+        let mut sim = Simulation::builder(nodes(4, 1, 0), RandomScheduler)
+            .seed(2)
+            .build();
         sim.input(0, b"hello".to_vec());
         sim.run_until_quiet(100_000);
         for p in 0..4 {
@@ -245,7 +262,9 @@ mod tests {
 
     #[test]
     fn tolerates_crash_of_non_sender() {
-        let mut sim = Simulation::new(nodes(4, 1, 0), RandomScheduler, 3);
+        let mut sim = Simulation::builder(nodes(4, 1, 0), RandomScheduler)
+            .seed(3)
+            .build();
         sim.corrupt(2, Behavior::Crash);
         sim.input(0, b"m".to_vec());
         sim.run_until_quiet(100_000);
@@ -256,7 +275,9 @@ mod tests {
 
     #[test]
     fn crashed_sender_delivers_nowhere_but_harms_no_one() {
-        let mut sim = Simulation::new(nodes(4, 1, 0), RandomScheduler, 4);
+        let mut sim = Simulation::builder(nodes(4, 1, 0), RandomScheduler)
+            .seed(4)
+            .build();
         sim.corrupt(0, Behavior::Crash);
         sim.input(0, b"m".to_vec()); // input to corrupted party: ignored
         sim.run_until_quiet(100_000);
@@ -308,7 +329,7 @@ mod tests {
                 msg: RbcMessage,
                 fx: &mut Effects<RbcMessage, Vec<u8>>,
             ) {
-                let mut out = Vec::new();
+                let mut out = Outbox::new(self.rbc.n());
                 if let Some(d) = self.rbc.on_message(from, msg, &mut out) {
                     fx.output(d);
                 }
@@ -323,7 +344,9 @@ mod tests {
                 rbc: ReliableBroadcast::new(me, ts.clone(), 0),
             })
             .collect();
-        let mut sim = Simulation::new(wrappers, RandomScheduler, seed);
+        let mut sim = Simulation::builder(wrappers, RandomScheduler)
+            .seed(seed)
+            .build();
         sim.corrupt(0, Behavior::Crash); // sender sends nothing further
                                          // The equivocating Sends, injected as if they came from party 0,
                                          // plus the Byzantine sender's own echoes/readys pushing "B" so
@@ -351,7 +374,7 @@ mod tests {
     fn duplicate_and_foreign_sends_ignored() {
         let ts = sintra_adversary::structure::TrustStructure::threshold(4, 1).unwrap();
         let mut rbc = ReliableBroadcast::new(1, ts, 0);
-        let mut out = Vec::new();
+        let mut out = Outbox::new(rbc.n());
         // Send from the wrong party: ignored, no echo.
         assert!(rbc
             .on_message(2, RbcMessage::Send(b"x".to_vec()), &mut out)
@@ -370,7 +393,7 @@ mod tests {
     fn delivery_needs_strong_ready_quorum() {
         let ts = sintra_adversary::structure::TrustStructure::threshold(4, 1).unwrap();
         let mut rbc = ReliableBroadcast::new(1, ts, 0);
-        let mut out = Vec::new();
+        let mut out = Outbox::new(rbc.n());
         // Feed 2 readys (2t+1 = 3 required): no delivery.
         assert!(rbc
             .on_message(2, RbcMessage::Ready(b"m".to_vec()), &mut out)
@@ -390,7 +413,7 @@ mod tests {
     fn echo_state_bounded_under_digest_flood() {
         let ts = sintra_adversary::structure::TrustStructure::threshold(4, 1).unwrap();
         let mut rbc = ReliableBroadcast::new(1, ts, 0);
-        let mut out = Vec::new();
+        let mut out = Outbox::new(rbc.n());
         // A Byzantine party floods echoes/readys for distinct payloads;
         // only its first of each kind opens state.
         for i in 0..100u32 {
@@ -410,6 +433,6 @@ mod tests {
     fn non_sender_cannot_broadcast() {
         let ts = sintra_adversary::structure::TrustStructure::threshold(4, 1).unwrap();
         let mut rbc = ReliableBroadcast::new(1, ts, 0);
-        rbc.broadcast(b"x".to_vec(), &mut Vec::new());
+        rbc.broadcast(b"x".to_vec(), &mut Outbox::new(rbc.n()));
     }
 }

@@ -16,12 +16,13 @@
 //! back until all predecessors are out.
 
 use crate::abc::{AbcMessage, AtomicBroadcast};
-use crate::common::{send_all, Outbox, Tag};
+use crate::common::{Outbox, Tag, WireKind};
 use sintra_adversary::party::PartyId;
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_crypto::tenc::{Ciphertext, DecryptionShare};
-use sintra_net::protocol::{Effects, Protocol};
+use sintra_net::protocol::{Context, Effects, Protocol};
+use sintra_obs::{Event, EventKind, Layer};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -37,6 +38,15 @@ pub enum ScabcMessage {
         /// The share with its validity proof.
         share: DecryptionShare,
     },
+}
+
+impl WireKind for ScabcMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            ScabcMessage::Abc(_) => "abc",
+            ScabcMessage::Share { .. } => "share",
+        }
+    }
 }
 
 /// One plaintext delivery in causal total order.
@@ -87,6 +97,11 @@ impl core::fmt::Debug for SecureCausalAtomicBroadcast {
 }
 
 impl SecureCausalAtomicBroadcast {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.abc.n()
+    }
+
     /// Creates the endpoint.
     pub fn new(tag: Tag, public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>) -> Self {
         SecureCausalAtomicBroadcast {
@@ -105,6 +120,12 @@ impl SecureCausalAtomicBroadcast {
     /// Number of plaintexts emitted.
     pub fn delivered_count(&self) -> u64 {
         self.next_emit_seq
+    }
+
+    /// Number of decryption shares buffered for ciphertexts whose
+    /// position in the total order is not yet known.
+    pub fn buffered_shares(&self) -> usize {
+        self.early_shares.values().map(Vec::len).sum()
     }
 
     /// Encrypts a request under the service public key and broadcasts
@@ -130,10 +151,10 @@ impl SecureCausalAtomicBroadcast {
         rng: &mut SeededRng,
         out: &mut Outbox<ScabcMessage>,
     ) -> Vec<ScabcDeliver> {
-        let mut sub = Vec::new();
+        let mut sub = Outbox::new(self.abc.n());
         let delivered = self.abc.broadcast(ciphertext.to_bytes(), rng, &mut sub);
         for (to, m) in sub {
-            out.push((to, ScabcMessage::Abc(m)));
+            out.send(to, ScabcMessage::Abc(m));
         }
         self.after_abc(delivered, rng, out)
     }
@@ -148,10 +169,10 @@ impl SecureCausalAtomicBroadcast {
     ) -> Vec<ScabcDeliver> {
         match msg {
             ScabcMessage::Abc(inner) => {
-                let mut sub = Vec::new();
+                let mut sub = Outbox::new(self.abc.n());
                 let delivered = self.abc.on_message(from, inner, rng, &mut sub);
                 for (to, m) in sub {
-                    out.push((to, ScabcMessage::Abc(m)));
+                    out.send(to, ScabcMessage::Abc(m));
                 }
                 self.after_abc(delivered, rng, out)
             }
@@ -201,14 +222,10 @@ impl SecureCausalAtomicBroadcast {
                     .decryption_key()
                     .decrypt_share(self.public.encryption(), &ct, rng)
             {
-                send_all(
-                    out,
-                    self.public.n(),
-                    ScabcMessage::Share {
-                        ct_digest: digest,
-                        share: my_share,
-                    },
-                );
+                out.broadcast(ScabcMessage::Share {
+                    ct_digest: digest,
+                    share: my_share,
+                });
             }
             self.pending.insert(
                 seq,
@@ -296,7 +313,7 @@ impl Protocol for ScabcNode {
         (plaintext, label): (Vec<u8>, Vec<u8>),
         fx: &mut Effects<ScabcMessage, ScabcDeliver>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.scabc.n());
         for d in self
             .scabc
             .broadcast_plaintext(&plaintext, &label, &mut self.rng, &mut out)
@@ -314,13 +331,75 @@ impl Protocol for ScabcNode {
         msg: ScabcMessage,
         fx: &mut Effects<ScabcMessage, ScabcDeliver>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.scabc.n());
         for d in self.scabc.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
         }
         for (to, m) in out {
             fx.send(to, m);
         }
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        input: (Vec<u8>, Vec<u8>),
+        fx: &mut Effects<ScabcMessage, ScabcDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_input(input, fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_input(input, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+        self.record(ctx, fx, o0);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: ScabcMessage,
+        fx: &mut Effects<ScabcMessage, ScabcDeliver>,
+    ) {
+        if !ctx.obs.is_enabled() {
+            return self.on_message(from, msg, fx);
+        }
+        observe_wire(ctx, "recv", &msg);
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_message(from, msg, fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+        self.record(ctx, fx, o0);
+    }
+}
+
+impl ScabcNode {
+    /// Records causal deliveries past `mark` and the buffered-share
+    /// gauge (shares held for ciphertexts not yet ordered).
+    fn record(&self, ctx: &Context, fx: &Effects<ScabcMessage, ScabcDeliver>, mark: usize) {
+        ctx.obs.gauge_set(
+            Layer::Scabc,
+            "buffered_shares",
+            self.scabc.buffered_shares() as u64,
+        );
+        for _ in &fx.outputs()[mark..] {
+            ctx.obs.inc(Layer::Scabc, "delivered");
+            ctx.obs
+                .event(Event::new(Layer::Scabc, EventKind::Deliver, ctx.me).at(ctx.at));
+        }
+    }
+}
+
+/// Counts one SCABC wire message under its own layer and forwards the
+/// embedded atomic-broadcast traffic to that layer's breakdown.
+fn observe_wire(ctx: &Context, dir: &'static str, m: &ScabcMessage) {
+    ctx.obs.inc2(Layer::Scabc, dir, m.kind());
+    if let ScabcMessage::Abc(inner) = m {
+        crate::abc::observe_wire(ctx, dir, inner);
     }
 }
 
@@ -370,7 +449,9 @@ mod tests {
 
     #[test]
     fn encrypt_order_decrypt_roundtrip() {
-        let mut sim = Simulation::new(setup(4, 1, 1), RandomScheduler, 2);
+        let mut sim = Simulation::builder(setup(4, 1, 1), RandomScheduler)
+            .seed(2)
+            .build();
         sim.input(0, (b"file patent 17".to_vec(), b"client-a".to_vec()));
         sim.run_until_quiet(50_000_000);
         for p in 0..4 {
@@ -385,7 +466,9 @@ mod tests {
 
     #[test]
     fn concurrent_requests_same_order_and_contents() {
-        let mut sim = Simulation::new(setup(4, 1, 10), RandomScheduler, 11);
+        let mut sim = Simulation::builder(setup(4, 1, 10), RandomScheduler)
+            .seed(11)
+            .build();
         for p in 0..4 {
             sim.input(p, (format!("req-{p}").into_bytes(), b"l".to_vec()));
         }
@@ -404,7 +487,9 @@ mod tests {
 
     #[test]
     fn tolerates_crash() {
-        let mut sim = Simulation::new(setup(4, 1, 20), RandomScheduler, 21);
+        let mut sim = Simulation::builder(setup(4, 1, 20), RandomScheduler)
+            .seed(21)
+            .build();
         sim.corrupt(2, Behavior::Crash);
         sim.input(0, (b"r1".to_vec(), b"".to_vec()));
         sim.input(1, (b"r2".to_vec(), b"".to_vec()));
@@ -420,7 +505,9 @@ mod tests {
     fn malformed_ciphertext_payloads_skipped_consistently() {
         // A Byzantine server pushes garbage through the underlying ABC;
         // all honest servers skip it and stay consistent.
-        let mut sim = Simulation::new(setup(4, 1, 30), RandomScheduler, 31);
+        let mut sim = Simulation::builder(setup(4, 1, 30), RandomScheduler)
+            .seed(31)
+            .build();
         sim.corrupt(
             3,
             Behavior::Custom(Box::new(|_from, msg: ScabcMessage, _| {
@@ -458,7 +545,7 @@ mod tests {
             Arc::clone(&public),
             Arc::new(bundles[0].clone()),
         );
-        let mut out = Vec::new();
+        let mut out = Outbox::new(node.n());
         node.broadcast_plaintext(b"SECRET-REQUEST", b"lbl", &mut rng, &mut out);
         let needle = b"SECRET-REQUEST";
         for (_, msg) in &out {

@@ -16,7 +16,7 @@ use sintra_net::sim::{
 };
 use sintra_protocols::abba::{Abba, AbbaMessage};
 use sintra_protocols::abc::abc_nodes;
-use sintra_protocols::common::Tag;
+use sintra_protocols::common::{Outbox, Tag};
 use sintra_protocols::rbc::{RbcMessage, ReliableBroadcast};
 
 #[derive(Debug)]
@@ -31,7 +31,7 @@ impl Protocol for AbbaNode {
     type Output = bool;
 
     fn on_input(&mut self, input: bool, fx: &mut Effects<Self::Message, bool>) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.abba.n());
         if let Some(d) = self.abba.propose(input, &mut self.rng, &mut out) {
             fx.output(d);
         }
@@ -46,7 +46,7 @@ impl Protocol for AbbaNode {
         msg: Self::Message,
         fx: &mut Effects<Self::Message, bool>,
     ) {
-        let mut out = Vec::new();
+        let mut out = Outbox::new(self.abba.n());
         if let Some(d) = self.abba.on_message(from, msg, &mut self.rng, &mut out) {
             fx.output(d);
         }
@@ -75,13 +75,14 @@ fn abba_agrees_under_targeted_starvation() {
     // Starve one honest party's links completely: agreement must still
     // hold among everyone (eventual delivery saves the victim).
     for victim in 0..4usize {
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             abba_nodes(4, 1, 500 + victim as u64),
             TargetedDelayScheduler {
                 victims: PartySet::singleton(victim),
             },
-            600 + victim as u64,
-        );
+        )
+        .seed(600 + victim as u64)
+        .build();
         for p in 0..4 {
             sim.input(p, p % 2 == 0);
         }
@@ -99,14 +100,15 @@ fn abba_agrees_under_targeted_starvation() {
 #[test]
 fn abba_agrees_across_partition_heal() {
     let group: PartySet = [0, 1].into_iter().collect();
-    let mut sim = Simulation::new(
+    let mut sim = Simulation::builder(
         abba_nodes(4, 1, 700),
         PartitionScheduler {
             group,
             heal_at: 500,
         },
-        701,
-    );
+    )
+    .seed(701)
+    .build();
     for p in 0..4 {
         sim.input(p, p < 2);
     }
@@ -122,7 +124,9 @@ fn abc_under_combined_crash_and_lifo() {
     let ts = TrustStructure::threshold(7, 2).unwrap();
     let mut rng = SeededRng::new(710);
     let (public, bundles) = Dealer::deal(&ts, &mut rng);
-    let mut sim = Simulation::new(abc_nodes(public, bundles, 710), LifoScheduler, 711);
+    let mut sim = Simulation::builder(abc_nodes(public, bundles, 710), LifoScheduler)
+        .seed(711)
+        .build();
     sim.corrupt(5, Behavior::Crash);
     sim.corrupt(6, Behavior::Crash);
     sim.input(0, b"alpha".to_vec());
@@ -142,7 +146,9 @@ fn abc_byzantine_flood_of_stale_rounds() {
     let ts = TrustStructure::threshold(4, 1).unwrap();
     let mut rng = SeededRng::new(720);
     let (public, bundles) = Dealer::deal(&ts, &mut rng);
-    let mut sim = Simulation::new(abc_nodes(public, bundles, 720), RandomScheduler, 721);
+    let mut sim = Simulation::builder(abc_nodes(public, bundles, 720), RandomScheduler)
+        .seed(721)
+        .build();
     sim.corrupt(
         3,
         Behavior::Custom(Box::new(|_from, msg, _| {
@@ -187,7 +193,7 @@ fn rbc_on_generalized_structure_with_class_crash() {
         type Input = Vec<u8>;
         type Output = Vec<u8>;
         fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.rbc.n());
             self.rbc.broadcast(input, &mut out);
             for (to, m) in out {
                 fx.send(to, m);
@@ -199,7 +205,7 @@ fn rbc_on_generalized_structure_with_class_crash() {
             msg: RbcMessage,
             fx: &mut Effects<RbcMessage, Vec<u8>>,
         ) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.rbc.n());
             if let Some(d) = self.rbc.on_message(from, msg, &mut out) {
                 fx.output(d);
             }
@@ -214,7 +220,9 @@ fn rbc_on_generalized_structure_with_class_crash() {
             rbc: ReliableBroadcast::new(me, ts.clone(), 4),
         })
         .collect();
-    let mut sim = Simulation::new(nodes, RandomScheduler, 730);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(730)
+        .build();
     for p in 0..4 {
         sim.corrupt(p, Behavior::Crash);
     }
@@ -238,7 +246,9 @@ fn scabc_orders_identically_across_schedules_with_duplication() {
     let ts = TrustStructure::threshold(4, 1).unwrap();
     let mut rng = SeededRng::new(800);
     let (public, bundles) = Dealer::deal(&ts, &mut rng);
-    let mut sim = Simulation::new(scabc_nodes(public, bundles, 800), RandomScheduler, 801);
+    let mut sim = Simulation::builder(scabc_nodes(public, bundles, 800), RandomScheduler)
+        .seed(801)
+        .build();
     sim.enable_duplication(30);
     for p in 0..3 {
         sim.input(p, (format!("causal-{p}").into_bytes(), b"l".to_vec()));
@@ -269,7 +279,7 @@ fn mvba_rejects_forged_vouchers_in_votes() {
         type Input = Vec<u8>;
         type Output = Vec<u8>;
         fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<MvbaMessage, Vec<u8>>) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.mvba.n());
             if let Some(d) = self.mvba.propose(input, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -283,7 +293,7 @@ fn mvba_rejects_forged_vouchers_in_votes() {
             msg: MvbaMessage,
             fx: &mut Effects<MvbaMessage, Vec<u8>>,
         ) {
-            let mut out = Vec::new();
+            let mut out = Outbox::new(self.mvba.n());
             if let Some(d) = self.mvba.on_message(from, msg, &mut self.rng, &mut out) {
                 fx.output(d);
             }
@@ -308,7 +318,9 @@ fn mvba_rejects_forged_vouchers_in_votes() {
             rng: SeededRng::new(811 + b.party() as u64),
         })
         .collect();
-    let mut sim = Simulation::new(nodes, RandomScheduler, 812);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(812)
+        .build();
     // Corrupted party 3 mangles any Vote traffic it relays: it replaces
     // vote payload-evidence with garbage by corrupting the bytes it saw.
     let seen_votes = Arc::new(Mutex::new(0u64));
@@ -338,13 +350,14 @@ fn mvba_rejects_forged_vouchers_in_votes() {
 fn abba_decision_proofs_catch_up_late_party() {
     // Party 3 receives nothing until everyone else has decided; the
     // transferable decision proof lets it decide instantly afterwards.
-    let mut sim = Simulation::new(
+    let mut sim = Simulation::builder(
         abba_nodes(4, 1, 740),
         TargetedDelayScheduler {
             victims: PartySet::singleton(3),
         },
-        741,
-    );
+    )
+    .seed(741)
+    .build();
     for p in 0..3 {
         sim.input(p, true);
     }

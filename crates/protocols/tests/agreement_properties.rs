@@ -19,7 +19,7 @@ proptest! {
         let mut rng = SeededRng::new(seed);
         let (public, bundles) = Dealer::deal(&ts, &mut rng);
         let nodes = abc_nodes(public, bundles, seed);
-        let mut sim = Simulation::new(nodes, RandomScheduler, seed ^ 0xabcd);
+        let mut sim = Simulation::builder(nodes, RandomScheduler).seed(seed ^ 0xabcd).build();
         sim.corrupt(crash, Behavior::Crash);
         let honest: Vec<usize> = (0..4).filter(|p| *p != crash).collect();
         for (i, &p) in honest.iter().enumerate() {

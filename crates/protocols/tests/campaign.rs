@@ -47,6 +47,7 @@ fn plan(max_steps: u64) -> CampaignPlan {
         seeds: (0..8).collect(),
         max_steps,
         duplication_percent: 15,
+        obs_recorder: None,
     }
 }
 
@@ -114,7 +115,6 @@ fn campaign_abc_full_grid() {
 #[derive(Debug)]
 struct BrokenRbc {
     me: PartyId,
-    n: usize,
     sender: PartyId,
     echoed: bool,
     delivered: bool,
@@ -123,9 +123,9 @@ struct BrokenRbc {
 
 impl BrokenRbc {
     fn new(me: PartyId, n: usize, sender: PartyId) -> Self {
+        let _ = n;
         BrokenRbc {
             me,
-            n,
             sender,
             echoed: false,
             delivered: false,
@@ -141,7 +141,7 @@ impl Protocol for BrokenRbc {
 
     fn on_input(&mut self, input: Vec<u8>, fx: &mut Effects<RbcMessage, Vec<u8>>) {
         if self.me == self.sender {
-            fx.send_all(self.n, RbcMessage::Send(input));
+            fx.broadcast(RbcMessage::Send(input));
         } else {
             // Kick: a corrupted sender's behavior only runs when traffic
             // reaches it, so an honest party pokes it with a message the
@@ -160,7 +160,7 @@ impl Protocol for BrokenRbc {
             RbcMessage::Send(payload) => {
                 if from == self.sender && !self.echoed {
                     self.echoed = true;
-                    fx.send_all(self.n, RbcMessage::Echo(payload));
+                    fx.broadcast(RbcMessage::Echo(payload));
                 }
             }
             RbcMessage::Echo(payload) => {
@@ -199,6 +199,7 @@ fn broken_hooks<'a>() -> CampaignHooks<'a, BrokenRbc> {
         behavior: Box::new(|kind, party, seed| match kind {
             BehaviorKind::Equivocate => faults::equivocator(
                 party,
+                N,
                 BrokenRbc::new(party, N, 0),
                 Some(b"honest-looking".to_vec()),
                 |to, m, _| split_story(to, m),
@@ -285,6 +286,7 @@ fn broken_quorum_is_caught_by_the_checker() {
         behavior: Box::new(|_kind, party, seed| {
             faults::equivocator(
                 party,
+                N,
                 kick_rbc_nodes().remove(party),
                 Some(b"honest-looking".to_vec()),
                 |to, m, _| split_story(to, m),
@@ -308,7 +310,9 @@ fn broken_quorum_is_caught_by_the_checker() {
 #[test]
 fn idempotent_delivery_under_duplication() {
     // RBC
-    let mut sim = Simulation::new(rbc_nodes(N, T, 0), RandomScheduler, 11);
+    let mut sim = Simulation::builder(rbc_nodes(N, T, 0), RandomScheduler)
+        .seed(11)
+        .build();
     sim.enable_duplication(80);
     sim.input(0, b"dup-test".to_vec());
     sim.run_until_quiet(500_000);
@@ -316,7 +320,9 @@ fn idempotent_delivery_under_duplication() {
         assert_eq!(sim.outputs(p), &[b"dup-test".to_vec()], "rbc party {p}");
     }
     // CBC
-    let mut sim = Simulation::new(cbc_nodes(N, T, 0, 12), RandomScheduler, 12);
+    let mut sim = Simulation::builder(cbc_nodes(N, T, 0, 12), RandomScheduler)
+        .seed(12)
+        .build();
     sim.enable_duplication(80);
     sim.input(0, b"dup-test".to_vec());
     sim.run_until_quiet(500_000);
@@ -324,7 +330,9 @@ fn idempotent_delivery_under_duplication() {
         assert_eq!(sim.outputs(p), &[b"dup-test".to_vec()], "cbc party {p}");
     }
     // ABBA
-    let mut sim = Simulation::new(abba_nodes(N, T, 13), RandomScheduler, 13);
+    let mut sim = Simulation::builder(abba_nodes(N, T, 13), RandomScheduler)
+        .seed(13)
+        .build();
     sim.enable_duplication(60);
     for p in 0..N {
         sim.input(p, true);
@@ -334,11 +342,12 @@ fn idempotent_delivery_under_duplication() {
         assert_eq!(sim.outputs(p), &[true], "abba party {p} decides once");
     }
     // MVBA
-    let mut sim = Simulation::new(
+    let mut sim = Simulation::builder(
         mvba_nodes(N, T, 14, Arc::new(|_: &[u8]| true)),
         RandomScheduler,
-        14,
-    );
+    )
+    .seed(14)
+    .build();
     sim.enable_duplication(60);
     for p in 0..N {
         sim.input(p, format!("v{p}").into_bytes());
@@ -350,7 +359,9 @@ fn idempotent_delivery_under_duplication() {
         assert_eq!(sim.outputs(p), reference.as_slice(), "mvba party {p}");
     }
     // ABC
-    let mut sim = Simulation::new(abc_build(15), RandomScheduler, 15);
+    let mut sim = Simulation::builder(abc_build(15), RandomScheduler)
+        .seed(15)
+        .build();
     sim.enable_duplication(60);
     for p in 0..N {
         sim.input(p, format!("m{p}").into_bytes());

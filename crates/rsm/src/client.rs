@@ -168,7 +168,9 @@ mod tests {
         let (public, bundles) = Dealer::deal(&ts, &mut rng);
         let public_arc = Arc::new(public.clone());
         let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), seed);
-        let mut sim = Simulation::new(replicas, RandomScheduler, seed + 1);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(seed + 1)
+            .build();
         sim.input(0, b"the-request".to_vec());
         sim.run_until_quiet(50_000_000);
         let replies: Vec<Reply> = (0..4)

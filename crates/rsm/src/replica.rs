@@ -15,11 +15,13 @@ use sintra_adversary::party::PartyId;
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_crypto::tsig::SignatureShare;
-use sintra_net::protocol::{Effects, Protocol};
+use sintra_net::protocol::{Context, Effects, Protocol};
+use sintra_obs::{Event, EventKind, Layer};
 use sintra_protocols::abc::{AbcMessage, AtomicBroadcast};
 use sintra_protocols::common::{digest, Digest, Outbox, Tag};
 use sintra_protocols::scabc::{ScabcMessage, SecureCausalAtomicBroadcast};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One totally-ordered request as seen by the replica engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -201,12 +203,31 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         self.bundle.party()
     }
 
-    fn answer(&mut self, ordered: Vec<Ordered>, fx: &mut Effects<L::Message, Reply>) {
+    fn answer(
+        &mut self,
+        ctx: &Context,
+        ordered: Vec<Ordered>,
+        fx: &mut Effects<L::Message, Reply>,
+    ) {
         for o in ordered {
-            let response = self.machine.apply(&o.payload);
+            ctx.obs.inc(Layer::Rsm, "ordered");
+            let response = if ctx.obs.is_enabled() {
+                let started = Instant::now();
+                let response = self.machine.apply(&o.payload);
+                ctx.obs
+                    .observe(Layer::Rsm, "apply_ns", started.elapsed().as_nanos() as u64);
+                response
+            } else {
+                self.machine.apply(&o.payload)
+            };
             let request = digest(&o.payload);
             let msg = reply_message(&self.tag, &request, o.seq, &response);
             let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
+            ctx.obs.event(
+                Event::new(Layer::Rsm, EventKind::Deliver, self.bundle.party())
+                    .round(o.seq as u32)
+                    .at(ctx.at),
+            );
             fx.output(Reply {
                 request,
                 seq: o.seq,
@@ -217,6 +238,35 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         }
         let _ = &self.public;
     }
+
+    fn handle_input(
+        &mut self,
+        ctx: &Context,
+        request: Vec<u8>,
+        fx: &mut Effects<L::Message, Reply>,
+    ) {
+        let mut out = Outbox::new(self.public.n());
+        let ordered = self.layer.submit(request, &mut self.rng, &mut out);
+        self.answer(ctx, ordered, fx);
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn handle_message(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: L::Message,
+        fx: &mut Effects<L::Message, Reply>,
+    ) {
+        let mut out = Outbox::new(self.public.n());
+        let ordered = self.layer.on_message(from, msg, &mut self.rng, &mut out);
+        self.answer(ctx, ordered, fx);
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
 }
 
 impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
@@ -225,21 +275,32 @@ impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
     type Output = Reply;
 
     fn on_input(&mut self, request: Vec<u8>, fx: &mut Effects<L::Message, Reply>) {
-        let mut out = Vec::new();
-        let ordered = self.layer.submit(request, &mut self.rng, &mut out);
-        self.answer(ordered, fx);
-        for (to, m) in out {
-            fx.send(to, m);
-        }
+        let ctx = Context::disabled(self.bundle.party(), self.public.n());
+        self.handle_input(&ctx, request, fx);
     }
 
     fn on_message(&mut self, from: PartyId, msg: L::Message, fx: &mut Effects<L::Message, Reply>) {
-        let mut out = Vec::new();
-        let ordered = self.layer.on_message(from, msg, &mut self.rng, &mut out);
-        self.answer(ordered, fx);
-        for (to, m) in out {
-            fx.send(to, m);
-        }
+        let ctx = Context::disabled(self.bundle.party(), self.public.n());
+        self.handle_message(&ctx, from, msg, fx);
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        request: Vec<u8>,
+        fx: &mut Effects<L::Message, Reply>,
+    ) {
+        self.handle_input(ctx, request, fx);
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: L::Message,
+        fx: &mut Effects<L::Message, Reply>,
+    ) {
+        self.handle_message(ctx, from, msg, fx);
     }
 }
 
@@ -319,7 +380,9 @@ mod tests {
     fn replicas_answer_identically() {
         let (public, bundles) = deal(4, 1, 1);
         let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), 1);
-        let mut sim = Simulation::new(replicas, RandomScheduler, 2);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(2)
+            .build();
         sim.input(0, b"request-a".to_vec());
         sim.input(2, b"request-b".to_vec());
         sim.run_until_quiet(50_000_000);
@@ -345,7 +408,9 @@ mod tests {
     fn kv_state_converges_across_replicas() {
         let (public, bundles) = deal(4, 1, 3);
         let replicas = atomic_replicas(public, bundles, |_| KvMachine::new(), 3);
-        let mut sim = Simulation::new(replicas, RandomScheduler, 4);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(4)
+            .build();
         sim.input(0, KvMachine::encode_set(b"x", b"1"));
         sim.input(1, KvMachine::encode_set(b"y", b"2"));
         sim.run_until_quiet(50_000_000);
@@ -359,7 +424,9 @@ mod tests {
     fn causal_replicas_work_and_tolerate_crash() {
         let (public, bundles) = deal(4, 1, 5);
         let replicas = causal_replicas(public, bundles, |_| EchoMachine::new(), 5);
-        let mut sim = Simulation::new(replicas, RandomScheduler, 6);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(6)
+            .build();
         sim.corrupt(3, Behavior::Crash);
         sim.input(0, b"confidential".to_vec());
         sim.run_until_quiet(100_000_000);
@@ -376,7 +443,9 @@ mod tests {
         let (public, bundles) = deal(4, 1, 7);
         let verifier = public.clone();
         let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), 7);
-        let mut sim = Simulation::new(replicas, RandomScheduler, 8);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(8)
+            .build();
         sim.input(1, b"check-shares".to_vec());
         sim.run_until_quiet(50_000_000);
         let tag = Tag::root("rsm");

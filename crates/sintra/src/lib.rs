@@ -43,7 +43,7 @@
 //!
 //! let (public, bundles) = dealt_system(4, 1, 42)?;
 //! let replicas = atomic_replicas(public, bundles, |_| KvMachine::new(), 42);
-//! let mut sim = Simulation::new(replicas, RandomScheduler, 42);
+//! let mut sim = Simulation::builder(replicas, RandomScheduler).seed(42).build();
 //! sim.input(0, KvMachine::encode_set(b"name", b"sintra"));
 //! sim.input(2, KvMachine::encode_set(b"year", b"2001"));
 //! sim.run_until_quiet(50_000_000);
@@ -69,6 +69,13 @@ pub mod net {
     pub use sintra_net::*;
 }
 
+/// Observability: structured trace events, a bounded flight recorder,
+/// per-instance metrics, and JSON/table sinks (re-export of
+/// `sintra-obs`).
+pub mod obs {
+    pub use sintra_obs::*;
+}
+
 /// The broadcast/agreement protocol stack (re-export of
 /// `sintra-protocols`).
 pub mod protocols {
@@ -84,6 +91,15 @@ pub mod rsm {
 pub mod apps {
     pub use sintra_apps::*;
 }
+
+// The working set for instrumented runs, inlined at the crate root so
+// a campaign or soak binary doesn't have to spell out the full paths.
+#[doc(inline)]
+pub use sintra_net::campaign::{run_campaign, CampaignPlan, CampaignReport};
+#[doc(inline)]
+pub use sintra_obs::{Event, EventKind, Layer, MetricsSnapshot, Obs};
+#[doc(inline)]
+pub use sintra_protocols::harness;
 
 /// One-call system setup helpers.
 pub mod setup {

@@ -23,7 +23,9 @@ fn abc_on_example1_tolerates_whole_class_crash() {
     let structure = example1().unwrap();
     let (public, bundles) = dealt_system_for(&structure, 101);
     let nodes = abc_nodes(public, bundles, 101);
-    let mut sim = Simulation::new(nodes, RandomScheduler, 102);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(102)
+        .build();
     for p in 0..4 {
         sim.corrupt(p, Behavior::Crash);
     }
@@ -54,7 +56,9 @@ fn abc_on_example2_tolerates_site_plus_os() {
     assert!(structure.is_corruptible(&dead));
     let (public, bundles) = dealt_system_for(&structure, 103);
     let nodes = abc_nodes(public, bundles, 103);
-    let mut sim = Simulation::new(nodes, RandomScheduler, 104);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(104)
+        .build();
     for p in dead.iter() {
         sim.corrupt(p, Behavior::Crash);
     }
@@ -77,7 +81,9 @@ fn notary_service_end_to_end_with_client() {
     let (public, bundles) = dealt_system(4, 1, 105).unwrap();
     let public_arc = Arc::new(public.clone());
     let replicas = causal_replicas(public, bundles, |_| NotaryService::new(), 105);
-    let mut sim = Simulation::new(replicas, RandomScheduler, 106);
+    let mut sim = Simulation::builder(replicas, RandomScheduler)
+        .seed(106)
+        .build();
     let filing = NotaryRequest::Register {
         document: b"will and testament".to_vec(),
         registrant: b"alice".to_vec(),
@@ -111,14 +117,15 @@ fn abc_survives_partition_then_heals() {
     let (public, bundles) = dealt_system(4, 1, 107).unwrap();
     let nodes = abc_nodes(public, bundles, 107);
     let group: PartySet = [0, 1].into_iter().collect();
-    let mut sim = Simulation::new(
+    let mut sim = Simulation::builder(
         nodes,
         PartitionScheduler {
             group,
             heal_at: 2000,
         },
-        108,
-    );
+    )
+    .seed(108)
+    .build();
     sim.input(0, b"before-heal".to_vec());
     sim.run_until_quiet(500_000_000);
     for p in 0..4 {
@@ -133,7 +140,9 @@ fn equivocating_byzantine_cannot_split_order() {
     // parties; total order must still match across honest servers.
     let (public, bundles) = dealt_system(4, 1, 109).unwrap();
     let nodes = abc_nodes(public, bundles, 109);
-    let mut sim = Simulation::new(nodes, RandomScheduler, 110);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(110)
+        .build();
     let mut flip = false;
     sim.corrupt(
         3,
@@ -177,7 +186,9 @@ fn hybrid_structure_tolerates_byzantine_plus_crash() {
     let structure = TrustStructure::hybrid_threshold(6, 1, 1).unwrap();
     let (public, bundles) = dealt_system_for(&structure, 301);
     let nodes = abc_nodes(public, bundles, 301);
-    let mut sim = Simulation::new(nodes, RandomScheduler, 302);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(302)
+        .build();
     sim.corrupt(
         5,
         Behavior::Custom(Box::new(
@@ -206,7 +217,9 @@ fn deterministic_replay_of_full_stack() {
     let run = |seed: u64| {
         let (public, bundles) = dealt_system(4, 1, seed).unwrap();
         let nodes = abc_nodes(public, bundles, seed);
-        let mut sim = Simulation::new(nodes, RandomScheduler, seed);
+        let mut sim = Simulation::builder(nodes, RandomScheduler)
+            .seed(seed)
+            .build();
         sim.input(0, b"x".to_vec());
         sim.input(1, b"y".to_vec());
         sim.run_until_quiet(200_000_000);
@@ -224,7 +237,9 @@ fn abc_is_idempotent_under_message_duplication() {
     // counts each party once, so total order must be unaffected.
     let (public, bundles) = dealt_system(4, 1, 401).unwrap();
     let nodes = abc_nodes(public, bundles, 401);
-    let mut sim = Simulation::new(nodes, RandomScheduler, 402);
+    let mut sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(402)
+        .build();
     sim.enable_duplication(40);
     sim.input(0, b"dup-a".to_vec());
     sim.input(2, b"dup-b".to_vec());

@@ -24,7 +24,9 @@ fn main() {
         |_| CertificationAuthority::new(b"example-policy-v1"),
         11,
     );
-    let mut sim = Simulation::new(replicas, RandomScheduler, 11);
+    let mut sim = Simulation::builder(replicas, RandomScheduler)
+        .seed(11)
+        .build();
     // One replica crashes mid-flight; the CA keeps issuing.
     sim.corrupt(3, Behavior::Crash);
     println!("4-replica CA dealt; replica 3 crashed");

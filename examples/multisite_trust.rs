@@ -35,7 +35,9 @@ fn main() {
 
     let (public, bundles) = dealt_system_for(&structure, 33);
     let replicas = atomic_replicas(public, bundles, |_| DirectoryService::new(), 33);
-    let mut sim = Simulation::new(replicas, RandomScheduler, 33);
+    let mut sim = Simulation::builder(replicas, RandomScheduler)
+        .seed(33)
+        .build();
 
     // Disaster strikes: the Tokyo site goes dark AND a Linux
     // vulnerability takes out every Linux box — 7 of 16 servers.

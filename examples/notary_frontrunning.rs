@@ -117,7 +117,7 @@ fn run_plain_abc() -> (&'static str, bool) {
             .expect("pool nonempty")
     });
 
-    let mut sim = Simulation::new(replicas, scheduler, 21);
+    let mut sim = Simulation::builder(replicas, scheduler).seed(21).build();
     sim.input(0, filing(b"alice"));
     let mut injected = false;
     while sim.step() {
@@ -146,7 +146,7 @@ fn run_causal() -> (&'static str, bool) {
         }
         rng.next_below(pool.len() as u64) as usize
     });
-    let mut sim = Simulation::new(replicas, scheduler, 22);
+    let mut sim = Simulation::builder(replicas, scheduler).seed(22).build();
     sim.input(0, filing(b"alice"));
     let mut injected = false;
     while sim.step() {

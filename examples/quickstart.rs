@@ -23,7 +23,7 @@ fn main() {
     //    LIFO scheduler maximally reorders messages, and server 3 is
     //    corrupted — it replays every message it sees back at everyone.
     let nodes = abc_nodes(public, bundles, 7);
-    let mut sim = Simulation::new(nodes, LifoScheduler, 7);
+    let mut sim = Simulation::builder(nodes, LifoScheduler).seed(7).build();
     sim.corrupt(
         3,
         Behavior::Custom(Box::new(|_from, msg: AbcMessage, _| {
