@@ -1,0 +1,203 @@
+//! Multi-process TCP loopback cluster: `n` replica **OS processes**
+//! ordering client requests end-to-end over atomic broadcast, with every
+//! protocol message crossing a real `127.0.0.1` socket through the
+//! binary wire codec.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin tcp_cluster            # n=4, t=1
+//! cargo run --release -p bench --bin tcp_cluster -- --n 7 --t 2
+//! ```
+//!
+//! The parent process picks free loopback ports, re-executes itself
+//! once per replica (`--replica i --ports ...`), and checks that every
+//! replica printed the same total order. Each replica deals the system
+//! keys from the shared seed (standing in for an offline trusted
+//! dealer), keeps only its own key bundle, and runs
+//! [`sintra::net::run_tcp_node`] until all expected requests are
+//! ordered.
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use sintra::net::{run_tcp_node, TcpNodeConfig};
+use sintra::protocols::abc::abc_nodes;
+use sintra::setup::dealt_system;
+
+/// Requests injected at replica 0; every replica must deliver all of
+/// them in the same order.
+const REQUESTS: [&[u8]; 3] = [b"req:alpha", b"req:bravo", b"req:charlie"];
+
+/// Per-replica wall-clock budget.
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long a finished replica keeps forwarding for slower peers.
+const LINGER: Duration = Duration::from_millis(500);
+
+struct Args {
+    n: usize,
+    t: usize,
+    seed: u64,
+    replica: Option<usize>,
+    ports: Vec<u16>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 4,
+        t: 1,
+        seed: 2001,
+        replica: None,
+        ports: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = value().parse().expect("--n"),
+            "--t" => args.t = value().parse().expect("--t"),
+            "--seed" => args.seed = value().parse().expect("--seed"),
+            "--replica" => args.replica = Some(value().parse().expect("--replica")),
+            "--ports" => {
+                args.ports = value()
+                    .split(',')
+                    .map(|p| p.parse().expect("--ports"))
+                    .collect();
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Binds `n` ephemeral loopback listeners to find free ports, then
+/// releases them for the replicas to claim.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+/// Child mode: run one replica and print its deliveries, one per line,
+/// as `DELIVER <seq> <origin> <payload>`.
+fn run_replica(me: usize, args: &Args) {
+    let (public, bundles) = dealt_system(args.n, args.t, args.seed).expect("valid (n, t)");
+    let node = abc_nodes(public, bundles, args.seed).remove(me);
+    let addrs: Vec<SocketAddr> = args
+        .ports
+        .iter()
+        .map(|p| SocketAddr::from(([127, 0, 0, 1], *p)))
+        .collect();
+    let cfg = TcpNodeConfig {
+        me,
+        addrs,
+        timeout: TIMEOUT,
+        linger: LINGER,
+        recorder_capacity: Some(256),
+    };
+    let inputs: Vec<Vec<u8>> = if me == 0 {
+        REQUESTS.iter().map(|r| r.to_vec()).collect()
+    } else {
+        Vec::new()
+    };
+    let want = REQUESTS.len();
+    let report =
+        run_tcp_node(&cfg, node, inputs, |outputs| outputs.len() >= want).expect("socket setup");
+    assert!(
+        report.completed,
+        "replica {me} timed out with {} of {want} deliveries",
+        report.outputs.len()
+    );
+    for d in &report.outputs {
+        println!(
+            "DELIVER {} {} {}",
+            d.seq,
+            d.origin,
+            String::from_utf8_lossy(&d.payload)
+        );
+    }
+    eprintln!(
+        "replica {me}: {} deliveries, {} B sent / {} B received over TCP",
+        report.outputs.len(),
+        report.bytes_sent,
+        report.bytes_recv
+    );
+}
+
+/// Parent mode: spawn one child process per replica and compare their
+/// printed total orders.
+fn run_cluster(args: &Args) {
+    let ports = free_ports(args.n);
+    let ports_arg = ports
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let exe = std::env::current_exe().expect("current exe");
+    println!(
+        "spawning {} replica processes (t = {}) on 127.0.0.1 ports {ports_arg}",
+        args.n, args.t
+    );
+    let children: Vec<_> = (0..args.n)
+        .map(|i| {
+            Command::new(&exe)
+                .args(["--replica", &i.to_string()])
+                .args(["--n", &args.n.to_string()])
+                .args(["--t", &args.t.to_string()])
+                .args(["--seed", &args.seed.to_string()])
+                .args(["--ports", &ports_arg])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn replica")
+        })
+        .collect();
+
+    let mut orders: Vec<Vec<String>> = Vec::new();
+    for (i, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("replica exit");
+        assert!(out.status.success(), "replica {i} failed: {}", out.status);
+        let lines: Vec<String> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("DELIVER "))
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(
+            lines.len(),
+            REQUESTS.len(),
+            "replica {i} delivered {} of {} requests",
+            lines.len(),
+            REQUESTS.len()
+        );
+        orders.push(lines);
+    }
+    for (i, order) in orders.iter().enumerate().skip(1) {
+        assert_eq!(
+            order, &orders[0],
+            "replica {i} disagrees with replica 0 on the total order"
+        );
+    }
+    println!("all {} replicas agree on the total order:", args.n);
+    for line in &orders[0] {
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.replica {
+        Some(me) => {
+            assert_eq!(args.ports.len(), args.n, "--ports must list n ports");
+            assert!(me < args.n, "--replica out of range");
+            run_replica(me, &args);
+        }
+        None => run_cluster(&args),
+    }
+}

@@ -84,6 +84,36 @@ impl DleqProof {
             && h.exp2(&self.response, b, &neg_c) == self.commit_h
     }
 
+    /// Serializes as 96 bytes: `A ‖ B ‖ z` (two group elements and the
+    /// response scalar, each 32 bytes big-endian).
+    pub fn to_bytes(&self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        out[..32].copy_from_slice(&self.commit_g.to_bytes());
+        out[32..64].copy_from_slice(&self.commit_h.to_bytes());
+        out[64..].copy_from_slice(&self.response.to_be_bytes());
+        out
+    }
+
+    /// Parses 96 bytes produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if either commitment is not a canonical subgroup
+    /// element.
+    pub fn from_bytes(bytes: &[u8; 96]) -> Option<Self> {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        let mut z = [0u8; 32];
+        a.copy_from_slice(&bytes[..32]);
+        b.copy_from_slice(&bytes[32..64]);
+        z.copy_from_slice(&bytes[64..]);
+        Some(DleqProof {
+            commit_g: GroupElement::from_bytes(&a)?,
+            commit_h: GroupElement::from_bytes(&b)?,
+            response: Scalar::from_be_bytes(&z),
+        })
+    }
+
     pub(crate) fn challenge(
         domain: &str,
         g: &GroupElement,

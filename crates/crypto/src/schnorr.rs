@@ -113,6 +113,13 @@ impl Signature {
         }
     }
 
+    /// Serialized size in bytes (always 64; mirrors the `size_bytes`
+    /// accessors on the threshold objects so wire-size accounting can
+    /// ask any crypto payload uniformly).
+    pub fn size_bytes(&self) -> usize {
+        64
+    }
+
     /// Serializes as 64 bytes (commitment ‖ response, big-endian).
     pub fn to_bytes(&self) -> [u8; 64] {
         let mut out = [0u8; 64];

@@ -148,7 +148,7 @@ impl Ciphertext {
 }
 
 /// One party's decryption share with validity proofs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DecryptionShare {
     party: PartyId,
     ciphertext_digest: [u8; 32],
@@ -161,9 +161,61 @@ impl DecryptionShare {
         self.party
     }
 
-    /// Serialized size estimate in bytes.
+    /// Serialized size in bytes: party id (u32), ciphertext digest
+    /// (32 B), component count (u32), plus per-component leaf id (u32),
+    /// group element (32 B), and proof (96 B). Matches the length of
+    /// [`to_bytes`](Self::to_bytes) exactly.
     pub fn size_bytes(&self) -> usize {
-        4 + 32 + self.elements.len() * (8 + 32 + 96)
+        4 + 32 + 4 + self.elements.len() * (4 + 32 + 96)
+    }
+
+    /// Canonical byte encoding: `party (u32 BE) ‖ digest (32 B) ‖
+    /// count (u32 BE) ‖ (leaf u32 BE ‖ element 32 B ‖ proof 96 B)*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes());
+        out.extend_from_slice(&(self.party as u32).to_be_bytes());
+        out.extend_from_slice(&self.ciphertext_digest);
+        out.extend_from_slice(&(self.elements.len() as u32).to_be_bytes());
+        for (leaf, element, proof) in &self.elements {
+            out.extend_from_slice(&(*leaf as u32).to_be_bytes());
+            out.extend_from_slice(&element.to_bytes());
+            out.extend_from_slice(&proof.to_bytes());
+        }
+        out
+    }
+
+    /// Parses bytes produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on malformed input: wrong length for the declared
+    /// component count, or a non-canonical group element or proof
+    /// commitment in any component.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 40 {
+            return None;
+        }
+        let party = u32::from_be_bytes(bytes[..4].try_into().ok()?) as PartyId;
+        let ciphertext_digest: [u8; 32] = bytes[4..36].try_into().ok()?;
+        let count = u32::from_be_bytes(bytes[36..40].try_into().ok()?) as usize;
+        let rest = &bytes[40..];
+        if rest.len() != count * (4 + 32 + 96) {
+            return None;
+        }
+        let elements = rest
+            .chunks_exact(4 + 32 + 96)
+            .map(|chunk| {
+                let leaf = u32::from_be_bytes(chunk[..4].try_into().ok()?) as LeafId;
+                let element = GroupElement::from_bytes(&chunk[4..36].try_into().ok()?)?;
+                let proof = DleqProof::from_bytes(&chunk[36..].try_into().ok()?)?;
+                Some((leaf, element, proof))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(DecryptionShare {
+            party,
+            ciphertext_digest,
+            elements,
+        })
     }
 }
 

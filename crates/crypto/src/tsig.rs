@@ -79,6 +79,30 @@ impl SignatureShare {
     pub fn size_bytes(&self) -> usize {
         4 + 64
     }
+
+    /// Serializes as 68 bytes: party id (u32 big-endian) followed by
+    /// the 64-byte Schnorr signature.
+    pub fn to_bytes(&self) -> [u8; 68] {
+        let mut out = [0u8; 68];
+        out[..4].copy_from_slice(&(self.party as u32).to_be_bytes());
+        out[4..].copy_from_slice(&self.signature.to_bytes());
+        out
+    }
+
+    /// Parses 68 bytes produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the signature commitment is non-canonical.
+    pub fn from_bytes(bytes: &[u8; 68]) -> Option<Self> {
+        let party = u32::from_be_bytes(bytes[..4].try_into().expect("4-byte prefix")) as PartyId;
+        let mut sig = [0u8; 64];
+        sig.copy_from_slice(&bytes[4..]);
+        Some(SignatureShare {
+            party,
+            signature: Signature::from_bytes(&sig)?,
+        })
+    }
 }
 
 /// A combined threshold signature: the signer set and their signatures

@@ -1,0 +1,498 @@
+//! Binary wire codec primitives: framing, bounded reading, and the
+//! [`WireCodec`] trait every network message implements.
+//!
+//! The paper's system model (§2) is asynchronous *point-to-point
+//! channels* between servers on the open Internet, so every message an
+//! automaton emits must survive a real socket: a hostile peer can send
+//! truncated frames, absurd length fields, or garbage discriminants,
+//! and the decoder must reject all of it with a typed error instead of
+//! panicking or allocating unboundedly. This module holds the pieces
+//! that are protocol-agnostic:
+//!
+//! * [`WireCodec`] — encode into a byte buffer / decode from a bounded
+//!   [`Reader`], with provided whole-buffer helpers.
+//! * [`Reader`] — a cursor over a received frame that hands out
+//!   primitives and length-checked slices, never panicking on
+//!   malformed input.
+//! * [`CodecError`] — the closed set of ways a frame can be bad.
+//! * Frame helpers ([`encode_frame`], [`read_frame`]) — `u32`
+//!   big-endian length prefix with a hard [`MAX_FRAME`] cap, shared by
+//!   the TCP runtime and any future transport.
+//!
+//! The actual `impl WireCodec for …` blocks for protocol messages live
+//! in `sintra-protocols` (the `protocols::codec` module), next to the
+//! types they encode; this crate only defines the contract so the
+//! transport can be generic over it.
+
+use sintra_crypto::coin::CoinShare;
+use sintra_crypto::schnorr::Signature;
+use sintra_crypto::tenc::DecryptionShare;
+use sintra_crypto::tsig::{SignatureShare, ThresholdSignature};
+use std::io;
+
+/// Hard upper bound on a single wire frame (length prefix excluded).
+///
+/// Nothing the protocols emit comes near this: the largest legitimate
+/// messages are MVBA proposals carrying a batch payload plus a
+/// threshold signature (tens of kilobytes at `n = 128`). A peer
+/// claiming more than this is malformed or malicious, and the bound is
+/// what keeps a hostile length field from turning into a giant
+/// allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Upper bound on any single variable-length byte field inside a frame
+/// (payloads, digests are fixed-size and unaffected). Kept at the frame
+/// bound so a payload that fits a frame always decodes.
+pub const MAX_PAYLOAD: usize = MAX_FRAME;
+
+/// Typed decode failure. Every way a received frame can be rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame ended before the field being read.
+    Truncated,
+    /// An enum discriminant byte had no corresponding variant.
+    BadDiscriminant {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// A length field exceeded its cap (or the remaining frame).
+    Oversized {
+        /// Which field was being decoded.
+        what: &'static str,
+        /// The claimed length.
+        len: usize,
+        /// The maximum allowed.
+        max: usize,
+    },
+    /// A fixed-size element failed validation (non-canonical group
+    /// element, inconsistent signer count, …).
+    BadElement {
+        /// Which element was being decoded.
+        what: &'static str,
+    },
+    /// The frame decoded fully but bytes were left over.
+    TrailingBytes {
+        /// How many bytes remained.
+        remaining: usize,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadDiscriminant { what, value } => {
+                write!(f, "bad discriminant {value} for {what}")
+            }
+            CodecError::Oversized { what, len, max } => {
+                write!(f, "{what} length {len} exceeds cap {max}")
+            }
+            CodecError::BadElement { what } => write!(f, "invalid {what}"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounded cursor over a received frame.
+///
+/// Every accessor checks the remaining length first and returns
+/// [`CodecError::Truncated`] instead of panicking; length-prefixed
+/// reads validate the claimed length against both a caller cap and the
+/// bytes actually present *before* allocating.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a frame for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Consumes a single byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(self.array::<4>()?))
+    }
+
+    /// Consumes a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(self.array::<8>()?))
+    }
+
+    /// Consumes a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let bytes = self.take(N)?;
+        Ok(bytes.try_into().expect("take returned N bytes"))
+    }
+
+    /// Consumes a `u32`-length-prefixed byte string, rejecting lengths
+    /// above `max` (named `what` in the error) before allocating.
+    pub fn bytes(&mut self, what: &'static str, max: usize) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        if len > max {
+            return Err(CodecError::Oversized { what, len, max });
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Asserts the frame is fully consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                remaining: self.buf.len(),
+            })
+        }
+    }
+}
+
+/// Length-prefixed binary encoding for a wire message.
+///
+/// Implementations append their canonical encoding to a caller buffer
+/// (so nested messages compose without intermediate allocations) and
+/// decode from a bounded [`Reader`]. The provided [`encode`] /
+/// [`decode_exact`] helpers handle the whole-buffer case and enforce
+/// that decoding consumes every byte.
+///
+/// [`encode`]: WireCodec::encode
+/// [`decode_exact`]: WireCodec::decode_exact
+pub trait WireCodec: Sized {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode_into(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one value from the reader, leaving any following bytes
+    /// unconsumed (for nested use).
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decodes a value that must occupy the entire buffer.
+    fn decode_exact(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(value)
+    }
+}
+
+/// Nothing on the wire: the unit type encodes to zero bytes. Lets
+/// transports be generic over protocols whose message type is `()`.
+impl WireCodec for () {
+    fn encode_into(&self, _buf: &mut Vec<u8>) {}
+
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crypto payloads
+//
+// These impls live here (rather than next to the protocol messages in
+// `sintra-protocols`) because of the orphan rule: the trait is this
+// crate's, the types are `sintra-crypto`'s, and the protocols crate
+// owns neither. Each delegates to the type's canonical `to_bytes` /
+// `from_bytes`, so canonicality checks (subgroup membership, signer
+// counts) happen exactly once, in the crypto crate.
+// ---------------------------------------------------------------------
+
+/// Upper bound on component counts inside coin/decryption shares (one
+/// component per LSSS leaf assigned to the issuing party; generalized
+/// `Q³` structures stay far below this).
+const MAX_SHARE_COMPONENTS: usize = 4096;
+
+/// Bytes per coin/decryption share component: leaf id (u32), group
+/// element (32 B), Chaum-Pedersen proof (96 B).
+const COMPONENT_LEN: usize = 4 + 32 + 96;
+
+impl WireCodec for Signature {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Signature::from_bytes(&r.array::<64>()?).ok_or(CodecError::BadElement {
+            what: "signature commitment",
+        })
+    }
+}
+
+impl WireCodec for SignatureShare {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        SignatureShare::from_bytes(&r.array::<68>()?).ok_or(CodecError::BadElement {
+            what: "signature share",
+        })
+    }
+}
+
+impl WireCodec for ThresholdSignature {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // The signer bitmask determines how many 64-byte signatures
+        // follow (at most 128 — the mask is a u128).
+        let mask = r.array::<16>()?;
+        let signers = u128::from_be_bytes(mask).count_ones() as usize;
+        let sigs = r.take(signers * 64)?;
+        let mut full = Vec::with_capacity(16 + sigs.len());
+        full.extend_from_slice(&mask);
+        full.extend_from_slice(sigs);
+        ThresholdSignature::from_bytes(&full).ok_or(CodecError::BadElement {
+            what: "threshold signature",
+        })
+    }
+}
+
+/// Shared stream-decode shape of coin and decryption shares: a `u32`
+/// component count followed by fixed-size components, re-validated by
+/// the crypto crate's own `from_bytes`.
+fn decode_share_body<'a>(
+    r: &mut Reader<'a>,
+    what: &'static str,
+) -> Result<(usize, &'a [u8]), CodecError> {
+    let count = r.u32()? as usize;
+    if count > MAX_SHARE_COMPONENTS {
+        return Err(CodecError::Oversized {
+            what,
+            len: count,
+            max: MAX_SHARE_COMPONENTS,
+        });
+    }
+    let body = r.take(count * COMPONENT_LEN)?;
+    Ok((count, body))
+}
+
+impl WireCodec for CoinShare {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let party = r.array::<4>()?;
+        let (count, body) = decode_share_body(r, "coin share components")?;
+        let mut full = Vec::with_capacity(8 + body.len());
+        full.extend_from_slice(&party);
+        full.extend_from_slice(&(count as u32).to_be_bytes());
+        full.extend_from_slice(body);
+        CoinShare::from_bytes(&full).ok_or(CodecError::BadElement { what: "coin share" })
+    }
+}
+
+impl WireCodec for DecryptionShare {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let header = r.take(36)?.to_vec(); // party ‖ ciphertext digest
+        let (count, body) = decode_share_body(r, "decryption share components")?;
+        let mut full = Vec::with_capacity(40 + body.len());
+        full.extend_from_slice(&header);
+        full.extend_from_slice(&(count as u32).to_be_bytes());
+        full.extend_from_slice(body);
+        DecryptionShare::from_bytes(&full).ok_or(CodecError::BadElement {
+            what: "decryption share",
+        })
+    }
+}
+
+/// Frames a message for the wire: `u32` big-endian body length, then
+/// the body. Returns `None` if the encoding exceeds [`MAX_FRAME`]
+/// (the caller decides whether that is a drop or a bug).
+pub fn encode_frame<M: WireCodec>(msg: &M) -> Option<Vec<u8>> {
+    let mut buf = vec![0u8; 4];
+    msg.encode_into(&mut buf);
+    let body_len = buf.len() - 4;
+    if body_len > MAX_FRAME {
+        return None;
+    }
+    buf[..4].copy_from_slice(&(body_len as u32).to_be_bytes());
+    Some(buf)
+}
+
+/// Reads one length-prefixed frame from a stream and decodes it.
+///
+/// Distinguishes three outcomes: a clean end-of-stream before any
+/// prefix byte (`Ok(None)`, the peer closed), a decoded message
+/// (`Ok(Some(_))`), or an error — I/O failure, mid-frame EOF, a length
+/// prefix above [`MAX_FRAME`], or a body that fails to decode.
+pub fn read_frame<M: WireCodec, R: io::Read>(stream: &mut R) -> io::Result<Option<M>> {
+    let mut prefix = [0u8; 4];
+    // Hand-rolled first read so a clean EOF at a frame boundary is
+    // distinguishable from a connection dying mid-frame.
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let msg = M::decode_exact(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(msg))
+}
+
+/// Writes one length-prefixed frame to a stream. Returns an
+/// `InvalidInput` error if the message exceeds [`MAX_FRAME`].
+pub fn write_frame<M: WireCodec, W: io::Write>(stream: &mut W, msg: &M) -> io::Result<()> {
+    let frame = encode_frame(msg)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "message exceeds frame cap"))?;
+    stream.write_all(&frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny message exercising every Reader primitive.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Probe {
+        tag: u8,
+        seq: u64,
+        body: Vec<u8>,
+    }
+
+    impl WireCodec for Probe {
+        fn encode_into(&self, buf: &mut Vec<u8>) {
+            buf.push(self.tag);
+            buf.extend_from_slice(&self.seq.to_be_bytes());
+            buf.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
+            buf.extend_from_slice(&self.body);
+        }
+
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(Probe {
+                tag: r.u8()?,
+                seq: r.u64()?,
+                body: r.bytes("probe body", 1024)?,
+            })
+        }
+    }
+
+    fn probe() -> Probe {
+        Probe {
+            tag: 7,
+            seq: 0xDEAD_BEEF_0000_0001,
+            body: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = probe();
+        assert_eq!(Probe::decode_exact(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = probe().encode();
+        for cut in 0..bytes.len() {
+            assert!(Probe::decode_exact(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = probe().encode();
+        bytes.push(0);
+        assert_eq!(
+            Probe::decode_exact(&bytes),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn oversized_length_field_rejected_without_allocating() {
+        let mut bytes = vec![7];
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes()); // absurd length
+        assert!(matches!(
+            Probe::decode_exact(&bytes),
+            Err(CodecError::Oversized { len, .. }) if len == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn frame_round_trip_over_stream() {
+        let p = probe();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &p).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame::<Probe, _>(&mut cursor).unwrap(), Some(p));
+        assert_eq!(read_frame::<Probe, _>(&mut cursor).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn stream_eof_mid_frame_is_an_error() {
+        let p = probe();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &p).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut cursor = io::Cursor::new(wire);
+        assert!(read_frame::<Probe, _>(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn hostile_frame_length_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = io::Cursor::new(wire);
+        let err = read_frame::<Probe, _>(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -24,18 +24,22 @@
 //! automaton trait and run unchanged under both.
 
 pub mod campaign;
+pub mod codec;
 pub mod faults;
 pub mod protocol;
 pub mod sim;
+pub mod tcp_runtime;
 pub mod thread_runtime;
 
 pub use campaign::{
     replay_case, run_campaign, BehaviorKind, CampaignHooks, CampaignPlan, CampaignReport, CaseId,
     RunOutcome, SchedulerKind,
 };
+pub use codec::{CodecError, Reader, WireCodec, MAX_FRAME};
 pub use protocol::{Effects, Protocol};
 pub use sim::{
     AdaptiveScheduler, Behavior, Envelope, FifoScheduler, LifoScheduler, LossyScheduler,
     PartitionScheduler, RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,
 };
+pub use tcp_runtime::{run_tcp, run_tcp_node, run_tcp_observed, TcpNodeConfig, TcpNodeReport};
 pub use thread_runtime::{run_threaded, ThreadRunReport};

@@ -1,0 +1,749 @@
+//! Loopback TCP runtime: the same protocol automata over real sockets.
+//!
+//! The paper's deployment target (§2.1) is n servers connected by an
+//! *asynchronous point-to-point network* — the open Internet. The
+//! deterministic simulator and the crossbeam thread runtime substitute
+//! for that network in tests; this module closes the last gap by
+//! running the automata over genuine `TcpStream`s with length-prefixed
+//! binary frames (see [`crate::codec`]), so a message must actually
+//! survive serialization, the kernel socket buffers, and a hostile
+//! peer's framing before a protocol acts on it.
+//!
+//! Two entry points:
+//!
+//! * [`run_tcp`] / [`run_tcp_observed`] — in-process harness mirroring
+//!   [`run_threaded`](crate::thread_runtime::run_threaded): n nodes on
+//!   ephemeral loopback ports, one OS thread per node plus the mesh's
+//!   I/O threads, a stop predicate over the global outputs.
+//! * [`run_tcp_node`] — a *single* replica given explicit peer
+//!   addresses, for true multi-process deployments (each OS process
+//!   runs one replica; see `bench`'s `tcp_cluster` binary). The stop
+//!   predicate only sees local outputs, and a configurable linger keeps
+//!   the replica forwarding traffic after it has decided so slower
+//!   peers can finish.
+//!
+//! ## Mesh layout
+//!
+//! Links are unidirectional: party i dials one send-socket to every
+//! peer j and accepts one receive-socket from each. A connection opens
+//! with an 8-byte handshake (`magic ‖ sender id`, both u32 BE); frames
+//! are `u32` BE length + body, capped at [`MAX_FRAME`](crate::codec::MAX_FRAME). Outbound
+//! frames pass through a per-peer writer thread that coalesces every
+//! frame already queued into a single `write_all`, connects lazily
+//! with exponential backoff (peers boot at different times), and
+//! reconnects on write failure without losing the batch in hand.
+//! Malformed inbound traffic — bad magic, absurd lengths, bodies that
+//! fail to decode — kills that connection only; the counters record
+//! what was seen either way.
+//!
+//! Per-direction byte counters are plain atomics that I/O threads
+//! update and the node thread folds into its [`Obs`] metrics at exit
+//! (`net.tcp_bytes_sent` / `net.tcp_bytes_recv`), honoring the flight
+//! recorder's single-writer contract — sockets never touch the
+//! recorder directly.
+
+use crate::codec::{encode_frame, read_frame, WireCodec};
+use crate::protocol::{Context, Effects, Protocol};
+use crate::thread_runtime::ThreadRunReport;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use sintra_adversary::party::PartyId;
+use sintra_obs::{Layer, MetricsSnapshot, Obs};
+use std::io::{self, Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handshake magic ("SNTR"): rejects strays that are not a sintra peer.
+const MAGIC: u32 = 0x534E_5452;
+
+/// Writer threads coalesce queued frames up to this many bytes per
+/// syscall.
+const COALESCE_BYTES: usize = 64 * 1024;
+
+/// Node-loop granularity: inbox poll timeout and tick period, matching
+/// the thread runtime so tick-counted protocol timeouts behave the
+/// same on both runtimes.
+const TICK_EVERY: Duration = Duration::from_millis(5);
+
+/// Configuration for one replica of a TCP mesh (see [`run_tcp_node`]).
+#[derive(Clone, Debug)]
+pub struct TcpNodeConfig {
+    /// This replica's party id (an index into `addrs`).
+    pub me: PartyId,
+    /// Listen/dial addresses of every party, indexed by party id.
+    pub addrs: Vec<SocketAddr>,
+    /// Overall wall-clock budget; the run reports `completed = false`
+    /// if the stop predicate has not held by then.
+    pub timeout: Duration,
+    /// How long to keep processing and forwarding after the local stop
+    /// predicate holds, so peers still mid-protocol can finish.
+    pub linger: Duration,
+    /// `Some(capacity)` enables per-node observability (flight
+    /// recorder + metrics), as in
+    /// [`run_threaded_observed`](crate::thread_runtime::run_threaded_observed).
+    pub recorder_capacity: Option<usize>,
+}
+
+/// Outcome of a [`run_tcp_node`] run.
+#[derive(Debug)]
+pub struct TcpNodeReport<O> {
+    /// Local outputs in delivery order.
+    pub outputs: Vec<O>,
+    /// Whether the stop predicate held before the timeout.
+    pub completed: bool,
+    /// Messages this replica addressed outside `0..n` (dropped).
+    pub dropped: u64,
+    /// Frame bytes written to peers (handshakes excluded).
+    pub bytes_sent: u64,
+    /// Frame bytes read from peers (handshakes excluded).
+    pub bytes_recv: u64,
+    /// Metrics snapshot — empty unless a recorder capacity was set.
+    pub metrics: MetricsSnapshot,
+}
+
+/// An `io::Read` adapter that charges everything read to an atomic
+/// counter, so [`read_frame`] stays oblivious to accounting.
+struct CountingReader<R> {
+    inner: R,
+    counter: Arc<AtomicU64>,
+}
+
+impl<R: io::Read> io::Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counter.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// One replica's view of the mesh: an inbox fed by accepted
+/// connections and a framed outbound lane per peer.
+struct TcpMesh<M> {
+    me: PartyId,
+    inbox_tx: Sender<(PartyId, M)>,
+    inbox_rx: Receiver<(PartyId, M)>,
+    outbound: Vec<Option<Sender<Vec<u8>>>>,
+    bytes_sent: Arc<AtomicU64>,
+    bytes_recv: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    io_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<M: WireCodec + Send + 'static> TcpMesh<M> {
+    /// Starts the mesh: spawns the acceptor on `listener` and one lazy
+    /// writer per peer. Returns immediately — connections establish in
+    /// the background with retry/backoff while the node already runs.
+    fn start(me: PartyId, addrs: &[SocketAddr], listener: TcpListener) -> io::Result<TcpMesh<M>> {
+        let n = addrs.len();
+        let (inbox_tx, inbox_rx) = unbounded::<(PartyId, M)>();
+        let bytes_sent = Arc::new(AtomicU64::new(0));
+        let bytes_recv = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut io_threads = Vec::new();
+
+        // Acceptor: polls non-blocking so it can observe shutdown, and
+        // hands each handshaken connection to a reader thread.
+        listener.set_nonblocking(true)?;
+        {
+            let inbox_tx = inbox_tx.clone();
+            let bytes_recv = Arc::clone(&bytes_recv);
+            let shutdown = Arc::clone(&shutdown);
+            io_threads.push(std::thread::spawn(move || {
+                accept_loop::<M>(listener, n, inbox_tx, bytes_recv, shutdown);
+            }));
+        }
+
+        // Writers: one per remote peer; self-sends bypass the wire.
+        let mut outbound = Vec::with_capacity(n);
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer == me {
+                outbound.push(None);
+                continue;
+            }
+            let (tx, rx) = unbounded::<Vec<u8>>();
+            let addr = *addr;
+            let bytes_sent = Arc::clone(&bytes_sent);
+            let shutdown = Arc::clone(&shutdown);
+            io_threads.push(std::thread::spawn(move || {
+                writer_loop(addr, me, rx, bytes_sent, shutdown);
+            }));
+            outbound.push(Some(tx));
+        }
+
+        Ok(TcpMesh {
+            me,
+            inbox_tx,
+            inbox_rx,
+            outbound,
+            bytes_sent,
+            bytes_recv,
+            shutdown,
+            io_threads,
+        })
+    }
+
+    /// Queues a message. Self-sends short-circuit into the inbox;
+    /// remote sends are framed here (once) and handed to the peer's
+    /// writer. Returns `false` for an unroutable destination.
+    fn send(&self, to: PartyId, msg: M) -> bool {
+        if to == self.me {
+            return self.inbox_tx.send((self.me, msg)).is_ok();
+        }
+        let Some(lane) = self.outbound.get(to).and_then(|o| o.as_ref()) else {
+            return false;
+        };
+        match encode_frame(&msg) {
+            Some(frame) => lane.send(frame).is_ok(),
+            None => false, // exceeds MAX_FRAME: refuse at origin
+        }
+    }
+
+    /// Waits up to `timeout` for the next inbound message.
+    fn recv_timeout(&self, timeout: Duration) -> Option<(PartyId, M)> {
+        self.inbox_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Flushes and tears down: writers drain their queues, close their
+    /// sockets (peers see EOF), and are joined along with the acceptor.
+    /// Reader threads exit on their peers' EOF and are left detached.
+    fn shutdown(mut self) -> (u64, u64) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.outbound.clear(); // drop senders: writers exit after drain
+        for h in self.io_threads.drain(..) {
+            let _ = h.join();
+        }
+        (
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.bytes_recv.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn accept_loop<M: WireCodec + Send + 'static>(
+    listener: TcpListener,
+    n: usize,
+    inbox_tx: Sender<(PartyId, M)>,
+    bytes_recv: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                // Handshake with a deadline so a silent stray cannot
+                // park this loop's connection slot forever.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let mut hs = [0u8; 8];
+                if stream.read_exact(&mut hs).is_err() {
+                    continue;
+                }
+                let magic = u32::from_be_bytes(hs[..4].try_into().expect("4 bytes"));
+                let peer = u32::from_be_bytes(hs[4..].try_into().expect("4 bytes")) as usize;
+                if magic != MAGIC || peer >= n {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+                let _ = stream.set_read_timeout(None);
+                let inbox = inbox_tx.clone();
+                let counter = Arc::clone(&bytes_recv);
+                // Readers block on the socket and exit on EOF/error
+                // (peers close their write half at shutdown) or when
+                // the inbox is gone; they are not joined.
+                std::thread::spawn(move || {
+                    let mut counted = CountingReader {
+                        inner: stream,
+                        counter,
+                    };
+                    loop {
+                        match read_frame::<M, _>(&mut counted) {
+                            Ok(Some(msg)) => {
+                                if inbox.send((peer, msg)).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) | Err(_) => return,
+                        }
+                    }
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn writer_loop(
+    addr: SocketAddr,
+    me: PartyId,
+    rx: Receiver<Vec<u8>>,
+    bytes_sent: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = Duration::from_millis(10);
+    let mut batch: Vec<u8> = Vec::new();
+    loop {
+        // Pull the next batch (unless a failed write left one pending).
+        if batch.is_empty() {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(frame) => {
+                    batch = frame;
+                    while batch.len() < COALESCE_BYTES {
+                        match rx.try_recv() {
+                            Ok(f) => batch.extend_from_slice(&f),
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    continue;
+                }
+                // Queue drained and mesh torn down: flush is complete.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Ensure a connection; peers boot at their own pace, so dial
+        // failures back off and retry rather than dropping frames.
+        if stream.is_none() {
+            stream = dial(addr, me);
+            if stream.is_none() {
+                if shutdown.load(Ordering::Relaxed) {
+                    break; // give up; the batch is undeliverable
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+                continue;
+            }
+            backoff = Duration::from_millis(10);
+        }
+        let s = stream.as_mut().expect("connected above");
+        match s.write_all(&batch) {
+            Ok(()) => {
+                bytes_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                batch.clear();
+            }
+            // Keep the batch; reconnect on the next iteration.
+            Err(_) => stream = None,
+        }
+    }
+    if let Some(s) = stream {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+}
+
+/// Dials a peer and sends the handshake. `None` on any failure.
+fn dial(addr: SocketAddr, me: PartyId) -> Option<TcpStream> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    let _ = s.set_nodelay(true);
+    let mut hs = [0u8; 8];
+    hs[..4].copy_from_slice(&MAGIC.to_be_bytes());
+    hs[4..].copy_from_slice(&(me as u32).to_be_bytes());
+    s.write_all(&hs).ok()?;
+    Some(s)
+}
+
+/// Runs one replica of a TCP mesh to completion — the multi-process
+/// entry point (one call per OS process; see `tcp_cluster` in the
+/// bench crate).
+///
+/// Binds `cfg.addrs[cfg.me]`, connects to every peer with
+/// retry/backoff, injects `inputs` locally, then drives the automaton:
+/// inbox messages, periodic ticks, and outbound effects over the wire.
+/// After `stop` first holds over the local outputs, the replica keeps
+/// running for `cfg.linger` so its shares/acks still reach slower
+/// peers, then tears the mesh down.
+///
+/// # Errors
+///
+/// Returns an error only for local socket setup failures (bind);
+/// peer-level connection trouble is retried, not surfaced.
+pub fn run_tcp_node<P>(
+    cfg: &TcpNodeConfig,
+    mut node: P,
+    inputs: Vec<P::Input>,
+    stop: impl Fn(&[P::Output]) -> bool,
+) -> io::Result<TcpNodeReport<P::Output>>
+where
+    P: Protocol,
+    P::Message: WireCodec + Send + 'static,
+{
+    let n = cfg.addrs.len();
+    let listener = TcpListener::bind(cfg.addrs[cfg.me])?;
+    let mesh: TcpMesh<P::Message> = TcpMesh::start(cfg.me, &cfg.addrs, listener)?;
+    let obs = match cfg.recorder_capacity {
+        Some(cap) => Obs::enabled(cap),
+        None => Obs::disabled(),
+    };
+
+    let started = Instant::now();
+    let deadline = started + cfg.timeout;
+    let mut fx: Effects<P::Message, P::Output> = Effects::for_parties(n);
+    let mut outputs: Vec<P::Output> = Vec::new();
+    let mut dropped = 0u64;
+    let mut completed = false;
+    let mut linger_until: Option<Instant> = None;
+    let mut last_tick = Instant::now();
+
+    let ctx_at = |started: Instant, obs: &Obs| Context {
+        me: cfg.me,
+        n,
+        at: started.elapsed().as_nanos() as u64,
+        obs: obs.clone(),
+    };
+
+    {
+        let ctx = ctx_at(started, &obs);
+        for input in inputs {
+            node.on_input_ctx(&ctx, input, &mut fx);
+        }
+    }
+
+    loop {
+        let now = Instant::now();
+        if now > deadline {
+            break;
+        }
+        if let Some(until) = linger_until {
+            if now >= until {
+                break;
+            }
+        }
+        let mut worked = !fx.sends().is_empty() || !fx.outputs().is_empty();
+        let ctx = ctx_at(started, &obs);
+        if let Some((from, msg)) = mesh.recv_timeout(TICK_EVERY) {
+            let handle_started = Instant::now();
+            node.on_message_ctx(&ctx, from, msg, &mut fx);
+            if obs.is_enabled() {
+                obs.inc(Layer::Net, "recv");
+                obs.observe(
+                    Layer::Net,
+                    "handle_ns",
+                    handle_started.elapsed().as_nanos() as u64,
+                );
+            }
+            worked = true;
+        }
+        if last_tick.elapsed() >= TICK_EVERY {
+            last_tick = Instant::now();
+            node.on_tick_ctx(&ctx, &mut fx);
+            if obs.is_enabled() {
+                obs.inc(Layer::Net, "tick");
+            }
+            worked = true;
+        }
+        if worked {
+            outputs.extend(fx.take_outputs());
+            for (to, msg) in fx.take_sends() {
+                if obs.is_enabled() {
+                    obs.inc(Layer::Net, "sent");
+                }
+                if !mesh.send(to, msg) {
+                    dropped += 1;
+                    if obs.is_enabled() {
+                        obs.inc(Layer::Net, "dropped_route");
+                    }
+                }
+            }
+            if !completed && stop(&outputs) {
+                completed = true;
+                linger_until = Some(Instant::now() + cfg.linger);
+            }
+        }
+    }
+
+    let (bytes_sent, bytes_recv) = mesh.shutdown();
+    if obs.is_enabled() {
+        obs.add(Layer::Net, "tcp_bytes_sent", bytes_sent);
+        obs.add(Layer::Net, "tcp_bytes_recv", bytes_recv);
+    }
+    Ok(TcpNodeReport {
+        outputs,
+        completed,
+        dropped,
+        bytes_sent,
+        bytes_recv,
+        metrics: obs.metrics_snapshot(),
+    })
+}
+
+/// Runs `nodes` against each other over loopback TCP until `stop`
+/// holds over the global output vectors or `timeout` elapses — the
+/// socket-backed mirror of
+/// [`run_threaded`](crate::thread_runtime::run_threaded).
+///
+/// # Errors
+///
+/// Returns an error if binding the loopback listeners fails.
+pub fn run_tcp<P>(
+    nodes: Vec<P>,
+    inputs: Vec<(PartyId, P::Input)>,
+    stop: impl Fn(&[Vec<P::Output>]) -> bool,
+    timeout: Duration,
+) -> io::Result<ThreadRunReport<P::Output>>
+where
+    P: Protocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+    P::Input: Send + 'static,
+    P::Output: Clone + Send + 'static,
+{
+    run_tcp_observed(nodes, inputs, stop, timeout, None)
+}
+
+/// [`run_tcp`] with per-node instrumentation (see
+/// [`run_threaded_observed`](crate::thread_runtime::run_threaded_observed));
+/// additionally folds the mesh byte counters into each node's metrics
+/// as `net.tcp_bytes_sent` / `net.tcp_bytes_recv`.
+///
+/// # Errors
+///
+/// Returns an error if binding the loopback listeners fails.
+pub fn run_tcp_observed<P>(
+    nodes: Vec<P>,
+    inputs: Vec<(PartyId, P::Input)>,
+    stop: impl Fn(&[Vec<P::Output>]) -> bool,
+    timeout: Duration,
+    recorder_capacity: Option<usize>,
+) -> io::Result<ThreadRunReport<P::Output>>
+where
+    P: Protocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+    P::Input: Send + 'static,
+    P::Output: Clone + Send + 'static,
+{
+    let n = nodes.len();
+    // Bind every listener first so the addresses exist before any node
+    // dials out.
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(listener.local_addr()?);
+        listeners.push(listener);
+    }
+
+    let obs: Vec<Obs> = match recorder_capacity {
+        Some(cap) => (0..n).map(|_| Obs::enabled(cap)).collect(),
+        None => vec![Obs::disabled(); n],
+    };
+    let outputs: Arc<Mutex<Vec<Vec<P::Output>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| Vec::new()).collect()));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut input_map: Vec<Vec<P::Input>> = (0..n).map(|_| Vec::new()).collect();
+    for (party, input) in inputs {
+        input_map[party].push(input);
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (party, mut node) in nodes.into_iter().enumerate() {
+        let listener = listeners.remove(0);
+        let addrs = addrs.clone();
+        let my_inputs = std::mem::take(&mut input_map[party]);
+        let outputs = Arc::clone(&outputs);
+        let delivered = Arc::clone(&delivered);
+        let dropped = Arc::clone(&dropped);
+        let done = Arc::clone(&done);
+        let my_obs = obs[party].clone();
+        handles.push(std::thread::spawn(move || {
+            let mesh: TcpMesh<P::Message> = match TcpMesh::start(party, &addrs, listener) {
+                Ok(mesh) => mesh,
+                Err(_) => return,
+            };
+            let started = Instant::now();
+            let mut fx: Effects<P::Message, P::Output> = Effects::for_parties(n);
+            let mut last_tick = Instant::now();
+            {
+                let ctx = Context {
+                    me: party,
+                    n,
+                    at: 0,
+                    obs: my_obs.clone(),
+                };
+                for input in my_inputs {
+                    node.on_input_ctx(&ctx, input, &mut fx);
+                }
+            }
+            loop {
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+                let mut worked = !fx.sends().is_empty() || !fx.outputs().is_empty();
+                let ctx = Context {
+                    me: party,
+                    n,
+                    at: started.elapsed().as_nanos() as u64,
+                    obs: my_obs.clone(),
+                };
+                if let Some((from, msg)) = mesh.recv_timeout(TICK_EVERY) {
+                    let handle_started = Instant::now();
+                    node.on_message_ctx(&ctx, from, msg, &mut fx);
+                    if my_obs.is_enabled() {
+                        my_obs.inc(Layer::Net, "recv");
+                        my_obs.observe(
+                            Layer::Net,
+                            "handle_ns",
+                            handle_started.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                    worked = true;
+                }
+                if last_tick.elapsed() >= TICK_EVERY {
+                    last_tick = Instant::now();
+                    node.on_tick_ctx(&ctx, &mut fx);
+                    if my_obs.is_enabled() {
+                        my_obs.inc(Layer::Net, "tick");
+                    }
+                    worked = true;
+                }
+                if worked {
+                    let outs = fx.take_outputs();
+                    if !outs.is_empty() {
+                        outputs.lock()[party].extend(outs);
+                    }
+                    for (to, msg) in fx.take_sends() {
+                        if my_obs.is_enabled() {
+                            my_obs.inc(Layer::Net, "sent");
+                        }
+                        if !mesh.send(to, msg) {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                            if my_obs.is_enabled() {
+                                my_obs.inc(Layer::Net, "dropped_route");
+                            }
+                        }
+                    }
+                }
+            }
+            let (bytes_sent, bytes_recv) = mesh.shutdown();
+            if my_obs.is_enabled() {
+                my_obs.add(Layer::Net, "tcp_bytes_sent", bytes_sent);
+                my_obs.add(Layer::Net, "tcp_bytes_recv", bytes_recv);
+            }
+        }));
+    }
+
+    let deadline = Instant::now() + timeout;
+    let mut completed = false;
+    while Instant::now() < deadline {
+        if stop(&outputs.lock()) {
+            completed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let outputs = Arc::try_unwrap(outputs)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    Ok(ThreadRunReport {
+        outputs,
+        delivered: delivered.load(Ordering::Relaxed),
+        dropped: dropped.load(Ordering::Relaxed),
+        completed,
+        metrics: obs.iter().map(|o| o.metrics_snapshot()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecError, Reader};
+
+    /// Gossip over real sockets: each node broadcasts its input; every
+    /// node outputs what it hears.
+    #[derive(Debug)]
+    struct Gossip;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Word(u64);
+
+    impl WireCodec for Word {
+        fn encode_into(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0.to_be_bytes());
+        }
+
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(Word(r.u64()?))
+        }
+    }
+
+    impl Protocol for Gossip {
+        type Message = Word;
+        type Input = u64;
+        type Output = (PartyId, u64);
+
+        fn on_input(&mut self, v: u64, fx: &mut Effects<Word, (PartyId, u64)>) {
+            fx.broadcast(Word(v));
+        }
+
+        fn on_message(&mut self, from: PartyId, w: Word, fx: &mut Effects<Word, (PartyId, u64)>) {
+            fx.output((from, w.0));
+        }
+    }
+
+    #[test]
+    fn tcp_gossip_delivers_everything() {
+        let n = 4;
+        let nodes: Vec<Gossip> = (0..n).map(|_| Gossip).collect();
+        let inputs: Vec<(PartyId, u64)> = (0..n).map(|p| (p, p as u64 * 3)).collect();
+        let report = run_tcp_observed(
+            nodes,
+            inputs,
+            move |outs: &[Vec<(PartyId, u64)>]| outs.iter().all(|o| o.len() >= n),
+            Duration::from_secs(30),
+            Some(128),
+        )
+        .expect("loopback sockets bind");
+        assert!(report.completed, "all parties hear all four broadcasts");
+        for (party, outs) in report.outputs.iter().enumerate() {
+            for from in 0..n {
+                assert!(
+                    outs.contains(&(from, from as u64 * 3)),
+                    "party {party} heard {from}"
+                );
+            }
+        }
+        let mut merged = MetricsSnapshot::default();
+        for m in &report.metrics {
+            merged.merge(m);
+        }
+        assert!(
+            merged.counter("net.tcp_bytes_sent") > 0,
+            "bytes crossed real sockets"
+        );
+        assert!(merged.counter("net.tcp_bytes_recv") > 0);
+    }
+
+    #[test]
+    fn single_node_mesh_loops_back_to_itself() {
+        let cfg = TcpNodeConfig {
+            me: 0,
+            addrs: vec!["127.0.0.1:0".parse().expect("addr")],
+            timeout: Duration::from_secs(10),
+            linger: Duration::from_millis(0),
+            recorder_capacity: None,
+        };
+        let report = run_tcp_node(&cfg, Gossip, vec![42], |outs: &[(PartyId, u64)]| {
+            !outs.is_empty()
+        })
+        .expect("bind");
+        assert!(report.completed);
+        assert_eq!(report.outputs, vec![(0, 42)]);
+    }
+}

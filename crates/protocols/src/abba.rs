@@ -76,7 +76,7 @@ impl MainVoteValue {
 }
 
 /// Justification attached to a pre-vote.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum PreVoteJust<E> {
     /// Round 1: the party's input. In biased mode a pre-vote for 1 must
     /// carry validator-approved evidence; a pre-vote for 0 carries none.
@@ -90,7 +90,7 @@ pub enum PreVoteJust<E> {
 }
 
 /// A justified pre-vote.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PreVote<E> {
     /// Round number (1-based).
     pub round: u64,
@@ -104,7 +104,7 @@ pub struct PreVote<E> {
 }
 
 /// Justification attached to a main-vote.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum MainVoteJust<E> {
     /// For a bit vote: threshold signature over a core quorum of
     /// pre-votes for that bit this round.
@@ -114,7 +114,7 @@ pub enum MainVoteJust<E> {
 }
 
 /// A justified main-vote.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MainVote<E> {
     /// Round number.
     pub round: u64,
@@ -127,7 +127,7 @@ pub struct MainVote<E> {
 }
 
 /// ABBA wire messages.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum AbbaMessage<E> {
     /// A pre-vote.
     PreVote(PreVote<E>),

@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Atomic-broadcast wire messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AbcMessage {
     /// Payload dissemination: enters every honest party's queue (the
     /// fairness mechanism).

@@ -24,7 +24,7 @@ use sintra_crypto::tsig::{QuorumRule, SignatureShare, ThresholdSignature};
 use std::sync::Arc;
 
 /// Consistent-broadcast wire messages.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CbcMessage {
     /// Sender's payload dissemination.
     Send(Vec<u8>),
@@ -47,7 +47,7 @@ impl WireKind for CbcMessage {
 
 /// A delivered consistent broadcast: payload plus its transferable
 /// voucher.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Voucher {
     /// The delivered payload.
     pub payload: Vec<u8>,

@@ -1,0 +1,641 @@
+//! Canonical binary encodings for every protocol message.
+//!
+//! The trait, error type, and bounded reader come from the transport
+//! crate ([`sintra_net::codec`], re-exported here); this module
+//! supplies the `impl WireCodec for …` blocks for the eight wire
+//! enums — [`RbcMessage`], [`CbcMessage`], [`AbbaMessage`],
+//! [`MvbaMessage`], [`AbcMessage`], [`ScabcMessage`], [`OptMessage`],
+//! [`FdMessage`] — and their crypto payloads (signature shares,
+//! threshold signatures, coin and decryption shares, vouchers).
+//!
+//! ## Conventions
+//!
+//! * Enum variants carry a 1-byte discriminant in declaration order.
+//! * Rounds, epochs, views, sequence and election numbers are `u64`
+//!   big-endian; party ids are `u32` big-endian.
+//! * Variable-length byte fields are `u32`-length-prefixed and capped
+//!   at [`MAX_PAYLOAD`] (itself the frame cap, so any payload that
+//!   fits a frame decodes).
+//! * Crypto objects use their own canonical encodings from
+//!   `sintra-crypto` (`Signature` 64 B, `SignatureShare` 68 B,
+//!   `ThresholdSignature` 16 B signer mask + 64 B per signer,
+//!   coin/decryption shares with `u32` component counts, 132 B per
+//!   component); non-canonical group elements are rejected at decode.
+//! * Booleans are a strict `0`/`1` byte; anything else is a decode
+//!   error, so there is exactly one byte string per message
+//!   (mis-framed or tampered traffic cannot alias a valid message).
+//!
+//! Decoding never panics: every failure mode maps to a
+//! [`CodecError`]. The `codec_roundtrip` integration tests check
+//! `encode → decode == identity` for all eight enums over dealt crypto
+//! material, truncation/corruption rejection at every byte position,
+//! and that [`wire::WireSize`](crate::wire::WireSize) equals the
+//! encoded length exactly.
+
+use crate::abba::{AbbaMessage, MainVote, MainVoteJust, MainVoteValue, PreVote, PreVoteJust};
+use crate::abc::AbcMessage;
+use crate::cbc::{CbcMessage, Voucher};
+use crate::fdabc::FdMessage;
+use crate::mvba::MvbaMessage;
+use crate::optimistic::OptMessage;
+use crate::rbc::RbcMessage;
+use crate::scabc::ScabcMessage;
+use sintra_crypto::coin::CoinShare;
+use sintra_crypto::schnorr::Signature;
+use sintra_crypto::tenc::DecryptionShare;
+use sintra_crypto::tsig::{SignatureShare, ThresholdSignature};
+
+pub use sintra_net::codec::{CodecError, Reader, WireCodec, MAX_FRAME, MAX_PAYLOAD};
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn get_payload(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<u8>, CodecError> {
+    r.bytes(what, MAX_PAYLOAD)
+}
+
+fn put_bool(buf: &mut Vec<u8>, b: bool) {
+    buf.push(u8::from(b));
+}
+
+fn get_bool(r: &mut Reader<'_>) -> Result<bool, CodecError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        value => Err(CodecError::BadDiscriminant {
+            what: "bool",
+            value,
+        }),
+    }
+}
+
+impl WireCodec for Voucher {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, &self.payload);
+        self.signature.encode_into(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Voucher {
+            payload: get_payload(r, "voucher payload")?,
+            signature: ThresholdSignature::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reliable broadcast
+// ---------------------------------------------------------------------
+
+impl WireCodec for RbcMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            RbcMessage::Send(p) => {
+                buf.push(0);
+                put_bytes(buf, p);
+            }
+            RbcMessage::Echo(p) => {
+                buf.push(1);
+                put_bytes(buf, p);
+            }
+            RbcMessage::Ready(p) => {
+                buf.push(2);
+                put_bytes(buf, p);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(RbcMessage::Send(get_payload(r, "rbc payload")?)),
+            1 => Ok(RbcMessage::Echo(get_payload(r, "rbc payload")?)),
+            2 => Ok(RbcMessage::Ready(get_payload(r, "rbc payload")?)),
+            value => Err(CodecError::BadDiscriminant {
+                what: "RbcMessage",
+                value,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Consistent broadcast
+// ---------------------------------------------------------------------
+
+impl WireCodec for CbcMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            CbcMessage::Send(p) => {
+                buf.push(0);
+                put_bytes(buf, p);
+            }
+            CbcMessage::Echo(share) => {
+                buf.push(1);
+                share.encode_into(buf);
+            }
+            CbcMessage::Final(p, sig) => {
+                buf.push(2);
+                put_bytes(buf, p);
+                sig.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(CbcMessage::Send(get_payload(r, "cbc payload")?)),
+            1 => Ok(CbcMessage::Echo(SignatureShare::decode(r)?)),
+            2 => Ok(CbcMessage::Final(
+                get_payload(r, "cbc payload")?,
+                ThresholdSignature::decode(r)?,
+            )),
+            value => Err(CodecError::BadDiscriminant {
+                what: "CbcMessage",
+                value,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary agreement
+// ---------------------------------------------------------------------
+
+impl<E: WireCodec> WireCodec for PreVoteJust<E> {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            PreVoteJust::FirstRound(None) => buf.push(0),
+            PreVoteJust::FirstRound(Some(e)) => {
+                buf.push(1);
+                e.encode_into(buf);
+            }
+            PreVoteJust::Hard(sig) => {
+                buf.push(2);
+                sig.encode_into(buf);
+            }
+            PreVoteJust::Coin(sig) => {
+                buf.push(3);
+                sig.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(PreVoteJust::FirstRound(None)),
+            1 => Ok(PreVoteJust::FirstRound(Some(E::decode(r)?))),
+            2 => Ok(PreVoteJust::Hard(ThresholdSignature::decode(r)?)),
+            3 => Ok(PreVoteJust::Coin(ThresholdSignature::decode(r)?)),
+            value => Err(CodecError::BadDiscriminant {
+                what: "PreVoteJust",
+                value,
+            }),
+        }
+    }
+}
+
+impl<E: WireCodec> WireCodec for PreVote<E> {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.round.to_be_bytes());
+        put_bool(buf, self.value);
+        self.just.encode_into(buf);
+        self.share.encode_into(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PreVote {
+            round: r.u64()?,
+            value: get_bool(r)?,
+            just: PreVoteJust::decode(r)?,
+            share: SignatureShare::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for MainVoteValue {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            MainVoteValue::Zero => 0,
+            MainVoteValue::One => 1,
+            MainVoteValue::Abstain => 2,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(MainVoteValue::Zero),
+            1 => Ok(MainVoteValue::One),
+            2 => Ok(MainVoteValue::Abstain),
+            value => Err(CodecError::BadDiscriminant {
+                what: "MainVoteValue",
+                value,
+            }),
+        }
+    }
+}
+
+impl<E: WireCodec> WireCodec for MainVoteJust<E> {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            MainVoteJust::Value(sig) => {
+                buf.push(0);
+                sig.encode_into(buf);
+            }
+            MainVoteJust::Abstain(zero, one) => {
+                buf.push(1);
+                zero.encode_into(buf);
+                one.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(MainVoteJust::Value(ThresholdSignature::decode(r)?)),
+            1 => Ok(MainVoteJust::Abstain(
+                Box::new(PreVote::decode(r)?),
+                Box::new(PreVote::decode(r)?),
+            )),
+            value => Err(CodecError::BadDiscriminant {
+                what: "MainVoteJust",
+                value,
+            }),
+        }
+    }
+}
+
+impl<E: WireCodec> WireCodec for MainVote<E> {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.round.to_be_bytes());
+        self.vote.encode_into(buf);
+        self.just.encode_into(buf);
+        self.share.encode_into(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MainVote {
+            round: r.u64()?,
+            vote: MainVoteValue::decode(r)?,
+            just: MainVoteJust::decode(r)?,
+            share: SignatureShare::decode(r)?,
+        })
+    }
+}
+
+impl<E: WireCodec> WireCodec for AbbaMessage<E> {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            AbbaMessage::PreVote(pv) => {
+                buf.push(0);
+                pv.encode_into(buf);
+            }
+            AbbaMessage::MainVote(mv) => {
+                buf.push(1);
+                mv.encode_into(buf);
+            }
+            AbbaMessage::Coin { round, share } => {
+                buf.push(2);
+                buf.extend_from_slice(&round.to_be_bytes());
+                share.encode_into(buf);
+            }
+            AbbaMessage::Decided {
+                round,
+                value,
+                proof,
+            } => {
+                buf.push(3);
+                buf.extend_from_slice(&round.to_be_bytes());
+                put_bool(buf, *value);
+                proof.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(AbbaMessage::PreVote(PreVote::decode(r)?)),
+            1 => Ok(AbbaMessage::MainVote(MainVote::decode(r)?)),
+            2 => Ok(AbbaMessage::Coin {
+                round: r.u64()?,
+                share: CoinShare::decode(r)?,
+            }),
+            3 => Ok(AbbaMessage::Decided {
+                round: r.u64()?,
+                value: get_bool(r)?,
+                proof: ThresholdSignature::decode(r)?,
+            }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "AbbaMessage",
+                value,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-valued agreement
+// ---------------------------------------------------------------------
+
+impl WireCodec for MvbaMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            MvbaMessage::Proposal { proposer, inner } => {
+                buf.push(0);
+                buf.extend_from_slice(&(*proposer as u32).to_be_bytes());
+                inner.encode_into(buf);
+            }
+            MvbaMessage::ElectCoin { election, share } => {
+                buf.push(1);
+                buf.extend_from_slice(&election.to_be_bytes());
+                share.encode_into(buf);
+            }
+            MvbaMessage::Vote { election, inner } => {
+                buf.push(2);
+                buf.extend_from_slice(&election.to_be_bytes());
+                inner.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(MvbaMessage::Proposal {
+                proposer: r.u32()? as usize,
+                inner: CbcMessage::decode(r)?,
+            }),
+            1 => Ok(MvbaMessage::ElectCoin {
+                election: r.u64()?,
+                share: CoinShare::decode(r)?,
+            }),
+            2 => Ok(MvbaMessage::Vote {
+                election: r.u64()?,
+                inner: AbbaMessage::decode(r)?,
+            }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "MvbaMessage",
+                value,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic broadcast
+// ---------------------------------------------------------------------
+
+impl WireCodec for AbcMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            AbcMessage::Push(p) => {
+                buf.push(0);
+                put_bytes(buf, p);
+            }
+            AbcMessage::Queued {
+                round,
+                payload,
+                sig,
+            } => {
+                buf.push(1);
+                buf.extend_from_slice(&round.to_be_bytes());
+                put_bytes(buf, payload);
+                sig.encode_into(buf);
+            }
+            AbcMessage::Mvba { round, inner } => {
+                buf.push(2);
+                buf.extend_from_slice(&round.to_be_bytes());
+                inner.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(AbcMessage::Push(get_payload(r, "abc payload")?)),
+            1 => Ok(AbcMessage::Queued {
+                round: r.u64()?,
+                payload: get_payload(r, "abc payload")?,
+                sig: Signature::decode(r)?,
+            }),
+            2 => Ok(AbcMessage::Mvba {
+                round: r.u64()?,
+                inner: MvbaMessage::decode(r)?,
+            }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "AbcMessage",
+                value,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Secure causal atomic broadcast
+// ---------------------------------------------------------------------
+
+impl WireCodec for ScabcMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            ScabcMessage::Abc(inner) => {
+                buf.push(0);
+                inner.encode_into(buf);
+            }
+            ScabcMessage::Share { ct_digest, share } => {
+                buf.push(1);
+                buf.extend_from_slice(ct_digest);
+                share.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(ScabcMessage::Abc(AbcMessage::decode(r)?)),
+            1 => Ok(ScabcMessage::Share {
+                ct_digest: r.array::<32>()?,
+                share: DecryptionShare::decode(r)?,
+            }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "ScabcMessage",
+                value,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimistic (parametrized) atomic broadcast
+// ---------------------------------------------------------------------
+
+impl WireCodec for OptMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            OptMessage::Push(p) => {
+                buf.push(0);
+                put_bytes(buf, p);
+            }
+            OptMessage::Propose {
+                epoch,
+                seq,
+                payload,
+            } => {
+                buf.push(1);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                put_bytes(buf, payload);
+            }
+            OptMessage::Prepare {
+                epoch,
+                seq,
+                digest,
+                share,
+            } => {
+                buf.push(2);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(digest);
+                share.encode_into(buf);
+            }
+            OptMessage::Commit {
+                epoch,
+                seq,
+                digest,
+                share,
+            } => {
+                buf.push(3);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(digest);
+                share.encode_into(buf);
+            }
+            OptMessage::Deliver {
+                epoch,
+                seq,
+                digest,
+                cert,
+                payload,
+            } => {
+                buf.push(4);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(digest);
+                cert.encode_into(buf);
+                put_bytes(buf, payload);
+            }
+            OptMessage::Complain { epoch, share } => {
+                buf.push(5);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                share.encode_into(buf);
+            }
+            OptMessage::Report { epoch, report } => {
+                buf.push(6);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                put_bytes(buf, report);
+            }
+            OptMessage::Change { epoch, inner } => {
+                buf.push(7);
+                buf.extend_from_slice(&epoch.to_be_bytes());
+                inner.encode_into(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(OptMessage::Push(get_payload(r, "opt payload")?)),
+            1 => Ok(OptMessage::Propose {
+                epoch: r.u64()?,
+                seq: r.u64()?,
+                payload: get_payload(r, "opt payload")?,
+            }),
+            2 => Ok(OptMessage::Prepare {
+                epoch: r.u64()?,
+                seq: r.u64()?,
+                digest: r.array::<32>()?,
+                share: SignatureShare::decode(r)?,
+            }),
+            3 => Ok(OptMessage::Commit {
+                epoch: r.u64()?,
+                seq: r.u64()?,
+                digest: r.array::<32>()?,
+                share: SignatureShare::decode(r)?,
+            }),
+            4 => Ok(OptMessage::Deliver {
+                epoch: r.u64()?,
+                seq: r.u64()?,
+                digest: r.array::<32>()?,
+                cert: ThresholdSignature::decode(r)?,
+                payload: get_payload(r, "opt payload")?,
+            }),
+            5 => Ok(OptMessage::Complain {
+                epoch: r.u64()?,
+                share: SignatureShare::decode(r)?,
+            }),
+            6 => Ok(OptMessage::Report {
+                epoch: r.u64()?,
+                report: get_payload(r, "opt report")?,
+            }),
+            7 => Ok(OptMessage::Change {
+                epoch: r.u64()?,
+                inner: MvbaMessage::decode(r)?,
+            }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "OptMessage",
+                value,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-detector atomic broadcast
+// ---------------------------------------------------------------------
+
+impl WireCodec for FdMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            FdMessage::Push(p) => {
+                buf.push(0);
+                put_bytes(buf, p);
+            }
+            FdMessage::Order { view, seq, payload } => {
+                buf.push(1);
+                buf.extend_from_slice(&view.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                put_bytes(buf, payload);
+            }
+            FdMessage::Ack { view, seq, digest } => {
+                buf.push(2);
+                buf.extend_from_slice(&view.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(digest);
+            }
+            FdMessage::Suspect { view } => {
+                buf.push(3);
+                buf.extend_from_slice(&view.to_be_bytes());
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(FdMessage::Push(get_payload(r, "fd payload")?)),
+            1 => Ok(FdMessage::Order {
+                view: r.u64()?,
+                seq: r.u64()?,
+                payload: get_payload(r, "fd payload")?,
+            }),
+            2 => Ok(FdMessage::Ack {
+                view: r.u64()?,
+                seq: r.u64()?,
+                digest: r.array::<32>()?,
+            }),
+            3 => Ok(FdMessage::Suspect { view: r.u64()? }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "FdMessage",
+                value,
+            }),
+        }
+    }
+}

@@ -29,7 +29,7 @@ use sintra_obs::{Event, EventKind, Layer};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Baseline wire messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FdMessage {
     /// Client payload dissemination (enters every queue).
     Push(Vec<u8>),

@@ -40,6 +40,7 @@
 pub mod abba;
 pub mod abc;
 pub mod cbc;
+pub mod codec;
 pub mod common;
 pub mod fdabc;
 pub mod harness;

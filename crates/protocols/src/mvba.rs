@@ -43,7 +43,7 @@ use std::sync::Arc;
 pub type ValidityPredicate = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
 
 /// MVBA wire messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MvbaMessage {
     /// Consistent-broadcast traffic for one party's proposal.
     Proposal {

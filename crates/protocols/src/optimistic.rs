@@ -80,7 +80,7 @@ pub struct StateReport {
 }
 
 /// Optimistic-broadcast wire messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum OptMessage {
     /// Payload dissemination into every queue.
     Push(Vec<u8>),

@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Secure-causal-atomic-broadcast wire messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ScabcMessage {
     /// Underlying atomic-broadcast traffic (ciphertext payloads).
     Abc(AbcMessage),

@@ -4,10 +4,13 @@
 //! quantity that matters on a real network and the one in which this
 //! repository's aggregate-signature substitution differs from the
 //! paper's constant-size RSA threshold signatures (see DESIGN.md §3).
-//! Every message type implements [`WireSize`], a close estimate of its
-//! length under the repository's framing conventions (length-prefixed
-//! fields, 32-byte group elements and digests, 64-byte
-//! signatures/proofs).
+//! Every message type implements [`WireSize`], which reports exactly
+//! the length of the message's canonical binary encoding (see
+//! [`crate::codec`]): length-prefixed fields, 32-byte group elements
+//! and digests, 64-byte signatures, 96-byte commitment-form proofs.
+//! The codec round-trip tests assert `wire_size == encode().len()` for
+//! every message type, so these figures are checked against reality
+//! rather than estimated.
 
 use crate::abba::{AbbaMessage, MainVoteJust, PreVote, PreVoteJust};
 use crate::abc::AbcMessage;
@@ -102,7 +105,9 @@ impl WireSize for AbcMessage {
     fn wire_size(&self) -> usize {
         match self {
             AbcMessage::Push(p) => TAG + 4 + p.len(),
-            AbcMessage::Queued { payload, .. } => TAG + SEQ + 4 + payload.len() + 64,
+            AbcMessage::Queued { payload, sig, .. } => {
+                TAG + SEQ + 4 + payload.len() + sig.size_bytes()
+            }
             AbcMessage::Mvba { inner, .. } => TAG + SEQ + inner.wire_size(),
         }
     }
