@@ -163,6 +163,39 @@ impl StateMachine for AuthService {
             None => b"ERR malformed".to_vec(),
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // Ordered map iteration keeps the encoding canonical.
+        let mut out = (self.verifiers.len() as u32).to_be_bytes().to_vec();
+        for (user, verifier) in &self.verifiers {
+            put(&mut out, user);
+            out.extend_from_slice(verifier);
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        let Some((count, mut rest)) = snapshot.split_first_chunk::<4>() else {
+            return false;
+        };
+        let count = u32::from_be_bytes(*count) as usize;
+        let mut verifiers = BTreeMap::new();
+        for _ in 0..count {
+            let Some(user) = take(&mut rest) else {
+                return false;
+            };
+            let Some((verifier, tail)) = rest.split_first_chunk::<32>() else {
+                return false;
+            };
+            rest = tail;
+            verifiers.insert(user, *verifier);
+        }
+        if !rest.is_empty() {
+            return false;
+        }
+        self.verifiers = verifiers;
+        true
+    }
 }
 
 #[cfg(test)]

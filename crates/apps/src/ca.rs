@@ -228,6 +228,79 @@ impl StateMachine for CertificationAuthority {
             None => b"ERR malformed".to_vec(),
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = self.next_serial.to_be_bytes().to_vec();
+        out.extend_from_slice(&self.policy_version.to_be_bytes());
+        put(&mut out, &self.policy);
+        out.extend_from_slice(&(self.certs.len() as u32).to_be_bytes());
+        for rec in self.certs.values() {
+            out.extend_from_slice(&rec.serial.to_be_bytes());
+            out.extend_from_slice(&rec.policy_version.to_be_bytes());
+            out.push(rec.revoked as u8);
+            put(&mut out, &rec.subject);
+            put(&mut out, &rec.public_key);
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        let mut rest = snapshot;
+        let u64_field = |rest: &mut &[u8]| -> Option<u64> {
+            let (head, tail) = rest.split_first_chunk::<8>()?;
+            *rest = tail;
+            Some(u64::from_be_bytes(*head))
+        };
+        let Some(next_serial) = u64_field(&mut rest) else {
+            return false;
+        };
+        let Some(policy_version) = u64_field(&mut rest) else {
+            return false;
+        };
+        let Some(policy) = take(&mut rest) else {
+            return false;
+        };
+        let Some((count, tail)) = rest.split_first_chunk::<4>() else {
+            return false;
+        };
+        rest = tail;
+        let count = u32::from_be_bytes(*count) as usize;
+        let mut certs = BTreeMap::new();
+        for _ in 0..count {
+            let (Some(serial), Some(rec_policy)) = (u64_field(&mut rest), u64_field(&mut rest))
+            else {
+                return false;
+            };
+            let Some((&[revoked], tail)) = rest.split_first_chunk::<1>() else {
+                return false;
+            };
+            rest = tail;
+            if revoked > 1 {
+                return false;
+            }
+            let (Some(subject), Some(public_key)) = (take(&mut rest), take(&mut rest)) else {
+                return false;
+            };
+            certs.insert(
+                serial,
+                CertRecord {
+                    serial,
+                    subject,
+                    public_key,
+                    policy_version: rec_policy,
+                    revoked: revoked == 1,
+                },
+            );
+        }
+        if !rest.is_empty() {
+            return false;
+        }
+        self.next_serial = next_serial;
+        self.policy = policy;
+        self.policy_version = policy_version;
+        self.certs = certs;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -165,6 +165,39 @@ impl StateMachine for DirectoryService {
             None => b"ERR malformed".to_vec(),
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = self.version.to_be_bytes().to_vec();
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for (name, value) in &self.entries {
+            put(&mut out, name);
+            put(&mut out, value);
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        let Some((version, rest)) = snapshot.split_first_chunk::<8>() else {
+            return false;
+        };
+        let Some((count, mut rest)) = rest.split_first_chunk::<4>() else {
+            return false;
+        };
+        let count = u32::from_be_bytes(*count) as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let (Some(name), Some(value)) = (take(&mut rest), take(&mut rest)) else {
+                return false;
+            };
+            entries.insert(name, value);
+        }
+        if !rest.is_empty() {
+            return false;
+        }
+        self.version = u64::from_be_bytes(*version);
+        self.entries = entries;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,53 @@ impl StateMachine for NotaryService {
             None => b"ERR malformed".to_vec(),
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = self.next_number.to_be_bytes().to_vec();
+        out.extend_from_slice(&(self.registry.len() as u32).to_be_bytes());
+        for (document, reg) in &self.registry {
+            put(&mut out, document);
+            out.extend_from_slice(&reg.number.to_be_bytes());
+            put(&mut out, &reg.registrant);
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        let Some((next_number, rest)) = snapshot.split_first_chunk::<8>() else {
+            return false;
+        };
+        let Some((count, mut rest)) = rest.split_first_chunk::<4>() else {
+            return false;
+        };
+        let count = u32::from_be_bytes(*count) as usize;
+        let mut registry = BTreeMap::new();
+        for _ in 0..count {
+            let Some(document) = crate::codec::take(&mut rest) else {
+                return false;
+            };
+            let Some((number, tail)) = rest.split_first_chunk::<8>() else {
+                return false;
+            };
+            rest = tail;
+            let Some(registrant) = crate::codec::take(&mut rest) else {
+                return false;
+            };
+            registry.insert(
+                document,
+                Registration {
+                    number: u64::from_be_bytes(*number),
+                    registrant,
+                },
+            );
+        }
+        if !rest.is_empty() {
+            return false;
+        }
+        self.next_number = u64::from_be_bytes(*next_number);
+        self.registry = registry;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use sintra::net::sim::AdaptiveScheduler;
 use sintra::net::{Envelope, Simulation};
 use sintra::protocols::abc::AbcMessage;
 use sintra::protocols::scabc::ScabcMessage;
-use sintra::rsm::{atomic_replicas, causal_replicas};
+use sintra::rsm::{atomic_replicas, causal_replicas, RsmMessage};
 use sintra::setup::dealt_system;
 
 const DOC: &[u8] = b"novel zero-day patch";
@@ -55,39 +55,41 @@ fn race_plain(seed: u64) -> (&'static str, u64) {
     let replicas = atomic_replicas(public, bundles, |_| NotaryService::new(), seed);
     let seen = Arc::new(AtomicBool::new(false));
     let seen_s = Arc::clone(&seen);
-    let scheduler = AdaptiveScheduler::new(move |pool: &[Envelope<AbcMessage>], _, rng| {
-        if pool.iter().any(|e| bench::abc_message_leaks(&e.msg, DOC)) {
-            seen_s.store(true, Ordering::Relaxed);
-        }
-        // Mallory's traffic goes first.
-        if let Some(i) = pool
-            .iter()
-            .position(|e| bench::abc_message_leaks(&e.msg, b"mallory"))
-        {
-            return i;
-        }
-        let safe: Vec<usize> = pool
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !bench::abc_message_leaks(&e.msg, b"alice"))
-            .map(|(i, _)| i)
-            .collect();
-        if !safe.is_empty() {
-            return safe[rng.next_below(safe.len() as u64) as usize];
-        }
-        // Forced to deliver Alice-tainted traffic: sacrifice server 6
-        // (and 0, her entry point) so servers 1-5 stay clean.
-        let rank = |e: &Envelope<AbcMessage>| match e.to {
-            6 => 0u8,
-            0 => 1,
-            _ => 2,
-        };
-        pool.iter()
-            .enumerate()
-            .min_by_key(|(_, e)| rank(e))
-            .map(|(i, _)| i)
-            .expect("pool nonempty")
-    });
+    let leaks = |m: &RsmMessage<AbcMessage>, needle: &[u8]| match m {
+        RsmMessage::Order(inner) => bench::abc_message_leaks(inner, needle),
+        _ => false,
+    };
+    let scheduler =
+        AdaptiveScheduler::new(move |pool: &[Envelope<RsmMessage<AbcMessage>>], _, rng| {
+            if pool.iter().any(|e| leaks(&e.msg, DOC)) {
+                seen_s.store(true, Ordering::Relaxed);
+            }
+            // Mallory's traffic goes first.
+            if let Some(i) = pool.iter().position(|e| leaks(&e.msg, b"mallory")) {
+                return i;
+            }
+            let safe: Vec<usize> = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !leaks(&e.msg, b"alice"))
+                .map(|(i, _)| i)
+                .collect();
+            if !safe.is_empty() {
+                return safe[rng.next_below(safe.len() as u64) as usize];
+            }
+            // Forced to deliver Alice-tainted traffic: sacrifice server 6
+            // (and 0, her entry point) so servers 1-5 stay clean.
+            let rank = |e: &Envelope<RsmMessage<AbcMessage>>| match e.to {
+                6 => 0u8,
+                0 => 1,
+                _ => 2,
+            };
+            pool.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| rank(e))
+                .map(|(i, _)| i)
+                .expect("pool nonempty")
+        });
     let mut sim = Simulation::builder(replicas, scheduler).seed(seed).build();
     sim.input(0, filing(b"alice"));
     let mut injected = false;
@@ -106,16 +108,17 @@ fn race_causal(seed: u64) -> (&'static str, u64) {
     let replicas = causal_replicas(public, bundles, |_| NotaryService::new(), seed);
     let seen = Arc::new(AtomicBool::new(false));
     let seen_s = Arc::clone(&seen);
-    let scheduler = AdaptiveScheduler::new(move |pool: &[Envelope<ScabcMessage>], _, rng| {
-        let leak = pool.iter().any(|e| match &e.msg {
-            ScabcMessage::Abc(inner) => bench::abc_message_leaks(inner, DOC),
-            _ => false,
+    let scheduler =
+        AdaptiveScheduler::new(move |pool: &[Envelope<RsmMessage<ScabcMessage>>], _, rng| {
+            let leak = pool.iter().any(|e| match &e.msg {
+                RsmMessage::Order(ScabcMessage::Abc(inner)) => bench::abc_message_leaks(inner, DOC),
+                _ => false,
+            });
+            if leak {
+                seen_s.store(true, Ordering::Relaxed);
+            }
+            rng.next_below(pool.len() as u64) as usize
         });
-        if leak {
-            seen_s.store(true, Ordering::Relaxed);
-        }
-        rng.next_below(pool.len() as u64) as usize
-    });
     let mut sim = Simulation::builder(replicas, scheduler).seed(seed).build();
     sim.input(0, filing(b"alice"));
     let mut injected = false;

@@ -1,0 +1,182 @@
+//! Bounded-memory soak: drives the replicated state machine over at
+//! least 1000 agreement rounds and asserts — via the observability
+//! gauges, i.e. the numbers an operator would actually watch — that
+//! retained state stays bounded by the GC window and the checkpoint
+//! interval instead of growing with history. Exits nonzero on any
+//! violation, so CI can gate on it (the `memory-soak` job).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin memory_soak
+//! cargo run --release -p bench --bin memory_soak -- --rounds 1500
+//! ```
+//!
+//! The gauges are sampled periodically *during* the run, not only at
+//! the end: a leak that a final GC pass would reclaim still trips the
+//! bound it violated along the way.
+
+use bench::print_table;
+use sintra::net::{RandomScheduler, Simulation};
+use sintra::rsm::{atomic_replicas, KvMachine, OrderingLayer};
+use sintra::setup::dealt_system;
+
+const N: usize = 4;
+
+/// Watermark acks piggyback on round traffic, so the observed
+/// retention briefly overshoots the GC window; allow a few rounds.
+const WATERMARK_SLACK: u64 = 8;
+
+/// Gauge-sampling period, in input batches.
+const SAMPLE_EVERY: u64 = 25;
+
+#[derive(Default)]
+struct Maxima {
+    retained_rounds: u64,
+    abc_retained_bytes: u64,
+    log_entries: u64,
+    reply_cache: u64,
+    rsm_retained_bytes: u64,
+}
+
+impl Maxima {
+    fn sample(&mut self, gauges: &std::collections::BTreeMap<String, u64>) {
+        let g = |name: &str| gauges.get(name).copied().unwrap_or(0);
+        self.retained_rounds = self.retained_rounds.max(g("abc.retained_rounds"));
+        self.abc_retained_bytes = self.abc_retained_bytes.max(g("abc.retained_bytes"));
+        self.log_entries = self.log_entries.max(g("rsm.log_entries"));
+        self.reply_cache = self.reply_cache.max(g("rsm.reply_cache"));
+        self.rsm_retained_bytes = self.rsm_retained_bytes.max(g("rsm.retained_bytes"));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target_rounds: u64 = 1000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rounds" => {
+                i += 1;
+                target_rounds = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(r) => r,
+                    None => {
+                        eprintln!("--rounds needs a number");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: memory_soak [--rounds N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (public, bundles) = dealt_system(N, 1, 77).expect("valid parameters");
+    let replicas = atomic_replicas(public, bundles, |_| KvMachine::new(), 77);
+    let mut sim = Simulation::builder(replicas, RandomScheduler)
+        .seed(78)
+        .instrument(256)
+        .build();
+
+    let gc_window = sim.node(0).expect("node").layer().gc_window();
+    let ckpt_interval = sim.node(0).expect("node").ckpt_interval();
+
+    let started = std::time::Instant::now();
+    let mut maxima: Vec<Maxima> = (0..N).map(|_| Maxima::default()).collect();
+    let mut batches = 0u64;
+    loop {
+        let round = sim.node(0).expect("node").layer().current_round();
+        if round >= target_rounds {
+            break;
+        }
+        // Overwrite a fixed handful of keys so state-machine growth can
+        // neither mask nor mimic retained-history growth.
+        for p in 0..N {
+            sim.input(
+                p,
+                KvMachine::encode_set(format!("k{p}").as_bytes(), &batches.to_be_bytes()),
+            );
+        }
+        sim.run_until_quiet(200_000_000);
+        batches += 1;
+        if batches.is_multiple_of(SAMPLE_EVERY) {
+            for (p, m) in maxima.iter_mut().enumerate() {
+                m.sample(&sim.obs(p).metrics_snapshot().gauges);
+            }
+        }
+    }
+    for (p, m) in maxima.iter_mut().enumerate() {
+        m.sample(&sim.obs(p).metrics_snapshot().gauges);
+    }
+    let final_round = sim.node(0).expect("node").layer().current_round();
+
+    // Every replica must have applied the same prefix — a soak that
+    // diverged would make the retention numbers meaningless.
+    let applied: Vec<u64> = (0..N)
+        .map(|p| sim.node(p).expect("node").applied())
+        .collect();
+    assert!(
+        applied.iter().all(|&a| a == applied[0] && a > 0),
+        "replicas applied identical prefixes: {applied:?}"
+    );
+
+    // Bounds. Retained rounds are capped by the GC window (plus ack
+    // lag). The log holds at most the entries since the last stable
+    // checkpoint: ≤ n payloads per round over roughly one interval,
+    // with generous slack for stabilization lag. Byte bounds are loose
+    // sanity caps — the payloads here are tens of bytes.
+    let bounds = [
+        ("abc.retained_rounds", gc_window + WATERMARK_SLACK),
+        ("abc.retained_bytes", 256 * 1024),
+        (
+            "rsm.log_entries",
+            (N as u64) * ckpt_interval * 4 + WATERMARK_SLACK,
+        ),
+        ("rsm.reply_cache", 1024),
+        ("rsm.retained_bytes", 256 * 1024),
+    ];
+
+    let mut rows = Vec::new();
+    let mut violations = 0u32;
+    for (p, m) in maxima.iter().enumerate() {
+        let observed = [
+            m.retained_rounds,
+            m.abc_retained_bytes,
+            m.log_entries,
+            m.reply_cache,
+            m.rsm_retained_bytes,
+        ];
+        for ((name, bound), got) in bounds.iter().zip(observed) {
+            let ok = got <= *bound;
+            if !ok {
+                violations += 1;
+            }
+            rows.push(vec![
+                p.to_string(),
+                (*name).to_string(),
+                got.to_string(),
+                bound.to_string(),
+                if ok { "ok".into() } else { "EXCEEDED".into() },
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "memory soak: {final_round} rounds, n={N}, gc_window={gc_window}, \
+             ckpt_interval={ckpt_interval}, {:.1}s",
+            started.elapsed().as_secs_f64()
+        ),
+        &["party", "gauge (max observed)", "value", "bound", "verdict"],
+        &rows,
+    );
+    assert!(
+        final_round >= target_rounds,
+        "soak reached its round target"
+    );
+    if violations > 0 {
+        eprintln!("memory soak FAILED: {violations} gauge bound(s) exceeded");
+        std::process::exit(1);
+    }
+    println!("\nretained state stayed bounded over {final_round} rounds ✓");
+}

@@ -41,5 +41,7 @@ pub use sim::{
     AdaptiveScheduler, Behavior, Envelope, FifoScheduler, LifoScheduler, LossyScheduler,
     PartitionScheduler, RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,
 };
-pub use tcp_runtime::{run_tcp, run_tcp_node, run_tcp_observed, TcpNodeConfig, TcpNodeReport};
+pub use tcp_runtime::{
+    run_tcp, run_tcp_node, run_tcp_observed, HandshakeError, TcpNodeConfig, TcpNodeReport,
+};
 pub use thread_runtime::{run_threaded, ThreadRunReport};

@@ -58,6 +58,53 @@ use std::time::{Duration, Instant};
 /// Handshake magic ("SNTR"): rejects strays that are not a sintra peer.
 const MAGIC: u32 = 0x534E_5452;
 
+/// Why an inbound connection's handshake was refused. The connection is
+/// dropped either way; the variants exist so rejects are *countable*
+/// and diagnosable rather than silently swallowed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// The peer closed (or stalled past the deadline) before sending
+    /// the full 8-byte preamble.
+    Truncated,
+    /// The first word was not [`MAGIC`] — a stray or a port scanner.
+    BadMagic(u32),
+    /// The claimed sender id is outside `0..n`.
+    BadParty {
+        /// The id the peer claimed.
+        claimed: u32,
+        /// The mesh size it must be below.
+        n: usize,
+    },
+}
+
+impl core::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "handshake truncated"),
+            Self::BadMagic(m) => write!(f, "bad handshake magic {m:#010x}"),
+            Self::BadParty { claimed, n } => {
+                write!(f, "claimed party {claimed} outside mesh of {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// Parses the 8-byte preamble (`magic ‖ sender id`, both u32 BE).
+fn parse_handshake(hs: &[u8; 8], n: usize) -> Result<PartyId, HandshakeError> {
+    let (magic, peer) = hs.split_at(4);
+    let magic = u32::from_be_bytes(magic.try_into().map_err(|_| HandshakeError::Truncated)?);
+    let claimed = u32::from_be_bytes(peer.try_into().map_err(|_| HandshakeError::Truncated)?);
+    if magic != MAGIC {
+        return Err(HandshakeError::BadMagic(magic));
+    }
+    if claimed as usize >= n {
+        return Err(HandshakeError::BadParty { claimed, n });
+    }
+    Ok(claimed as usize)
+}
+
 /// Writer threads coalesce queued frames up to this many bytes per
 /// syscall.
 const COALESCE_BYTES: usize = 64 * 1024;
@@ -99,6 +146,9 @@ pub struct TcpNodeReport<O> {
     pub bytes_sent: u64,
     /// Frame bytes read from peers (handshakes excluded).
     pub bytes_recv: u64,
+    /// Inbound connections dropped for a bad handshake (see
+    /// [`HandshakeError`]).
+    pub handshake_rejects: u64,
     /// Metrics snapshot — empty unless a recorder capacity was set.
     pub metrics: MetricsSnapshot,
 }
@@ -127,6 +177,7 @@ struct TcpMesh<M> {
     outbound: Vec<Option<Sender<Vec<u8>>>>,
     bytes_sent: Arc<AtomicU64>,
     bytes_recv: Arc<AtomicU64>,
+    handshake_rejects: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
     io_threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -140,6 +191,7 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
         let (inbox_tx, inbox_rx) = unbounded::<(PartyId, M)>();
         let bytes_sent = Arc::new(AtomicU64::new(0));
         let bytes_recv = Arc::new(AtomicU64::new(0));
+        let handshake_rejects = Arc::new(AtomicU64::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut io_threads = Vec::new();
 
@@ -149,9 +201,17 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
         {
             let inbox_tx = inbox_tx.clone();
             let bytes_recv = Arc::clone(&bytes_recv);
+            let handshake_rejects = Arc::clone(&handshake_rejects);
             let shutdown = Arc::clone(&shutdown);
             io_threads.push(std::thread::spawn(move || {
-                accept_loop::<M>(listener, n, inbox_tx, bytes_recv, shutdown);
+                accept_loop::<M>(
+                    listener,
+                    n,
+                    inbox_tx,
+                    bytes_recv,
+                    handshake_rejects,
+                    shutdown,
+                );
             }));
         }
 
@@ -179,6 +239,7 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
             outbound,
             bytes_sent,
             bytes_recv,
+            handshake_rejects,
             shutdown,
             io_threads,
         })
@@ -208,7 +269,7 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
     /// Flushes and tears down: writers drain their queues, close their
     /// sockets (peers see EOF), and are joined along with the acceptor.
     /// Reader threads exit on their peers' EOF and are left detached.
-    fn shutdown(mut self) -> (u64, u64) {
+    fn shutdown(mut self) -> (u64, u64, u64) {
         self.shutdown.store(true, Ordering::Relaxed);
         self.outbound.clear(); // drop senders: writers exit after drain
         for h in self.io_threads.drain(..) {
@@ -217,6 +278,7 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
         (
             self.bytes_sent.load(Ordering::Relaxed),
             self.bytes_recv.load(Ordering::Relaxed),
+            self.handshake_rejects.load(Ordering::Relaxed),
         )
     }
 }
@@ -226,6 +288,7 @@ fn accept_loop<M: WireCodec + Send + 'static>(
     n: usize,
     inbox_tx: Sender<(PartyId, M)>,
     bytes_recv: Arc<AtomicU64>,
+    handshake_rejects: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
 ) {
     loop {
@@ -240,15 +303,18 @@ fn accept_loop<M: WireCodec + Send + 'static>(
                 // park this loop's connection slot forever.
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                 let mut hs = [0u8; 8];
-                if stream.read_exact(&mut hs).is_err() {
-                    continue;
-                }
-                let magic = u32::from_be_bytes(hs[..4].try_into().expect("4 bytes"));
-                let peer = u32::from_be_bytes(hs[4..].try_into().expect("4 bytes")) as usize;
-                if magic != MAGIC || peer >= n {
-                    let _ = stream.shutdown(Shutdown::Both);
-                    continue;
-                }
+                let verdict = match stream.read_exact(&mut hs) {
+                    Ok(()) => parse_handshake(&hs, n),
+                    Err(_) => Err(HandshakeError::Truncated),
+                };
+                let peer = match verdict {
+                    Ok(peer) => peer,
+                    Err(_) => {
+                        handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                };
                 let _ = stream.set_read_timeout(None);
                 let inbox = inbox_tx.clone();
                 let counter = Arc::clone(&bytes_recv);
@@ -462,10 +528,11 @@ where
         }
     }
 
-    let (bytes_sent, bytes_recv) = mesh.shutdown();
+    let (bytes_sent, bytes_recv, handshake_rejects) = mesh.shutdown();
     if obs.is_enabled() {
         obs.add(Layer::Net, "tcp_bytes_sent", bytes_sent);
         obs.add(Layer::Net, "tcp_bytes_recv", bytes_recv);
+        obs.add(Layer::Net, "handshake_rejected", handshake_rejects);
     }
     Ok(TcpNodeReport {
         outputs,
@@ -473,6 +540,7 @@ where
         dropped,
         bytes_sent,
         bytes_recv,
+        handshake_rejects,
         metrics: obs.metrics_snapshot(),
     })
 }
@@ -627,10 +695,11 @@ where
                     }
                 }
             }
-            let (bytes_sent, bytes_recv) = mesh.shutdown();
+            let (bytes_sent, bytes_recv, handshake_rejects) = mesh.shutdown();
             if my_obs.is_enabled() {
                 my_obs.add(Layer::Net, "tcp_bytes_sent", bytes_sent);
                 my_obs.add(Layer::Net, "tcp_bytes_recv", bytes_recv);
+                my_obs.add(Layer::Net, "handshake_rejected", handshake_rejects);
             }
         }));
     }
@@ -728,6 +797,70 @@ mod tests {
             "bytes crossed real sockets"
         );
         assert!(merged.counter("net.tcp_bytes_recv") > 0);
+    }
+
+    #[test]
+    fn handshake_parse_classifies_errors() {
+        let mut hs = [0u8; 8];
+        hs[..4].copy_from_slice(&MAGIC.to_be_bytes());
+        hs[4..].copy_from_slice(&2u32.to_be_bytes());
+        assert_eq!(parse_handshake(&hs, 4), Ok(2));
+        assert_eq!(
+            parse_handshake(&hs, 2),
+            Err(HandshakeError::BadParty { claimed: 2, n: 2 })
+        );
+        hs[..4].copy_from_slice(&0xDEAD_BEEFu32.to_be_bytes());
+        assert_eq!(
+            parse_handshake(&hs, 4),
+            Err(HandshakeError::BadMagic(0xDEAD_BEEF))
+        );
+    }
+
+    #[test]
+    fn garbage_handshakes_are_rejected_and_counted() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Peer 1's address is never dialed in this test; port 1 refuses.
+        let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
+        let mesh: TcpMesh<Word> = TcpMesh::start(0, &addrs, listener).expect("mesh");
+
+        // Wrong magic: dropped, and the socket sees EOF, not a frame.
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut hs = [0u8; 8];
+            hs[..4].copy_from_slice(&0xDEAD_BEEFu32.to_be_bytes());
+            s.write_all(&hs).expect("write");
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut buf = [0u8; 1];
+            assert_eq!(s.read(&mut buf).unwrap_or(0), 0, "connection dropped");
+        }
+        // Truncated handshake: close after three bytes.
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&MAGIC.to_be_bytes()[..3]).expect("write");
+        }
+        // Out-of-range sender id.
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut hs = [0u8; 8];
+            hs[..4].copy_from_slice(&MAGIC.to_be_bytes());
+            hs[4..].copy_from_slice(&7u32.to_be_bytes());
+            s.write_all(&hs).expect("write");
+        }
+        // An honest peer still gets through afterwards.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut hs = [0u8; 8];
+        hs[..4].copy_from_slice(&MAGIC.to_be_bytes());
+        hs[4..].copy_from_slice(&1u32.to_be_bytes());
+        s.write_all(&hs).expect("write");
+        s.write_all(&encode_frame(&Word(7)).expect("fits"))
+            .expect("write");
+        let got = mesh
+            .recv_timeout(Duration::from_secs(10))
+            .expect("frame delivered");
+        assert_eq!(got, (1, Word(7)));
+        let (_, _, rejects) = mesh.shutdown();
+        assert_eq!(rejects, 3, "each garbage connection counted once");
     }
 
     #[test]

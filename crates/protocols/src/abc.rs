@@ -31,7 +31,7 @@ use sintra_crypto::rng::SeededRng as Rng;
 use sintra_crypto::schnorr::Signature;
 use sintra_net::protocol::{Context, Effects, Protocol};
 use sintra_obs::{Event, EventKind, Layer};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Atomic-broadcast wire messages.
@@ -83,6 +83,11 @@ pub(crate) fn observe_wire(ctx: &Context, dir: &'static str, m: &AbcMessage) {
 pub struct AbcDeliver {
     /// Position in the total order (0-based, consecutive).
     pub seq: u64,
+    /// The agreement round whose decided list carried the payload.
+    /// Deterministic across honest parties, which is what lets the RSM
+    /// layer bind checkpoints to a round number every replica agrees
+    /// on.
+    pub round: u64,
     /// The party whose round proposal carried the payload.
     pub origin: PartyId,
     /// The delivered payload.
@@ -109,6 +114,15 @@ const ROUND_RETROSPECT: u64 = 16;
 /// [`AtomicBroadcast::set_push_bound`]).
 const DEFAULT_PUSH_BOUND: usize = 1024;
 
+/// Default garbage-collection window (see
+/// [`AtomicBroadcast::set_gc_window`]): the hard cap on how many
+/// completed rounds of working state (decided lists, proposal sets,
+/// MVBA machines) are retained for parties that have not acknowledged
+/// them. A party that falls further behind than this must catch up via
+/// the RSM checkpoint/state-transfer path instead of from round
+/// transcripts.
+const DEFAULT_GC_WINDOW: u64 = 64;
+
 /// Atomic broadcast endpoint at one server.
 pub struct AtomicBroadcast {
     tag: Tag,
@@ -130,13 +144,20 @@ pub struct AtomicBroadcast {
     push_bound: usize,
     /// Verified round proposals per round and party.
     proposals: BTreeMap<u64, HashMap<PartyId, (Vec<u8>, Signature)>>,
-    sent_queued: HashSet<u64>,
-    mvba_proposed: HashSet<u64>,
+    sent_queued: BTreeSet<u64>,
+    mvba_proposed: BTreeSet<u64>,
     mvbas: BTreeMap<u64, Mvba>,
     decided_lists: BTreeMap<u64, Vec<u8>>,
     next_seq: u64,
     /// Total rounds completed (observability for benchmarks).
     rounds_completed: u64,
+    /// Highest round each peer has provably reached: a correctly signed
+    /// `Queued` proposal for round `r` acknowledges delivery of every
+    /// round below `r`. Our own entry tracks `self.round`.
+    ack_round: Vec<u64>,
+    /// Hard retention cap for completed-round state (see
+    /// [`set_gc_window`](Self::set_gc_window)).
+    gc_window: u64,
 }
 
 impl core::fmt::Debug for AtomicBroadcast {
@@ -173,12 +194,14 @@ impl AtomicBroadcast {
             charged: HashMap::new(),
             push_bound: DEFAULT_PUSH_BOUND,
             proposals: BTreeMap::new(),
-            sent_queued: HashSet::new(),
-            mvba_proposed: HashSet::new(),
+            sent_queued: BTreeSet::new(),
+            mvba_proposed: BTreeSet::new(),
             mvbas: BTreeMap::new(),
             decided_lists: BTreeMap::new(),
             next_seq: 0,
             rounds_completed: 0,
+            ack_round: vec![0; n],
+            gc_window: DEFAULT_GC_WINDOW,
         }
     }
 
@@ -213,6 +236,52 @@ impl AtomicBroadcast {
     /// [`ROUND_LOOKAHEAD`] plus the current round.
     pub fn tracked_rounds(&self) -> usize {
         self.proposals.len().max(self.mvbas.len())
+    }
+
+    /// Number of completed rounds whose decided lists are still
+    /// retained (the quantity the GC watermark bounds).
+    pub fn retained_rounds(&self) -> usize {
+        self.decided_lists.len()
+    }
+
+    /// Approximate bytes of retained completed-round state: decided
+    /// list encodings plus buffered round proposals.
+    pub fn retained_bytes(&self) -> usize {
+        let lists: usize = self.decided_lists.values().map(Vec::len).sum();
+        let props: usize = self
+            .proposals
+            .values()
+            .flat_map(|m| m.values())
+            .map(|(p, _)| p.len() + 64)
+            .sum();
+        lists + props
+    }
+
+    /// The stable low-watermark: every round below it has been pruned.
+    /// It trails the slowest acknowledged party, but never lags the
+    /// current round by more than the GC window — a silent (crashed or
+    /// Byzantine) party cannot hold memory hostage; it rejoins via
+    /// state transfer instead.
+    pub fn gc_watermark(&self) -> u64 {
+        let mut low = self.round;
+        for (p, acked) in self.ack_round.iter().enumerate() {
+            if p != self.me {
+                low = low.min(*acked);
+            }
+        }
+        low.max(self.round.saturating_sub(self.gc_window))
+    }
+
+    /// The GC retention cap, in rounds.
+    pub fn gc_window(&self) -> u64 {
+        self.gc_window
+    }
+
+    /// Sets the hard cap on retained completed rounds. State for rounds
+    /// older than `window` below the current round is reclaimed even if
+    /// some party never acknowledged them.
+    pub fn set_gc_window(&mut self, window: u64) {
+        self.gc_window = window.max(1);
     }
 
     /// The per-sender budget of buffered pushed payloads.
@@ -301,6 +370,10 @@ impl AtomicBroadcast {
                 if !self.public.auth_key(from).verify(&msg_bytes, &sig) {
                     return Vec::new();
                 }
+                // A correctly signed proposal for round `r` proves the
+                // sender delivered every round below `r` — it is the GC
+                // acknowledgement, piggybacked on existing traffic.
+                self.ack_round[from] = self.ack_round[from].max(round);
                 self.proposals
                     .entry(round)
                     .or_default()
@@ -395,15 +468,11 @@ impl AtomicBroadcast {
             }
             // 3. Deliver a decided round and advance.
             if let Some(list) = self.decided_lists.get(&r).cloned() {
-                delivered.extend(self.deliver_list(&list));
+                delivered.extend(self.deliver_list(r, &list));
                 self.round = r + 1;
                 self.rounds_completed += 1;
-                // Reclaim working state outside the served window: recent
-                // rounds stay answerable for laggards (see
-                // [`ROUND_RETROSPECT`]), older ones are dropped.
-                let keep_from = self.round.saturating_sub(ROUND_RETROSPECT);
-                self.mvbas = self.mvbas.split_off(&keep_from);
-                self.proposals.remove(&r);
+                self.ack_round[self.me] = self.round;
+                self.collect_garbage();
                 continue;
             }
             break;
@@ -411,7 +480,56 @@ impl AtomicBroadcast {
         delivered
     }
 
-    fn deliver_list(&mut self, list: &[u8]) -> Vec<AbcDeliver> {
+    /// Reclaims completed-round state below the stable low-watermark
+    /// (decided lists, proposal sets) and outside the served window
+    /// (MVBA machines, bookkeeping sets). Recent rounds stay answerable
+    /// for laggards (see [`ROUND_RETROSPECT`]); anything older than the
+    /// watermark is recoverable only via RSM state transfer.
+    fn collect_garbage(&mut self) {
+        let watermark = self.gc_watermark();
+        self.decided_lists = self.decided_lists.split_off(&watermark);
+        self.proposals = self.proposals.split_off(&self.round);
+        let keep_from = self.round.saturating_sub(ROUND_RETROSPECT);
+        self.mvbas = self.mvbas.split_off(&keep_from);
+        // Round flags are only consulted for the current round.
+        self.sent_queued = self.sent_queued.split_off(&self.round);
+        self.mvba_proposed = self.mvba_proposed.split_off(&self.round);
+    }
+
+    /// Jumps the endpoint forward after an out-of-band catch-up (RSM
+    /// state transfer): delivery resumes at `next_seq` in round
+    /// `next_round`. All working state for skipped rounds is dropped —
+    /// their effects are already reflected in the restored application
+    /// snapshot. Delivered-payload dedup history for the skipped prefix
+    /// is not recovered, so the caller must tolerate (or the upper layer
+    /// must filter) re-delivery of old payloads re-proposed after the
+    /// jump.
+    pub fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
+        if next_round <= self.round && next_seq <= self.next_seq {
+            return; // already caught up
+        }
+        self.next_seq = self.next_seq.max(next_seq);
+        self.round = self.round.max(next_round);
+        self.ack_round[self.me] = self.round;
+        self.decided_lists = self.decided_lists.split_off(&self.round);
+        self.proposals = self.proposals.split_off(&self.round);
+        self.mvbas = self.mvbas.split_off(&self.round);
+        self.sent_queued = self.sent_queued.split_off(&self.round);
+        self.mvba_proposed = self.mvba_proposed.split_off(&self.round);
+        // Drop the pending queue: payloads pushed to us while we lagged
+        // were mostly ordered (and reflected in the restored snapshot)
+        // long ago. Re-proposing them would burn rounds the others skip
+        // by dedup — and, with our own dedup history gone, we would
+        // re-deliver them and our sequence numbers would skew forever.
+        // An honest push reached every party, so anything genuinely
+        // undelivered is still in the survivors' queues; clients retry.
+        self.queue.clear();
+        self.queued_digests.clear();
+        self.charged.clear();
+        self.push_debt.fill(0);
+    }
+
+    fn deliver_list(&mut self, round: u64, list: &[u8]) -> Vec<AbcDeliver> {
         let mut entries = decode_list(list).expect("decided lists passed external validity");
         entries.sort_by_key(|(party, _, _)| *party);
         let mut delivered = Vec::new();
@@ -433,6 +551,7 @@ impl AtomicBroadcast {
             }
             delivered.push(AbcDeliver {
                 seq: self.next_seq,
+                round,
                 origin,
                 payload,
             });
@@ -530,6 +649,31 @@ impl AbcNode {
     pub fn endpoint(&self) -> &AtomicBroadcast {
         &self.abc
     }
+
+    /// Mutable access to the endpoint (GC tuning, fast-forward).
+    pub fn endpoint_mut(&mut self) -> &mut AtomicBroadcast {
+        &mut self.abc
+    }
+
+    /// Publishes retained-state gauges so long-run boundedness is
+    /// measurable rather than asserted.
+    fn record_retention(&self, ctx: &Context) {
+        ctx.obs.gauge_set(
+            Layer::Abc,
+            "retained_rounds",
+            self.abc.retained_rounds() as u64,
+        );
+        ctx.obs.gauge_set(
+            Layer::Abc,
+            "retained_bytes",
+            self.abc.retained_bytes() as u64,
+        );
+        ctx.obs.gauge_set(
+            Layer::Abc,
+            "tracked_rounds",
+            self.abc.tracked_rounds() as u64,
+        );
+    }
 }
 
 impl Protocol for AbcNode {
@@ -577,6 +721,7 @@ impl Protocol for AbcNode {
             observe_wire(ctx, "sent", m);
         }
         record_deliveries(ctx, fx, o0);
+        self.record_retention(ctx);
     }
 
     fn on_message_ctx(
@@ -596,6 +741,7 @@ impl Protocol for AbcNode {
             observe_wire(ctx, "sent", m);
         }
         record_deliveries(ctx, fx, o0);
+        self.record_retention(ctx);
     }
 }
 
@@ -873,6 +1019,74 @@ mod tests {
             &mut out,
         );
         assert_eq!(node.tracked_rounds(), 1);
+    }
+
+    #[test]
+    fn retained_rounds_bounded_over_500_rounds() {
+        // A single-party group completes rounds immediately, making 500
+        // agreement rounds cheap; the regression is that decided lists
+        // (and working state) stay bounded by the GC window instead of
+        // growing with the round count.
+        let mut sim = Simulation::builder(nodes(1, 0, 100), RandomScheduler)
+            .seed(101)
+            .build();
+        for i in 0..500u32 {
+            sim.input(0, format!("payload-{i}").into_bytes());
+        }
+        sim.run_until_quiet(100_000_000);
+        let abc = sim.node(0).unwrap().endpoint();
+        assert_eq!(sim.outputs(0).len(), 500, "all payloads ordered");
+        assert!(abc.rounds_completed() >= 500);
+        assert!(
+            (abc.retained_rounds() as u64) <= abc.gc_window(),
+            "retained rounds {} exceed GC window {}",
+            abc.retained_rounds(),
+            abc.gc_window()
+        );
+        assert!(
+            abc.tracked_rounds() <= (ROUND_RETROSPECT + ROUND_LOOKAHEAD) as usize + 1,
+            "working state bounded"
+        );
+        // Deliveries carry their agreement round, consecutively.
+        let rounds: Vec<u64> = sim.outputs(0).iter().map(|d| d.round).collect();
+        assert!(rounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn silent_party_cannot_pin_memory() {
+        // A crashed party never acknowledges any round; the hard GC cap
+        // must reclaim state anyway.
+        let mut ns = nodes(4, 1, 110);
+        for node in &mut ns {
+            node.endpoint_mut().set_gc_window(8);
+        }
+        let mut sim = Simulation::builder(ns, RandomScheduler).seed(111).build();
+        sim.corrupt(3, Behavior::Crash);
+        for i in 0..30u32 {
+            sim.input(0, format!("m-{i}").into_bytes());
+        }
+        sim.run_until_quiet(200_000_000);
+        let abc = sim.node(0).unwrap().endpoint();
+        assert_eq!(sim.outputs(0).len(), 30);
+        assert!(
+            abc.retained_rounds() <= 8,
+            "silent party pinned {} rounds of memory",
+            abc.retained_rounds()
+        );
+    }
+
+    #[test]
+    fn fast_forward_jumps_round_and_seq() {
+        let mut ns = nodes(4, 1, 120);
+        let abc = ns[0].endpoint_mut();
+        abc.fast_forward(42, 17);
+        assert_eq!(abc.delivered_count(), 42);
+        assert_eq!(abc.round(), 17);
+        assert_eq!(abc.retained_rounds(), 0);
+        // Fast-forwarding backwards is a no-op.
+        abc.fast_forward(1, 2);
+        assert_eq!(abc.delivered_count(), 42);
+        assert_eq!(abc.round(), 17);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use sintra_crypto::rng::SeededRng;
 use sintra_crypto::tenc::{Ciphertext, DecryptionShare};
 use sintra_net::protocol::{Context, Effects, Protocol};
 use sintra_obs::{Event, EventKind, Layer};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Secure-causal-atomic-broadcast wire messages.
@@ -54,6 +54,9 @@ impl WireKind for ScabcMessage {
 pub struct ScabcDeliver {
     /// Consecutive position among decrypted requests.
     pub seq: u64,
+    /// The agreement round that ordered the ciphertext (deterministic
+    /// across honest parties; used by the RSM checkpoint protocol).
+    pub round: u64,
     /// The server whose round proposal carried the ciphertext.
     pub origin: PartyId,
     /// The ciphertext's public label (e.g. client identity).
@@ -65,9 +68,22 @@ pub struct ScabcDeliver {
 #[derive(Debug)]
 struct PendingDecryption {
     ciphertext: Ciphertext,
+    digest: [u8; 32],
+    round: u64,
     origin: PartyId,
     shares: Vec<DecryptionShare>,
 }
+
+/// Default per-sender budget of decryption shares buffered before their
+/// ciphertext is ordered locally (see
+/// [`SecureCausalAtomicBroadcast::set_early_share_bound`]).
+const DEFAULT_EARLY_SHARE_BOUND: usize = 256;
+
+/// How many recently decrypted ciphertext digests are remembered so
+/// that straggler shares (arriving after decryption finished) are
+/// dropped instead of buffered as "early". Peers send shares at
+/// ordering time, so anything older than this many requests is stale.
+const COMPLETED_DIGEST_HISTORY: usize = 4096;
 
 /// Secure causal atomic broadcast endpoint at one server.
 pub struct SecureCausalAtomicBroadcast {
@@ -76,10 +92,22 @@ pub struct SecureCausalAtomicBroadcast {
     bundle: Arc<ServerKeyBundle>,
     /// Ordered ciphertexts awaiting decryption, by causal sequence.
     pending: BTreeMap<u64, PendingDecryption>,
-    /// Sequence lookup by ciphertext digest.
+    /// Sequence lookup by ciphertext digest, for pending (ordered but
+    /// not yet decrypted) ciphertexts only; evicted on decryption.
     seq_of: HashMap<[u8; 32], u64>,
     /// Shares that arrived before their ciphertext was ordered.
     early_shares: HashMap<[u8; 32], Vec<DecryptionShare>>,
+    /// Per-sender count of buffered early shares; a sender at its bound
+    /// has further early shares dropped, so a Byzantine party spraying
+    /// shares for digests that never get ordered cannot grow the buffer
+    /// without limit.
+    early_debt: Vec<usize>,
+    early_bound: usize,
+    /// Ring of recently decrypted ciphertext digests; straggler shares
+    /// for these are dropped rather than buffered (bounded memory for
+    /// completed requests).
+    completed: HashSet<[u8; 32]>,
+    completed_order: VecDeque<[u8; 32]>,
     /// Decrypted but not yet emitted (held for order).
     decrypted: BTreeMap<u64, ScabcDeliver>,
     next_causal_seq: u64,
@@ -104,6 +132,7 @@ impl SecureCausalAtomicBroadcast {
 
     /// Creates the endpoint.
     pub fn new(tag: Tag, public: Arc<PublicParameters>, bundle: Arc<ServerKeyBundle>) -> Self {
+        let n = public.n();
         SecureCausalAtomicBroadcast {
             abc: AtomicBroadcast::new(tag, Arc::clone(&public), Arc::clone(&bundle)),
             public,
@@ -111,6 +140,10 @@ impl SecureCausalAtomicBroadcast {
             pending: BTreeMap::new(),
             seq_of: HashMap::new(),
             early_shares: HashMap::new(),
+            early_debt: vec![0; n],
+            early_bound: DEFAULT_EARLY_SHARE_BOUND,
+            completed: HashSet::new(),
+            completed_order: VecDeque::new(),
             decrypted: BTreeMap::new(),
             next_causal_seq: 0,
             next_emit_seq: 0,
@@ -126,6 +159,60 @@ impl SecureCausalAtomicBroadcast {
     /// position in the total order is not yet known.
     pub fn buffered_shares(&self) -> usize {
         self.early_shares.values().map(Vec::len).sum()
+    }
+
+    /// Number of early shares currently buffered from `party`.
+    pub fn early_share_debt(&self, party: PartyId) -> usize {
+        self.early_debt.get(party).copied().unwrap_or(0)
+    }
+
+    /// Sets the per-sender budget of early-buffered decryption shares.
+    pub fn set_early_share_bound(&mut self, bound: usize) {
+        self.early_bound = bound.max(1);
+    }
+
+    /// Number of ordered-but-undecrypted ciphertexts.
+    pub fn pending_decryptions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of ciphertext digests with live lookup state (equals the
+    /// pending count once decryption evicts its entry — the regression
+    /// the leak fix guards).
+    pub fn tracked_digests(&self) -> usize {
+        self.seq_of.len()
+    }
+
+    /// Read access to the underlying atomic-broadcast endpoint
+    /// (retention gauges, GC tuning).
+    pub fn abc(&self) -> &AtomicBroadcast {
+        &self.abc
+    }
+
+    /// Mutable access to the underlying atomic-broadcast endpoint.
+    pub fn abc_mut(&mut self) -> &mut AtomicBroadcast {
+        &mut self.abc
+    }
+
+    /// Jumps the endpoint forward after an out-of-band catch-up (RSM
+    /// state transfer): causal delivery resumes at `next_seq` in
+    /// agreement round `next_round`. All in-flight decryption state for
+    /// skipped positions is dropped — their plaintexts are already
+    /// reflected in the restored application snapshot.
+    pub fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
+        if next_seq <= self.next_emit_seq && next_round <= self.abc.round() {
+            return;
+        }
+        self.next_causal_seq = self.next_causal_seq.max(next_seq);
+        self.next_emit_seq = self.next_emit_seq.max(next_seq);
+        self.pending.clear();
+        self.seq_of.clear();
+        self.early_shares.clear();
+        self.early_debt.iter_mut().for_each(|d| *d = 0);
+        self.completed.clear();
+        self.completed_order.clear();
+        self.decrypted.clear();
+        self.abc.fast_forward(next_seq, next_round);
     }
 
     /// Encrypts a request under the service public key and broadcasts
@@ -177,7 +264,7 @@ impl SecureCausalAtomicBroadcast {
                 self.after_abc(delivered, rng, out)
             }
             ScabcMessage::Share { ct_digest, share } => {
-                if share.party() != from {
+                if from >= self.n() || share.party() != from {
                     return Vec::new();
                 }
                 match self.seq_of.get(&ct_digest) {
@@ -185,9 +272,23 @@ impl SecureCausalAtomicBroadcast {
                         self.add_share(seq, share);
                         self.try_decrypt(seq);
                     }
+                    None if self.completed.contains(&ct_digest) => {
+                        // Straggler share for an already-decrypted
+                        // ciphertext: useless, drop it.
+                    }
                     None => {
-                        // Ciphertext not ordered here yet; buffer.
-                        self.early_shares.entry(ct_digest).or_default().push(share);
+                        // Ciphertext not ordered here yet; buffer, but
+                        // charge the sender so spraying shares for
+                        // never-ordered digests is bounded, and drop
+                        // duplicates for the same digest.
+                        if self.early_debt[from] >= self.early_bound {
+                            return Vec::new();
+                        }
+                        let buf = self.early_shares.entry(ct_digest).or_default();
+                        if buf.iter().all(|s| s.party() != from) {
+                            buf.push(share);
+                            self.early_debt[from] += 1;
+                        }
                     }
                 }
                 self.emit_ready()
@@ -231,12 +332,19 @@ impl SecureCausalAtomicBroadcast {
                 seq,
                 PendingDecryption {
                     ciphertext: ct,
+                    digest,
+                    round: d.round,
                     origin: d.origin,
                     shares: Vec::new(),
                 },
             );
-            // Early shares may already complete this ciphertext.
+            // Early shares may already complete this ciphertext; their
+            // senders' buffering debt is released on consumption.
             for share in self.early_shares.remove(&digest).unwrap_or_default() {
+                let p = share.party();
+                if let Some(debt) = self.early_debt.get_mut(p) {
+                    *debt = debt.saturating_sub(1);
+                }
                 self.add_share(seq, share);
             }
             self.try_decrypt(seq);
@@ -260,10 +368,24 @@ impl SecureCausalAtomicBroadcast {
             return;
         };
         let p = self.pending.remove(&seq).expect("checked above");
+        // The digest lookup exists to route shares to the pending entry;
+        // once decrypted it would otherwise leak one entry per request,
+        // forever. Remember the digest in the bounded completion ring so
+        // straggler shares are recognised and dropped.
+        self.seq_of.remove(&p.digest);
+        if self.completed.insert(p.digest) {
+            self.completed_order.push_back(p.digest);
+            if self.completed_order.len() > COMPLETED_DIGEST_HISTORY {
+                if let Some(old) = self.completed_order.pop_front() {
+                    self.completed.remove(&old);
+                }
+            }
+        }
         self.decrypted.insert(
             seq,
             ScabcDeliver {
                 seq,
+                round: p.round,
                 origin: p.origin,
                 label: p.ciphertext.label().to_vec(),
                 plaintext,
@@ -300,6 +422,11 @@ impl ScabcNode {
     /// Read access to the endpoint.
     pub fn endpoint(&self) -> &SecureCausalAtomicBroadcast {
         &self.scabc
+    }
+
+    /// Mutable access to the endpoint (GC tuning, fast-forward).
+    pub fn endpoint_mut(&mut self) -> &mut SecureCausalAtomicBroadcast {
+        &mut self.scabc
     }
 }
 
@@ -386,6 +513,23 @@ impl ScabcNode {
             "buffered_shares",
             self.scabc.buffered_shares() as u64,
         );
+        ctx.obs.gauge_set(
+            Layer::Scabc,
+            "pending_decryptions",
+            self.scabc.pending_decryptions() as u64,
+        );
+        ctx.obs.gauge_set(
+            Layer::Scabc,
+            "tracked_digests",
+            self.scabc.tracked_digests() as u64,
+        );
+        let abc = self.scabc.abc();
+        ctx.obs
+            .gauge_set(Layer::Abc, "retained_rounds", abc.retained_rounds() as u64);
+        ctx.obs
+            .gauge_set(Layer::Abc, "retained_bytes", abc.retained_bytes() as u64);
+        ctx.obs
+            .gauge_set(Layer::Abc, "tracked_rounds", abc.tracked_rounds() as u64);
         for _ in &fx.outputs()[mark..] {
             ctx.obs.inc(Layer::Scabc, "delivered");
             ctx.obs
@@ -556,6 +700,121 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn decryption_evicts_lookup_state() {
+        // The digest→seq map and pending set must drain as requests
+        // complete; before the leak fix, seq_of grew by one entry per
+        // request forever.
+        let mut sim = Simulation::builder(setup(4, 1, 60), RandomScheduler)
+            .seed(61)
+            .build();
+        for i in 0..6u32 {
+            sim.input(
+                (i % 4) as usize,
+                (format!("req-{i}").into_bytes(), b"l".to_vec()),
+            );
+        }
+        sim.run_until_quiet(200_000_000);
+        for p in 0..4 {
+            assert_eq!(sim.outputs(p).len(), 6, "party {p} delivered all");
+            let ep = sim.node(p).unwrap().endpoint();
+            assert_eq!(ep.tracked_digests(), 0, "party {p} leaked seq_of entries");
+            assert_eq!(ep.pending_decryptions(), 0, "party {p} leaked pending");
+            assert_eq!(ep.buffered_shares(), 0, "party {p} leaked early shares");
+        }
+    }
+
+    #[test]
+    fn early_share_flood_is_bounded_per_sender() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(70);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public = Arc::new(public);
+        let mut node = SecureCausalAtomicBroadcast::new(
+            Tag::root("flood"),
+            Arc::clone(&public),
+            Arc::new(bundles[0].clone()),
+        );
+        node.set_early_share_bound(8);
+        let mut out = Outbox::new(node.n());
+        // A Byzantine server sprays valid-looking shares for ciphertext
+        // digests that will never be ordered.
+        let ct = public.encryption().encrypt(b"x", b"", &mut rng);
+        let share = bundles[3]
+            .decryption_key()
+            .decrypt_share(public.encryption(), &ct, &mut rng)
+            .unwrap();
+        for i in 0..1_000u32 {
+            let mut fake = [0u8; 32];
+            fake[..4].copy_from_slice(&i.to_be_bytes());
+            node.on_message(
+                3,
+                ScabcMessage::Share {
+                    ct_digest: fake,
+                    share: share.clone(),
+                },
+                &mut rng,
+                &mut out,
+            );
+        }
+        assert_eq!(node.early_share_debt(3), 8, "debt capped at the bound");
+        assert_eq!(node.buffered_shares(), 8, "buffer growth bounded");
+        // Duplicate shares for one digest from the same sender are
+        // dropped rather than charged twice.
+        let mut fresh = SecureCausalAtomicBroadcast::new(
+            Tag::root("dup"),
+            Arc::clone(&public),
+            Arc::new(bundles[0].clone()),
+        );
+        for _ in 0..5 {
+            fresh.on_message(
+                3,
+                ScabcMessage::Share {
+                    ct_digest: [7u8; 32],
+                    share: share.clone(),
+                },
+                &mut rng,
+                &mut out,
+            );
+        }
+        assert_eq!(fresh.early_share_debt(3), 1);
+        assert_eq!(fresh.buffered_shares(), 1);
+    }
+
+    #[test]
+    fn fast_forward_clears_decryption_state() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(80);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public = Arc::new(public);
+        let mut node = SecureCausalAtomicBroadcast::new(
+            Tag::root("ff"),
+            Arc::clone(&public),
+            Arc::new(bundles[0].clone()),
+        );
+        let mut out = Outbox::new(node.n());
+        let ct = public.encryption().encrypt(b"y", b"", &mut rng);
+        let share = bundles[2]
+            .decryption_key()
+            .decrypt_share(public.encryption(), &ct, &mut rng)
+            .unwrap();
+        node.on_message(
+            2,
+            ScabcMessage::Share {
+                ct_digest: ct.digest(),
+                share,
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(node.buffered_shares(), 1);
+        node.fast_forward(10, 5);
+        assert_eq!(node.buffered_shares(), 0);
+        assert_eq!(node.early_share_debt(2), 0);
+        assert_eq!(node.delivered_count(), 10);
+        assert_eq!(node.abc().round(), 5);
     }
 
     #[test]

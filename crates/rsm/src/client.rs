@@ -152,10 +152,92 @@ impl ReplyCollector {
     }
 }
 
+/// Initial resubmission delay, in client clock ticks.
+const INITIAL_RESEND_TICKS: u64 = 8;
+
+/// Resubmission backoff cap, in client clock ticks.
+const RESEND_BACKOFF_CAP: u64 = 256;
+
+/// A retrying request driver. The original fire-and-forget pattern hung
+/// forever when the first attempt's replies were lost; this client owns
+/// a resubmission timer with exponential backoff instead. The caller
+/// sends [`payload`](Self::payload) to the replicas once up front,
+/// feeds every reply share to [`on_reply`](Self::on_reply), and drives
+/// [`on_tick`](Self::on_tick) from its clock — a `Some` return is the
+/// payload to resend to all replicas. Replicas answer resubmissions of
+/// an already-ordered request from their reply cache, so retries are
+/// idempotent.
+#[derive(Debug)]
+pub struct ResubmittingClient {
+    collector: ReplyCollector,
+    payload: Vec<u8>,
+    resend_in: u64,
+    backoff: u64,
+    attempts: u32,
+    result: Option<ServiceReply>,
+}
+
+impl ResubmittingClient {
+    /// Creates a client for one request; the caller performs the first
+    /// send of [`payload`](Self::payload).
+    pub fn new(tag: Tag, public: Arc<PublicParameters>, payload: Vec<u8>) -> Self {
+        ResubmittingClient {
+            collector: ReplyCollector::new(tag, public, &payload),
+            payload,
+            resend_in: INITIAL_RESEND_TICKS,
+            backoff: INITIAL_RESEND_TICKS,
+            attempts: 1,
+            result: None,
+        }
+    }
+
+    /// The request bytes to send to the replicas.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Send attempts so far (including the initial one).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The verified answer, once collected.
+    pub fn result(&self) -> Option<&ServiceReply> {
+        self.result.as_ref()
+    }
+
+    /// Feeds one replica reply share; returns the verified answer once
+    /// a qualified set of matching replies has been combined.
+    pub fn on_reply(&mut self, reply: Reply) -> Option<&ServiceReply> {
+        if self.result.is_none() {
+            self.collector.add(reply);
+            self.result = self.collector.signed_reply();
+        }
+        self.result.as_ref()
+    }
+
+    /// Advances the resubmission timer by one tick. Returns the payload
+    /// to resend to every replica when the timer expires; the delay
+    /// doubles on each expiry up to a cap.
+    pub fn on_tick(&mut self) -> Option<Vec<u8>> {
+        if self.result.is_some() {
+            return None;
+        }
+        self.resend_in = self.resend_in.saturating_sub(1);
+        if self.resend_in > 0 {
+            return None;
+        }
+        self.backoff = (self.backoff * 2).min(RESEND_BACKOFF_CAP);
+        self.resend_in = self.backoff;
+        self.attempts += 1;
+        Some(self.payload.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::replica::atomic_replicas;
+    use crate::replica::{atomic_replicas, OrderingLayer};
     use crate::state::EchoMachine;
     use sintra_adversary::structure::TrustStructure;
     use sintra_crypto::dealer::Dealer;
@@ -253,6 +335,95 @@ mod tests {
         for r in &replies {
             assert!(!collector.add(r.clone()), "duplicates rejected");
         }
+    }
+
+    #[test]
+    fn client_resubmits_after_dropped_replies() {
+        // Fault campaign: the service orders the first attempt, but
+        // every reply is lost on the way back. The old fire-and-forget
+        // client hung forever here; the resubmitting client's timer
+        // fires, the retry hits each replica's reply cache, and the
+        // answer combines.
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(70);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let public_arc = Arc::new(public.clone());
+        let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), 70);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(71)
+            .build();
+        let mut client = ResubmittingClient::new(
+            Tag::root("rsm"),
+            Arc::clone(&public_arc),
+            b"retry-me".to_vec(),
+        );
+        sim.input(0, client.payload().to_vec());
+        sim.run_until_quiet(50_000_000);
+        // Drop the first-attempt replies: record how many each replica
+        // produced and never feed them to the client.
+        let dropped: Vec<usize> = (0..4).map(|p| sim.outputs(p).len()).collect();
+        assert!(
+            dropped.iter().sum::<usize>() > 0,
+            "first attempt was ordered"
+        );
+        assert!(client.result().is_none(), "client has no answer yet");
+        let round_before = sim.node(0).unwrap().layer().current_round();
+        // Tick the client until its resubmission timer fires.
+        let mut resent = None;
+        for _ in 0..=INITIAL_RESEND_TICKS {
+            if let Some(p) = client.on_tick() {
+                resent = Some(p);
+                break;
+            }
+        }
+        let payload = resent.expect("resubmission timer fired");
+        assert_eq!(client.attempts(), 2);
+        for p in 0..4 {
+            sim.input(p, payload.clone());
+        }
+        sim.run_until_quiet(50_000_000);
+        // The retry is answered from the reply cache: no new round.
+        assert_eq!(sim.node(0).unwrap().layer().current_round(), round_before);
+        for (p, &start) in dropped.iter().enumerate() {
+            for r in &sim.outputs(p)[start..] {
+                client.on_reply(r.clone());
+            }
+        }
+        let reply = client.result().expect("retry produced the answer");
+        assert!(ReplyCollector::verify_signed(
+            &public_arc,
+            &Tag::root("rsm"),
+            b"retry-me",
+            reply
+        ));
+        // Once answered, the timer goes quiet.
+        for _ in 0..1000 {
+            assert!(client.on_tick().is_none());
+        }
+        assert_eq!(client.attempts(), 2);
+    }
+
+    #[test]
+    fn resubmission_backoff_doubles() {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(80);
+        let (public, _) = Dealer::deal(&ts, &mut rng);
+        let mut client = ResubmittingClient::new(Tag::root("rsm"), Arc::new(public), b"x".to_vec());
+        let mut gaps = Vec::new();
+        let mut since = 0u64;
+        for _ in 0..1000 {
+            since += 1;
+            if client.on_tick().is_some() {
+                gaps.push(since);
+                since = 0;
+            }
+        }
+        assert_eq!(&gaps[..4], &[8, 16, 32, 64], "exponential backoff");
+        assert!(
+            gaps.iter().all(|g| *g <= RESEND_BACKOFF_CAP),
+            "delay capped"
+        );
+        assert_eq!(u64::from(client.attempts() - 1), gaps.len() as u64);
     }
 
     #[test]

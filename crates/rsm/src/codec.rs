@@ -1,0 +1,209 @@
+//! Canonical binary encoding for replica wire traffic.
+//!
+//! [`RsmMessage`] wraps any ordering-layer message type that itself
+//! implements [`WireCodec`], so a replica stack runs over the same
+//! framed TCP transport as the bare protocols. Conventions follow
+//! `sintra-protocols`: 1-byte discriminants in declaration order,
+//! `u64` big-endian integers, `u32`-length-prefixed byte fields capped
+//! at [`MAX_PAYLOAD`], crypto objects in their canonical encodings.
+
+use crate::replica::RsmMessage;
+use sintra_crypto::tsig::{SignatureShare, ThresholdSignature};
+
+pub use sintra_net::codec::{CodecError, Reader, WireCodec, MAX_FRAME, MAX_PAYLOAD};
+
+/// Most tail entries a decoded `State` message may carry; matches the
+/// serving-side cap with slack so honest responses always decode.
+const TAIL_DECODE_CAP: usize = 4096;
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+impl<M: WireCodec> WireCodec for RsmMessage<M> {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            RsmMessage::Order(m) => {
+                buf.push(0);
+                m.encode_into(buf);
+            }
+            RsmMessage::CkptShare {
+                seq,
+                round,
+                digest,
+                share,
+            } => {
+                buf.push(1);
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(&round.to_be_bytes());
+                buf.extend_from_slice(digest);
+                share.encode_into(buf);
+            }
+            RsmMessage::FetchState { have_seq } => {
+                buf.push(2);
+                buf.extend_from_slice(&have_seq.to_be_bytes());
+            }
+            RsmMessage::State {
+                seq,
+                round,
+                next_round,
+                snapshot,
+                cert,
+                tail,
+            } => {
+                buf.push(3);
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(&round.to_be_bytes());
+                buf.extend_from_slice(&next_round.to_be_bytes());
+                put_bytes(buf, snapshot);
+                cert.encode_into(buf);
+                buf.extend_from_slice(&(tail.len() as u32).to_be_bytes());
+                for (s, r, payload) in tail {
+                    buf.extend_from_slice(&s.to_be_bytes());
+                    buf.extend_from_slice(&r.to_be_bytes());
+                    put_bytes(buf, payload);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(RsmMessage::Order(M::decode(r)?)),
+            1 => Ok(RsmMessage::CkptShare {
+                seq: r.u64()?,
+                round: r.u64()?,
+                digest: r.array::<32>()?,
+                share: SignatureShare::decode(r)?,
+            }),
+            2 => Ok(RsmMessage::FetchState { have_seq: r.u64()? }),
+            3 => {
+                let seq = r.u64()?;
+                let round = r.u64()?;
+                let next_round = r.u64()?;
+                let snapshot = r.bytes("rsm snapshot", MAX_PAYLOAD)?;
+                let cert = ThresholdSignature::decode(r)?;
+                let count = r.u32()? as usize;
+                if count > TAIL_DECODE_CAP {
+                    return Err(CodecError::Oversized {
+                        what: "rsm state tail",
+                        len: count,
+                        max: TAIL_DECODE_CAP,
+                    });
+                }
+                let mut tail = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let s = r.u64()?;
+                    let rr = r.u64()?;
+                    let payload = r.bytes("rsm tail payload", MAX_PAYLOAD)?;
+                    tail.push((s, rr, payload));
+                }
+                Ok(RsmMessage::State {
+                    seq,
+                    round,
+                    next_round,
+                    snapshot,
+                    cert,
+                    tail,
+                })
+            }
+            value => Err(CodecError::BadDiscriminant {
+                what: "RsmMessage",
+                value,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+    use sintra_crypto::rng::SeededRng;
+    use sintra_crypto::tsig::QuorumRule;
+    use sintra_protocols::rbc::RbcMessage;
+
+    fn sample_crypto() -> (SignatureShare, ThresholdSignature) {
+        let ts = TrustStructure::threshold(4, 1).unwrap();
+        let mut rng = SeededRng::new(77);
+        let (public, bundles) = Dealer::deal(&ts, &mut rng);
+        let shares: Vec<SignatureShare> = bundles
+            .iter()
+            .map(|b| b.signing_key().sign_share(b"m", &mut rng))
+            .collect();
+        let cert = public
+            .signing()
+            .combine(b"m", &shares, QuorumRule::Qualified)
+            .unwrap();
+        (shares[0], cert)
+    }
+
+    fn roundtrip(msg: &RsmMessage<RbcMessage>) {
+        let bytes = msg.encode();
+        let decoded = RsmMessage::<RbcMessage>::decode_exact(&bytes).unwrap();
+        assert_eq!(bytes, decoded.encode(), "canonical re-encode");
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let (share, cert) = sample_crypto();
+        roundtrip(&RsmMessage::Order(RbcMessage::Send(b"payload".to_vec())));
+        roundtrip(&RsmMessage::CkptShare {
+            seq: 42,
+            round: 7,
+            digest: [9u8; 32],
+            share,
+        });
+        roundtrip(&RsmMessage::FetchState { have_seq: 17 });
+        roundtrip(&RsmMessage::State {
+            seq: 64,
+            round: 15,
+            next_round: 18,
+            snapshot: vec![1, 2, 3, 4],
+            cert,
+            tail: vec![(64, 16, b"a".to_vec()), (65, 16, b"bb".to_vec())],
+        });
+    }
+
+    #[test]
+    fn truncation_and_bad_discriminant_rejected() {
+        let (share, cert) = sample_crypto();
+        let msg = RsmMessage::<RbcMessage>::State {
+            seq: 1,
+            round: 1,
+            next_round: 2,
+            snapshot: vec![5; 16],
+            cert,
+            tail: vec![(1, 1, vec![7; 8])],
+        };
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                RsmMessage::<RbcMessage>::decode_exact(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        assert!(RsmMessage::<RbcMessage>::decode_exact(&[200]).is_err());
+        let _ = share;
+    }
+
+    #[test]
+    fn oversized_tail_count_rejected() {
+        // A forged count larger than the cap is rejected before any
+        // allocation proportional to it.
+        let mut bytes = vec![3u8];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&2u64.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // empty snapshot
+        let (_, cert) = sample_crypto();
+        cert.encode_into(&mut bytes);
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            RsmMessage::<RbcMessage>::decode_exact(&bytes),
+            Err(CodecError::Oversized { .. })
+        ));
+    }
+}

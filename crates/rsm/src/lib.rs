@@ -15,9 +15,13 @@
 //! back into one logical trusted service.
 
 pub mod client;
+pub mod codec;
 pub mod replica;
 pub mod state;
 
-pub use client::{ReplyCollector, ServiceReply};
-pub use replica::{atomic_replicas, causal_replicas, Ordered, OrderingLayer, Replica, Reply};
+pub use client::{ReplyCollector, ResubmittingClient, ServiceReply};
+pub use replica::{
+    atomic_replicas, causal_replicas, ckpt_message, Ordered, OrderingLayer, Replica, Reply,
+    RsmMessage, StableCheckpoint, DEFAULT_CKPT_INTERVAL,
+};
 pub use state::{EchoMachine, KvMachine, StateMachine};

@@ -11,15 +11,16 @@
 //! clients need not know individual servers.
 
 use crate::state::StateMachine;
-use sintra_adversary::party::PartyId;
+use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
-use sintra_crypto::tsig::SignatureShare;
+use sintra_crypto::tsig::{QuorumRule, SignatureShare, ThresholdSignature};
 use sintra_net::protocol::{Context, Effects, Protocol};
 use sintra_obs::{Event, EventKind, Layer};
 use sintra_protocols::abc::{AbcMessage, AtomicBroadcast};
 use sintra_protocols::common::{digest, Digest, Outbox, Tag};
 use sintra_protocols::scabc::{ScabcMessage, SecureCausalAtomicBroadcast};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -28,6 +29,9 @@ use std::time::Instant;
 pub struct Ordered {
     /// Position in the service's total order.
     pub seq: u64,
+    /// The agreement round that fixed the position (deterministic
+    /// across honest replicas; checkpoints bind to it).
+    pub round: u64,
     /// Server whose proposal carried the request.
     pub origin: PartyId,
     /// The request bytes.
@@ -56,6 +60,21 @@ pub trait OrderingLayer: core::fmt::Debug {
         rng: &mut SeededRng,
         out: &mut Outbox<Self::Message>,
     ) -> Vec<Ordered>;
+
+    /// The current agreement round (lag detection for state transfer).
+    fn current_round(&self) -> u64;
+
+    /// Completed rounds the transport still retains (what its GC
+    /// watermark bounds) — published as the `abc.retained_rounds`
+    /// gauge so soak runs can assert boundedness.
+    fn retained_rounds(&self) -> usize;
+
+    /// Approximate bytes of retained transport state.
+    fn retained_bytes(&self) -> usize;
+
+    /// Jumps past skipped history after a state transfer: delivery
+    /// resumes at `next_seq` in round `next_round`.
+    fn fast_forward(&mut self, next_seq: u64, next_round: u64);
 }
 
 impl OrderingLayer for AtomicBroadcast {
@@ -71,6 +90,7 @@ impl OrderingLayer for AtomicBroadcast {
             .into_iter()
             .map(|d| Ordered {
                 seq: d.seq,
+                round: d.round,
                 origin: d.origin,
                 payload: d.payload,
             })
@@ -88,10 +108,27 @@ impl OrderingLayer for AtomicBroadcast {
             .into_iter()
             .map(|d| Ordered {
                 seq: d.seq,
+                round: d.round,
                 origin: d.origin,
                 payload: d.payload,
             })
             .collect()
+    }
+
+    fn current_round(&self) -> u64 {
+        self.round()
+    }
+
+    fn retained_rounds(&self) -> usize {
+        AtomicBroadcast::retained_rounds(self)
+    }
+
+    fn retained_bytes(&self) -> usize {
+        AtomicBroadcast::retained_bytes(self)
+    }
+
+    fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
+        AtomicBroadcast::fast_forward(self, next_seq, next_round);
     }
 }
 
@@ -109,6 +146,7 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
             .into_iter()
             .map(|d| Ordered {
                 seq: d.seq,
+                round: d.round,
                 origin: d.origin,
                 payload: d.plaintext,
             })
@@ -126,10 +164,27 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
             .into_iter()
             .map(|d| Ordered {
                 seq: d.seq,
+                round: d.round,
                 origin: d.origin,
                 payload: d.plaintext,
             })
             .collect()
+    }
+
+    fn current_round(&self) -> u64 {
+        self.abc().round()
+    }
+
+    fn retained_rounds(&self) -> usize {
+        self.abc().retained_rounds()
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.abc().retained_bytes()
+    }
+
+    fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
+        SecureCausalAtomicBroadcast::fast_forward(self, next_seq, next_round);
     }
 }
 
@@ -156,8 +211,110 @@ pub fn reply_message(tag: &Tag, request: &Digest, seq: u64, response: &[u8]) -> 
     tag.message(&[b"reply", request, &seq.to_be_bytes(), response])
 }
 
+/// Builds the byte string checkpoint shares sign: the service tag binds
+/// the certificate to this deployment, `seq`/`round` pin the prefix,
+/// and `digest` commits to the snapshot bytes.
+pub fn ckpt_message(tag: &Tag, seq: u64, round: u64, digest: &Digest) -> Vec<u8> {
+    tag.message(&[b"ckpt", &seq.to_be_bytes(), &round.to_be_bytes(), digest])
+}
+
+/// Default checkpoint cadence in agreement rounds.
+pub const DEFAULT_CKPT_INTERVAL: u64 = 8;
+
+/// Most log entries a single `State` response carries. A replica whose
+/// lag exceeds the tail cap converges over repeated transfers (each
+/// later checkpoint restarts the tail further along).
+const STATE_TAIL_CAP: usize = 1024;
+
+/// Cached replies retained for resubmitted requests.
+const REPLY_CACHE_CAP: usize = 1024;
+
+/// Initial state-fetch retry delay, in ticks.
+const FETCH_RETRY_TICKS: u64 = 8;
+
+/// State-fetch retry backoff cap, in ticks.
+const FETCH_RETRY_CAP: u64 = 128;
+
+/// How far past the replayed tail a `State` responder's claimed current
+/// round may fast-forward us. Bounds the damage of a lying responder:
+/// an over-claimed round would stall us waiting for a future round, so
+/// the jump is clamped near what the certified prefix proves and later
+/// checkpoint shares re-trigger a fetch if we are still behind.
+const ROUND_JUMP_SLACK: u64 = 16;
+
+/// Replica wire traffic: ordering-layer messages plus the
+/// checkpoint/state-transfer control plane.
+#[derive(Clone, Debug)]
+pub enum RsmMessage<M> {
+    /// Ordering-layer traffic, forwarded verbatim.
+    Order(M),
+    /// One replica's signature share over a checkpoint digest.
+    CkptShare {
+        /// Next sequence number after the checkpointed prefix.
+        seq: u64,
+        /// Round whose delivery completed the prefix.
+        round: u64,
+        /// Digest of the state-machine snapshot at the checkpoint.
+        digest: Digest,
+        /// Signature share over [`ckpt_message`].
+        share: SignatureShare,
+    },
+    /// A lagging replica's request for a certified snapshot.
+    FetchState {
+        /// The requester's applied sequence number.
+        have_seq: u64,
+    },
+    /// A certified snapshot plus the tail of ordered requests after it.
+    State {
+        /// Next sequence after the snapshot.
+        seq: u64,
+        /// Round of the checkpoint.
+        round: u64,
+        /// The responder's current agreement round (advisory; clamped
+        /// by the receiver).
+        next_round: u64,
+        /// State-machine snapshot bytes.
+        snapshot: Vec<u8>,
+        /// Threshold certificate over the checkpoint message.
+        cert: ThresholdSignature,
+        /// Ordered requests after the snapshot: `(seq, round, payload)`.
+        tail: Vec<(u64, u64, Vec<u8>)>,
+    },
+}
+
+/// A checkpoint carrying a qualified-quorum certificate: the replica
+/// serves state transfers from it and prunes everything older.
+#[derive(Clone, Debug)]
+pub struct StableCheckpoint {
+    /// Next sequence after the checkpointed prefix.
+    pub seq: u64,
+    /// Round whose delivery completed the prefix.
+    pub round: u64,
+    /// Snapshot digest the certificate covers.
+    pub digest: Digest,
+    /// The snapshot bytes.
+    pub snapshot: Vec<u8>,
+    /// Threshold signature over [`ckpt_message`] by a qualified set.
+    pub cert: ThresholdSignature,
+}
+
+/// A locally taken checkpoint awaiting its certificate.
+#[derive(Debug)]
+struct PendingCkpt {
+    round: u64,
+    digest: Digest,
+    snapshot: Vec<u8>,
+}
+
+/// An in-flight state-transfer request with retry backoff.
+#[derive(Debug)]
+struct FetchJob {
+    retry_in: u64,
+    backoff: u64,
+}
+
 /// A replicated-service node: ordering layer + state machine + reply
-/// signing.
+/// signing + checkpoint/state-transfer.
 #[derive(Debug)]
 pub struct Replica<L: OrderingLayer, S: StateMachine> {
     tag: Tag,
@@ -166,6 +323,22 @@ pub struct Replica<L: OrderingLayer, S: StateMachine> {
     public: Arc<PublicParameters>,
     bundle: Arc<ServerKeyBundle>,
     rng: SeededRng,
+    /// Next sequence number to apply.
+    applied: u64,
+    ckpt_interval: u64,
+    /// Requests applied since the stable checkpoint: seq → (round,
+    /// payload). Served as the `State` tail; pruned at stabilization.
+    log: BTreeMap<u64, (u64, Vec<u8>)>,
+    /// Locally taken checkpoints awaiting certificates, keyed by seq.
+    pending_ckpts: BTreeMap<u64, PendingCkpt>,
+    /// Verified checkpoint shares, keyed by (seq, round, digest).
+    ckpt_shares: HashMap<(u64, u64, Digest), Vec<SignatureShare>>,
+    stable: Option<StableCheckpoint>,
+    /// Answered requests: seq → (request digest, response); lets a
+    /// resubmitted request be re-answered without re-ordering it.
+    reply_cache: BTreeMap<u64, (Digest, Vec<u8>)>,
+    reply_index: HashMap<Digest, u64>,
+    fetch: Option<FetchJob>,
 }
 
 impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
@@ -185,6 +358,15 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             public,
             bundle,
             rng,
+            applied: 0,
+            ckpt_interval: DEFAULT_CKPT_INTERVAL,
+            log: BTreeMap::new(),
+            pending_ckpts: BTreeMap::new(),
+            ckpt_shares: HashMap::new(),
+            stable: None,
+            reply_cache: BTreeMap::new(),
+            reply_index: HashMap::new(),
+            fetch: None,
         }
     }
 
@@ -198,18 +380,104 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         &self.layer
     }
 
+    /// Mutable access to the ordering layer (test configuration).
+    pub fn layer_mut(&mut self) -> &mut L {
+        &mut self.layer
+    }
+
     /// This replica's party id.
     pub fn party(&self) -> PartyId {
         self.bundle.party()
+    }
+
+    /// Next sequence number this replica will apply.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The latest certified checkpoint, if any.
+    pub fn stable_checkpoint(&self) -> Option<&StableCheckpoint> {
+        self.stable.as_ref()
+    }
+
+    /// The checkpoint cadence in rounds.
+    pub fn ckpt_interval(&self) -> u64 {
+        self.ckpt_interval
+    }
+
+    /// Overrides the checkpoint cadence (clamped to ≥ 1).
+    pub fn set_ckpt_interval(&mut self, rounds: u64) {
+        self.ckpt_interval = rounds.max(1);
+    }
+
+    /// Whether a state transfer is in flight.
+    pub fn is_fetching(&self) -> bool {
+        self.fetch.is_some()
+    }
+
+    /// Log entries retained since the last stable checkpoint.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Approximate bytes pinned by the log, reply cache, and snapshots.
+    pub fn retained_bytes(&self) -> usize {
+        let log: usize = self.log.values().map(|(_, p)| p.len() + 16).sum();
+        let cache: usize = self.reply_cache.values().map(|(_, r)| r.len() + 40).sum();
+        let pending: usize = self
+            .pending_ckpts
+            .values()
+            .map(|p| p.snapshot.len() + 48)
+            .sum();
+        let stable = self.stable.as_ref().map_or(0, |s| s.snapshot.len() + 48);
+        log + cache + pending + stable
+    }
+
+    fn record(&self, ctx: &Context) {
+        if !ctx.obs.is_enabled() {
+            return;
+        }
+        ctx.obs
+            .gauge_set(Layer::Rsm, "log_entries", self.log.len() as u64);
+        ctx.obs
+            .gauge_set(Layer::Rsm, "reply_cache", self.reply_cache.len() as u64);
+        ctx.obs.gauge_set(
+            Layer::Rsm,
+            "stable_seq",
+            self.stable.as_ref().map_or(0, |s| s.seq),
+        );
+        ctx.obs
+            .gauge_set(Layer::Rsm, "retained_bytes", self.retained_bytes() as u64);
+        ctx.obs.gauge_set(
+            Layer::Abc,
+            "retained_rounds",
+            self.layer.retained_rounds() as u64,
+        );
+        ctx.obs.gauge_set(
+            Layer::Abc,
+            "retained_bytes",
+            self.layer.retained_bytes() as u64,
+        );
+    }
+
+    fn cache_reply(&mut self, seq: u64, request: Digest, response: Vec<u8>) {
+        self.reply_cache.insert(seq, (request, response));
+        self.reply_index.insert(request, seq);
+        while self.reply_cache.len() > REPLY_CACHE_CAP {
+            if let Some((_, (req, _))) = self.reply_cache.pop_first() {
+                self.reply_index.remove(&req);
+            }
+        }
     }
 
     fn answer(
         &mut self,
         ctx: &Context,
         ordered: Vec<Ordered>,
-        fx: &mut Effects<L::Message, Reply>,
+        fx: &mut Effects<RsmMessage<L::Message>, Reply>,
     ) {
-        for o in ordered {
+        for i in 0..ordered.len() {
+            let o = &ordered[i];
             ctx.obs.inc(Layer::Rsm, "ordered");
             let response = if ctx.obs.is_enabled() {
                 let started = Instant::now();
@@ -228,6 +496,9 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                     .round(o.seq as u32)
                     .at(ctx.at),
             );
+            self.applied = o.seq + 1;
+            self.log.insert(o.seq, (o.round, o.payload.clone()));
+            self.cache_reply(o.seq, request, response.clone());
             fx.output(Reply {
                 request,
                 seq: o.seq,
@@ -235,60 +506,353 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 response,
                 share,
             });
+            // The ordering layer never splits a round across delivery
+            // batches, so the last entry of each round is a point every
+            // honest replica reaches with identical state.
+            let end_of_round = ordered.get(i + 1).is_none_or(|n| n.round != o.round);
+            if end_of_round && (o.round + 1).is_multiple_of(self.ckpt_interval) {
+                self.take_checkpoint(o.seq + 1, o.round, ctx, fx);
+            }
         }
-        let _ = &self.public;
+    }
+
+    fn take_checkpoint(
+        &mut self,
+        seq: u64,
+        round: u64,
+        ctx: &Context,
+        fx: &mut Effects<RsmMessage<L::Message>, Reply>,
+    ) {
+        if self.stable.as_ref().is_some_and(|s| s.seq >= seq) {
+            return;
+        }
+        let snapshot = self.machine.snapshot();
+        let d = digest(&snapshot);
+        let msg = ckpt_message(&self.tag, seq, round, &d);
+        let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
+        ctx.obs.inc(Layer::Rsm, "ckpt_taken");
+        self.pending_ckpts.insert(
+            seq,
+            PendingCkpt {
+                round,
+                digest: d,
+                snapshot,
+            },
+        );
+        // Broadcast includes self: our own share joins the pool through
+        // the normal delivery path.
+        fx.broadcast(RsmMessage::CkptShare {
+            seq,
+            round,
+            digest: d,
+            share,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the CkptShare fields
+    fn on_ckpt_share(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        seq: u64,
+        round: u64,
+        d: Digest,
+        share: SignatureShare,
+        fx: &mut Effects<RsmMessage<L::Message>, Reply>,
+    ) {
+        if share.party() != from {
+            ctx.obs.inc(Layer::Rsm, "ckpt_share_rejected");
+            return;
+        }
+        let msg = ckpt_message(&self.tag, seq, round, &d);
+        if !self.public.signing().verify_share(&msg, &share) {
+            ctx.obs.inc(Layer::Rsm, "ckpt_share_rejected");
+            return;
+        }
+        // A verified share for a round far past ours means we missed
+        // history the group may already have pruned: request a
+        // certified snapshot instead of waiting for messages that will
+        // never be resent.
+        if seq > self.applied
+            && round > self.layer.current_round() + self.ckpt_interval
+            && self.fetch.is_none()
+        {
+            ctx.obs.inc(Layer::Rsm, "state_fetch_started");
+            self.fetch = Some(FetchJob {
+                retry_in: FETCH_RETRY_TICKS,
+                backoff: FETCH_RETRY_TICKS,
+            });
+            fx.broadcast(RsmMessage::FetchState {
+                have_seq: self.applied,
+            });
+        }
+        if self.stable.as_ref().is_some_and(|s| s.seq >= seq) {
+            return;
+        }
+        let shares = self.ckpt_shares.entry((seq, round, d)).or_default();
+        if shares.iter().any(|s| s.party() == share.party()) {
+            return;
+        }
+        shares.push(share);
+        let signers: PartySet = shares.iter().map(|s| s.party()).collect();
+        if !self.public.structure().is_qualified(&signers) {
+            return;
+        }
+        let Ok(cert) = self
+            .public
+            .signing()
+            .combine_preverified(shares, QuorumRule::Qualified)
+        else {
+            return;
+        };
+        match self.pending_ckpts.remove(&seq) {
+            Some(p) if p.digest == d && p.round == round => {
+                ctx.obs.inc(Layer::Rsm, "ckpt_stable");
+                self.stable = Some(StableCheckpoint {
+                    seq,
+                    round,
+                    digest: d,
+                    snapshot: p.snapshot,
+                    cert,
+                });
+                self.prune_to(seq);
+            }
+            Some(p) => {
+                // A quorum certified a snapshot that differs from ours:
+                // keep ours pending (and surface the divergence).
+                ctx.obs.inc(Layer::Rsm, "ckpt_mismatch");
+                self.pending_ckpts.insert(seq, p);
+            }
+            // We never took this checkpoint (still catching up).
+            None => {}
+        }
+    }
+
+    /// Drops rounds-old bookkeeping once a checkpoint at `seq` is
+    /// certified: the log prefix, superseded pending checkpoints, and
+    /// share pools for older checkpoints.
+    fn prune_to(&mut self, seq: u64) {
+        self.log = self.log.split_off(&seq);
+        self.pending_ckpts = self.pending_ckpts.split_off(&(seq + 1));
+        self.ckpt_shares.retain(|(s, _, _), _| *s > seq);
+    }
+
+    fn on_fetch_state(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        have_seq: u64,
+        fx: &mut Effects<RsmMessage<L::Message>, Reply>,
+    ) {
+        let Some(stable) = &self.stable else { return };
+        if stable.seq <= have_seq {
+            return;
+        }
+        let tail: Vec<(u64, u64, Vec<u8>)> = self
+            .log
+            .range(stable.seq..)
+            .take(STATE_TAIL_CAP)
+            .map(|(s, (r, p))| (*s, *r, p.clone()))
+            .collect();
+        ctx.obs.inc(Layer::Rsm, "state_served");
+        fx.send(
+            from,
+            RsmMessage::State {
+                seq: stable.seq,
+                round: stable.round,
+                next_round: self.layer.current_round(),
+                snapshot: stable.snapshot.clone(),
+                cert: stable.cert.clone(),
+                tail,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_state(
+        &mut self,
+        ctx: &Context,
+        seq: u64,
+        round: u64,
+        next_round: u64,
+        snapshot: Vec<u8>,
+        cert: ThresholdSignature,
+        tail: Vec<(u64, u64, Vec<u8>)>,
+    ) {
+        if seq <= self.applied {
+            return;
+        }
+        let d = digest(&snapshot);
+        let msg = ckpt_message(&self.tag, seq, round, &d);
+        if !self
+            .public
+            .signing()
+            .verify(&msg, &cert, QuorumRule::Qualified)
+        {
+            ctx.obs.inc(Layer::Rsm, "state_rejected");
+            return;
+        }
+        if !self.machine.restore(&snapshot) {
+            // A certified snapshot our machine cannot parse means a
+            // code/version mismatch; the machine left itself untouched.
+            ctx.obs.inc(Layer::Rsm, "state_rejected");
+            return;
+        }
+        self.applied = seq;
+        self.log.clear();
+        self.reply_cache.clear();
+        self.reply_index.clear();
+        self.pending_ckpts.clear();
+        self.ckpt_shares.retain(|(s, _, _), _| *s > seq);
+        self.stable = Some(StableCheckpoint {
+            seq,
+            round,
+            digest: d,
+            snapshot,
+            cert,
+        });
+        // Replay the (uncertified) tail; stop at the first gap. Replies
+        // are cached but not re-emitted — the original requesters
+        // already collected a quorum, and resubmissions hit the cache.
+        let mut last_round = round;
+        for (s, r, payload) in tail {
+            if s != self.applied || (s > seq && r < last_round) {
+                break;
+            }
+            let response = self.machine.apply(&payload);
+            let request = digest(&payload);
+            self.log.insert(s, (r, payload));
+            self.cache_reply(s, request, response);
+            self.applied = s + 1;
+            last_round = r;
+        }
+        // Resume ordering after the replayed prefix. The responder's
+        // claimed round is advisory: clamp it so a lying responder can
+        // neither rewind us nor strand us in a far-future round.
+        let target_round = next_round.clamp(last_round + 1, last_round + 1 + ROUND_JUMP_SLACK);
+        self.layer.fast_forward(self.applied, target_round);
+        self.fetch = None;
+        ctx.obs.inc(Layer::Rsm, "state_adopted");
     }
 
     fn handle_input(
         &mut self,
         ctx: &Context,
         request: Vec<u8>,
-        fx: &mut Effects<L::Message, Reply>,
+        fx: &mut Effects<RsmMessage<L::Message>, Reply>,
     ) {
+        let rd = digest(&request);
+        // A resubmitted request that was already ordered is answered
+        // from the cache — re-ordering it would burn a round and the
+        // client only needs fresh shares.
+        let cached = self.reply_index.get(&rd).and_then(|seq| {
+            self.reply_cache
+                .get(seq)
+                .filter(|(req, _)| *req == rd)
+                .map(|(_, resp)| (*seq, resp.clone()))
+        });
+        if let Some((seq, response)) = cached {
+            ctx.obs.inc(Layer::Rsm, "reply_cache_hit");
+            let msg = reply_message(&self.tag, &rd, seq, &response);
+            let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
+            fx.output(Reply {
+                request: rd,
+                seq,
+                replier: self.bundle.party(),
+                response,
+                share,
+            });
+            return;
+        }
         let mut out = Outbox::new(self.public.n());
         let ordered = self.layer.submit(request, &mut self.rng, &mut out);
-        self.answer(ctx, ordered, fx);
         for (to, m) in out {
-            fx.send(to, m);
+            fx.send(to, RsmMessage::Order(m));
         }
+        self.answer(ctx, ordered, fx);
+        self.record(ctx);
     }
 
     fn handle_message(
         &mut self,
         ctx: &Context,
         from: PartyId,
-        msg: L::Message,
-        fx: &mut Effects<L::Message, Reply>,
+        msg: RsmMessage<L::Message>,
+        fx: &mut Effects<RsmMessage<L::Message>, Reply>,
     ) {
-        let mut out = Outbox::new(self.public.n());
-        let ordered = self.layer.on_message(from, msg, &mut self.rng, &mut out);
-        self.answer(ctx, ordered, fx);
-        for (to, m) in out {
-            fx.send(to, m);
+        match msg {
+            RsmMessage::Order(m) => {
+                let mut out = Outbox::new(self.public.n());
+                let ordered = self.layer.on_message(from, m, &mut self.rng, &mut out);
+                for (to, mm) in out {
+                    fx.send(to, RsmMessage::Order(mm));
+                }
+                self.answer(ctx, ordered, fx);
+            }
+            RsmMessage::CkptShare {
+                seq,
+                round,
+                digest,
+                share,
+            } => self.on_ckpt_share(ctx, from, seq, round, digest, share, fx),
+            RsmMessage::FetchState { have_seq } => self.on_fetch_state(ctx, from, have_seq, fx),
+            RsmMessage::State {
+                seq,
+                round,
+                next_round,
+                snapshot,
+                cert,
+                tail,
+            } => self.on_state(ctx, seq, round, next_round, snapshot, cert, tail),
+        }
+        self.record(ctx);
+    }
+
+    fn handle_tick(&mut self, ctx: &Context, fx: &mut Effects<RsmMessage<L::Message>, Reply>) {
+        if let Some(job) = &mut self.fetch {
+            job.retry_in = job.retry_in.saturating_sub(1);
+            if job.retry_in == 0 {
+                job.backoff = (job.backoff * 2).min(FETCH_RETRY_CAP);
+                job.retry_in = job.backoff;
+                ctx.obs.inc(Layer::Rsm, "state_fetch_retry");
+                fx.broadcast(RsmMessage::FetchState {
+                    have_seq: self.applied,
+                });
+            }
         }
     }
 }
 
 impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
-    type Message = L::Message;
+    type Message = RsmMessage<L::Message>;
     type Input = Vec<u8>;
     type Output = Reply;
 
-    fn on_input(&mut self, request: Vec<u8>, fx: &mut Effects<L::Message, Reply>) {
+    fn on_input(&mut self, request: Vec<u8>, fx: &mut Effects<Self::Message, Reply>) {
         let ctx = Context::disabled(self.bundle.party(), self.public.n());
         self.handle_input(&ctx, request, fx);
     }
 
-    fn on_message(&mut self, from: PartyId, msg: L::Message, fx: &mut Effects<L::Message, Reply>) {
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: Self::Message,
+        fx: &mut Effects<Self::Message, Reply>,
+    ) {
         let ctx = Context::disabled(self.bundle.party(), self.public.n());
         self.handle_message(&ctx, from, msg, fx);
+    }
+
+    fn on_tick(&mut self, fx: &mut Effects<Self::Message, Reply>) {
+        let ctx = Context::disabled(self.bundle.party(), self.public.n());
+        self.handle_tick(&ctx, fx);
     }
 
     fn on_input_ctx(
         &mut self,
         ctx: &Context,
         request: Vec<u8>,
-        fx: &mut Effects<L::Message, Reply>,
+        fx: &mut Effects<Self::Message, Reply>,
     ) {
         self.handle_input(ctx, request, fx);
     }
@@ -297,10 +861,14 @@ impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
         &mut self,
         ctx: &Context,
         from: PartyId,
-        msg: L::Message,
-        fx: &mut Effects<L::Message, Reply>,
+        msg: Self::Message,
+        fx: &mut Effects<Self::Message, Reply>,
     ) {
         self.handle_message(ctx, from, msg, fx);
+    }
+
+    fn on_tick_ctx(&mut self, ctx: &Context, fx: &mut Effects<Self::Message, Reply>) {
+        self.handle_tick(ctx, fx);
     }
 }
 
@@ -436,6 +1004,212 @@ mod tests {
             let got: Vec<Vec<u8>> = sim.outputs(p).iter().map(|r| r.response.clone()).collect();
             assert_eq!(got, reference, "party {p}");
         }
+    }
+
+    #[test]
+    fn checkpoints_stabilize_and_prune_log() {
+        let (public, bundles) = deal(4, 1, 9);
+        let mut replicas = atomic_replicas(public, bundles, |_| KvMachine::new(), 9);
+        for r in &mut replicas {
+            r.set_ckpt_interval(4);
+        }
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(10)
+            .build();
+        // One request per round: run to quiescence between inputs so
+        // rounds (and therefore checkpoint boundaries) accumulate.
+        for i in 0..18u32 {
+            sim.input(
+                (i % 4) as usize,
+                KvMachine::encode_set(format!("k{i}").as_bytes(), b"v"),
+            );
+            sim.run_until_quiet(50_000_000);
+        }
+        for p in 0..4 {
+            let node = sim.node(p).unwrap();
+            let stable = node
+                .stable_checkpoint()
+                .unwrap_or_else(|| panic!("party {p} certified a checkpoint"));
+            assert!(stable.seq >= 12, "party {p} stable at {}", stable.seq);
+            // The log holds only entries past the stable checkpoint.
+            assert!(
+                node.log_len() <= (node.applied() - stable.seq) as usize,
+                "party {p} pruned its log"
+            );
+            // The certified snapshot matches a fresh restore.
+            let mut m = KvMachine::new();
+            assert!(m.restore(&stable.snapshot));
+        }
+    }
+
+    #[test]
+    fn resubmitted_request_answers_from_cache() {
+        let (public, bundles) = deal(4, 1, 13);
+        let verifier = public.clone();
+        let replicas = atomic_replicas(public, bundles, |_| EchoMachine::new(), 13);
+        let mut sim = Simulation::builder(replicas, RandomScheduler)
+            .seed(14)
+            .build();
+        sim.input(0, b"idempotent".to_vec());
+        sim.run_until_quiet(50_000_000);
+        assert_eq!(sim.outputs(0).len(), 1);
+        let first = sim.outputs(0)[0].clone();
+        let round_before = sim.node(0).unwrap().layer().current_round();
+        // The same request again: answered from the reply cache, no new
+        // ordering round burned.
+        sim.input(0, b"idempotent".to_vec());
+        sim.run_until_quiet(50_000_000);
+        let outputs = sim.outputs(0);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[1].seq, first.seq);
+        assert_eq!(outputs[1].response, first.response);
+        assert_eq!(
+            sim.node(0).unwrap().layer().current_round(),
+            round_before,
+            "cache hit must not re-order the request"
+        );
+        // The fresh share still verifies (clients can combine it).
+        let tag = Tag::root("rsm");
+        let msg = reply_message(
+            &tag,
+            &outputs[1].request,
+            outputs[1].seq,
+            &outputs[1].response,
+        );
+        assert!(verifier.signing().verify_share(&msg, &outputs[1].share));
+    }
+
+    type AbcReplica = Replica<AtomicBroadcast, KvMachine>;
+    type Queued = std::collections::VecDeque<(PartyId, PartyId, RsmMessage<AbcMessage>)>;
+
+    fn pump(
+        nodes: &mut [AbcReplica],
+        queue: &mut Queued,
+        dead: Option<PartyId>,
+        replies: &mut Vec<Reply>,
+    ) {
+        while let Some((from, to, msg)) = queue.pop_front() {
+            if Some(to) == dead || Some(from) == dead {
+                continue;
+            }
+            let mut fx = Effects::for_parties(nodes.len());
+            nodes[to].on_message(from, msg, &mut fx);
+            replies.extend(fx.take_outputs());
+            for (t, m) in fx.take_sends() {
+                queue.push_back((to, t, m));
+            }
+        }
+    }
+
+    fn submit(
+        nodes: &mut [AbcReplica],
+        queue: &mut Queued,
+        party: PartyId,
+        payload: Vec<u8>,
+        replies: &mut Vec<Reply>,
+    ) {
+        let mut fx = Effects::for_parties(nodes.len());
+        nodes[party].on_input(payload, &mut fx);
+        replies.extend(fx.take_outputs());
+        for (t, m) in fx.take_sends() {
+            queue.push_back((party, t, m));
+        }
+    }
+
+    #[test]
+    fn restarted_replica_rejoins_via_state_transfer() {
+        let (public, bundles) = deal(4, 1, 17);
+        let bundle3 = bundles[3].clone();
+        let public_arc = Arc::new(public.clone());
+        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 17);
+        for n in &mut nodes {
+            n.set_ckpt_interval(4);
+        }
+        let mut queue: Queued = Queued::new();
+        let mut replies = Vec::new();
+        // Warm-up with everyone alive.
+        for i in 0..3u32 {
+            submit(
+                &mut nodes,
+                &mut queue,
+                0,
+                KvMachine::encode_set(format!("w{i}").as_bytes(), b"v"),
+                &mut replies,
+            );
+            pump(&mut nodes, &mut queue, None, &mut replies);
+        }
+        // Kill replica 3 and run far past the GC window: the survivors
+        // keep ordering, checkpoint, and prune the history 3 missed.
+        let dead = Some(3);
+        for i in 0..57u32 {
+            submit(
+                &mut nodes,
+                &mut queue,
+                0,
+                KvMachine::encode_set(format!("d{i}").as_bytes(), b"v"),
+                &mut replies,
+            );
+            pump(&mut nodes, &mut queue, dead, &mut replies);
+        }
+        let survivor_round = nodes[0].layer().current_round();
+        assert!(
+            survivor_round >= 55,
+            "survivors progressed {survivor_round} rounds"
+        );
+        let stable_seq = nodes[0]
+            .stable_checkpoint()
+            .expect("survivors certified checkpoints")
+            .seq;
+        assert!(stable_seq > 40);
+        // Restart replica 3 from scratch: empty machine, round 0.
+        nodes[3] = Replica::new(
+            Tag::root("rsm"),
+            AtomicBroadcast::new(
+                Tag::root("rsm-abc"),
+                Arc::clone(&public_arc),
+                Arc::new(bundle3.clone()),
+            ),
+            KvMachine::new(),
+            Arc::clone(&public_arc),
+            Arc::new(bundle3),
+            SeededRng::new(9_999),
+        );
+        nodes[3].set_ckpt_interval(4);
+        // Resume with everyone alive. The next checkpoint's shares show
+        // replica 3 how far behind it is; it fetches the certified
+        // snapshot, replays the tail, and fast-forwards its ordering
+        // layer into the current round.
+        for i in 0..8u32 {
+            submit(
+                &mut nodes,
+                &mut queue,
+                0,
+                KvMachine::encode_set(format!("r{i}").as_bytes(), b"v"),
+                &mut replies,
+            );
+            pump(&mut nodes, &mut queue, None, &mut replies);
+        }
+        assert!(!nodes[3].is_fetching(), "state transfer completed");
+        assert_eq!(
+            nodes[3].applied(),
+            nodes[0].applied(),
+            "rejoined replica caught up to the survivors"
+        );
+        assert_eq!(
+            nodes[3].machine().snapshot(),
+            nodes[0].machine().snapshot(),
+            "state machines converged"
+        );
+        assert_eq!(
+            nodes[3].layer().current_round(),
+            nodes[0].layer().current_round()
+        );
+        // And it answers post-rejoin requests like everyone else.
+        let post_rejoin = replies
+            .iter()
+            .filter(|r| r.replier == 3 && r.seq >= stable_seq)
+            .count();
+        assert!(post_rejoin > 0, "rejoined replica serves requests again");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use sintra::protocols::abc::AbcMessage;
 use sintra::protocols::cbc::{CbcMessage, Voucher};
 use sintra::protocols::mvba::MvbaMessage;
 use sintra::protocols::scabc::ScabcMessage;
-use sintra::rsm::{atomic_replicas, causal_replicas};
+use sintra::rsm::{atomic_replicas, causal_replicas, RsmMessage};
 use sintra::setup::dealt_system;
 
 const DOC: &[u8] = b"perpetual motion machine blueprints";
@@ -89,33 +89,38 @@ fn run_plain_abc() -> (&'static str, bool) {
     // keeps proposing Mallory-only batches.
     let seen = Arc::new(AtomicBool::new(false));
     let seen_s = Arc::clone(&seen);
-    let scheduler = AdaptiveScheduler::new(move |pool: &[Envelope<AbcMessage>], _, rng| {
-        if pool.iter().any(|e| leaks(&e.msg, DOC)) {
-            seen_s.store(true, Ordering::Relaxed);
-        }
-        if let Some(i) = pool.iter().position(|e| leaks(&e.msg, b"mallory")) {
-            return i;
-        }
-        let safe: Vec<usize> = pool
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !leaks(&e.msg, b"alice"))
-            .map(|(i, _)| i)
-            .collect();
-        if !safe.is_empty() {
-            return safe[rng.next_below(safe.len() as u64) as usize];
-        }
-        let rank = |e: &Envelope<AbcMessage>| match e.to {
-            6 => 0u8,
-            0 => 1,
-            _ => 2,
-        };
-        pool.iter()
-            .enumerate()
-            .min_by_key(|(_, e)| rank(e))
-            .map(|(i, _)| i)
-            .expect("pool nonempty")
-    });
+    let taints = |m: &RsmMessage<AbcMessage>, needle: &[u8]| match m {
+        RsmMessage::Order(inner) => leaks(inner, needle),
+        _ => false,
+    };
+    let scheduler =
+        AdaptiveScheduler::new(move |pool: &[Envelope<RsmMessage<AbcMessage>>], _, rng| {
+            if pool.iter().any(|e| taints(&e.msg, DOC)) {
+                seen_s.store(true, Ordering::Relaxed);
+            }
+            if let Some(i) = pool.iter().position(|e| taints(&e.msg, b"mallory")) {
+                return i;
+            }
+            let safe: Vec<usize> = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !taints(&e.msg, b"alice"))
+                .map(|(i, _)| i)
+                .collect();
+            if !safe.is_empty() {
+                return safe[rng.next_below(safe.len() as u64) as usize];
+            }
+            let rank = |e: &Envelope<RsmMessage<AbcMessage>>| match e.to {
+                6 => 0u8,
+                0 => 1,
+                _ => 2,
+            };
+            pool.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| rank(e))
+                .map(|(i, _)| i)
+                .expect("pool nonempty")
+        });
 
     let mut sim = Simulation::builder(replicas, scheduler).seed(21).build();
     sim.input(0, filing(b"alice"));
@@ -136,16 +141,17 @@ fn run_causal() -> (&'static str, bool) {
     let replicas = causal_replicas(public, bundles, |_| NotaryService::new(), 22);
     let seen = Arc::new(AtomicBool::new(false));
     let seen_s = Arc::clone(&seen);
-    let scheduler = AdaptiveScheduler::new(move |pool: &[Envelope<ScabcMessage>], _, rng| {
-        let leak = pool.iter().any(|e| match &e.msg {
-            ScabcMessage::Abc(inner) => leaks(inner, DOC),
-            ScabcMessage::Share { .. } => false,
+    let scheduler =
+        AdaptiveScheduler::new(move |pool: &[Envelope<RsmMessage<ScabcMessage>>], _, rng| {
+            let leak = pool.iter().any(|e| match &e.msg {
+                RsmMessage::Order(ScabcMessage::Abc(inner)) => leaks(inner, DOC),
+                _ => false,
+            });
+            if leak {
+                seen_s.store(true, Ordering::Relaxed);
+            }
+            rng.next_below(pool.len() as u64) as usize
         });
-        if leak {
-            seen_s.store(true, Ordering::Relaxed);
-        }
-        rng.next_below(pool.len() as u64) as usize
-    });
     let mut sim = Simulation::builder(replicas, scheduler).seed(22).build();
     sim.input(0, filing(b"alice"));
     let mut injected = false;
