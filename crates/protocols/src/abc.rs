@@ -123,6 +123,16 @@ const DEFAULT_PUSH_BOUND: usize = 1024;
 /// transcripts.
 const DEFAULT_GC_WINDOW: u64 = 64;
 
+/// How many completed rounds of delivered-payload digests are kept for
+/// duplicate suppression. This is a **protocol constant**, not a tuning
+/// knob: whether round `r`'s decided list re-delivers a payload depends
+/// on whether its digest is still inside the window, so every honest
+/// party must prune by the same round-relative rule or total order
+/// diverges. Within the window a payload is delivered at most once; a
+/// copy re-proposed more than `DEDUP_ROUNDS` rounds after delivery is
+/// re-delivered — identically at every honest party.
+pub const DEDUP_ROUNDS: u64 = 64;
+
 /// Atomic broadcast endpoint at one server.
 pub struct AtomicBroadcast {
     tag: Tag,
@@ -133,7 +143,14 @@ pub struct AtomicBroadcast {
     round: u64,
     queue: VecDeque<Vec<u8>>,
     queued_digests: HashSet<Digest>,
-    delivered_digests: HashSet<Digest>,
+    /// Delivered-payload digest → delivery round, for duplicate
+    /// suppression. Windowed: entries older than [`DEDUP_ROUNDS`]
+    /// before the delivering round are pruned (deterministically, so
+    /// every honest party skips or re-delivers identically).
+    delivered: HashMap<Digest, u64>,
+    /// Delivery-round index over `delivered`, in delivery order within
+    /// each round (drives pruning and the canonical window encoding).
+    delivered_rounds: BTreeMap<u64, Vec<Digest>>,
     /// Per-sender count of still-queued pushed payloads; a sender whose
     /// debt reaches `push_bound` has further pushes dropped, so a
     /// Byzantine flooder cannot grow the queue without bound.
@@ -189,7 +206,8 @@ impl AtomicBroadcast {
             round: 0,
             queue: VecDeque::new(),
             queued_digests: HashSet::new(),
-            delivered_digests: HashSet::new(),
+            delivered: HashMap::new(),
+            delivered_rounds: BTreeMap::new(),
             push_debt: vec![0; n],
             charged: HashMap::new(),
             push_bound: DEFAULT_PUSH_BOUND,
@@ -245,7 +263,8 @@ impl AtomicBroadcast {
     }
 
     /// Approximate bytes of retained completed-round state: decided
-    /// list encodings plus buffered round proposals.
+    /// list encodings, buffered round proposals, and the delivered-
+    /// payload dedup window.
     pub fn retained_bytes(&self) -> usize {
         let lists: usize = self.decided_lists.values().map(Vec::len).sum();
         let props: usize = self
@@ -254,7 +273,21 @@ impl AtomicBroadcast {
             .flat_map(|m| m.values())
             .map(|(p, _)| p.len() + 64)
             .sum();
-        lists + props
+        // digest + round key in both the map and the round index
+        let dedup = self.delivered.len() * 80;
+        lists + props + dedup
+    }
+
+    /// The delivered-payload dedup window as `(delivery round, digest)`
+    /// pairs in canonical (round, delivery) order. Deterministic across
+    /// honest parties at the same round boundary, so the RSM layer can
+    /// commit it into checkpoint certificates and a rejoining replica
+    /// can restore dedup state it can trust.
+    pub fn dedup_window(&self) -> Vec<(u64, Digest)> {
+        self.delivered_rounds
+            .iter()
+            .flat_map(|(r, ds)| ds.iter().map(move |d| (*r, *d)))
+            .collect()
     }
 
     /// The stable low-watermark: every round below it has been pruned.
@@ -325,9 +358,7 @@ impl AtomicBroadcast {
     /// Returns `true` when the payload was newly queued.
     fn enqueue(&mut self, payload: Vec<u8>) -> bool {
         let d = digest(&payload);
-        if payload.is_empty()
-            || self.delivered_digests.contains(&d)
-            || !self.queued_digests.insert(d)
+        if payload.is_empty() || self.delivered.contains_key(&d) || !self.queued_digests.insert(d)
         {
             return false;
         }
@@ -500,11 +531,11 @@ impl AtomicBroadcast {
     /// state transfer): delivery resumes at `next_seq` in round
     /// `next_round`. All working state for skipped rounds is dropped —
     /// their effects are already reflected in the restored application
-    /// snapshot. Delivered-payload dedup history for the skipped prefix
-    /// is not recovered, so the caller must tolerate (or the upper layer
-    /// must filter) re-delivery of old payloads re-proposed after the
-    /// jump.
-    pub fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
+    /// snapshot. The delivered-payload dedup window is re-seeded from
+    /// `dedup` (taken from the certified checkpoint plus the vouched
+    /// tail), so post-jump delivery decisions match the live quorum's
+    /// exactly.
+    pub fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, Digest)]) {
         if next_round <= self.round && next_seq <= self.next_seq {
             return; // already caught up
         }
@@ -516,6 +547,14 @@ impl AtomicBroadcast {
         self.mvbas = self.mvbas.split_off(&self.round);
         self.sent_queued = self.sent_queued.split_off(&self.round);
         self.mvba_proposed = self.mvba_proposed.split_off(&self.round);
+        self.delivered.clear();
+        self.delivered_rounds.clear();
+        let horizon = self.round.saturating_sub(DEDUP_ROUNDS);
+        for (r, d) in dedup {
+            if *r >= horizon && self.delivered.insert(*d, *r).is_none() {
+                self.delivered_rounds.entry(*r).or_default().push(*d);
+            }
+        }
         // Drop the pending queue: payloads pushed to us while we lagged
         // were mostly ordered (and reflected in the restored snapshot)
         // long ago. Re-proposing them would burn rounds the others skip
@@ -530,6 +569,18 @@ impl AtomicBroadcast {
     }
 
     fn deliver_list(&mut self, round: u64, list: &[u8]) -> Vec<AbcDeliver> {
+        // Rotate the dedup window first: the skip/deliver decision below
+        // must depend only on digests within [`DEDUP_ROUNDS`] of this
+        // round, the same rule at every honest party.
+        let horizon = round.saturating_sub(DEDUP_ROUNDS);
+        while let Some((&r, _)) = self.delivered_rounds.first_key_value() {
+            if r >= horizon {
+                break;
+            }
+            for d in self.delivered_rounds.remove(&r).unwrap_or_default() {
+                self.delivered.remove(&d);
+            }
+        }
         let mut entries = decode_list(list).expect("decided lists passed external validity");
         entries.sort_by_key(|(party, _, _)| *party);
         let mut delivered = Vec::new();
@@ -538,9 +589,11 @@ impl AtomicBroadcast {
                 continue; // filler
             }
             let d = digest(&payload);
-            if !self.delivered_digests.insert(d) {
-                continue; // already delivered in an earlier round
+            if self.delivered.contains_key(&d) {
+                continue; // already delivered within the dedup window
             }
+            self.delivered.insert(d, round);
+            self.delivered_rounds.entry(round).or_default().push(d);
             // Drop from our own queue if pending, releasing the pushing
             // sender's budget.
             if self.queued_digests.remove(&d) {
@@ -1079,14 +1132,57 @@ mod tests {
     fn fast_forward_jumps_round_and_seq() {
         let mut ns = nodes(4, 1, 120);
         let abc = ns[0].endpoint_mut();
-        abc.fast_forward(42, 17);
+        let seed = vec![(16, digest(b"old")), (5, digest(b"ancient"))];
+        abc.fast_forward(42, 17, &seed);
         assert_eq!(abc.delivered_count(), 42);
         assert_eq!(abc.round(), 17);
         assert_eq!(abc.retained_rounds(), 0);
+        // The seeded dedup window survives (within the horizon).
+        assert_eq!(abc.dedup_window(), vec![(5, digest(b"ancient")), (16, digest(b"old"))]);
         // Fast-forwarding backwards is a no-op.
-        abc.fast_forward(1, 2);
+        abc.fast_forward(1, 2, &[]);
         assert_eq!(abc.delivered_count(), 42);
         assert_eq!(abc.round(), 17);
+    }
+
+    #[test]
+    fn dedup_window_rotates_and_stays_bounded() {
+        // A single-party group completes a round per broadcast. The
+        // delivered-digest window must rotate at DEDUP_ROUNDS — so a
+        // payload re-pushed long after delivery is delivered again
+        // (windowed at-most-once), and memory stays bounded.
+        let mut sim = Simulation::builder(nodes(1, 0, 130), RandomScheduler)
+            .seed(131)
+            .build();
+        sim.input(0, b"evergreen".to_vec());
+        sim.run_until_quiet(10_000_000);
+        assert_eq!(sim.outputs(0).len(), 1);
+        // Within the window, a re-push is suppressed.
+        sim.input(0, b"evergreen".to_vec());
+        sim.run_until_quiet(10_000_000);
+        assert_eq!(sim.outputs(0).len(), 1, "deduped within the window");
+        for i in 0..(DEDUP_ROUNDS + 8) {
+            sim.input(0, format!("filler-{i}").into_bytes());
+        }
+        sim.run_until_quiet(200_000_000);
+        let before = sim.outputs(0).len();
+        sim.input(0, b"evergreen".to_vec());
+        sim.run_until_quiet(10_000_000);
+        assert_eq!(
+            sim.outputs(0).len(),
+            before + 1,
+            "out-of-window duplicate is re-delivered"
+        );
+        let abc = sim.node(0).unwrap().endpoint();
+        assert!(
+            abc.dedup_window().len() as u64 <= DEDUP_ROUNDS + 1,
+            "dedup window bounded, got {}",
+            abc.dedup_window().len()
+        );
+        assert!(
+            abc.retained_bytes() >= abc.dedup_window().len() * 80,
+            "dedup window counted in retained bytes"
+        );
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct ScabcDeliver {
     pub round: u64,
     /// The server whose round proposal carried the ciphertext.
     pub origin: PartyId,
+    /// Digest of the ordered ciphertext — the transport-layer dedup
+    /// identity of this delivery (the RSM checkpoint protocol logs it so
+    /// a state transfer can re-seed the dedup window exactly).
+    pub ct_digest: [u8; 32],
     /// The ciphertext's public label (e.g. client identity).
     pub label: Vec<u8>,
     /// The decrypted request.
@@ -198,8 +202,15 @@ impl SecureCausalAtomicBroadcast {
     /// state transfer): causal delivery resumes at `next_seq` in
     /// agreement round `next_round`. All in-flight decryption state for
     /// skipped positions is dropped — their plaintexts are already
-    /// reflected in the restored application snapshot.
-    pub fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
+    /// reflected in the restored application snapshot. `dedup` re-seeds
+    /// the underlying transport's delivered-ciphertext window (digests
+    /// from the certified checkpoint plus the vouched tail).
+    pub fn fast_forward(
+        &mut self,
+        next_seq: u64,
+        next_round: u64,
+        dedup: &[(u64, [u8; 32])],
+    ) {
         if next_seq <= self.next_emit_seq && next_round <= self.abc.round() {
             return;
         }
@@ -212,7 +223,7 @@ impl SecureCausalAtomicBroadcast {
         self.completed.clear();
         self.completed_order.clear();
         self.decrypted.clear();
-        self.abc.fast_forward(next_seq, next_round);
+        self.abc.fast_forward(next_seq, next_round, dedup);
     }
 
     /// Encrypts a request under the service public key and broadcasts
@@ -387,6 +398,7 @@ impl SecureCausalAtomicBroadcast {
                 seq,
                 round: p.round,
                 origin: p.origin,
+                ct_digest: p.digest,
                 label: p.ciphertext.label().to_vec(),
                 plaintext,
             },
@@ -810,7 +822,7 @@ mod tests {
             &mut out,
         );
         assert_eq!(node.buffered_shares(), 1);
-        node.fast_forward(10, 5);
+        node.fast_forward(10, 5, &[]);
         assert_eq!(node.buffered_shares(), 0);
         assert_eq!(node.early_share_debt(2), 0);
         assert_eq!(node.delivered_count(), 10);

@@ -16,6 +16,11 @@ pub use sintra_net::codec::{CodecError, Reader, WireCodec, MAX_FRAME, MAX_PAYLOA
 /// serving-side cap with slack so honest responses always decode.
 const TAIL_DECODE_CAP: usize = 4096;
 
+/// Most dedup-window entries a decoded `State` message may carry. The
+/// honest window is `abc::DEDUP_ROUNDS` rounds of deliveries (at most
+/// one per party per round), far below this.
+const DEDUP_DECODE_CAP: usize = 16384;
+
 fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
     buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
     buf.extend_from_slice(bytes);
@@ -49,6 +54,7 @@ impl<M: WireCodec> WireCodec for RsmMessage<M> {
                 round,
                 next_round,
                 snapshot,
+                dedup,
                 cert,
                 tail,
             } => {
@@ -57,11 +63,17 @@ impl<M: WireCodec> WireCodec for RsmMessage<M> {
                 buf.extend_from_slice(&round.to_be_bytes());
                 buf.extend_from_slice(&next_round.to_be_bytes());
                 put_bytes(buf, snapshot);
+                buf.extend_from_slice(&(dedup.len() as u32).to_be_bytes());
+                for (r, d) in dedup {
+                    buf.extend_from_slice(&r.to_be_bytes());
+                    buf.extend_from_slice(d);
+                }
                 cert.encode_into(buf);
                 buf.extend_from_slice(&(tail.len() as u32).to_be_bytes());
-                for (s, r, payload) in tail {
+                for (s, r, td, payload) in tail {
                     buf.extend_from_slice(&s.to_be_bytes());
                     buf.extend_from_slice(&r.to_be_bytes());
+                    buf.extend_from_slice(td);
                     put_bytes(buf, payload);
                 }
             }
@@ -83,6 +95,20 @@ impl<M: WireCodec> WireCodec for RsmMessage<M> {
                 let round = r.u64()?;
                 let next_round = r.u64()?;
                 let snapshot = r.bytes("rsm snapshot", MAX_PAYLOAD)?;
+                let dedup_count = r.u32()? as usize;
+                if dedup_count > DEDUP_DECODE_CAP {
+                    return Err(CodecError::Oversized {
+                        what: "rsm state dedup window",
+                        len: dedup_count,
+                        max: DEDUP_DECODE_CAP,
+                    });
+                }
+                let mut dedup = Vec::with_capacity(dedup_count.min(1024));
+                for _ in 0..dedup_count {
+                    let rr = r.u64()?;
+                    let d = r.array::<32>()?;
+                    dedup.push((rr, d));
+                }
                 let cert = ThresholdSignature::decode(r)?;
                 let count = r.u32()? as usize;
                 if count > TAIL_DECODE_CAP {
@@ -96,14 +122,16 @@ impl<M: WireCodec> WireCodec for RsmMessage<M> {
                 for _ in 0..count {
                     let s = r.u64()?;
                     let rr = r.u64()?;
+                    let td = r.array::<32>()?;
                     let payload = r.bytes("rsm tail payload", MAX_PAYLOAD)?;
-                    tail.push((s, rr, payload));
+                    tail.push((s, rr, td, payload));
                 }
                 Ok(RsmMessage::State {
                     seq,
                     round,
                     next_round,
                     snapshot,
+                    dedup,
                     cert,
                     tail,
                 })
@@ -162,8 +190,12 @@ mod tests {
             round: 15,
             next_round: 18,
             snapshot: vec![1, 2, 3, 4],
+            dedup: vec![(14, [3u8; 32]), (15, [4u8; 32])],
             cert,
-            tail: vec![(64, 16, b"a".to_vec()), (65, 16, b"bb".to_vec())],
+            tail: vec![
+                (64, 16, [5u8; 32], b"a".to_vec()),
+                (65, 16, [6u8; 32], b"bb".to_vec()),
+            ],
         });
     }
 
@@ -175,8 +207,9 @@ mod tests {
             round: 1,
             next_round: 2,
             snapshot: vec![5; 16],
+            dedup: vec![(1, [2u8; 32])],
             cert,
-            tail: vec![(1, 1, vec![7; 8])],
+            tail: vec![(1, 1, [8u8; 32], vec![7; 8])],
         };
         let bytes = msg.encode();
         for cut in 0..bytes.len() {
@@ -198,9 +231,24 @@ mod tests {
         bytes.extend_from_slice(&1u64.to_be_bytes());
         bytes.extend_from_slice(&2u64.to_be_bytes());
         bytes.extend_from_slice(&0u32.to_be_bytes()); // empty snapshot
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // empty dedup window
         let (_, cert) = sample_crypto();
         cert.encode_into(&mut bytes);
         bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            RsmMessage::<RbcMessage>::decode_exact(&bytes),
+            Err(CodecError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_dedup_count_rejected() {
+        let mut bytes = vec![3u8];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&2u64.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // empty snapshot
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes()); // forged dedup count
         assert!(matches!(
             RsmMessage::<RbcMessage>::decode_exact(&bytes),
             Err(CodecError::Oversized { .. })

@@ -34,6 +34,11 @@ pub struct Ordered {
     pub round: u64,
     /// Server whose proposal carried the request.
     pub origin: PartyId,
+    /// The transport-layer dedup digest of the delivery: the payload
+    /// digest for plain atomic broadcast, the *ciphertext* digest for
+    /// the secure causal variant. Logged so state transfer can re-seed
+    /// the transport's delivered-payload window exactly.
+    pub tdigest: Digest,
     /// The request bytes.
     pub payload: Vec<u8>,
 }
@@ -72,9 +77,16 @@ pub trait OrderingLayer: core::fmt::Debug {
     /// Approximate bytes of retained transport state.
     fn retained_bytes(&self) -> usize;
 
+    /// The transport's delivered-payload dedup window as
+    /// `(delivery round, digest)` pairs in canonical order. Committed
+    /// into checkpoint certificates so a rejoining replica restores
+    /// dedup state it can trust.
+    fn dedup_window(&self) -> Vec<(u64, Digest)>;
+
     /// Jumps past skipped history after a state transfer: delivery
-    /// resumes at `next_seq` in round `next_round`.
-    fn fast_forward(&mut self, next_seq: u64, next_round: u64);
+    /// resumes at `next_seq` in round `next_round`, with the dedup
+    /// window re-seeded from `dedup`.
+    fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, Digest)]);
 }
 
 impl OrderingLayer for AtomicBroadcast {
@@ -92,6 +104,7 @@ impl OrderingLayer for AtomicBroadcast {
                 seq: d.seq,
                 round: d.round,
                 origin: d.origin,
+                tdigest: digest(&d.payload),
                 payload: d.payload,
             })
             .collect()
@@ -110,6 +123,7 @@ impl OrderingLayer for AtomicBroadcast {
                 seq: d.seq,
                 round: d.round,
                 origin: d.origin,
+                tdigest: digest(&d.payload),
                 payload: d.payload,
             })
             .collect()
@@ -127,8 +141,12 @@ impl OrderingLayer for AtomicBroadcast {
         AtomicBroadcast::retained_bytes(self)
     }
 
-    fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
-        AtomicBroadcast::fast_forward(self, next_seq, next_round);
+    fn dedup_window(&self) -> Vec<(u64, Digest)> {
+        AtomicBroadcast::dedup_window(self)
+    }
+
+    fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, Digest)]) {
+        AtomicBroadcast::fast_forward(self, next_seq, next_round, dedup);
     }
 }
 
@@ -148,6 +166,7 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
                 seq: d.seq,
                 round: d.round,
                 origin: d.origin,
+                tdigest: d.ct_digest,
                 payload: d.plaintext,
             })
             .collect()
@@ -166,6 +185,7 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
                 seq: d.seq,
                 round: d.round,
                 origin: d.origin,
+                tdigest: d.ct_digest,
                 payload: d.plaintext,
             })
             .collect()
@@ -183,8 +203,12 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
         self.abc().retained_bytes()
     }
 
-    fn fast_forward(&mut self, next_seq: u64, next_round: u64) {
-        SecureCausalAtomicBroadcast::fast_forward(self, next_seq, next_round);
+    fn dedup_window(&self) -> Vec<(u64, Digest)> {
+        self.abc().dedup_window()
+    }
+
+    fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, Digest)]) {
+        SecureCausalAtomicBroadcast::fast_forward(self, next_seq, next_round, dedup);
     }
 }
 
@@ -213,9 +237,29 @@ pub fn reply_message(tag: &Tag, request: &Digest, seq: u64, response: &[u8]) -> 
 
 /// Builds the byte string checkpoint shares sign: the service tag binds
 /// the certificate to this deployment, `seq`/`round` pin the prefix,
-/// and `digest` commits to the snapshot bytes.
+/// and `digest` commits to the snapshot bytes and the transport's
+/// delivered-payload dedup window (see [`ckpt_digest`]).
 pub fn ckpt_message(tag: &Tag, seq: u64, round: u64, digest: &Digest) -> Vec<u8> {
     tag.message(&[b"ckpt", &seq.to_be_bytes(), &round.to_be_bytes(), digest])
+}
+
+/// The digest a checkpoint certificate covers: the application snapshot
+/// *plus* the ordering layer's delivered-payload dedup window. Binding
+/// the window into the certificate means a rejoining replica restores
+/// dedup state vouched for by a qualified quorum — its post-transfer
+/// skip/deliver decisions then match the live quorum's exactly, so a
+/// Byzantine re-push of an old payload cannot skew its sequence
+/// numbering relative to the survivors.
+pub fn ckpt_digest(snapshot: &[u8], dedup: &[(u64, Digest)]) -> Digest {
+    let mut bytes = Vec::with_capacity(snapshot.len() + 12 + dedup.len() * 40);
+    bytes.extend_from_slice(&(snapshot.len() as u64).to_be_bytes());
+    bytes.extend_from_slice(snapshot);
+    bytes.extend_from_slice(&(dedup.len() as u32).to_be_bytes());
+    for (round, d) in dedup {
+        bytes.extend_from_slice(&round.to_be_bytes());
+        bytes.extend_from_slice(d);
+    }
+    digest(&bytes)
 }
 
 /// Default checkpoint cadence in agreement rounds.
@@ -234,6 +278,25 @@ const FETCH_RETRY_TICKS: u64 = 8;
 
 /// State-fetch retry backoff cap, in ticks.
 const FETCH_RETRY_CAP: u64 = 128;
+
+/// Fetch attempts before the job resolves: it adopts whatever certified
+/// snapshot arrived (applying only the vouched tail prefix) or, with no
+/// response at all, is abandoned. Without this cap a fetch for a
+/// checkpoint nobody serves would rebroadcast `FetchState` forever.
+const MAX_FETCH_ATTEMPTS: u32 = 8;
+
+/// Most checkpoint-signature shares pooled from a single sender. A
+/// Byzantine party can sign shares over arbitrary fabricated
+/// `(seq, round, digest)` tuples; the cap keeps its pool footprint
+/// bounded while honest senders (at most a couple of checkpoints in
+/// flight) never hit it.
+const CKPT_POOL_PER_SENDER: usize = 8;
+
+/// How far past our current round a checkpoint share may claim and
+/// still be pooled toward a certificate. Plausible near-future shares
+/// (peers running slightly ahead) land inside it; anything farther is
+/// at most a state-transfer *hint* (one slot per sender), never pooled.
+const CKPT_POOL_LOOKAHEAD: u64 = 32;
 
 /// How far past the replayed tail a `State` responder's claimed current
 /// round may fast-forward us. Bounds the damage of a lying responder:
@@ -275,10 +338,16 @@ pub enum RsmMessage<M> {
         next_round: u64,
         /// State-machine snapshot bytes.
         snapshot: Vec<u8>,
+        /// The transport dedup window at the checkpoint (covered by the
+        /// certificate together with the snapshot).
+        dedup: Vec<(u64, Digest)>,
         /// Threshold certificate over the checkpoint message.
         cert: ThresholdSignature,
-        /// Ordered requests after the snapshot: `(seq, round, payload)`.
-        tail: Vec<(u64, u64, Vec<u8>)>,
+        /// Ordered requests after the snapshot:
+        /// `(seq, round, transport digest, payload)`. NOT covered by
+        /// the certificate — the receiver applies only entries vouched
+        /// for by a qualified set of distinct responders.
+        tail: Vec<(u64, u64, Digest, Vec<u8>)>,
     },
 }
 
@@ -290,10 +359,13 @@ pub struct StableCheckpoint {
     pub seq: u64,
     /// Round whose delivery completed the prefix.
     pub round: u64,
-    /// Snapshot digest the certificate covers.
+    /// The [`ckpt_digest`] the certificate covers (snapshot ‖ dedup
+    /// window).
     pub digest: Digest,
     /// The snapshot bytes.
     pub snapshot: Vec<u8>,
+    /// The transport dedup window at the checkpoint.
+    pub dedup: Vec<(u64, Digest)>,
     /// Threshold signature over [`ckpt_message`] by a qualified set.
     pub cert: ThresholdSignature,
 }
@@ -304,13 +376,36 @@ struct PendingCkpt {
     round: u64,
     digest: Digest,
     snapshot: Vec<u8>,
+    dedup: Vec<(u64, Digest)>,
 }
 
-/// An in-flight state-transfer request with retry backoff.
+/// The best certified `State` response collected so far during a fetch,
+/// with each responder's (uncertified) `next_round` claim and tail kept
+/// separately: a tail entry is applied only once identical copies
+/// arrive from a qualified set of distinct responders — a set no
+/// corruptible coalition covers, so at least one honest replica vouches
+/// for every applied entry — and the resume round is taken from a
+/// responder group that vouched the *entire* tail, so the jump can
+/// never skip past deliveries that were not replayed.
+#[derive(Debug)]
+struct Candidate {
+    seq: u64,
+    round: u64,
+    digest: Digest,
+    snapshot: Vec<u8>,
+    dedup: Vec<(u64, Digest)>,
+    cert: ThresholdSignature,
+    tails: BTreeMap<PartyId, (u64, Vec<(u64, u64, Digest, Vec<u8>)>)>,
+}
+
+/// An in-flight state-transfer request with retry backoff, bounded
+/// attempts, and the certified candidate under collection.
 #[derive(Debug)]
 struct FetchJob {
     retry_in: u64,
     backoff: u64,
+    attempts: u32,
+    candidate: Option<Candidate>,
 }
 
 /// A replicated-service node: ordering layer + state machine + reply
@@ -327,12 +422,20 @@ pub struct Replica<L: OrderingLayer, S: StateMachine> {
     applied: u64,
     ckpt_interval: u64,
     /// Requests applied since the stable checkpoint: seq → (round,
-    /// payload). Served as the `State` tail; pruned at stabilization.
-    log: BTreeMap<u64, (u64, Vec<u8>)>,
+    /// transport digest, payload). Served as the `State` tail; pruned
+    /// at stabilization.
+    log: BTreeMap<u64, (u64, Digest, Vec<u8>)>,
     /// Locally taken checkpoints awaiting certificates, keyed by seq.
     pending_ckpts: BTreeMap<u64, PendingCkpt>,
     /// Verified checkpoint shares, keyed by (seq, round, digest).
+    /// Bounded: only near-future rounds are pooled, with a per-sender
+    /// cap, so Byzantine fabricated tuples cannot pin memory.
     ckpt_shares: HashMap<(u64, u64, Digest), Vec<SignatureShare>>,
+    /// Each sender's latest far-ahead checkpoint claim (one slot per
+    /// sender). A fetch starts only when the same claim is made by a
+    /// qualified set of senders — a single Byzantine replica cannot
+    /// put an up-to-date replica into fetch mode.
+    ckpt_hints: Vec<Option<(u64, u64, Digest)>>,
     stable: Option<StableCheckpoint>,
     /// Answered requests: seq → (request digest, response); lets a
     /// resubmitted request be re-answered without re-ordering it.
@@ -351,6 +454,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         bundle: Arc<ServerKeyBundle>,
         rng: SeededRng,
     ) -> Self {
+        let n = public.n();
         Replica {
             tag,
             layer,
@@ -363,6 +467,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             log: BTreeMap::new(),
             pending_ckpts: BTreeMap::new(),
             ckpt_shares: HashMap::new(),
+            ckpt_hints: vec![None; n],
             stable: None,
             reply_cache: BTreeMap::new(),
             reply_index: HashMap::new(),
@@ -422,15 +527,24 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
 
     /// Approximate bytes pinned by the log, reply cache, and snapshots.
     pub fn retained_bytes(&self) -> usize {
-        let log: usize = self.log.values().map(|(_, p)| p.len() + 16).sum();
+        let log: usize = self.log.values().map(|(_, _, p)| p.len() + 48).sum();
         let cache: usize = self.reply_cache.values().map(|(_, r)| r.len() + 40).sum();
         let pending: usize = self
             .pending_ckpts
             .values()
-            .map(|p| p.snapshot.len() + 48)
+            .map(|p| p.snapshot.len() + p.dedup.len() * 40 + 48)
             .sum();
-        let stable = self.stable.as_ref().map_or(0, |s| s.snapshot.len() + 48);
+        let stable = self
+            .stable
+            .as_ref()
+            .map_or(0, |s| s.snapshot.len() + s.dedup.len() * 40 + 48);
         log + cache + pending + stable
+    }
+
+    /// Total pooled checkpoint-signature shares (observability for the
+    /// Byzantine-flooding bound tests).
+    pub fn pooled_ckpt_shares(&self) -> usize {
+        self.ckpt_shares.values().map(Vec::len).sum()
     }
 
     fn record(&self, ctx: &Context) {
@@ -497,7 +611,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                     .at(ctx.at),
             );
             self.applied = o.seq + 1;
-            self.log.insert(o.seq, (o.round, o.payload.clone()));
+            self.log.insert(o.seq, (o.round, o.tdigest, o.payload.clone()));
             self.cache_reply(o.seq, request, response.clone());
             fx.output(Reply {
                 request,
@@ -527,7 +641,8 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             return;
         }
         let snapshot = self.machine.snapshot();
-        let d = digest(&snapshot);
+        let dedup = self.layer.dedup_window();
+        let d = ckpt_digest(&snapshot, &dedup);
         let msg = ckpt_message(&self.tag, seq, round, &d);
         let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
         ctx.obs.inc(Layer::Rsm, "ckpt_taken");
@@ -537,6 +652,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 round,
                 digest: d,
                 snapshot,
+                dedup,
             },
         );
         // Broadcast includes self: our own share joins the pool through
@@ -560,7 +676,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         share: SignatureShare,
         fx: &mut Effects<RsmMessage<L::Message>, Reply>,
     ) {
-        if share.party() != from {
+        if share.party() != from || from >= self.ckpt_hints.len() {
             ctx.obs.inc(Layer::Rsm, "ckpt_share_rejected");
             return;
         }
@@ -570,23 +686,34 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             return;
         }
         // A verified share for a round far past ours means we missed
-        // history the group may already have pruned: request a
-        // certified snapshot instead of waiting for messages that will
-        // never be resent.
-        if seq > self.applied
-            && round > self.layer.current_round() + self.ckpt_interval
-            && self.fetch.is_none()
-        {
-            ctx.obs.inc(Layer::Rsm, "state_fetch_started");
-            self.fetch = Some(FetchJob {
-                retry_in: FETCH_RETRY_TICKS,
-                backoff: FETCH_RETRY_TICKS,
-            });
-            fx.broadcast(RsmMessage::FetchState {
-                have_seq: self.applied,
-            });
+        // history the group may already have pruned. A single share is
+        // only a *hint* — any one replica can sign shares over
+        // fabricated tuples — so record it (one slot per sender) and
+        // fetch once a qualified set of senders makes the same claim.
+        if seq > self.applied && round > self.layer.current_round() + self.ckpt_interval {
+            self.ckpt_hints[from] = Some((seq, round, d));
+            self.maybe_start_fetch(ctx, fx);
+            return; // far-ahead shares are never pooled: we cannot
+                    // have a matching pending checkpoint to certify
         }
         if self.stable.as_ref().is_some_and(|s| s.seq >= seq) {
+            return;
+        }
+        // Pool bounds (Byzantine senders can fabricate tuples freely):
+        // only plausibly-near rounds, and only a capped number of
+        // shares per sender.
+        if round > self.layer.current_round() + CKPT_POOL_LOOKAHEAD {
+            ctx.obs.inc(Layer::Rsm, "ckpt_share_rejected");
+            return;
+        }
+        let pooled_from = self
+            .ckpt_shares
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|s| s.party() == from)
+            .count();
+        if pooled_from >= CKPT_POOL_PER_SENDER {
+            ctx.obs.inc(Layer::Rsm, "ckpt_share_rejected");
             return;
         }
         let shares = self.ckpt_shares.entry((seq, round, d)).or_default();
@@ -613,6 +740,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                     round,
                     digest: d,
                     snapshot: p.snapshot,
+                    dedup: p.dedup,
                     cert,
                 });
                 self.prune_to(seq);
@@ -637,6 +765,50 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         self.ckpt_shares.retain(|(s, _, _), _| *s > seq);
     }
 
+    /// A checkpoint claimed — identically — by a qualified set of
+    /// senders, strictly ahead of our applied prefix and current round.
+    /// Qualified means no corruptible coalition covers the claimants,
+    /// so at least one honest replica certifies the history exists.
+    fn hinted_fetch_target(&self) -> Option<(u64, u64, Digest)> {
+        let horizon = self.layer.current_round() + self.ckpt_interval;
+        let mut groups: HashMap<(u64, u64, Digest), PartySet> = HashMap::new();
+        for (p, hint) in self.ckpt_hints.iter().enumerate() {
+            if let Some((seq, round, d)) = hint {
+                if *seq > self.applied && *round > horizon {
+                    groups
+                        .entry((*seq, *round, *d))
+                        .or_insert_with(PartySet::new)
+                        .insert(p);
+                }
+            }
+        }
+        groups
+            .into_iter()
+            .filter(|(_, set)| self.public.structure().is_qualified(set))
+            .map(|(claim, _)| claim)
+            .max()
+    }
+
+    fn maybe_start_fetch(
+        &mut self,
+        ctx: &Context,
+        fx: &mut Effects<RsmMessage<L::Message>, Reply>,
+    ) {
+        if self.fetch.is_some() || self.hinted_fetch_target().is_none() {
+            return;
+        }
+        ctx.obs.inc(Layer::Rsm, "state_fetch_started");
+        self.fetch = Some(FetchJob {
+            retry_in: FETCH_RETRY_TICKS,
+            backoff: FETCH_RETRY_TICKS,
+            attempts: 0,
+            candidate: None,
+        });
+        fx.broadcast(RsmMessage::FetchState {
+            have_seq: self.applied,
+        });
+    }
+
     fn on_fetch_state(
         &mut self,
         ctx: &Context,
@@ -648,11 +820,11 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         if stable.seq <= have_seq {
             return;
         }
-        let tail: Vec<(u64, u64, Vec<u8>)> = self
+        let tail: Vec<(u64, u64, Digest, Vec<u8>)> = self
             .log
             .range(stable.seq..)
             .take(STATE_TAIL_CAP)
-            .map(|(s, (r, p))| (*s, *r, p.clone()))
+            .map(|(s, (r, td, p))| (*s, *r, *td, p.clone()))
             .collect();
         ctx.obs.inc(Layer::Rsm, "state_served");
         fx.send(
@@ -662,6 +834,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 round: stable.round,
                 next_round: self.layer.current_round(),
                 snapshot: stable.snapshot.clone(),
+                dedup: stable.dedup.clone(),
                 cert: stable.cert.clone(),
                 tail,
             },
@@ -672,17 +845,26 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
     fn on_state(
         &mut self,
         ctx: &Context,
+        from: PartyId,
         seq: u64,
         round: u64,
         next_round: u64,
         snapshot: Vec<u8>,
+        dedup: Vec<(u64, Digest)>,
         cert: ThresholdSignature,
-        tail: Vec<(u64, u64, Vec<u8>)>,
+        tail: Vec<(u64, u64, Digest, Vec<u8>)>,
     ) {
         if seq <= self.applied {
             return;
         }
-        let d = digest(&snapshot);
+        // Transfers are strictly pull: unsolicited `State` pushes are
+        // dropped, so a Byzantine replica cannot warp an up-to-date
+        // replica forward at will.
+        if self.fetch.is_none() {
+            ctx.obs.inc(Layer::Rsm, "state_rejected");
+            return;
+        }
+        let d = ckpt_digest(&snapshot, &dedup);
         let msg = ckpt_message(&self.tag, seq, round, &d);
         if !self
             .public
@@ -692,46 +874,118 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             ctx.obs.inc(Layer::Rsm, "state_rejected");
             return;
         }
-        if !self.machine.restore(&snapshot) {
+        let job = self.fetch.as_mut().expect("checked above");
+        match &mut job.candidate {
+            Some(c) if c.seq == seq && c.round == round && c.digest == d => {
+                c.tails.insert(from, (next_round, tail));
+            }
+            Some(c) if c.seq >= seq => {
+                // Older than (or conflicting at) what we already hold;
+                // agreement makes a genuine same-seq conflict of
+                // certified checkpoints impossible, so keep the first.
+                return;
+            }
+            _ => {
+                let mut tails = BTreeMap::new();
+                tails.insert(from, (next_round, tail));
+                job.candidate = Some(Candidate {
+                    seq,
+                    round,
+                    digest: d,
+                    snapshot,
+                    dedup,
+                    cert,
+                    tails,
+                });
+            }
+        }
+        self.try_adopt(ctx, false);
+    }
+
+    /// Resolves the fetch if it can: immediately once a qualified set
+    /// of responders agrees on the *entire* transfer (the normal path),
+    /// or — when `force`d by the retry cap — with whatever certified
+    /// snapshot arrived, applying only the tail prefix that is still
+    /// vouched and resuming at a conservatively early round.
+    fn try_adopt(&mut self, ctx: &Context, force: bool) {
+        let plan = match &self.fetch {
+            Some(FetchJob {
+                candidate: Some(c), ..
+            }) => {
+                let plan = plan_adoption(c, &self.public);
+                if force || plan.target_round.is_some() {
+                    Some(plan)
+                } else {
+                    None
+                }
+            }
+            Some(_) => None,
+            None => return,
+        };
+        let Some(plan) = plan else {
+            if force {
+                // Attempts exhausted with nothing certified to show:
+                // abandon rather than rebroadcast forever.
+                ctx.obs.inc(Layer::Rsm, "state_fetch_abandoned");
+                self.fetch = None;
+            }
+            return;
+        };
+        let job = self.fetch.take().expect("checked above");
+        let c = job.candidate.expect("checked above");
+        self.adopt(ctx, c, plan);
+    }
+
+    fn adopt(&mut self, ctx: &Context, c: Candidate, plan: AdoptionPlan) {
+        if c.seq <= self.applied {
+            return; // caught up through the normal path meanwhile
+        }
+        if !self.machine.restore(&c.snapshot) {
             // A certified snapshot our machine cannot parse means a
             // code/version mismatch; the machine left itself untouched.
             ctx.obs.inc(Layer::Rsm, "state_rejected");
             return;
         }
-        self.applied = seq;
+        self.applied = c.seq;
         self.log.clear();
         self.reply_cache.clear();
         self.reply_index.clear();
         self.pending_ckpts.clear();
-        self.ckpt_shares.retain(|(s, _, _), _| *s > seq);
+        self.ckpt_shares.retain(|(s, _, _), _| *s > c.seq);
+        // Replay the vouched tail prefix; replies are cached but not
+        // re-emitted — the original requesters already collected a
+        // quorum, and resubmissions hit the cache.
+        let mut dedup = c.dedup.clone();
+        let mut last_round = c.round;
         self.stable = Some(StableCheckpoint {
-            seq,
-            round,
-            digest: d,
-            snapshot,
-            cert,
+            seq: c.seq,
+            round: c.round,
+            digest: c.digest,
+            snapshot: c.snapshot,
+            dedup: c.dedup,
+            cert: c.cert,
         });
-        // Replay the (uncertified) tail; stop at the first gap. Replies
-        // are cached but not re-emitted — the original requesters
-        // already collected a quorum, and resubmissions hit the cache.
-        let mut last_round = round;
-        for (s, r, payload) in tail {
-            if s != self.applied || (s > seq && r < last_round) {
-                break;
-            }
+        for (s, r, td, payload) in plan.tail {
             let response = self.machine.apply(&payload);
             let request = digest(&payload);
-            self.log.insert(s, (r, payload));
+            dedup.push((r, td));
+            self.log.insert(s, (r, td, payload));
             self.cache_reply(s, request, response);
             self.applied = s + 1;
             last_round = r;
         }
-        // Resume ordering after the replayed prefix. The responder's
-        // claimed round is advisory: clamp it so a lying responder can
-        // neither rewind us nor strand us in a far-future round.
-        let target_round = next_round.clamp(last_round + 1, last_round + 1 + ROUND_JUMP_SLACK);
-        self.layer.fast_forward(self.applied, target_round);
-        self.fetch = None;
+        // Resume ordering after the replayed prefix. A vouched terminal
+        // round is still clamped so a transfer can neither rewind us nor
+        // strand us in a far-future round; without one, resume right
+        // after the last replayed round — possibly a few (delivery-free)
+        // rounds behind the group, which live traffic or the next
+        // checkpoint recovers, whereas overshooting a delivering round
+        // would diverge the sequence numbering forever.
+        let target_round = match plan.target_round {
+            Some(r) => r.clamp(last_round + 1, last_round + 1 + ROUND_JUMP_SLACK),
+            None => last_round + 1,
+        };
+        self.layer.fast_forward(self.applied, target_round, &dedup);
         ctx.obs.inc(Layer::Rsm, "state_adopted");
     }
 
@@ -801,26 +1055,157 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 round,
                 next_round,
                 snapshot,
+                dedup,
                 cert,
                 tail,
-            } => self.on_state(ctx, seq, round, next_round, snapshot, cert, tail),
+            } => self.on_state(ctx, from, seq, round, next_round, snapshot, dedup, cert, tail),
         }
         self.record(ctx);
     }
 
     fn handle_tick(&mut self, ctx: &Context, fx: &mut Effects<RsmMessage<L::Message>, Reply>) {
-        if let Some(job) = &mut self.fetch {
+        let (exhausted, has_candidate);
+        {
+            let Some(job) = &mut self.fetch else { return };
             job.retry_in = job.retry_in.saturating_sub(1);
-            if job.retry_in == 0 {
-                job.backoff = (job.backoff * 2).min(FETCH_RETRY_CAP);
-                job.retry_in = job.backoff;
-                ctx.obs.inc(Layer::Rsm, "state_fetch_retry");
-                fx.broadcast(RsmMessage::FetchState {
-                    have_seq: self.applied,
-                });
+            if job.retry_in > 0 {
+                return;
+            }
+            job.attempts += 1;
+            job.backoff = (job.backoff * 2).min(FETCH_RETRY_CAP);
+            job.retry_in = job.backoff;
+            exhausted = job.attempts >= MAX_FETCH_ATTEMPTS;
+            has_candidate = job.candidate.is_some();
+        }
+        if exhausted {
+            // Resolve rather than retry forever: adopt the certified
+            // candidate (with whatever tail prefix is vouched) or
+            // abandon the fetch outright.
+            self.try_adopt(ctx, true);
+            return;
+        }
+        if !has_candidate && self.hinted_fetch_target().is_none() {
+            // The hints that triggered the fetch no longer say we are
+            // behind — we caught up through the normal path. Stop
+            // asking peers who will never answer.
+            ctx.obs.inc(Layer::Rsm, "state_fetch_cancelled");
+            self.fetch = None;
+            return;
+        }
+        ctx.obs.inc(Layer::Rsm, "state_fetch_retry");
+        fx.broadcast(RsmMessage::FetchState {
+            have_seq: self.applied,
+        });
+    }
+}
+
+/// How to finish a state transfer: the tail entries safe to replay and
+/// — when a qualified responder group vouched the whole transfer — the
+/// round to resume ordering in.
+struct AdoptionPlan {
+    tail: Vec<(u64, u64, Digest, Vec<u8>)>,
+    /// `Some` only when responders that served *exactly* `tail` form a
+    /// qualified set; the value is the smallest `next_round` they
+    /// claimed. `None` means no terminal claim is trustworthy — resume
+    /// at the round boundary the replayed prefix itself proves.
+    target_round: Option<u64>,
+}
+
+/// Decides what a collected candidate justifies applying.
+///
+/// The happy path: responders whose full response (tail and all) is
+/// byte-identical to the vouched tail form a qualified set. One of them
+/// is honest, its response is self-consistent, so replaying the whole
+/// tail and jumping to the group's smallest claimed `next_round` cannot
+/// skip a delivering round. The smallest claim is used because a
+/// too-early resume leaves us a recoverable laggard, while a lying high
+/// claim would skip deliveries irrecoverably.
+///
+/// Otherwise only the per-entry vouched prefix is applied, and the
+/// trailing round's entries are dropped too: a round delivers a batch,
+/// and a prefix cut mid-batch (e.g. at [`STATE_TAIL_CAP`]) must not be
+/// partially applied — the round is re-run or re-fetched instead. No
+/// terminal round is trusted in that case.
+fn plan_adoption(c: &Candidate, public: &PublicParameters) -> AdoptionPlan {
+    let mut tail = vouched_tail(c, public);
+    let full: PartySet = c
+        .tails
+        .iter()
+        .filter(|(_, (_, t))| *t == tail)
+        .map(|(p, _)| *p)
+        .collect();
+    if tail.len() < STATE_TAIL_CAP && public.structure().is_qualified(&full) {
+        let target = c
+            .tails
+            .iter()
+            .filter(|(p, _)| full.contains(**p))
+            .map(|(_, (nr, _))| *nr)
+            .min();
+        return AdoptionPlan {
+            tail,
+            target_round: target,
+        };
+    }
+    if let Some(&(_, r_last, _, _)) = tail.last() {
+        tail.retain(|e| e.1 < r_last);
+    }
+    AdoptionPlan {
+        tail,
+        target_round: None,
+    }
+}
+
+/// The longest tail prefix a qualified set of responders agrees on,
+/// entry by entry: an applied entry carries identical
+/// `(seq, round, transport digest, payload)` from responders no
+/// corruptible coalition covers, so at least one honest replica vouches
+/// for it. Entries past the first disagreement (or gap, or round
+/// regression) are dropped — a later checkpoint covers them.
+fn vouched_tail(c: &Candidate, public: &PublicParameters) -> Vec<(u64, u64, Digest, Vec<u8>)> {
+    // Index each responder's tail by seq (first entry wins).
+    let maps: Vec<(PartyId, HashMap<u64, &(u64, u64, Digest, Vec<u8>)>)> = c
+        .tails
+        .iter()
+        .map(|(p, (_, tail))| {
+            let mut m: HashMap<u64, &(u64, u64, Digest, Vec<u8>)> = HashMap::new();
+            for e in tail {
+                m.entry(e.0).or_insert(e);
+            }
+            (*p, m)
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut s = c.seq;
+    let mut last_round = c.round;
+    'next_seq: loop {
+        let mut groups: Vec<(&(u64, u64, Digest, Vec<u8>), PartySet)> = Vec::new();
+        for (p, m) in &maps {
+            if let Some(e) = m.get(&s) {
+                match groups.iter_mut().find(|(g, _)| {
+                    g.1 == e.1 && g.2 == e.2 && g.3 == e.3
+                }) {
+                    Some((_, set)) => {
+                        set.insert(*p);
+                    }
+                    None => {
+                        let mut set = PartySet::new();
+                        set.insert(*p);
+                        groups.push((e, set));
+                    }
+                }
             }
         }
+        for (e, set) in groups {
+            if e.1 >= last_round && public.structure().is_qualified(&set) {
+                out.push((s, e.1, e.2, e.3.clone()));
+                last_round = e.1;
+                s += 1;
+                continue 'next_seq;
+            }
+        }
+        break;
     }
+    out
 }
 
 impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
@@ -1210,6 +1595,298 @@ mod tests {
             .filter(|r| r.replier == 3 && r.seq >= stable_seq)
             .count();
         assert!(post_rejoin > 0, "rejoined replica serves requests again");
+    }
+
+    #[test]
+    fn single_far_future_ckpt_share_does_not_trigger_fetch() {
+        let (public, bundles) = deal(4, 1, 21);
+        let b2 = bundles[2].clone();
+        let b3 = bundles[3].clone();
+        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 21);
+        let mut rng = SeededRng::new(1);
+        let tag = Tag::root("rsm");
+        // A Byzantine replica signs a perfectly valid share over a
+        // fabricated far-future checkpoint claim.
+        let (seq, round, d) = (1_000u64, 1_000u64, [7u8; 32]);
+        let msg = ckpt_message(&tag, seq, round, &d);
+        let share = b3.signing_key().sign_share(&msg, &mut rng);
+        let mut fx = Effects::for_parties(4);
+        nodes[0].on_message(
+            3,
+            RsmMessage::CkptShare {
+                seq,
+                round,
+                digest: d,
+                share,
+            },
+            &mut fx,
+        );
+        assert!(!nodes[0].is_fetching(), "one hint must not start a fetch");
+        assert!(fx.take_sends().is_empty(), "no FetchState broadcast");
+        // Re-sending (or varying the claim) from the same sender still
+        // occupies only its single hint slot.
+        for s in 0..20u64 {
+            let claim = (2_000 + s, 2_000 + s, [s as u8; 32]);
+            let msg = ckpt_message(&tag, claim.0, claim.1, &claim.2);
+            let share = b3.signing_key().sign_share(&msg, &mut rng);
+            let mut fx = Effects::for_parties(4);
+            nodes[0].on_message(
+                3,
+                RsmMessage::CkptShare {
+                    seq: claim.0,
+                    round: claim.1,
+                    digest: claim.2,
+                    share,
+                },
+                &mut fx,
+            );
+        }
+        assert!(!nodes[0].is_fetching());
+        // A second sender corroborating one claim makes the claimant
+        // set qualified (at least one member is honest) — only then
+        // does the fetch start.
+        let msg = ckpt_message(&tag, seq, round, &d);
+        let share2 = b2.signing_key().sign_share(&msg, &mut rng);
+        let share3 = b3.signing_key().sign_share(&msg, &mut rng);
+        let mut fx = Effects::for_parties(4);
+        nodes[0].on_message(
+            3,
+            RsmMessage::CkptShare {
+                seq,
+                round,
+                digest: d,
+                share: share3,
+            },
+            &mut fx,
+        );
+        nodes[0].on_message(
+            2,
+            RsmMessage::CkptShare {
+                seq,
+                round,
+                digest: d,
+                share: share2,
+            },
+            &mut fx,
+        );
+        assert!(
+            nodes[0].is_fetching(),
+            "a qualified hint set triggers the fetch"
+        );
+    }
+
+    #[test]
+    fn unanswered_fetch_is_abandoned_after_bounded_attempts() {
+        let (public, bundles) = deal(4, 1, 23);
+        let b1 = bundles[1].clone();
+        let b2 = bundles[2].clone();
+        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 23);
+        let mut rng = SeededRng::new(2);
+        let tag = Tag::root("rsm");
+        // A qualified set of (colluding, within the corruption bound's
+        // worst case) senders fabricates a matching far-future claim no
+        // honest peer can serve.
+        let (seq, round, d) = (500u64, 500u64, [9u8; 32]);
+        let msg = ckpt_message(&tag, seq, round, &d);
+        for (p, b) in [(1, &b1), (2, &b2)] {
+            let share = b.signing_key().sign_share(&msg, &mut rng);
+            let mut fx = Effects::for_parties(4);
+            nodes[0].on_message(
+                p,
+                RsmMessage::CkptShare {
+                    seq,
+                    round,
+                    digest: d,
+                    share,
+                },
+                &mut fx,
+            );
+        }
+        assert!(nodes[0].is_fetching());
+        // Nobody ever answers. The retry schedule is capped: after
+        // MAX_FETCH_ATTEMPTS the job resolves (here: abandons, since
+        // no certified candidate arrived) instead of rebroadcasting
+        // FetchState forever.
+        let mut broadcasts = 0usize;
+        for _ in 0..4_000 {
+            let mut fx = Effects::for_parties(4);
+            nodes[0].on_tick(&mut fx);
+            broadcasts += fx.take_sends().len();
+        }
+        assert!(!nodes[0].is_fetching(), "fetch abandoned, not retried forever");
+        assert_eq!(nodes[0].applied(), 0, "nothing fabricated was adopted");
+        assert!(
+            broadcasts <= MAX_FETCH_ATTEMPTS as usize * 4,
+            "rebroadcast traffic is bounded, saw {broadcasts} sends"
+        );
+        // Quiet once abandoned.
+        let mut fx = Effects::for_parties(4);
+        nodes[0].on_tick(&mut fx);
+        assert!(fx.take_sends().is_empty());
+    }
+
+    #[test]
+    fn forged_state_tail_requires_qualified_vouchers() {
+        let (public, bundles) = deal(4, 1, 25);
+        let b0 = bundles[0].clone();
+        let b1 = bundles[1].clone();
+        let b3 = bundles[3].clone();
+        let public_arc = Arc::new(public.clone());
+        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 25);
+        for n in &mut nodes {
+            n.set_ckpt_interval(4);
+        }
+        let mut queue: Queued = Queued::new();
+        let mut replies = Vec::new();
+        // History with everyone alive: a certified checkpoint plus a
+        // short log tail past it.
+        for i in 0..10u32 {
+            submit(
+                &mut nodes,
+                &mut queue,
+                0,
+                KvMachine::encode_set(format!("k{i}").as_bytes(), b"v"),
+                &mut replies,
+            );
+            pump(&mut nodes, &mut queue, None, &mut replies);
+        }
+        let stable = nodes[0].stable_checkpoint().expect("stable checkpoint").clone();
+        assert!(stable.round > 4, "hint horizon reachable");
+        assert!(
+            nodes[0].applied() > stable.seq,
+            "a tail exists past the checkpoint"
+        );
+        // Replica 3 restarts from scratch.
+        nodes[3] = Replica::new(
+            Tag::root("rsm"),
+            AtomicBroadcast::new(
+                Tag::root("rsm-abc"),
+                Arc::clone(&public_arc),
+                Arc::new(b3.clone()),
+            ),
+            KvMachine::new(),
+            Arc::clone(&public_arc),
+            Arc::new(b3),
+            SeededRng::new(31),
+        );
+        nodes[3].set_ckpt_interval(4);
+        let mut rng = SeededRng::new(3);
+        let tag = Tag::root("rsm");
+        // The forged transfer: genuine certified snapshot, fabricated
+        // tail entries. Unsolicited, it is dropped outright.
+        let evil = KvMachine::encode_set(b"evil", b"1");
+        let forged = RsmMessage::State {
+            seq: stable.seq,
+            round: stable.round,
+            next_round: stable.round + 3,
+            snapshot: stable.snapshot.clone(),
+            dedup: stable.dedup.clone(),
+            cert: stable.cert.clone(),
+            tail: (0..3u64)
+                .map(|i| (stable.seq + i, stable.round + 1, digest(&evil), evil.clone()))
+                .collect(),
+        };
+        let mut fx = Effects::for_parties(4);
+        nodes[3].on_message(2, forged.clone(), &mut fx);
+        assert_eq!(nodes[3].applied(), 0, "unsolicited State is dropped");
+        // Honest hints about the real checkpoint put replica 3 into
+        // fetch mode.
+        let msg = ckpt_message(&tag, stable.seq, stable.round, &stable.digest);
+        let mut fetch_req = None;
+        for (p, b) in [(0, &b0), (1, &b1)] {
+            let share = b.signing_key().sign_share(&msg, &mut rng);
+            let mut fx = Effects::for_parties(4);
+            nodes[3].on_message(
+                p,
+                RsmMessage::CkptShare {
+                    seq: stable.seq,
+                    round: stable.round,
+                    digest: stable.digest,
+                    share,
+                },
+                &mut fx,
+            );
+            for (_, m) in fx.take_sends() {
+                fetch_req = Some(m);
+            }
+        }
+        assert!(nodes[3].is_fetching());
+        let fetch_req = fetch_req.expect("FetchState broadcast");
+        // The Byzantine responder answers first. The certificate
+        // verifies (snapshot and dedup are genuine), but one responder
+        // cannot vouch for a tail: nothing is adopted yet.
+        let mut fx = Effects::for_parties(4);
+        nodes[3].on_message(2, forged, &mut fx);
+        assert!(nodes[3].is_fetching(), "single responder is not qualified");
+        assert_eq!(nodes[3].applied(), 0);
+        // Honest responders serve the real transfer; their identical
+        // tails form a qualified group per entry and win over the
+        // forged copies.
+        for p in [0usize, 1] {
+            let mut fx = Effects::for_parties(4);
+            nodes[p].on_message(3, fetch_req.clone(), &mut fx);
+            for (to, m) in fx.take_sends() {
+                assert_eq!(to, 3);
+                let mut fx3 = Effects::for_parties(4);
+                nodes[3].on_message(p, m, &mut fx3);
+            }
+        }
+        assert!(!nodes[3].is_fetching(), "transfer completed");
+        assert_eq!(nodes[3].applied(), nodes[0].applied());
+        assert_eq!(
+            nodes[3].machine().snapshot(),
+            nodes[0].machine().snapshot(),
+            "forged tail entries were never applied"
+        );
+    }
+
+    #[test]
+    fn ckpt_share_pool_is_bounded_per_sender() {
+        let (public, bundles) = deal(4, 1, 27);
+        let b3 = bundles[3].clone();
+        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 27);
+        // A wide interval keeps every claim below the far-future hint
+        // horizon, so this test exercises only the pooling path.
+        nodes[0].set_ckpt_interval(CKPT_POOL_LOOKAHEAD + 32);
+        let mut rng = SeededRng::new(4);
+        let tag = Tag::root("rsm");
+        // A Byzantine sender floods fabricated near-round claims, each
+        // with a valid share over a distinct (seq, round, digest). The
+        // pool accepts at most CKPT_POOL_PER_SENDER of them.
+        for i in 0..30u64 {
+            let (seq, round, d) = (i + 1, (i % 8) + 1, [i as u8; 32]);
+            let msg = ckpt_message(&tag, seq, round, &d);
+            let share = b3.signing_key().sign_share(&msg, &mut rng);
+            let mut fx = Effects::for_parties(4);
+            nodes[0].on_message(
+                3,
+                RsmMessage::CkptShare {
+                    seq,
+                    round,
+                    digest: d,
+                    share,
+                },
+                &mut fx,
+            );
+        }
+        assert_eq!(nodes[0].pooled_ckpt_shares(), CKPT_POOL_PER_SENDER);
+        // Claims past the round lookahead (but below the hint horizon)
+        // are rejected outright — they never reach the pool.
+        let (seq, round, d) = (40u64, CKPT_POOL_LOOKAHEAD + 9, [41u8; 32]);
+        let msg = ckpt_message(&tag, seq, round, &d);
+        let share = b3.signing_key().sign_share(&msg, &mut rng);
+        let mut fx = Effects::for_parties(4);
+        nodes[0].on_message(
+            3,
+            RsmMessage::CkptShare {
+                seq,
+                round,
+                digest: d,
+                share,
+            },
+            &mut fx,
+        );
+        assert_eq!(nodes[0].pooled_ckpt_shares(), CKPT_POOL_PER_SENDER);
     }
 
     #[test]
