@@ -30,6 +30,7 @@ use sintra::net::campaign::{run_campaign, BehaviorKind, CampaignPlan, SchedulerK
 use sintra::obs::sink::{summary_table, to_json};
 use sintra::obs::MetricsSnapshot;
 use sintra::protocols::harness::{abba_hooks, abc_hooks, cbc_hooks, mvba_hooks, rbc_hooks};
+use sintra::rsm::rsm_hooks;
 use std::time::Instant;
 
 /// Flight-recorder capacity per party under `--metrics`.
@@ -88,6 +89,11 @@ fn main() {
         ("abba", 5_000_000),
         ("mvba", 50_000_000),
         ("abc", 200_000_000),
+        // The full replicated service over ABC: ordering plus
+        // checkpoints, state transfer, and reply shares — so the
+        // crash–recover rejoin path runs in every default sweep, not
+        // just ad-hoc tests.
+        ("rsm", 300_000_000),
     ];
     for (name, max_steps) in protocols {
         let plan = full_plan(max_steps, quick, metrics);
@@ -98,6 +104,7 @@ fn main() {
             "abba" => run_campaign(&plan, &abba_hooks()),
             "mvba" => run_campaign(&plan, &mvba_hooks()),
             "abc" => run_campaign(&plan, &abc_hooks()),
+            "rsm" => run_campaign(&plan, &rsm_hooks()),
             _ => unreachable!(),
         };
         println!(

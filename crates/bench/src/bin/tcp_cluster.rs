@@ -95,13 +95,8 @@ fn run_replica(me: usize, args: &Args) {
         .iter()
         .map(|p| SocketAddr::from(([127, 0, 0, 1], *p)))
         .collect();
-    let cfg = TcpNodeConfig {
-        me,
-        addrs,
-        timeout: TIMEOUT,
-        linger: LINGER,
-        recorder_capacity: Some(256),
-    };
+    let mut cfg = TcpNodeConfig::new(me, addrs, TIMEOUT, LINGER);
+    cfg.recorder_capacity = Some(256);
     let inputs: Vec<Vec<u8>> = if me == 0 {
         REQUESTS.iter().map(|r| r.to_vec()).collect()
     } else {

@@ -24,6 +24,7 @@
 //! automaton trait and run unchanged under both.
 
 pub mod campaign;
+pub mod chaos;
 pub mod codec;
 pub mod faults;
 pub mod protocol;
@@ -35,6 +36,7 @@ pub use campaign::{
     replay_case, run_campaign, BehaviorKind, CampaignHooks, CampaignPlan, CampaignReport, CaseId,
     RunOutcome, SchedulerKind,
 };
+pub use chaos::{ChaosConfig, LinkFaults, Partition};
 pub use codec::{CodecError, Reader, WireCodec, MAX_FRAME};
 pub use protocol::{Effects, Protocol};
 pub use sim::{
@@ -42,6 +44,7 @@ pub use sim::{
     PartitionScheduler, RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,
 };
 pub use tcp_runtime::{
-    run_tcp, run_tcp_node, run_tcp_observed, HandshakeError, TcpNodeConfig, TcpNodeReport,
+    run_tcp, run_tcp_node, run_tcp_node_driven, run_tcp_observed, HandshakeError, LinkState,
+    TcpNodeConfig, TcpNodeReport, DEFAULT_QUEUE_BYTES,
 };
 pub use thread_runtime::{run_threaded, ThreadRunReport};

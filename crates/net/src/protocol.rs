@@ -220,6 +220,26 @@ pub trait Protocol {
         let _ = ctx;
         self.on_tick(effects);
     }
+
+    /// The transport (re-)established an outbound link to `peer` —
+    /// fired by runtimes with real connections (the TCP runtime) after
+    /// every successful dial-plus-handshake, including the first.
+    ///
+    /// A no-op by default, and *must stay* advisory: link state is a
+    /// timing signal, so nothing safety-critical may depend on it (the
+    /// asynchronous model of §2.2 admits no failure detectors). It
+    /// exists for recovery acceleration — e.g. the replicated state
+    /// machine probes a reconnected peer with its stable checkpoint
+    /// claim so a restarted replica starts state transfer without
+    /// waiting for the next checkpoint boundary.
+    fn on_link_up_ctx(
+        &mut self,
+        ctx: &Context,
+        peer: PartyId,
+        effects: &mut Effects<Self::Message, Self::Output>,
+    ) {
+        let _ = (ctx, peer, effects);
+    }
 }
 
 #[cfg(test)]

@@ -15,26 +15,48 @@
 //!   [`run_threaded`](crate::thread_runtime::run_threaded): n nodes on
 //!   ephemeral loopback ports, one OS thread per node plus the mesh's
 //!   I/O threads, a stop predicate over the global outputs.
-//! * [`run_tcp_node`] — a *single* replica given explicit peer
-//!   addresses, for true multi-process deployments (each OS process
-//!   runs one replica; see `bench`'s `tcp_cluster` binary). The stop
-//!   predicate only sees local outputs, and a configurable linger keeps
-//!   the replica forwarding traffic after it has decided so slower
-//!   peers can finish.
+//! * [`run_tcp_node`] / [`run_tcp_node_driven`] — a *single* replica
+//!   given explicit peer addresses, for true multi-process deployments
+//!   (each OS process runs one replica; see `bench`'s `tcp_cluster`
+//!   and `tcp_chaos` binaries). The stop predicate only sees local
+//!   state, and a configurable linger keeps the replica forwarding
+//!   traffic after it has decided so slower peers can finish.
 //!
 //! ## Mesh layout
 //!
 //! Links are unidirectional: party i dials one send-socket to every
 //! peer j and accepts one receive-socket from each. A connection opens
 //! with an 8-byte handshake (`magic ‖ sender id`, both u32 BE); frames
-//! are `u32` BE length + body, capped at [`MAX_FRAME`](crate::codec::MAX_FRAME). Outbound
-//! frames pass through a per-peer writer thread that coalesces every
-//! frame already queued into a single `write_all`, connects lazily
-//! with exponential backoff (peers boot at different times), and
-//! reconnects on write failure without losing the batch in hand.
-//! Malformed inbound traffic — bad magic, absurd lengths, bodies that
-//! fail to decode — kills that connection only; the counters record
-//! what was seen either way.
+//! are `u32` BE length + body, capped at [`MAX_FRAME`]; a zero length
+//! is an idle heartbeat, not a message. Outbound frames pass through a
+//! *bounded* per-peer queue (drop-oldest past a byte cap, counted as
+//! `tcp_outbound_dropped`, so a crashed peer cannot grow sender memory
+//! without limit) drained by a writer thread that coalesces queued
+//! frames into a single `write_all`, connects lazily with jittered
+//! exponential backoff (peers boot — and restart — at different
+//! times), and reconnects on write failure without losing the batch in
+//! hand. Malformed inbound traffic — bad magic, absurd lengths, bodies
+//! that fail to decode — kills that connection only; the counters
+//! record what was seen either way.
+//!
+//! ## Supervision
+//!
+//! Every outbound link runs a small state machine
+//! (Connecting → Up ⇄ Degraded → Down): the writer owns the
+//! connectivity transitions, readers stamp a last-heard clock that
+//! idle heartbeats keep fresh, and the node loop derives Degraded from
+//! staleness, exports link gauges, and — on every completed
+//! dial-plus-handshake — fires
+//! [`Protocol::on_link_up_ctx`], which is how the replicated state
+//! machine learns that a restarted peer is back and probes it into
+//! state transfer.
+//!
+//! ## Chaos
+//!
+//! A [`ChaosConfig`](crate::chaos::ChaosConfig) in [`TcpNodeConfig`]
+//! interposes seeded link faults (drop/garble/delay/reorder/throttle/
+//! reset and scheduled partitions — see [`crate::chaos`]) between the
+//! queue and the socket of every outbound link.
 //!
 //! Per-direction byte counters are plain atomics that I/O threads
 //! update and the node thread folds into its [`Obs`] metrics at exit
@@ -42,16 +64,19 @@
 //! recorder's single-writer contract — sockets never touch the
 //! recorder directly.
 
-use crate::codec::{encode_frame, read_frame, WireCodec};
+use crate::chaos::{ChaosConfig, ChaosCounters, LinkChaos};
+use crate::codec::{encode_frame, WireCodec, MAX_FRAME};
 use crate::protocol::{Context, Effects, Protocol};
 use crate::thread_runtime::ThreadRunReport;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sintra_adversary::party::PartyId;
+use sintra_crypto::rng::SeededRng;
 use sintra_obs::{Layer, MetricsSnapshot, Obs};
+use std::collections::VecDeque;
 use std::io::{self, Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -114,6 +139,183 @@ const COALESCE_BYTES: usize = 64 * 1024;
 /// same on both runtimes.
 const TICK_EVERY: Duration = Duration::from_millis(5);
 
+/// Default per-peer outbound queue cap. Roomy next to [`MAX_FRAME`]
+/// (a single frame always fits) yet small enough that a peer that is
+/// Down for minutes costs megabytes, not gigabytes.
+pub const DEFAULT_QUEUE_BYTES: usize = 4 * 1024 * 1024;
+
+/// How long the accept loop waits for a dialer's 8-byte handshake
+/// before dropping the connection as [`HandshakeError::Truncated`].
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(2);
+
+/// An idle writer sends a zero-length heartbeat frame at this period so
+/// the receiving side's staleness detector has something to hear.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+
+/// An Up link that has heard nothing (not even heartbeats) for this
+/// long is marked Degraded.
+const STALE_AFTER_MS: u64 = 1_000;
+
+/// Reconnect backoff bounds (the actual sleep is jittered ±50%).
+const BACKOFF_MIN: Duration = Duration::from_millis(10);
+const BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Where a supervised outbound link stands. Transitions are advisory
+/// timing signals (the asynchronous model admits no failure
+/// detectors): Connecting/Up/Down are owned by the link's writer
+/// thread, Degraded is derived by the node loop from inbound
+/// staleness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkState {
+    /// Dial in progress (or first dial not attempted yet).
+    Connecting,
+    /// Dial + handshake succeeded; writes are flowing.
+    Up,
+    /// Writes flow but the peer has been silent past the staleness
+    /// horizon.
+    Degraded,
+    /// Last write or dial failed (or a partition window cut the link);
+    /// redial pending.
+    Down,
+}
+
+impl LinkState {
+    fn as_u8(self) -> u8 {
+        match self {
+            LinkState::Connecting => 0,
+            LinkState::Up => 1,
+            LinkState::Degraded => 2,
+            LinkState::Down => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> LinkState {
+        match v {
+            0 => LinkState::Connecting,
+            1 => LinkState::Up,
+            2 => LinkState::Degraded,
+            _ => LinkState::Down,
+        }
+    }
+}
+
+/// Shared per-peer link telemetry: the writer publishes connectivity,
+/// readers stamp the last-heard clock, the node loop consumes both.
+#[derive(Debug)]
+struct LinkSupervisor {
+    state: AtomicU8,
+    /// Successful dial+handshake count; every increment is a Down→Up
+    /// (or first) transition the node loop turns into an
+    /// `on_link_up_ctx` callback.
+    up_epochs: AtomicU64,
+    /// Milliseconds since mesh start when the peer was last heard
+    /// (frame or heartbeat), plus one; 0 means never.
+    last_rx_ms: AtomicU64,
+}
+
+impl LinkSupervisor {
+    fn new() -> LinkSupervisor {
+        LinkSupervisor {
+            state: AtomicU8::new(LinkState::Connecting.as_u8()),
+            up_epochs: AtomicU64::new(0),
+            last_rx_ms: AtomicU64::new(0),
+        }
+    }
+
+    fn set(&self, s: LinkState) {
+        self.state.store(s.as_u8(), Ordering::Relaxed);
+    }
+
+    fn get(&self) -> LinkState {
+        LinkState::from_u8(self.state.load(Ordering::Relaxed))
+    }
+}
+
+/// Bounded outbound queue for one peer: drop-oldest past `cap` bytes,
+/// every drop counted. Bounding here is what keeps a sender's memory
+/// flat while a peer is Down — the PR-5 bounded-memory guarantee
+/// extended to the wire.
+#[derive(Debug)]
+struct Lane {
+    inner: std::sync::Mutex<LaneInner>,
+    cv: std::sync::Condvar,
+    cap: usize,
+    dropped: Arc<AtomicU64>,
+}
+
+#[derive(Debug, Default)]
+struct LaneInner {
+    q: VecDeque<Vec<u8>>,
+    bytes: usize,
+    closed: bool,
+}
+
+impl Lane {
+    fn new(cap: usize, dropped: Arc<AtomicU64>) -> Lane {
+        Lane {
+            inner: std::sync::Mutex::new(LaneInner::default()),
+            cv: std::sync::Condvar::new(),
+            cap: cap.max(MAX_FRAME + 4),
+            dropped,
+        }
+    }
+
+    /// Queues a frame, evicting oldest frames past the cap (the newest
+    /// frame always survives). Returns `false` once closed.
+    fn push(&self, frame: Vec<u8>) -> bool {
+        let mut g = self.inner.lock().expect("lane lock");
+        if g.closed {
+            return false;
+        }
+        g.bytes += frame.len();
+        g.q.push_back(frame);
+        while g.bytes > self.cap && g.q.len() > 1 {
+            if let Some(old) = g.q.pop_front() {
+                g.bytes -= old.len();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(g);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Takes up to `max_bytes` of queued frames, waiting up to
+    /// `timeout` when empty. The boolean is true once the lane is
+    /// closed *and* drained — the writer's signal to exit.
+    fn pop_batch(&self, max_bytes: usize, timeout: Duration) -> (Vec<Vec<u8>>, bool) {
+        let mut g = self.inner.lock().expect("lane lock");
+        if g.q.is_empty() && !g.closed {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, timeout)
+                .expect("lane lock poisoned");
+            g = guard;
+        }
+        let mut out = Vec::new();
+        let mut taken = 0usize;
+        while taken < max_bytes {
+            let Some(f) = g.q.pop_front() else { break };
+            g.bytes -= f.len();
+            taken += f.len();
+            out.push(f);
+        }
+        let drained = g.closed && g.q.is_empty();
+        (out, drained)
+    }
+
+    /// Bytes currently queued (the bounded-memory tests assert on it).
+    #[cfg(test)]
+    fn queued_bytes(&self) -> usize {
+        self.inner.lock().expect("lane lock").bytes
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("lane lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
 /// Configuration for one replica of a TCP mesh (see [`run_tcp_node`]).
 #[derive(Clone, Debug)]
 pub struct TcpNodeConfig {
@@ -131,6 +333,33 @@ pub struct TcpNodeConfig {
     /// recorder + metrics), as in
     /// [`run_threaded_observed`](crate::thread_runtime::run_threaded_observed).
     pub recorder_capacity: Option<usize>,
+    /// Seeded link-fault schedule for this node's outbound links;
+    /// `None` runs a clean network.
+    pub chaos: Option<ChaosConfig>,
+    /// Per-peer outbound queue cap in bytes (see
+    /// [`DEFAULT_QUEUE_BYTES`]); drop-oldest past it.
+    pub queue_bytes: usize,
+    /// Keep retrying a failed listener bind for this long — a replica
+    /// restarted onto its old port races the kernel's TIME_WAIT
+    /// teardown of its predecessor's sockets.
+    pub bind_retry: Duration,
+}
+
+impl TcpNodeConfig {
+    /// A clean-network config with default queue bound, no chaos, no
+    /// bind retry, and no recorder.
+    pub fn new(me: PartyId, addrs: Vec<SocketAddr>, timeout: Duration, linger: Duration) -> Self {
+        TcpNodeConfig {
+            me,
+            addrs,
+            timeout,
+            linger,
+            recorder_capacity: None,
+            chaos: None,
+            queue_bytes: DEFAULT_QUEUE_BYTES,
+            bind_retry: Duration::ZERO,
+        }
+    }
 }
 
 /// Outcome of a [`run_tcp_node`] run.
@@ -149,12 +378,26 @@ pub struct TcpNodeReport<O> {
     /// Inbound connections dropped for a bad handshake (see
     /// [`HandshakeError`]).
     pub handshake_rejects: u64,
+    /// Frames evicted from bounded outbound queues (drop-oldest).
+    pub outbound_dropped: u64,
+    /// Chaos interposer tallies: (dropped, garbled, resets, delayed,
+    /// reordered) — all zero without a [`ChaosConfig`].
+    pub chaos_counts: (u64, u64, u64, u64, u64),
     /// Metrics snapshot — empty unless a recorder capacity was set.
     pub metrics: MetricsSnapshot,
 }
 
+/// Counters a mesh returns at teardown.
+struct MeshStats {
+    bytes_sent: u64,
+    bytes_recv: u64,
+    handshake_rejects: u64,
+    outbound_dropped: u64,
+    chaos: (u64, u64, u64, u64, u64),
+}
+
 /// An `io::Read` adapter that charges everything read to an atomic
-/// counter, so [`read_frame`] stays oblivious to accounting.
+/// counter, so frame reading stays oblivious to accounting.
 struct CountingReader<R> {
     inner: R,
     counter: Arc<AtomicU64>,
@@ -168,16 +411,68 @@ impl<R: io::Read> io::Read for CountingReader<R> {
     }
 }
 
+/// What one read from a peer connection produced.
+enum WireEvent<M> {
+    /// A decoded message frame.
+    Msg(M),
+    /// A zero-length heartbeat frame (liveness only, nothing to
+    /// deliver).
+    Heartbeat,
+    /// Clean end-of-stream at a frame boundary.
+    Closed,
+}
+
+/// Reads one frame like [`crate::codec::read_frame`] but treats a
+/// zero length prefix as a heartbeat instead of an empty body.
+fn read_event<M: WireCodec, R: io::Read>(stream: &mut R) -> io::Result<WireEvent<M>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(WireEvent::Closed),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len == 0 {
+        return Ok(WireEvent::Heartbeat);
+    }
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let msg = M::decode_exact(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(WireEvent::Msg(msg))
+}
+
 /// One replica's view of the mesh: an inbox fed by accepted
-/// connections and a framed outbound lane per peer.
+/// connections, a framed bounded outbound lane per peer, and a link
+/// supervisor per peer.
 struct TcpMesh<M> {
     me: PartyId,
+    epoch: Instant,
     inbox_tx: Sender<(PartyId, M)>,
     inbox_rx: Receiver<(PartyId, M)>,
-    outbound: Vec<Option<Sender<Vec<u8>>>>,
+    outbound: Vec<Option<Arc<Lane>>>,
+    supervisors: Vec<Option<Arc<LinkSupervisor>>>,
     bytes_sent: Arc<AtomicU64>,
     bytes_recv: Arc<AtomicU64>,
     handshake_rejects: Arc<AtomicU64>,
+    outbound_dropped: Arc<AtomicU64>,
+    chaos_counters: Arc<ChaosCounters>,
     shutdown: Arc<AtomicBool>,
     io_threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -186,14 +481,27 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
     /// Starts the mesh: spawns the acceptor on `listener` and one lazy
     /// writer per peer. Returns immediately — connections establish in
     /// the background with retry/backoff while the node already runs.
-    fn start(me: PartyId, addrs: &[SocketAddr], listener: TcpListener) -> io::Result<TcpMesh<M>> {
+    fn start(
+        me: PartyId,
+        addrs: &[SocketAddr],
+        listener: TcpListener,
+        chaos: Option<&ChaosConfig>,
+        queue_bytes: usize,
+    ) -> io::Result<TcpMesh<M>> {
         let n = addrs.len();
+        let epoch = Instant::now();
         let (inbox_tx, inbox_rx) = unbounded::<(PartyId, M)>();
         let bytes_sent = Arc::new(AtomicU64::new(0));
         let bytes_recv = Arc::new(AtomicU64::new(0));
         let handshake_rejects = Arc::new(AtomicU64::new(0));
+        let outbound_dropped = Arc::new(AtomicU64::new(0));
+        let chaos_counters = Arc::new(ChaosCounters::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut io_threads = Vec::new();
+
+        let supervisors: Vec<Option<Arc<LinkSupervisor>>> = (0..n)
+            .map(|p| (p != me).then(|| Arc::new(LinkSupervisor::new())))
+            .collect();
 
         // Acceptor: polls non-blocking so it can observe shutdown, and
         // hands each handshaken connection to a reader thread.
@@ -203,6 +511,7 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
             let bytes_recv = Arc::clone(&bytes_recv);
             let handshake_rejects = Arc::clone(&handshake_rejects);
             let shutdown = Arc::clone(&shutdown);
+            let supervisors = supervisors.clone();
             io_threads.push(std::thread::spawn(move || {
                 accept_loop::<M>(
                     listener,
@@ -211,6 +520,8 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
                     bytes_recv,
                     handshake_rejects,
                     shutdown,
+                    supervisors,
+                    epoch,
                 );
             }));
         }
@@ -222,24 +533,39 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
                 outbound.push(None);
                 continue;
             }
-            let (tx, rx) = unbounded::<Vec<u8>>();
-            let addr = *addr;
-            let bytes_sent = Arc::clone(&bytes_sent);
-            let shutdown = Arc::clone(&shutdown);
-            io_threads.push(std::thread::spawn(move || {
-                writer_loop(addr, me, rx, bytes_sent, shutdown);
-            }));
-            outbound.push(Some(tx));
+            let lane = Arc::new(Lane::new(queue_bytes, Arc::clone(&outbound_dropped)));
+            let task = WriterTask {
+                addr: *addr,
+                me,
+                lane: Arc::clone(&lane),
+                sup: Arc::clone(supervisors[peer].as_ref().expect("remote peer")),
+                chaos: chaos.map(|c| LinkChaos::new(c, me, peer, Arc::clone(&chaos_counters))),
+                epoch,
+                bytes_sent: Arc::clone(&bytes_sent),
+                shutdown: Arc::clone(&shutdown),
+                // Jitter decorrelates *processes*, not replays: seeded
+                // off the pid so n−1 survivors of a crash don't redial
+                // the restarted replica in lockstep.
+                jitter: SeededRng::new(
+                    (std::process::id() as u64) << 32 | ((me as u64) << 16) | peer as u64,
+                ),
+            };
+            io_threads.push(std::thread::spawn(move || writer_loop(task)));
+            outbound.push(Some(lane));
         }
 
         Ok(TcpMesh {
             me,
+            epoch,
             inbox_tx,
             inbox_rx,
             outbound,
+            supervisors,
             bytes_sent,
             bytes_recv,
             handshake_rejects,
+            outbound_dropped,
+            chaos_counters,
             shutdown,
             io_threads,
         })
@@ -247,7 +573,7 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
 
     /// Queues a message. Self-sends short-circuit into the inbox;
     /// remote sends are framed here (once) and handed to the peer's
-    /// writer. Returns `false` for an unroutable destination.
+    /// bounded lane. Returns `false` for an unroutable destination.
     fn send(&self, to: PartyId, msg: M) -> bool {
         if to == self.me {
             return self.inbox_tx.send((self.me, msg)).is_ok();
@@ -256,7 +582,7 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
             return false;
         };
         match encode_frame(&msg) {
-            Some(frame) => lane.send(frame).is_ok(),
+            Some(frame) => lane.push(frame),
             None => false, // exceeds MAX_FRAME: refuse at origin
         }
     }
@@ -266,23 +592,28 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
         self.inbox_rx.recv_timeout(timeout).ok()
     }
 
-    /// Flushes and tears down: writers drain their queues, close their
+    /// Flushes and tears down: writers drain their lanes, close their
     /// sockets (peers see EOF), and are joined along with the acceptor.
     /// Reader threads exit on their peers' EOF and are left detached.
-    fn shutdown(mut self) -> (u64, u64, u64) {
+    fn shutdown(mut self) -> MeshStats {
         self.shutdown.store(true, Ordering::Relaxed);
-        self.outbound.clear(); // drop senders: writers exit after drain
+        for lane in self.outbound.iter().flatten() {
+            lane.close();
+        }
         for h in self.io_threads.drain(..) {
             let _ = h.join();
         }
-        (
-            self.bytes_sent.load(Ordering::Relaxed),
-            self.bytes_recv.load(Ordering::Relaxed),
-            self.handshake_rejects.load(Ordering::Relaxed),
-        )
+        MeshStats {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
+            outbound_dropped: self.outbound_dropped.load(Ordering::Relaxed),
+            chaos: self.chaos_counters.snapshot(),
+        }
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal: mirrors the mesh fields
 fn accept_loop<M: WireCodec + Send + 'static>(
     listener: TcpListener,
     n: usize,
@@ -290,6 +621,8 @@ fn accept_loop<M: WireCodec + Send + 'static>(
     bytes_recv: Arc<AtomicU64>,
     handshake_rejects: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
+    supervisors: Vec<Option<Arc<LinkSupervisor>>>,
+    epoch: Instant,
 ) {
     loop {
         if shutdown.load(Ordering::Relaxed) {
@@ -301,7 +634,7 @@ fn accept_loop<M: WireCodec + Send + 'static>(
                 let _ = stream.set_nodelay(true);
                 // Handshake with a deadline so a silent stray cannot
                 // park this loop's connection slot forever.
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_read_timeout(Some(HANDSHAKE_DEADLINE));
                 let mut hs = [0u8; 8];
                 let verdict = match stream.read_exact(&mut hs) {
                     Ok(()) => parse_handshake(&hs, n),
@@ -318,6 +651,7 @@ fn accept_loop<M: WireCodec + Send + 'static>(
                 let _ = stream.set_read_timeout(None);
                 let inbox = inbox_tx.clone();
                 let counter = Arc::clone(&bytes_recv);
+                let sup = supervisors.get(peer).and_then(|s| s.clone());
                 // Readers block on the socket and exit on EOF/error
                 // (peers close their write half at shutdown) or when
                 // the inbox is gone; they are not joined.
@@ -326,14 +660,22 @@ fn accept_loop<M: WireCodec + Send + 'static>(
                         inner: stream,
                         counter,
                     };
+                    let touch = |sup: &Option<Arc<LinkSupervisor>>| {
+                        if let Some(sup) = sup {
+                            sup.last_rx_ms
+                                .store(epoch.elapsed().as_millis() as u64 + 1, Ordering::Relaxed);
+                        }
+                    };
                     loop {
-                        match read_frame::<M, _>(&mut counted) {
-                            Ok(Some(msg)) => {
+                        match read_event::<M, _>(&mut counted) {
+                            Ok(WireEvent::Msg(msg)) => {
+                                touch(&sup);
                                 if inbox.send((peer, msg)).is_err() {
                                     return;
                                 }
                             }
-                            Ok(None) | Err(_) => return,
+                            Ok(WireEvent::Heartbeat) => touch(&sup),
+                            Ok(WireEvent::Closed) | Err(_) => return,
                         }
                     }
                 });
@@ -346,63 +688,180 @@ fn accept_loop<M: WireCodec + Send + 'static>(
     }
 }
 
-fn writer_loop(
+/// Everything one writer thread owns.
+struct WriterTask {
     addr: SocketAddr,
     me: PartyId,
-    rx: Receiver<Vec<u8>>,
+    lane: Arc<Lane>,
+    sup: Arc<LinkSupervisor>,
+    chaos: Option<LinkChaos>,
+    epoch: Instant,
     bytes_sent: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
-) {
+    jitter: SeededRng,
+}
+
+fn writer_loop(mut t: WriterTask) {
     let mut stream: Option<TcpStream> = None;
-    let mut backoff = Duration::from_millis(10);
-    let mut batch: Vec<u8> = Vec::new();
+    let mut backoff = BACKOFF_MIN;
+    // `raw` holds frames not yet rolled through the chaos interposer;
+    // `ready` holds frames that must reach the wire (survivors of a
+    // failed write are retried, never re-rolled).
+    let mut raw: VecDeque<Vec<u8>> = VecDeque::new();
+    let mut ready: Vec<Vec<u8>> = Vec::new();
+    let mut last_write = Instant::now();
     loop {
-        // Pull the next batch (unless a failed write left one pending).
-        if batch.is_empty() {
-            match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(frame) => {
-                    batch = frame;
-                    while batch.len() < COALESCE_BYTES {
-                        match rx.try_recv() {
-                            Ok(f) => batch.extend_from_slice(&f),
-                            Err(_) => break,
-                        }
-                    }
+        // Scheduled partitions: a cut link closes and holds. Frames
+        // wait in the bounded lane (drop-oldest under pressure), so
+        // healing resumes delivery without unbounded sender memory.
+        if t.chaos
+            .as_ref()
+            .is_some_and(|c| c.cut_at(t.epoch.elapsed()))
+        {
+            if stream.take().is_some() {
+                t.sup.set(LinkState::Down);
+            }
+            if t.shutdown.load(Ordering::Relaxed) {
+                break; // don't hold teardown hostage to a window
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        // Pull the next batch (unless earlier frames are pending).
+        if ready.is_empty() && raw.is_empty() {
+            let (frames, drained) = t.lane.pop_batch(COALESCE_BYTES, Duration::from_millis(50));
+            if frames.is_empty() {
+                if drained {
+                    break; // lane closed and flushed: exit
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    if shutdown.load(Ordering::Relaxed) {
-                        break;
+                // A frame held back for reordering must not starve
+                // when the link goes idle: with no successor coming,
+                // release it now (it already rolled its faults, so it
+                // goes straight to the write path).
+                if let Some(held) = t.chaos.as_mut().and_then(|c| c.flush_held()) {
+                    ready.push(held);
+                } else {
+                    match stream.as_mut() {
+                        // Idle: keep the peer's staleness detector fed.
+                        Some(s) => {
+                            if last_write.elapsed() >= HEARTBEAT_EVERY
+                                && !s.write_all(&0u32.to_be_bytes()).is_ok_and(|()| {
+                                    last_write = Instant::now();
+                                    true
+                                })
+                            {
+                                stream = None;
+                                t.sup.set(LinkState::Down);
+                            }
+                        }
+                        // Down and nothing queued: still redial (with
+                        // the same jittered backoff), so heartbeats
+                        // resume and a restarted peer gets its link-up
+                        // probe even on an otherwise-quiet mesh.
+                        None => {
+                            t.sup.set(LinkState::Connecting);
+                            stream = dial(t.addr, t.me);
+                            match stream {
+                                Some(_) => {
+                                    backoff = BACKOFF_MIN;
+                                    t.sup.set(LinkState::Up);
+                                    t.sup.up_epochs.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => {
+                                    t.sup.set(LinkState::Down);
+                                    if t.shutdown.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    let nominal = backoff.as_nanos() as u64;
+                                    let sleep_ns =
+                                        nominal / 2 + t.jitter.next_below(nominal.max(1));
+                                    std::thread::sleep(Duration::from_nanos(sleep_ns));
+                                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                                }
+                            }
+                        }
                     }
                     continue;
                 }
-                // Queue drained and mesh torn down: flush is complete.
-                Err(RecvTimeoutError::Disconnected) => break,
+            } else {
+                raw.extend(frames);
             }
         }
-        // Ensure a connection; peers boot at their own pace, so dial
-        // failures back off and retry rather than dropping frames.
-        if stream.is_none() {
-            stream = dial(addr, me);
-            if stream.is_none() {
-                if shutdown.load(Ordering::Relaxed) {
-                    break; // give up; the batch is undeliverable
+        // Roll link faults frame by frame, in queue order.
+        if ready.is_empty() {
+            match t.chaos.as_mut() {
+                Some(c) if c.frame_faults_active() => {
+                    let mut reset = false;
+                    while ready.is_empty() && !reset {
+                        let Some(f) = raw.pop_front() else { break };
+                        let plan = c.plan(f);
+                        if let Some(d) = plan.delay {
+                            std::thread::sleep(d);
+                        }
+                        ready.extend(plan.frames);
+                        reset = plan.reset_first;
+                    }
+                    if reset && stream.take().is_some() {
+                        t.sup.set(LinkState::Down);
+                    }
+                    if ready.is_empty() {
+                        continue; // everything dropped or held back
+                    }
                 }
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(500));
+                _ => ready.extend(raw.drain(..)),
+            }
+        }
+        // Ensure a connection; peers boot (and restart) at their own
+        // pace, so dial failures back off with jitter and retry rather
+        // than dropping frames.
+        if stream.is_none() {
+            t.sup.set(LinkState::Connecting);
+            stream = dial(t.addr, t.me);
+            if stream.is_none() {
+                t.sup.set(LinkState::Down);
+                if t.shutdown.load(Ordering::Relaxed) {
+                    break; // give up; the frames are undeliverable
+                }
+                // Jittered exponential backoff (50%–150% of nominal):
+                // lockstep redials from n−1 survivors would hammer a
+                // restarting replica in synchronized waves.
+                let nominal = backoff.as_nanos() as u64;
+                let sleep_ns = nominal / 2 + t.jitter.next_below(nominal.max(1));
+                std::thread::sleep(Duration::from_nanos(sleep_ns));
+                backoff = (backoff * 2).min(BACKOFF_MAX);
                 continue;
             }
-            backoff = Duration::from_millis(10);
+            backoff = BACKOFF_MIN;
+            t.sup.set(LinkState::Up);
+            t.sup.up_epochs.fetch_add(1, Ordering::Relaxed);
         }
         let s = stream.as_mut().expect("connected above");
+        let batch: Vec<u8> = ready.concat();
         match s.write_all(&batch) {
             Ok(()) => {
-                bytes_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                batch.clear();
+                t.bytes_sent
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                last_write = Instant::now();
+                ready.clear();
+                if let Some(d) = t.chaos.as_ref().and_then(|c| c.throttle_for(batch.len())) {
+                    std::thread::sleep(d);
+                }
             }
-            // Keep the batch; reconnect on the next iteration.
-            Err(_) => stream = None,
+            // Keep the frames; reconnect on the next iteration.
+            Err(_) => {
+                stream = None;
+                t.sup.set(LinkState::Down);
+            }
         }
     }
+    // A frame held for reordering must not become silent loss at
+    // teardown: flush it best-effort.
+    if let Some(h) = t.chaos.as_mut().and_then(|c| c.flush_held()) {
+        if let Some(s) = stream.as_mut() {
+            let _ = s.write_all(&h);
+        }
+    }
+    t.sup.set(LinkState::Down);
     if let Some(s) = stream {
         let _ = s.shutdown(Shutdown::Both);
     }
@@ -419,16 +878,84 @@ fn dial(addr: SocketAddr, me: PartyId) -> Option<TcpStream> {
     Some(s)
 }
 
+/// Per-node link bookkeeping for the node loops: turns writer-side
+/// up-epoch increments into `on_link_up_ctx` callbacks, derives the
+/// Degraded state from inbound staleness, and exports link gauges.
+struct LinkWatch {
+    seen_epochs: Vec<u64>,
+}
+
+impl LinkWatch {
+    fn new(n: usize) -> LinkWatch {
+        LinkWatch {
+            seen_epochs: vec![0; n],
+        }
+    }
+
+    fn poll<P: Protocol>(
+        &mut self,
+        mesh: &TcpMesh<P::Message>,
+        node: &mut P,
+        ctx: &Context,
+        fx: &mut Effects<P::Message, P::Output>,
+    ) {
+        let now_ms = mesh.epoch.elapsed().as_millis() as u64;
+        let mut up = 0u64;
+        for (peer, sup) in mesh.supervisors.iter().enumerate() {
+            let Some(sup) = sup else { continue };
+            let e = sup.up_epochs.load(Ordering::Relaxed);
+            if e > self.seen_epochs[peer] {
+                self.seen_epochs[peer] = e;
+                ctx.obs.inc(Layer::Net, "link_up");
+                node.on_link_up_ctx(ctx, peer, fx);
+            }
+            let last = sup.last_rx_ms.load(Ordering::Relaxed);
+            let stale = last != 0 && now_ms.saturating_sub(last) > STALE_AFTER_MS;
+            match sup.get() {
+                LinkState::Up if stale => {
+                    sup.set(LinkState::Degraded);
+                    ctx.obs.inc(Layer::Net, "link_degraded");
+                }
+                LinkState::Degraded if !stale => sup.set(LinkState::Up),
+                _ => {}
+            }
+            if matches!(sup.get(), LinkState::Up | LinkState::Degraded) {
+                up += 1;
+            }
+        }
+        if ctx.obs.is_enabled() {
+            ctx.obs.gauge_set(Layer::Net, "links_up", up);
+        }
+    }
+}
+
+/// Binds the local listener, retrying for `cfg.bind_retry` — a
+/// restarted replica can race TIME_WAIT teardown on its own port.
+fn bind_with_retry(cfg: &TcpNodeConfig) -> io::Result<TcpListener> {
+    let deadline = Instant::now() + cfg.bind_retry;
+    loop {
+        match TcpListener::bind(cfg.addrs[cfg.me]) {
+            Ok(l) => return Ok(l),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
 /// Runs one replica of a TCP mesh to completion — the multi-process
 /// entry point (one call per OS process; see `tcp_cluster` in the
 /// bench crate).
 ///
 /// Binds `cfg.addrs[cfg.me]`, connects to every peer with
 /// retry/backoff, injects `inputs` locally, then drives the automaton:
-/// inbox messages, periodic ticks, and outbound effects over the wire.
-/// After `stop` first holds over the local outputs, the replica keeps
-/// running for `cfg.linger` so its shares/acks still reach slower
-/// peers, then tears the mesh down.
+/// inbox messages, periodic ticks, link-up callbacks, and outbound
+/// effects over the wire. After `stop` first holds over the local
+/// outputs, the replica keeps running for `cfg.linger` so its
+/// shares/acks still reach slower peers, then tears the mesh down.
 ///
 /// # Errors
 ///
@@ -436,7 +963,7 @@ fn dial(addr: SocketAddr, me: PartyId) -> Option<TcpStream> {
 /// peer-level connection trouble is retried, not surfaced.
 pub fn run_tcp_node<P>(
     cfg: &TcpNodeConfig,
-    mut node: P,
+    node: P,
     inputs: Vec<P::Input>,
     stop: impl Fn(&[P::Output]) -> bool,
 ) -> io::Result<TcpNodeReport<P::Output>>
@@ -444,9 +971,54 @@ where
     P: Protocol,
     P::Message: WireCodec + Send + 'static,
 {
+    let mut pending = Some(inputs);
+    let (report, _node) = run_tcp_node_driven(
+        cfg,
+        node,
+        move |node, ctx, fx| {
+            if let Some(inputs) = pending.take() {
+                for input in inputs {
+                    node.on_input_ctx(ctx, input, fx);
+                }
+            }
+        },
+        |_node, outputs| stop(outputs),
+    )?;
+    Ok(report)
+}
+
+/// [`run_tcp_node`] with a *driver* instead of a fixed input vector:
+/// the driver runs on every tick (and once at startup) with mutable
+/// access to the automaton, so a campaign can pace inputs over wall
+/// time; the stop predicate sees the automaton itself, so completion
+/// can key off internal state (a replica's applied watermark) rather
+/// than only emitted outputs — a restarted replica that caught up by
+/// state transfer never re-emits the replies it missed. Returns the
+/// final automaton alongside the report for post-run inspection.
+///
+/// # Errors
+///
+/// Returns an error only for local socket setup failures (bind);
+/// peer-level connection trouble is retried, not surfaced.
+pub fn run_tcp_node_driven<P>(
+    cfg: &TcpNodeConfig,
+    mut node: P,
+    mut driver: impl FnMut(&mut P, &Context, &mut Effects<P::Message, P::Output>),
+    stop: impl Fn(&P, &[P::Output]) -> bool,
+) -> io::Result<(TcpNodeReport<P::Output>, P)>
+where
+    P: Protocol,
+    P::Message: WireCodec + Send + 'static,
+{
     let n = cfg.addrs.len();
-    let listener = TcpListener::bind(cfg.addrs[cfg.me])?;
-    let mesh: TcpMesh<P::Message> = TcpMesh::start(cfg.me, &cfg.addrs, listener)?;
+    let listener = bind_with_retry(cfg)?;
+    let mesh: TcpMesh<P::Message> = TcpMesh::start(
+        cfg.me,
+        &cfg.addrs,
+        listener,
+        cfg.chaos.as_ref(),
+        cfg.queue_bytes,
+    )?;
     let obs = match cfg.recorder_capacity {
         Some(cap) => Obs::enabled(cap),
         None => Obs::disabled(),
@@ -460,6 +1032,7 @@ where
     let mut completed = false;
     let mut linger_until: Option<Instant> = None;
     let mut last_tick = Instant::now();
+    let mut links = LinkWatch::new(n);
 
     let ctx_at = |started: Instant, obs: &Obs| Context {
         me: cfg.me,
@@ -470,9 +1043,7 @@ where
 
     {
         let ctx = ctx_at(started, &obs);
-        for input in inputs {
-            node.on_input_ctx(&ctx, input, &mut fx);
-        }
+        driver(&mut node, &ctx, &mut fx);
     }
 
     loop {
@@ -502,10 +1073,12 @@ where
         }
         if last_tick.elapsed() >= TICK_EVERY {
             last_tick = Instant::now();
+            driver(&mut node, &ctx, &mut fx);
             node.on_tick_ctx(&ctx, &mut fx);
             if obs.is_enabled() {
                 obs.inc(Layer::Net, "tick");
             }
+            links.poll(&mesh, &mut node, &ctx, &mut fx);
             worked = true;
         }
         if worked {
@@ -521,28 +1094,40 @@ where
                     }
                 }
             }
-            if !completed && stop(&outputs) {
+            if !completed && stop(&node, &outputs) {
                 completed = true;
                 linger_until = Some(Instant::now() + cfg.linger);
             }
         }
     }
 
-    let (bytes_sent, bytes_recv, handshake_rejects) = mesh.shutdown();
+    let stats = mesh.shutdown();
     if obs.is_enabled() {
-        obs.add(Layer::Net, "tcp_bytes_sent", bytes_sent);
-        obs.add(Layer::Net, "tcp_bytes_recv", bytes_recv);
-        obs.add(Layer::Net, "handshake_rejected", handshake_rejects);
+        obs.add(Layer::Net, "tcp_bytes_sent", stats.bytes_sent);
+        obs.add(Layer::Net, "tcp_bytes_recv", stats.bytes_recv);
+        obs.add(Layer::Net, "handshake_rejected", stats.handshake_rejects);
+        obs.add(Layer::Net, "tcp_outbound_dropped", stats.outbound_dropped);
+        let (cd, cg, cr, cl, co) = stats.chaos;
+        obs.add(Layer::Net, "chaos_dropped", cd);
+        obs.add(Layer::Net, "chaos_garbled", cg);
+        obs.add(Layer::Net, "chaos_resets", cr);
+        obs.add(Layer::Net, "chaos_delayed", cl);
+        obs.add(Layer::Net, "chaos_reordered", co);
     }
-    Ok(TcpNodeReport {
-        outputs,
-        completed,
-        dropped,
-        bytes_sent,
-        bytes_recv,
-        handshake_rejects,
-        metrics: obs.metrics_snapshot(),
-    })
+    Ok((
+        TcpNodeReport {
+            outputs,
+            completed,
+            dropped,
+            bytes_sent: stats.bytes_sent,
+            bytes_recv: stats.bytes_recv,
+            handshake_rejects: stats.handshake_rejects,
+            outbound_dropped: stats.outbound_dropped,
+            chaos_counts: stats.chaos,
+            metrics: obs.metrics_snapshot(),
+        },
+        node,
+    ))
 }
 
 /// Runs `nodes` against each other over loopback TCP until `stop`
@@ -626,13 +1211,15 @@ where
         let done = Arc::clone(&done);
         let my_obs = obs[party].clone();
         handles.push(std::thread::spawn(move || {
-            let mesh: TcpMesh<P::Message> = match TcpMesh::start(party, &addrs, listener) {
-                Ok(mesh) => mesh,
-                Err(_) => return,
-            };
+            let mesh: TcpMesh<P::Message> =
+                match TcpMesh::start(party, &addrs, listener, None, DEFAULT_QUEUE_BYTES) {
+                    Ok(mesh) => mesh,
+                    Err(_) => return,
+                };
             let started = Instant::now();
             let mut fx: Effects<P::Message, P::Output> = Effects::for_parties(n);
             let mut last_tick = Instant::now();
+            let mut links = LinkWatch::new(n);
             {
                 let ctx = Context {
                     me: party,
@@ -675,6 +1262,7 @@ where
                     if my_obs.is_enabled() {
                         my_obs.inc(Layer::Net, "tick");
                     }
+                    links.poll(&mesh, &mut node, &ctx, &mut fx);
                     worked = true;
                 }
                 if worked {
@@ -695,11 +1283,12 @@ where
                     }
                 }
             }
-            let (bytes_sent, bytes_recv, handshake_rejects) = mesh.shutdown();
+            let stats = mesh.shutdown();
             if my_obs.is_enabled() {
-                my_obs.add(Layer::Net, "tcp_bytes_sent", bytes_sent);
-                my_obs.add(Layer::Net, "tcp_bytes_recv", bytes_recv);
-                my_obs.add(Layer::Net, "handshake_rejected", handshake_rejects);
+                my_obs.add(Layer::Net, "tcp_bytes_sent", stats.bytes_sent);
+                my_obs.add(Layer::Net, "tcp_bytes_recv", stats.bytes_recv);
+                my_obs.add(Layer::Net, "handshake_rejected", stats.handshake_rejects);
+                my_obs.add(Layer::Net, "tcp_outbound_dropped", stats.outbound_dropped);
             }
         }));
     }
@@ -732,6 +1321,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{LinkFaults, Partition};
     use crate::codec::{CodecError, Reader};
 
     /// Gossip over real sockets: each node broadcasts its input; every
@@ -766,6 +1356,15 @@ mod tests {
         }
     }
 
+    fn honest_handshake(addr: SocketAddr, claim: u32) -> TcpStream {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut hs = [0u8; 8];
+        hs[..4].copy_from_slice(&MAGIC.to_be_bytes());
+        hs[4..].copy_from_slice(&claim.to_be_bytes());
+        s.write_all(&hs).expect("write");
+        s
+    }
+
     #[test]
     fn tcp_gossip_delivers_everything() {
         let n = 4;
@@ -797,6 +1396,10 @@ mod tests {
             "bytes crossed real sockets"
         );
         assert!(merged.counter("net.tcp_bytes_recv") > 0);
+        assert!(
+            merged.counter("net.link_up") > 0,
+            "link supervisors saw connections come up"
+        );
     }
 
     #[test]
@@ -822,7 +1425,8 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         // Peer 1's address is never dialed in this test; port 1 refuses.
         let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
-        let mesh: TcpMesh<Word> = TcpMesh::start(0, &addrs, listener).expect("mesh");
+        let mesh: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
 
         // Wrong magic: dropped, and the socket sees EOF, not a frame.
         {
@@ -848,35 +1452,322 @@ mod tests {
             s.write_all(&hs).expect("write");
         }
         // An honest peer still gets through afterwards.
-        let mut s = TcpStream::connect(addr).expect("connect");
-        let mut hs = [0u8; 8];
-        hs[..4].copy_from_slice(&MAGIC.to_be_bytes());
-        hs[4..].copy_from_slice(&1u32.to_be_bytes());
-        s.write_all(&hs).expect("write");
+        let mut s = honest_handshake(addr, 1);
         s.write_all(&encode_frame(&Word(7)).expect("fits"))
             .expect("write");
         let got = mesh
             .recv_timeout(Duration::from_secs(10))
             .expect("frame delivered");
         assert_eq!(got, (1, Word(7)));
-        let (_, _, rejects) = mesh.shutdown();
-        assert_eq!(rejects, 3, "each garbage connection counted once");
+        let stats = mesh.shutdown();
+        assert_eq!(
+            stats.handshake_rejects, 3,
+            "each garbage connection counted once"
+        );
+    }
+
+    #[test]
+    fn mid_handshake_disconnects_are_tolerated() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
+        let mesh: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+
+        // Connect and vanish without a single byte.
+        {
+            let s = TcpStream::connect(addr).expect("connect");
+            drop(s);
+        }
+        // Half a magic word, then a close.
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&MAGIC.to_be_bytes()[..2]).expect("write");
+            let _ = s.shutdown(Shutdown::Both);
+            drop(s);
+        }
+        // Full magic but only half the party id.
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&MAGIC.to_be_bytes()).expect("write");
+            s.write_all(&[0u8; 2]).expect("write");
+            drop(s);
+        }
+        // The acceptor survives all three and still serves honest peers.
+        let mut s = honest_handshake(addr, 1);
+        s.write_all(&encode_frame(&Word(11)).expect("fits"))
+            .expect("write");
+        let got = mesh
+            .recv_timeout(Duration::from_secs(10))
+            .expect("frame delivered");
+        assert_eq!(got, (1, Word(11)));
+        let stats = mesh.shutdown();
+        assert_eq!(
+            stats.handshake_rejects, 3,
+            "every aborted handshake counted"
+        );
+    }
+
+    #[test]
+    fn handshake_timeout_rejects_silent_strays() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
+        let mesh: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+
+        // A stray that connects and stays silent: the handshake
+        // deadline (2s) must cut it loose rather than park the
+        // acceptor forever.
+        let stray = TcpStream::connect(addr).expect("connect");
+        // An honest peer dialing *behind* the stray proves the slot is
+        // freed: its frame can only be delivered after the stray is
+        // rejected, because the accept loop is single-threaded until
+        // the handshake resolves.
+        let t = std::thread::spawn(move || {
+            let mut s = honest_handshake(addr, 1);
+            s.write_all(&encode_frame(&Word(23)).expect("fits"))
+                .expect("write");
+            s
+        });
+        let got = mesh
+            .recv_timeout(Duration::from_secs(10))
+            .expect("frame delivered after stray timed out");
+        assert_eq!(got, (1, Word(23)));
+        let stats = mesh.shutdown();
+        assert_eq!(stats.handshake_rejects, 1, "silent stray counted");
+        drop(stray);
+        drop(t.join());
+    }
+
+    #[test]
+    fn bounded_lane_drops_oldest_and_counts() {
+        let dropped = Arc::new(AtomicU64::new(0));
+        // Cap clamps up to one max frame; use frames big enough to
+        // overflow quickly.
+        let lane = Lane::new(MAX_FRAME + 4, Arc::clone(&dropped));
+        let frame = vec![7u8; MAX_FRAME / 4];
+        for _ in 0..16 {
+            assert!(lane.push(frame.clone()));
+        }
+        assert!(
+            dropped.load(Ordering::Relaxed) >= 11,
+            "oldest frames evicted past the cap"
+        );
+        assert!(
+            lane.queued_bytes() <= MAX_FRAME + 4,
+            "memory stays bounded: {} bytes queued",
+            lane.queued_bytes()
+        );
+        // The newest writes survive.
+        let (frames, _) = lane.pop_batch(usize::MAX, Duration::ZERO);
+        assert!(!frames.is_empty());
+        lane.close();
+        let (rest, drained) = lane.pop_batch(usize::MAX, Duration::ZERO);
+        assert!(rest.is_empty() && drained);
+        assert!(!lane.push(frame), "closed lane refuses frames");
+    }
+
+    #[test]
+    fn sender_memory_stays_bounded_while_peer_is_down() {
+        // Peer 1 is permanently unreachable (nothing listens); the
+        // sender keeps broadcasting. Without the bounded lane this
+        // grows without limit — the eviction counter proves the cap
+        // engaged and the queue stayed flat.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let dead = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let dead_addr = dead.local_addr().expect("addr");
+        drop(dead); // port now refuses connections
+        let addrs = vec![addr, dead_addr];
+        // Caps clamp up to one max frame (MAX_FRAME + 4), so the
+        // effective bound here is ~1MiB; push several times that.
+        let cap = 64 * 1024;
+        let effective = MAX_FRAME + 4;
+        let mesh: TcpMesh<Word> = TcpMesh::start(0, &addrs, listener, None, cap).expect("mesh");
+        for i in 0..300_000u64 {
+            assert!(mesh.send(1, Word(i)), "sends keep being accepted");
+        }
+        let queued = mesh.outbound[1].as_ref().expect("lane").queued_bytes();
+        assert!(
+            queued <= effective + MAX_FRAME + 4,
+            "queue bounded at ~{effective} bytes, got {queued}"
+        );
+        let stats = mesh.shutdown();
+        assert!(
+            stats.outbound_dropped > 0,
+            "evictions were counted: {}",
+            stats.outbound_dropped
+        );
+    }
+
+    #[test]
+    fn chaos_faults_are_survivable_and_counted() {
+        // Node 0 → node 1 under heavy budgeted loss: every frame past
+        // the budgets must still arrive (garbles kill the connection,
+        // so this also exercises reconnect), and the counters tally
+        // what the interposer did.
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("a"), l1.local_addr().expect("a")];
+        let chaos = ChaosConfig {
+            seed: 42,
+            default: LinkFaults {
+                drop_per_mille: 200,
+                drop_budget: 8,
+                garble_per_mille: 200,
+                garble_budget: 8,
+                reset_per_mille: 50,
+                ..LinkFaults::none()
+            },
+            ..ChaosConfig::default()
+        };
+        let sender: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, l0, Some(&chaos), DEFAULT_QUEUE_BYTES).expect("mesh");
+        let receiver: TcpMesh<Word> =
+            TcpMesh::start(1, &addrs, l1, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let total = 400u64;
+        for i in 0..total {
+            assert!(sender.send(1, Word(i)));
+        }
+        let mut got = std::collections::BTreeSet::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        // At most drop_budget + garble_budget frames may be lost (a
+        // garbled frame reaches the peer but fails decode); chaos past
+        // the budgets only adds latency.
+        while (got.len() as u64) < total - 16 && Instant::now() < deadline {
+            if let Some((from, w)) = receiver.recv_timeout(Duration::from_millis(100)) {
+                assert_eq!(from, 0);
+                got.insert(w.0);
+            }
+        }
+        assert!(
+            got.len() as u64 >= total - 16,
+            "budgeted chaos keeps liveness: {}/{total} delivered",
+            got.len()
+        );
+        let stats = sender.shutdown();
+        let (dropped, garbled, _resets, _delayed, _reordered) = stats.chaos;
+        assert!(dropped > 0, "drops happened and were counted");
+        assert!(garbled > 0, "garbles happened and were counted");
+        assert!(dropped <= 8 && garbled <= 8, "budgets bound the damage");
+        receiver.shutdown();
+    }
+
+    #[test]
+    fn partition_blocks_then_heals() {
+        // A 250ms window cutting 0|1: frames sent during the window
+        // arrive only after it ends — blocked, not dropped.
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("a"), l1.local_addr().expect("a")];
+        let chaos = ChaosConfig {
+            seed: 1,
+            partitions: vec![Partition {
+                group: vec![0],
+                start: Duration::ZERO,
+                end: Duration::from_millis(250),
+            }],
+            ..ChaosConfig::default()
+        };
+        let sender: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, l0, Some(&chaos), DEFAULT_QUEUE_BYTES).expect("mesh");
+        let receiver: TcpMesh<Word> =
+            TcpMesh::start(1, &addrs, l1, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let t0 = Instant::now();
+        assert!(sender.send(1, Word(99)));
+        let got = receiver
+            .recv_timeout(Duration::from_secs(10))
+            .expect("frame delivered after heal");
+        let waited = t0.elapsed();
+        assert_eq!(got, (0, Word(99)));
+        assert!(
+            waited >= Duration::from_millis(200),
+            "frame held for the window, not leaked early ({waited:?})"
+        );
+        sender.shutdown();
+        receiver.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_keep_an_idle_link_fresh() {
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("a"), l1.local_addr().expect("a")];
+        let a: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, l0, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let b: TcpMesh<Word> =
+            TcpMesh::start(1, &addrs, l1, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        // One frame each way to establish both unidirectional links.
+        assert!(a.send(1, Word(1)));
+        assert!(b.send(0, Word(2)));
+        assert_eq!(b.recv_timeout(Duration::from_secs(10)), Some((0, Word(1))));
+        assert_eq!(a.recv_timeout(Duration::from_secs(10)), Some((1, Word(2))));
+        // Now both go idle. Heartbeats (200ms cadence) must keep the
+        // last-heard clocks advancing on both sides.
+        let before = b.supervisors[0]
+            .as_ref()
+            .expect("sup")
+            .last_rx_ms
+            .load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(600));
+        let after = b.supervisors[0]
+            .as_ref()
+            .expect("sup")
+            .last_rx_ms
+            .load(Ordering::Relaxed);
+        assert!(
+            after > before,
+            "idle link stayed audible: {before} → {after}"
+        );
+        // And the writer-side supervisor reports the link Up.
+        assert_eq!(a.supervisors[1].as_ref().expect("sup").get(), LinkState::Up);
+        a.shutdown();
+        b.shutdown();
     }
 
     #[test]
     fn single_node_mesh_loops_back_to_itself() {
-        let cfg = TcpNodeConfig {
-            me: 0,
-            addrs: vec!["127.0.0.1:0".parse().expect("addr")],
-            timeout: Duration::from_secs(10),
-            linger: Duration::from_millis(0),
-            recorder_capacity: None,
-        };
+        let cfg = TcpNodeConfig::new(
+            0,
+            vec!["127.0.0.1:0".parse().expect("addr")],
+            Duration::from_secs(10),
+            Duration::from_millis(0),
+        );
         let report = run_tcp_node(&cfg, Gossip, vec![42], |outs: &[(PartyId, u64)]| {
             !outs.is_empty()
         })
         .expect("bind");
         assert!(report.completed);
         assert_eq!(report.outputs, vec![(0, 42)]);
+    }
+
+    #[test]
+    fn driven_node_paces_inputs_and_sees_state() {
+        // The driver injects one input per tick until three are out;
+        // the stop predicate keys off the automaton (via the report's
+        // returned node), proving &P access works.
+        let cfg = TcpNodeConfig::new(
+            0,
+            vec!["127.0.0.1:0".parse().expect("addr")],
+            Duration::from_secs(10),
+            Duration::from_millis(0),
+        );
+        let mut injected = 0u64;
+        let (report, node) = run_tcp_node_driven(
+            &cfg,
+            Gossip,
+            move |node, ctx, fx| {
+                if injected < 3 {
+                    node.on_input_ctx(ctx, injected, fx);
+                    injected += 1;
+                }
+            },
+            |_node: &Gossip, outs: &[(PartyId, u64)]| outs.len() >= 3,
+        )
+        .expect("bind");
+        assert!(report.completed);
+        assert_eq!(report.outputs.len(), 3);
+        let _ = node;
     }
 }

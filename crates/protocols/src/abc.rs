@@ -358,8 +358,7 @@ impl AtomicBroadcast {
     /// Returns `true` when the payload was newly queued.
     fn enqueue(&mut self, payload: Vec<u8>) -> bool {
         let d = digest(&payload);
-        if payload.is_empty() || self.delivered.contains_key(&d) || !self.queued_digests.insert(d)
-        {
+        if payload.is_empty() || self.delivered.contains_key(&d) || !self.queued_digests.insert(d) {
             return false;
         }
         self.queue.push_back(payload);
@@ -1138,7 +1137,10 @@ mod tests {
         assert_eq!(abc.round(), 17);
         assert_eq!(abc.retained_rounds(), 0);
         // The seeded dedup window survives (within the horizon).
-        assert_eq!(abc.dedup_window(), vec![(5, digest(b"ancient")), (16, digest(b"old"))]);
+        assert_eq!(
+            abc.dedup_window(),
+            vec![(5, digest(b"ancient")), (16, digest(b"old"))]
+        );
         // Fast-forwarding backwards is a no-op.
         abc.fast_forward(1, 2, &[]);
         assert_eq!(abc.delivered_count(), 42);

@@ -205,12 +205,7 @@ impl SecureCausalAtomicBroadcast {
     /// reflected in the restored application snapshot. `dedup` re-seeds
     /// the underlying transport's delivered-ciphertext window (digests
     /// from the certified checkpoint plus the vouched tail).
-    pub fn fast_forward(
-        &mut self,
-        next_seq: u64,
-        next_round: u64,
-        dedup: &[(u64, [u8; 32])],
-    ) {
+    pub fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, [u8; 32])]) {
         if next_seq <= self.next_emit_seq && next_round <= self.abc.round() {
             return;
         }

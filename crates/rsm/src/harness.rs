@@ -1,0 +1,248 @@
+//! Campaign hooks for the replicated state machine: the full stack —
+//! request ordering, state application, reply shares, checkpoints, and
+//! state transfer — under the fault-injection campaign grid.
+//!
+//! The core protocols get their hooks from `sintra-protocols`'
+//! `harness` module; the replica cannot live there (the dependency
+//! points the other way), so this module provides the same shape for
+//! [`Replica`] over plain atomic broadcast and a [`KvMachine`]. The
+//! checkpoint interval is deliberately tiny so every campaign case
+//! crosses several checkpoint boundaries, putting the PR-5
+//! checkpoint/state-transfer control plane — the recovery path where
+//! Byzantine replication breaks in practice — inside the sweep rather
+//! than only in targeted tests.
+
+use crate::replica::{atomic_replicas, Replica, Reply, RsmMessage};
+use crate::state::{KvMachine, StateMachine};
+use sintra_adversary::party::{PartyId, PartySet};
+use sintra_adversary::structure::TrustStructure;
+use sintra_crypto::dealer::Dealer;
+use sintra_crypto::rng::SeededRng;
+use sintra_net::campaign::{BehaviorKind, CampaignHooks, RunOutcome};
+use sintra_net::faults;
+use sintra_net::sim::Behavior;
+use sintra_protocols::abc::{AbcMessage, AtomicBroadcast};
+use std::collections::HashMap;
+
+/// Parties in the standard campaign configuration.
+pub const N: usize = 4;
+/// Fault threshold in the standard campaign configuration.
+pub const T: usize = 1;
+
+/// Rounds between checkpoints for campaign replicas: small enough that
+/// even short cases certify checkpoints (and a recovering replica has
+/// hints to rejoin by).
+const CKPT_INTERVAL: u64 = 4;
+
+/// The replica type the campaign sweeps.
+pub type RsmNode = Replica<AtomicBroadcast, KvMachine>;
+
+/// The campaign mixes the case seed with the party id before calling
+/// the behavior hook; undo that to rebuild a corrupted party's replica
+/// from the same dealt keys as the honest nodes.
+fn case_seed(mixed_seed: u64, party: PartyId) -> u64 {
+    mixed_seed ^ party as u64
+}
+
+fn flip(p: &mut Vec<u8>) {
+    if let Some(b) = p.first_mut() {
+        *b ^= 0xff;
+    } else {
+        p.push(0xff);
+    }
+}
+
+/// Builds the standard 4-party replica set for a seed.
+pub fn rsm_build(seed: u64) -> Vec<RsmNode> {
+    let ts = TrustStructure::threshold(N, T).expect("valid (n, t)");
+    let mut rng = SeededRng::new(seed);
+    let (public, bundles) = Dealer::deal(&ts, &mut rng);
+    let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), seed);
+    for n in &mut nodes {
+        n.set_ckpt_interval(CKPT_INTERVAL);
+    }
+    nodes
+}
+
+/// Tells each receiver a different story: payloads stamped per
+/// receiver, checkpoint claims shifted per receiver (the share no
+/// longer covers the claim, so honest receivers must reject it without
+/// poisoning their hint slots), fetch requests lying about progress.
+fn rsm_equivocate(to: PartyId, mut m: RsmMessage<AbcMessage>) -> RsmMessage<AbcMessage> {
+    match &mut m {
+        RsmMessage::Order(AbcMessage::Push(p)) => p.push(to as u8),
+        RsmMessage::CkptShare { seq, round, .. } => {
+            *seq = seq.wrapping_add(to as u64);
+            *round = round.wrapping_add(to as u64);
+        }
+        RsmMessage::FetchState { have_seq } => *have_seq = to as u64,
+        _ => {}
+    }
+    m
+}
+
+/// Bit-flips across the whole wire vocabulary, including the
+/// checkpoint/state-transfer control plane: mangled digests, fabricated
+/// fetch positions, corrupted snapshots. Receivers must reject all of
+/// it — a garbled `State` response must never be installed.
+fn rsm_mutate(m: &mut RsmMessage<AbcMessage>) {
+    match m {
+        RsmMessage::Order(AbcMessage::Push(p)) => flip(p),
+        RsmMessage::Order(AbcMessage::Queued { payload, .. }) => flip(payload),
+        RsmMessage::Order(AbcMessage::Mvba { round, .. }) => *round += 1,
+        RsmMessage::CkptShare { digest, .. } => digest[0] ^= 0xff,
+        RsmMessage::FetchState { have_seq } => *have_seq = have_seq.wrapping_add(1_000),
+        RsmMessage::State { snapshot, .. } => flip(snapshot),
+    }
+}
+
+fn rsm_behavior(kind: BehaviorKind, party: PartyId, seed: u64) -> Behavior<RsmNode> {
+    let cs = case_seed(seed, party);
+    let inner = move || rsm_build(cs).remove(party);
+    let evil = KvMachine::encode_set(b"evil", b"1");
+    match kind {
+        BehaviorKind::Crash => Behavior::Crash,
+        BehaviorKind::Equivocate => faults::equivocator(
+            party,
+            N,
+            inner(),
+            Some(evil),
+            |to, m, _| rsm_equivocate(to, m),
+            seed,
+        ),
+        BehaviorKind::Replay => faults::replayer(N, 16, seed),
+        BehaviorKind::Mutate => faults::mutator(
+            party,
+            N,
+            inner(),
+            Some(evil),
+            |m, _| rsm_mutate(m),
+            60,
+            seed,
+        ),
+        BehaviorKind::Mute => faults::selective_mute(
+            party,
+            N,
+            inner(),
+            Some(evil),
+            PartySet::singleton((party + 1) % N),
+        ),
+        BehaviorKind::CrashRecover => faults::crash_recover(party, N, inner, None, 200, 5_000),
+    }
+}
+
+/// The service's defining invariants, checked after every case:
+///
+/// * **Replicated answers** — no two honest replicas answer the same
+///   sequence number with different responses (or for different
+///   requests): the linearized service speaks with one voice.
+/// * **Liveness** — the run quiesced and every honest replica answered
+///   at least every honest request.
+/// * **State convergence** — honest replicas end with byte-identical
+///   application state and applied watermarks: no Byzantine behavior
+///   (including a poisoned state transfer) may fork the machines.
+fn rsm_check(outcome: &RunOutcome<RsmNode>) -> Result<(), String> {
+    if !outcome.quiesced {
+        return Err("run did not quiesce within the step budget".into());
+    }
+    let honest: Vec<PartyId> = outcome.honest().collect();
+    let mut by_seq: HashMap<u64, (PartyId, &Reply)> = HashMap::new();
+    for &p in &honest {
+        for r in &outcome.outputs[p] {
+            match by_seq.get(&r.seq) {
+                None => {
+                    by_seq.insert(r.seq, (p, r));
+                }
+                Some((q, prev)) => {
+                    if prev.response != r.response || prev.request != r.request {
+                        return Err(format!(
+                            "replicated-answer violation at seq {}: party {p} disagrees \
+                             with party {q}",
+                            r.seq
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for &p in &honest {
+        let got = outcome.outputs[p].len();
+        if got < honest.len() {
+            return Err(format!(
+                "liveness violated: party {p} answered {got} requests, needed {}",
+                honest.len()
+            ));
+        }
+    }
+    let mut reference: Option<(PartyId, Vec<u8>, u64)> = None;
+    for &p in &honest {
+        let Some(node) = &outcome.nodes[p] else {
+            continue;
+        };
+        let snap = node.machine().snapshot();
+        let applied = node.applied();
+        match &reference {
+            None => reference = Some((p, snap, applied)),
+            Some((q, ref_snap, ref_applied)) => {
+                if applied != *ref_applied || snap != *ref_snap {
+                    return Err(format!(
+                        "state divergence: party {p} (applied {applied}) vs party {q} \
+                         (applied {ref_applied})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Campaign hooks for the replicated state machine: every honest
+/// replica submits one distinct write; all of them must be ordered,
+/// answered consistently, and applied identically everywhere.
+pub fn rsm_hooks<'a>() -> CampaignHooks<'a, RsmNode> {
+    CampaignHooks {
+        nodes: Box::new(rsm_build),
+        behavior: Box::new(rsm_behavior),
+        inputs: Box::new(|_seed, corrupted| {
+            (0..N)
+                .filter(|p| !corrupted.contains(*p))
+                .map(|p| {
+                    (
+                        p,
+                        KvMachine::encode_set(
+                            format!("k{p}").as_bytes(),
+                            format!("v{p}").as_bytes(),
+                        ),
+                    )
+                })
+                .collect()
+        }),
+        check: Box::new(rsm_check),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintra_net::campaign::{run_campaign, CampaignPlan, SchedulerKind};
+
+    /// Debug-mode smoke slice of the grid the release soak sweeps in
+    /// full: one adversarial scheduler, every behavior (crash–recover
+    /// included, so the checkpoint/rejoin path runs under campaign
+    /// scheduling), two seeds.
+    #[test]
+    fn rsm_campaign_smoke() {
+        let plan = CampaignPlan {
+            schedulers: vec![SchedulerKind::Random],
+            behaviors: BehaviorKind::ALL.to_vec(),
+            corruption_sets: vec![PartySet::singleton(3)],
+            seeds: vec![1, 2],
+            max_steps: 100_000_000,
+            duplication_percent: 15,
+            obs_recorder: None,
+        };
+        let report = run_campaign(&plan, &rsm_hooks());
+        assert!(report.passed(), "{}", report.summary());
+        assert_eq!(report.cases_run, BehaviorKind::ALL.len() * 2);
+    }
+}

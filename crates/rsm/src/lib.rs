@@ -16,10 +16,12 @@
 
 pub mod client;
 pub mod codec;
+pub mod harness;
 pub mod replica;
 pub mod state;
 
 pub use client::{ReplyCollector, ResubmittingClient, ServiceReply};
+pub use harness::{rsm_build, rsm_hooks, RsmNode};
 pub use replica::{
     atomic_replicas, causal_replicas, ckpt_message, Ordered, OrderingLayer, Replica, Reply,
     RsmMessage, StableCheckpoint, DEFAULT_CKPT_INTERVAL,

@@ -370,6 +370,10 @@ pub struct StableCheckpoint {
     pub cert: ThresholdSignature,
 }
 
+/// One ordered-log entry as shipped in a `State` tail:
+/// `(seq, round, transport digest, payload)`.
+type TailEntry = (u64, u64, Digest, Vec<u8>);
+
 /// A locally taken checkpoint awaiting its certificate.
 #[derive(Debug)]
 struct PendingCkpt {
@@ -395,7 +399,7 @@ struct Candidate {
     snapshot: Vec<u8>,
     dedup: Vec<(u64, Digest)>,
     cert: ThresholdSignature,
-    tails: BTreeMap<PartyId, (u64, Vec<(u64, u64, Digest, Vec<u8>)>)>,
+    tails: BTreeMap<PartyId, (u64, Vec<TailEntry>)>,
 }
 
 /// An in-flight state-transfer request with retry backoff, bounded
@@ -611,7 +615,8 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                     .at(ctx.at),
             );
             self.applied = o.seq + 1;
-            self.log.insert(o.seq, (o.round, o.tdigest, o.payload.clone()));
+            self.log
+                .insert(o.seq, (o.round, o.tdigest, o.payload.clone()));
             self.cache_reply(o.seq, request, response.clone());
             fx.output(Reply {
                 request,
@@ -775,10 +780,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         for (p, hint) in self.ckpt_hints.iter().enumerate() {
             if let Some((seq, round, d)) = hint {
                 if *seq > self.applied && *round > horizon {
-                    groups
-                        .entry((*seq, *round, *d))
-                        .or_insert_with(PartySet::new)
-                        .insert(p);
+                    groups.entry((*seq, *round, *d)).or_default().insert(p);
                 }
             }
         }
@@ -1058,7 +1060,9 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 dedup,
                 cert,
                 tail,
-            } => self.on_state(ctx, from, seq, round, next_round, snapshot, dedup, cert, tail),
+            } => self.on_state(
+                ctx, from, seq, round, next_round, snapshot, dedup, cert, tail,
+            ),
         }
         self.record(ctx);
     }
@@ -1161,13 +1165,13 @@ fn plan_adoption(c: &Candidate, public: &PublicParameters) -> AdoptionPlan {
 /// corruptible coalition covers, so at least one honest replica vouches
 /// for it. Entries past the first disagreement (or gap, or round
 /// regression) are dropped — a later checkpoint covers them.
-fn vouched_tail(c: &Candidate, public: &PublicParameters) -> Vec<(u64, u64, Digest, Vec<u8>)> {
+fn vouched_tail(c: &Candidate, public: &PublicParameters) -> Vec<TailEntry> {
     // Index each responder's tail by seq (first entry wins).
-    let maps: Vec<(PartyId, HashMap<u64, &(u64, u64, Digest, Vec<u8>)>)> = c
+    let maps: Vec<(PartyId, HashMap<u64, &TailEntry>)> = c
         .tails
         .iter()
         .map(|(p, (_, tail))| {
-            let mut m: HashMap<u64, &(u64, u64, Digest, Vec<u8>)> = HashMap::new();
+            let mut m: HashMap<u64, &TailEntry> = HashMap::new();
             for e in tail {
                 m.entry(e.0).or_insert(e);
             }
@@ -1178,12 +1182,13 @@ fn vouched_tail(c: &Candidate, public: &PublicParameters) -> Vec<(u64, u64, Dige
     let mut s = c.seq;
     let mut last_round = c.round;
     'next_seq: loop {
-        let mut groups: Vec<(&(u64, u64, Digest, Vec<u8>), PartySet)> = Vec::new();
+        let mut groups: Vec<(&TailEntry, PartySet)> = Vec::new();
         for (p, m) in &maps {
             if let Some(e) = m.get(&s) {
-                match groups.iter_mut().find(|(g, _)| {
-                    g.1 == e.1 && g.2 == e.2 && g.3 == e.3
-                }) {
+                match groups
+                    .iter_mut()
+                    .find(|(g, _)| g.1 == e.1 && g.2 == e.2 && g.3 == e.3)
+                {
                     Some((_, set)) => {
                         set.insert(*p);
                     }
@@ -1254,6 +1259,44 @@ impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
 
     fn on_tick_ctx(&mut self, ctx: &Context, fx: &mut Effects<Self::Message, Reply>) {
         self.handle_tick(ctx, fx);
+    }
+
+    /// A transport link to `peer` came (back) up: probe it with our
+    /// stable checkpoint claim. A restarted replica receives one such
+    /// share from every survivor; the shares carry identical
+    /// `(seq, round, digest)` claims, so a qualified set of them forms
+    /// a checkpoint *hint* (see [`Replica::handle_message`]'s
+    /// `CkptShare` path) and state transfer engages immediately instead
+    /// of waiting for the next periodic checkpoint boundary. Advisory
+    /// only — the probe is the same evidence a routine `CkptShare`
+    /// broadcast carries and is validated identically, so a spurious or
+    /// Byzantine-timed link-up signal gains nothing.
+    fn on_link_up_ctx(
+        &mut self,
+        ctx: &Context,
+        peer: PartyId,
+        fx: &mut Effects<Self::Message, Reply>,
+    ) {
+        if peer == self.bundle.party() {
+            return;
+        }
+        // Copy the claim out first: signing needs `&mut self.rng`.
+        let Some((seq, round, digest)) = self.stable.as_ref().map(|s| (s.seq, s.round, s.digest))
+        else {
+            return; // nothing checkpointed yet — nothing to probe with
+        };
+        let msg = ckpt_message(&self.tag, seq, round, &digest);
+        let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
+        ctx.obs.inc(Layer::Rsm, "ckpt_probe_sent");
+        fx.send(
+            peer,
+            RsmMessage::CkptShare {
+                seq,
+                round,
+                digest,
+                share,
+            },
+        );
     }
 }
 
@@ -1597,6 +1640,204 @@ mod tests {
         assert!(post_rejoin > 0, "rejoined replica serves requests again");
     }
 
+    /// Exercises the [`Protocol::on_link_up_ctx`] probe: when the
+    /// transport reports the link to a restarted replica back up, the
+    /// survivors' stable-checkpoint probes alone must pull it through
+    /// state transfer — no new client traffic (and therefore no next
+    /// checkpoint boundary) required.
+    #[test]
+    fn link_up_probe_triggers_state_transfer_without_new_traffic() {
+        let (public, bundles) = deal(4, 1, 27);
+        let bundle3 = bundles[3].clone();
+        let public_arc = Arc::new(public.clone());
+        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 27);
+        for n in &mut nodes {
+            n.set_ckpt_interval(4);
+        }
+        let mut queue: Queued = Queued::new();
+        let mut replies = Vec::new();
+        // Replica 3 dies; survivors order 30 rounds and checkpoint.
+        for i in 0..30u32 {
+            submit(
+                &mut nodes,
+                &mut queue,
+                0,
+                KvMachine::encode_set(format!("d{i}").as_bytes(), b"v"),
+                &mut replies,
+            );
+            pump(&mut nodes, &mut queue, Some(3), &mut replies);
+        }
+        let stable_seq = nodes[0]
+            .stable_checkpoint()
+            .expect("survivors certified checkpoints")
+            .seq;
+        assert!(stable_seq > 20);
+        // Restart replica 3 from scratch.
+        nodes[3] = Replica::new(
+            Tag::root("rsm"),
+            AtomicBroadcast::new(
+                Tag::root("rsm-abc"),
+                Arc::clone(&public_arc),
+                Arc::new(bundle3.clone()),
+            ),
+            KvMachine::new(),
+            Arc::clone(&public_arc),
+            Arc::new(bundle3),
+            SeededRng::new(4_242),
+        );
+        nodes[3].set_ckpt_interval(4);
+        // A replica with no stable checkpoint has nothing to probe
+        // with; a self-link probe is a no-op.
+        let mut fx = Effects::for_parties(4);
+        nodes[3].on_link_up_ctx(&Context::disabled(3, 4), 0, &mut fx);
+        assert!(fx.take_sends().is_empty(), "fresh replica stays silent");
+        nodes[0].on_link_up_ctx(&Context::disabled(0, 4), 0, &mut fx);
+        assert!(fx.take_sends().is_empty(), "self probe is a no-op");
+        // The survivors see the link to 3 come back up. Each probes
+        // with its stable claim — targeted, not broadcast.
+        for (p, node) in nodes.iter_mut().enumerate().take(3) {
+            let mut fx = Effects::for_parties(4);
+            node.on_link_up_ctx(&Context::disabled(p, 4), 3, &mut fx);
+            let sends = fx.take_sends();
+            assert_eq!(sends.len(), 1, "one probe from survivor {p}");
+            assert_eq!(sends[0].0, 3, "probe targets the reconnected peer");
+            assert!(matches!(sends[0].1, RsmMessage::CkptShare { seq, .. } if seq == stable_seq));
+            for (t, m) in sends {
+                queue.push_back((p, t, m));
+            }
+        }
+        // The identical claims form a qualified hint; the fetch runs to
+        // completion with no further inputs.
+        pump(&mut nodes, &mut queue, None, &mut replies);
+        assert!(!nodes[3].is_fetching(), "state transfer completed");
+        assert_eq!(nodes[3].applied(), nodes[0].applied());
+        assert_eq!(nodes[3].machine().snapshot(), nodes[0].machine().snapshot());
+        assert_eq!(
+            nodes[3].layer().current_round(),
+            nodes[0].layer().current_round(),
+            "ordering layer fast-forwarded into the current round"
+        );
+    }
+
+    /// A [`ResubmittingClient`](crate::client::ResubmittingClient)
+    /// whose first attempt's replies are lost must still converge when
+    /// one replica crashes, restarts with amnesia, and rejoins via
+    /// state transfer in between: the retry is answered from the
+    /// survivors' reply caches at the original sequence number, and the
+    /// restarted replica's re-submission of the stale request is
+    /// deduplicated, never double-applied.
+    #[test]
+    fn resubmitting_client_survives_replica_restart() {
+        use crate::client::{ReplyCollector, ResubmittingClient};
+        let (public, bundles) = deal(4, 1, 33);
+        let bundle3 = bundles[3].clone();
+        let public_arc = Arc::new(public.clone());
+        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 33);
+        for n in &mut nodes {
+            n.set_ckpt_interval(4);
+        }
+        let mut queue: Queued = Queued::new();
+        let mut replies = Vec::new();
+        let payload = KvMachine::encode_set(b"persist", b"me");
+        let mut client =
+            ResubmittingClient::new(Tag::root("rsm"), Arc::clone(&public_arc), payload.clone());
+        // First attempt reaches every replica and is ordered once, but
+        // every reply share is lost on the way back.
+        for p in 0..4usize {
+            submit(
+                &mut nodes,
+                &mut queue,
+                p,
+                client.payload().to_vec(),
+                &mut replies,
+            );
+        }
+        pump(&mut nodes, &mut queue, None, &mut replies);
+        let rd = digest(&payload);
+        let first_seq = replies
+            .iter()
+            .find(|r| r.request == rd)
+            .expect("first attempt was ordered")
+            .seq;
+        assert!(client.result().is_none(), "replies lost: no answer yet");
+        // Replica 3 crashes; survivors keep ordering. Stay within the
+        // transport dedup window so the old request remains known.
+        for i in 0..30u32 {
+            submit(
+                &mut nodes,
+                &mut queue,
+                0,
+                KvMachine::encode_set(format!("d{i}").as_bytes(), b"v"),
+                &mut replies,
+            );
+            pump(&mut nodes, &mut queue, Some(3), &mut replies);
+        }
+        // Restart 3 with amnesia; link-up probes pull it through state
+        // transfer (reply cache and dedup window included).
+        nodes[3] = Replica::new(
+            Tag::root("rsm"),
+            AtomicBroadcast::new(
+                Tag::root("rsm-abc"),
+                Arc::clone(&public_arc),
+                Arc::new(bundle3.clone()),
+            ),
+            KvMachine::new(),
+            Arc::clone(&public_arc),
+            Arc::new(bundle3),
+            SeededRng::new(8_484),
+        );
+        nodes[3].set_ckpt_interval(4);
+        for (p, node) in nodes.iter_mut().enumerate().take(3) {
+            let mut fx = Effects::for_parties(4);
+            node.on_link_up_ctx(&Context::disabled(p, 4), 3, &mut fx);
+            for (t, m) in fx.take_sends() {
+                queue.push_back((p, t, m));
+            }
+        }
+        pump(&mut nodes, &mut queue, None, &mut replies);
+        assert!(!nodes[3].is_fetching(), "restarted replica caught up");
+        // The client's resubmission timer fires; the retry goes to all
+        // four replicas, including the restarted one.
+        let mut resent = None;
+        for _ in 0..64 {
+            if let Some(p) = client.on_tick() {
+                resent = Some(p);
+                break;
+            }
+        }
+        let retry = resent.expect("resubmission timer fired");
+        let mark = replies.len();
+        for p in 0..4usize {
+            submit(&mut nodes, &mut queue, p, retry.clone(), &mut replies);
+        }
+        pump(&mut nodes, &mut queue, None, &mut replies);
+        for r in replies[mark..].iter().cloned() {
+            client.on_reply(r);
+        }
+        let reply = client
+            .result()
+            .expect("client survived the restart")
+            .clone();
+        assert_eq!(reply.seq, first_seq, "answered at the original order");
+        assert!(ReplyCollector::verify_signed(
+            &public_arc,
+            &Tag::root("rsm"),
+            &payload,
+            &reply
+        ));
+        // Safety: the client write and each filler applied exactly once
+        // everywhere — the restarted replica's ignorance of the old
+        // request must not smuggle in a double-apply.
+        for (p, node) in nodes.iter().enumerate() {
+            assert_eq!(
+                node.machine().len(),
+                31,
+                "party {p}: one client write + 30 fillers, no double-apply"
+            );
+        }
+        assert_eq!(nodes[3].machine().snapshot(), nodes[0].machine().snapshot());
+    }
+
     #[test]
     fn single_far_future_ckpt_share_does_not_trigger_fetch() {
         let (public, bundles) = deal(4, 1, 21);
@@ -1713,7 +1954,10 @@ mod tests {
             nodes[0].on_tick(&mut fx);
             broadcasts += fx.take_sends().len();
         }
-        assert!(!nodes[0].is_fetching(), "fetch abandoned, not retried forever");
+        assert!(
+            !nodes[0].is_fetching(),
+            "fetch abandoned, not retried forever"
+        );
         assert_eq!(nodes[0].applied(), 0, "nothing fabricated was adopted");
         assert!(
             broadcasts <= MAX_FETCH_ATTEMPTS as usize * 4,
@@ -1750,7 +1994,10 @@ mod tests {
             );
             pump(&mut nodes, &mut queue, None, &mut replies);
         }
-        let stable = nodes[0].stable_checkpoint().expect("stable checkpoint").clone();
+        let stable = nodes[0]
+            .stable_checkpoint()
+            .expect("stable checkpoint")
+            .clone();
         assert!(stable.round > 4, "hint horizon reachable");
         assert!(
             nodes[0].applied() > stable.seq,
@@ -1783,7 +2030,14 @@ mod tests {
             dedup: stable.dedup.clone(),
             cert: stable.cert.clone(),
             tail: (0..3u64)
-                .map(|i| (stable.seq + i, stable.round + 1, digest(&evil), evil.clone()))
+                .map(|i| {
+                    (
+                        stable.seq + i,
+                        stable.round + 1,
+                        digest(&evil),
+                        evil.clone(),
+                    )
+                })
                 .collect(),
         };
         let mut fx = Effects::for_parties(4);
