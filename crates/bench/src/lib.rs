@@ -246,7 +246,7 @@ pub fn abc_message_leaks(msg: &sintra::protocols::abc::AbcMessage, needle: &[u8]
     use sintra::protocols::abc::AbcMessage;
     match msg {
         AbcMessage::Push(p) => contains_bytes(p, needle),
-        AbcMessage::Queued { payload, .. } => contains_bytes(payload, needle),
+        AbcMessage::Queued { batch, .. } => batch.iter().any(|p| contains_bytes(p, needle)),
         AbcMessage::Mvba { inner, .. } => mvba_leaks(inner, needle),
     }
 }

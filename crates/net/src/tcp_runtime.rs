@@ -836,14 +836,13 @@ fn writer_loop(mut t: WriterTask) {
             t.sup.up_epochs.fetch_add(1, Ordering::Relaxed);
         }
         let s = stream.as_mut().expect("connected above");
-        let batch: Vec<u8> = ready.concat();
-        match s.write_all(&batch) {
+        let batch_len: usize = ready.iter().map(Vec::len).sum();
+        match write_frames(s, &ready) {
             Ok(()) => {
-                t.bytes_sent
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                t.bytes_sent.fetch_add(batch_len as u64, Ordering::Relaxed);
                 last_write = Instant::now();
                 ready.clear();
-                if let Some(d) = t.chaos.as_ref().and_then(|c| c.throttle_for(batch.len())) {
+                if let Some(d) = t.chaos.as_ref().and_then(|c| c.throttle_for(batch_len)) {
                     std::thread::sleep(d);
                 }
             }
@@ -865,6 +864,45 @@ fn writer_loop(mut t: WriterTask) {
     if let Some(s) = stream {
         let _ = s.shutdown(Shutdown::Both);
     }
+}
+
+/// Writes a coalesced batch of frames with vectored I/O instead of
+/// copying them into one contiguous buffer — at batched-proposal rates
+/// the copy was a measurable per-round cost on the writer thread.
+/// Advances across slice boundaries manually because `write_vectored`
+/// may accept any prefix of the total.
+fn write_frames(s: &mut TcpStream, frames: &[Vec<u8>]) -> std::io::Result<()> {
+    use std::io::IoSlice;
+    // Index of the first unwritten frame and the offset into it.
+    let mut frame = 0usize;
+    let mut offset = 0usize;
+    while frame < frames.len() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(frames.len() - frame);
+        slices.push(IoSlice::new(&frames[frame][offset..]));
+        slices.extend(frames[frame + 1..].iter().map(|f| IoSlice::new(f)));
+        let mut wrote = match s.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes",
+                ));
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while frame < frames.len() {
+            let remaining = frames[frame].len() - offset;
+            if wrote < remaining {
+                offset += wrote;
+                break;
+            }
+            wrote -= remaining;
+            frame += 1;
+            offset = 0;
+        }
+    }
+    Ok(())
 }
 
 /// Dials a peer and sends the handshake. `None` on any failure.

@@ -165,6 +165,30 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The value at quantile `q` (0.0–1.0), resolved to the lower
+    /// bound of the log₂ bucket containing that rank — a conservative
+    /// (never over-reporting) estimate with ≤ 2× resolution, which is
+    /// what a power-of-two histogram can honestly claim. Returns 0 for
+    /// an empty histogram. `quantile(0.5)` is the p50, `quantile(0.99)`
+    /// the p99 reported by the throughput benchmarks.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bucket_floor(*bucket as usize);
+            }
+        }
+        // Unreachable when count equals the bucket sum, but stay total.
+        self.buckets
+            .last()
+            .map_or(0, |(b, _)| bucket_floor(*b as usize))
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
@@ -221,6 +245,23 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantiles_resolve_to_bucket_floors() {
+        let m = Metrics::new();
+        for v in [1u64, 2, 3, 4, 100, 1000, 10_000] {
+            m.observe2("rsm", "lat", v);
+        }
+        let h = &m.snapshot().hists["rsm.lat"];
+        // Bucket 1 (value 1) has floor 0 by bucket_floor's convention.
+        assert_eq!(h.quantile(0.0), 0);
+        // Rank 4 of 7 → the value 4 → bucket floor 4.
+        assert_eq!(h.quantile(0.5), 4);
+        // Top rank → 10_000 lives in [8192, 16384).
+        assert_eq!(h.quantile(0.99), 8192);
+        assert_eq!(h.quantile(1.0), 8192);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
 
     #[test]
     fn buckets_are_log2() {

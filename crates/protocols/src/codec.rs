@@ -33,7 +33,7 @@
 //! encoded length exactly.
 
 use crate::abba::{AbbaMessage, MainVote, MainVoteJust, MainVoteValue, PreVote, PreVoteJust};
-use crate::abc::AbcMessage;
+use crate::abc::{AbcMessage, QUEUED_BATCH_DECODE_CAP};
 use crate::cbc::{CbcMessage, Voucher};
 use crate::fdabc::FdMessage;
 use crate::mvba::MvbaMessage;
@@ -392,14 +392,13 @@ impl WireCodec for AbcMessage {
                 buf.push(0);
                 put_bytes(buf, p);
             }
-            AbcMessage::Queued {
-                round,
-                payload,
-                sig,
-            } => {
+            AbcMessage::Queued { round, batch, sig } => {
                 buf.push(1);
                 buf.extend_from_slice(&round.to_be_bytes());
-                put_bytes(buf, payload);
+                buf.extend_from_slice(&(batch.len() as u32).to_be_bytes());
+                for payload in batch {
+                    put_bytes(buf, payload);
+                }
                 sig.encode_into(buf);
             }
             AbcMessage::Mvba { round, inner } => {
@@ -413,11 +412,45 @@ impl WireCodec for AbcMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.u8()? {
             0 => Ok(AbcMessage::Push(get_payload(r, "abc payload")?)),
-            1 => Ok(AbcMessage::Queued {
-                round: r.u64()?,
-                payload: get_payload(r, "abc payload")?,
-                sig: Signature::decode(r)?,
-            }),
+            1 => {
+                let round = r.u64()?;
+                // Batched proposal: entry-count and cumulative-byte
+                // caps mirror the RSM layer's DEDUP_DECODE_CAP pattern
+                // — a hostile count cannot force allocation, and a
+                // hostile batch cannot exceed one payload's budget.
+                let count = r.u32()? as usize;
+                if count > QUEUED_BATCH_DECODE_CAP {
+                    return Err(CodecError::Oversized {
+                        what: "abc batch entries",
+                        len: count,
+                        max: QUEUED_BATCH_DECODE_CAP,
+                    });
+                }
+                let mut batch = Vec::with_capacity(count.min(64));
+                let mut total = 0usize;
+                for _ in 0..count {
+                    let payload = get_payload(r, "abc batch payload")?;
+                    if payload.is_empty() {
+                        return Err(CodecError::BadElement {
+                            what: "abc batch payload (empty)",
+                        });
+                    }
+                    total += payload.len();
+                    if total > MAX_PAYLOAD {
+                        return Err(CodecError::Oversized {
+                            what: "abc batch bytes",
+                            len: total,
+                            max: MAX_PAYLOAD,
+                        });
+                    }
+                    batch.push(payload);
+                }
+                Ok(AbcMessage::Queued {
+                    round,
+                    batch,
+                    sig: Signature::decode(r)?,
+                })
+            }
             2 => Ok(AbcMessage::Mvba {
                 round: r.u64()?,
                 inner: MvbaMessage::decode(r)?,

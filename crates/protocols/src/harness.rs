@@ -415,7 +415,12 @@ fn abc_equivocate(to: PartyId, mut m: AbcMessage) -> AbcMessage {
 fn abc_mutate(m: &mut AbcMessage) {
     match m {
         AbcMessage::Push(p) => flip(p),
-        AbcMessage::Queued { payload, .. } => flip(payload),
+        AbcMessage::Queued { batch, .. } => match batch.first_mut() {
+            Some(p) => flip(p),
+            // Filler batches have no bytes to flip; garble the shape
+            // instead so the signature still breaks.
+            None => batch.push(vec![0xff]),
+        },
         AbcMessage::Mvba { round, .. } => *round += 1,
     }
 }

@@ -47,6 +47,7 @@ pub mod harness;
 pub mod mvba;
 pub mod nodes;
 pub mod optimistic;
+pub mod pool;
 pub mod rbc;
 pub mod scabc;
 pub mod wire;

@@ -28,6 +28,7 @@
 use crate::abba::{Abba, AbbaMessage, EvidenceCheck};
 use crate::cbc::{CbcMessage, ConsistentBroadcast, Voucher};
 use crate::common::{BatchedShares, Outbox, Tag, WireKind};
+use crate::pool::VerifyPool;
 use parking_lot::Mutex;
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::coin::CoinShare;
@@ -35,7 +36,8 @@ use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_net::protocol::Context;
 use sintra_obs::Layer;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// External validity predicate: decides whether a byte string is an
@@ -103,6 +105,14 @@ const ELECTION_LOOKAHEAD: u64 = 16;
 /// not yet known (votes are only validated once the ABBA exists).
 const PENDING_VOTE_CAP: usize = 64;
 
+/// Outcome of one off-thread coin-batch verification: which parties'
+/// shares were in the batch, and which of them were culprits.
+struct CoinVerdict {
+    election: u64,
+    parties: Vec<PartyId>,
+    culprits: Vec<PartyId>,
+}
+
 /// Multi-valued validated Byzantine agreement instance at one party.
 pub struct Mvba {
     tag: Tag,
@@ -134,6 +144,14 @@ pub struct Mvba {
     /// A 1-decision whose voucher has not arrived yet.
     waiting_for: Option<(u64, PartyId)>,
     decided: Option<Vec<u8>>,
+    /// Off-thread verification pool; `None` keeps the seed behavior of
+    /// verifying on the protocol thread.
+    pool: Option<Arc<VerifyPool>>,
+    /// Sender cloned into pool jobs; verdicts come back on `verdict_rx`.
+    verdict_tx: Option<Sender<CoinVerdict>>,
+    verdict_rx: Option<Receiver<CoinVerdict>>,
+    /// Elections whose coin batch is currently out at the pool.
+    awaiting_verify: BTreeSet<u64>,
 }
 
 impl core::fmt::Debug for Mvba {
@@ -191,7 +209,38 @@ impl Mvba {
             pending_votes: BTreeMap::new(),
             waiting_for: None,
             decided: None,
+            pool: None,
+            verdict_tx: None,
+            verdict_rx: None,
+            awaiting_verify: BTreeSet::new(),
         }
+    }
+
+    /// Routes coin-share batch verification through `pool` instead of
+    /// running it inline. Verdicts from threaded pools are applied by
+    /// [`Mvba::drain_verifications`] (the ABC layer calls it from its
+    /// tick); a 0-worker pool completes synchronously, so behavior is
+    /// identical to inline verification.
+    pub fn set_verify_pool(&mut self, pool: Arc<VerifyPool>) {
+        if self.verdict_rx.is_none() {
+            let (tx, rx) = channel();
+            self.verdict_tx = Some(tx);
+            self.verdict_rx = Some(rx);
+        }
+        self.pool = Some(pool);
+    }
+
+    /// Whether a verification pool is attached.
+    pub fn has_verify_pool(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Whether the dissemination phase has reached a core proposal
+    /// quorum and elections are running. The ABC layer uses this as its
+    /// pipelining trigger: once a round's MVBA has a proposal quorum,
+    /// the next round may open without waiting for the decision.
+    pub fn elections_started(&self) -> bool {
+        self.elections_started
     }
 
     /// The decided value, if any.
@@ -402,14 +451,38 @@ impl Mvba {
             return None;
         }
         let name = self.elect_coin_name(election);
-        let tracker = self.elect_shares.get_mut(&election)?;
-        if !self.public.structure().is_qualified(&tracker.holders()) {
-            return None;
+        {
+            let tracker = self.elect_shares.get(&election)?;
+            if !self.public.structure().is_qualified(&tracker.holders()) {
+                return None;
+            }
         }
-        // Batch-verify the pending shares' DLEQ proofs in one multi-exp;
-        // culprits are banned and the combine skips proof re-checks.
-        let coin = self.public.coin();
-        tracker.settle(|batch| coin.verify_shares(&name, batch, rng));
+        if self.pool.is_some() {
+            // Hand the pending batch to the pool. An inline (0-worker)
+            // pool has sent its verdict by the time submit returns, so
+            // applying immediately keeps the single-threaded cadence; a
+            // threaded pool reports back through drain_verifications
+            // and this election stays parked until then.
+            self.submit_verification(election, &name, rng);
+            self.apply_verdicts();
+            if self.awaiting_verify.contains(&election) {
+                return None;
+            }
+        } else {
+            // Batch-verify the pending shares' DLEQ proofs in one
+            // multi-exp; culprits are banned and the combine skips
+            // proof re-checks.
+            let tracker = self
+                .elect_shares
+                .get_mut(&election)
+                .expect("tracker checked above");
+            let coin = self.public.coin();
+            tracker.settle(|batch| coin.verify_shares(&name, batch, rng));
+        }
+        let tracker = self
+            .elect_shares
+            .get(&election)
+            .expect("tracker checked above");
         let shares: Vec<CoinShare> = tracker.verified().values().cloned().collect();
         let value = self.public.coin().combine_preverified(&name, &shares)?;
         let candidate = (value.u64() % self.n as u64) as PartyId;
@@ -464,6 +537,90 @@ impl Mvba {
         }
         if let Some(bit) = decision {
             return self.on_abba_decision(election, bit, rng, out);
+        }
+        None
+    }
+
+    /// Ships `election`'s pending coin shares to the verification pool.
+    /// No-op when the batch is already in flight or nothing is pending.
+    fn submit_verification(&mut self, election: u64, name: &[u8], rng: &mut SeededRng) {
+        if self.awaiting_verify.contains(&election) {
+            return;
+        }
+        let Some(tracker) = self.elect_shares.get(&election) else {
+            return;
+        };
+        if !tracker.has_pending() {
+            return;
+        }
+        let (Some(pool), Some(tx)) = (&self.pool, &self.verdict_tx) else {
+            return;
+        };
+        let snapshot = tracker.pending_snapshot();
+        let parties: Vec<PartyId> = snapshot.iter().map(|(p, _)| *p).collect();
+        let shares: Vec<CoinShare> = snapshot.into_iter().map(|(_, s)| s).collect();
+        let public = Arc::clone(&self.public);
+        let name = name.to_vec();
+        let tx = tx.clone();
+        // Workers need randomness for the batch combination
+        // coefficients; derive it from the protocol stream so the whole
+        // run stays seeded.
+        let seed = rng.next_u64();
+        self.awaiting_verify.insert(election);
+        pool.submit(Box::new(move || {
+            let mut rng = SeededRng::new(seed);
+            let culprits = match public.coin().verify_shares(&name, &shares, &mut rng) {
+                Ok(()) => Vec::new(),
+                Err(culprits) => culprits,
+            };
+            // If the instance was dropped (round GC'd) the channel is
+            // closed and the verdict is simply discarded.
+            let _ = tx.send(CoinVerdict {
+                election,
+                parties,
+                culprits,
+            });
+        }));
+    }
+
+    /// Applies any verdicts pool workers have sent back; returns the
+    /// elections whose batches settled.
+    fn apply_verdicts(&mut self) -> Vec<u64> {
+        let mut settled = Vec::new();
+        let Some(rx) = &self.verdict_rx else {
+            return settled;
+        };
+        let mut verdicts = Vec::new();
+        while let Ok(v) = rx.try_recv() {
+            verdicts.push(v);
+        }
+        for v in verdicts {
+            self.awaiting_verify.remove(&v.election);
+            if let Some(tracker) = self.elect_shares.get_mut(&v.election) {
+                tracker.apply_verdict(&v.parties, &v.culprits);
+            }
+            settled.push(v.election);
+        }
+        settled
+    }
+
+    /// Applies pool verdicts and advances any election that was parked
+    /// on them. The ABC layer calls this from its tick whenever a
+    /// threaded pool is attached; returns the decision if one results.
+    pub fn drain_verifications(
+        &mut self,
+        rng: &mut SeededRng,
+        out: &mut Outbox<MvbaMessage>,
+    ) -> Option<Vec<u8>> {
+        if self.decided.is_some() {
+            return None;
+        }
+        let settled = self.apply_verdicts();
+        for election in settled {
+            let decision = self.try_elect(election, rng, out);
+            if decision.is_some() {
+                return decision;
+            }
         }
         None
     }

@@ -1,0 +1,235 @@
+//! Off-thread verification worker pool.
+//!
+//! Threshold-share verification is the dominant per-round crypto cost
+//! (see `BENCH_crypto.json`), and the protocol thread also owns the
+//! wire. This module provides a small hand-rolled worker pool — plain
+//! `std::thread` workers draining an `mpsc` channel, no external deps —
+//! that protocols hand their [`BatchedShares`](crate::common::BatchedShares)
+//! verification batches to. Workers run the batch multi-exponentiation
+//! and send a verdict (settled parties + culprits) back over a channel
+//! owned by the submitting protocol instance, which applies it on its
+//! next message or tick. Verification thus overlaps with wire I/O and
+//! with other pipelined rounds.
+//!
+//! A pool built with **0 workers** degrades to inline mode: `submit`
+//! runs the job on the caller's thread before returning, so every
+//! protocol path behaves identically (same messages, same decisions) —
+//! only the thread attribution changes. That keeps single-threaded
+//! simulations and deterministic campaign replays exact.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of verification work. Jobs capture everything they need
+/// (shares, public parameters, a result sender) and must not panic.
+pub type VerifyJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing where a pool's jobs actually ran. Exposed so
+/// tests (and metrics gauges) can assert that verification really left
+/// the protocol thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool was built with.
+    pub workers: usize,
+    /// Jobs handed to `submit`.
+    pub submitted: u64,
+    /// Jobs that ran inline on the submitting thread (0-worker mode).
+    pub ran_inline: u64,
+    /// Jobs completed by a worker thread.
+    pub ran_off_thread: u64,
+}
+
+/// Hand-rolled thread pool for deferred share verification.
+///
+/// Cloneable via `Arc`; one pool is typically shared by every protocol
+/// instance of a node (ABC hands it down to each per-round MVBA).
+/// Dropping the last handle closes the channel and joins the workers.
+pub struct VerifyPool {
+    tx: Mutex<Option<Sender<VerifyJob>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    submitted: AtomicU64,
+    ran_inline: AtomicU64,
+    ran_off_thread: AtomicU64,
+}
+
+impl std::fmt::Debug for VerifyPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifyPool")
+            .field("workers", &self.worker_count)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl VerifyPool {
+    /// Builds a pool with `workers` threads. `workers == 0` yields an
+    /// inline pool: submissions run synchronously on the caller.
+    pub fn new(workers: usize) -> Arc<Self> {
+        let pool = Arc::new(VerifyPool {
+            tx: Mutex::new(None),
+            workers: Mutex::new(Vec::new()),
+            worker_count: workers,
+            submitted: AtomicU64::new(0),
+            ran_inline: AtomicU64::new(0),
+            ran_off_thread: AtomicU64::new(0),
+        });
+        if workers > 0 {
+            let (tx, rx) = channel::<VerifyJob>();
+            let rx = Arc::new(Mutex::new(rx));
+            let mut handles = Vec::with_capacity(workers);
+            for i in 0..workers {
+                let rx = Arc::clone(&rx);
+                let pool = Arc::clone(&pool);
+                let handle = std::thread::Builder::new()
+                    .name(format!("sintra-verify-{i}"))
+                    .spawn(move || loop {
+                        // Take the lock only while dequeuing so workers
+                        // drain the channel concurrently with each
+                        // other's job execution.
+                        let job = {
+                            let guard = rx.lock();
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                job();
+                                pool.ran_off_thread.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Channel closed: pool is shutting down.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn verify worker");
+                handles.push(handle);
+            }
+            *pool.tx.lock() = Some(tx);
+            *pool.workers.lock() = handles;
+        }
+        pool
+    }
+
+    /// Whether submissions run on the caller's thread (0 workers).
+    pub fn is_inline(&self) -> bool {
+        self.worker_count == 0
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Queues `job` for a worker, or runs it inline for a 0-worker
+    /// pool (and for any job raced against shutdown).
+    pub fn submit(&self, job: VerifyJob) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let sent = {
+            let guard = self.tx.lock();
+            match &*guard {
+                Some(tx) => tx.send(job).map_err(|e| e.0).err(),
+                None => Some(job),
+            }
+        };
+        if let Some(job) = sent {
+            job();
+            self.ran_inline.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Where submitted jobs have run so far.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.worker_count,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            ran_inline: self.ran_inline.load(Ordering::Relaxed),
+            ran_off_thread: self.ran_off_thread.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the queue and joins the workers. Also runs on drop of the
+    /// last `Arc`; explicit calls make shutdown points visible in
+    /// drivers that want deterministic teardown.
+    pub fn shutdown(&self) {
+        let tx = self.tx.lock().take();
+        drop(tx);
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        // Workers hold no Arc cycles back to the pool's channel half,
+        // so dropping the sender here unblocks and ends them.
+        let tx = self.tx.lock().take();
+        drop(tx);
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn inline_pool_runs_on_caller_thread() {
+        let pool = VerifyPool::new(0);
+        assert!(pool.is_inline());
+        let me = std::thread::current().id();
+        let (tx, rx) = channel();
+        pool.submit(Box::new(move || {
+            tx.send(std::thread::current().id()).unwrap();
+        }));
+        // Inline submit is synchronous: the result is already there.
+        assert_eq!(rx.try_recv().unwrap(), me);
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.ran_inline, 1);
+        assert_eq!(stats.ran_off_thread, 0);
+    }
+
+    #[test]
+    fn threaded_pool_runs_off_caller_thread() {
+        let pool = VerifyPool::new(2);
+        assert!(!pool.is_inline());
+        let me = std::thread::current().id();
+        let (tx, rx) = channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(std::thread::current().id()).unwrap();
+            }));
+        }
+        for _ in 0..8 {
+            let worker = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            assert_ne!(worker, me, "job ran on the submitting thread");
+        }
+        pool.shutdown();
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.ran_inline, 0);
+        assert_eq!(stats.ran_off_thread, 8);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_late_submits_run_inline() {
+        let pool = VerifyPool::new(1);
+        pool.shutdown();
+        pool.shutdown();
+        let (tx, rx) = channel();
+        pool.submit(Box::new(move || {
+            tx.send(7u32).unwrap();
+        }));
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert_eq!(pool.stats().ran_inline, 1);
+    }
+}

@@ -252,6 +252,22 @@ impl SecureCausalAtomicBroadcast {
         self.after_abc(delivered, rng, out)
     }
 
+    /// Tick hook: drives the transport's tick (off-thread verification
+    /// verdicts, pipelined round transitions) and releases any
+    /// resulting ordered plaintexts.
+    pub fn on_tick(
+        &mut self,
+        rng: &mut SeededRng,
+        out: &mut Outbox<ScabcMessage>,
+    ) -> Vec<ScabcDeliver> {
+        let mut sub = Outbox::new(self.abc.n());
+        let delivered = self.abc.on_tick(rng, &mut sub);
+        for (to, m) in sub {
+            out.send(to, ScabcMessage::Abc(m));
+        }
+        self.after_abc(delivered, rng, out)
+    }
+
     /// Handles a message, returning any plaintexts released in order.
     pub fn on_message(
         &mut self,
@@ -509,6 +525,28 @@ impl Protocol for ScabcNode {
         }
         self.record(ctx, fx, o0);
     }
+
+    fn on_tick(&mut self, fx: &mut Effects<ScabcMessage, ScabcDeliver>) {
+        let mut out = Outbox::new(self.scabc.n());
+        for d in self.scabc.on_tick(&mut self.rng, &mut out) {
+            fx.output(d);
+        }
+        for (to, m) in out {
+            fx.send(to, m);
+        }
+    }
+
+    fn on_tick_ctx(&mut self, ctx: &Context, fx: &mut Effects<ScabcMessage, ScabcDeliver>) {
+        if !ctx.obs.is_enabled() {
+            return self.on_tick(fx);
+        }
+        let (s0, o0) = (fx.sends().len(), fx.outputs().len());
+        self.on_tick(fx);
+        for (_, m) in &fx.sends()[s0..] {
+            observe_wire(ctx, "sent", m);
+        }
+        self.record(ctx, fx, o0);
+    }
 }
 
 impl ScabcNode {
@@ -537,6 +575,10 @@ impl ScabcNode {
             .gauge_set(Layer::Abc, "retained_bytes", abc.retained_bytes() as u64);
         ctx.obs
             .gauge_set(Layer::Abc, "tracked_rounds", abc.tracked_rounds() as u64);
+        ctx.obs
+            .gauge_set(Layer::Abc, "rounds_in_flight", abc.rounds_in_flight());
+        ctx.obs
+            .gauge_set(Layer::Abc, "batch_size", abc.last_batch_size());
         for _ in &fx.outputs()[mark..] {
             ctx.obs.inc(Layer::Scabc, "delivered");
             ctx.obs

@@ -105,8 +105,8 @@ impl WireSize for AbcMessage {
     fn wire_size(&self) -> usize {
         match self {
             AbcMessage::Push(p) => TAG + 4 + p.len(),
-            AbcMessage::Queued { payload, sig, .. } => {
-                TAG + SEQ + 4 + payload.len() + sig.size_bytes()
+            AbcMessage::Queued { batch, sig, .. } => {
+                TAG + SEQ + 4 + batch.iter().map(|p| 4 + p.len()).sum::<usize>() + sig.size_bytes()
             }
             AbcMessage::Mvba { inner, .. } => TAG + SEQ + inner.wire_size(),
         }

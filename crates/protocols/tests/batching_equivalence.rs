@@ -1,0 +1,178 @@
+//! Ordering-equivalence properties for the batched, pipelined ABC hot
+//! path: amortizing rounds (batch_cap > 1) and overlapping them
+//! (pipeline depth K > 1) are throughput moves and must be *invisible*
+//! to the service semantics. Over arbitrary seeds — i.e. arbitrary
+//! adversarial-ish schedules, with the lossy/duplicating campaign
+//! schedulers in the loop — a batched + pipelined cluster must agree on
+//! one gapless total order containing exactly the payloads the
+//! unbatched seed configuration orders (the paper's fairness condition:
+//! no honest payload is starved), with the seed's delivery structure
+//! (rounds ascend, carriers ascend within a round) and the seed's
+//! carrier FIFO (a submitter's own carried payloads never reorder).
+//! Exact global order equality is only well-defined under *sequential*
+//! load — under concurrent load even the seed ordering depends on
+//! per-carrier queue arrival order, which the scheduler permutes — so
+//! that is where it is asserted exactly.
+
+use proptest::prelude::*;
+use sintra_adversary::structure::TrustStructure;
+use sintra_crypto::dealer::Dealer;
+use sintra_crypto::rng::SeededRng;
+use sintra_net::sim::{LossyScheduler, RandomScheduler, Simulation};
+use sintra_protocols::abc::{abc_nodes, AbcDeliver};
+use std::collections::BTreeSet;
+
+/// Runs a 4-party cluster under the lossy/duplicating campaign
+/// schedulers, with every node configured to
+/// (`batch_cap`, `pipeline_depth`), and returns party 0's delivery
+/// sequence after checking all parties agree on it and that sequence
+/// numbers are gapless from zero. `sequential` quiesces the network
+/// after every submission (the schedule where the total order is fully
+/// determined); otherwise all inputs are submitted up front.
+fn run_cluster(
+    seed: u64,
+    inputs: &[(usize, Vec<u8>)],
+    batch_cap: usize,
+    pipeline_depth: u64,
+    sequential: bool,
+) -> Vec<AbcDeliver> {
+    let ts = TrustStructure::threshold(4, 1).unwrap();
+    let mut rng = SeededRng::new(seed);
+    let (public, bundles) = Dealer::deal(&ts, &mut rng);
+    let mut nodes = abc_nodes(public, bundles, seed);
+    for node in &mut nodes {
+        node.endpoint_mut().set_batch_cap(batch_cap);
+        node.endpoint_mut().set_pipeline_depth(pipeline_depth);
+    }
+    let scheduler = LossyScheduler::new(RandomScheduler, 40, 64);
+    let mut sim = Simulation::builder(nodes, scheduler)
+        .seed(seed ^ 0x00ba_7c4e)
+        .duplication(30)
+        .build();
+    for (party, payload) in inputs {
+        sim.input(*party, payload.clone());
+        if sequential {
+            sim.run_until_quiet(400_000_000);
+        }
+    }
+    sim.run_until_quiet(400_000_000);
+    let reference: Vec<AbcDeliver> = sim.outputs(0).to_vec();
+    for p in 1..4 {
+        assert_eq!(
+            sim.outputs(p),
+            reference.as_slice(),
+            "party {p} disagrees with party 0 on the total order"
+        );
+    }
+    for (i, d) in reference.iter().enumerate() {
+        assert_eq!(d.seq, i as u64, "sequence numbers gapless from zero");
+    }
+    reference
+}
+
+/// Asserts `run` delivered exactly the submitted payload set (once
+/// each) and that deliveries follow the seed structure: rounds ascend,
+/// carriers ascend within a round.
+fn check_set_and_structure(name: &str, run: &[AbcDeliver], inputs: &[(usize, Vec<u8>)]) {
+    let submitted: BTreeSet<&[u8]> = inputs.iter().map(|(_, v)| v.as_slice()).collect();
+    let got: BTreeSet<&[u8]> = run.iter().map(|d| d.payload.as_slice()).collect();
+    assert_eq!(
+        run.len(),
+        inputs.len(),
+        "{name} ordered everything exactly once"
+    );
+    assert_eq!(got, submitted, "{name} delivered exactly the submitted set");
+    for w in run.windows(2) {
+        assert!(
+            w[0].round < w[1].round || (w[0].round == w[1].round && w[0].origin <= w[1].origin),
+            "{name} delivery violates (round, carrier) order: {:?} then {:?}",
+            (w[0].round, w[0].origin),
+            (w[1].round, w[1].origin),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Concurrent multi-origin load: the batched + pipelined cluster
+    /// must order exactly the payload set the unbatched seed
+    /// configuration orders — every honest submission, nothing
+    /// duplicated, nothing invented — in one agreed total order with
+    /// the seed delivery structure. The global interleaving may legally
+    /// differ between the configurations: both are functions of
+    /// per-carrier queue arrival order, which the scheduler permutes.
+    #[test]
+    fn batched_pipelined_preserves_order_structure_and_fairness(seed in any::<u64>()) {
+        let mut inputs = Vec::new();
+        for party in 0..4usize {
+            for k in 0..3usize {
+                inputs.push((party, format!("p{party}-req{k}").into_bytes()));
+            }
+        }
+        let unbatched = run_cluster(seed, &inputs, 1, 1, false);
+        let batched = run_cluster(seed, &inputs, 8, 4, false);
+        check_set_and_structure("unbatched", &unbatched, &inputs);
+        check_set_and_structure("batched", &batched, &inputs);
+    }
+
+    /// Carrier FIFO under pipelining: a submitter's local queue is the
+    /// submission order, every batch it proposes is a *prefix* of that
+    /// queue, and an MVBA may decide a list that excludes any given
+    /// round's proposal — so the payloads delivered *under the
+    /// submitter's own carrier id* must still appear in submission
+    /// order. This is the regression test for the in-flight batching
+    /// rule: had pipelined rounds skipped in-flight payloads, a losing
+    /// round-r proposal would let round r+1's later queue entries
+    /// overtake it. Small batches and a deep pipeline maximize the
+    /// chance of exactly that race.
+    #[test]
+    fn submitter_carried_payloads_keep_submission_order(seed in any::<u64>(), origin in 0usize..4) {
+        let inputs: Vec<(usize, Vec<u8>)> = (0..8)
+            .map(|k| (origin, format!("solo-req{k}").into_bytes()))
+            .collect();
+        for (cap, depth) in [(1usize, 1u64), (2, 4)] {
+            let run = run_cluster(seed, &inputs, cap, depth, false);
+            check_set_and_structure("single-origin", &run, &inputs);
+            let carried: Vec<&[u8]> = run
+                .iter()
+                .filter(|d| d.origin == origin)
+                .map(|d| d.payload.as_slice())
+                .collect();
+            let submitted: Vec<&[u8]> = inputs.iter().map(|(_, v)| v.as_slice()).collect();
+            let mut cursor = 0usize;
+            for payload in &carried {
+                let pos = submitted[cursor..]
+                    .iter()
+                    .position(|s| s == payload)
+                    .unwrap_or_else(|| panic!(
+                        "cap={cap} K={depth}: submitter-carried payloads out of submission \
+                         order: {:?}",
+                        carried
+                            .iter()
+                            .map(|p| String::from_utf8_lossy(p))
+                            .collect::<Vec<_>>()
+                    ));
+                cursor += pos + 1;
+            }
+        }
+    }
+
+    /// Sequential load is the schedule where the total order is fully
+    /// determined (each submission settles before the next), so the
+    /// batched + pipelined configuration must reproduce the unbatched
+    /// seed ordering *exactly* — which is the submission order.
+    #[test]
+    fn sequential_load_order_is_identical_to_seed(seed in any::<u64>(), origin in 0usize..4) {
+        let inputs: Vec<(usize, Vec<u8>)> = (0..5)
+            .map(|k| (origin, format!("seq-req{k}").into_bytes()))
+            .collect();
+        let unbatched = run_cluster(seed, &inputs, 1, 1, true);
+        let batched = run_cluster(seed, &inputs, 8, 4, true);
+        let submitted: Vec<&[u8]> = inputs.iter().map(|(_, v)| v.as_slice()).collect();
+        let a: Vec<&[u8]> = unbatched.iter().map(|d| d.payload.as_slice()).collect();
+        let b: Vec<&[u8]> = batched.iter().map(|d| d.payload.as_slice()).collect();
+        prop_assert_eq!(&a, &submitted, "seed config follows submission order");
+        prop_assert_eq!(a, b, "batched + pipelined ordering differs from the seed ordering");
+    }
+}

@@ -227,12 +227,17 @@ fn abc_corpus(m: &mut Material) -> Vec<AbcMessage> {
         AbcMessage::Push(b"client request".to_vec()),
         AbcMessage::Queued {
             round: 3,
-            payload: b"head of queue".to_vec(),
+            batch: vec![b"head of queue".to_vec()],
             sig: m.auth_sig(b"queued", 2),
         },
         AbcMessage::Queued {
+            round: 3,
+            batch: vec![b"first".to_vec(), vec![9u8; 200], b"third".to_vec()],
+            sig: m.auth_sig(b"batched", 1),
+        },
+        AbcMessage::Queued {
             round: 4,
-            payload: vec![],
+            batch: vec![],
             sig: m.auth_sig(b"filler", 0),
         },
     ];

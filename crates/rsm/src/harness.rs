@@ -88,7 +88,10 @@ fn rsm_equivocate(to: PartyId, mut m: RsmMessage<AbcMessage>) -> RsmMessage<AbcM
 fn rsm_mutate(m: &mut RsmMessage<AbcMessage>) {
     match m {
         RsmMessage::Order(AbcMessage::Push(p)) => flip(p),
-        RsmMessage::Order(AbcMessage::Queued { payload, .. }) => flip(payload),
+        RsmMessage::Order(AbcMessage::Queued { batch, .. }) => match batch.first_mut() {
+            Some(p) => flip(p),
+            None => batch.push(vec![0xff]),
+        },
         RsmMessage::Order(AbcMessage::Mvba { round, .. }) => *round += 1,
         RsmMessage::CkptShare { digest, .. } => digest[0] ^= 0xff,
         RsmMessage::FetchState { have_seq } => *have_seq = have_seq.wrapping_add(1_000),

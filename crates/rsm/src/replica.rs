@@ -87,6 +87,25 @@ pub trait OrderingLayer: core::fmt::Debug {
     /// resumes at `next_seq` in round `next_round`, with the dedup
     /// window re-seeded from `dedup`.
     fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, Digest)]);
+
+    /// Tick hook: lets the transport apply off-thread verification
+    /// verdicts and fire pipelined round transitions. Defaults to a
+    /// no-op for transports without time-driven work.
+    fn on_tick(&mut self, _rng: &mut SeededRng, _out: &mut Outbox<Self::Message>) -> Vec<Ordered> {
+        Vec::new()
+    }
+
+    /// Agreement rounds currently open past the delivery frontier
+    /// (published as the `abc.rounds_in_flight` gauge).
+    fn rounds_in_flight(&self) -> u64 {
+        0
+    }
+
+    /// Entry count of the transport's most recent proposal batch
+    /// (published as the `abc.batch_size` gauge).
+    fn last_batch_size(&self) -> u64 {
+        0
+    }
 }
 
 impl OrderingLayer for AtomicBroadcast {
@@ -147,6 +166,27 @@ impl OrderingLayer for AtomicBroadcast {
 
     fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, Digest)]) {
         AtomicBroadcast::fast_forward(self, next_seq, next_round, dedup);
+    }
+
+    fn on_tick(&mut self, rng: &mut SeededRng, out: &mut Outbox<AbcMessage>) -> Vec<Ordered> {
+        AtomicBroadcast::on_tick(self, rng, out)
+            .into_iter()
+            .map(|d| Ordered {
+                seq: d.seq,
+                round: d.round,
+                origin: d.origin,
+                tdigest: digest(&d.payload),
+                payload: d.payload,
+            })
+            .collect()
+    }
+
+    fn rounds_in_flight(&self) -> u64 {
+        AtomicBroadcast::rounds_in_flight(self)
+    }
+
+    fn last_batch_size(&self) -> u64 {
+        AtomicBroadcast::last_batch_size(self)
     }
 }
 
@@ -210,6 +250,27 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
     fn fast_forward(&mut self, next_seq: u64, next_round: u64, dedup: &[(u64, Digest)]) {
         SecureCausalAtomicBroadcast::fast_forward(self, next_seq, next_round, dedup);
     }
+
+    fn on_tick(&mut self, rng: &mut SeededRng, out: &mut Outbox<ScabcMessage>) -> Vec<Ordered> {
+        SecureCausalAtomicBroadcast::on_tick(self, rng, out)
+            .into_iter()
+            .map(|d| Ordered {
+                seq: d.seq,
+                round: d.round,
+                origin: d.origin,
+                tdigest: d.ct_digest,
+                payload: d.plaintext,
+            })
+            .collect()
+    }
+
+    fn rounds_in_flight(&self) -> u64 {
+        self.abc().rounds_in_flight()
+    }
+
+    fn last_batch_size(&self) -> u64 {
+        self.abc().last_batch_size()
+    }
 }
 
 /// A partial service answer: the replica's response plus its signature
@@ -264,6 +325,9 @@ pub fn ckpt_digest(snapshot: &[u8], dedup: &[(u64, Digest)]) -> Digest {
 
 /// Default checkpoint cadence in agreement rounds.
 pub const DEFAULT_CKPT_INTERVAL: u64 = 8;
+
+/// Cap on tracked submission times for the request-latency histogram.
+const PENDING_LATENCY_CAP: usize = 4096;
 
 /// Most log entries a single `State` response carries. A replica whose
 /// lag exceeds the tail cap converges over repeated transfers (each
@@ -446,6 +510,19 @@ pub struct Replica<L: OrderingLayer, S: StateMachine> {
     reply_cache: BTreeMap<u64, (Digest, Vec<u8>)>,
     reply_index: HashMap<Digest, u64>,
     fetch: Option<FetchJob>,
+    /// Index of the last checkpoint-interval boundary acted on
+    /// (`(round + 1) / ckpt_interval` at the triggering delivery).
+    /// With pipelining, a boundary round can be empty (all-filler) and
+    /// deliver nothing, so checkpoints fire at the first
+    /// payload-carrying round at or past each boundary — identical at
+    /// every replica, since all deliver the same payloads in the same
+    /// rounds.
+    ckpt_div: u64,
+    /// Submission time (virtual `ctx.at`) of locally submitted requests
+    /// not yet applied, keyed by request digest. Drives the
+    /// `rsm.request_latency` histogram (p50/p99 end-to-end latency);
+    /// bounded so a flood of never-ordered requests cannot pin memory.
+    pending_at: HashMap<Digest, u64>,
 }
 
 impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
@@ -476,6 +553,8 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             reply_cache: BTreeMap::new(),
             reply_index: HashMap::new(),
             fetch: None,
+            ckpt_div: 0,
+            pending_at: HashMap::new(),
         }
     }
 
@@ -576,6 +655,13 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             "retained_bytes",
             self.layer.retained_bytes() as u64,
         );
+        ctx.obs.gauge_set(
+            Layer::Abc,
+            "rounds_in_flight",
+            self.layer.rounds_in_flight(),
+        );
+        ctx.obs
+            .gauge_set(Layer::Abc, "batch_size", self.layer.last_batch_size());
     }
 
     fn cache_reply(&mut self, seq: u64, request: Digest, response: Vec<u8>) {
@@ -607,6 +693,13 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 self.machine.apply(&o.payload)
             };
             let request = digest(&o.payload);
+            if let Some(at) = self.pending_at.remove(&request) {
+                // End-to-end request latency in the runtime's time unit
+                // (virtual steps in simulations, nanoseconds on the TCP
+                // runtime) — submit to apply, through ordering.
+                ctx.obs
+                    .observe(Layer::Rsm, "request_latency", ctx.at.saturating_sub(at));
+            }
             let msg = reply_message(&self.tag, &request, o.seq, &response);
             let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
             ctx.obs.event(
@@ -629,7 +722,8 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             // batches, so the last entry of each round is a point every
             // honest replica reaches with identical state.
             let end_of_round = ordered.get(i + 1).is_none_or(|n| n.round != o.round);
-            if end_of_round && (o.round + 1).is_multiple_of(self.ckpt_interval) {
+            if end_of_round && (o.round + 1) / self.ckpt_interval > self.ckpt_div {
+                self.ckpt_div = (o.round + 1) / self.ckpt_interval;
                 self.take_checkpoint(o.seq + 1, o.round, ctx, fx);
             }
         }
@@ -988,6 +1082,9 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             None => last_round + 1,
         };
         self.layer.fast_forward(self.applied, target_round, &dedup);
+        // Boundaries below the resume round are covered by the adopted
+        // snapshot; don't re-checkpoint them.
+        self.ckpt_div = self.ckpt_div.max(target_round / self.ckpt_interval);
         ctx.obs.inc(Layer::Rsm, "state_adopted");
     }
 
@@ -1019,6 +1116,9 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 share,
             });
             return;
+        }
+        if ctx.obs.is_enabled() && self.pending_at.len() < PENDING_LATENCY_CAP {
+            self.pending_at.insert(rd, ctx.at);
         }
         let mut out = Outbox::new(self.public.n());
         let ordered = self.layer.submit(request, &mut self.rng, &mut out);
@@ -1068,6 +1168,18 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
     }
 
     fn handle_tick(&mut self, ctx: &Context, fx: &mut Effects<RsmMessage<L::Message>, Reply>) {
+        // Drive the ordering layer's tick first: off-thread verification
+        // verdicts and pipelined round transitions arrive here, so this
+        // must run even when no fetch job is active.
+        let mut out = Outbox::new(self.public.n());
+        let ordered = self.layer.on_tick(&mut self.rng, &mut out);
+        for (to, m) in out {
+            fx.send(to, RsmMessage::Order(m));
+        }
+        if !ordered.is_empty() {
+            self.answer(ctx, ordered, fx);
+            self.record(ctx);
+        }
         let (exhausted, has_candidate);
         {
             let Some(job) = &mut self.fetch else { return };

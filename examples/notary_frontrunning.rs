@@ -52,7 +52,7 @@ fn leaks(msg: &AbcMessage, needle: &[u8]) -> bool {
     }
     match msg {
         AbcMessage::Push(p) => contains(p, needle),
-        AbcMessage::Queued { payload, .. } => contains(payload, needle),
+        AbcMessage::Queued { batch, .. } => batch.iter().any(|p| contains(p, needle)),
         AbcMessage::Mvba { inner, .. } => match inner {
             MvbaMessage::Proposal {
                 inner: CbcMessage::Send(p),
