@@ -36,8 +36,7 @@
 
 use sintra::net::{run_tcp_node_driven, Protocol, TcpNodeConfig};
 use sintra::obs::HistogramSnapshot;
-use sintra::protocols::pool::VerifyPool;
-use sintra::rsm::{atomic_replicas, KvMachine, RsmNode};
+use sintra::rsm::{atomic_replicas_with, KvMachine, ReplicaConfig, RsmNode};
 use sintra::setup::dealt_system;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,15 +97,13 @@ fn free_addrs(n: usize) -> Vec<SocketAddr> {
 
 fn build_cluster(n: usize, t: usize, seed: u64, knobs: Knobs) -> Vec<RsmNode> {
     let (public, bundles) = dealt_system(n, t, seed).expect("valid (n, t)");
-    let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), seed);
-    for node in &mut nodes {
-        let abc = node.layer_mut();
-        abc.set_batch_cap(knobs.batch_cap);
-        abc.set_batch_bytes(knobs.batch_bytes);
-        abc.set_pipeline_depth(knobs.pipeline as u64);
-        abc.set_verify_pool(VerifyPool::new(knobs.workers));
-    }
-    nodes
+    let cfg = ReplicaConfig::new()
+        .seed(seed)
+        .batch_cap(knobs.batch_cap)
+        .batch_bytes(knobs.batch_bytes)
+        .pipeline_depth(knobs.pipeline as u64)
+        .verify_workers(knobs.workers);
+    atomic_replicas_with(&cfg, public, bundles, |_| KvMachine::new())
 }
 
 /// Runs one load point: `total` requests split across the replicas,

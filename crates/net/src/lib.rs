@@ -28,6 +28,7 @@ pub mod chaos;
 pub mod codec;
 pub mod faults;
 pub mod protocol;
+pub mod shard;
 pub mod sim;
 pub mod tcp_runtime;
 pub mod thread_runtime;
@@ -39,6 +40,7 @@ pub use campaign::{
 pub use chaos::{ChaosConfig, LinkFaults, Partition};
 pub use codec::{CodecError, Reader, WireCodec, MAX_FRAME};
 pub use protocol::{Effects, Protocol};
+pub use shard::{ShardNetPlan, SHARD_BIND_RETRY};
 pub use sim::{
     AdaptiveScheduler, Behavior, Envelope, FifoScheduler, LifoScheduler, LossyScheduler,
     PartitionScheduler, RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,

@@ -1,0 +1,136 @@
+//! Multi-group TCP cluster wiring for sharded deployments.
+//!
+//! A sharded RSM (see `sintra-rsm`'s `shard_router`) runs `G`
+//! *independent* SINTRA groups, each an ordinary `n`-replica TCP mesh
+//! with its own threshold keys and its own ordering protocol. The wire
+//! format inside each mesh is exactly the single-group format — peers
+//! of group `g` never talk to peers of group `g'` — so the only new
+//! problem is allocation: `G × n` distinct loopback endpoints, grouped
+//! so that replica `(g, i)` dials exactly the other members of `g`.
+//!
+//! [`ShardNetPlan`] solves that. It binds `G × n` ephemeral listeners
+//! to discover free ports, releases them, and hands out per-group
+//! address lists plus ready-made [`TcpNodeConfig`]s (with a short
+//! `bind_retry` to absorb the release/claim race). Benchmarks and
+//! tests spawn one [`run_tcp_node_driven`](crate::run_tcp_node_driven)
+//! thread per `(group, replica)` pair and the meshes come up side by
+//! side in one process.
+
+use crate::tcp_runtime::TcpNodeConfig;
+use sintra_adversary::party::PartyId;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// How long each node keeps retrying its listener bind: the plan's
+/// ephemeral listeners are released moments before the replicas claim
+/// the same ports, and on a loaded host another process can win the
+/// race transiently.
+pub const SHARD_BIND_RETRY: Duration = Duration::from_secs(5);
+
+/// Address layout for `G` independent `n`-replica TCP meshes on
+/// loopback.
+#[derive(Clone, Debug)]
+pub struct ShardNetPlan {
+    /// Number of groups (shards).
+    pub groups: usize,
+    /// Replicas per group.
+    pub n: usize,
+    /// `addrs[g]` is group `g`'s address list, indexed by party id.
+    pub addrs: Vec<Vec<SocketAddr>>,
+}
+
+impl ShardNetPlan {
+    /// Allocates `groups × n` free loopback endpoints by binding
+    /// ephemeral listeners and immediately releasing them.
+    ///
+    /// The returned ports are free *at allocation time*; node configs
+    /// built from this plan carry [`SHARD_BIND_RETRY`] so replicas
+    /// absorb any re-claim race.
+    pub fn loopback(groups: usize, n: usize) -> io::Result<Self> {
+        assert!(groups > 0, "need at least one group");
+        assert!(n > 0, "need at least one replica per group");
+        let mut listeners = Vec::with_capacity(groups * n);
+        for _ in 0..groups * n {
+            listeners.push(TcpListener::bind("127.0.0.1:0")?);
+        }
+        let mut flat = Vec::with_capacity(groups * n);
+        for l in &listeners {
+            flat.push(l.local_addr()?);
+        }
+        drop(listeners);
+        let addrs = flat.chunks(n).map(<[SocketAddr]>::to_vec).collect();
+        Ok(ShardNetPlan { groups, n, addrs })
+    }
+
+    /// Group `g`'s address list (indexed by party id).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is out of range.
+    pub fn group(&self, group: usize) -> &[SocketAddr] {
+        &self.addrs[group]
+    }
+
+    /// A clean-network [`TcpNodeConfig`] for replica `me` of `group`,
+    /// wired to its own mesh only and carrying [`SHARD_BIND_RETRY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` or `me` is out of range.
+    pub fn node_config(
+        &self,
+        group: usize,
+        me: PartyId,
+        timeout: Duration,
+        linger: Duration,
+    ) -> TcpNodeConfig {
+        assert!(me < self.n, "party {me} out of range for n={}", self.n);
+        let mut cfg = TcpNodeConfig::new(me, self.addrs[group].clone(), timeout, linger);
+        cfg.bind_retry = SHARD_BIND_RETRY;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn plan_allocates_distinct_grouped_endpoints() {
+        let plan = ShardNetPlan::loopback(3, 4).expect("allocate plan");
+        assert_eq!(plan.groups, 3);
+        assert_eq!(plan.n, 4);
+        assert_eq!(plan.addrs.len(), 3);
+        let mut seen = BTreeSet::new();
+        for g in 0..3 {
+            assert_eq!(plan.group(g).len(), 4);
+            for addr in plan.group(g) {
+                assert!(addr.ip().is_loopback());
+                assert!(seen.insert(*addr), "duplicate endpoint {addr}");
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn node_config_targets_own_group_only() {
+        let plan = ShardNetPlan::loopback(2, 4).expect("allocate plan");
+        let cfg = plan.node_config(1, 2, Duration::from_secs(5), Duration::from_millis(50));
+        assert_eq!(cfg.me, 2);
+        assert_eq!(cfg.addrs, plan.addrs[1]);
+        assert_eq!(cfg.bind_retry, SHARD_BIND_RETRY);
+        assert!(cfg.chaos.is_none());
+        for addr in &cfg.addrs {
+            assert!(!plan.addrs[0].contains(addr), "leaked group-0 endpoint");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_config_rejects_out_of_range_party() {
+        let plan = ShardNetPlan::loopback(1, 2).expect("allocate plan");
+        let _ = plan.node_config(0, 2, Duration::from_secs(1), Duration::ZERO);
+    }
+}

@@ -34,6 +34,8 @@ pub enum Layer {
     Crypto = 10,
     /// Replicated applications.
     App = 11,
+    /// The multi-group shard router.
+    Shard = 12,
 }
 
 impl Layer {
@@ -52,6 +54,7 @@ impl Layer {
             Layer::Rsm => "rsm",
             Layer::Crypto => "crypto",
             Layer::App => "app",
+            Layer::Shard => "shard",
         }
     }
 
@@ -68,6 +71,7 @@ impl Layer {
             8 => Layer::Fdabc,
             9 => Layer::Rsm,
             10 => Layer::Crypto,
+            12 => Layer::Shard,
             _ => Layer::App,
         }
     }
@@ -249,7 +253,7 @@ mod tests {
 
     #[test]
     fn all_layers_and_kinds_roundtrip() {
-        for l in 0..=11u8 {
+        for l in 0..=12u8 {
             let layer = Layer::from_u8(l);
             for k in 0..=9u8 {
                 let kind = EventKind::from_u8(k);

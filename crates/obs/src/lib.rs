@@ -122,6 +122,39 @@ impl Obs {
         }
     }
 
+    /// Bumps counter `<layer>.<name>.<shard label>` by one — the
+    /// per-shard form used by the multi-group router. Shard names come
+    /// from the fixed [`shard_label`] table so the hot path stays
+    /// allocation-free; groups past the table share one overflow label.
+    #[inline]
+    pub fn inc_shard(&self, layer: Layer, name: &'static str, shard: usize) {
+        if let Some(inner) = &self.0 {
+            inner
+                .metrics
+                .add2(sharded_name_of(layer, name), shard_label(shard), 1);
+        }
+    }
+
+    /// Sets gauge `<layer>.<name>.<shard label>` to `value`.
+    #[inline]
+    pub fn gauge_set_shard(&self, layer: Layer, name: &'static str, shard: usize, value: u64) {
+        if let Some(inner) = &self.0 {
+            inner
+                .metrics
+                .gauge_set2(sharded_name_of(layer, name), shard_label(shard), value);
+        }
+    }
+
+    /// Records `value` into histogram `<layer>.<name>.<shard label>`.
+    #[inline]
+    pub fn observe_shard(&self, layer: Layer, name: &'static str, shard: usize, value: u64) {
+        if let Some(inner) = &self.0 {
+            inner
+                .metrics
+                .observe2(sharded_name_of(layer, name), shard_label(shard), value);
+        }
+    }
+
     /// Records a structured event into the flight recorder.
     #[inline]
     pub fn event(&self, event: Event) {
@@ -198,6 +231,42 @@ fn name_of(layer: Layer, name: &'static str) -> &'static str {
         (Layer::Fdabc, "recv") => "fdabc.recv",
         (Layer::Rsm, "sent") => "rsm.sent",
         (Layer::Rsm, "recv") => "rsm.recv",
+        _ => layer.as_str(),
+    }
+}
+
+/// Distinct per-shard metric labels available before groups collapse
+/// into the shared [`SHARD_OVERFLOW_LABEL`] slot.
+pub const MAX_SHARD_LABELS: usize = 16;
+
+/// Label recorded for shard ids at or past [`MAX_SHARD_LABELS`].
+pub const SHARD_OVERFLOW_LABEL: &str = "gx";
+
+/// The static metric label for shard (group) `shard`: `"g0"`, `"g1"`, …
+/// up to [`MAX_SHARD_LABELS`] distinct groups, then the shared overflow
+/// label. A fixed table keeps per-shard metric names `&'static` — the
+/// same no-allocation guarantee the two-part names give the hot path.
+pub fn shard_label(shard: usize) -> &'static str {
+    const LABELS: [&str; MAX_SHARD_LABELS] = [
+        "g0", "g1", "g2", "g3", "g4", "g5", "g6", "g7", "g8", "g9", "g10", "g11", "g12", "g13",
+        "g14", "g15",
+    ];
+    LABELS.get(shard).copied().unwrap_or(SHARD_OVERFLOW_LABEL)
+}
+
+/// The dotted layer-qualified prefixes that may carry a per-shard label
+/// suffix. Like [`name_of`], a fixed table — unknown names fall back to
+/// the bare layer prefix, merging into the aggregate series rather than
+/// inventing unbounded key shapes.
+fn sharded_name_of(layer: Layer, name: &'static str) -> &'static str {
+    match (layer, name) {
+        (Layer::Rsm, "request_latency") => "rsm.request_latency",
+        (Layer::Abc, "rounds_in_flight") => "abc.rounds_in_flight",
+        (Layer::Shard, "routed") => "shard.routed",
+        (Layer::Shard, "cross_prepare") => "shard.cross_prepare",
+        (Layer::Shard, "cross_abort") => "shard.cross_abort",
+        (Layer::Shard, "round") => "shard.round",
+        (Layer::Shard, "applied") => "shard.applied",
         _ => layer.as_str(),
     }
 }
@@ -338,6 +407,35 @@ mod tests {
         let evs = o.events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].kind, EventKind::SpanEnd);
+    }
+
+    #[test]
+    fn shard_metrics_get_per_group_names() {
+        let o = Obs::enabled(8);
+        o.inc_shard(Layer::Shard, "routed", 0);
+        o.inc_shard(Layer::Shard, "routed", 0);
+        o.inc_shard(Layer::Shard, "routed", 3);
+        o.inc_shard(Layer::Shard, "cross_prepare", 1);
+        o.inc_shard(Layer::Shard, "cross_abort", 1);
+        o.gauge_set_shard(Layer::Abc, "rounds_in_flight", 2, 5);
+        o.gauge_set_shard(Layer::Shard, "round", 2, 17);
+        o.observe_shard(Layer::Rsm, "request_latency", 1, 640);
+        // Groups past the label table collapse into the overflow label.
+        o.inc_shard(Layer::Shard, "routed", MAX_SHARD_LABELS + 3);
+        let s = o.metrics_snapshot();
+        assert_eq!(s.counter("shard.routed.g0"), 2);
+        assert_eq!(s.counter("shard.routed.g3"), 1);
+        assert_eq!(s.counter("shard.cross_prepare.g1"), 1);
+        assert_eq!(s.counter("shard.cross_abort.g1"), 1);
+        assert_eq!(s.counter("shard.routed.gx"), 1);
+        assert_eq!(s.gauges["abc.rounds_in_flight.g2"], 5);
+        assert_eq!(s.gauges["shard.round.g2"], 17);
+        assert_eq!(s.hists["rsm.request_latency.g1"].count, 1);
+        assert_eq!(shard_label(9999), SHARD_OVERFLOW_LABEL);
+        // Disabled handles stay no-ops.
+        let off = Obs::disabled();
+        off.inc_shard(Layer::Shard, "routed", 0);
+        assert!(off.metrics_snapshot().is_empty());
     }
 
     #[test]

@@ -172,6 +172,47 @@ const DEFAULT_PIPELINE_DEPTH: u64 = 2;
 /// [`MAX_PIPELINE_DEPTH`] rounds past its delivery frontier.
 const PIPELINE_ACK_SLACK: u64 = MAX_PIPELINE_DEPTH - 1;
 
+/// The ABC hot-path tuning knobs as one value: what used to be three
+/// scattered setters (`set_batch_cap`, `set_batch_bytes`,
+/// `set_pipeline_depth`) travels as a single struct so configuration
+/// reaches every replica of every group identically. Out-of-range
+/// values are clamped by [`AtomicBroadcast::tune`], never rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbcTuning {
+    /// Max payloads proposed per round
+    /// (`1..=`[`QUEUED_BATCH_DECODE_CAP`]).
+    pub batch_cap: usize,
+    /// Byte budget per proposed batch (the first payload is exempt so
+    /// an oversized payload still makes progress).
+    pub batch_bytes: usize,
+    /// Rounds allowed concurrently in flight
+    /// (`1..=`[`MAX_PIPELINE_DEPTH`]).
+    pub pipeline_depth: u64,
+}
+
+impl Default for AbcTuning {
+    /// The defaults a freshly built endpoint already runs with.
+    fn default() -> AbcTuning {
+        AbcTuning {
+            batch_cap: DEFAULT_BATCH_CAP,
+            batch_bytes: DEFAULT_BATCH_BYTES,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+        }
+    }
+}
+
+impl AbcTuning {
+    /// The seed's sequential, one-payload-per-round configuration —
+    /// the baseline the throughput benchmarks compare against.
+    pub fn unbatched() -> AbcTuning {
+        AbcTuning {
+            batch_cap: 1,
+            batch_bytes: DEFAULT_BATCH_BYTES,
+            pipeline_depth: 1,
+        }
+    }
+}
+
 /// Atomic broadcast endpoint at one server.
 pub struct AtomicBroadcast {
     tag: Tag,
@@ -405,6 +446,7 @@ impl AtomicBroadcast {
     /// Sets the per-round proposal batch size (clamped to
     /// `1..=`[`QUEUED_BATCH_DECODE_CAP`]). `1` restores the seed's
     /// one-payload-per-round behavior.
+    #[deprecated(note = "use AtomicBroadcast::tune with an AbcTuning")]
     pub fn set_batch_cap(&mut self, cap: usize) {
         self.batch_cap = cap.clamp(1, QUEUED_BATCH_DECODE_CAP);
     }
@@ -416,6 +458,7 @@ impl AtomicBroadcast {
 
     /// Sets the byte budget per proposed batch. The first payload of a
     /// batch is exempt so an oversized payload still makes progress.
+    #[deprecated(note = "use AtomicBroadcast::tune with an AbcTuning")]
     pub fn set_batch_bytes(&mut self, bytes: usize) {
         self.batch_bytes = bytes.clamp(1, MAX_PAYLOAD);
     }
@@ -430,8 +473,19 @@ impl AtomicBroadcast {
     /// round `r` has a core proposal quorum (its MVBA is proposed to),
     /// without waiting for `r`'s decision; delivery stays strictly in
     /// round order. `1` restores the seed's sequential rounds.
+    #[deprecated(note = "use AtomicBroadcast::tune with an AbcTuning")]
     pub fn set_pipeline_depth(&mut self, depth: u64) {
         self.pipeline_depth = depth.clamp(1, MAX_PIPELINE_DEPTH);
+    }
+
+    /// Applies one [`AbcTuning`] — batch size, batch bytes, and
+    /// pipeline depth together, with the same clamps the individual
+    /// (deprecated) setters enforced. The single entry point the RSM
+    /// layer's `ReplicaConfig` drives.
+    pub fn tune(&mut self, tuning: &AbcTuning) {
+        self.batch_cap = tuning.batch_cap.clamp(1, QUEUED_BATCH_DECODE_CAP);
+        self.batch_bytes = tuning.batch_bytes.clamp(1, MAX_PAYLOAD);
+        self.pipeline_depth = tuning.pipeline_depth.clamp(1, MAX_PIPELINE_DEPTH);
     }
 
     /// Rounds currently open past the delivery frontier (gauge).
@@ -1456,7 +1510,10 @@ mod tests {
         // batch_cap = 1 pins one payload per round — the test measures
         // GC over many rounds, not batching.
         let mut ns = nodes(1, 0, 100);
-        ns[0].endpoint_mut().set_batch_cap(1);
+        ns[0].endpoint_mut().tune(&AbcTuning {
+            batch_cap: 1,
+            ..AbcTuning::default()
+        });
         let mut sim = Simulation::builder(ns, RandomScheduler).seed(101).build();
         for i in 0..500u32 {
             sim.input(0, format!("payload-{i}").into_bytes());
@@ -1530,7 +1587,10 @@ mod tests {
         // payload re-pushed long after delivery is delivered again
         // (windowed at-most-once), and memory stays bounded.
         let mut ns = nodes(1, 0, 130);
-        ns[0].endpoint_mut().set_batch_cap(1);
+        ns[0].endpoint_mut().tune(&AbcTuning {
+            batch_cap: 1,
+            ..AbcTuning::default()
+        });
         let mut sim = Simulation::builder(ns, RandomScheduler).seed(131).build();
         sim.input(0, b"evergreen".to_vec());
         sim.run_until_quiet(10_000_000);
@@ -1601,8 +1661,11 @@ mod tests {
     fn select_batch_respects_caps_and_stays_a_prefix() {
         let mut ns = nodes(4, 1, 140);
         let abc = ns[0].endpoint_mut();
-        abc.set_batch_cap(3);
-        abc.set_batch_bytes(1 << 10);
+        abc.tune(&AbcTuning {
+            batch_cap: 3,
+            batch_bytes: 1 << 10,
+            ..AbcTuning::default()
+        });
         for i in 0..10u32 {
             abc.enqueue(format!("payload-{i}").into_bytes());
         }
@@ -1630,7 +1693,10 @@ mod tests {
         assert_eq!(abc.select_batch().len(), 5, "cover shrank with the queue");
         abc.proposed_cover.clear();
         // The byte budget caps the fresh tail of a batch…
-        abc.set_batch_bytes(1);
+        abc.tune(&AbcTuning {
+            batch_bytes: 1,
+            ..AbcTuning::default()
+        });
         assert_eq!(abc.select_batch().len(), 1, "byte budget caps the tail");
         // …but never starves an oversized head-of-queue payload.
         assert_eq!(abc.select_batch()[0], b"payload-1".to_vec());

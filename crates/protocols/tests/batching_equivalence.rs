@@ -19,7 +19,7 @@ use sintra_adversary::structure::TrustStructure;
 use sintra_crypto::dealer::Dealer;
 use sintra_crypto::rng::SeededRng;
 use sintra_net::sim::{LossyScheduler, RandomScheduler, Simulation};
-use sintra_protocols::abc::{abc_nodes, AbcDeliver};
+use sintra_protocols::abc::{abc_nodes, AbcDeliver, AbcTuning};
 use std::collections::BTreeSet;
 
 /// Runs a 4-party cluster under the lossy/duplicating campaign
@@ -41,8 +41,11 @@ fn run_cluster(
     let (public, bundles) = Dealer::deal(&ts, &mut rng);
     let mut nodes = abc_nodes(public, bundles, seed);
     for node in &mut nodes {
-        node.endpoint_mut().set_batch_cap(batch_cap);
-        node.endpoint_mut().set_pipeline_depth(pipeline_depth);
+        node.endpoint_mut().tune(&AbcTuning {
+            batch_cap,
+            pipeline_depth,
+            ..AbcTuning::default()
+        });
     }
     let scheduler = LossyScheduler::new(RandomScheduler, 40, 64);
     let mut sim = Simulation::builder(nodes, scheduler)

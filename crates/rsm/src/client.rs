@@ -15,11 +15,13 @@
 //!   strong set whose subset agreeing on one value is qualified).
 
 use crate::replica::{reply_message, Reply};
+use crate::shard_router::{shard_of, shard_tag, ShardId};
+use crate::txn::{txid, TxnKvMachine, RESP_ABORT_VOTE, RESP_PREPARED};
 use sintra_adversary::party::PartySet;
 use sintra_crypto::dealer::PublicParameters;
 use sintra_crypto::tsig::{QuorumRule, ThresholdSignature};
 use sintra_protocols::common::{digest, Digest, Tag};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// A verified service answer.
@@ -234,6 +236,303 @@ impl ResubmittingClient {
     }
 }
 
+/// How long (in client ticks) a two-phase transaction may sit in the
+/// prepare phase before the client presumes failure and drives aborts
+/// everywhere. Larger than [`RESEND_BACKOFF_CAP`], so several prepare
+/// retries fire first.
+pub const TXN_ABORT_TICKS: u64 = 1024;
+
+/// The final outcome of one [`RsmClient`] request.
+#[derive(Clone, Debug)]
+pub enum TxnOutcome {
+    /// A single-key request's verified answer.
+    Single(ServiceReply),
+    /// Every touched shard committed the transaction.
+    Committed,
+    /// The transaction aborted (a shard voted no, or the prepare phase
+    /// timed out) and every touched shard acknowledged the abort.
+    Aborted,
+}
+
+/// One in-flight phase of the sharded client.
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    Single {
+        shard: ShardId,
+        driver: ResubmittingClient,
+    },
+    Prepare {
+        id: Digest,
+        /// Each touched shard's slice of the ops (kept to rebuild
+        /// nothing: commit/abort entries carry only the txid).
+        shards: Vec<ShardId>,
+        drivers: BTreeMap<ShardId, ResubmittingClient>,
+        prepared: BTreeSet<ShardId>,
+        /// Ticks left before the client presumes abort.
+        deadline: u64,
+    },
+    Decide {
+        commit: bool,
+        drivers: BTreeMap<ShardId, ResubmittingClient>,
+        acked: BTreeSet<ShardId>,
+    },
+    Done(TxnOutcome),
+}
+
+/// The unified sharded-service client: one facade over reply
+/// collection ([`ReplyCollector`]), retry ([`ResubmittingClient`]),
+/// shard routing, and the two-phase cross-shard path.
+///
+/// * [`submit`](Self::submit) routes a single-key request to the group
+///   owning the key;
+/// * [`submit_txn`](Self::submit_txn) drives presumed-abort two-phase
+///   commit across every touched group: an ordered prepare entry per
+///   shard, then — only once *all* shards verifiably answered
+///   `PREPARED` — an ordered commit entry per shard; any abort vote or
+///   a prepare-phase timeout flips the decision to abort for all.
+///
+/// The client is a passive automaton, like [`ResubmittingClient`]: the
+/// caller injects each returned `(shard, payload)` into every replica
+/// of that shard, feeds replica replies to [`on_reply`](Self::on_reply)
+/// and clock ticks to [`on_tick`](Self::on_tick), and watches
+/// [`result`](Self::result). One request is in flight at a time.
+#[derive(Debug)]
+pub struct RsmClient {
+    tag: Tag,
+    publics: Vec<Arc<PublicParameters>>,
+    phase: Phase,
+}
+
+impl RsmClient {
+    /// Creates a client for a deployment of `publics.len()` groups with
+    /// base service tag `tag` (shard tags derive from it).
+    pub fn new(tag: Tag, publics: Vec<Arc<PublicParameters>>) -> Self {
+        assert!(!publics.is_empty());
+        RsmClient {
+            tag,
+            publics,
+            phase: Phase::Idle,
+        }
+    }
+
+    /// Number of groups the deployment has.
+    pub fn groups(&self) -> usize {
+        self.publics.len()
+    }
+
+    /// The group owning `key`.
+    pub fn shard_for(&self, key: &[u8]) -> ShardId {
+        shard_of(key, self.publics.len())
+    }
+
+    /// Whether a request is currently in flight.
+    pub fn is_busy(&self) -> bool {
+        !matches!(self.phase, Phase::Idle | Phase::Done(_))
+    }
+
+    /// The outcome of the last request, once settled.
+    pub fn result(&self) -> Option<&TxnOutcome> {
+        match &self.phase {
+            Phase::Done(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    fn driver_for(&self, shard: ShardId, payload: Vec<u8>) -> ResubmittingClient {
+        ResubmittingClient::new(
+            shard_tag(&self.tag, shard),
+            Arc::clone(&self.publics[shard]),
+            payload,
+        )
+    }
+
+    /// Submits a single-key request, routed by `key`. Returns the
+    /// initial `(shard, payload)` send.
+    ///
+    /// # Panics
+    /// If a request is already in flight.
+    pub fn submit(&mut self, key: &[u8], payload: Vec<u8>) -> Vec<(ShardId, Vec<u8>)> {
+        assert!(!self.is_busy(), "one request in flight at a time");
+        let shard = self.shard_for(key);
+        let driver = self.driver_for(shard, payload.clone());
+        self.phase = Phase::Single { shard, driver };
+        vec![(shard, payload)]
+    }
+
+    /// Submits a multi-key write transaction and drives two-phase
+    /// commit across every touched group. Returns the initial prepare
+    /// sends (one per touched shard).
+    ///
+    /// # Panics
+    /// If a request is already in flight, or `ops` is empty.
+    pub fn submit_txn(&mut self, ops: &[(Vec<u8>, Vec<u8>)]) -> Vec<(ShardId, Vec<u8>)> {
+        assert!(!self.is_busy(), "one request in flight at a time");
+        assert!(!ops.is_empty(), "a transaction needs at least one op");
+        let id = txid(ops);
+        let mut by_shard: BTreeMap<ShardId, Vec<crate::txn::TxnOp>> = BTreeMap::new();
+        for (k, v) in ops {
+            by_shard
+                .entry(self.shard_for(k))
+                .or_default()
+                .push((k.clone(), v.clone()));
+        }
+        let mut sends = Vec::with_capacity(by_shard.len());
+        let mut drivers = BTreeMap::new();
+        let shards: Vec<ShardId> = by_shard.keys().copied().collect();
+        for (shard, slice) in by_shard {
+            let payload = TxnKvMachine::encode_prepare(&id, &slice);
+            drivers.insert(shard, self.driver_for(shard, payload.clone()));
+            sends.push((shard, payload));
+        }
+        self.phase = Phase::Prepare {
+            id,
+            shards,
+            drivers,
+            prepared: BTreeSet::new(),
+            deadline: TXN_ABORT_TICKS,
+        };
+        sends
+    }
+
+    /// Flips the transaction into its decision phase: an ordered commit
+    /// (or abort) entry per touched shard.
+    fn decide(&mut self, commit: bool) -> Vec<(ShardId, Vec<u8>)> {
+        let Phase::Prepare { id, shards, .. } = &self.phase else {
+            return Vec::new();
+        };
+        let payload = if commit {
+            TxnKvMachine::encode_commit(id)
+        } else {
+            TxnKvMachine::encode_abort(id)
+        };
+        let mut drivers = BTreeMap::new();
+        let mut sends = Vec::with_capacity(shards.len());
+        for &shard in shards {
+            drivers.insert(shard, self.driver_for(shard, payload.clone()));
+            sends.push((shard, payload.clone()));
+        }
+        self.phase = Phase::Decide {
+            commit,
+            drivers,
+            acked: BTreeSet::new(),
+        };
+        sends
+    }
+
+    /// Feeds one replica reply share from `shard`. Returns follow-up
+    /// sends (phase transitions: all-prepared → commits, abort vote →
+    /// aborts).
+    pub fn on_reply(&mut self, shard: ShardId, reply: Reply) -> Vec<(ShardId, Vec<u8>)> {
+        match &mut self.phase {
+            Phase::Idle | Phase::Done(_) => Vec::new(),
+            Phase::Single { shard: s, driver } => {
+                if shard == *s {
+                    if let Some(answer) = driver.on_reply(reply) {
+                        let outcome = TxnOutcome::Single(answer.clone());
+                        self.phase = Phase::Done(outcome);
+                    }
+                }
+                Vec::new()
+            }
+            Phase::Prepare {
+                drivers, prepared, ..
+            } => {
+                let Some(driver) = drivers.get_mut(&shard) else {
+                    return Vec::new();
+                };
+                let Some(answer) = driver.on_reply(reply) else {
+                    return Vec::new();
+                };
+                if answer.response == RESP_PREPARED {
+                    prepared.insert(shard);
+                    if prepared.len() == drivers.len() {
+                        return self.decide(true);
+                    }
+                    Vec::new()
+                } else if answer.response == RESP_ABORT_VOTE {
+                    self.decide(false)
+                } else {
+                    // An unexpected verified answer (e.g. a stale
+                    // decision surfacing): presume abort — always safe
+                    // before any commit entry was issued.
+                    self.decide(false)
+                }
+            }
+            Phase::Decide {
+                commit,
+                drivers,
+                acked,
+            } => {
+                let committed = *commit;
+                if let Some(driver) = drivers.get_mut(&shard) {
+                    if driver.on_reply(reply).is_some() {
+                        acked.insert(shard);
+                    }
+                }
+                if acked.len() == drivers.len() {
+                    self.phase = Phase::Done(if committed {
+                        TxnOutcome::Committed
+                    } else {
+                        TxnOutcome::Aborted
+                    });
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Advances retry timers (and the prepare-phase abort deadline) by
+    /// one tick. Returns resubmission sends — or the abort sends, when
+    /// the deadline expires.
+    pub fn on_tick(&mut self) -> Vec<(ShardId, Vec<u8>)> {
+        match &mut self.phase {
+            Phase::Idle | Phase::Done(_) => Vec::new(),
+            Phase::Single { shard, driver } => driver
+                .on_tick()
+                .map(|p| vec![(*shard, p)])
+                .unwrap_or_default(),
+            Phase::Prepare {
+                drivers,
+                prepared,
+                deadline,
+                ..
+            } => {
+                *deadline = deadline.saturating_sub(1);
+                if *deadline == 0 {
+                    // Presumed abort: some shard never answered. Abort
+                    // everywhere — aborting a shard that did prepare
+                    // releases its locks, aborting one that never saw
+                    // the prepare just records a decision.
+                    return self.decide(false);
+                }
+                let mut sends = Vec::new();
+                for (&shard, driver) in drivers.iter_mut() {
+                    if prepared.contains(&shard) {
+                        continue;
+                    }
+                    if let Some(p) = driver.on_tick() {
+                        sends.push((shard, p));
+                    }
+                }
+                sends
+            }
+            Phase::Decide { drivers, acked, .. } => {
+                let mut sends = Vec::new();
+                for (&shard, driver) in drivers.iter_mut() {
+                    if acked.contains(&shard) {
+                        continue;
+                    }
+                    if let Some(p) = driver.on_tick() {
+                        sends.push((shard, p));
+                    }
+                }
+                sends
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,5 +734,177 @@ mod tests {
         collector.add(replies.into_iter().next().unwrap());
         assert!(collector.signed_reply().is_none());
         assert!(collector.majority_reply().is_none());
+    }
+
+    // ---- RsmClient: the sharded facade ----
+
+    use crate::config::ReplicaConfig;
+    use crate::shard_router::{shard_of, sharded_nodes, ShardedNode};
+    use crate::state::{KvMachine, StateMachine};
+    use crate::txn::TxnKvMachine;
+    use sintra_crypto::dealer::ServerKeyBundle;
+
+    fn deal_groups(g: usize, n: usize, seed: u64) -> Vec<(PublicParameters, Vec<ServerKeyBundle>)> {
+        let ts = TrustStructure::threshold(n, (n - 1) / 3).unwrap();
+        (0..g)
+            .map(|i| {
+                let mut rng = SeededRng::new(seed.wrapping_add(i as u64).wrapping_mul(0x9e37));
+                Dealer::deal(&ts, &mut rng)
+            })
+            .collect()
+    }
+
+    /// A key owned by `shard` in a `groups`-way deployment.
+    fn key_on(shard: ShardId, groups: usize, hint: &str) -> Vec<u8> {
+        (0u32..)
+            .map(|i| format!("{hint}-{i}").into_bytes())
+            .find(|k| shard_of(k, groups) == shard)
+            .expect("some key lands on every shard")
+    }
+
+    /// Drives a client request to completion against a muxed sharded
+    /// simulation: injects each send to every replica of its shard,
+    /// feeds replies back, ticks timers when the sim quiesces without
+    /// progress. `allow` filters sends (to emulate a partitioned
+    /// shard).
+    fn drive(
+        sim: &mut Simulation<ShardedNode<TxnKvMachine>, RandomScheduler>,
+        client: &mut RsmClient,
+        sends: Vec<(ShardId, Vec<u8>)>,
+        n: usize,
+        mut allow: impl FnMut(&(ShardId, Vec<u8>)) -> bool,
+    ) {
+        let mut consumed = vec![0usize; n];
+        let mut pending: Vec<(ShardId, Vec<u8>)> = sends.into_iter().filter(|s| allow(s)).collect();
+        for _ in 0..200 {
+            if client.result().is_some() {
+                return;
+            }
+            for (shard, payload) in pending.drain(..) {
+                for p in 0..n {
+                    sim.input(p, (shard, payload.clone()));
+                }
+            }
+            sim.run_until_quiet(50_000_000);
+            let mut next = Vec::new();
+            for (p, done) in consumed.iter_mut().enumerate() {
+                let outs: Vec<(ShardId, Reply)> = sim.outputs(p)[*done..].to_vec();
+                *done = sim.outputs(p).len();
+                for (s, r) in outs {
+                    next.extend(client.on_reply(s, r));
+                }
+            }
+            if client.result().is_some() {
+                return;
+            }
+            if next.is_empty() {
+                // No forward progress from replies: advance the clock
+                // until a retry or the abort deadline fires.
+                for _ in 0..=TXN_ABORT_TICKS {
+                    next = client.on_tick();
+                    if !next.is_empty() || client.result().is_some() {
+                        break;
+                    }
+                }
+            }
+            pending = next.into_iter().filter(|s| allow(s)).collect();
+        }
+        panic!("client did not settle within the iteration budget");
+    }
+
+    #[test]
+    fn rsm_client_routes_single_key_to_owning_shard() {
+        let groups = deal_groups(2, 4, 50);
+        let publics: Vec<Arc<PublicParameters>> =
+            groups.iter().map(|(p, _)| Arc::new(p.clone())).collect();
+        let cfg = ReplicaConfig::new().seed(50).ckpt_interval(4);
+        let nodes = sharded_nodes(&cfg, groups, |_, _| TxnKvMachine::new());
+        let mut sim = Simulation::builder(nodes, RandomScheduler).seed(51).build();
+        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        assert_eq!(client.groups(), 2);
+        let key = b"route-me";
+        let shard = client.shard_for(key);
+        let payload = KvMachine::encode_set(key, b"v");
+        let sends = client.submit(key, payload.clone());
+        assert_eq!(sends, vec![(shard, payload)]);
+        assert!(client.is_busy());
+        drive(&mut sim, &mut client, sends, 4, |_| true);
+        match client.result() {
+            Some(TxnOutcome::Single(r)) => assert_eq!(r.response, b"OK"),
+            other => panic!("expected single answer, got {other:?}"),
+        }
+        // The write landed on the owning shard only.
+        for p in 0..4 {
+            let node = sim.node(p).unwrap();
+            assert_eq!(node.replica(shard).machine().kv().len(), 1);
+            assert_eq!(node.replica(1 - shard).machine().kv().len(), 0);
+        }
+    }
+
+    #[test]
+    fn rsm_client_two_phase_commit_across_shards() {
+        let groups = deal_groups(2, 4, 60);
+        let publics: Vec<Arc<PublicParameters>> =
+            groups.iter().map(|(p, _)| Arc::new(p.clone())).collect();
+        let cfg = ReplicaConfig::new().seed(60).ckpt_interval(4);
+        let nodes = sharded_nodes(&cfg, groups, |_, _| TxnKvMachine::new());
+        let mut sim = Simulation::builder(nodes, RandomScheduler).seed(61).build();
+        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let ops = vec![
+            (key_on(0, 2, "left"), b"1".to_vec()),
+            (key_on(1, 2, "right"), b"2".to_vec()),
+        ];
+        let sends = client.submit_txn(&ops);
+        assert_eq!(sends.len(), 2, "one prepare per touched shard");
+        drive(&mut sim, &mut client, sends, 4, |_| true);
+        assert!(matches!(client.result(), Some(TxnOutcome::Committed)));
+        // Both shards applied their slice, and no locks remain.
+        for p in 0..4 {
+            let node = sim.node(p).unwrap();
+            for (k, v) in &ops {
+                let shard = shard_of(k, 2);
+                let mut probe = node.replica(shard).machine().clone();
+                let mut want = b"VAL ".to_vec();
+                want.extend_from_slice(v);
+                assert_eq!(probe.apply(&KvMachine::encode_get(k)), want);
+                assert!(!node.replica(shard).machine().is_locked(k));
+            }
+            assert_eq!(node.replica(0).machine().pending_txns(), 0);
+            assert_eq!(node.replica(1).machine().pending_txns(), 0);
+        }
+    }
+
+    #[test]
+    fn rsm_client_aborts_when_participant_unreachable() {
+        let groups = deal_groups(2, 4, 70);
+        let publics: Vec<Arc<PublicParameters>> =
+            groups.iter().map(|(p, _)| Arc::new(p.clone())).collect();
+        let cfg = ReplicaConfig::new().seed(70).ckpt_interval(4);
+        let nodes = sharded_nodes(&cfg, groups, |_, _| TxnKvMachine::new());
+        let mut sim = Simulation::builder(nodes, RandomScheduler).seed(71).build();
+        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let k0 = key_on(0, 2, "here");
+        let k1 = key_on(1, 2, "gone");
+        let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
+        let id = crate::txn::txid(&ops);
+        let sends = client.submit_txn(&ops);
+        // Shard 1 never sees the prepare (partitioned participant);
+        // the deadline drives aborts everywhere.
+        drive(&mut sim, &mut client, sends, 4, |(shard, payload)| {
+            !(*shard == 1 && payload.first() == Some(&b'P'))
+        });
+        assert!(matches!(client.result(), Some(TxnOutcome::Aborted)));
+        for p in 0..4 {
+            let node = sim.node(p).unwrap();
+            // Shard 0 prepared, then aborted: lock released, write
+            // discarded, decision recorded.
+            assert!(!node.replica(0).machine().is_locked(&k0));
+            assert_eq!(node.replica(0).machine().kv().len(), 0);
+            assert_eq!(node.replica(0).machine().decision(&id), Some(false));
+            assert_eq!(node.replica(0).machine().pending_txns(), 0);
+            // Shard 1 never applied anything but recorded the abort.
+            assert_eq!(node.replica(1).machine().kv().len(), 0);
+            assert_eq!(node.replica(1).machine().decision(&id), Some(false));
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! at [`MAX_PAYLOAD`], crypto objects in their canonical encodings.
 
 use crate::replica::RsmMessage;
+use crate::shard_router::{ShardMessage, MAX_SHARDS};
 use sintra_crypto::tsig::{SignatureShare, ThresholdSignature};
 
 pub use sintra_net::codec::{CodecError, Reader, WireCodec, MAX_FRAME, MAX_PAYLOAD};
@@ -144,6 +145,28 @@ impl<M: WireCodec> WireCodec for RsmMessage<M> {
     }
 }
 
+impl<M: WireCodec> WireCodec for ShardMessage<M> {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.shard.to_be_bytes());
+        self.msg.encode_into(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let shard = r.u32()?;
+        if shard as usize >= MAX_SHARDS {
+            return Err(CodecError::Oversized {
+                what: "shard id",
+                len: shard as usize,
+                max: MAX_SHARDS - 1,
+            });
+        }
+        Ok(ShardMessage {
+            shard,
+            msg: RsmMessage::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +260,28 @@ mod tests {
         bytes.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
             RsmMessage::<RbcMessage>::decode_exact(&bytes),
+            Err(CodecError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_envelope_roundtrips_and_caps_shard_id() {
+        let msg = ShardMessage {
+            shard: 3,
+            msg: RsmMessage::<RbcMessage>::FetchState { have_seq: 9 },
+        };
+        let bytes = msg.encode();
+        let decoded = ShardMessage::<RbcMessage>::decode_exact(&bytes).unwrap();
+        assert_eq!(decoded.shard, 3);
+        assert_eq!(bytes, decoded.encode(), "canonical re-encode");
+        for cut in 0..bytes.len() {
+            assert!(ShardMessage::<RbcMessage>::decode_exact(&bytes[..cut]).is_err());
+        }
+        // A forged out-of-range shard id is rejected at decode.
+        let mut forged = (MAX_SHARDS as u32).to_be_bytes().to_vec();
+        forged.extend_from_slice(&RsmMessage::<RbcMessage>::FetchState { have_seq: 9 }.encode());
+        assert!(matches!(
+            ShardMessage::<RbcMessage>::decode_exact(&forged),
             Err(CodecError::Oversized { .. })
         ));
     }

@@ -12,7 +12,8 @@
 //! Byzantine replication breaks in practice — inside the sweep rather
 //! than only in targeted tests.
 
-use crate::replica::{atomic_replicas, Replica, Reply, RsmMessage};
+use crate::config::ReplicaConfig;
+use crate::replica::{atomic_replicas_with, Replica, Reply, RsmMessage};
 use crate::state::{KvMachine, StateMachine};
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_adversary::structure::TrustStructure;
@@ -57,11 +58,8 @@ pub fn rsm_build(seed: u64) -> Vec<RsmNode> {
     let ts = TrustStructure::threshold(N, T).expect("valid (n, t)");
     let mut rng = SeededRng::new(seed);
     let (public, bundles) = Dealer::deal(&ts, &mut rng);
-    let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), seed);
-    for n in &mut nodes {
-        n.set_ckpt_interval(CKPT_INTERVAL);
-    }
-    nodes
+    let cfg = ReplicaConfig::new().seed(seed).ckpt_interval(CKPT_INTERVAL);
+    atomic_replicas_with(&cfg, public, bundles, |_| KvMachine::new())
 }
 
 /// Tells each receiver a different story: payloads stamped per

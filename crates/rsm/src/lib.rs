@@ -16,14 +16,24 @@
 
 pub mod client;
 pub mod codec;
+pub mod config;
 pub mod harness;
 pub mod replica;
+pub mod shard_router;
 pub mod state;
+pub mod txn;
 
-pub use client::{ReplyCollector, ResubmittingClient, ServiceReply};
+pub use client::{ReplyCollector, ResubmittingClient, RsmClient, ServiceReply, TxnOutcome};
+pub use config::ReplicaConfig;
 pub use harness::{rsm_build, rsm_hooks, RsmNode};
 pub use replica::{
-    atomic_replicas, causal_replicas, ckpt_message, Ordered, OrderingLayer, Replica, Reply,
+    atomic_replica_with, atomic_replicas, atomic_replicas_with, causal_replica_with,
+    causal_replicas, causal_replicas_with, ckpt_message, Ordered, OrderingLayer, Replica, Reply,
     RsmMessage, StableCheckpoint, DEFAULT_CKPT_INTERVAL,
 };
+pub use shard_router::{
+    shard_config, shard_of, shard_tag, sharded_nodes, ShardId, ShardInput, ShardMessage,
+    ShardReply, ShardedNode, MAX_SHARDS,
+};
 pub use state::{EchoMachine, KvMachine, StateMachine};
+pub use txn::TxnKvMachine;

@@ -10,6 +10,8 @@
 //! set obtains a signature verifiable against the single service key —
 //! clients need not know individual servers.
 
+use crate::config::ReplicaConfig;
+use crate::shard_router::ShardId;
 use crate::state::StateMachine;
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
@@ -19,6 +21,7 @@ use sintra_net::protocol::{Context, Effects, Protocol};
 use sintra_obs::{Event, EventKind, Layer};
 use sintra_protocols::abc::{AbcMessage, AtomicBroadcast};
 use sintra_protocols::common::{digest, Digest, Outbox, Tag};
+use sintra_protocols::pool::VerifyPool;
 use sintra_protocols::scabc::{ScabcMessage, SecureCausalAtomicBroadcast};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -106,6 +109,11 @@ pub trait OrderingLayer: core::fmt::Debug {
     fn last_batch_size(&self) -> u64 {
         0
     }
+
+    /// Applies the ordering-layer portion of a [`ReplicaConfig`]
+    /// (batching, pipelining, verification offload). Defaults to a
+    /// no-op for transports without tunables.
+    fn apply_config(&mut self, _cfg: &ReplicaConfig) {}
 }
 
 impl OrderingLayer for AtomicBroadcast {
@@ -187,6 +195,13 @@ impl OrderingLayer for AtomicBroadcast {
 
     fn last_batch_size(&self) -> u64 {
         AtomicBroadcast::last_batch_size(self)
+    }
+
+    fn apply_config(&mut self, cfg: &ReplicaConfig) {
+        self.tune(&cfg.tuning);
+        if cfg.verify_workers > 0 {
+            self.set_verify_pool(VerifyPool::new(cfg.verify_workers));
+        }
     }
 }
 
@@ -270,6 +285,14 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
 
     fn last_batch_size(&self) -> u64 {
         self.abc().last_batch_size()
+    }
+
+    fn apply_config(&mut self, cfg: &ReplicaConfig) {
+        self.abc_mut().tune(&cfg.tuning);
+        if cfg.verify_workers > 0 {
+            self.abc_mut()
+                .set_verify_pool(VerifyPool::new(cfg.verify_workers));
+        }
     }
 }
 
@@ -523,10 +546,15 @@ pub struct Replica<L: OrderingLayer, S: StateMachine> {
     /// `rsm.request_latency` histogram (p50/p99 end-to-end latency);
     /// bounded so a flood of never-ordered requests cannot pin memory.
     pending_at: HashMap<Digest, u64>,
+    /// The shard (group) this replica orders for, if any. Stamps the
+    /// per-shard metric labels so a G×n deployment stays attributable.
+    shard: Option<ShardId>,
 }
 
 impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
-    /// Assembles a replica.
+    /// Assembles a replica from positional arguments with default
+    /// checkpoint cadence and no shard identity.
+    #[deprecated(note = "use Replica::with_config with a ReplicaConfig")]
     pub fn new(
         tag: Tag,
         layer: L,
@@ -534,6 +562,54 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         public: Arc<PublicParameters>,
         bundle: Arc<ServerKeyBundle>,
         rng: SeededRng,
+    ) -> Self {
+        Self::assemble(
+            tag,
+            layer,
+            machine,
+            public,
+            bundle,
+            rng,
+            DEFAULT_CKPT_INTERVAL,
+            None,
+        )
+    }
+
+    /// Assembles a replica from a [`ReplicaConfig`]: applies the
+    /// ordering-layer tuning (batching, pipelining, verification
+    /// offload), derives the party rng from the config seed, and stamps
+    /// the shard identity.
+    pub fn with_config(
+        mut layer: L,
+        machine: S,
+        public: Arc<PublicParameters>,
+        bundle: Arc<ServerKeyBundle>,
+        cfg: &ReplicaConfig,
+    ) -> Self {
+        layer.apply_config(cfg);
+        let rng = cfg.rng_for(bundle.party());
+        Self::assemble(
+            cfg.tag.clone(),
+            layer,
+            machine,
+            public,
+            bundle,
+            rng,
+            cfg.ckpt_interval.max(1),
+            cfg.shard,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        tag: Tag,
+        layer: L,
+        machine: S,
+        public: Arc<PublicParameters>,
+        bundle: Arc<ServerKeyBundle>,
+        rng: SeededRng,
+        ckpt_interval: u64,
+        shard: Option<ShardId>,
     ) -> Self {
         let n = public.n();
         Replica {
@@ -544,7 +620,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             bundle,
             rng,
             applied: 0,
-            ckpt_interval: DEFAULT_CKPT_INTERVAL,
+            ckpt_interval,
             log: BTreeMap::new(),
             pending_ckpts: BTreeMap::new(),
             ckpt_shares: HashMap::new(),
@@ -555,6 +631,7 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
             fetch: None,
             ckpt_div: 0,
             pending_at: HashMap::new(),
+            shard,
         }
     }
 
@@ -594,8 +671,14 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
     }
 
     /// Overrides the checkpoint cadence (clamped to ≥ 1).
+    #[deprecated(note = "set ckpt_interval on a ReplicaConfig instead")]
     pub fn set_ckpt_interval(&mut self, rounds: u64) {
         self.ckpt_interval = rounds.max(1);
+    }
+
+    /// The shard this replica orders for, if it was built for one.
+    pub fn shard(&self) -> Option<ShardId> {
+        self.shard
     }
 
     /// Whether a state transfer is in flight.
@@ -662,6 +745,20 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
         );
         ctx.obs
             .gauge_set(Layer::Abc, "batch_size", self.layer.last_batch_size());
+        if let Some(shard) = self.shard {
+            // Per-group watermarks: which shard a gauge belongs to is
+            // what makes a G×n benchmark attributable.
+            ctx.obs.gauge_set_shard(
+                Layer::Abc,
+                "rounds_in_flight",
+                shard,
+                self.layer.rounds_in_flight(),
+            );
+            ctx.obs
+                .gauge_set_shard(Layer::Shard, "round", shard, self.layer.current_round());
+            ctx.obs
+                .gauge_set_shard(Layer::Shard, "applied", shard, self.applied);
+        }
     }
 
     fn cache_reply(&mut self, seq: u64, request: Digest, response: Vec<u8>) {
@@ -697,8 +794,12 @@ impl<L: OrderingLayer, S: StateMachine> Replica<L, S> {
                 // End-to-end request latency in the runtime's time unit
                 // (virtual steps in simulations, nanoseconds on the TCP
                 // runtime) — submit to apply, through ordering.
-                ctx.obs
-                    .observe(Layer::Rsm, "request_latency", ctx.at.saturating_sub(at));
+                let elapsed = ctx.at.saturating_sub(at);
+                ctx.obs.observe(Layer::Rsm, "request_latency", elapsed);
+                if let Some(shard) = self.shard {
+                    ctx.obs
+                        .observe_shard(Layer::Rsm, "request_latency", shard, elapsed);
+                }
             }
             let msg = reply_message(&self.tag, &request, o.seq, &response);
             let share = self.bundle.signing_key().sign_share(&msg, &mut self.rng);
@@ -1412,62 +1513,106 @@ impl<L: OrderingLayer, S: StateMachine> Protocol for Replica<L, S> {
     }
 }
 
-/// Builds `n` replicas over plain atomic broadcast.
-pub fn atomic_replicas<S: StateMachine>(
+/// Builds one replica over plain atomic broadcast from `cfg`. The
+/// ordering layer's tag is derived as `cfg.tag.child("abc", 0)`, so
+/// per-shard service tags domain-separate their agreement traffic
+/// automatically.
+pub fn atomic_replica_with<S: StateMachine>(
+    cfg: &ReplicaConfig,
+    public: Arc<PublicParameters>,
+    bundle: Arc<ServerKeyBundle>,
+    machine: S,
+) -> Replica<AtomicBroadcast, S> {
+    let layer = AtomicBroadcast::new(
+        cfg.tag.child("abc", 0),
+        Arc::clone(&public),
+        Arc::clone(&bundle),
+    );
+    Replica::with_config(layer, machine, public, bundle, cfg)
+}
+
+/// Builds `n` replicas over plain atomic broadcast, all from the same
+/// [`ReplicaConfig`].
+pub fn atomic_replicas_with<S: StateMachine>(
+    cfg: &ReplicaConfig,
     public: PublicParameters,
     bundles: Vec<ServerKeyBundle>,
     make_machine: impl Fn(PartyId) -> S,
-    seed: u64,
 ) -> Vec<Replica<AtomicBroadcast, S>> {
     let public = Arc::new(public);
     bundles
         .into_iter()
         .map(|b| {
             let party = b.party();
-            let bundle = Arc::new(b);
-            Replica::new(
-                Tag::root("rsm"),
-                AtomicBroadcast::new(
-                    Tag::root("rsm-abc"),
-                    Arc::clone(&public),
-                    Arc::clone(&bundle),
-                ),
-                make_machine(party),
-                Arc::clone(&public),
-                bundle,
-                SeededRng::new(seed ^ (party as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
-            )
+            atomic_replica_with(cfg, Arc::clone(&public), Arc::new(b), make_machine(party))
         })
         .collect()
 }
 
-/// Builds `n` replicas over secure causal atomic broadcast.
-pub fn causal_replicas<S: StateMachine>(
+/// Builds `n` replicas over plain atomic broadcast with default
+/// configuration (convenience shim over [`atomic_replicas_with`]).
+pub fn atomic_replicas<S: StateMachine>(
     public: PublicParameters,
     bundles: Vec<ServerKeyBundle>,
     make_machine: impl Fn(PartyId) -> S,
     seed: u64,
+) -> Vec<Replica<AtomicBroadcast, S>> {
+    atomic_replicas_with(
+        &ReplicaConfig::new().seed(seed),
+        public,
+        bundles,
+        make_machine,
+    )
+}
+
+/// Builds one replica over secure causal atomic broadcast from `cfg`;
+/// the layer tag is derived as `cfg.tag.child("scabc", 0)`.
+pub fn causal_replica_with<S: StateMachine>(
+    cfg: &ReplicaConfig,
+    public: Arc<PublicParameters>,
+    bundle: Arc<ServerKeyBundle>,
+    machine: S,
+) -> Replica<SecureCausalAtomicBroadcast, S> {
+    let layer = SecureCausalAtomicBroadcast::new(
+        cfg.tag.child("scabc", 0),
+        Arc::clone(&public),
+        Arc::clone(&bundle),
+    );
+    Replica::with_config(layer, machine, public, bundle, cfg)
+}
+
+/// Builds `n` replicas over secure causal atomic broadcast, all from
+/// the same [`ReplicaConfig`].
+pub fn causal_replicas_with<S: StateMachine>(
+    cfg: &ReplicaConfig,
+    public: PublicParameters,
+    bundles: Vec<ServerKeyBundle>,
+    make_machine: impl Fn(PartyId) -> S,
 ) -> Vec<Replica<SecureCausalAtomicBroadcast, S>> {
     let public = Arc::new(public);
     bundles
         .into_iter()
         .map(|b| {
             let party = b.party();
-            let bundle = Arc::new(b);
-            Replica::new(
-                Tag::root("rsm"),
-                SecureCausalAtomicBroadcast::new(
-                    Tag::root("rsm-scabc"),
-                    Arc::clone(&public),
-                    Arc::clone(&bundle),
-                ),
-                make_machine(party),
-                Arc::clone(&public),
-                bundle,
-                SeededRng::new(seed ^ (party as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
-            )
+            causal_replica_with(cfg, Arc::clone(&public), Arc::new(b), make_machine(party))
         })
         .collect()
+}
+
+/// Builds `n` replicas over secure causal atomic broadcast with default
+/// configuration (convenience shim over [`causal_replicas_with`]).
+pub fn causal_replicas<S: StateMachine>(
+    public: PublicParameters,
+    bundles: Vec<ServerKeyBundle>,
+    make_machine: impl Fn(PartyId) -> S,
+    seed: u64,
+) -> Vec<Replica<SecureCausalAtomicBroadcast, S>> {
+    causal_replicas_with(
+        &ReplicaConfig::new().seed(seed),
+        public,
+        bundles,
+        make_machine,
+    )
 }
 
 #[cfg(test)]
@@ -1549,10 +1694,12 @@ mod tests {
     #[test]
     fn checkpoints_stabilize_and_prune_log() {
         let (public, bundles) = deal(4, 1, 9);
-        let mut replicas = atomic_replicas(public, bundles, |_| KvMachine::new(), 9);
-        for r in &mut replicas {
-            r.set_ckpt_interval(4);
-        }
+        let replicas = atomic_replicas_with(
+            &ReplicaConfig::new().seed(9).ckpt_interval(4),
+            public,
+            bundles,
+            |_| KvMachine::new(),
+        );
         let mut sim = Simulation::builder(replicas, RandomScheduler)
             .seed(10)
             .build();
@@ -1661,10 +1808,12 @@ mod tests {
         let (public, bundles) = deal(4, 1, 17);
         let bundle3 = bundles[3].clone();
         let public_arc = Arc::new(public.clone());
-        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 17);
-        for n in &mut nodes {
-            n.set_ckpt_interval(4);
-        }
+        let mut nodes = atomic_replicas_with(
+            &ReplicaConfig::new().seed(17).ckpt_interval(4),
+            public,
+            bundles,
+            |_| KvMachine::new(),
+        );
         let mut queue: Queued = Queued::new();
         let mut replies = Vec::new();
         // Warm-up with everyone alive.
@@ -1702,19 +1851,12 @@ mod tests {
             .seq;
         assert!(stable_seq > 40);
         // Restart replica 3 from scratch: empty machine, round 0.
-        nodes[3] = Replica::new(
-            Tag::root("rsm"),
-            AtomicBroadcast::new(
-                Tag::root("rsm-abc"),
-                Arc::clone(&public_arc),
-                Arc::new(bundle3.clone()),
-            ),
-            KvMachine::new(),
+        nodes[3] = atomic_replica_with(
+            &ReplicaConfig::new().seed(9_999).ckpt_interval(4),
             Arc::clone(&public_arc),
             Arc::new(bundle3),
-            SeededRng::new(9_999),
+            KvMachine::new(),
         );
-        nodes[3].set_ckpt_interval(4);
         // Resume with everyone alive. The next checkpoint's shares show
         // replica 3 how far behind it is; it fetches the certified
         // snapshot, replays the tail, and fast-forwards its ordering
@@ -1762,10 +1904,12 @@ mod tests {
         let (public, bundles) = deal(4, 1, 27);
         let bundle3 = bundles[3].clone();
         let public_arc = Arc::new(public.clone());
-        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 27);
-        for n in &mut nodes {
-            n.set_ckpt_interval(4);
-        }
+        let mut nodes = atomic_replicas_with(
+            &ReplicaConfig::new().seed(27).ckpt_interval(4),
+            public,
+            bundles,
+            |_| KvMachine::new(),
+        );
         let mut queue: Queued = Queued::new();
         let mut replies = Vec::new();
         // Replica 3 dies; survivors order 30 rounds and checkpoint.
@@ -1785,19 +1929,12 @@ mod tests {
             .seq;
         assert!(stable_seq > 20);
         // Restart replica 3 from scratch.
-        nodes[3] = Replica::new(
-            Tag::root("rsm"),
-            AtomicBroadcast::new(
-                Tag::root("rsm-abc"),
-                Arc::clone(&public_arc),
-                Arc::new(bundle3.clone()),
-            ),
-            KvMachine::new(),
+        nodes[3] = atomic_replica_with(
+            &ReplicaConfig::new().seed(4_242).ckpt_interval(4),
             Arc::clone(&public_arc),
             Arc::new(bundle3),
-            SeededRng::new(4_242),
+            KvMachine::new(),
         );
-        nodes[3].set_ckpt_interval(4);
         // A replica with no stable checkpoint has nothing to probe
         // with; a self-link probe is a no-op.
         let mut fx = Effects::for_parties(4);
@@ -1844,10 +1981,12 @@ mod tests {
         let (public, bundles) = deal(4, 1, 33);
         let bundle3 = bundles[3].clone();
         let public_arc = Arc::new(public.clone());
-        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 33);
-        for n in &mut nodes {
-            n.set_ckpt_interval(4);
-        }
+        let mut nodes = atomic_replicas_with(
+            &ReplicaConfig::new().seed(33).ckpt_interval(4),
+            public,
+            bundles,
+            |_| KvMachine::new(),
+        );
         let mut queue: Queued = Queued::new();
         let mut replies = Vec::new();
         let payload = KvMachine::encode_set(b"persist", b"me");
@@ -1886,19 +2025,12 @@ mod tests {
         }
         // Restart 3 with amnesia; link-up probes pull it through state
         // transfer (reply cache and dedup window included).
-        nodes[3] = Replica::new(
-            Tag::root("rsm"),
-            AtomicBroadcast::new(
-                Tag::root("rsm-abc"),
-                Arc::clone(&public_arc),
-                Arc::new(bundle3.clone()),
-            ),
-            KvMachine::new(),
+        nodes[3] = atomic_replica_with(
+            &ReplicaConfig::new().seed(8_484).ckpt_interval(4),
             Arc::clone(&public_arc),
             Arc::new(bundle3),
-            SeededRng::new(8_484),
+            KvMachine::new(),
         );
-        nodes[3].set_ckpt_interval(4);
         for (p, node) in nodes.iter_mut().enumerate().take(3) {
             let mut fx = Effects::for_parties(4);
             node.on_link_up_ctx(&Context::disabled(p, 4), 3, &mut fx);
@@ -2088,10 +2220,12 @@ mod tests {
         let b1 = bundles[1].clone();
         let b3 = bundles[3].clone();
         let public_arc = Arc::new(public.clone());
-        let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 25);
-        for n in &mut nodes {
-            n.set_ckpt_interval(4);
-        }
+        let mut nodes = atomic_replicas_with(
+            &ReplicaConfig::new().seed(25).ckpt_interval(4),
+            public,
+            bundles,
+            |_| KvMachine::new(),
+        );
         let mut queue: Queued = Queued::new();
         let mut replies = Vec::new();
         // History with everyone alive: a certified checkpoint plus a
@@ -2116,19 +2250,12 @@ mod tests {
             "a tail exists past the checkpoint"
         );
         // Replica 3 restarts from scratch.
-        nodes[3] = Replica::new(
-            Tag::root("rsm"),
-            AtomicBroadcast::new(
-                Tag::root("rsm-abc"),
-                Arc::clone(&public_arc),
-                Arc::new(b3.clone()),
-            ),
-            KvMachine::new(),
+        nodes[3] = atomic_replica_with(
+            &ReplicaConfig::new().seed(31).ckpt_interval(4),
             Arc::clone(&public_arc),
             Arc::new(b3),
-            SeededRng::new(31),
+            KvMachine::new(),
         );
-        nodes[3].set_ckpt_interval(4);
         let mut rng = SeededRng::new(3);
         let tag = Tag::root("rsm");
         // The forged transfer: genuine certified snapshot, fabricated
@@ -2213,6 +2340,7 @@ mod tests {
         let mut nodes = atomic_replicas(public, bundles, |_| KvMachine::new(), 27);
         // A wide interval keeps every claim below the far-future hint
         // horizon, so this test exercises only the pooling path.
+        #[allow(deprecated)] // the shim must keep working
         nodes[0].set_ckpt_interval(CKPT_POOL_LOOKAHEAD + 32);
         let mut rng = SeededRng::new(4);
         let tag = Tag::root("rsm");

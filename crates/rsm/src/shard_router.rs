@@ -1,0 +1,404 @@
+//! The multi-group shard router: G independent SINTRA groups behind
+//! one service facade.
+//!
+//! One atomic-broadcast group is a hard throughput ceiling — every
+//! request crosses the same n-party agreement. The router partitions
+//! the keyspace across G *independent* groups by key digest
+//! ([`shard_of`]): each group runs the full stack — ordering,
+//! checkpoints, pull-only state transfer with qualified-set
+//! byte-identical tails (the PR-5 invariants hold *per shard*, since
+//! each shard is simply a complete replica group) — and groups share
+//! nothing but the client. Single-key requests touch one group;
+//! multi-key requests run the two-phase path of [`crate::txn`], driven
+//! by [`crate::client::RsmClient`].
+//!
+//! Two deployment shapes share this module's vocabulary:
+//!
+//! * **Muxed** ([`ShardedNode`]): party p hosts all G of its replicas
+//!   in one automaton, with [`ShardMessage`] enveloping each group's
+//!   traffic. This keeps the whole G×n deployment inside one
+//!   deterministic `Simulation`, which is how the atomicity campaign
+//!   drives adversarial schedules across shards.
+//! * **Split**: G separate TCP meshes (one per group), wired by
+//!   `sintra-net`'s shard plan; the `shard_cluster` bench bin runs this
+//!   shape. The wire format of each mesh is the unwrapped per-group
+//!   `RsmMessage`, so per-group interop is unchanged.
+
+use crate::config::ReplicaConfig;
+use crate::replica::{atomic_replica_with, Replica, Reply, RsmMessage};
+use crate::state::StateMachine;
+use sintra_adversary::party::PartyId;
+use sintra_crypto::dealer::{PublicParameters, ServerKeyBundle};
+use sintra_net::protocol::{Context, Effects, Protocol};
+use sintra_obs::Layer;
+use sintra_protocols::abc::{AbcMessage, AtomicBroadcast};
+use sintra_protocols::common::{digest, Tag};
+use std::sync::Arc;
+
+/// Identifies one group (shard) of the partitioned service.
+pub type ShardId = usize;
+
+/// Most groups a sharded deployment may declare; bounds what a decoded
+/// [`ShardMessage`] shard id may claim.
+pub const MAX_SHARDS: usize = 64;
+
+/// The group owning `key`: the first eight bytes of the key digest,
+/// reduced mod `groups`. Digest-based placement spreads any workload's
+/// keys near-uniformly and every client computes the same owner.
+pub fn shard_of(key: &[u8], groups: usize) -> ShardId {
+    debug_assert!(groups > 0);
+    let d = digest(key);
+    let word = u64::from_be_bytes(d[..8].try_into().expect("8 bytes"));
+    (word % groups.max(1) as u64) as ShardId
+}
+
+/// The service tag of shard `shard`, derived from the deployment's base
+/// tag. Distinct child tags domain-separate everything downstream —
+/// reply shares, checkpoint certificates, and (via the tag-derived
+/// ordering-layer tags) all agreement traffic — so a message can never
+/// be replayed across shards.
+pub fn shard_tag(base: &Tag, shard: ShardId) -> Tag {
+    base.child("shard", shard as u64)
+}
+
+/// Specializes a deployment-wide config to one shard: the tag becomes
+/// the shard's child tag and the shard identity is stamped (driving the
+/// per-shard metric labels).
+pub fn shard_config(cfg: &ReplicaConfig, shard: ShardId) -> ReplicaConfig {
+    cfg.clone().tag(shard_tag(&cfg.tag, shard)).shard(shard)
+}
+
+/// Wire envelope of the muxed deployment: one group's replica traffic,
+/// stamped with the group id.
+#[derive(Clone, Debug)]
+pub struct ShardMessage<M> {
+    /// The group this message belongs to (`< MAX_SHARDS` on the wire).
+    pub shard: u32,
+    /// The enveloped replica message.
+    pub msg: RsmMessage<M>,
+}
+
+/// A request routed to one shard: `(shard, request bytes)`.
+pub type ShardInput = (ShardId, Vec<u8>);
+
+/// A reply emitted by one shard: `(shard, reply share)`.
+pub type ShardReply = (ShardId, Reply);
+
+/// Party p's view of the whole sharded deployment: its replica in each
+/// of the G groups, muxed into one automaton. Group g's traffic travels
+/// enveloped as [`ShardMessage`] with `shard == g`; requests arrive
+/// pre-routed as [`ShardInput`] (the client computes [`shard_of`]).
+#[derive(Debug)]
+pub struct ShardedNode<S: StateMachine> {
+    groups: Vec<Replica<AtomicBroadcast, S>>,
+    n: usize,
+}
+
+impl<S: StateMachine> ShardedNode<S> {
+    /// Assembles a node from one replica per group (all for the same
+    /// party, each built with [`shard_config`]).
+    pub fn new(groups: Vec<Replica<AtomicBroadcast, S>>, n: usize) -> Self {
+        assert!(!groups.is_empty() && groups.len() <= MAX_SHARDS);
+        ShardedNode { groups, n }
+    }
+
+    /// Number of groups this node participates in.
+    pub fn groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Read access to the replica for `shard`.
+    pub fn replica(&self, shard: ShardId) -> &Replica<AtomicBroadcast, S> {
+        &self.groups[shard]
+    }
+
+    /// Mutable access to the replica for `shard` (test configuration).
+    pub fn replica_mut(&mut self, shard: ShardId) -> &mut Replica<AtomicBroadcast, S> {
+        &mut self.groups[shard]
+    }
+
+    /// Runs one replica handler and re-wraps its effects into the muxed
+    /// envelope.
+    fn drive(
+        &mut self,
+        shard: ShardId,
+        fx: &mut Effects<ShardMessage<AbcMessage>, ShardReply>,
+        f: impl FnOnce(&mut Replica<AtomicBroadcast, S>, &mut Effects<RsmMessage<AbcMessage>, Reply>),
+    ) {
+        let mut inner = Effects::for_parties(self.n);
+        f(&mut self.groups[shard], &mut inner);
+        for (to, msg) in inner.take_sends() {
+            fx.send(
+                to,
+                ShardMessage {
+                    shard: shard as u32,
+                    msg,
+                },
+            );
+        }
+        for reply in inner.take_outputs() {
+            fx.output((shard, reply));
+        }
+    }
+}
+
+impl<S: StateMachine> Protocol for ShardedNode<S> {
+    type Message = ShardMessage<AbcMessage>;
+    type Input = ShardInput;
+    type Output = ShardReply;
+
+    fn on_input(&mut self, input: ShardInput, fx: &mut Effects<Self::Message, Self::Output>) {
+        let n = self.n;
+        let party = self.groups[0].party();
+        let ctx = Context::disabled(party, n);
+        self.on_input_ctx(&ctx, input, fx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: Self::Message,
+        fx: &mut Effects<Self::Message, Self::Output>,
+    ) {
+        let n = self.n;
+        let party = self.groups[0].party();
+        let ctx = Context::disabled(party, n);
+        self.on_message_ctx(&ctx, from, msg, fx);
+    }
+
+    fn on_tick(&mut self, fx: &mut Effects<Self::Message, Self::Output>) {
+        let n = self.n;
+        let party = self.groups[0].party();
+        let ctx = Context::disabled(party, n);
+        self.on_tick_ctx(&ctx, fx);
+    }
+
+    fn on_input_ctx(
+        &mut self,
+        ctx: &Context,
+        (shard, payload): ShardInput,
+        fx: &mut Effects<Self::Message, Self::Output>,
+    ) {
+        if shard >= self.groups.len() {
+            ctx.obs.inc(Layer::Shard, "dropped");
+            return;
+        }
+        ctx.obs.inc_shard(Layer::Shard, "routed", shard);
+        // The router recognizes the in-crate transaction framing: the
+        // two-phase entries it forwards are its cross-shard traffic.
+        match payload.first() {
+            Some(b'P') => ctx.obs.inc_shard(Layer::Shard, "cross_prepare", shard),
+            Some(b'A') => ctx.obs.inc_shard(Layer::Shard, "cross_abort", shard),
+            _ => {}
+        }
+        self.drive(shard, fx, |replica, inner| {
+            replica.on_input_ctx(ctx, payload, inner);
+        });
+    }
+
+    fn on_message_ctx(
+        &mut self,
+        ctx: &Context,
+        from: PartyId,
+        msg: Self::Message,
+        fx: &mut Effects<Self::Message, Self::Output>,
+    ) {
+        let shard = msg.shard as ShardId;
+        if shard >= self.groups.len() {
+            // Codec caps shard ids at MAX_SHARDS, but the deployment
+            // may be smaller; drop out-of-range traffic.
+            ctx.obs.inc(Layer::Shard, "dropped");
+            return;
+        }
+        self.drive(shard, fx, |replica, inner| {
+            replica.on_message_ctx(ctx, from, msg.msg, inner);
+        });
+    }
+
+    fn on_tick_ctx(&mut self, ctx: &Context, fx: &mut Effects<Self::Message, Self::Output>) {
+        for shard in 0..self.groups.len() {
+            self.drive(shard, fx, |replica, inner| {
+                replica.on_tick_ctx(ctx, inner);
+            });
+        }
+    }
+
+    fn on_link_up_ctx(
+        &mut self,
+        ctx: &Context,
+        peer: PartyId,
+        fx: &mut Effects<Self::Message, Self::Output>,
+    ) {
+        for shard in 0..self.groups.len() {
+            self.drive(shard, fx, |replica, inner| {
+                replica.on_link_up_ctx(ctx, peer, inner);
+            });
+        }
+    }
+}
+
+/// Builds the full muxed deployment: `groups.len()` independent dealt
+/// groups, each with the same party count n, folded into n
+/// [`ShardedNode`]s (node p holds party p's replica of every group).
+/// Each group's replicas are built with [`shard_config`], so tags,
+/// metrics, and rngs are shard-separated automatically.
+pub fn sharded_nodes<S: StateMachine>(
+    cfg: &ReplicaConfig,
+    groups: Vec<(PublicParameters, Vec<ServerKeyBundle>)>,
+    make_machine: impl Fn(ShardId, PartyId) -> S,
+) -> Vec<ShardedNode<S>> {
+    assert!(!groups.is_empty() && groups.len() <= MAX_SHARDS);
+    let n = groups[0].1.len();
+    assert!(groups.iter().all(|(_, b)| b.len() == n));
+    let mut per_party: Vec<Vec<Replica<AtomicBroadcast, S>>> =
+        (0..n).map(|_| Vec::with_capacity(groups.len())).collect();
+    for (shard, (public, bundles)) in groups.into_iter().enumerate() {
+        let scfg = shard_config(cfg, shard);
+        let public = Arc::new(public);
+        for bundle in bundles {
+            let party = bundle.party();
+            per_party[party].push(atomic_replica_with(
+                &scfg,
+                Arc::clone(&public),
+                Arc::new(bundle),
+                make_machine(shard, party),
+            ));
+        }
+    }
+    per_party
+        .into_iter()
+        .map(|g| ShardedNode::new(g, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ReplyCollector;
+    use crate::state::KvMachine;
+    use sintra_adversary::structure::TrustStructure;
+    use sintra_crypto::dealer::Dealer;
+    use sintra_crypto::rng::SeededRng;
+    use sintra_net::sim::{RandomScheduler, Simulation};
+
+    fn deal_groups(g: usize, n: usize, seed: u64) -> Vec<(PublicParameters, Vec<ServerKeyBundle>)> {
+        let ts = TrustStructure::threshold(n, (n - 1) / 3).unwrap();
+        (0..g)
+            .map(|i| {
+                let mut rng = SeededRng::new(seed.wrapping_add(i as u64).wrapping_mul(0x9e37));
+                Dealer::deal(&ts, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_spread() {
+        assert_eq!(shard_of(b"k", 1), 0);
+        let mut seen = [false; 4];
+        for i in 0..64u32 {
+            let key = format!("key-{i}");
+            let s = shard_of(key.as_bytes(), 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(key.as_bytes(), 4), "deterministic");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "64 keys hit all 4 shards");
+    }
+
+    #[test]
+    fn shard_tags_are_distinct() {
+        let base = Tag::root("rsm");
+        let tags: Vec<Tag> = (0..4).map(|s| shard_tag(&base, s)).collect();
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        let cfg = shard_config(&ReplicaConfig::new(), 2);
+        assert_eq!(cfg.tag, shard_tag(&Tag::root("rsm"), 2));
+        assert_eq!(cfg.shard, Some(2));
+    }
+
+    #[test]
+    fn sharded_group_orders_disjoint_keyspaces_independently() {
+        let groups = deal_groups(2, 4, 11);
+        let publics: Vec<Arc<PublicParameters>> =
+            groups.iter().map(|(p, _)| Arc::new(p.clone())).collect();
+        let cfg = ReplicaConfig::new().seed(11).ckpt_interval(4);
+        let nodes = sharded_nodes(&cfg, groups, |_, _| KvMachine::new());
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0].groups(), 2);
+        assert_eq!(nodes[0].replica(1).shard(), Some(1));
+        let mut sim = Simulation::builder(nodes, RandomScheduler).seed(12).build();
+        // One write per shard, entering at different parties.
+        sim.input(0, (0, KvMachine::encode_set(b"alpha", b"1")));
+        sim.input(1, (1, KvMachine::encode_set(b"beta", b"2")));
+        sim.run_until_quiet(50_000_000);
+        // Every shard's write is answered by a qualified quorum under
+        // that shard's own tag, and lands only in that shard's machine.
+        for (shard, payload) in [
+            (0usize, KvMachine::encode_set(b"alpha", b"1")),
+            (1usize, KvMachine::encode_set(b"beta", b"2")),
+        ] {
+            let mut collector = ReplyCollector::new(
+                shard_tag(&Tag::root("rsm"), shard),
+                Arc::clone(&publics[shard]),
+                &payload,
+            );
+            for p in 0..4 {
+                for (s, r) in sim.outputs(p) {
+                    if *s == shard {
+                        collector.add(r.clone());
+                    }
+                }
+            }
+            assert!(
+                collector.signed_reply().is_some(),
+                "shard {shard} reply combines under its shard tag"
+            );
+        }
+        for p in 0..4 {
+            let node = sim.node(p).unwrap();
+            assert_eq!(node.replica(0).machine().len(), 1, "alpha only");
+            assert_eq!(node.replica(1).machine().len(), 1, "beta only");
+            assert_eq!(node.replica(0).applied(), 1);
+            assert_eq!(node.replica(1).applied(), 1);
+        }
+    }
+
+    #[test]
+    fn cross_shard_replies_do_not_combine() {
+        // A reply share produced by shard 0 must be useless toward a
+        // quorum under shard 1's tag: the tags domain-separate shares.
+        let groups = deal_groups(2, 4, 21);
+        let public0 = Arc::new(groups[0].0.clone());
+        let cfg = ReplicaConfig::new().seed(21);
+        let nodes = sharded_nodes(&cfg, groups, |_, _| KvMachine::new());
+        let mut sim = Simulation::builder(nodes, RandomScheduler).seed(22).build();
+        let payload = KvMachine::encode_set(b"x", b"1");
+        sim.input(0, (0, payload.clone()));
+        sim.run_until_quiet(50_000_000);
+        let mut wrong_tag = ReplyCollector::new(shard_tag(&Tag::root("rsm"), 1), public0, &payload);
+        let mut offered = 0;
+        for p in 0..4 {
+            for (_, r) in sim.outputs(p) {
+                offered += 1;
+                assert!(!wrong_tag.add(r.clone()), "share rejected under wrong tag");
+            }
+        }
+        assert!(offered > 0, "shard 0 did answer");
+        assert!(wrong_tag.signed_reply().is_none());
+    }
+
+    #[test]
+    fn misrouted_traffic_is_dropped() {
+        let groups = deal_groups(1, 4, 31);
+        let cfg = ReplicaConfig::new().seed(31);
+        let mut nodes = sharded_nodes(&cfg, groups, |_, _| KvMachine::new());
+        let mut fx = Effects::for_parties(4);
+        // Input for a shard this deployment does not have.
+        nodes[0].on_input((7, KvMachine::encode_set(b"k", b"v")), &mut fx);
+        assert!(fx.take_sends().is_empty());
+        assert!(fx.take_outputs().is_empty());
+    }
+}

@@ -1,0 +1,516 @@
+//! Cross-shard transactions: a key-value machine with two-phase hooks.
+//!
+//! A single SINTRA group orders its own requests totally, so single-key
+//! operations need nothing beyond [`KvMachine`]. Once the keyspace is
+//! partitioned across G groups ([`crate::shard_router`]), a multi-key
+//! request touches several independent total orders, and atomicity has
+//! to be rebuilt on top: the client drives a presumed-abort two-phase
+//! commit where each touched shard first orders a *prepare* entry
+//! (locking the keys and voting) and then a *commit* or *abort* entry
+//! (applying or discarding the staged writes). Because every entry is
+//! itself atomically broadcast within its shard, all honest replicas of
+//! a shard take identical lock/commit/abort decisions — the machine
+//! below stays deterministic, which is all the replication layer asks.
+//!
+//! Abort rules (who may refuse what):
+//!
+//! * a **prepare** votes abort iff one of its keys is locked by a
+//!   different in-flight transaction, or the transaction is already
+//!   decided aborted — and the refusal itself is recorded as a decided
+//!   abort, so the transaction can never commit here later;
+//! * a **commit** applies iff the transaction is pending-prepared; a
+//!   duplicate commit after the fact acks idempotently, a commit for an
+//!   aborted or never-prepared transaction is refused without touching
+//!   state;
+//! * an **abort** always succeeds and is idempotent: locks release,
+//!   staged writes drop, the decision is recorded.
+//!
+//! Prepared entries are *not* unilaterally timed out by replicas: only
+//! an ordered abort entry (driven by the client, or by anyone on the
+//! client's behalf — aborting an abandoned transaction is always safe)
+//! releases the locks. A replica-local timeout would break determinism.
+
+use crate::state::{KvMachine, StateMachine};
+use sintra_protocols::common::{digest, Digest};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Most operations a single prepare entry may carry.
+pub const MAX_TXN_OPS: usize = 256;
+
+/// Decided-transaction records retained (FIFO). Older decisions are
+/// forgotten; a commit for a forgotten transaction is refused anyway
+/// (never-prepared), so pruning trades only ack idempotency, never
+/// safety.
+pub const DECIDED_CAP: usize = 1024;
+
+/// Answer to a prepare that locked its keys and staged its writes.
+pub const RESP_PREPARED: &[u8] = b"TXN PREPARED";
+/// Answer voting abort (lock conflict or already-decided abort).
+pub const RESP_ABORT_VOTE: &[u8] = b"TXN ABORT";
+/// Answer to an applied (or duplicate) commit.
+pub const RESP_COMMITTED: &[u8] = b"TXN COMMITTED";
+/// Answer to an (idempotent) abort.
+pub const RESP_ABORTED: &[u8] = b"TXN ABORTED";
+/// Refusal of a commit for a transaction this shard never prepared.
+pub const RESP_UNKNOWN: &[u8] = b"ERR unknown-txn";
+/// Refusal of a single-key write whose key is locked by a transaction.
+pub const RESP_LOCKED: &[u8] = b"ERR locked";
+
+/// One transaction write: `(key, value)`.
+pub type TxnOp = (Vec<u8>, Vec<u8>);
+
+/// The transaction id: a digest over the *full* canonical operation
+/// list (all shards' writes), so every shard's prepare names the same
+/// transaction and a Byzantine client cannot present different op-sets
+/// under one id without forging the digest.
+pub fn txid(ops: &[(Vec<u8>, Vec<u8>)]) -> Digest {
+    let mut bytes = b"txn".to_vec();
+    bytes.extend_from_slice(&(ops.len() as u32).to_be_bytes());
+    for (k, v) in ops {
+        bytes.extend_from_slice(&(k.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(k);
+        bytes.extend_from_slice(&(v.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(v);
+    }
+    digest(&bytes)
+}
+
+/// A key-value machine with two-phase-commit hooks. Wraps [`KvMachine`]
+/// for plain `set`/`get` traffic and adds three transaction ops in the
+/// same one-byte-discriminant framing (`P`repare / `C`ommit / `A`bort).
+#[derive(Clone, Debug, Default)]
+pub struct TxnKvMachine {
+    inner: KvMachine,
+    /// Keys locked by an in-flight prepared transaction.
+    locks: BTreeMap<Vec<u8>, Digest>,
+    /// Staged writes of prepared transactions, keyed by txid.
+    pending: BTreeMap<Digest, Vec<TxnOp>>,
+    /// Recent decisions: txid → committed? Pruned FIFO at
+    /// [`DECIDED_CAP`]; `decided_order` is the (deterministic)
+    /// insertion order the pruning follows.
+    decided: BTreeMap<Digest, bool>,
+    decided_order: VecDeque<Digest>,
+}
+
+impl TxnKvMachine {
+    /// Creates an empty store with no transactions in flight.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a prepare entry for one shard's slice of the ops.
+    pub fn encode_prepare(id: &Digest, ops: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+        let mut out = vec![b'P'];
+        out.extend_from_slice(id);
+        out.extend_from_slice(&(ops.len() as u32).to_be_bytes());
+        for (k, v) in ops {
+            out.extend_from_slice(&(k.len() as u32).to_be_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Encodes a commit entry.
+    pub fn encode_commit(id: &Digest) -> Vec<u8> {
+        let mut out = vec![b'C'];
+        out.extend_from_slice(id);
+        out
+    }
+
+    /// Encodes an abort entry.
+    pub fn encode_abort(id: &Digest) -> Vec<u8> {
+        let mut out = vec![b'A'];
+        out.extend_from_slice(id);
+        out
+    }
+
+    /// The wrapped key-value store (reads go straight through).
+    pub fn kv(&self) -> &KvMachine {
+        &self.inner
+    }
+
+    /// Whether `key` is currently locked by a prepared transaction.
+    pub fn is_locked(&self, key: &[u8]) -> bool {
+        self.locks.contains_key(key)
+    }
+
+    /// The recorded decision for a transaction, if still retained:
+    /// `Some(true)` committed, `Some(false)` aborted.
+    pub fn decision(&self, id: &Digest) -> Option<bool> {
+        self.decided.get(id).copied()
+    }
+
+    /// Prepared transactions currently holding locks.
+    pub fn pending_txns(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn record_decision(&mut self, id: Digest, committed: bool) {
+        if self.decided.insert(id, committed).is_none() {
+            self.decided_order.push_back(id);
+            while self.decided_order.len() > DECIDED_CAP {
+                if let Some(old) = self.decided_order.pop_front() {
+                    self.decided.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, id: &Digest) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        let ops = self.pending.remove(id)?;
+        self.locks.retain(|_, holder| holder != id);
+        Some(ops)
+    }
+
+    fn apply_prepare(&mut self, rest: &[u8]) -> Vec<u8> {
+        let Some((id, ops)) = decode_prepare_body(rest) else {
+            return b"ERR malformed".to_vec();
+        };
+        match self.decided.get(&id) {
+            Some(true) => return RESP_COMMITTED.to_vec(),
+            Some(false) => return RESP_ABORT_VOTE.to_vec(),
+            None => {}
+        }
+        if self.pending.contains_key(&id) {
+            return RESP_PREPARED.to_vec(); // duplicate prepare
+        }
+        if ops.iter().any(|(k, _)| {
+            self.locks
+                .get(k.as_slice())
+                .is_some_and(|holder| *holder != id)
+        }) {
+            // Lock conflict: vote no, and remember the refusal so this
+            // transaction can never commit on this shard afterwards.
+            self.record_decision(id, false);
+            return RESP_ABORT_VOTE.to_vec();
+        }
+        for (k, _) in &ops {
+            self.locks.insert(k.clone(), id);
+        }
+        self.pending.insert(id, ops);
+        RESP_PREPARED.to_vec()
+    }
+
+    fn apply_commit(&mut self, rest: &[u8]) -> Vec<u8> {
+        let Ok(id) = Digest::try_from(rest) else {
+            return b"ERR malformed".to_vec();
+        };
+        if let Some(ops) = self.release(&id) {
+            for (k, v) in ops {
+                self.inner.apply(&KvMachine::encode_set(&k, &v));
+            }
+            self.record_decision(id, true);
+            return RESP_COMMITTED.to_vec();
+        }
+        match self.decided.get(&id) {
+            Some(true) => RESP_COMMITTED.to_vec(), // duplicate commit
+            // A sibling's abort decision (or a refused prepare) bars
+            // the commit — the atomicity invariant the chaos campaign
+            // asserts.
+            Some(false) => RESP_ABORTED.to_vec(),
+            None => RESP_UNKNOWN.to_vec(),
+        }
+    }
+
+    fn apply_abort(&mut self, rest: &[u8]) -> Vec<u8> {
+        let Ok(id) = Digest::try_from(rest) else {
+            return b"ERR malformed".to_vec();
+        };
+        if self.decision(&id) == Some(true) {
+            // An ordered commit beat the abort here: the decision
+            // stands (the coordinator never issues both, so this arises
+            // only from duplicated/forged traffic).
+            return RESP_COMMITTED.to_vec();
+        }
+        self.release(&id);
+        self.record_decision(id, false);
+        RESP_ABORTED.to_vec()
+    }
+}
+
+fn decode_prepare_body(rest: &[u8]) -> Option<(Digest, Vec<TxnOp>)> {
+    let id: Digest = rest.get(..32)?.try_into().ok()?;
+    let mut rest = rest.get(32..)?;
+    let take = |rest: &mut &[u8], n: usize| -> Option<Vec<u8>> {
+        if rest.len() < n {
+            return None;
+        }
+        let (head, tail) = rest.split_at(n);
+        *rest = tail;
+        Some(head.to_vec())
+    };
+    let field = |rest: &mut &[u8]| -> Option<Vec<u8>> {
+        let len = u32::from_be_bytes(take(rest, 4)?.try_into().ok()?) as usize;
+        take(rest, len)
+    };
+    let count = u32::from_be_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+    if count == 0 || count > MAX_TXN_OPS {
+        return None;
+    }
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        ops.push((field(&mut rest)?, field(&mut rest)?));
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    Some((id, ops))
+}
+
+impl StateMachine for TxnKvMachine {
+    fn apply(&mut self, request: &[u8]) -> Vec<u8> {
+        match request.split_first() {
+            Some((b'P', rest)) => self.apply_prepare(rest),
+            Some((b'C', rest)) => self.apply_commit(rest),
+            Some((b'A', rest)) => self.apply_abort(rest),
+            Some((b'S', rest)) if rest.len() >= 4 => {
+                let klen = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+                if rest.len() >= 4 + klen && self.is_locked(&rest[4..4 + klen]) {
+                    // A prepared transaction owns the key: refuse the
+                    // interleaved write instead of clobbering staged
+                    // state. The client retries after the decision.
+                    return RESP_LOCKED.to_vec();
+                }
+                self.inner.apply(request)
+            }
+            _ => self.inner.apply(request),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // Canonical: inner snapshot length-prefixed, then locks
+        // (BTreeMap order), staged ops (BTreeMap order), decisions
+        // (deterministic FIFO order, flag per entry).
+        let inner = self.inner.snapshot();
+        let mut out = (inner.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(&inner);
+        out.extend_from_slice(&(self.locks.len() as u32).to_be_bytes());
+        for (k, id) in &self.locks {
+            out.extend_from_slice(&(k.len() as u32).to_be_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(id);
+        }
+        out.extend_from_slice(&(self.pending.len() as u32).to_be_bytes());
+        for (id, ops) in &self.pending {
+            out.extend_from_slice(id);
+            out.extend_from_slice(&(ops.len() as u32).to_be_bytes());
+            for (k, v) in ops {
+                out.extend_from_slice(&(k.len() as u32).to_be_bytes());
+                out.extend_from_slice(k);
+                out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                out.extend_from_slice(v);
+            }
+        }
+        out.extend_from_slice(&(self.decided_order.len() as u32).to_be_bytes());
+        for id in &self.decided_order {
+            out.extend_from_slice(id);
+            out.push(u8::from(self.decided[id]));
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> bool {
+        let mut rest = snapshot;
+        let take = |rest: &mut &[u8], n: usize| -> Option<Vec<u8>> {
+            if rest.len() < n {
+                return None;
+            }
+            let (head, tail) = rest.split_at(n);
+            *rest = tail;
+            Some(head.to_vec())
+        };
+        let len = |rest: &mut &[u8]| -> Option<usize> {
+            Some(u32::from_be_bytes(take(rest, 4)?.try_into().ok()?) as usize)
+        };
+        let field = |rest: &mut &[u8]| -> Option<Vec<u8>> {
+            let n = u32::from_be_bytes(take(rest, 4)?.try_into().ok()?) as usize;
+            take(rest, n)
+        };
+        let id_of = |bytes: Vec<u8>| -> Option<Digest> { bytes.as_slice().try_into().ok() };
+        let mut parse = || -> Option<TxnKvMachine> {
+            let mut m = TxnKvMachine::new();
+            let inner = field(&mut rest)?;
+            if !m.inner.restore(&inner) {
+                return None;
+            }
+            for _ in 0..len(&mut rest)? {
+                let k = field(&mut rest)?;
+                let id = id_of(take(&mut rest, 32)?)?;
+                m.locks.insert(k, id);
+            }
+            for _ in 0..len(&mut rest)? {
+                let id = id_of(take(&mut rest, 32)?)?;
+                let count = len(&mut rest)?;
+                if count > MAX_TXN_OPS {
+                    return None;
+                }
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ops.push((field(&mut rest)?, field(&mut rest)?));
+                }
+                m.pending.insert(id, ops);
+            }
+            let decided = len(&mut rest)?;
+            if decided > DECIDED_CAP {
+                return None;
+            }
+            for _ in 0..decided {
+                let id = id_of(take(&mut rest, 32)?)?;
+                let flag = *take(&mut rest, 1)?.first()?;
+                m.decided.insert(id, flag != 0);
+                m.decided_order.push_back(id);
+            }
+            if !rest.is_empty() {
+                return None;
+            }
+            Some(m)
+        };
+        match parse() {
+            Some(m) => {
+                *self = m;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(pairs: &[(&str, &str)]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn prepare_commit_applies_all_writes() {
+        let mut m = TxnKvMachine::new();
+        let ops = ops(&[("a", "1"), ("b", "2")]);
+        let id = txid(&ops);
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_prepare(&id, &ops)),
+            RESP_PREPARED
+        );
+        assert!(m.is_locked(b"a") && m.is_locked(b"b"));
+        // Reads pass through while locked; writes are refused.
+        assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"MISSING");
+        assert_eq!(m.apply(&KvMachine::encode_set(b"a", b"z")), RESP_LOCKED);
+        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id)), RESP_COMMITTED);
+        assert!(!m.is_locked(b"a"));
+        assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"VAL 1");
+        assert_eq!(m.apply(&KvMachine::encode_get(b"b")), b"VAL 2");
+        // Duplicate commit acks idempotently; late abort reports the
+        // standing decision.
+        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id)), RESP_COMMITTED);
+        assert_eq!(m.apply(&TxnKvMachine::encode_abort(&id)), RESP_COMMITTED);
+        assert_eq!(m.decision(&id), Some(true));
+    }
+
+    #[test]
+    fn conflicting_prepare_votes_abort_and_bars_commit() {
+        let mut m = TxnKvMachine::new();
+        let first = ops(&[("k", "1")]);
+        let second = ops(&[("k", "2"), ("other", "x")]);
+        let id1 = txid(&first);
+        let id2 = txid(&second);
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_prepare(&id1, &first)),
+            RESP_PREPARED
+        );
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_prepare(&id2, &second)),
+            RESP_ABORT_VOTE
+        );
+        // The refused transaction can never commit here, even if a
+        // (duplicated or misrouted) commit entry shows up later.
+        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id2)), RESP_ABORTED);
+        assert_eq!(m.apply(&KvMachine::encode_get(b"other")), b"MISSING");
+        // The first transaction is unaffected.
+        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id1)), RESP_COMMITTED);
+        assert_eq!(m.apply(&KvMachine::encode_get(b"k")), b"VAL 1");
+    }
+
+    #[test]
+    fn abort_releases_locks_and_discards_writes() {
+        let mut m = TxnKvMachine::new();
+        let ops = ops(&[("a", "1")]);
+        let id = txid(&ops);
+        m.apply(&TxnKvMachine::encode_prepare(&id, &ops));
+        assert_eq!(m.apply(&TxnKvMachine::encode_abort(&id)), RESP_ABORTED);
+        assert!(!m.is_locked(b"a"));
+        assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"MISSING");
+        // Idempotent; and a commit after the abort is refused.
+        assert_eq!(m.apply(&TxnKvMachine::encode_abort(&id)), RESP_ABORTED);
+        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id)), RESP_ABORTED);
+        // A never-prepared commit is refused outright.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&[7u8; 32])),
+            RESP_UNKNOWN
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_with_transaction_state() {
+        let mut m = TxnKvMachine::new();
+        m.apply(&KvMachine::encode_set(b"base", b"v"));
+        let committed = ops(&[("c", "1")]);
+        let cid = txid(&committed);
+        m.apply(&TxnKvMachine::encode_prepare(&cid, &committed));
+        m.apply(&TxnKvMachine::encode_commit(&cid));
+        let staged = ops(&[("p", "2")]);
+        let pid = txid(&staged);
+        m.apply(&TxnKvMachine::encode_prepare(&pid, &staged));
+        let snap = m.snapshot();
+        let mut fresh = TxnKvMachine::new();
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.snapshot(), snap, "canonical encoding");
+        assert!(fresh.is_locked(b"p"));
+        assert_eq!(fresh.decision(&cid), Some(true));
+        // Restored state continues the protocol correctly.
+        assert_eq!(
+            fresh.apply(&TxnKvMachine::encode_commit(&pid)),
+            RESP_COMMITTED
+        );
+        assert_eq!(fresh.apply(&KvMachine::encode_get(b"p")), b"VAL 2");
+        assert!(!fresh.restore(b"garbage"));
+        assert!(!fresh.restore(&snap[..snap.len() - 1]));
+    }
+
+    #[test]
+    fn decided_table_is_bounded() {
+        let mut m = TxnKvMachine::new();
+        for i in 0..(DECIDED_CAP + 10) {
+            let ops = vec![(format!("k{i}").into_bytes(), b"v".to_vec())];
+            let id = txid(&ops);
+            m.apply(&TxnKvMachine::encode_prepare(&id, &ops));
+            m.apply(&TxnKvMachine::encode_commit(&id));
+        }
+        assert_eq!(m.decided_order.len(), DECIDED_CAP);
+        assert_eq!(m.decided.len(), DECIDED_CAP);
+    }
+
+    #[test]
+    fn malformed_txn_ops_are_rejected() {
+        let mut m = TxnKvMachine::new();
+        assert_eq!(m.apply(b"P"), b"ERR malformed");
+        assert_eq!(m.apply(b"C123"), b"ERR malformed");
+        assert_eq!(m.apply(b"A"), b"ERR malformed");
+        let ops = ops(&[("a", "1")]);
+        let id = txid(&ops);
+        let mut truncated = TxnKvMachine::encode_prepare(&id, &ops);
+        truncated.pop();
+        assert_eq!(m.apply(&truncated), b"ERR malformed");
+        // An empty op list is meaningless and refused.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_prepare(&id, &[])),
+            b"ERR malformed"
+        );
+        assert_eq!(m.pending_txns(), 0);
+    }
+}

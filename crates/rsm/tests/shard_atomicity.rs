@@ -1,0 +1,386 @@
+//! Cross-shard atomicity campaign (ISSUE satellite 4).
+//!
+//! A sharded deployment's two-phase commit must never leave the system
+//! in a mixed state: **no shard applies a commit whose sibling
+//! prepared-then-aborted**. This suite attacks the 2PC path with the
+//! three fault shapes the issue names, each swept over seeded random
+//! schedules of the muxed [`ShardedNode`] simulation:
+//!
+//! 1. *Crashed coordinator shard* — the client dies between phases
+//!    (before any decision, and again halfway through the commit
+//!    fan-out) and a recovery pass must settle both shards on one
+//!    outcome.
+//! 2. *Partitioned participant shard* — one shard never receives the
+//!    prepare; the client's deadline drives presumed-abort everywhere.
+//! 3. *Duplicated commit entries* — replayed commit/abort traffic after
+//!    the decision must be idempotent, and in particular a duplicated
+//!    commit must not resurrect a transaction a shard already aborted.
+//!
+//! Machine-level duplicate delivery (the ordering layer dedups
+//! identical payloads in flight, so a sim-level replay can be absorbed
+//! upstream) is covered by `txn.rs` unit tests; here we assert the
+//! end-to-end invariant over whole replica groups.
+
+use sintra_adversary::structure::TrustStructure;
+use sintra_crypto::dealer::{Dealer, PublicParameters, ServerKeyBundle};
+use sintra_crypto::rng::SeededRng;
+use sintra_net::sim::{RandomScheduler, Simulation};
+use sintra_protocols::common::Tag;
+use sintra_rsm::client::TXN_ABORT_TICKS;
+use sintra_rsm::txn::{txid, TxnKvMachine};
+use sintra_rsm::{
+    shard_of, sharded_nodes, KvMachine, ReplicaConfig, Reply, RsmClient, ShardId, ShardedNode,
+    StateMachine, TxnOutcome,
+};
+
+const N: usize = 4;
+const GROUPS: usize = 2;
+const STEPS: u64 = 50_000_000;
+
+type Sim = Simulation<ShardedNode<TxnKvMachine>, RandomScheduler>;
+
+fn deal_groups(seed: u64) -> Vec<(PublicParameters, Vec<ServerKeyBundle>)> {
+    let ts = TrustStructure::threshold(N, (N - 1) / 3).unwrap();
+    (0..GROUPS)
+        .map(|i| {
+            let mut rng = SeededRng::new(seed.wrapping_add(i as u64).wrapping_mul(0x9e37));
+            Dealer::deal(&ts, &mut rng)
+        })
+        .collect()
+}
+
+fn build(seed: u64) -> (Sim, Vec<std::sync::Arc<PublicParameters>>) {
+    let groups = deal_groups(seed);
+    let publics = groups
+        .iter()
+        .map(|(p, _)| std::sync::Arc::new(p.clone()))
+        .collect();
+    let cfg = ReplicaConfig::new().seed(seed).ckpt_interval(4);
+    let nodes = sharded_nodes(&cfg, groups, |_, _| TxnKvMachine::new());
+    let sim = Simulation::builder(nodes, RandomScheduler)
+        .seed(seed ^ 0xdead)
+        .build();
+    (sim, publics)
+}
+
+/// A key owned by `shard` in the `GROUPS`-way deployment.
+fn key_on(shard: ShardId, hint: &str) -> Vec<u8> {
+    (0u32..)
+        .map(|i| format!("{hint}-{i}").into_bytes())
+        .find(|k| shard_of(k, GROUPS) == shard)
+        .expect("some key lands on every shard")
+}
+
+/// Injects each `(shard, payload)` at every party and runs the sim to
+/// quiescence (raw adversarial traffic — no client in the loop).
+fn inject(sim: &mut Sim, inputs: &[(ShardId, Vec<u8>)]) {
+    for (shard, payload) in inputs {
+        for p in 0..N {
+            sim.input(p, (*shard, payload.clone()));
+        }
+    }
+    sim.run_until_quiet(STEPS);
+}
+
+/// The campaign invariant: for transaction `id`, every party of every
+/// shard agrees on that shard's decision, per-shard state is
+/// byte-identical across parties, and no two shards decided
+/// differently (commit on one, abort on the other).
+fn assert_atomic(sim: &Sim, id: &sintra_protocols::common::Digest) {
+    let mut outcomes = Vec::new();
+    for shard in 0..GROUPS {
+        let lead = sim.node(0).unwrap().replica(shard);
+        let decision = lead.machine().decision(id);
+        let snap = lead.machine().snapshot();
+        for p in 1..N {
+            let m = sim.node(p).unwrap().replica(shard).machine();
+            assert_eq!(
+                m.decision(id),
+                decision,
+                "party {p} diverges on shard {shard}"
+            );
+            assert_eq!(
+                m.snapshot(),
+                snap,
+                "shard {shard} state differs at party {p}"
+            );
+        }
+        if let Some(d) = decision {
+            outcomes.push(d);
+        }
+    }
+    assert!(
+        !(outcomes.contains(&true) && outcomes.contains(&false)),
+        "mixed commit/abort across shards: {outcomes:?}"
+    );
+}
+
+/// Drives a client transaction against the sim: injects allowed sends
+/// at every replica of the target shard, feeds replies back, advances
+/// the client clock when the network quiesces without progress.
+fn drive(
+    sim: &mut Sim,
+    client: &mut RsmClient,
+    sends: Vec<(ShardId, Vec<u8>)>,
+    mut allow: impl FnMut(&(ShardId, Vec<u8>)) -> bool,
+) {
+    let mut consumed = [0usize; N];
+    let mut pending: Vec<(ShardId, Vec<u8>)> = sends.into_iter().filter(|s| allow(s)).collect();
+    for _ in 0..200 {
+        if client.result().is_some() {
+            return;
+        }
+        for (shard, payload) in pending.drain(..) {
+            for p in 0..N {
+                sim.input(p, (shard, payload.clone()));
+            }
+        }
+        sim.run_until_quiet(STEPS);
+        let mut next = Vec::new();
+        for (p, done) in consumed.iter_mut().enumerate() {
+            let outs: Vec<(ShardId, Reply)> = sim.outputs(p)[*done..].to_vec();
+            *done = sim.outputs(p).len();
+            for (s, r) in outs {
+                next.extend(client.on_reply(s, r));
+            }
+        }
+        if client.result().is_some() {
+            return;
+        }
+        if next.is_empty() {
+            for _ in 0..=TXN_ABORT_TICKS {
+                next = client.on_tick();
+                if !next.is_empty() || client.result().is_some() {
+                    break;
+                }
+            }
+        }
+        pending = next.into_iter().filter(|s| allow(s)).collect();
+    }
+    panic!("client did not settle within the iteration budget");
+}
+
+#[test]
+fn crashed_coordinator_before_decision_recovers_by_abort() {
+    for seed in [101u64, 202, 303] {
+        let (mut sim, _publics) = build(seed);
+        let ops = vec![
+            (key_on(0, "crash-a"), b"1".to_vec()),
+            (key_on(1, "crash-b"), b"2".to_vec()),
+        ];
+        let id = txid(&ops);
+        // Phase 1 lands on both shards; the coordinator then crashes
+        // without ever deciding.
+        for shard in 0..GROUPS {
+            let slice: Vec<_> = ops
+                .iter()
+                .filter(|(k, _)| shard_of(k, GROUPS) == shard)
+                .cloned()
+                .collect();
+            inject(
+                &mut sim,
+                &[(shard, TxnKvMachine::encode_prepare(&id, &slice))],
+            );
+        }
+        // Blocked-but-safe: both shards hold locks, nothing applied,
+        // nothing decided — in particular no partial commit.
+        for p in 0..N {
+            for shard in 0..GROUPS {
+                let m = sim.node(p).unwrap().replica(shard).machine();
+                assert_eq!(m.pending_txns(), 1, "seed {seed}: prepare staged");
+                assert_eq!(m.kv().len(), 0, "seed {seed}: nothing applied");
+                assert_eq!(m.decision(&id), None);
+            }
+        }
+        assert_atomic(&sim, &id);
+        // Recovery (presumed abort): a new client that finds no
+        // decision anywhere aborts the transaction on every shard.
+        inject(
+            &mut sim,
+            &[
+                (0, TxnKvMachine::encode_abort(&id)),
+                (1, TxnKvMachine::encode_abort(&id)),
+            ],
+        );
+        for p in 0..N {
+            for shard in 0..GROUPS {
+                let m = sim.node(p).unwrap().replica(shard).machine();
+                assert_eq!(m.decision(&id), Some(false), "seed {seed}");
+                assert_eq!(m.pending_txns(), 0);
+                assert_eq!(m.kv().len(), 0);
+            }
+        }
+        assert_atomic(&sim, &id);
+    }
+}
+
+#[test]
+fn crashed_coordinator_mid_commit_recovers_forward() {
+    for seed in [111u64, 222] {
+        let (mut sim, _publics) = build(seed);
+        let k0 = key_on(0, "fwd-a");
+        let k1 = key_on(1, "fwd-b");
+        let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
+        let id = txid(&ops);
+        for shard in 0..GROUPS {
+            let slice: Vec<_> = ops
+                .iter()
+                .filter(|(k, _)| shard_of(k, GROUPS) == shard)
+                .cloned()
+                .collect();
+            inject(
+                &mut sim,
+                &[(shard, TxnKvMachine::encode_prepare(&id, &slice))],
+            );
+        }
+        // The coordinator decided COMMIT, reached shard 0, and died.
+        inject(&mut sim, &[(0, TxnKvMachine::encode_commit(&id))]);
+        for p in 0..N {
+            let node = sim.node(p).unwrap();
+            assert_eq!(node.replica(0).machine().decision(&id), Some(true));
+            assert_eq!(node.replica(1).machine().decision(&id), None);
+            assert!(node.replica(1).machine().is_locked(&k1), "still staged");
+        }
+        // Once any shard committed, abort is no longer a legal recovery
+        // — and the machine enforces it against stray abort traffic.
+        inject(&mut sim, &[(0, TxnKvMachine::encode_abort(&id))]);
+        for p in 0..N {
+            let m = sim.node(p).unwrap().replica(0).machine();
+            assert_eq!(m.decision(&id), Some(true), "seed {seed}: commit stands");
+        }
+        // Recovery learns shard 0's commit decision and rolls forward.
+        inject(&mut sim, &[(1, TxnKvMachine::encode_commit(&id))]);
+        for p in 0..N {
+            for (shard, key, val) in [(0, &k0, b"1"), (1, &k1, b"2")] {
+                let node = sim.node(p).unwrap();
+                let mut probe = node.replica(shard).machine().clone();
+                let mut want = b"VAL ".to_vec();
+                want.extend_from_slice(val);
+                assert_eq!(
+                    probe.apply(&KvMachine::encode_get(key)),
+                    want,
+                    "seed {seed}"
+                );
+                assert!(!node.replica(shard).machine().is_locked(key));
+            }
+        }
+        assert_atomic(&sim, &id);
+    }
+}
+
+#[test]
+fn partitioned_participant_aborts_atomically() {
+    for seed in [7u64, 8, 9] {
+        let (mut sim, publics) = build(seed);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let k0 = key_on(0, "part-a");
+        let k1 = key_on(1, "part-b");
+        let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
+        let id = txid(&ops);
+        let sends = client.submit_txn(&ops);
+        // Shard 1 is partitioned away for the whole prepare phase; the
+        // client's deadline fires and presumed-abort settles both sides.
+        drive(&mut sim, &mut client, sends, |(shard, payload)| {
+            !(*shard == 1 && payload.first() == Some(&b'P'))
+        });
+        assert!(
+            matches!(client.result(), Some(TxnOutcome::Aborted)),
+            "seed {seed}: expected abort"
+        );
+        for p in 0..N {
+            let node = sim.node(p).unwrap();
+            assert!(!node.replica(0).machine().is_locked(&k0), "seed {seed}");
+            for shard in 0..GROUPS {
+                let m = node.replica(shard).machine();
+                assert_eq!(m.kv().len(), 0, "seed {seed}: no partial commit");
+                assert_eq!(m.decision(&id), Some(false), "seed {seed}");
+                assert_eq!(m.pending_txns(), 0);
+            }
+        }
+        assert_atomic(&sim, &id);
+    }
+}
+
+#[test]
+fn duplicated_traffic_after_commit_is_idempotent() {
+    for seed in [13u64, 14] {
+        let (mut sim, publics) = build(seed);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let ops = vec![
+            (key_on(0, "dup-a"), b"1".to_vec()),
+            (key_on(1, "dup-b"), b"2".to_vec()),
+        ];
+        let id = txid(&ops);
+        let sends = client.submit_txn(&ops);
+        drive(&mut sim, &mut client, sends, |_| true);
+        assert!(matches!(client.result(), Some(TxnOutcome::Committed)));
+        let snaps: Vec<Vec<u8>> = (0..GROUPS)
+            .map(|s| sim.node(0).unwrap().replica(s).machine().snapshot())
+            .collect();
+        // Replay the whole decision tail, twice, in both orders.
+        for shard in 0..GROUPS {
+            let slice: Vec<_> = ops
+                .iter()
+                .filter(|(k, _)| shard_of(k, GROUPS) == shard)
+                .cloned()
+                .collect();
+            inject(
+                &mut sim,
+                &[
+                    (shard, TxnKvMachine::encode_commit(&id)),
+                    (shard, TxnKvMachine::encode_abort(&id)),
+                    (shard, TxnKvMachine::encode_prepare(&id, &slice)),
+                    (shard, TxnKvMachine::encode_abort(&id)),
+                    (shard, TxnKvMachine::encode_commit(&id)),
+                ],
+            );
+        }
+        for (shard, snap) in snaps.iter().enumerate() {
+            for p in 0..N {
+                let m = sim.node(p).unwrap().replica(shard).machine();
+                assert_eq!(m.decision(&id), Some(true), "seed {seed}: commit stands");
+                assert_eq!(&m.snapshot(), snap, "seed {seed}: state unchanged");
+            }
+        }
+        assert_atomic(&sim, &id);
+    }
+}
+
+#[test]
+fn duplicated_commit_cannot_resurrect_aborted_txn() {
+    for seed in [21u64, 22, 23] {
+        let (mut sim, publics) = build(seed);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let k0 = key_on(0, "res-a");
+        let k1 = key_on(1, "res-b");
+        let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
+        let id = txid(&ops);
+        let sends = client.submit_txn(&ops);
+        // Partitioned participant again: the transaction aborts.
+        drive(&mut sim, &mut client, sends, |(shard, payload)| {
+            !(*shard == 1 && payload.first() == Some(&b'P'))
+        });
+        assert!(matches!(client.result(), Some(TxnOutcome::Aborted)));
+        // The adversary now replays commit entries for the aborted
+        // transaction at both shards — repeatedly. Shard 0 (which once
+        // prepared) must refuse via its decided table; shard 1 never
+        // prepared and must refuse the unknown commit.
+        for _ in 0..3 {
+            inject(
+                &mut sim,
+                &[
+                    (0, TxnKvMachine::encode_commit(&id)),
+                    (1, TxnKvMachine::encode_commit(&id)),
+                ],
+            );
+        }
+        for p in 0..N {
+            for shard in 0..GROUPS {
+                let m = sim.node(p).unwrap().replica(shard).machine();
+                assert_eq!(m.decision(&id), Some(false), "seed {seed}: abort stands");
+                assert_eq!(m.kv().len(), 0, "seed {seed}: no resurrection");
+            }
+        }
+        assert_atomic(&sim, &id);
+    }
+}
