@@ -16,7 +16,10 @@
 
 use crate::replica::{reply_message, Reply};
 use crate::shard_router::{shard_of, shard_tag, ShardId};
-use crate::txn::{txid, TxnKvMachine, RESP_ABORT_VOTE, RESP_PREPARED};
+use crate::txn::{
+    txid, txn_tokens, TxnKvMachine, TxnTokens, RESP_ABORTED, RESP_COMMITTED, RESP_PREPARED,
+    RESP_REFUSED,
+};
 use sintra_adversary::party::PartySet;
 use sintra_crypto::dealer::PublicParameters;
 use sintra_crypto::tsig::{QuorumRule, ThresholdSignature};
@@ -252,6 +255,14 @@ pub enum TxnOutcome {
     /// The transaction aborted (a shard voted no, or the prepare phase
     /// timed out) and every touched shard acknowledged the abort.
     Aborted,
+    /// A shard's verified answer contradicted the decision being driven
+    /// (e.g. `ABORTED` in reply to a commit entry). Impossible in the
+    /// honest-client model — the decision capabilities of
+    /// [`txn_tokens`] are never revealed for the other branch — so this
+    /// surfaces txid reuse by another submitter or replica compromise
+    /// beyond the tolerated structure. The transaction's effects are
+    /// unknown; do not retry blindly.
+    Indeterminate,
 }
 
 /// One in-flight phase of the sharded client.
@@ -264,8 +275,11 @@ enum Phase {
     },
     Prepare {
         id: Digest,
+        /// The decision capabilities: commit/abort entries reveal the
+        /// token for the branch taken, never the other one.
+        tokens: TxnTokens,
         /// Each touched shard's slice of the ops (kept to rebuild
-        /// nothing: commit/abort entries carry only the txid).
+        /// nothing: decision entries carry only the txid and token).
         shards: Vec<ShardId>,
         drivers: BTreeMap<ShardId, ResubmittingClient>,
         prepared: BTreeSet<ShardId>,
@@ -288,9 +302,11 @@ enum Phase {
 ///   owning the key;
 /// * [`submit_txn`](Self::submit_txn) drives presumed-abort two-phase
 ///   commit across every touched group: an ordered prepare entry per
-///   shard, then — only once *all* shards verifiably answered
-///   `PREPARED` — an ordered commit entry per shard; any abort vote or
-///   a prepare-phase timeout flips the decision to abort for all.
+///   shard (committing to the transaction's decision tokens), then —
+///   only once *all* shards verifiably answered `PREPARED` — an
+///   ordered commit entry per shard revealing the commit token; any
+///   abort vote or a prepare-phase timeout flips the decision to abort
+///   for all, revealing the abort token instead.
 ///
 /// The client is a passive automaton, like [`ResubmittingClient`]: the
 /// caller injects each returned `(shard, payload)` into every replica
@@ -301,17 +317,25 @@ enum Phase {
 pub struct RsmClient {
     tag: Tag,
     publics: Vec<Arc<PublicParameters>>,
+    /// Durable secret the per-transaction decision tokens derive from
+    /// ([`txn_tokens`]). Whoever holds it can decide this client's
+    /// in-flight transactions — keep it as private as a signing key,
+    /// and as durable: recovery after a coordinator crash needs it.
+    secret: Digest,
     phase: Phase,
 }
 
 impl RsmClient {
     /// Creates a client for a deployment of `publics.len()` groups with
-    /// base service tag `tag` (shard tags derive from it).
-    pub fn new(tag: Tag, publics: Vec<Arc<PublicParameters>>) -> Self {
+    /// base service tag `tag` (shard tags derive from it). `secret`
+    /// must be unpredictable to the adversary and durable across client
+    /// restarts — it is the transaction decision authority.
+    pub fn new(tag: Tag, publics: Vec<Arc<PublicParameters>>, secret: Digest) -> Self {
         assert!(!publics.is_empty());
         RsmClient {
             tag,
             publics,
+            secret,
             phase: Phase::Idle,
         }
     }
@@ -370,6 +394,8 @@ impl RsmClient {
         assert!(!self.is_busy(), "one request in flight at a time");
         assert!(!ops.is_empty(), "a transaction needs at least one op");
         let id = txid(ops);
+        let tokens = txn_tokens(&self.secret, &id);
+        let auth = tokens.auth();
         let mut by_shard: BTreeMap<ShardId, Vec<crate::txn::TxnOp>> = BTreeMap::new();
         for (k, v) in ops {
             by_shard
@@ -381,12 +407,13 @@ impl RsmClient {
         let mut drivers = BTreeMap::new();
         let shards: Vec<ShardId> = by_shard.keys().copied().collect();
         for (shard, slice) in by_shard {
-            let payload = TxnKvMachine::encode_prepare(&id, &slice);
+            let payload = TxnKvMachine::encode_prepare(&id, &auth, &slice);
             drivers.insert(shard, self.driver_for(shard, payload.clone()));
             sends.push((shard, payload));
         }
         self.phase = Phase::Prepare {
             id,
+            tokens,
             shards,
             drivers,
             prepared: BTreeSet::new(),
@@ -398,13 +425,19 @@ impl RsmClient {
     /// Flips the transaction into its decision phase: an ordered commit
     /// (or abort) entry per touched shard.
     fn decide(&mut self, commit: bool) -> Vec<(ShardId, Vec<u8>)> {
-        let Phase::Prepare { id, shards, .. } = &self.phase else {
+        let Phase::Prepare {
+            id, tokens, shards, ..
+        } = &self.phase
+        else {
             return Vec::new();
         };
+        // Reveal only the capability for the branch taken; the other
+        // token never leaves the client, so the decision can never be
+        // contradicted by a third party replaying this entry.
         let payload = if commit {
-            TxnKvMachine::encode_commit(id)
+            TxnKvMachine::encode_commit(id, &tokens.commit)
         } else {
-            TxnKvMachine::encode_abort(id)
+            TxnKvMachine::encode_abort(id, &tokens.abort)
         };
         let mut drivers = BTreeMap::new();
         let mut sends = Vec::with_capacity(shards.len());
@@ -450,12 +483,19 @@ impl RsmClient {
                         return self.decide(true);
                     }
                     Vec::new()
-                } else if answer.response == RESP_ABORT_VOTE {
-                    self.decide(false)
+                } else if answer.response == RESP_COMMITTED {
+                    // The transaction already committed on this shard —
+                    // a prior incarnation of this client (same secret,
+                    // same txid) reached the commit decision before
+                    // crashing. Commit is the only safe direction: every
+                    // shard must have prepared back then, so the commit
+                    // entries will apply or ack idempotently.
+                    self.decide(true)
                 } else {
-                    // An unexpected verified answer (e.g. a stale
-                    // decision surfacing): presume abort — always safe
-                    // before any commit entry was issued.
+                    // Abort vote, or any other verified answer (e.g. a
+                    // stale abort decision surfacing): presume abort —
+                    // safe because no commit entry was issued and the
+                    // commit token is still secret.
                     self.decide(false)
                 }
             }
@@ -465,11 +505,29 @@ impl RsmClient {
                 acked,
             } => {
                 let committed = *commit;
-                if let Some(driver) = drivers.get_mut(&shard) {
-                    if driver.on_reply(reply).is_some() {
-                        acked.insert(shard);
-                    }
+                let Some(driver) = drivers.get_mut(&shard) else {
+                    return Vec::new();
+                };
+                let Some(answer) = driver.on_reply(reply) else {
+                    return Vec::new();
+                };
+                // An ack must echo the decision being driven. A commit
+                // answered `ABORTED` (or an abort answered `COMMITTED`)
+                // means the shard decided the other way — counting it as
+                // an ack would report an outcome some shard contradicts.
+                let acks_decision = if committed {
+                    answer.response == RESP_COMMITTED
+                } else {
+                    // `REFUSED` acks an abort: it proves the stage under
+                    // this txid is not ours (token mismatch), so none of
+                    // our writes are staged there — nothing to abort.
+                    answer.response == RESP_ABORTED || answer.response == RESP_REFUSED
+                };
+                if !acks_decision {
+                    self.phase = Phase::Done(TxnOutcome::Indeterminate);
+                    return Vec::new();
                 }
+                acked.insert(shard);
                 if acked.len() == drivers.len() {
                     self.phase = Phase::Done(if committed {
                         TxnOutcome::Committed
@@ -820,7 +878,7 @@ mod tests {
         let cfg = ReplicaConfig::new().seed(50).ckpt_interval(4);
         let nodes = sharded_nodes(&cfg, groups, |_, _| TxnKvMachine::new());
         let mut sim = Simulation::builder(nodes, RandomScheduler).seed(51).build();
-        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics, [7u8; 32]);
         assert_eq!(client.groups(), 2);
         let key = b"route-me";
         let shard = client.shard_for(key);
@@ -849,7 +907,7 @@ mod tests {
         let cfg = ReplicaConfig::new().seed(60).ckpt_interval(4);
         let nodes = sharded_nodes(&cfg, groups, |_, _| TxnKvMachine::new());
         let mut sim = Simulation::builder(nodes, RandomScheduler).seed(61).build();
-        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics, [7u8; 32]);
         let ops = vec![
             (key_on(0, 2, "left"), b"1".to_vec()),
             (key_on(1, 2, "right"), b"2".to_vec()),
@@ -882,7 +940,7 @@ mod tests {
         let cfg = ReplicaConfig::new().seed(70).ckpt_interval(4);
         let nodes = sharded_nodes(&cfg, groups, |_, _| TxnKvMachine::new());
         let mut sim = Simulation::builder(nodes, RandomScheduler).seed(71).build();
-        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics, [7u8; 32]);
         let k0 = key_on(0, 2, "here");
         let k1 = key_on(1, 2, "gone");
         let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];

@@ -36,4 +36,4 @@ pub use shard_router::{
     ShardReply, ShardedNode, MAX_SHARDS,
 };
 pub use state::{EchoMachine, KvMachine, StateMachine};
-pub use txn::TxnKvMachine;
+pub use txn::{txid, txn_tokens, TxnAuth, TxnKvMachine, TxnTokens};

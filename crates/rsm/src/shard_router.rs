@@ -62,10 +62,16 @@ pub fn shard_tag(base: &Tag, shard: ShardId) -> Tag {
 }
 
 /// Specializes a deployment-wide config to one shard: the tag becomes
-/// the shard's child tag and the shard identity is stamped (driving the
-/// per-shard metric labels).
+/// the shard's child tag, the shard identity is stamped (driving the
+/// per-shard metric labels), and the rng seed is domain-separated per
+/// shard — party p's replicas across groups must not share a
+/// signing-share randomness stream any more than they share tags.
 pub fn shard_config(cfg: &ReplicaConfig, shard: ShardId) -> ReplicaConfig {
-    cfg.clone().tag(shard_tag(&cfg.tag, shard)).shard(shard)
+    let seed = cfg.seed ^ (shard as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    cfg.clone()
+        .tag(shard_tag(&cfg.tag, shard))
+        .shard(shard)
+        .seed(seed)
 }
 
 /// Wire envelope of the muxed deployment: one group's replica traffic,
@@ -317,6 +323,16 @@ mod tests {
         let cfg = shard_config(&ReplicaConfig::new(), 2);
         assert_eq!(cfg.tag, shard_tag(&Tag::root("rsm"), 2));
         assert_eq!(cfg.shard, Some(2));
+        // Rng streams are shard-separated like the tags: the same party
+        // in different groups draws from different seeds.
+        let base = ReplicaConfig::new().seed(7);
+        let seeds: Vec<u64> = (0..4).map(|s| shard_config(&base, s).seed).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            assert_ne!(*a, base.seed);
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b, "per-shard seeds must differ");
+            }
+        }
     }
 
     #[test]

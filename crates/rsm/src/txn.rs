@@ -12,23 +12,63 @@
 //! a shard take identical lock/commit/abort decisions — the machine
 //! below stays deterministic, which is all the replication layer asks.
 //!
-//! Abort rules (who may refuse what):
+//! ## Decision authority
+//!
+//! Ordered entries are visible to every replica of a shard, including
+//! Byzantine ones, and anyone can order entries. If any party could
+//! decide any prepared transaction, an adversary could race an abort
+//! entry onto shard B while the coordinator's commit lands on shard A —
+//! exactly the mixed commit/abort state two-phase commit exists to
+//! prevent. Decisions are therefore capability-gated: the prepare entry
+//! carries hash commitments to two fresh tokens ([`TxnAuth`]), and a
+//! commit or abort entry for a *prepared* transaction must reveal the
+//! matching preimage. The submitting client derives both tokens from a
+//! durable secret ([`txn_tokens`]) and reveals only the one for the
+//! decision it takes, so:
+//!
+//! * nobody but the client can decide a prepared transaction;
+//! * once the client commits, the revealed commit token lets anyone
+//!   *roll the commit forward* to the remaining shards (helping
+//!   recovery), but the abort token stays secret, so the standing
+//!   decision can never be contradicted — and symmetrically for abort;
+//! * a Byzantine client revealing both tokens can only destroy the
+//!   atomicity of *its own* transaction, which it could equally do by
+//!   writing different values per shard in the first place. The
+//!   guarantee is for honest clients.
+//!
+//! ## Abort rules (who may refuse what)
 //!
 //! * a **prepare** votes abort iff one of its keys is locked by a
 //!   different in-flight transaction, or the transaction is already
 //!   decided aborted — and the refusal itself is recorded as a decided
-//!   abort, so the transaction can never commit here later;
-//! * a **commit** applies iff the transaction is pending-prepared; a
-//!   duplicate commit after the fact acks idempotently, a commit for an
-//!   aborted or never-prepared transaction is refused without touching
-//!   state;
-//! * an **abort** always succeeds and is idempotent: locks release,
-//!   staged writes drop, the decision is recorded.
+//!   abort, so the transaction can never commit here later. A prepare
+//!   whose txid is already staged must match the staged content
+//!   (ops *and* token commitments) byte-for-byte: a duplicate acks
+//!   `PREPARED`, a mismatch is refused without touching the staged
+//!   transaction — so an adversary who learns a victim's txid can
+//!   neither hijack the staged writes nor kill the staged transaction
+//!   by replaying the id with different content;
+//! * a **commit** applies iff the transaction is pending-prepared and
+//!   the entry reveals the commit-token preimage; a duplicate commit
+//!   after the fact acks idempotently, a commit for an aborted or
+//!   never-prepared transaction is refused without touching state;
+//! * an **abort** of a *prepared* transaction requires the abort-token
+//!   preimage; an abort of an unknown transaction always succeeds and
+//!   records a decided abort (presumed abort — a shard that never
+//!   prepared can never commit, so the record only bars a future
+//!   prepare; the cost of an adversary pre-poisoning a txid it guessed
+//!   is one aborted transaction, not a safety violation).
 //!
 //! Prepared entries are *not* unilaterally timed out by replicas: only
-//! an ordered abort entry (driven by the client, or by anyone on the
-//! client's behalf — aborting an abandoned transaction is always safe)
-//! releases the locks. A replica-local timeout would break determinism.
+//! an ordered abort entry releases the locks (a replica-local timeout
+//! would break determinism). The flip side of capability-gating is
+//! that a coordinator that crashes *after* preparing and loses its
+//! secret leaves the prepared transaction blocked — the classic 2PC
+//! blocking window. Recovery requires the client's durable secret
+//! (tokens are re-derivable from it via [`txn_tokens`]); with the
+//! secret, presumed-abort recovery is: abort everywhere, unless some
+//! shard already committed, in which case roll the revealed commit
+//! token forward.
 
 use crate::state::{KvMachine, StateMachine};
 use sintra_protocols::common::{digest, Digest};
@@ -55,14 +95,20 @@ pub const RESP_ABORTED: &[u8] = b"TXN ABORTED";
 pub const RESP_UNKNOWN: &[u8] = b"ERR unknown-txn";
 /// Refusal of a single-key write whose key is locked by a transaction.
 pub const RESP_LOCKED: &[u8] = b"ERR locked";
+/// Refusal of an entry that fails the capability check: a commit/abort
+/// of a prepared transaction without the matching token preimage, or a
+/// prepare reusing a staged txid with different content. State is never
+/// touched on this answer.
+pub const RESP_REFUSED: &[u8] = b"ERR txn-auth";
 
 /// One transaction write: `(key, value)`.
 pub type TxnOp = (Vec<u8>, Vec<u8>);
 
 /// The transaction id: a digest over the *full* canonical operation
 /// list (all shards' writes), so every shard's prepare names the same
-/// transaction and a Byzantine client cannot present different op-sets
-/// under one id without forging the digest.
+/// transaction. A shard only ever sees its own slice and cannot verify
+/// the digest; binding is enforced locally instead — a staged txid
+/// only accepts byte-identical re-prepares (see the module doc).
 pub fn txid(ops: &[(Vec<u8>, Vec<u8>)]) -> Digest {
     let mut bytes = b"txn".to_vec();
     bytes.extend_from_slice(&(ops.len() as u32).to_be_bytes());
@@ -75,6 +121,63 @@ pub fn txid(ops: &[(Vec<u8>, Vec<u8>)]) -> Digest {
     digest(&bytes)
 }
 
+/// Hash commitments to a transaction's two decision capabilities,
+/// carried by every prepare entry and staged with the pending
+/// transaction. Revealing the `h_commit` preimage authorizes commit,
+/// the `h_abort` preimage authorizes abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnAuth {
+    /// Digest of the commit token.
+    pub h_commit: Digest,
+    /// Digest of the abort token.
+    pub h_abort: Digest,
+}
+
+/// The decision capability tokens held by the submitting client. Only
+/// the token for the decision actually taken is ever revealed on the
+/// wire; the other hash preimage stays secret forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnTokens {
+    /// Preimage revealed by a commit entry.
+    pub commit: Digest,
+    /// Preimage revealed by an abort entry.
+    pub abort: Digest,
+}
+
+impl TxnTokens {
+    /// The hash commitments a prepare entry carries for these tokens.
+    pub fn auth(&self) -> TxnAuth {
+        TxnAuth {
+            h_commit: digest(&self.commit),
+            h_abort: digest(&self.abort),
+        }
+    }
+}
+
+/// Derives a transaction's decision tokens from the client's durable
+/// secret. Deterministic in `(secret, id)`, so a client (or a recovery
+/// agent holding the secret) can re-derive the tokens of a crashed
+/// coordinator's in-flight transaction.
+pub fn txn_tokens(secret: &Digest, id: &Digest) -> TxnTokens {
+    let derive = |label: &[u8]| {
+        let mut bytes = label.to_vec();
+        bytes.extend_from_slice(secret);
+        bytes.extend_from_slice(id);
+        digest(&bytes)
+    };
+    TxnTokens {
+        commit: derive(b"txn-commit"),
+        abort: derive(b"txn-abort"),
+    }
+}
+
+/// A staged (prepared, undecided) transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PendingTxn {
+    auth: TxnAuth,
+    ops: Vec<TxnOp>,
+}
+
 /// A key-value machine with two-phase-commit hooks. Wraps [`KvMachine`]
 /// for plain `set`/`get` traffic and adds three transaction ops in the
 /// same one-byte-discriminant framing (`P`repare / `C`ommit / `A`bort).
@@ -83,8 +186,9 @@ pub struct TxnKvMachine {
     inner: KvMachine,
     /// Keys locked by an in-flight prepared transaction.
     locks: BTreeMap<Vec<u8>, Digest>,
-    /// Staged writes of prepared transactions, keyed by txid.
-    pending: BTreeMap<Digest, Vec<TxnOp>>,
+    /// Staged writes and token commitments of prepared transactions,
+    /// keyed by txid.
+    pending: BTreeMap<Digest, PendingTxn>,
     /// Recent decisions: txid → committed? Pruned FIFO at
     /// [`DECIDED_CAP`]; `decided_order` is the (deterministic)
     /// insertion order the pruning follows.
@@ -98,10 +202,13 @@ impl TxnKvMachine {
         Self::default()
     }
 
-    /// Encodes a prepare entry for one shard's slice of the ops.
-    pub fn encode_prepare(id: &Digest, ops: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    /// Encodes a prepare entry for one shard's slice of the ops,
+    /// committing to the transaction's decision tokens.
+    pub fn encode_prepare(id: &Digest, auth: &TxnAuth, ops: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
         let mut out = vec![b'P'];
         out.extend_from_slice(id);
+        out.extend_from_slice(&auth.h_commit);
+        out.extend_from_slice(&auth.h_abort);
         out.extend_from_slice(&(ops.len() as u32).to_be_bytes());
         for (k, v) in ops {
             out.extend_from_slice(&(k.len() as u32).to_be_bytes());
@@ -112,17 +219,19 @@ impl TxnKvMachine {
         out
     }
 
-    /// Encodes a commit entry.
-    pub fn encode_commit(id: &Digest) -> Vec<u8> {
+    /// Encodes a commit entry revealing the commit token.
+    pub fn encode_commit(id: &Digest, token: &Digest) -> Vec<u8> {
         let mut out = vec![b'C'];
         out.extend_from_slice(id);
+        out.extend_from_slice(token);
         out
     }
 
-    /// Encodes an abort entry.
-    pub fn encode_abort(id: &Digest) -> Vec<u8> {
+    /// Encodes an abort entry revealing the abort token.
+    pub fn encode_abort(id: &Digest, token: &Digest) -> Vec<u8> {
         let mut out = vec![b'A'];
         out.extend_from_slice(id);
+        out.extend_from_slice(token);
         out
     }
 
@@ -158,14 +267,14 @@ impl TxnKvMachine {
         }
     }
 
-    fn release(&mut self, id: &Digest) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
-        let ops = self.pending.remove(id)?;
+    fn release(&mut self, id: &Digest) -> Option<Vec<TxnOp>> {
+        let staged = self.pending.remove(id)?;
         self.locks.retain(|_, holder| holder != id);
-        Some(ops)
+        Some(staged.ops)
     }
 
     fn apply_prepare(&mut self, rest: &[u8]) -> Vec<u8> {
-        let Some((id, ops)) = decode_prepare_body(rest) else {
+        let Some((id, auth, ops)) = decode_prepare_body(rest) else {
             return b"ERR malformed".to_vec();
         };
         match self.decided.get(&id) {
@@ -173,8 +282,16 @@ impl TxnKvMachine {
             Some(false) => return RESP_ABORT_VOTE.to_vec(),
             None => {}
         }
-        if self.pending.contains_key(&id) {
-            return RESP_PREPARED.to_vec(); // duplicate prepare
+        if let Some(staged) = self.pending.get(&id) {
+            if staged.auth == auth && staged.ops == ops {
+                return RESP_PREPARED.to_vec(); // duplicate prepare
+            }
+            // Same txid, different content: someone is replaying the id
+            // (a front-runner hijacking a victim's txid, or vice versa).
+            // Refuse *without* touching the staged transaction — killing
+            // it here would hand third parties the abort capability the
+            // token scheme exists to withhold.
+            return RESP_REFUSED.to_vec();
         }
         if ops.iter().any(|(k, _)| {
             self.locks
@@ -189,15 +306,19 @@ impl TxnKvMachine {
         for (k, _) in &ops {
             self.locks.insert(k.clone(), id);
         }
-        self.pending.insert(id, ops);
+        self.pending.insert(id, PendingTxn { auth, ops });
         RESP_PREPARED.to_vec()
     }
 
     fn apply_commit(&mut self, rest: &[u8]) -> Vec<u8> {
-        let Ok(id) = Digest::try_from(rest) else {
+        let Some((id, token)) = decode_decision_body(rest) else {
             return b"ERR malformed".to_vec();
         };
-        if let Some(ops) = self.release(&id) {
+        if let Some(staged) = self.pending.get(&id) {
+            if digest(&token) != staged.auth.h_commit {
+                return RESP_REFUSED.to_vec();
+            }
+            let ops = self.release(&id).expect("pending entry just observed");
             for (k, v) in ops {
                 self.inner.apply(&KvMachine::encode_set(&k, &v));
             }
@@ -215,24 +336,40 @@ impl TxnKvMachine {
     }
 
     fn apply_abort(&mut self, rest: &[u8]) -> Vec<u8> {
-        let Ok(id) = Digest::try_from(rest) else {
+        let Some((id, token)) = decode_decision_body(rest) else {
             return b"ERR malformed".to_vec();
         };
         if self.decision(&id) == Some(true) {
             // An ordered commit beat the abort here: the decision
-            // stands (the coordinator never issues both, so this arises
-            // only from duplicated/forged traffic).
+            // stands. (With token gating this arises only from an
+            // honest roll-forward racing a Byzantine client's own
+            // double-decision, or duplicated traffic.)
             return RESP_COMMITTED.to_vec();
         }
-        self.release(&id);
+        if let Some(staged) = self.pending.get(&id) {
+            // The prepared window is exactly where a forged abort could
+            // contradict a commit landing on a sibling shard: require
+            // the abort capability.
+            if digest(&token) != staged.auth.h_abort {
+                return RESP_REFUSED.to_vec();
+            }
+            self.release(&id);
+            self.record_decision(id, false);
+            return RESP_ABORTED.to_vec();
+        }
+        // Not prepared here (or already decided aborted): presumed
+        // abort. No capability needed — a shard that never prepared can
+        // never commit, so the record only bars a future prepare.
         self.record_decision(id, false);
         RESP_ABORTED.to_vec()
     }
 }
 
-fn decode_prepare_body(rest: &[u8]) -> Option<(Digest, Vec<TxnOp>)> {
+fn decode_prepare_body(rest: &[u8]) -> Option<(Digest, TxnAuth, Vec<TxnOp>)> {
     let id: Digest = rest.get(..32)?.try_into().ok()?;
-    let mut rest = rest.get(32..)?;
+    let h_commit: Digest = rest.get(32..64)?.try_into().ok()?;
+    let h_abort: Digest = rest.get(64..96)?.try_into().ok()?;
+    let mut rest = rest.get(96..)?;
     let take = |rest: &mut &[u8], n: usize| -> Option<Vec<u8>> {
         if rest.len() < n {
             return None;
@@ -256,7 +393,16 @@ fn decode_prepare_body(rest: &[u8]) -> Option<(Digest, Vec<TxnOp>)> {
     if !rest.is_empty() {
         return None;
     }
-    Some((id, ops))
+    Some((id, TxnAuth { h_commit, h_abort }, ops))
+}
+
+fn decode_decision_body(rest: &[u8]) -> Option<(Digest, Digest)> {
+    if rest.len() != 64 {
+        return None;
+    }
+    let id: Digest = rest[..32].try_into().ok()?;
+    let token: Digest = rest[32..].try_into().ok()?;
+    Some((id, token))
 }
 
 impl StateMachine for TxnKvMachine {
@@ -281,8 +427,9 @@ impl StateMachine for TxnKvMachine {
 
     fn snapshot(&self) -> Vec<u8> {
         // Canonical: inner snapshot length-prefixed, then locks
-        // (BTreeMap order), staged ops (BTreeMap order), decisions
-        // (deterministic FIFO order, flag per entry).
+        // (BTreeMap order), staged transactions with their token
+        // commitments (BTreeMap order), decisions (deterministic FIFO
+        // order, flag per entry).
         let inner = self.inner.snapshot();
         let mut out = (inner.len() as u32).to_be_bytes().to_vec();
         out.extend_from_slice(&inner);
@@ -293,10 +440,12 @@ impl StateMachine for TxnKvMachine {
             out.extend_from_slice(id);
         }
         out.extend_from_slice(&(self.pending.len() as u32).to_be_bytes());
-        for (id, ops) in &self.pending {
+        for (id, staged) in &self.pending {
             out.extend_from_slice(id);
-            out.extend_from_slice(&(ops.len() as u32).to_be_bytes());
-            for (k, v) in ops {
+            out.extend_from_slice(&staged.auth.h_commit);
+            out.extend_from_slice(&staged.auth.h_abort);
+            out.extend_from_slice(&(staged.ops.len() as u32).to_be_bytes());
+            for (k, v) in &staged.ops {
                 out.extend_from_slice(&(k.len() as u32).to_be_bytes());
                 out.extend_from_slice(k);
                 out.extend_from_slice(&(v.len() as u32).to_be_bytes());
@@ -338,19 +487,26 @@ impl StateMachine for TxnKvMachine {
             for _ in 0..len(&mut rest)? {
                 let k = field(&mut rest)?;
                 let id = id_of(take(&mut rest, 32)?)?;
-                m.locks.insert(k, id);
+                if m.locks.insert(k, id).is_some() {
+                    return None; // duplicate lock key
+                }
             }
             for _ in 0..len(&mut rest)? {
                 let id = id_of(take(&mut rest, 32)?)?;
+                let h_commit = id_of(take(&mut rest, 32)?)?;
+                let h_abort = id_of(take(&mut rest, 32)?)?;
                 let count = len(&mut rest)?;
-                if count > MAX_TXN_OPS {
+                if count == 0 || count > MAX_TXN_OPS {
                     return None;
                 }
                 let mut ops = Vec::with_capacity(count);
                 for _ in 0..count {
                     ops.push((field(&mut rest)?, field(&mut rest)?));
                 }
-                m.pending.insert(id, ops);
+                let auth = TxnAuth { h_commit, h_abort };
+                if m.pending.insert(id, PendingTxn { auth, ops }).is_some() {
+                    return None; // duplicate staged txid
+                }
             }
             let decided = len(&mut rest)?;
             if decided > DECIDED_CAP {
@@ -359,11 +515,27 @@ impl StateMachine for TxnKvMachine {
             for _ in 0..decided {
                 let id = id_of(take(&mut rest, 32)?)?;
                 let flag = *take(&mut rest, 1)?.first()?;
-                m.decided.insert(id, flag != 0);
+                if flag > 1 {
+                    return None; // non-canonical decision flag
+                }
+                if m.decided.insert(id, flag != 0).is_some() {
+                    return None; // duplicate decided id (skews pruning)
+                }
                 m.decided_order.push_back(id);
             }
             if !rest.is_empty() {
                 return None;
+            }
+            // Semantic consistency no honest execution can violate:
+            // every lock is held by a staged transaction, and every
+            // staged transaction's keys are locked by exactly it.
+            if !m.locks.values().all(|holder| m.pending.contains_key(holder)) {
+                return None;
+            }
+            for (id, staged) in &m.pending {
+                if !staged.ops.iter().all(|(k, _)| m.locks.get(k) == Some(id)) {
+                    return None;
+                }
             }
             Some(m)
         };
@@ -388,27 +560,45 @@ mod tests {
             .collect()
     }
 
+    const SECRET: Digest = [42u8; 32];
+
+    /// `(id, tokens, auth)` for an op list under the test secret.
+    fn keys_for(ops: &[(Vec<u8>, Vec<u8>)]) -> (Digest, TxnTokens, TxnAuth) {
+        let id = txid(ops);
+        let tokens = txn_tokens(&SECRET, &id);
+        (id, tokens, tokens.auth())
+    }
+
     #[test]
     fn prepare_commit_applies_all_writes() {
         let mut m = TxnKvMachine::new();
         let ops = ops(&[("a", "1"), ("b", "2")]);
-        let id = txid(&ops);
+        let (id, tokens, auth) = keys_for(&ops);
         assert_eq!(
-            m.apply(&TxnKvMachine::encode_prepare(&id, &ops)),
+            m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &ops)),
             RESP_PREPARED
         );
         assert!(m.is_locked(b"a") && m.is_locked(b"b"));
         // Reads pass through while locked; writes are refused.
         assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"MISSING");
         assert_eq!(m.apply(&KvMachine::encode_set(b"a", b"z")), RESP_LOCKED);
-        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id)), RESP_COMMITTED);
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id, &tokens.commit)),
+            RESP_COMMITTED
+        );
         assert!(!m.is_locked(b"a"));
         assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"VAL 1");
         assert_eq!(m.apply(&KvMachine::encode_get(b"b")), b"VAL 2");
-        // Duplicate commit acks idempotently; late abort reports the
-        // standing decision.
-        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id)), RESP_COMMITTED);
-        assert_eq!(m.apply(&TxnKvMachine::encode_abort(&id)), RESP_COMMITTED);
+        // Duplicate commit acks idempotently; late abort (even with the
+        // genuine abort token) reports the standing decision.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id, &tokens.commit)),
+            RESP_COMMITTED
+        );
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_abort(&id, &tokens.abort)),
+            RESP_COMMITTED
+        );
         assert_eq!(m.decision(&id), Some(true));
     }
 
@@ -417,22 +607,28 @@ mod tests {
         let mut m = TxnKvMachine::new();
         let first = ops(&[("k", "1")]);
         let second = ops(&[("k", "2"), ("other", "x")]);
-        let id1 = txid(&first);
-        let id2 = txid(&second);
+        let (id1, tokens1, auth1) = keys_for(&first);
+        let (id2, tokens2, auth2) = keys_for(&second);
         assert_eq!(
-            m.apply(&TxnKvMachine::encode_prepare(&id1, &first)),
+            m.apply(&TxnKvMachine::encode_prepare(&id1, &auth1, &first)),
             RESP_PREPARED
         );
         assert_eq!(
-            m.apply(&TxnKvMachine::encode_prepare(&id2, &second)),
+            m.apply(&TxnKvMachine::encode_prepare(&id2, &auth2, &second)),
             RESP_ABORT_VOTE
         );
-        // The refused transaction can never commit here, even if a
-        // (duplicated or misrouted) commit entry shows up later.
-        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id2)), RESP_ABORTED);
+        // The refused transaction can never commit here, even with its
+        // genuine commit token.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id2, &tokens2.commit)),
+            RESP_ABORTED
+        );
         assert_eq!(m.apply(&KvMachine::encode_get(b"other")), b"MISSING");
         // The first transaction is unaffected.
-        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id1)), RESP_COMMITTED);
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id1, &tokens1.commit)),
+            RESP_COMMITTED
+        );
         assert_eq!(m.apply(&KvMachine::encode_get(b"k")), b"VAL 1");
     }
 
@@ -440,19 +636,124 @@ mod tests {
     fn abort_releases_locks_and_discards_writes() {
         let mut m = TxnKvMachine::new();
         let ops = ops(&[("a", "1")]);
-        let id = txid(&ops);
-        m.apply(&TxnKvMachine::encode_prepare(&id, &ops));
-        assert_eq!(m.apply(&TxnKvMachine::encode_abort(&id)), RESP_ABORTED);
+        let (id, tokens, auth) = keys_for(&ops);
+        m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &ops));
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_abort(&id, &tokens.abort)),
+            RESP_ABORTED
+        );
         assert!(!m.is_locked(b"a"));
         assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"MISSING");
         // Idempotent; and a commit after the abort is refused.
-        assert_eq!(m.apply(&TxnKvMachine::encode_abort(&id)), RESP_ABORTED);
-        assert_eq!(m.apply(&TxnKvMachine::encode_commit(&id)), RESP_ABORTED);
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_abort(&id, &tokens.abort)),
+            RESP_ABORTED
+        );
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id, &tokens.commit)),
+            RESP_ABORTED
+        );
         // A never-prepared commit is refused outright.
         assert_eq!(
-            m.apply(&TxnKvMachine::encode_commit(&[7u8; 32])),
+            m.apply(&TxnKvMachine::encode_commit(&[7u8; 32], &tokens.commit)),
             RESP_UNKNOWN
         );
+    }
+
+    #[test]
+    fn decision_entries_require_the_matching_token() {
+        // The review's race: all shards prepared, and an adversary who
+        // watched the ordered prepare tries to abort here while the
+        // coordinator's commit lands on a sibling shard. Without the
+        // abort-token preimage the machine must refuse, leaving the
+        // stage intact for the commit.
+        let mut m = TxnKvMachine::new();
+        let ops = ops(&[("a", "1")]);
+        let (id, tokens, auth) = keys_for(&ops);
+        m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &ops));
+        // Forged token, and the (visible) hash commitments themselves.
+        for bad in [[0xAAu8; 32], auth.h_abort, auth.h_commit] {
+            assert_eq!(
+                m.apply(&TxnKvMachine::encode_abort(&id, &bad)),
+                RESP_REFUSED
+            );
+        }
+        // Cross-capability replay: once a commit is ordered anywhere its
+        // token is public — it still must not authorize an abort.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_abort(&id, &tokens.commit)),
+            RESP_REFUSED
+        );
+        // Nor does the abort token authorize a commit.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id, &tokens.abort)),
+            RESP_REFUSED
+        );
+        assert!(m.is_locked(b"a"), "stage survives every forgery");
+        assert_eq!(m.decision(&id), None);
+        // The real capabilities still work.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id, &tokens.commit)),
+            RESP_COMMITTED
+        );
+        assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"VAL 1");
+    }
+
+    #[test]
+    fn abort_of_unknown_txn_is_presumed_abort() {
+        // No stage, no capability check: recording the abort is safe
+        // because a shard that never prepared can never commit.
+        let mut m = TxnKvMachine::new();
+        let id = [9u8; 32];
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_abort(&id, &[0u8; 32])),
+            RESP_ABORTED
+        );
+        assert_eq!(m.decision(&id), Some(false));
+        // A late prepare for the poisoned id votes abort.
+        let ops = ops(&[("x", "1")]);
+        let auth = txn_tokens(&SECRET, &id).auth();
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &ops)),
+            RESP_ABORT_VOTE
+        );
+        assert_eq!(m.pending_txns(), 0);
+    }
+
+    #[test]
+    fn mismatched_reprepare_cannot_hijack_or_kill_stage() {
+        let mut m = TxnKvMachine::new();
+        let victim_ops = ops(&[("a", "1")]);
+        let (id, tokens, auth) = keys_for(&victim_ops);
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &victim_ops)),
+            RESP_PREPARED
+        );
+        // An attacker replays the victim's txid with its own content —
+        // different ops, different token commitments, or both.
+        let evil_ops = ops(&[("a", "evil")]);
+        let evil_auth = txn_tokens(&[66u8; 32], &id).auth();
+        for (ops_case, auth_case) in [
+            (&evil_ops, &auth),
+            (&victim_ops, &evil_auth),
+            (&evil_ops, &evil_auth),
+        ] {
+            assert_eq!(
+                m.apply(&TxnKvMachine::encode_prepare(&id, auth_case, ops_case)),
+                RESP_REFUSED
+            );
+        }
+        // The stage is untouched: a byte-identical duplicate still acks,
+        // and the victim's commit applies the victim's writes.
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &victim_ops)),
+            RESP_PREPARED
+        );
+        assert_eq!(
+            m.apply(&TxnKvMachine::encode_commit(&id, &tokens.commit)),
+            RESP_COMMITTED
+        );
+        assert_eq!(m.apply(&KvMachine::encode_get(b"a")), b"VAL 1");
     }
 
     #[test]
@@ -460,21 +761,26 @@ mod tests {
         let mut m = TxnKvMachine::new();
         m.apply(&KvMachine::encode_set(b"base", b"v"));
         let committed = ops(&[("c", "1")]);
-        let cid = txid(&committed);
-        m.apply(&TxnKvMachine::encode_prepare(&cid, &committed));
-        m.apply(&TxnKvMachine::encode_commit(&cid));
+        let (cid, ctokens, cauth) = keys_for(&committed);
+        m.apply(&TxnKvMachine::encode_prepare(&cid, &cauth, &committed));
+        m.apply(&TxnKvMachine::encode_commit(&cid, &ctokens.commit));
         let staged = ops(&[("p", "2")]);
-        let pid = txid(&staged);
-        m.apply(&TxnKvMachine::encode_prepare(&pid, &staged));
+        let (pid, ptokens, pauth) = keys_for(&staged);
+        m.apply(&TxnKvMachine::encode_prepare(&pid, &pauth, &staged));
         let snap = m.snapshot();
         let mut fresh = TxnKvMachine::new();
         assert!(fresh.restore(&snap));
         assert_eq!(fresh.snapshot(), snap, "canonical encoding");
         assert!(fresh.is_locked(b"p"));
         assert_eq!(fresh.decision(&cid), Some(true));
-        // Restored state continues the protocol correctly.
+        // Restored state continues the protocol correctly — including
+        // the capability check on the restored stage.
         assert_eq!(
-            fresh.apply(&TxnKvMachine::encode_commit(&pid)),
+            fresh.apply(&TxnKvMachine::encode_commit(&pid, &[0u8; 32])),
+            RESP_REFUSED
+        );
+        assert_eq!(
+            fresh.apply(&TxnKvMachine::encode_commit(&pid, &ptokens.commit)),
             RESP_COMMITTED
         );
         assert_eq!(fresh.apply(&KvMachine::encode_get(b"p")), b"VAL 2");
@@ -483,13 +789,60 @@ mod tests {
     }
 
     #[test]
+    fn restore_rejects_semantically_inconsistent_snapshots() {
+        let mut m = TxnKvMachine::new();
+        let staged = ops(&[("p", "2")]);
+        let (pid, _, pauth) = keys_for(&staged);
+        m.apply(&TxnKvMachine::encode_prepare(&pid, &pauth, &staged));
+        let aborted = ops(&[("q", "3")]);
+        let (qid, qtokens, qauth) = keys_for(&aborted);
+        m.apply(&TxnKvMachine::encode_prepare(&qid, &qauth, &aborted));
+        m.apply(&TxnKvMachine::encode_abort(&qid, &qtokens.abort));
+        let snap = m.snapshot();
+        let mut fresh = TxnKvMachine::new();
+
+        // Duplicate decided id: bump the decided count and append a
+        // copy of the (sole) decided record.
+        let decided_at = snap.len() - (32 + 1) - 4;
+        let mut dup_decided = snap.clone();
+        dup_decided[decided_at..decided_at + 4].copy_from_slice(&2u32.to_be_bytes());
+        let record = snap[decided_at + 4..].to_vec();
+        dup_decided.extend_from_slice(&record);
+        assert!(!fresh.restore(&dup_decided), "duplicate decided id");
+
+        // Non-canonical decision flag.
+        let mut bad_flag = snap.clone();
+        *bad_flag.last_mut().unwrap() = 2;
+        assert!(!fresh.restore(&bad_flag), "decision flag must be 0/1");
+
+        // A lock whose holder has no staged transaction: flip one byte
+        // of the (single) lock's holder id. Lock section starts after
+        // the length-prefixed inner snapshot and the lock count.
+        let inner_len = u32::from_be_bytes(snap[..4].try_into().unwrap()) as usize;
+        let lock_holder_at = 4 + inner_len + 4 + 4 + 1; // counts, klen, "p"
+        let mut orphan_lock = snap.clone();
+        orphan_lock[lock_holder_at] ^= 0xFF;
+        assert!(!fresh.restore(&orphan_lock), "lock holder must be staged");
+
+        // A staged transaction whose key is not locked by it: drop the
+        // lock section entirely (count 0).
+        let mut no_locks = snap[..4 + inner_len].to_vec();
+        no_locks.extend_from_slice(&0u32.to_be_bytes());
+        no_locks.extend_from_slice(&snap[lock_holder_at + 32..]);
+        assert!(!fresh.restore(&no_locks), "staged keys must be locked");
+
+        // The untampered snapshot still restores.
+        assert!(fresh.restore(&snap));
+    }
+
+    #[test]
     fn decided_table_is_bounded() {
         let mut m = TxnKvMachine::new();
         for i in 0..(DECIDED_CAP + 10) {
             let ops = vec![(format!("k{i}").into_bytes(), b"v".to_vec())];
-            let id = txid(&ops);
-            m.apply(&TxnKvMachine::encode_prepare(&id, &ops));
-            m.apply(&TxnKvMachine::encode_commit(&id));
+            let (id, tokens, auth) = keys_for(&ops);
+            m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &ops));
+            m.apply(&TxnKvMachine::encode_commit(&id, &tokens.commit));
         }
         assert_eq!(m.decided_order.len(), DECIDED_CAP);
         assert_eq!(m.decided.len(), DECIDED_CAP);
@@ -502,13 +855,18 @@ mod tests {
         assert_eq!(m.apply(b"C123"), b"ERR malformed");
         assert_eq!(m.apply(b"A"), b"ERR malformed");
         let ops = ops(&[("a", "1")]);
-        let id = txid(&ops);
-        let mut truncated = TxnKvMachine::encode_prepare(&id, &ops);
+        let (id, tokens, auth) = keys_for(&ops);
+        let mut truncated = TxnKvMachine::encode_prepare(&id, &auth, &ops);
         truncated.pop();
         assert_eq!(m.apply(&truncated), b"ERR malformed");
+        // A decision entry without its token is malformed, not refused.
+        assert_eq!(m.apply(&[b"C".as_ref(), id.as_ref()].concat()), b"ERR malformed");
+        let mut long = TxnKvMachine::encode_commit(&id, &tokens.commit);
+        long.push(0);
+        assert_eq!(m.apply(&long), b"ERR malformed");
         // An empty op list is meaningless and refused.
         assert_eq!(
-            m.apply(&TxnKvMachine::encode_prepare(&id, &[])),
+            m.apply(&TxnKvMachine::encode_prepare(&id, &auth, &[])),
             b"ERR malformed"
         );
         assert_eq!(m.pending_txns(), 0);

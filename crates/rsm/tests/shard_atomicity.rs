@@ -3,18 +3,28 @@
 //! A sharded deployment's two-phase commit must never leave the system
 //! in a mixed state: **no shard applies a commit whose sibling
 //! prepared-then-aborted**. This suite attacks the 2PC path with the
-//! three fault shapes the issue names, each swept over seeded random
-//! schedules of the muxed [`ShardedNode`] simulation:
+//! three fault shapes the issue names — plus the two adversarial
+//! shapes the decision-capability scheme exists for — each swept over
+//! seeded random schedules of the muxed [`ShardedNode`] simulation:
 //!
 //! 1. *Crashed coordinator shard* — the client dies between phases
 //!    (before any decision, and again halfway through the commit
-//!    fan-out) and a recovery pass must settle both shards on one
-//!    outcome.
+//!    fan-out) and a recovery pass holding the client's durable secret
+//!    must settle both shards on one outcome.
 //! 2. *Partitioned participant shard* — one shard never receives the
 //!    prepare; the client's deadline drives presumed-abort everywhere.
 //! 3. *Duplicated commit entries* — replayed commit/abort traffic after
 //!    the decision must be idempotent, and in particular a duplicated
 //!    commit must not resurrect a transaction a shard already aborted.
+//! 4. *Adversarial abort racing the commit* — with every shard
+//!    PREPARED, a third party orders abort entries onto one shard while
+//!    the coordinator's commit lands on the other; lacking the abort
+//!    token, the forged aborts must be refused and the commit must
+//!    still apply everywhere.
+//! 5. *Front-run txid reuse* — an adversary who learned a victim's txid
+//!    stages its own content under that id on one shard first; the
+//!    victim's transaction must abort cleanly with none of its writes
+//!    applied anywhere.
 //!
 //! Machine-level duplicate delivery (the ordering layer dedups
 //! identical payloads in flight, so a sim-level replay can be absorbed
@@ -25,9 +35,9 @@ use sintra_adversary::structure::TrustStructure;
 use sintra_crypto::dealer::{Dealer, PublicParameters, ServerKeyBundle};
 use sintra_crypto::rng::SeededRng;
 use sintra_net::sim::{RandomScheduler, Simulation};
-use sintra_protocols::common::Tag;
+use sintra_protocols::common::{Digest, Tag};
 use sintra_rsm::client::TXN_ABORT_TICKS;
-use sintra_rsm::txn::{txid, TxnKvMachine};
+use sintra_rsm::txn::{txid, txn_tokens, TxnKvMachine, TxnTokens};
 use sintra_rsm::{
     shard_of, sharded_nodes, KvMachine, ReplicaConfig, Reply, RsmClient, ShardId, ShardedNode,
     StateMachine, TxnOutcome,
@@ -36,6 +46,10 @@ use sintra_rsm::{
 const N: usize = 4;
 const GROUPS: usize = 2;
 const STEPS: u64 = 50_000_000;
+
+/// The coordinating client's durable secret: decision tokens derive
+/// from it, and recovery passes re-derive them from it.
+const SECRET: Digest = [42u8; 32];
 
 type Sim = Simulation<ShardedNode<TxnKvMachine>, RandomScheduler>;
 
@@ -71,6 +85,22 @@ fn key_on(shard: ShardId, hint: &str) -> Vec<u8> {
         .expect("some key lands on every shard")
 }
 
+/// The coordinator's decision tokens for `id` (re-derivable by any
+/// recovery agent holding [`SECRET`]).
+fn tokens_for(id: &Digest) -> TxnTokens {
+    txn_tokens(&SECRET, id)
+}
+
+/// One shard's slice of a prepare entry under the coordinator's tokens.
+fn prepare_for(id: &Digest, ops: &[(Vec<u8>, Vec<u8>)], shard: ShardId) -> Vec<u8> {
+    let slice: Vec<_> = ops
+        .iter()
+        .filter(|(k, _)| shard_of(k, GROUPS) == shard)
+        .cloned()
+        .collect();
+    TxnKvMachine::encode_prepare(id, &tokens_for(id).auth(), &slice)
+}
+
 /// Injects each `(shard, payload)` at every party and runs the sim to
 /// quiescence (raw adversarial traffic — no client in the loop).
 fn inject(sim: &mut Sim, inputs: &[(ShardId, Vec<u8>)]) {
@@ -86,7 +116,7 @@ fn inject(sim: &mut Sim, inputs: &[(ShardId, Vec<u8>)]) {
 /// shard agrees on that shard's decision, per-shard state is
 /// byte-identical across parties, and no two shards decided
 /// differently (commit on one, abort on the other).
-fn assert_atomic(sim: &Sim, id: &sintra_protocols::common::Digest) {
+fn assert_atomic(sim: &Sim, id: &Digest) {
     let mut outcomes = Vec::new();
     for shard in 0..GROUPS {
         let lead = sim.node(0).unwrap().replica(shard);
@@ -172,15 +202,7 @@ fn crashed_coordinator_before_decision_recovers_by_abort() {
         // Phase 1 lands on both shards; the coordinator then crashes
         // without ever deciding.
         for shard in 0..GROUPS {
-            let slice: Vec<_> = ops
-                .iter()
-                .filter(|(k, _)| shard_of(k, GROUPS) == shard)
-                .cloned()
-                .collect();
-            inject(
-                &mut sim,
-                &[(shard, TxnKvMachine::encode_prepare(&id, &slice))],
-            );
+            inject(&mut sim, &[(shard, prepare_for(&id, &ops, shard))]);
         }
         // Blocked-but-safe: both shards hold locks, nothing applied,
         // nothing decided — in particular no partial commit.
@@ -193,15 +215,27 @@ fn crashed_coordinator_before_decision_recovers_by_abort() {
             }
         }
         assert_atomic(&sim, &id);
-        // Recovery (presumed abort): a new client that finds no
-        // decision anywhere aborts the transaction on every shard.
+        // A vulture without the client's secret cannot settle the
+        // blocked transaction: forged aborts are refused.
         inject(
             &mut sim,
             &[
-                (0, TxnKvMachine::encode_abort(&id)),
-                (1, TxnKvMachine::encode_abort(&id)),
+                (0, TxnKvMachine::encode_abort(&id, &[0xAAu8; 32])),
+                (1, TxnKvMachine::encode_abort(&id, &[0xAAu8; 32])),
             ],
         );
+        for p in 0..N {
+            for shard in 0..GROUPS {
+                let m = sim.node(p).unwrap().replica(shard).machine();
+                assert_eq!(m.pending_txns(), 1, "seed {seed}: stage survives");
+                assert_eq!(m.decision(&id), None);
+            }
+        }
+        // Recovery (presumed abort): an agent holding the coordinator's
+        // durable secret re-derives the abort token and, finding no
+        // decision anywhere, aborts the transaction on every shard.
+        let abort = TxnKvMachine::encode_abort(&id, &tokens_for(&id).abort);
+        inject(&mut sim, &[(0, abort.clone()), (1, abort)]);
         for p in 0..N {
             for shard in 0..GROUPS {
                 let m = sim.node(p).unwrap().replica(shard).machine();
@@ -222,34 +256,50 @@ fn crashed_coordinator_mid_commit_recovers_forward() {
         let k1 = key_on(1, "fwd-b");
         let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
         let id = txid(&ops);
+        let tokens = tokens_for(&id);
         for shard in 0..GROUPS {
-            let slice: Vec<_> = ops
-                .iter()
-                .filter(|(k, _)| shard_of(k, GROUPS) == shard)
-                .cloned()
-                .collect();
-            inject(
-                &mut sim,
-                &[(shard, TxnKvMachine::encode_prepare(&id, &slice))],
-            );
+            inject(&mut sim, &[(shard, prepare_for(&id, &ops, shard))]);
         }
         // The coordinator decided COMMIT, reached shard 0, and died.
-        inject(&mut sim, &[(0, TxnKvMachine::encode_commit(&id))]);
+        inject(
+            &mut sim,
+            &[(0, TxnKvMachine::encode_commit(&id, &tokens.commit))],
+        );
         for p in 0..N {
             let node = sim.node(p).unwrap();
             assert_eq!(node.replica(0).machine().decision(&id), Some(true));
             assert_eq!(node.replica(1).machine().decision(&id), None);
             assert!(node.replica(1).machine().is_locked(&k1), "still staged");
         }
-        // Once any shard committed, abort is no longer a legal recovery
-        // — and the machine enforces it against stray abort traffic.
-        inject(&mut sim, &[(0, TxnKvMachine::encode_abort(&id))]);
+        // Once any shard committed, abort is no longer a legal recovery.
+        // The ordered commit made the commit token public, so try the
+        // strongest replay the adversary has: that token as an abort
+        // capability, on the committed shard and on the still-prepared
+        // one (the exact race the capability scheme must refuse).
+        inject(
+            &mut sim,
+            &[
+                (0, TxnKvMachine::encode_abort(&id, &tokens.commit)),
+                (1, TxnKvMachine::encode_abort(&id, &tokens.commit)),
+                (1, TxnKvMachine::encode_abort(&id, &[0xEEu8; 32])),
+            ],
+        );
         for p in 0..N {
-            let m = sim.node(p).unwrap().replica(0).machine();
-            assert_eq!(m.decision(&id), Some(true), "seed {seed}: commit stands");
+            let node = sim.node(p).unwrap();
+            assert_eq!(
+                node.replica(0).machine().decision(&id),
+                Some(true),
+                "seed {seed}: commit stands"
+            );
+            assert_eq!(node.replica(1).machine().decision(&id), None);
+            assert!(node.replica(1).machine().is_locked(&k1), "stage survives");
         }
-        // Recovery learns shard 0's commit decision and rolls forward.
-        inject(&mut sim, &[(1, TxnKvMachine::encode_commit(&id))]);
+        // Recovery learns shard 0's commit decision and rolls forward
+        // with the now-public commit token.
+        inject(
+            &mut sim,
+            &[(1, TxnKvMachine::encode_commit(&id, &tokens.commit))],
+        );
         for p in 0..N {
             for (shard, key, val) in [(0, &k0, b"1"), (1, &k1, b"2")] {
                 let node = sim.node(p).unwrap();
@@ -269,10 +319,118 @@ fn crashed_coordinator_mid_commit_recovers_forward() {
 }
 
 #[test]
+fn adversarial_abort_cannot_race_commit() {
+    // The review's race, end to end: with every shard PREPARED, a third
+    // party orders aborts onto shard 1 in the window before the
+    // coordinator's commit entry reaches it, while the commit lands on
+    // shard 0. The forged aborts must be refused (no abort token) and
+    // the commit must then apply on both shards.
+    for seed in [31u64, 32, 33] {
+        let (mut sim, _publics) = build(seed);
+        let k0 = key_on(0, "race-a");
+        let k1 = key_on(1, "race-b");
+        let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
+        let id = txid(&ops);
+        let tokens = tokens_for(&id);
+        for shard in 0..GROUPS {
+            inject(&mut sim, &[(shard, prepare_for(&id, &ops, shard))]);
+        }
+        // Commit ordered on shard 0; the adversary's aborts order on
+        // shard 1 first (forged token, and the now-public commit token).
+        inject(
+            &mut sim,
+            &[
+                (0, TxnKvMachine::encode_commit(&id, &tokens.commit)),
+                (1, TxnKvMachine::encode_abort(&id, &[0x55u8; 32])),
+                (1, TxnKvMachine::encode_abort(&id, &tokens.commit)),
+            ],
+        );
+        for p in 0..N {
+            let node = sim.node(p).unwrap();
+            assert_eq!(node.replica(0).machine().decision(&id), Some(true));
+            assert_eq!(
+                node.replica(1).machine().decision(&id),
+                None,
+                "seed {seed}: forged abort refused"
+            );
+            assert!(node.replica(1).machine().is_locked(&k1));
+        }
+        assert_atomic(&sim, &id);
+        // The commit fan-out completes: no mixed state, all writes in.
+        inject(
+            &mut sim,
+            &[(1, TxnKvMachine::encode_commit(&id, &tokens.commit))],
+        );
+        for p in 0..N {
+            let node = sim.node(p).unwrap();
+            for shard in 0..GROUPS {
+                assert_eq!(
+                    node.replica(shard).machine().decision(&id),
+                    Some(true),
+                    "seed {seed}"
+                );
+                assert_eq!(node.replica(shard).machine().pending_txns(), 0);
+            }
+            let mut probe = node.replica(1).machine().clone();
+            assert_eq!(probe.apply(&KvMachine::encode_get(&k1)), b"VAL 2");
+        }
+        assert_atomic(&sim, &id);
+    }
+}
+
+#[test]
+fn front_run_prepare_cannot_hijack_txn() {
+    // An adversary who learned a victim's txid (prepares are public
+    // once ordered anywhere) stages its own content under that id on
+    // shard 1 before the victim's prepare arrives. The victim's prepare
+    // is refused there (content mismatch), the victim aborts, and none
+    // of the victim's writes — and none of the attacker's values under
+    // the victim's keys — ever apply.
+    for seed in [41u64, 42] {
+        let (mut sim, publics) = build(seed);
+        let k0 = key_on(0, "hijack-a");
+        let k1 = key_on(1, "hijack-b");
+        let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
+        let id = txid(&ops);
+        // The attacker's stage: same txid, its own ops and tokens.
+        let evil_auth = txn_tokens(&[66u8; 32], &id).auth();
+        let evil_ops = vec![(k1.clone(), b"evil".to_vec())];
+        inject(
+            &mut sim,
+            &[(1, TxnKvMachine::encode_prepare(&id, &evil_auth, &evil_ops))],
+        );
+        // The victim drives its transaction normally.
+        let mut client = RsmClient::new(Tag::root("rsm"), publics, SECRET);
+        let sends = client.submit_txn(&ops);
+        drive(&mut sim, &mut client, sends, |_| true);
+        assert!(
+            matches!(client.result(), Some(TxnOutcome::Aborted)),
+            "seed {seed}: victim settles on abort, got {:?}",
+            client.result()
+        );
+        for p in 0..N {
+            let node = sim.node(p).unwrap();
+            // Shard 0 staged the victim's slice, then aborted it.
+            assert_eq!(node.replica(0).machine().decision(&id), Some(false));
+            assert_eq!(node.replica(0).machine().pending_txns(), 0);
+            assert!(!node.replica(0).machine().is_locked(&k0));
+            assert_eq!(node.replica(0).machine().kv().len(), 0, "seed {seed}");
+            // Shard 1 holds the attacker's stage, undecided — the
+            // victim's abort token does not match it, and the victim
+            // never staged anything there. No write applied.
+            assert_eq!(node.replica(1).machine().decision(&id), None);
+            assert_eq!(node.replica(1).machine().pending_txns(), 1);
+            assert_eq!(node.replica(1).machine().kv().len(), 0, "seed {seed}");
+        }
+        assert_atomic(&sim, &id);
+    }
+}
+
+#[test]
 fn partitioned_participant_aborts_atomically() {
     for seed in [7u64, 8, 9] {
         let (mut sim, publics) = build(seed);
-        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics, SECRET);
         let k0 = key_on(0, "part-a");
         let k1 = key_on(1, "part-b");
         let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
@@ -305,33 +463,31 @@ fn partitioned_participant_aborts_atomically() {
 fn duplicated_traffic_after_commit_is_idempotent() {
     for seed in [13u64, 14] {
         let (mut sim, publics) = build(seed);
-        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics, SECRET);
         let ops = vec![
             (key_on(0, "dup-a"), b"1".to_vec()),
             (key_on(1, "dup-b"), b"2".to_vec()),
         ];
         let id = txid(&ops);
+        let tokens = tokens_for(&id);
         let sends = client.submit_txn(&ops);
         drive(&mut sim, &mut client, sends, |_| true);
         assert!(matches!(client.result(), Some(TxnOutcome::Committed)));
         let snaps: Vec<Vec<u8>> = (0..GROUPS)
             .map(|s| sim.node(0).unwrap().replica(s).machine().snapshot())
             .collect();
-        // Replay the whole decision tail, twice, in both orders.
+        // Replay the whole decision tail, twice, in both orders — with
+        // the public commit token, forged tokens, and even the genuine
+        // abort token (a Byzantine client contradicting itself).
         for shard in 0..GROUPS {
-            let slice: Vec<_> = ops
-                .iter()
-                .filter(|(k, _)| shard_of(k, GROUPS) == shard)
-                .cloned()
-                .collect();
             inject(
                 &mut sim,
                 &[
-                    (shard, TxnKvMachine::encode_commit(&id)),
-                    (shard, TxnKvMachine::encode_abort(&id)),
-                    (shard, TxnKvMachine::encode_prepare(&id, &slice)),
-                    (shard, TxnKvMachine::encode_abort(&id)),
-                    (shard, TxnKvMachine::encode_commit(&id)),
+                    (shard, TxnKvMachine::encode_commit(&id, &tokens.commit)),
+                    (shard, TxnKvMachine::encode_abort(&id, &tokens.abort)),
+                    (shard, prepare_for(&id, &ops, shard)),
+                    (shard, TxnKvMachine::encode_abort(&id, &[0x11u8; 32])),
+                    (shard, TxnKvMachine::encode_commit(&id, &[0x11u8; 32])),
                 ],
             );
         }
@@ -350,11 +506,12 @@ fn duplicated_traffic_after_commit_is_idempotent() {
 fn duplicated_commit_cannot_resurrect_aborted_txn() {
     for seed in [21u64, 22, 23] {
         let (mut sim, publics) = build(seed);
-        let mut client = RsmClient::new(Tag::root("rsm"), publics);
+        let mut client = RsmClient::new(Tag::root("rsm"), publics, SECRET);
         let k0 = key_on(0, "res-a");
         let k1 = key_on(1, "res-b");
         let ops = vec![(k0.clone(), b"1".to_vec()), (k1.clone(), b"2".to_vec())];
         let id = txid(&ops);
+        let tokens = tokens_for(&id);
         let sends = client.submit_txn(&ops);
         // Partitioned participant again: the transaction aborts.
         drive(&mut sim, &mut client, sends, |(shard, payload)| {
@@ -362,15 +519,18 @@ fn duplicated_commit_cannot_resurrect_aborted_txn() {
         });
         assert!(matches!(client.result(), Some(TxnOutcome::Aborted)));
         // The adversary now replays commit entries for the aborted
-        // transaction at both shards — repeatedly. Shard 0 (which once
-        // prepared) must refuse via its decided table; shard 1 never
-        // prepared and must refuse the unknown commit.
+        // transaction at both shards — repeatedly, even with the
+        // genuine commit token (a Byzantine client contradicting its
+        // own abort). Shard 0 (which once prepared) must refuse via its
+        // decided table; shard 1 never prepared and must refuse too.
         for _ in 0..3 {
             inject(
                 &mut sim,
                 &[
-                    (0, TxnKvMachine::encode_commit(&id)),
-                    (1, TxnKvMachine::encode_commit(&id)),
+                    (0, TxnKvMachine::encode_commit(&id, &tokens.commit)),
+                    (1, TxnKvMachine::encode_commit(&id, &tokens.commit)),
+                    (0, TxnKvMachine::encode_commit(&id, &[0x77u8; 32])),
+                    (1, TxnKvMachine::encode_commit(&id, &[0x77u8; 32])),
                 ],
             );
         }
