@@ -136,16 +136,47 @@ impl CoinSecretKey {
     }
 
     /// Produces this party's share of the named coin.
+    ///
+    /// The `ĝ`-base exponentiations — one per component for the share
+    /// element, one for its proof commitment — are routed through
+    /// [`GroupElement::exp_many`], which packs them into the 4-lane
+    /// engine when that is profitable on the running hardware. Nonces
+    /// are drawn in component order first, so the share is bit-identical
+    /// to the per-component construction for a given RNG state.
     pub fn share(&self, name: &[u8], rng: &mut SeededRng) -> CoinShare {
         let g = GroupElement::generator();
         let g_hat = coin_base(name);
+        let nonces: Vec<Scalar> = self
+            .components
+            .iter()
+            .map(|_| rng.next_nonzero_scalar())
+            .collect();
+        let mut exps = Vec::with_capacity(2 * self.components.len());
+        for ((_leaf, x), w) in self.components.iter().zip(&nonces) {
+            exps.push(*x);
+            exps.push(*w);
+        }
+        let powers = g_hat.exp_many(&exps);
         let elements = self
             .components
             .iter()
-            .map(|(leaf, x)| {
+            .zip(&nonces)
+            .enumerate()
+            .map(|(i, ((leaf, x), w))| {
                 let vk = g.exp(x);
-                let share = g_hat.exp(x);
-                let proof = DleqProof::prove(DLEQ_DOMAIN, &g, &vk, &g_hat, &share, x, rng);
+                let share = powers[2 * i];
+                let commit_g = g.exp(w);
+                let proof = DleqProof::prove_prepared(
+                    DLEQ_DOMAIN,
+                    &g,
+                    &vk,
+                    &g_hat,
+                    &share,
+                    x,
+                    w,
+                    commit_g,
+                    powers[2 * i + 1],
+                );
                 (*leaf, share, proof)
             })
             .collect();
@@ -243,6 +274,7 @@ impl CoinScheme {
             batched.push(share);
         }
         if !crate::dleq::batch_verify(DLEQ_DOMAIN, &g, &g_hat, &statements, rng) {
+            sintra_obs::global::crypto_share_fallback(batched.len() as u64);
             culprits.extend(
                 batched
                     .iter()
@@ -256,6 +288,69 @@ impl CoinScheme {
             culprits.sort_unstable();
             culprits.dedup();
             Err(culprits)
+        }
+    }
+
+    /// Batch-verifies share quorums for *several* coin names (rounds) in
+    /// one grouped multi-exponentiation via
+    /// [`crate::dleq::batch_verify_grouped`]. Each round contributes a
+    /// group over its own hashed base `ĝ = H(name)`; the shared
+    /// generator and the fixed per-leaf verification keys repeat across
+    /// groups and are merged inside the multi-exponentiation, so the
+    /// per-round cost falls well below a standalone
+    /// [`verify_shares`](Self::verify_shares) call. This is the
+    /// batch-size axis of the verification engine's throughput sweep.
+    ///
+    /// Returns one verdict per input batch, in order. If the grouped
+    /// equation fails, blame is attributed by falling back to per-round
+    /// [`verify_shares`](Self::verify_shares) (which in turn falls back
+    /// per share), so honest rounds still come back `Ok` and culprits
+    /// are named exactly as in the single-round path.
+    pub fn verify_share_batches(
+        &self,
+        batches: &[(&[u8], &[CoinShare])],
+        rng: &mut SeededRng,
+    ) -> Vec<Result<(), Vec<PartyId>>> {
+        let g = GroupElement::generator();
+        // Layout culprits are attributable without any group math; the
+        // grouped equation covers only well-formed shares.
+        let mut layout_culprits: Vec<Vec<PartyId>> = vec![Vec::new(); batches.len()];
+        let mut groups = Vec::with_capacity(batches.len());
+        for (i, (name, shares)) in batches.iter().enumerate() {
+            let mut statements = Vec::new();
+            for share in *shares {
+                if !self.share_layout_ok(share) {
+                    layout_culprits[i].push(share.party);
+                    continue;
+                }
+                for (leaf, element, proof) in &share.elements {
+                    statements.push((self.verification[*leaf], *element, *proof));
+                }
+            }
+            groups.push((g, coin_base(name), statements));
+        }
+        let group_refs: Vec<crate::dleq::DleqGroup<'_>> = groups
+            .iter()
+            .map(|(g, h, s)| (*g, *h, s.as_slice()))
+            .collect();
+        if crate::dleq::batch_verify_grouped(DLEQ_DOMAIN, &group_refs, rng) {
+            layout_culprits
+                .into_iter()
+                .map(|mut culprits| {
+                    if culprits.is_empty() {
+                        Ok(())
+                    } else {
+                        culprits.sort_unstable();
+                        culprits.dedup();
+                        Err(culprits)
+                    }
+                })
+                .collect()
+        } else {
+            batches
+                .iter()
+                .map(|(name, shares)| self.verify_shares(name, shares, rng))
+                .collect()
         }
     }
 
@@ -487,6 +582,120 @@ mod tests {
             coin.verify_shares(b"c", &shares, &mut rng),
             Err(vec![2, 6, 8])
         );
+    }
+
+    #[test]
+    fn verify_share_batches_accepts_honest_rounds() {
+        let (coin, keys, mut rng) = threshold_setup(10, 3, 24);
+        let names: Vec<Vec<u8>> = (0..4u64)
+            .map(|r| format!("round-{r}").into_bytes())
+            .collect();
+        let per_round: Vec<Vec<CoinShare>> = names
+            .iter()
+            .map(|name| keys.iter().map(|k| k.share(name, &mut rng)).collect())
+            .collect();
+        let batches: Vec<(&[u8], &[CoinShare])> = names
+            .iter()
+            .zip(&per_round)
+            .map(|(n, s)| (n.as_slice(), s.as_slice()))
+            .collect();
+        let verdicts = coin.verify_share_batches(&batches, &mut rng);
+        assert_eq!(verdicts, vec![Ok(()); 4]);
+        // Degenerate shapes: no batches, and an empty round.
+        assert!(coin.verify_share_batches(&[], &mut rng).is_empty());
+        let empty: Vec<(&[u8], &[CoinShare])> = vec![(b"r", &[])];
+        assert_eq!(coin.verify_share_batches(&empty, &mut rng), vec![Ok(())]);
+    }
+
+    #[test]
+    fn verify_share_batches_attributes_culprits_per_round() {
+        let (coin, keys, mut rng) = threshold_setup(10, 3, 25);
+        let names: Vec<Vec<u8>> = (0..3u64)
+            .map(|r| format!("round-{r}").into_bytes())
+            .collect();
+        let mut per_round: Vec<Vec<CoinShare>> = names
+            .iter()
+            .map(|name| keys.iter().map(|k| k.share(name, &mut rng)).collect())
+            .collect();
+        // Round 0 honest; round 1 has a forged element (party 4) and a
+        // malformed layout (party 7); round 2 has a wrong-name proof
+        // (party 1).
+        per_round[1][4].elements[0].1 = GroupElement::generator();
+        per_round[1][7].elements.clear();
+        per_round[2][1] = keys[1].share(b"elsewhere", &mut rng);
+        let batches: Vec<(&[u8], &[CoinShare])> = names
+            .iter()
+            .zip(&per_round)
+            .map(|(n, s)| (n.as_slice(), s.as_slice()))
+            .collect();
+        let verdicts = coin.verify_share_batches(&batches, &mut rng);
+        assert_eq!(
+            verdicts,
+            vec![Ok(()), Err(vec![4, 7]), Err(vec![1])],
+            "honest rounds stay Ok, culprits attributed to their round"
+        );
+    }
+
+    #[test]
+    fn verify_share_batches_matches_per_round_verification() {
+        let (coin, keys, mut rng) = threshold_setup(7, 2, 26);
+        let names: Vec<Vec<u8>> = (0..5u64).map(|r| format!("n{r}").into_bytes()).collect();
+        let per_round: Vec<Vec<CoinShare>> = names
+            .iter()
+            .map(|name| keys.iter().map(|k| k.share(name, &mut rng)).collect())
+            .collect();
+        let batches: Vec<(&[u8], &[CoinShare])> = names
+            .iter()
+            .zip(&per_round)
+            .map(|(n, s)| (n.as_slice(), s.as_slice()))
+            .collect();
+        let grouped = coin.verify_share_batches(&batches, &mut rng);
+        let individual: Vec<_> = batches
+            .iter()
+            .map(|(n, s)| coin.verify_shares(n, s, &mut rng))
+            .collect();
+        assert_eq!(grouped, individual);
+    }
+
+    /// Timing probe for the aggregation axis; run manually with
+    /// `cargo test --release -p sintra-crypto -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn verify_share_batches_timing_probe() {
+        let (coin, keys, mut rng) = threshold_setup(10, 3, 27);
+        for batch in [1usize, 2, 4, 8, 16] {
+            let names: Vec<Vec<u8>> = (0..batch as u64)
+                .map(|r| format!("round-{r}").into_bytes())
+                .collect();
+            let per_round: Vec<Vec<CoinShare>> = names
+                .iter()
+                .map(|name| keys.iter().map(|k| k.share(name, &mut rng)).collect())
+                .collect();
+            let batches: Vec<(&[u8], &[CoinShare])> = names
+                .iter()
+                .zip(&per_round)
+                .map(|(n, s)| (n.as_slice(), s.as_slice()))
+                .collect();
+            let mut grouped_best = u128::MAX;
+            let mut single_best = u128::MAX;
+            for _ in 0..10 {
+                let t0 = std::time::Instant::now();
+                let v = coin.verify_share_batches(&batches, &mut rng);
+                grouped_best = grouped_best.min(t0.elapsed().as_nanos());
+                assert!(v.iter().all(|r| r.is_ok()));
+                let t0 = std::time::Instant::now();
+                for (n, s) in &batches {
+                    assert_eq!(coin.verify_shares(n, s, &mut rng), Ok(()));
+                }
+                single_best = single_best.min(t0.elapsed().as_nanos());
+            }
+            println!(
+                "B={batch:2}  grouped={:8}ns/round  per-round={:8}ns/round  ratio={:.2}x",
+                grouped_best / batch as u128,
+                single_best / batch as u128,
+                single_best as f64 / grouped_best as f64
+            );
+        }
     }
 
     #[test]

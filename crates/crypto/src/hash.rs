@@ -232,6 +232,21 @@ impl Hasher {
     pub fn finish_scalar(self) -> Scalar {
         Scalar::from_u256(&U256::from_be_bytes(&self.finish()))
     }
+
+    /// Returns the low 128 bits of the digest as a scalar — the short
+    /// Fiat-Shamir challenge used by every Σ-protocol verifier here.
+    ///
+    /// A Σ-protocol's knowledge error is `1/|challenge space|`, so a
+    /// 128-bit challenge already gives the 2⁻¹²⁸ soundness the rest of
+    /// the system targets, while halving the `·^c` exponentiation work
+    /// in each verification equation (and in the batched
+    /// multi-exponentiations, where challenge-weighted exponents
+    /// dominate the digit count).
+    pub fn finish_challenge(self) -> Scalar {
+        let mut wide = [0u8; 32];
+        wide[16..].copy_from_slice(&self.finish()[16..]);
+        Scalar::from_u256(&U256::from_be_bytes(&wide))
+    }
 }
 
 /// Derives a Fiat-Shamir challenge scalar from a domain tag and fields.

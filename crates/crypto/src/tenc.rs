@@ -330,13 +330,19 @@ impl EncryptionScheme {
     }
 
     /// Verifies one decryption share against a ciphertext.
+    ///
+    /// Every leaf proof of the share is checked against the same base
+    /// pair `(g, u)`, so the Fiat-Shamir midstate over the domain and
+    /// bases is absorbed once for the whole share and replayed per
+    /// leaf.
     pub fn verify_share(&self, ct: &Ciphertext, share: &DecryptionShare) -> bool {
         if !self.share_layout_ok(ct, share) {
             return false;
         }
         let g = GroupElement::generator();
+        let prefix = DleqProof::challenge_midstate(SHARE_DOMAIN, &g, &ct.u);
         share.elements.iter().all(|(leaf, element, proof)| {
-            proof.verify(SHARE_DOMAIN, &g, &self.verification[*leaf], &ct.u, element)
+            proof.verify_midstate(&prefix, &g, &self.verification[*leaf], &ct.u, element)
         })
     }
 
@@ -372,6 +378,7 @@ impl EncryptionScheme {
         }
         let g = GroupElement::generator();
         if !crate::dleq::batch_verify(SHARE_DOMAIN, &g, &ct.u, &statements, rng) {
+            sintra_obs::global::crypto_share_fallback(batched.len() as u64);
             culprits.extend(
                 batched
                     .iter()
@@ -474,13 +481,16 @@ impl DecryptionSecretKey {
             return None;
         }
         let g = GroupElement::generator();
+        // All leaf proofs share the base pair `(g, u)`: absorb the
+        // Fiat-Shamir prefix once and replay the midstate per leaf.
+        let prefix = DleqProof::challenge_midstate(SHARE_DOMAIN, &g, &ct.u);
         let elements = self
             .components
             .iter()
             .map(|(leaf, x)| {
                 let vk = g.exp(x);
                 let element = ct.u.exp(x);
-                let proof = DleqProof::prove(SHARE_DOMAIN, &g, &vk, &ct.u, &element, x, rng);
+                let proof = DleqProof::prove_midstate(&prefix, &g, &vk, &ct.u, &element, x, rng);
                 (*leaf, element, proof)
             })
             .collect();

@@ -281,6 +281,7 @@ impl ThresholdSigScheme {
         };
         if !batch_ok {
             // Per-share fallback attributes blame precisely.
+            sintra_obs::global::crypto_share_fallback(in_range.len() as u64);
             culprits.extend(
                 in_range
                     .iter()

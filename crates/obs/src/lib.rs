@@ -364,6 +364,30 @@ pub mod global {
         MULTI_EXP.store(0, Ordering::Relaxed);
         BATCH_VERIFY.store(0, Ordering::Relaxed);
     }
+
+    thread_local! {
+        static SHARE_FALLBACK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Counts `shares` per-share fallback re-verifications taken after
+    /// a batch equation failed. Thread-local and always on — tests
+    /// assert spam-cost bounds on this thread's count without
+    /// interference from parallel test threads, and the fallback path
+    /// is rare enough that the increment is free in practice.
+    #[inline]
+    pub fn crypto_share_fallback(shares: u64) {
+        SHARE_FALLBACK.with(|c| c.set(c.get() + shares));
+    }
+
+    /// This thread's running fallback re-verification count.
+    pub fn share_fallback_count() -> u64 {
+        SHARE_FALLBACK.with(|c| c.get())
+    }
+
+    /// Zeroes this thread's fallback counter.
+    pub fn reset_share_fallback() {
+        SHARE_FALLBACK.with(|c| c.set(0));
+    }
 }
 
 #[cfg(test)]

@@ -498,11 +498,12 @@ impl AtomicBroadcast {
         self.last_batch_size
     }
 
-    /// Routes coin-share batch verification of every (current and
-    /// future) round's MVBA through `pool`. With a threaded pool,
-    /// verdicts are applied on [`on_tick`](Self::on_tick) — the caller
-    /// must drive ticks; a 0-worker pool verifies inline and needs no
-    /// ticks.
+    /// Routes share-batch verification of every (current and future)
+    /// round's MVBA — and its CBC/ABBA children — through `pool`. With a
+    /// threaded pool, verdicts are applied on every
+    /// [`on_message`](Self::on_message) entry and on
+    /// [`on_tick`](Self::on_tick), so progress never waits for a timer;
+    /// a 0-worker pool verifies inline.
     pub fn set_verify_pool(&mut self, pool: Arc<VerifyPool>) {
         for mvba in self.mvbas.values_mut() {
             if !mvba.has_verify_pool() {
@@ -561,6 +562,10 @@ impl AtomicBroadcast {
         rng: &mut SeededRng,
         out: &mut Outbox<AbcMessage>,
     ) -> Vec<AbcDeliver> {
+        // Apply any pool verdicts that landed since the last tick before
+        // handling the message: a share batch completed between ticks
+        // must never stall the round until the next timer fires.
+        self.drain_all_verifications(rng, out);
         if from >= self.n {
             return Vec::new(); // out-of-range sender
         }
@@ -698,24 +703,33 @@ impl AtomicBroadcast {
         rng: &mut SeededRng,
         out: &mut Outbox<AbcMessage>,
     ) -> Vec<AbcDeliver> {
-        if self.verify_pool.is_some() {
-            let rounds: Vec<u64> = self.mvbas.keys().copied().collect();
-            for round in rounds {
-                let mut sub = Outbox::new(self.n);
-                let decision = self
-                    .mvbas
-                    .get_mut(&round)
-                    .expect("snapshotted key")
-                    .drain_verifications(rng, &mut sub);
-                for (to, m) in sub {
-                    out.send(to, AbcMessage::Mvba { round, inner: m });
-                }
-                if let Some(list) = decision {
-                    self.decided_lists.insert(round, list);
-                }
+        self.drain_all_verifications(rng, out);
+        self.try_progress(rng, out)
+    }
+
+    /// Applies off-thread verification verdicts that pool workers have
+    /// delivered, across every open round's MVBA (and its CBC/ABBA
+    /// children). Decisions land in `decided_lists`; the caller's
+    /// `try_progress` turns them into deliveries. No-op without a pool.
+    fn drain_all_verifications(&mut self, rng: &mut SeededRng, out: &mut Outbox<AbcMessage>) {
+        if self.verify_pool.is_none() {
+            return;
+        }
+        let rounds: Vec<u64> = self.mvbas.keys().copied().collect();
+        for round in rounds {
+            let mut sub = Outbox::new(self.n);
+            let decision = self
+                .mvbas
+                .get_mut(&round)
+                .expect("snapshotted key")
+                .drain_verifications(rng, &mut sub);
+            for (to, m) in sub {
+                out.send(to, AbcMessage::Mvba { round, inner: m });
+            }
+            if let Some(list) = decision {
+                self.decided_lists.insert(round, list);
             }
         }
-        self.try_progress(rng, out)
     }
 
     /// Fires all enabled round transitions, across the whole pipeline

@@ -220,6 +220,18 @@ impl core::fmt::Debug for Tag {
 /// shares from banned parties are dropped on arrival — a Byzantine
 /// sender gets exactly one chance to poison a batch, so the expensive
 /// per-share fallback runs at most once per faulty party.
+///
+/// The ban set doubles as the tracker's per-sender verdict cache: a
+/// negative verdict for a sender is permanent and is checked in O(1) at
+/// [`insert`](Self::insert) (positive verdicts cannot be cached across
+/// batches — a later share from the same sender is different data, and
+/// within one tracker a party contributes at most one share anyway).
+/// Protocols that spin up one tracker per round seed each new round
+/// with [`with_bans`](Self::with_bans) from an instance-wide culprit
+/// set, so a sender attributed in round `r` costs zero verification
+/// work in every round after `r` instead of re-poisoning each fresh
+/// batch — without that propagation a spamming Byzantine sender forces
+/// a full per-share fallback pass per round.
 #[derive(Clone, Debug)]
 pub struct BatchedShares<S> {
     pending: BTreeMap<PartyId, S>,
@@ -236,11 +248,32 @@ impl<S> Default for BatchedShares<S> {
 impl<S> BatchedShares<S> {
     /// An empty tracker.
     pub fn new() -> Self {
+        Self::with_bans(PartySet::new())
+    }
+
+    /// An empty tracker pre-seeded with known culprits: shares from
+    /// `banned` parties are rejected on arrival without any
+    /// verification. This is how per-round trackers inherit the
+    /// instance-wide verdict cache (see the type docs).
+    pub fn with_bans(banned: PartySet) -> Self {
         BatchedShares {
             pending: BTreeMap::new(),
             verified: BTreeMap::new(),
-            banned: PartySet::new(),
+            banned,
         }
+    }
+
+    /// Bans `party` outright: its pending share (if any) is dropped and
+    /// future shares are rejected on arrival. Used to propagate a
+    /// culprit verdict from a sibling tracker (another round or phase
+    /// of the same instance) — an invalid share proves its sender
+    /// Byzantine everywhere, not just in the batch that caught it.
+    /// Returns whether a pending share was dropped, so callers that
+    /// mirror membership in auxiliary party sets can cull those too.
+    pub fn ban(&mut self, party: PartyId) -> bool {
+        let dropped = self.pending.remove(&party).is_some();
+        self.banned.insert(party);
+        dropped
     }
 
     /// Records a share from `party` (first share wins; banned parties
@@ -498,5 +531,28 @@ mod tests {
         // Settling with nothing pending is a no-op.
         assert!(tracker.settle(|_| Err(vec![0])).is_empty());
         assert_eq!(tracker.verified().len(), 1);
+    }
+
+    #[test]
+    fn batched_shares_inherit_and_propagate_bans() {
+        let mut known = PartySet::new();
+        known.insert(2);
+        // A tracker seeded with a known culprit rejects it on arrival:
+        // no share stored, so no verification (batch or fallback) ever
+        // sees this sender again.
+        let mut tracker: BatchedShares<u8> = BatchedShares::with_bans(known);
+        assert!(!tracker.insert(2, 7));
+        assert!(tracker.insert(0, 1));
+        assert!(!tracker.has_pending() || tracker.pending_snapshot().len() == 1);
+        // A cross-tracker ban drops the pending share and blocks
+        // re-entry, but leaves already-verified shares alone.
+        assert!(tracker.insert(3, 9));
+        tracker.settle(|_| Ok(())).is_empty().then_some(()).unwrap();
+        assert!(tracker.insert(4, 4));
+        tracker.ban(4);
+        tracker.ban(3);
+        assert!(!tracker.insert(4, 5));
+        assert!(tracker.verified().contains_key(&3), "verified share kept");
+        assert!(!tracker.holders().contains(4));
     }
 }

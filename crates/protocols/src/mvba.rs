@@ -28,7 +28,7 @@
 use crate::abba::{Abba, AbbaMessage, EvidenceCheck};
 use crate::cbc::{CbcMessage, ConsistentBroadcast, Voucher};
 use crate::common::{BatchedShares, Outbox, Tag, WireKind};
-use crate::pool::VerifyPool;
+use crate::pool::{Verdict, VerdictChannel, VerifyPool};
 use parking_lot::Mutex;
 use sintra_adversary::party::{PartyId, PartySet};
 use sintra_crypto::coin::CoinShare;
@@ -37,7 +37,6 @@ use sintra_crypto::rng::SeededRng;
 use sintra_net::protocol::Context;
 use sintra_obs::Layer;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// External validity predicate: decides whether a byte string is an
@@ -105,14 +104,6 @@ const ELECTION_LOOKAHEAD: u64 = 16;
 /// not yet known (votes are only validated once the ABBA exists).
 const PENDING_VOTE_CAP: usize = 64;
 
-/// Outcome of one off-thread coin-batch verification: which parties'
-/// shares were in the batch, and which of them were culprits.
-struct CoinVerdict {
-    election: u64,
-    parties: Vec<PartyId>,
-    culprits: Vec<PartyId>,
-}
-
 /// Multi-valued validated Byzantine agreement instance at one party.
 pub struct Mvba {
     tag: Tag,
@@ -147,11 +138,15 @@ pub struct Mvba {
     /// Off-thread verification pool; `None` keeps the seed behavior of
     /// verifying on the protocol thread.
     pool: Option<Arc<VerifyPool>>,
-    /// Sender cloned into pool jobs; verdicts come back on `verdict_rx`.
-    verdict_tx: Option<Sender<CoinVerdict>>,
-    verdict_rx: Option<Receiver<CoinVerdict>>,
+    /// Ordered verdict stream for pooled coin-batch jobs, keyed by
+    /// election.
+    verdicts: VerdictChannel<u64>,
     /// Elections whose coin batch is currently out at the pool.
     awaiting_verify: BTreeSet<u64>,
+    /// Instance-wide culprit cache: a sender whose coin share failed
+    /// verification in any election is banned from every current and
+    /// future election tracker, so its spam costs O(1) per share.
+    instance_banned: PartySet,
 }
 
 impl core::fmt::Debug for Mvba {
@@ -210,22 +205,25 @@ impl Mvba {
             waiting_for: None,
             decided: None,
             pool: None,
-            verdict_tx: None,
-            verdict_rx: None,
+            verdicts: VerdictChannel::new(),
             awaiting_verify: BTreeSet::new(),
+            instance_banned: PartySet::new(),
         }
     }
 
-    /// Routes coin-share batch verification through `pool` instead of
-    /// running it inline. Verdicts from threaded pools are applied by
-    /// [`Mvba::drain_verifications`] (the ABC layer calls it from its
-    /// tick); a 0-worker pool completes synchronously, so behavior is
-    /// identical to inline verification.
+    /// Routes share-batch verification through `pool` instead of running
+    /// it inline, for this instance and all its sub-protocols (CBC echo
+    /// batches, ABBA vote and coin batches). Verdicts from threaded
+    /// pools are applied by [`Mvba::drain_verifications`], which runs on
+    /// every message entry and from the ABC layer's tick; a 0-worker
+    /// pool completes synchronously, so behavior is identical to inline
+    /// verification.
     pub fn set_verify_pool(&mut self, pool: Arc<VerifyPool>) {
-        if self.verdict_rx.is_none() {
-            let (tx, rx) = channel();
-            self.verdict_tx = Some(tx);
-            self.verdict_rx = Some(rx);
+        for cbc in &mut self.cbc {
+            cbc.set_verify_pool(Arc::clone(&pool));
+        }
+        for abba in self.abbas.values_mut() {
+            abba.set_verify_pool(Arc::clone(&pool));
         }
         self.pool = Some(pool);
     }
@@ -308,6 +306,14 @@ impl Mvba {
         if from >= self.n {
             return None;
         }
+        // Verdicts may have landed since the last tick; apply them before
+        // handling the message so a batch completed between ticks never
+        // stalls the round until the next timer fires.
+        if self.pool.is_some() {
+            if let Some(d) = self.drain_verifications(rng, out) {
+                return Some(d);
+            }
+        }
         if self.decided.is_some() {
             // A terminated party must keep serving proposal dissemination
             // (CBC echoes and Final transfers): under a hostile schedule a
@@ -350,8 +356,14 @@ impl Mvba {
                     return None;
                 }
                 // Accepted structurally; the validity proof is checked in
-                // `try_elect` as part of the quorum batch.
-                let shares = self.elect_shares.entry(election).or_default();
+                // `try_elect` as part of the quorum batch. New trackers
+                // inherit the instance-wide culprit set so attributed
+                // senders are rejected on arrival.
+                let banned = self.instance_banned;
+                let shares = self
+                    .elect_shares
+                    .entry(election)
+                    .or_insert_with(|| BatchedShares::with_bans(banned));
                 if !shares.insert(from, share) {
                     return None; // one share per party per election
                 }
@@ -477,7 +489,10 @@ impl Mvba {
                 .get_mut(&election)
                 .expect("tracker checked above");
             let coin = self.public.coin();
-            tracker.settle(|batch| coin.verify_shares(&name, batch, rng));
+            let caught = tracker.settle(|batch| coin.verify_shares(&name, batch, rng));
+            for culprit in caught {
+                self.ban_sender(culprit);
+            }
         }
         let tracker = self
             .elect_shares
@@ -512,6 +527,9 @@ impl Mvba {
             Arc::clone(&self.bundle),
             check,
         );
+        if let Some(pool) = &self.pool {
+            abba.set_verify_pool(Arc::clone(pool));
+        }
         // Propose.
         let my_voucher = self.vouchers.lock().get(&candidate).cloned();
         let mut sub = Outbox::new(self.n);
@@ -553,7 +571,7 @@ impl Mvba {
         if !tracker.has_pending() {
             return;
         }
-        let (Some(pool), Some(tx)) = (&self.pool, &self.verdict_tx) else {
+        let Some(pool) = self.pool.clone() else {
             return;
         };
         let snapshot = tracker.pending_snapshot();
@@ -561,7 +579,7 @@ impl Mvba {
         let shares: Vec<CoinShare> = snapshot.into_iter().map(|(_, s)| s).collect();
         let public = Arc::clone(&self.public);
         let name = name.to_vec();
-        let tx = tx.clone();
+        let sender = self.verdicts.sender();
         // Workers need randomness for the batch combination
         // coefficients; derive it from the protocol stream so the whole
         // run stays seeded.
@@ -575,51 +593,93 @@ impl Mvba {
             };
             // If the instance was dropped (round GC'd) the channel is
             // closed and the verdict is simply discarded.
-            let _ = tx.send(CoinVerdict {
-                election,
+            sender.send(Verdict {
+                key: election,
                 parties,
                 culprits,
             });
         }));
     }
 
+    /// Cross-election culprit propagation — the per-(sender, election)
+    /// verdict cache: an invalid coin share bans its sender from every
+    /// buffered election tracker, and `instance_banned` seeds all future
+    /// ones, so continued spam is rejected on arrival instead of
+    /// triggering another per-share fallback pass.
+    fn ban_sender(&mut self, culprit: PartyId) {
+        self.instance_banned.insert(culprit);
+        for tracker in self.elect_shares.values_mut() {
+            tracker.ban(culprit);
+        }
+    }
+
     /// Applies any verdicts pool workers have sent back; returns the
     /// elections whose batches settled.
     fn apply_verdicts(&mut self) -> Vec<u64> {
         let mut settled = Vec::new();
-        let Some(rx) = &self.verdict_rx else {
-            return settled;
-        };
-        let mut verdicts = Vec::new();
-        while let Ok(v) = rx.try_recv() {
-            verdicts.push(v);
-        }
-        for v in verdicts {
-            self.awaiting_verify.remove(&v.election);
-            if let Some(tracker) = self.elect_shares.get_mut(&v.election) {
+        for v in self.verdicts.drain() {
+            self.awaiting_verify.remove(&v.key);
+            if let Some(tracker) = self.elect_shares.get_mut(&v.key) {
                 tracker.apply_verdict(&v.parties, &v.culprits);
             }
-            settled.push(v.election);
+            for &culprit in &v.culprits {
+                self.ban_sender(culprit);
+            }
+            settled.push(v.key);
         }
         settled
     }
 
-    /// Applies pool verdicts and advances any election that was parked
-    /// on them. The ABC layer calls this from its tick whenever a
-    /// threaded pool is attached; returns the decision if one results.
+    /// Applies pool verdicts — its own election coins plus those of its
+    /// CBC and ABBA sub-protocols — and advances whatever was parked on
+    /// them. Runs on every message entry and from the ABC layer's tick;
+    /// returns the decision if one results.
     pub fn drain_verifications(
         &mut self,
         rng: &mut SeededRng,
         out: &mut Outbox<MvbaMessage>,
     ) -> Option<Vec<u8>> {
+        self.pool.as_ref()?;
+        // CBC echo batches settle first: a delivered voucher can unlock
+        // the proposal quorum (and must be served even after deciding,
+        // so laggards still receive the transferable Final).
+        for proposer in 0..self.n {
+            let mut sub = Outbox::new(self.n);
+            let delivered = self.cbc[proposer].drain_verifications(&mut sub);
+            wrap(out, sub, |inner| MvbaMessage::Proposal { proposer, inner });
+            if let Some(voucher) = delivered {
+                if self.decided.is_none() && (self.predicate)(&voucher.payload) {
+                    self.store_voucher(proposer, voucher);
+                }
+            }
+        }
         if self.decided.is_some() {
             return None;
+        }
+        if let Some(d) = self.progress(rng, out) {
+            return Some(d);
         }
         let settled = self.apply_verdicts();
         for election in settled {
             let decision = self.try_elect(election, rng, out);
             if decision.is_some() {
                 return decision;
+            }
+        }
+        // ABBA coin/vote batches.
+        let elections: Vec<u64> = self.abbas.keys().copied().collect();
+        for election in elections {
+            let mut sub = Outbox::new(self.n);
+            let decision = self
+                .abbas
+                .get_mut(&election)
+                .expect("listed above")
+                .drain_verifications(rng, &mut sub);
+            wrap(out, sub, |inner| MvbaMessage::Vote { election, inner });
+            if let Some(bit) = decision {
+                if let Some(d) = self.on_abba_decision(election, bit, rng, out) {
+                    return Some(d);
+                }
             }
         }
         None

@@ -91,6 +91,36 @@ fn campaign_abba_coin_tamper_attributes_culprits() {
     );
 }
 
+/// Satellite of the cross-round verdict cache: a Byzantine party that
+/// spams tampered coin shares is re-verified O(1) times per instance,
+/// not once per round. The first failed batch attributes the tamperer
+/// and instance-bans it; every later share from it is rejected at
+/// insert, before any proof arithmetic. The thread-local fallback
+/// counter measures exactly the per-share re-verifications taken after
+/// a failed batch equation, so the whole sweep must stay within a small
+/// per-case allowance (without the cache the count grows with every
+/// coin round of every case).
+#[test]
+fn campaign_abba_coin_tamper_bounded_verify_cost() {
+    let attributions = std::cell::Cell::new(0usize);
+    let mut plan = plan(5_000_000);
+    plan.behaviors = vec![BehaviorKind::Mutate];
+    sintra_obs::global::reset_share_fallback();
+    let report = run_campaign(&plan, &abba_coin_tamper_hooks(&attributions));
+    assert!(report.passed(), "{}", report.summary());
+    let fallback = sintra_obs::global::share_fallback_count();
+    let cases = report.cases_run as u64;
+    // Allowance: per case, each of the 3 honest nodes pays at most a
+    // couple of failed batches (rounds already holding the tamperer's
+    // share when the ban lands) of at most n = 4 shares each.
+    let bound = cases * 3 * 2 * 4;
+    assert!(
+        fallback <= bound,
+        "verify cost unbounded under coin-tamper spam: \
+         {fallback} fallback re-verifications across {cases} cases (bound {bound})"
+    );
+}
+
 #[test]
 fn campaign_mvba_full_grid() {
     let report = run_campaign(&plan(20_000_000), &mvba_hooks());

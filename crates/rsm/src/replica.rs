@@ -290,8 +290,10 @@ impl OrderingLayer for SecureCausalAtomicBroadcast {
     fn apply_config(&mut self, cfg: &ReplicaConfig) {
         self.abc_mut().tune(&cfg.tuning);
         if cfg.verify_workers > 0 {
-            self.abc_mut()
-                .set_verify_pool(VerifyPool::new(cfg.verify_workers));
+            // Attach at the SCABC level so TDH2 decryption-share
+            // batches go through the pool too, not just the ABC's
+            // signature and coin shares.
+            self.set_verify_pool(VerifyPool::new(cfg.verify_workers));
         }
     }
 }

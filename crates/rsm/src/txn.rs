@@ -529,7 +529,11 @@ impl StateMachine for TxnKvMachine {
             // Semantic consistency no honest execution can violate:
             // every lock is held by a staged transaction, and every
             // staged transaction's keys are locked by exactly it.
-            if !m.locks.values().all(|holder| m.pending.contains_key(holder)) {
+            if !m
+                .locks
+                .values()
+                .all(|holder| m.pending.contains_key(holder))
+            {
                 return None;
             }
             for (id, staged) in &m.pending {
@@ -860,7 +864,10 @@ mod tests {
         truncated.pop();
         assert_eq!(m.apply(&truncated), b"ERR malformed");
         // A decision entry without its token is malformed, not refused.
-        assert_eq!(m.apply(&[b"C".as_ref(), id.as_ref()].concat()), b"ERR malformed");
+        assert_eq!(
+            m.apply(&[b"C".as_ref(), id.as_ref()].concat()),
+            b"ERR malformed"
+        );
         let mut long = TxnKvMachine::encode_commit(&id, &tokens.commit);
         long.push(0);
         assert_eq!(m.apply(&long), b"ERR malformed");
