@@ -8,6 +8,7 @@
 //! cargo run --release -p bench --bin tcp_chaos              # all scenarios
 //! cargo run --release -p bench --bin tcp_chaos -- --quick   # CI smoke
 //! cargo run --release -p bench --bin tcp_chaos -- --scenario restarts
+//! cargo run --release -p bench --bin tcp_chaos -- --runtime reactor
 //! ```
 //!
 //! Three scenarios, each a safety + liveness check:
@@ -41,7 +42,9 @@ use std::time::{Duration, Instant};
 
 use sintra::crypto::hash::Sha256;
 use sintra::net::protocol::Protocol;
-use sintra::net::{run_tcp_node_driven, ChaosConfig, LinkFaults, Partition, TcpNodeConfig};
+use sintra::net::{
+    run_tcp_node_driven, ChaosConfig, LinkFaults, Partition, TcpNodeConfig, TcpRuntime,
+};
 use sintra::rsm::{rsm_build, KvMachine, OrderingLayer, StateMachine};
 
 /// Replicas in the campaign (the standard 4-of-which-1-may-fail setup).
@@ -72,6 +75,7 @@ struct Args {
     linger_ms: u64,
     part_ms: (u64, u64),
     quick: bool,
+    runtime: TcpRuntime,
 }
 
 fn parse_args() -> Args {
@@ -85,6 +89,7 @@ fn parse_args() -> Args {
         linger_ms: 0,
         part_ms: (0, 0),
         quick: false,
+        runtime: TcpRuntime::Threaded,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -111,6 +116,9 @@ fn parse_args() -> Args {
                 args.part_ms = (a.parse().expect("--part-ms"), b.parse().expect("--part-ms"));
             }
             "--quick" => args.quick = true,
+            "--runtime" => {
+                args.runtime = value().parse().expect("--runtime threaded|reactor");
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -206,6 +214,7 @@ fn run_replica(me: usize, args: &Args) {
     );
     cfg.chaos = chaos_for(args, me);
     cfg.bind_retry = Duration::from_secs(10);
+    cfg.runtime = args.runtime;
 
     let target = args.target as u64;
     let pace = Duration::from_millis(args.pace_ms);
@@ -308,6 +317,7 @@ fn spawn_replica(
     ports_arg: &str,
     seed: u64,
     p: &Params,
+    runtime: TcpRuntime,
 ) -> ChildProc {
     let mut child = Command::new(exe)
         .args(["--replica", &i.to_string()])
@@ -318,6 +328,7 @@ fn spawn_replica(
         .args(["--pace-ms", &p.pace_ms.to_string()])
         .args(["--linger-ms", &p.linger_ms.to_string()])
         .args(["--part-ms", &format!("{},{}", p.part_ms.0, p.part_ms.1)])
+        .args(["--runtime", &runtime.to_string()])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -459,7 +470,12 @@ fn outcome(
 /// second kill is gated on the first victim proving it rejoined
 /// (applied > 0 after restarting empty), so the mesh always keeps a
 /// qualified quorum and the scenario tests recovery, not mere survival.
-fn scenario_restarts(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioOutcome {
+fn scenario_restarts(
+    exe: &std::path::Path,
+    seed: u64,
+    quick: bool,
+    runtime: TcpRuntime,
+) -> ScenarioOutcome {
     let p = Params::new("restarts", quick);
     let started = Instant::now();
     let ports = free_ports(N);
@@ -469,7 +485,7 @@ fn scenario_restarts(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioO
         .collect::<Vec<_>>()
         .join(",");
     let mut procs: Vec<ChildProc> = (0..N)
-        .map(|i| spawn_replica(exe, "restarts", i, &ports_arg, seed, &p))
+        .map(|i| spawn_replica(exe, "restarts", i, &ports_arg, seed, &p, runtime))
         .collect();
 
     let gate1 = u64::from(p.target / 5).max(2);
@@ -480,7 +496,7 @@ fn scenario_restarts(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioO
     println!("  SIGKILL replica 3 (applied ≥ {gate1}, round {round_at_kill1})");
     kill_and_reap(&mut procs[3], 3);
     thread::sleep(RESTART_AFTER);
-    procs[3] = spawn_replica(exe, "restarts", 3, &ports_arg, seed, &p);
+    procs[3] = spawn_replica(exe, "restarts", 3, &ports_arg, seed, &p, runtime);
     println!("  restarted replica 3");
 
     let gate2 = u64::from(p.target / 2).max(4);
@@ -496,7 +512,7 @@ fn scenario_restarts(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioO
     println!("  SIGKILL replica 2 (applied ≥ {gate2}, round {round_at_kill2})");
     kill_and_reap(&mut procs[2], 2);
     thread::sleep(RESTART_AFTER);
-    procs[2] = spawn_replica(exe, "restarts", 2, &ports_arg, seed, &p);
+    procs[2] = spawn_replica(exe, "restarts", 2, &ports_arg, seed, &p, runtime);
     println!("  restarted replica 2");
 
     let states: Vec<StateLine> = procs
@@ -517,7 +533,12 @@ fn scenario_restarts(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioO
 /// A scheduled `{0,1} | {2,3}` split: with `t = 1` neither half is a
 /// qualified quorum, so ordering stalls until the window closes; the
 /// backlog must then order and all four replicas converge.
-fn scenario_partition(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioOutcome {
+fn scenario_partition(
+    exe: &std::path::Path,
+    seed: u64,
+    quick: bool,
+    runtime: TcpRuntime,
+) -> ScenarioOutcome {
     let p = Params::new("partition", quick);
     let started = Instant::now();
     let ports = free_ports(N);
@@ -527,7 +548,7 @@ fn scenario_partition(exe: &std::path::Path, seed: u64, quick: bool) -> Scenario
         .collect::<Vec<_>>()
         .join(",");
     let mut procs: Vec<ChildProc> = (0..N)
-        .map(|i| spawn_replica(exe, "partition", i, &ports_arg, seed, &p))
+        .map(|i| spawn_replica(exe, "partition", i, &ports_arg, seed, &p, runtime))
         .collect();
 
     // Sample the round watermark mid-window; post-heal progress must
@@ -562,7 +583,12 @@ fn scenario_partition(exe: &std::path::Path, seed: u64, quick: bool) -> Scenario
 /// inversions, connection resets, and a byte-rate throttle. Nothing is
 /// lost permanently, so convergence is mandatory — and the summed chaos
 /// counters prove the faults actually fired.
-fn scenario_flaky(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioOutcome {
+fn scenario_flaky(
+    exe: &std::path::Path,
+    seed: u64,
+    quick: bool,
+    runtime: TcpRuntime,
+) -> ScenarioOutcome {
     let p = Params::new("flaky", quick);
     let started = Instant::now();
     let ports = free_ports(N);
@@ -572,7 +598,7 @@ fn scenario_flaky(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioOutc
         .collect::<Vec<_>>()
         .join(",");
     let mut procs: Vec<ChildProc> = (0..N)
-        .map(|i| spawn_replica(exe, "flaky", i, &ports_arg, seed, &p))
+        .map(|i| spawn_replica(exe, "flaky", i, &ports_arg, seed, &p, runtime))
         .collect();
     let states: Vec<StateLine> = procs
         .iter_mut()
@@ -589,7 +615,13 @@ fn scenario_flaky(exe: &std::path::Path, seed: u64, quick: bool) -> ScenarioOutc
     outcome("flaky", &p, &states, started, 0, 0)
 }
 
-fn write_report(path: &str, seed: u64, quick: bool, outcomes: &[ScenarioOutcome]) {
+fn write_report(
+    path: &str,
+    seed: u64,
+    quick: bool,
+    runtime: TcpRuntime,
+    outcomes: &[ScenarioOutcome],
+) {
     let scenarios = outcomes
         .iter()
         .map(|o| {
@@ -622,7 +654,8 @@ fn write_report(path: &str, seed: u64, quick: bool, outcomes: &[ScenarioOutcome]
         .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"tcp_chaos\",\n  \"n\": {N},\n  \"t\": 1,\n  \
-         \"seed\": {seed},\n  \"quick\": {quick},\n  \"scenarios\": [\n{scenarios}\n  ]\n}}\n"
+         \"seed\": {seed},\n  \"quick\": {quick},\n  \"runtime\": \"{runtime}\",\n  \
+         \"scenarios\": [\n{scenarios}\n  ]\n}}\n"
     );
     std::fs::write(path, json).expect("write chaos report");
     println!("report written to {path}");
@@ -645,11 +678,11 @@ fn main() {
         if args.scenario.as_deref().is_some_and(|s| s != name) {
             continue;
         }
-        println!("=== scenario {name} ===");
+        println!("=== scenario {name} [{}] ===", args.runtime);
         let o = match name {
-            "restarts" => scenario_restarts(&exe, args.seed, args.quick),
-            "partition" => scenario_partition(&exe, args.seed, args.quick),
-            _ => scenario_flaky(&exe, args.seed, args.quick),
+            "restarts" => scenario_restarts(&exe, args.seed, args.quick, args.runtime),
+            "partition" => scenario_partition(&exe, args.seed, args.quick, args.runtime),
+            _ => scenario_flaky(&exe, args.seed, args.quick, args.runtime),
         };
         println!(
             "  ok: {} requests applied on all {N} replicas, digest {}…, \
@@ -661,6 +694,12 @@ fn main() {
         );
         outcomes.push(o);
     }
-    write_report("BENCH_chaos.json", args.seed, args.quick, &outcomes);
+    write_report(
+        "BENCH_chaos.json",
+        args.seed,
+        args.quick,
+        args.runtime,
+        &outcomes,
+    );
     println!("tcp_chaos passed: {} scenario(s)", outcomes.len());
 }

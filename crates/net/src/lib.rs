@@ -28,8 +28,10 @@ pub mod chaos;
 pub mod codec;
 pub mod faults;
 pub mod protocol;
+pub mod reactor;
 pub mod shard;
 pub mod sim;
+pub mod sys;
 pub mod tcp_runtime;
 pub mod thread_runtime;
 
@@ -46,7 +48,8 @@ pub use sim::{
     PartitionScheduler, RandomScheduler, Scheduler, SimStats, Simulation, TargetedDelayScheduler,
 };
 pub use tcp_runtime::{
-    run_tcp, run_tcp_node, run_tcp_node_driven, run_tcp_observed, HandshakeError, LinkState,
-    TcpNodeConfig, TcpNodeReport, DEFAULT_QUEUE_BYTES,
+    run_tcp, run_tcp_node, run_tcp_node_driven, run_tcp_observed, run_tcp_observed_with,
+    run_tcp_with, HandshakeError, LinkState, TcpNodeConfig, TcpNodeReport, TcpRuntime,
+    DEFAULT_QUEUE_BYTES,
 };
 pub use thread_runtime::{run_threaded, ThreadRunReport};

@@ -81,7 +81,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Handshake magic ("SNTR"): rejects strays that are not a sintra peer.
-const MAGIC: u32 = 0x534E_5452;
+pub(crate) const MAGIC: u32 = 0x534E_5452;
 
 /// Why an inbound connection's handshake was refused. The connection is
 /// dropped either way; the variants exist so rejects are *countable*
@@ -117,7 +117,7 @@ impl core::fmt::Display for HandshakeError {
 impl std::error::Error for HandshakeError {}
 
 /// Parses the 8-byte preamble (`magic ‖ sender id`, both u32 BE).
-fn parse_handshake(hs: &[u8; 8], n: usize) -> Result<PartyId, HandshakeError> {
+pub(crate) fn parse_handshake(hs: &[u8; 8], n: usize) -> Result<PartyId, HandshakeError> {
     let (magic, peer) = hs.split_at(4);
     let magic = u32::from_be_bytes(magic.try_into().map_err(|_| HandshakeError::Truncated)?);
     let claimed = u32::from_be_bytes(peer.try_into().map_err(|_| HandshakeError::Truncated)?);
@@ -132,12 +132,12 @@ fn parse_handshake(hs: &[u8; 8], n: usize) -> Result<PartyId, HandshakeError> {
 
 /// Writer threads coalesce queued frames up to this many bytes per
 /// syscall.
-const COALESCE_BYTES: usize = 64 * 1024;
+pub(crate) const COALESCE_BYTES: usize = 64 * 1024;
 
 /// Node-loop granularity: inbox poll timeout and tick period, matching
 /// the thread runtime so tick-counted protocol timeouts behave the
 /// same on both runtimes.
-const TICK_EVERY: Duration = Duration::from_millis(5);
+pub(crate) const TICK_EVERY: Duration = Duration::from_millis(5);
 
 /// Default per-peer outbound queue cap. Roomy next to [`MAX_FRAME`]
 /// (a single frame always fits) yet small enough that a peer that is
@@ -146,19 +146,62 @@ pub const DEFAULT_QUEUE_BYTES: usize = 4 * 1024 * 1024;
 
 /// How long the accept loop waits for a dialer's 8-byte handshake
 /// before dropping the connection as [`HandshakeError::Truncated`].
-const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(2);
+pub(crate) const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(2);
 
 /// An idle writer sends a zero-length heartbeat frame at this period so
 /// the receiving side's staleness detector has something to hear.
-const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+pub(crate) const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
 
 /// An Up link that has heard nothing (not even heartbeats) for this
 /// long is marked Degraded.
 const STALE_AFTER_MS: u64 = 1_000;
 
+/// Hard deadline on a single outbound dial attempt. Without one, a
+/// blackholed peer (SYN silently dropped — no RST) parks the blocking
+/// `connect` for the kernel's SYN-retry schedule (minutes), during
+/// which the jittered backoff never runs and the link never degrades.
+pub(crate) const DIAL_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// Reconnect backoff bounds (the actual sleep is jittered ±50%).
-const BACKOFF_MIN: Duration = Duration::from_millis(10);
-const BACKOFF_MAX: Duration = Duration::from_millis(500);
+pub(crate) const BACKOFF_MIN: Duration = Duration::from_millis(10);
+pub(crate) const BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Which transport implementation a TCP node runs on. Both speak the
+/// same wire protocol (handshake, frames, heartbeats) and honor the
+/// same contracts (bounded lanes, supervision, chaos interposition),
+/// so meshes of mixed runtimes interoperate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TcpRuntime {
+    /// One writer thread per peer plus one detached reader per
+    /// accepted connection — simple, blocking I/O.
+    #[default]
+    Threaded,
+    /// A single epoll event loop per node driving every socket
+    /// nonblocking (see [`crate::reactor`]) — O(1) threads per node
+    /// regardless of mesh size.
+    Reactor,
+}
+
+impl std::str::FromStr for TcpRuntime {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(TcpRuntime::Threaded),
+            "reactor" => Ok(TcpRuntime::Reactor),
+            other => Err(format!("unknown runtime {other:?} (threaded|reactor)")),
+        }
+    }
+}
+
+impl core::fmt::Display for TcpRuntime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            TcpRuntime::Threaded => "threaded",
+            TcpRuntime::Reactor => "reactor",
+        })
+    }
+}
 
 /// Where a supervised outbound link stands. Transitions are advisory
 /// timing signals (the asynchronous model admits no failure
@@ -202,19 +245,19 @@ impl LinkState {
 /// Shared per-peer link telemetry: the writer publishes connectivity,
 /// readers stamp the last-heard clock, the node loop consumes both.
 #[derive(Debug)]
-struct LinkSupervisor {
+pub(crate) struct LinkSupervisor {
     state: AtomicU8,
     /// Successful dial+handshake count; every increment is a Down→Up
     /// (or first) transition the node loop turns into an
     /// `on_link_up_ctx` callback.
-    up_epochs: AtomicU64,
+    pub(crate) up_epochs: AtomicU64,
     /// Milliseconds since mesh start when the peer was last heard
     /// (frame or heartbeat), plus one; 0 means never.
-    last_rx_ms: AtomicU64,
+    pub(crate) last_rx_ms: AtomicU64,
 }
 
 impl LinkSupervisor {
-    fn new() -> LinkSupervisor {
+    pub(crate) fn new() -> LinkSupervisor {
         LinkSupervisor {
             state: AtomicU8::new(LinkState::Connecting.as_u8()),
             up_epochs: AtomicU64::new(0),
@@ -222,12 +265,18 @@ impl LinkSupervisor {
         }
     }
 
-    fn set(&self, s: LinkState) {
+    pub(crate) fn set(&self, s: LinkState) {
         self.state.store(s.as_u8(), Ordering::Relaxed);
     }
 
-    fn get(&self) -> LinkState {
+    pub(crate) fn get(&self) -> LinkState {
         LinkState::from_u8(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Stamps the last-heard clock with `elapsed` since the mesh epoch.
+    pub(crate) fn touch(&self, elapsed: Duration) {
+        self.last_rx_ms
+            .store(elapsed.as_millis() as u64 + 1, Ordering::Relaxed);
     }
 }
 
@@ -235,12 +284,22 @@ impl LinkSupervisor {
 /// every drop counted. Bounding here is what keeps a sender's memory
 /// flat while a peer is Down — the PR-5 bounded-memory guarantee
 /// extended to the wire.
+///
+/// Locking is *poison-tolerant*: a writer thread that panics while
+/// holding the mutex used to poison it, converting one dead link into
+/// a panic on the protocol thread's next `push` — a whole-node crash
+/// bought by a single I/O failure. Now the guard is recovered (the
+/// queue state is always consistent at every await point: byte
+/// accounting happens under the same critical section as the queue
+/// mutation), the recovery is counted in `lane_poisoned`, and the link
+/// merely stays Down until redial.
 #[derive(Debug)]
-struct Lane {
+pub(crate) struct Lane {
     inner: std::sync::Mutex<LaneInner>,
     cv: std::sync::Condvar,
     cap: usize,
     dropped: Arc<AtomicU64>,
+    poisoned: Arc<AtomicU64>,
 }
 
 #[derive(Debug, Default)]
@@ -251,19 +310,32 @@ struct LaneInner {
 }
 
 impl Lane {
-    fn new(cap: usize, dropped: Arc<AtomicU64>) -> Lane {
+    pub(crate) fn new(cap: usize, dropped: Arc<AtomicU64>, poisoned: Arc<AtomicU64>) -> Lane {
         Lane {
             inner: std::sync::Mutex::new(LaneInner::default()),
             cv: std::sync::Condvar::new(),
             cap: cap.max(MAX_FRAME + 4),
             dropped,
+            poisoned,
+        }
+    }
+
+    /// Locks the queue, recovering (and counting) a poisoned mutex
+    /// instead of propagating the dead thread's panic.
+    fn lock(&self) -> std::sync::MutexGuard<'_, LaneInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(e) => {
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                e.into_inner()
+            }
         }
     }
 
     /// Queues a frame, evicting oldest frames past the cap (the newest
     /// frame always survives). Returns `false` once closed.
-    fn push(&self, frame: Vec<u8>) -> bool {
-        let mut g = self.inner.lock().expect("lane lock");
+    pub(crate) fn push(&self, frame: Vec<u8>) -> bool {
+        let mut g = self.lock();
         if g.closed {
             return false;
         }
@@ -283,14 +355,16 @@ impl Lane {
     /// Takes up to `max_bytes` of queued frames, waiting up to
     /// `timeout` when empty. The boolean is true once the lane is
     /// closed *and* drained — the writer's signal to exit.
-    fn pop_batch(&self, max_bytes: usize, timeout: Duration) -> (Vec<Vec<u8>>, bool) {
-        let mut g = self.inner.lock().expect("lane lock");
-        if g.q.is_empty() && !g.closed {
-            let (guard, _) = self
-                .cv
-                .wait_timeout(g, timeout)
-                .expect("lane lock poisoned");
-            g = guard;
+    pub(crate) fn pop_batch(&self, max_bytes: usize, timeout: Duration) -> (Vec<Vec<u8>>, bool) {
+        let mut g = self.lock();
+        if g.q.is_empty() && !g.closed && !timeout.is_zero() {
+            g = match self.cv.wait_timeout(g, timeout) {
+                Ok((guard, _)) => guard,
+                Err(e) => {
+                    self.poisoned.fetch_add(1, Ordering::Relaxed);
+                    e.into_inner().0
+                }
+            };
         }
         let mut out = Vec::new();
         let mut taken = 0usize;
@@ -307,11 +381,17 @@ impl Lane {
     /// Bytes currently queued (the bounded-memory tests assert on it).
     #[cfg(test)]
     fn queued_bytes(&self) -> usize {
-        self.inner.lock().expect("lane lock").bytes
+        self.lock().bytes
     }
 
-    fn close(&self) {
-        self.inner.lock().expect("lane lock").closed = true;
+    /// Whether nothing is queued (the reactor's park gate checks this
+    /// before sleeping).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.lock().q.is_empty()
+    }
+
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
         self.cv.notify_all();
     }
 }
@@ -343,6 +423,9 @@ pub struct TcpNodeConfig {
     /// restarted onto its old port races the kernel's TIME_WAIT
     /// teardown of its predecessor's sockets.
     pub bind_retry: Duration,
+    /// Which transport implementation drives the sockets (see
+    /// [`TcpRuntime`]); both speak the same wire protocol.
+    pub runtime: TcpRuntime,
 }
 
 impl TcpNodeConfig {
@@ -358,6 +441,7 @@ impl TcpNodeConfig {
             chaos: None,
             queue_bytes: DEFAULT_QUEUE_BYTES,
             bind_retry: Duration::ZERO,
+            runtime: TcpRuntime::default(),
         }
     }
 }
@@ -380,6 +464,10 @@ pub struct TcpNodeReport<O> {
     pub handshake_rejects: u64,
     /// Frames evicted from bounded outbound queues (drop-oldest).
     pub outbound_dropped: u64,
+    /// Poisoned-lane recoveries: a writer thread died mid-lock and the
+    /// guard was recovered instead of propagating the panic. Nonzero
+    /// means a link failed hard but the node kept running.
+    pub lane_poisoned: u64,
     /// Chaos interposer tallies: (dropped, garbled, resets, delayed,
     /// reordered) — all zero without a [`ChaosConfig`].
     pub chaos_counts: (u64, u64, u64, u64, u64),
@@ -387,13 +475,28 @@ pub struct TcpNodeReport<O> {
     pub metrics: MetricsSnapshot,
 }
 
+/// Event-loop telemetry the reactor runtime folds into its stats;
+/// all-zero on the threaded runtime.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ReactorStats {
+    /// High-water mark of fds registered with epoll at once.
+    pub(crate) fds_peak: u64,
+    /// `epoll_wait` returns (each is one batch of events or a tick).
+    pub(crate) wakeups: u64,
+    /// Read-buffer pool: fresh allocations vs. recycled buffers.
+    pub(crate) pool_allocations: u64,
+    pub(crate) pool_recycles: u64,
+}
+
 /// Counters a mesh returns at teardown.
-struct MeshStats {
-    bytes_sent: u64,
-    bytes_recv: u64,
-    handshake_rejects: u64,
-    outbound_dropped: u64,
-    chaos: (u64, u64, u64, u64, u64),
+pub(crate) struct MeshStats {
+    pub(crate) bytes_sent: u64,
+    pub(crate) bytes_recv: u64,
+    pub(crate) handshake_rejects: u64,
+    pub(crate) outbound_dropped: u64,
+    pub(crate) lane_poisoned: u64,
+    pub(crate) chaos: (u64, u64, u64, u64, u64),
+    pub(crate) reactor: ReactorStats,
 }
 
 /// An `io::Read` adapter that charges everything read to an atomic
@@ -458,20 +561,41 @@ fn read_event<M: WireCodec, R: io::Read>(stream: &mut R) -> io::Result<WireEvent
     Ok(WireEvent::Msg(msg))
 }
 
+/// Tracks, per peer, the inbound socket currently owned by a reader
+/// thread, so a fresh handshake from the same peer can `shutdown()`
+/// its predecessor (waking the old reader into an orderly exit)
+/// instead of leaking one blocked thread + fd per reconnect.
+type InboundSlots = Arc<Vec<Mutex<Option<TcpStream>>>>;
+
+/// Decrements the live-reader gauge when a reader thread exits by any
+/// path (EOF, error, poisoned inbox) — Drop makes the accounting
+/// panic-proof.
+struct ReaderGuard(Arc<AtomicU64>);
+
+impl Drop for ReaderGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// One replica's view of the mesh: an inbox fed by accepted
 /// connections, a framed bounded outbound lane per peer, and a link
 /// supervisor per peer.
-struct TcpMesh<M> {
+pub(crate) struct TcpMesh<M> {
     me: PartyId,
     epoch: Instant,
     inbox_tx: Sender<(PartyId, M)>,
     inbox_rx: Receiver<(PartyId, M)>,
     outbound: Vec<Option<Arc<Lane>>>,
     supervisors: Vec<Option<Arc<LinkSupervisor>>>,
+    inbound: InboundSlots,
+    #[cfg_attr(not(test), allow(dead_code))]
+    live_readers: Arc<AtomicU64>,
     bytes_sent: Arc<AtomicU64>,
     bytes_recv: Arc<AtomicU64>,
     handshake_rejects: Arc<AtomicU64>,
     outbound_dropped: Arc<AtomicU64>,
+    lane_poisoned: Arc<AtomicU64>,
     chaos_counters: Arc<ChaosCounters>,
     shutdown: Arc<AtomicBool>,
     io_threads: Vec<std::thread::JoinHandle<()>>,
@@ -495,8 +619,11 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
         let bytes_recv = Arc::new(AtomicU64::new(0));
         let handshake_rejects = Arc::new(AtomicU64::new(0));
         let outbound_dropped = Arc::new(AtomicU64::new(0));
+        let lane_poisoned = Arc::new(AtomicU64::new(0));
         let chaos_counters = Arc::new(ChaosCounters::default());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let inbound: InboundSlots = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let live_readers = Arc::new(AtomicU64::new(0));
         let mut io_threads = Vec::new();
 
         let supervisors: Vec<Option<Arc<LinkSupervisor>>> = (0..n)
@@ -512,6 +639,8 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
             let handshake_rejects = Arc::clone(&handshake_rejects);
             let shutdown = Arc::clone(&shutdown);
             let supervisors = supervisors.clone();
+            let inbound = Arc::clone(&inbound);
+            let live_readers = Arc::clone(&live_readers);
             io_threads.push(std::thread::spawn(move || {
                 accept_loop::<M>(
                     listener,
@@ -521,6 +650,8 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
                     handshake_rejects,
                     shutdown,
                     supervisors,
+                    inbound,
+                    live_readers,
                     epoch,
                 );
             }));
@@ -533,7 +664,11 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
                 outbound.push(None);
                 continue;
             }
-            let lane = Arc::new(Lane::new(queue_bytes, Arc::clone(&outbound_dropped)));
+            let lane = Arc::new(Lane::new(
+                queue_bytes,
+                Arc::clone(&outbound_dropped),
+                Arc::clone(&lane_poisoned),
+            ));
             let task = WriterTask {
                 addr: *addr,
                 me,
@@ -561,10 +696,13 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
             inbox_rx,
             outbound,
             supervisors,
+            inbound,
+            live_readers,
             bytes_sent,
             bytes_recv,
             handshake_rejects,
             outbound_dropped,
+            lane_poisoned,
             chaos_counters,
             shutdown,
             io_threads,
@@ -594,7 +732,8 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
 
     /// Flushes and tears down: writers drain their lanes, close their
     /// sockets (peers see EOF), and are joined along with the acceptor.
-    /// Reader threads exit on their peers' EOF and are left detached.
+    /// Inbound sockets are shut down explicitly so their reader
+    /// threads exit promptly instead of waiting for peer EOF.
     fn shutdown(mut self) -> MeshStats {
         self.shutdown.store(true, Ordering::Relaxed);
         for lane in self.outbound.iter().flatten() {
@@ -603,13 +742,26 @@ impl<M: WireCodec + Send + 'static> TcpMesh<M> {
         for h in self.io_threads.drain(..) {
             let _ = h.join();
         }
+        for slot in self.inbound.iter() {
+            if let Some(s) = slot.lock().take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
         MeshStats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
             handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
             outbound_dropped: self.outbound_dropped.load(Ordering::Relaxed),
+            lane_poisoned: self.lane_poisoned.load(Ordering::Relaxed),
             chaos: self.chaos_counters.snapshot(),
+            reactor: ReactorStats::default(),
         }
+    }
+
+    /// Reader threads currently alive (flap-leak regression gauge).
+    #[cfg(test)]
+    fn live_readers(&self) -> u64 {
+        self.live_readers.load(Ordering::Relaxed)
     }
 }
 
@@ -622,6 +774,8 @@ fn accept_loop<M: WireCodec + Send + 'static>(
     handshake_rejects: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
     supervisors: Vec<Option<Arc<LinkSupervisor>>>,
+    inbound: InboundSlots,
+    live_readers: Arc<AtomicU64>,
     epoch: Instant,
 ) {
     loop {
@@ -649,13 +803,36 @@ fn accept_loop<M: WireCodec + Send + 'static>(
                     }
                 };
                 let _ = stream.set_read_timeout(None);
+                // Reap the previous reader for this peer: a flapping
+                // or crashed-without-close peer re-handshakes while
+                // the old reader is still parked in `read` on a dead
+                // socket. SHUT_RD wakes that reader into an orderly
+                // exit — but, unlike a full shutdown, frames already
+                // acked into the receive buffer stay readable until
+                // EOF, so frames the sender counted delivered are
+                // never discarded by the reap. A reconnect then costs
+                // a swap instead of leaking one thread + fd each time.
+                let prev = match stream.try_clone() {
+                    Ok(dup) => inbound[peer].lock().replace(dup),
+                    // A failed dup (fd exhaustion) only means this
+                    // connection cannot be reaped early; still evict
+                    // the predecessor.
+                    Err(_) => inbound[peer].lock().take(),
+                };
+                if let Some(old) = prev {
+                    let _ = old.shutdown(Shutdown::Read);
+                }
                 let inbox = inbox_tx.clone();
                 let counter = Arc::clone(&bytes_recv);
                 let sup = supervisors.get(peer).and_then(|s| s.clone());
+                live_readers.fetch_add(1, Ordering::Relaxed);
+                let guard = ReaderGuard(Arc::clone(&live_readers));
                 // Readers block on the socket and exit on EOF/error
-                // (peers close their write half at shutdown) or when
+                // (peers close their write half at shutdown, and a
+                // replacement handshake shuts the socket down) or when
                 // the inbox is gone; they are not joined.
                 std::thread::spawn(move || {
+                    let _guard = guard;
                     let mut counted = CountingReader {
                         inner: stream,
                         counter,
@@ -906,40 +1083,52 @@ fn write_frames(s: &mut TcpStream, frames: &[Vec<u8>]) -> std::io::Result<()> {
 }
 
 /// Dials a peer and sends the handshake. `None` on any failure.
+///
+/// The connect carries a hard deadline ([`DIAL_TIMEOUT`]): a
+/// blackholed peer (packets silently dropped, no RST — a firewalled
+/// host or a dead VM with a live route) must fail the dial in bounded
+/// time so the jittered backoff keeps running, instead of parking the
+/// writer thread on the kernel's SYN-retry schedule for minutes. The
+/// handshake write gets the same deadline for the same reason, then
+/// the socket reverts to blocking writes for the steady state.
 fn dial(addr: SocketAddr, me: PartyId) -> Option<TcpStream> {
-    let mut s = TcpStream::connect(addr).ok()?;
+    let mut s = TcpStream::connect_timeout(&addr, DIAL_TIMEOUT).ok()?;
     let _ = s.set_nodelay(true);
+    let _ = s.set_write_timeout(Some(DIAL_TIMEOUT));
     let mut hs = [0u8; 8];
     hs[..4].copy_from_slice(&MAGIC.to_be_bytes());
     hs[4..].copy_from_slice(&(me as u32).to_be_bytes());
     s.write_all(&hs).ok()?;
+    let _ = s.set_write_timeout(None);
     Some(s)
 }
 
 /// Per-node link bookkeeping for the node loops: turns writer-side
 /// up-epoch increments into `on_link_up_ctx` callbacks, derives the
 /// Degraded state from inbound staleness, and exports link gauges.
-struct LinkWatch {
+/// Runtime-agnostic: both meshes expose the same supervisor array.
+pub(crate) struct LinkWatch {
     seen_epochs: Vec<u64>,
 }
 
 impl LinkWatch {
-    fn new(n: usize) -> LinkWatch {
+    pub(crate) fn new(n: usize) -> LinkWatch {
         LinkWatch {
             seen_epochs: vec![0; n],
         }
     }
 
-    fn poll<P: Protocol>(
+    pub(crate) fn poll<P: Protocol>(
         &mut self,
-        mesh: &TcpMesh<P::Message>,
+        epoch: Instant,
+        supervisors: &[Option<Arc<LinkSupervisor>>],
         node: &mut P,
         ctx: &Context,
         fx: &mut Effects<P::Message, P::Output>,
     ) {
-        let now_ms = mesh.epoch.elapsed().as_millis() as u64;
+        let now_ms = epoch.elapsed().as_millis() as u64;
         let mut up = 0u64;
-        for (peer, sup) in mesh.supervisors.iter().enumerate() {
+        for (peer, sup) in supervisors.iter().enumerate() {
             let Some(sup) = sup else { continue };
             let e = sup.up_epochs.load(Ordering::Relaxed);
             if e > self.seen_epochs[peer] {
@@ -963,6 +1152,79 @@ impl LinkWatch {
         }
         if ctx.obs.is_enabled() {
             ctx.obs.gauge_set(Layer::Net, "links_up", up);
+        }
+    }
+}
+
+/// Runtime-dispatching mesh handle: the node loops talk to this and
+/// it forwards to whichever transport the config selected. Both
+/// variants expose identical semantics (same wire protocol, same
+/// bounded lanes, same supervisor array), so everything above the
+/// mesh is runtime-oblivious.
+pub(crate) enum Mesh<M> {
+    Threaded(TcpMesh<M>),
+    Reactor(crate::reactor::ReactorMesh<M>),
+}
+
+impl<M: WireCodec + Send + 'static> Mesh<M> {
+    pub(crate) fn start(
+        runtime: TcpRuntime,
+        me: PartyId,
+        addrs: &[SocketAddr],
+        listener: TcpListener,
+        chaos: Option<&ChaosConfig>,
+        queue_bytes: usize,
+    ) -> io::Result<Mesh<M>> {
+        match runtime {
+            TcpRuntime::Threaded => Ok(Mesh::Threaded(TcpMesh::start(
+                me,
+                addrs,
+                listener,
+                chaos,
+                queue_bytes,
+            )?)),
+            TcpRuntime::Reactor => Ok(Mesh::Reactor(crate::reactor::ReactorMesh::start(
+                me,
+                addrs,
+                listener,
+                chaos,
+                queue_bytes,
+            )?)),
+        }
+    }
+
+    pub(crate) fn send(&self, to: PartyId, msg: M) -> bool {
+        match self {
+            Mesh::Threaded(m) => m.send(to, msg),
+            Mesh::Reactor(m) => m.send(to, msg),
+        }
+    }
+
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Option<(PartyId, M)> {
+        match self {
+            Mesh::Threaded(m) => m.recv_timeout(timeout),
+            Mesh::Reactor(m) => m.recv_timeout(timeout),
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> Instant {
+        match self {
+            Mesh::Threaded(m) => m.epoch,
+            Mesh::Reactor(m) => m.epoch(),
+        }
+    }
+
+    pub(crate) fn supervisors(&self) -> &[Option<Arc<LinkSupervisor>>] {
+        match self {
+            Mesh::Threaded(m) => &m.supervisors,
+            Mesh::Reactor(m) => m.supervisors(),
+        }
+    }
+
+    pub(crate) fn shutdown(self) -> MeshStats {
+        match self {
+            Mesh::Threaded(m) => m.shutdown(),
+            Mesh::Reactor(m) => m.shutdown(),
         }
     }
 }
@@ -1050,7 +1312,8 @@ where
 {
     let n = cfg.addrs.len();
     let listener = bind_with_retry(cfg)?;
-    let mesh: TcpMesh<P::Message> = TcpMesh::start(
+    let mesh: Mesh<P::Message> = Mesh::start(
+        cfg.runtime,
         cfg.me,
         &cfg.addrs,
         listener,
@@ -1116,7 +1379,7 @@ where
             if obs.is_enabled() {
                 obs.inc(Layer::Net, "tick");
             }
-            links.poll(&mesh, &mut node, &ctx, &mut fx);
+            links.poll(mesh.epoch(), mesh.supervisors(), &mut node, &ctx, &mut fx);
             worked = true;
         }
         if worked {
@@ -1145,12 +1408,23 @@ where
         obs.add(Layer::Net, "tcp_bytes_recv", stats.bytes_recv);
         obs.add(Layer::Net, "handshake_rejected", stats.handshake_rejects);
         obs.add(Layer::Net, "tcp_outbound_dropped", stats.outbound_dropped);
+        obs.add(Layer::Net, "lane_poisoned", stats.lane_poisoned);
         let (cd, cg, cr, cl, co) = stats.chaos;
         obs.add(Layer::Net, "chaos_dropped", cd);
         obs.add(Layer::Net, "chaos_garbled", cg);
         obs.add(Layer::Net, "chaos_resets", cr);
         obs.add(Layer::Net, "chaos_delayed", cl);
         obs.add(Layer::Net, "chaos_reordered", co);
+        if cfg.runtime == TcpRuntime::Reactor {
+            obs.gauge_set(Layer::Net, "reactor_fds_peak", stats.reactor.fds_peak);
+            obs.add(Layer::Net, "reactor_wakeups", stats.reactor.wakeups);
+            obs.add(
+                Layer::Net,
+                "pool_allocations",
+                stats.reactor.pool_allocations,
+            );
+            obs.add(Layer::Net, "pool_recycles", stats.reactor.pool_recycles);
+        }
     }
     Ok((
         TcpNodeReport {
@@ -1161,6 +1435,7 @@ where
             bytes_recv: stats.bytes_recv,
             handshake_rejects: stats.handshake_rejects,
             outbound_dropped: stats.outbound_dropped,
+            lane_poisoned: stats.lane_poisoned,
             chaos_counts: stats.chaos,
             metrics: obs.metrics_snapshot(),
         },
@@ -1188,7 +1463,29 @@ where
     P::Input: Send + 'static,
     P::Output: Clone + Send + 'static,
 {
-    run_tcp_observed(nodes, inputs, stop, timeout, None)
+    run_tcp_observed_with(nodes, inputs, stop, timeout, None, TcpRuntime::Threaded)
+}
+
+/// [`run_tcp`] on an explicit [`TcpRuntime`] — the parameterized entry
+/// the runtime-equivalence tests drive both transports through.
+///
+/// # Errors
+///
+/// Returns an error if binding the loopback listeners fails.
+pub fn run_tcp_with<P>(
+    nodes: Vec<P>,
+    inputs: Vec<(PartyId, P::Input)>,
+    stop: impl Fn(&[Vec<P::Output>]) -> bool,
+    timeout: Duration,
+    runtime: TcpRuntime,
+) -> io::Result<ThreadRunReport<P::Output>>
+where
+    P: Protocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+    P::Input: Send + 'static,
+    P::Output: Clone + Send + 'static,
+{
+    run_tcp_observed_with(nodes, inputs, stop, timeout, None, runtime)
 }
 
 /// [`run_tcp`] with per-node instrumentation (see
@@ -1205,6 +1502,35 @@ pub fn run_tcp_observed<P>(
     stop: impl Fn(&[Vec<P::Output>]) -> bool,
     timeout: Duration,
     recorder_capacity: Option<usize>,
+) -> io::Result<ThreadRunReport<P::Output>>
+where
+    P: Protocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+    P::Input: Send + 'static,
+    P::Output: Clone + Send + 'static,
+{
+    run_tcp_observed_with(
+        nodes,
+        inputs,
+        stop,
+        timeout,
+        recorder_capacity,
+        TcpRuntime::Threaded,
+    )
+}
+
+/// [`run_tcp_observed`] on an explicit [`TcpRuntime`].
+///
+/// # Errors
+///
+/// Returns an error if binding the loopback listeners fails.
+pub fn run_tcp_observed_with<P>(
+    nodes: Vec<P>,
+    inputs: Vec<(PartyId, P::Input)>,
+    stop: impl Fn(&[Vec<P::Output>]) -> bool,
+    timeout: Duration,
+    recorder_capacity: Option<usize>,
+    runtime: TcpRuntime,
 ) -> io::Result<ThreadRunReport<P::Output>>
 where
     P: Protocol + Send + 'static,
@@ -1249,8 +1575,8 @@ where
         let done = Arc::clone(&done);
         let my_obs = obs[party].clone();
         handles.push(std::thread::spawn(move || {
-            let mesh: TcpMesh<P::Message> =
-                match TcpMesh::start(party, &addrs, listener, None, DEFAULT_QUEUE_BYTES) {
+            let mesh: Mesh<P::Message> =
+                match Mesh::start(runtime, party, &addrs, listener, None, DEFAULT_QUEUE_BYTES) {
                     Ok(mesh) => mesh,
                     Err(_) => return,
                 };
@@ -1300,7 +1626,7 @@ where
                     if my_obs.is_enabled() {
                         my_obs.inc(Layer::Net, "tick");
                     }
-                    links.poll(&mesh, &mut node, &ctx, &mut fx);
+                    links.poll(mesh.epoch(), mesh.supervisors(), &mut node, &ctx, &mut fx);
                     worked = true;
                 }
                 if worked {
@@ -1327,6 +1653,17 @@ where
                 my_obs.add(Layer::Net, "tcp_bytes_recv", stats.bytes_recv);
                 my_obs.add(Layer::Net, "handshake_rejected", stats.handshake_rejects);
                 my_obs.add(Layer::Net, "tcp_outbound_dropped", stats.outbound_dropped);
+                my_obs.add(Layer::Net, "lane_poisoned", stats.lane_poisoned);
+                if runtime == TcpRuntime::Reactor {
+                    my_obs.gauge_set(Layer::Net, "reactor_fds_peak", stats.reactor.fds_peak);
+                    my_obs.add(Layer::Net, "reactor_wakeups", stats.reactor.wakeups);
+                    my_obs.add(
+                        Layer::Net,
+                        "pool_allocations",
+                        stats.reactor.pool_allocations,
+                    );
+                    my_obs.add(Layer::Net, "pool_recycles", stats.reactor.pool_recycles);
+                }
             }
         }));
     }
@@ -1403,17 +1740,28 @@ mod tests {
         s
     }
 
-    #[test]
-    fn tcp_gossip_delivers_everything() {
+    /// Starts a two-party `(sender, receiver)` mesh pair on the given
+    /// runtime — the harness the runtime-equivalence cases share.
+    fn mesh_pair(rt: TcpRuntime, chaos: Option<&ChaosConfig>) -> (Mesh<Word>, Mesh<Word>) {
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("a"), l1.local_addr().expect("a")];
+        let a = Mesh::start(rt, 0, &addrs, l0, chaos, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let b = Mesh::start(rt, 1, &addrs, l1, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        (a, b)
+    }
+
+    fn gossip_case(rt: TcpRuntime) {
         let n = 4;
         let nodes: Vec<Gossip> = (0..n).map(|_| Gossip).collect();
         let inputs: Vec<(PartyId, u64)> = (0..n).map(|p| (p, p as u64 * 3)).collect();
-        let report = run_tcp_observed(
+        let report = run_tcp_observed_with(
             nodes,
             inputs,
             move |outs: &[Vec<(PartyId, u64)>]| outs.iter().all(|o| o.len() >= n),
             Duration::from_secs(30),
             Some(128),
+            rt,
         )
         .expect("loopback sockets bind");
         assert!(report.completed, "all parties hear all four broadcasts");
@@ -1438,6 +1786,22 @@ mod tests {
             merged.counter("net.link_up") > 0,
             "link supervisors saw connections come up"
         );
+        if rt == TcpRuntime::Reactor {
+            assert!(
+                merged.counter("net.reactor_wakeups") > 0,
+                "the event loop actually span"
+            );
+        }
+    }
+
+    #[test]
+    fn tcp_gossip_delivers_everything() {
+        gossip_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn tcp_gossip_delivers_everything_on_reactor() {
+        gossip_case(TcpRuntime::Reactor);
     }
 
     #[test]
@@ -1457,14 +1821,13 @@ mod tests {
         );
     }
 
-    #[test]
-    fn garbage_handshakes_are_rejected_and_counted() {
+    fn garbage_handshake_case(rt: TcpRuntime) {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         // Peer 1's address is never dialed in this test; port 1 refuses.
         let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
-        let mesh: TcpMesh<Word> =
-            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let mesh: Mesh<Word> =
+            Mesh::start(rt, 0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
 
         // Wrong magic: dropped, and the socket sees EOF, not a frame.
         {
@@ -1505,12 +1868,21 @@ mod tests {
     }
 
     #[test]
-    fn mid_handshake_disconnects_are_tolerated() {
+    fn garbage_handshakes_are_rejected_and_counted() {
+        garbage_handshake_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn garbage_handshakes_are_rejected_and_counted_on_reactor() {
+        garbage_handshake_case(TcpRuntime::Reactor);
+    }
+
+    fn mid_handshake_case(rt: TcpRuntime) {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
-        let mesh: TcpMesh<Word> =
-            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let mesh: Mesh<Word> =
+            Mesh::start(rt, 0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
 
         // Connect and vanish without a single byte.
         {
@@ -1547,12 +1919,21 @@ mod tests {
     }
 
     #[test]
-    fn handshake_timeout_rejects_silent_strays() {
+    fn mid_handshake_disconnects_are_tolerated() {
+        mid_handshake_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn mid_handshake_disconnects_are_tolerated_on_reactor() {
+        mid_handshake_case(TcpRuntime::Reactor);
+    }
+
+    fn silent_stray_case(rt: TcpRuntime) {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
-        let mesh: TcpMesh<Word> =
-            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let mesh: Mesh<Word> =
+            Mesh::start(rt, 0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
 
         // A stray that connects and stays silent: the handshake
         // deadline (2s) must cut it loose rather than park the
@@ -1572,6 +1953,10 @@ mod tests {
             .recv_timeout(Duration::from_secs(10))
             .expect("frame delivered after stray timed out");
         assert_eq!(got, (1, Word(23)));
+        // The reactor serves honest peers *while* the stray's clock
+        // runs (no serial accept), so wait out the deadline before
+        // reading the reject counter.
+        std::thread::sleep(HANDSHAKE_DEADLINE + Duration::from_millis(300));
         let stats = mesh.shutdown();
         assert_eq!(stats.handshake_rejects, 1, "silent stray counted");
         drop(stray);
@@ -1579,11 +1964,25 @@ mod tests {
     }
 
     #[test]
+    fn handshake_timeout_rejects_silent_strays() {
+        silent_stray_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn handshake_timeout_rejects_silent_strays_on_reactor() {
+        silent_stray_case(TcpRuntime::Reactor);
+    }
+
+    #[test]
     fn bounded_lane_drops_oldest_and_counts() {
         let dropped = Arc::new(AtomicU64::new(0));
         // Cap clamps up to one max frame; use frames big enough to
         // overflow quickly.
-        let lane = Lane::new(MAX_FRAME + 4, Arc::clone(&dropped));
+        let lane = Lane::new(
+            MAX_FRAME + 4,
+            Arc::clone(&dropped),
+            Arc::new(AtomicU64::new(0)),
+        );
         let frame = vec![7u8; MAX_FRAME / 4];
         for _ in 0..16 {
             assert!(lane.push(frame.clone()));
@@ -1639,15 +2038,11 @@ mod tests {
         );
     }
 
-    #[test]
-    fn chaos_faults_are_survivable_and_counted() {
+    fn chaos_case(rt: TcpRuntime) {
         // Node 0 → node 1 under heavy budgeted loss: every frame past
         // the budgets must still arrive (garbles kill the connection,
         // so this also exercises reconnect), and the counters tally
         // what the interposer did.
-        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addrs = vec![l0.local_addr().expect("a"), l1.local_addr().expect("a")];
         let chaos = ChaosConfig {
             seed: 42,
             default: LinkFaults {
@@ -1660,10 +2055,7 @@ mod tests {
             },
             ..ChaosConfig::default()
         };
-        let sender: TcpMesh<Word> =
-            TcpMesh::start(0, &addrs, l0, Some(&chaos), DEFAULT_QUEUE_BYTES).expect("mesh");
-        let receiver: TcpMesh<Word> =
-            TcpMesh::start(1, &addrs, l1, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let (sender, receiver) = mesh_pair(rt, Some(&chaos));
         let total = 400u64;
         for i in 0..total {
             assert!(sender.send(1, Word(i)));
@@ -1693,12 +2085,18 @@ mod tests {
     }
 
     #[test]
-    fn partition_blocks_then_heals() {
+    fn chaos_faults_are_survivable_and_counted() {
+        chaos_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn chaos_faults_are_survivable_and_counted_on_reactor() {
+        chaos_case(TcpRuntime::Reactor);
+    }
+
+    fn partition_case(rt: TcpRuntime) {
         // A 250ms window cutting 0|1: frames sent during the window
         // arrive only after it ends — blocked, not dropped.
-        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addrs = vec![l0.local_addr().expect("a"), l1.local_addr().expect("a")];
         let chaos = ChaosConfig {
             seed: 1,
             partitions: vec![Partition {
@@ -1708,10 +2106,7 @@ mod tests {
             }],
             ..ChaosConfig::default()
         };
-        let sender: TcpMesh<Word> =
-            TcpMesh::start(0, &addrs, l0, Some(&chaos), DEFAULT_QUEUE_BYTES).expect("mesh");
-        let receiver: TcpMesh<Word> =
-            TcpMesh::start(1, &addrs, l1, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let (sender, receiver) = mesh_pair(rt, Some(&chaos));
         let t0 = Instant::now();
         assert!(sender.send(1, Word(99)));
         let got = receiver
@@ -1728,14 +2123,17 @@ mod tests {
     }
 
     #[test]
-    fn heartbeats_keep_an_idle_link_fresh() {
-        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addrs = vec![l0.local_addr().expect("a"), l1.local_addr().expect("a")];
-        let a: TcpMesh<Word> =
-            TcpMesh::start(0, &addrs, l0, None, DEFAULT_QUEUE_BYTES).expect("mesh");
-        let b: TcpMesh<Word> =
-            TcpMesh::start(1, &addrs, l1, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+    fn partition_blocks_then_heals() {
+        partition_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn partition_blocks_then_heals_on_reactor() {
+        partition_case(TcpRuntime::Reactor);
+    }
+
+    fn heartbeat_case(rt: TcpRuntime) {
+        let (a, b) = mesh_pair(rt, None);
         // One frame each way to establish both unidirectional links.
         assert!(a.send(1, Word(1)));
         assert!(b.send(0, Word(2)));
@@ -1743,13 +2141,13 @@ mod tests {
         assert_eq!(a.recv_timeout(Duration::from_secs(10)), Some((1, Word(2))));
         // Now both go idle. Heartbeats (200ms cadence) must keep the
         // last-heard clocks advancing on both sides.
-        let before = b.supervisors[0]
+        let before = b.supervisors()[0]
             .as_ref()
             .expect("sup")
             .last_rx_ms
             .load(Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(600));
-        let after = b.supervisors[0]
+        let after = b.supervisors()[0]
             .as_ref()
             .expect("sup")
             .last_rx_ms
@@ -1759,9 +2157,22 @@ mod tests {
             "idle link stayed audible: {before} → {after}"
         );
         // And the writer-side supervisor reports the link Up.
-        assert_eq!(a.supervisors[1].as_ref().expect("sup").get(), LinkState::Up);
+        assert_eq!(
+            a.supervisors()[1].as_ref().expect("sup").get(),
+            LinkState::Up
+        );
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_keep_an_idle_link_fresh() {
+        heartbeat_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn heartbeats_keep_an_idle_link_fresh_on_reactor() {
+        heartbeat_case(TcpRuntime::Reactor);
     }
 
     #[test]
@@ -1807,5 +2218,233 @@ mod tests {
         assert!(report.completed);
         assert_eq!(report.outputs.len(), 3);
         let _ = node;
+    }
+
+    // -- link-layer bug-sweep regressions ------------------------------
+
+    /// A local blackhole: a listener that never accepts, with its
+    /// accept queue wedged full, silently drops further SYNs (no RST)
+    /// — the same behavior as a firewalled host or a dead VM with a
+    /// live route, but reproducible on loopback. Returns the address
+    /// and the sockets keeping the queue full.
+    fn blackholed_addr() -> (SocketAddr, TcpListener, Vec<TcpStream>) {
+        let victim = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = victim.local_addr().expect("addr");
+        let mut fillers = Vec::new();
+        while let Ok(s) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            fillers.push(s);
+            assert!(fillers.len() < 2048, "backlog never filled");
+        }
+        (addr, victim, fillers)
+    }
+
+    #[test]
+    fn dial_fails_fast_against_blackholed_address() {
+        // The old blocking `TcpStream::connect` parked the writer
+        // thread on the kernel's SYN-retry schedule (minutes) against
+        // a blackholed peer, and the jittered backoff never ran;
+        // `connect_timeout` must bound the attempt.
+        let (addr, _victim, _fillers) = blackholed_addr();
+        let t0 = Instant::now();
+        let got = dial(addr, 0);
+        let waited = t0.elapsed();
+        assert!(got.is_none(), "blackholed dial cannot succeed");
+        assert!(
+            waited <= DIAL_TIMEOUT + Duration::from_secs(1),
+            "dial returned within its deadline ({waited:?})"
+        );
+    }
+
+    #[test]
+    fn reactor_survives_blackholed_peer_and_shuts_down_promptly() {
+        // Same blackhole on the reactor path: the nonblocking connect
+        // carries its own deadline, so the event loop keeps ticking
+        // and teardown stays bounded instead of waiting on a SYN.
+        let (dark, _victim, _fillers) = blackholed_addr();
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("a"), dark];
+        let mesh: Mesh<Word> = Mesh::start(
+            TcpRuntime::Reactor,
+            0,
+            &addrs,
+            l0,
+            None,
+            DEFAULT_QUEUE_BYTES,
+        )
+        .expect("mesh");
+        assert!(mesh.send(1, Word(5)), "send queues while the peer is dark");
+        std::thread::sleep(Duration::from_millis(300));
+        let t0 = Instant::now();
+        let stats = mesh.shutdown();
+        assert!(
+            t0.elapsed() <= Duration::from_secs(5),
+            "teardown bounded despite the dark peer"
+        );
+        assert_eq!(stats.bytes_sent, 0, "nothing could have been delivered");
+    }
+
+    #[test]
+    fn flapping_peer_does_not_leak_reader_threads() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
+        let mesh: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        // Crash-without-close flaps: every handshake supersedes the
+        // previous connection, and the "crashed" sockets never FIN —
+        // pre-fix, each one parked a reader thread forever.
+        let mut zombies = Vec::new();
+        for _ in 0..25 {
+            zombies.push(honest_handshake(addr, 1));
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // The newest connection still delivers.
+        let mut live = zombies.pop().expect("kept the last");
+        live.write_all(&encode_frame(&Word(9)).expect("fits"))
+            .expect("write");
+        assert_eq!(
+            mesh.recv_timeout(Duration::from_secs(10)),
+            Some((1, Word(9)))
+        );
+        // Reaping keeps the reader population flat.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let alive = mesh.live_readers();
+            if alive <= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "reader threads leaked: {alive} still alive"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn reactor_flapping_peer_keeps_fd_count_flat() {
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = l0.local_addr().expect("addr");
+        let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
+        let mesh: Mesh<Word> = Mesh::start(
+            TcpRuntime::Reactor,
+            0,
+            &addrs,
+            l0,
+            None,
+            DEFAULT_QUEUE_BYTES,
+        )
+        .expect("mesh");
+        let mut zombies = Vec::new();
+        for _ in 0..30 {
+            zombies.push(honest_handshake(addr, 1));
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut live = zombies.pop().expect("kept the last");
+        live.write_all(&encode_frame(&Word(9)).expect("fits"))
+            .expect("write");
+        assert_eq!(
+            mesh.recv_timeout(Duration::from_secs(10)),
+            Some((1, Word(9)))
+        );
+        let stats = mesh.shutdown();
+        // 30 flaps without reaping would peak >30 fds; with reaping
+        // the loop holds listener + doorbell + a couple of transients.
+        assert!(
+            stats.reactor.fds_peak <= 10,
+            "inbound fds reaped on reconnect (peak {})",
+            stats.reactor.fds_peak
+        );
+    }
+
+    #[test]
+    fn poisoned_lane_degrades_link_instead_of_panicking() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let addrs = vec![addr, "127.0.0.1:1".parse().expect("addr")];
+        let mesh: TcpMesh<Word> =
+            TcpMesh::start(0, &addrs, listener, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        let lane = Arc::clone(mesh.outbound[1].as_ref().expect("lane"));
+        // Poison the lane mutex the way a dying writer would: panic
+        // while holding the guard. The old `.expect("lane lock")`
+        // turned this into a panic on the protocol thread's next send
+        // — one dead link crashing the whole node.
+        let l2 = Arc::clone(&lane);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.inner.lock().expect("first lock");
+            panic!("simulated writer death");
+        })
+        .join();
+        assert!(
+            mesh.send(1, Word(3)),
+            "send survives and recovers the poisoned lock"
+        );
+        let stats = mesh.shutdown();
+        assert!(
+            stats.lane_poisoned >= 1,
+            "poison recovery was counted ({})",
+            stats.lane_poisoned
+        );
+    }
+
+    // -- crash-restart rejoin (both runtimes) --------------------------
+
+    fn late_peer_rejoin_case(rt: TcpRuntime) {
+        // "Crash" = nothing listening at the peer's address; "restart"
+        // = a listener appears there later. The mesh must keep
+        // redialing under backoff and deliver the queued frame once
+        // the peer returns.
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let park = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let peer_addr = park.local_addr().expect("a");
+        drop(park); // the peer is now "down"
+        let addrs = vec![l0.local_addr().expect("a"), peer_addr];
+        let mesh: Mesh<Word> =
+            Mesh::start(rt, 0, &addrs, l0, None, DEFAULT_QUEUE_BYTES).expect("mesh");
+        assert!(mesh.send(1, Word(77)), "frame queues while peer is down");
+        std::thread::sleep(Duration::from_millis(300)); // several failed dials
+        let revived = TcpListener::bind(peer_addr).expect("rebind");
+        let (mut conn, _) = revived.accept().expect("mesh redialed after restart");
+        let mut hs = [0u8; 8];
+        conn.read_exact(&mut hs).expect("handshake first");
+        assert_eq!(parse_handshake(&hs, 2), Ok(0));
+        let mut len4 = [0u8; 4];
+        conn.read_exact(&mut len4).expect("frame length");
+        let len = u32::from_be_bytes(len4) as usize;
+        let mut body = vec![0u8; len];
+        conn.read_exact(&mut body).expect("frame body");
+        let mut expect = Vec::new();
+        Word(77).encode_into(&mut expect);
+        assert_eq!(body, expect, "the pre-crash frame arrived post-restart");
+        // And the restarted peer can speak back — by dialing the
+        // mesh's own listener, as a real restarted replica would.
+        let mut back = honest_handshake(addrs[0], 1);
+        back.write_all(&encode_frame(&Word(88)).expect("fits"))
+            .expect("reply");
+        assert_eq!(
+            mesh.recv_timeout(Duration::from_secs(10)),
+            Some((1, Word(88)))
+        );
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn late_peer_rejoin_delivers_queued_frames() {
+        late_peer_rejoin_case(TcpRuntime::Threaded);
+    }
+
+    #[test]
+    fn late_peer_rejoin_delivers_queued_frames_on_reactor() {
+        late_peer_rejoin_case(TcpRuntime::Reactor);
+    }
+
+    #[test]
+    fn runtime_selector_parses_and_prints() {
+        assert_eq!("threaded".parse(), Ok(TcpRuntime::Threaded));
+        assert_eq!("reactor".parse(), Ok(TcpRuntime::Reactor));
+        assert!("epoll".parse::<TcpRuntime>().is_err());
+        assert_eq!(TcpRuntime::Reactor.to_string(), "reactor");
+        assert_eq!(TcpRuntime::default(), TcpRuntime::Threaded);
     }
 }

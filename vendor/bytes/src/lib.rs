@@ -1,6 +1,528 @@
-//! Offline stand-in for the `bytes` crate.
+//! Offline implementation of the `bytes` crate's core types.
 //!
-//! The workspace declares a dependency on `bytes` for future wire-format
-//! work, but no APIs are exercised yet. This vendored stub keeps the
-//! dependency graph resolvable without network access; replace it with
-//! the real crate when a registry is available.
+//! Originally a six-line stub that only kept the dependency graph
+//! resolvable; the reactor runtime (`sintra-net::reactor`) made it
+//! load-bearing, so it now provides real reference-counted buffers:
+//!
+//! * [`Bytes`] — an immutable, cheaply cloneable view into shared
+//!   storage. `clone()` bumps a refcount, [`Bytes::slice`] narrows the
+//!   view without copying, and the backing allocation is freed (or
+//!   returned to its pool) when the last view drops.
+//! * [`BytesMut`] — a unique, growable buffer that [`BytesMut::freeze`]s
+//!   into `Bytes` without copying. This is what a socket reader fills:
+//!   one `read(2)` lands in a `BytesMut`, `freeze` makes the chunk
+//!   shareable, and every frame inside it becomes a zero-copy slice.
+//! * [`BufPool`] — a bounded recycle pool. Buffers drawn with
+//!   [`BufPool::get`] find their way back automatically when the last
+//!   reference drops, so a steady-state reader allocates nothing.
+//!
+//! The subset implemented here is what the workspace uses; semantics
+//! match the real crate where they overlap (value equality, cheap
+//! clones, slice panics on out-of-range). No `unsafe` is used — storage
+//! is a plain `Vec<u8>` behind an `Arc`, and slicing is offset
+//! arithmetic.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+// ---------------------------------------------------------------------
+// Shared storage
+// ---------------------------------------------------------------------
+
+/// The allocation one or more [`Bytes`] views share. When the last
+/// `Arc<Storage>` drops, the buffer either frees normally or returns to
+/// the pool it was drawn from.
+#[derive(Debug)]
+struct Storage {
+    buf: Vec<u8>,
+    pool: Option<Weak<PoolInner>>,
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.as_ref().and_then(Weak::upgrade) {
+            pool.put(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------
+
+/// An immutable, reference-counted view into shared byte storage.
+///
+/// Cloning is O(1) (an `Arc` clone); [`Bytes::slice`] produces a
+/// narrower view of the same storage without copying. Equality and
+/// ordering compare the viewed bytes, not the storage identity.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<Storage>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty view (no allocation).
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copies `data` into fresh storage.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-view of this view. O(1); shares storage. Accepts any range
+    /// kind (`a..b`, `a..`, `..b`, `..`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside `0..=len` or is inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// How many `Bytes` views currently share this storage — test and
+    /// gauge support, not part of the real crate's API.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Bytes {
+        let len = buf.len();
+        Bytes {
+            data: Arc::new(Storage { buf, pool: None }),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data.buf[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self[..] == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+// ---------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------
+
+/// A unique, growable byte buffer that freezes into [`Bytes`] without
+/// copying.
+///
+/// Unlike `Bytes`, a `BytesMut` has exactly one owner, so mutation
+/// needs no synchronization. Dropping an unfrozen `BytesMut` returns a
+/// pooled buffer to its pool.
+#[derive(Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    pool: Option<Weak<PoolInner>>,
+}
+
+impl BytesMut {
+    /// An empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            pool: None,
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Appends `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Grows (zero-filling) or shrinks to exactly `len` bytes.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.buf.resize(len, fill);
+    }
+
+    /// Drops all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Shortens to `len` (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Converts into an immutable, shareable [`Bytes`] — O(1), no copy.
+    /// The storage keeps its pool affiliation: when the last `Bytes`
+    /// view drops, the buffer returns to the pool.
+    pub fn freeze(self) -> Bytes {
+        // Move the fields out without running BytesMut::drop (which
+        // would return the buffer to the pool while views still exist).
+        let mut this = std::mem::ManuallyDrop::new(self);
+        let buf = std::mem::take(&mut this.buf);
+        let pool = this.pool.take();
+        let len = buf.len();
+        Bytes {
+            data: Arc::new(Storage { buf, pool }),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl Drop for BytesMut {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.as_ref().and_then(Weak::upgrade) {
+            pool.put(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+// ---------------------------------------------------------------------
+// BufPool
+// ---------------------------------------------------------------------
+
+/// Book-keeping shared by a pool and the buffers drawn from it.
+#[derive(Debug)]
+struct PoolInner {
+    free: Mutex<Vec<Vec<u8>>>,
+    buf_capacity: usize,
+    max_pooled: usize,
+    recycled: AtomicU64,
+    allocated: AtomicU64,
+    outstanding: AtomicU64,
+}
+
+impl PoolInner {
+    /// Accepts a buffer back (from a dropped `Storage` or `BytesMut`),
+    /// discarding it if the shelf is full or the buffer was never
+    /// actually allocated.
+    fn put(&self, mut buf: Vec<u8>) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        if free.len() < self.max_pooled {
+            buf.clear();
+            free.push(buf);
+        }
+    }
+}
+
+/// A bounded pool of reusable byte buffers.
+///
+/// [`BufPool::get`] hands out a [`BytesMut`] with `buf_capacity` bytes
+/// of capacity, recycling a previously returned buffer when one is on
+/// the shelf. Return is automatic: when the buffer (or every [`Bytes`]
+/// view frozen from it) drops, the allocation comes back — up to
+/// `max_pooled` buffers are kept, the rest free normally, so the pool's
+/// memory is bounded by `max_pooled × buf_capacity`.
+#[derive(Clone, Debug)]
+pub struct BufPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufPool {
+    /// A pool handing out buffers of `buf_capacity` bytes, shelving at
+    /// most `max_pooled` returned buffers.
+    pub fn new(buf_capacity: usize, max_pooled: usize) -> BufPool {
+        BufPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                buf_capacity: buf_capacity.max(1),
+                max_pooled,
+                recycled: AtomicU64::new(0),
+                allocated: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Draws an empty buffer: recycled if available, freshly allocated
+    /// otherwise.
+    pub fn get(&self) -> BytesMut {
+        let recycled = {
+            let mut free = self.inner.free.lock().unwrap_or_else(|e| e.into_inner());
+            free.pop()
+        };
+        let buf = match recycled {
+            Some(buf) => {
+                self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.inner.allocated.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(self.inner.buf_capacity)
+            }
+        };
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        BytesMut {
+            buf,
+            pool: Some(Arc::downgrade(&self.inner)),
+        }
+    }
+
+    /// Buffers currently on the shelf, ready for reuse.
+    pub fn pooled(&self) -> usize {
+        self.inner
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Buffers drawn and not yet returned (live `BytesMut`s plus
+    /// storage still referenced by `Bytes` views).
+    pub fn outstanding(&self) -> u64 {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Total fresh allocations made (a flat value under steady load is
+    /// the pool doing its job).
+    pub fn allocations(&self) -> u64 {
+        self.inner.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Total buffers served from the shelf instead of the allocator.
+    pub fn recycles(&self) -> u64 {
+        self.inner.recycled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slice_shares_storage_without_copying() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let head = b.slice(..8);
+        let mid = b.slice(8..24);
+        let tail = b.slice(24..);
+        assert_eq!(&head[..], &(0u8..8).collect::<Vec<u8>>()[..]);
+        assert_eq!(&mid[..], &(8u8..24).collect::<Vec<u8>>()[..]);
+        assert_eq!(&tail[..], &(24u8..32).collect::<Vec<u8>>()[..]);
+        // Four views (b, head, mid, tail) of one allocation.
+        assert_eq!(b.ref_count(), 4);
+        let sub = mid.slice(4..8);
+        assert_eq!(&sub[..], &[12, 13, 14, 15]);
+        assert_eq!(b.ref_count(), 5, "slicing a slice still shares");
+    }
+
+    #[test]
+    fn clone_bumps_and_drop_releases_refcounts() {
+        let b = Bytes::copy_from_slice(b"shared");
+        assert_eq!(b.ref_count(), 1);
+        let c = b.clone();
+        assert_eq!(b.ref_count(), 2);
+        assert_eq!(b, c, "views compare by content");
+        drop(c);
+        assert_eq!(b.ref_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_past_the_end_panics() {
+        let b = Bytes::copy_from_slice(b"abc");
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn bytes_mut_freeze_is_zero_copy_and_equal() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"hello ");
+        m.extend_from_slice(b"world");
+        assert_eq!(m.len(), 11);
+        let b = m.freeze();
+        assert_eq!(b, b"hello world"[..]);
+        assert_eq!(b.slice(6..), b"world"[..]);
+    }
+
+    #[test]
+    fn bytes_mut_resize_truncate_roundtrip() {
+        let mut m = BytesMut::with_capacity(4);
+        m.resize(8, 0xAB);
+        assert_eq!(&m[..], &[0xAB; 8]);
+        m[0] = 1;
+        m.truncate(2);
+        assert_eq!(&m[..], &[1, 0xAB]);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_buffers_after_last_view_drops() {
+        let pool = BufPool::new(1024, 4);
+        assert_eq!(pool.pooled(), 0);
+        let mut m = pool.get();
+        assert_eq!(pool.allocations(), 1);
+        assert_eq!(pool.outstanding(), 1);
+        m.extend_from_slice(b"frame-one");
+        let b = m.freeze();
+        let view = b.slice(0..5);
+        drop(b);
+        // A live slice still pins the storage out of the pool.
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(pool.outstanding(), 1);
+        drop(view);
+        assert_eq!(pool.pooled(), 1, "last view returned the buffer");
+        assert_eq!(pool.outstanding(), 0);
+        // The next draw reuses it — no new allocation.
+        let m2 = pool.get();
+        assert_eq!(pool.allocations(), 1);
+        assert_eq!(pool.recycles(), 1);
+        assert!(m2.is_empty(), "recycled buffer comes back cleared");
+        assert!(m2.capacity() >= 1024);
+    }
+
+    #[test]
+    fn pool_shelf_is_bounded() {
+        let pool = BufPool::new(64, 2);
+        let bufs: Vec<BytesMut> = (0..5).map(|_| pool.get()).collect();
+        assert_eq!(pool.allocations(), 5);
+        drop(bufs);
+        assert_eq!(pool.pooled(), 2, "only max_pooled buffers shelved");
+    }
+
+    #[test]
+    fn dropped_unfrozen_bytes_mut_returns_to_pool() {
+        let pool = BufPool::new(128, 4);
+        let m = pool.get();
+        drop(m);
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn pool_outlives_buffers_gracefully() {
+        // Buffers returned after the pool itself is gone must not
+        // panic — the Weak upgrade fails and the memory frees normally.
+        let pool = BufPool::new(64, 4);
+        let m = pool.get();
+        let b = m.freeze();
+        drop(pool);
+        drop(b); // no pool to return to; plain free
+    }
+
+    #[test]
+    fn non_pooled_bytes_never_touch_a_pool() {
+        let pool = BufPool::new(64, 4);
+        let b = Bytes::copy_from_slice(b"independent");
+        drop(b);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(pool.outstanding(), 0);
+    }
+}
